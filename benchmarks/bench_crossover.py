@@ -1,0 +1,120 @@
+"""Experiment W1 -- the section 4.3 win condition and its crossovers.
+
+Parallel execution wins iff ``tau(C_best) + tau(overhead) < tau(C_mean)``.
+This bench sweeps the two knobs the paper's worked table varies:
+
+1. overhead magnitude, for the table's row (1) times (10, 20, 30): PI
+   must cross 1.0 exactly at overhead = mean - best = 10;
+2. dispersion: times (20, 20, 20) stretched progressively apart at equal
+   mean -- rows (3) and (5) showed 'the size of the differences matters'.
+
+Each sweep point is computed analytically *and* measured by racing real
+alternatives through the simulator with the overhead loaded on the cost
+model; the two must agree.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.model import (
+    crossover_overhead,
+    parallel_wins,
+    performance_improvement,
+)
+from repro.analysis.report import format_series, format_table
+from repro.core.alternative import Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.process.primitives import EliminationMode
+from repro.sim.costs import CostModel
+
+BASE_TIMES = [10.0, 20.0, 30.0]
+OVERHEADS = [0.0, 2.0, 5.0, 8.0, 10.0, 12.0, 20.0]
+SPREADS = [0.0, 2.0, 5.0, 10.0, 15.0]  # times = 20 -/+ spread at equal mean
+
+
+def _measured_pi(times, overhead):
+    model = CostModel(
+        name="point",
+        fork_latency=0.0,
+        page_copy_rate=float("inf"),
+        page_size=4096,
+        kill_latency=0.0,
+        sync_latency=overhead,
+    )
+    arms = [
+        Alternative(f"C{i}", body=lambda ctx, v=i: v, cost=t)
+        for i, t in enumerate(times)
+    ]
+    result = ConcurrentExecutor(
+        cost_model=model, elimination=EliminationMode.ASYNCHRONOUS
+    ).run(arms)
+    return result.tau_mean / result.elapsed
+
+
+def sweep_overhead():
+    rows = []
+    for overhead in OVERHEADS:
+        rows.append(
+            {
+                "tau(overhead)": overhead,
+                "analytic PI": round(performance_improvement(BASE_TIMES, overhead), 3),
+                "measured PI": round(_measured_pi(BASE_TIMES, overhead), 3),
+                "parallel wins": "yes" if parallel_wins(BASE_TIMES, overhead) else "no",
+            }
+        )
+    return rows
+
+
+def sweep_dispersion(overhead: float = 5.0):
+    rows = []
+    for spread in SPREADS:
+        times = [20.0 - spread, 20.0, 20.0 + spread]
+        rows.append(
+            {
+                "times": f"({times[0]:g},{times[1]:g},{times[2]:g})",
+                "mean": 20.0,
+                "analytic PI": round(performance_improvement(times, overhead), 3),
+                "measured PI": round(_measured_pi(times, overhead), 3),
+            }
+        )
+    return rows
+
+
+def bench_w1_crossover(benchmark, emit):
+    overhead_rows = benchmark(sweep_overhead)
+    dispersion_rows = sweep_dispersion()
+    overhead_table = format_table(
+        overhead_rows,
+        title=(
+            "W1a: PI vs overhead for times (10,20,30); crossover must sit\n"
+            f"at tau(overhead) = mean - best = {crossover_overhead(BASE_TIMES):g}"
+        ),
+    )
+    dispersion_table = format_table(
+        dispersion_rows,
+        title="W1b: PI vs dispersion at fixed mean (overhead 5) -- rows (3)/(5)",
+    )
+    curve = format_series(
+        [r["tau(overhead)"] for r in overhead_rows],
+        [r["analytic PI"] for r in overhead_rows],
+        x_label="overhead",
+        y_label="PI",
+        title="PI(overhead) for (10,20,30)",
+    )
+    emit(
+        "W1_crossover",
+        overhead_table + "\n\n" + dispersion_table + "\n\n" + curve,
+    )
+
+    # Analytic and measured agree everywhere.
+    for row in overhead_rows + dispersion_rows:
+        assert abs(row["analytic PI"] - row["measured PI"]) < 0.01, row
+    # The crossover sits exactly at overhead = 10.
+    at_crossover = next(r for r in overhead_rows if r["tau(overhead)"] == 10.0)
+    assert at_crossover["analytic PI"] == 1.0
+    assert at_crossover["parallel wins"] == "no"
+    before = next(r for r in overhead_rows if r["tau(overhead)"] == 8.0)
+    assert before["parallel wins"] == "yes"
+    # PI rises monotonically with dispersion at fixed mean.
+    dispersion_pis = [r["analytic PI"] for r in dispersion_rows]
+    assert dispersion_pis == sorted(dispersion_pis)
+    assert dispersion_pis[0] < 1.0 < dispersion_pis[-1]

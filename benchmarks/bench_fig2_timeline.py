@@ -1,0 +1,66 @@
+"""Experiment F2 -- Figure 2, 'Concurrent Execution of Alternates'.
+
+The paper's figure shows the parent spawning alternates, each alternate
+running its method and guard, one failing its guard and aborting without
+synchronizing, the first successful alternate synchronizing, and the
+siblings being eliminated.  This bench regenerates that event sequence
+from the simulated kernel and checks its causal order.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_timeline
+from repro.core.alternative import Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.sim.costs import HP_9000_350
+
+
+def build_block():
+    def method(value):
+        def body(ctx):
+            ctx.put("result", value)
+            return value
+
+        return body
+
+    def failing(ctx):
+        ctx.fail("GUARD not satisfied")
+
+    return [
+        Alternative("alternate-1", body=method("m1"), cost=3.0),
+        Alternative("alternate-2", body=failing, cost=0.5),
+        Alternative("alternate-3", body=method("m3"), cost=1.2),
+    ]
+
+
+def run_figure2():
+    executor = ConcurrentExecutor(cost_model=HP_9000_350)
+    return executor.run(build_block())
+
+
+def bench_fig2_concurrent_execution(benchmark, emit):
+    result = benchmark(run_figure2)
+    text = format_timeline(
+        result.timeline,
+        title="F2: concurrent execution of alternates (one guard failure)",
+    )
+    emit("F2_timeline", text)
+
+    labels = [label for _, label in result.timeline]
+    times = dict(result.timeline[::-1])  # first occurrence wins below
+
+    def at(fragment):
+        for when, label in result.timeline:
+            if fragment in label:
+                return when
+        raise AssertionError(f"no event matching {fragment!r}")
+
+    # Causal order of the figure: spawn* < abort < sync < kill < resume.
+    assert at("spawn alternate-1") < at("spawn alternate-3")
+    assert at("aborts") < at("synchronizes")
+    assert "alternate-2 aborts" in " ".join(labels)
+    assert "alternate-3 synchronizes" in " ".join(labels)
+    assert at("synchronizes") <= at("kill alternate-1")
+    assert labels[-1] == "parent resumes"
+    assert result.value == "m3"
+    assert result.winner.name == "alternate-3"

@@ -1,0 +1,196 @@
+"""Experiment A1 -- distributed execution of recovery blocks (section 5.1).
+
+Kim [1984] and Welch [1983] measured two-alternate recovery blocks on a
+shared-memory multiprocessor; the paper adopts their setting.  This bench
+sweeps the primary's failure probability and reports the mean block
+latency of sequential (rollback) vs concurrent (racing) execution -- the
+shape claim is that the sequential cost climbs with the failure rate
+toward primary+backup, while the concurrent cost stays pinned near the
+backup's own time plus overhead.
+
+Two ablations from DESIGN.md ride along: local vs majority-consensus
+synchronization, and COW vs eager full-copy state management.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core.alternative import GuardPlacement
+from repro.recovery.block import RecoveryAlternate, RecoveryBlock
+from repro.recovery.concurrent import ConcurrentRecoveryExecutor, SyncMode
+from repro.recovery.faults import accept_if, flaky_body
+from repro.recovery.sequential import SequentialRecoveryExecutor
+from repro.errors import AltBlockFailure
+from repro.sim.costs import HP_9000_350
+
+PRIMARY_COST = 0.100
+BACKUP_COST = 0.250
+RUNS_PER_POINT = 40
+FAILURE_PROBS = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9]
+
+
+def make_block(failure_prob: float) -> RecoveryBlock:
+    return RecoveryBlock(
+        "kimwelch",
+        [
+            RecoveryAlternate(
+                "primary",
+                body=flaky_body("primary-result", failure_prob),
+                cost=PRIMARY_COST,
+            ),
+            RecoveryAlternate(
+                "backup", body=lambda ctx: "backup-result", cost=BACKUP_COST
+            ),
+        ],
+        acceptance=accept_if(lambda value: value is not None),
+    )
+
+
+def _mean_latency(executor_factory, failure_prob: float) -> float:
+    total = 0.0
+    completed = 0
+    for seed in range(RUNS_PER_POINT):
+        executor = executor_factory(seed)
+        try:
+            result = executor.run(make_block(failure_prob))
+        except AltBlockFailure:
+            continue
+        total += result.elapsed
+        completed += 1
+    return total / completed if completed else float("nan")
+
+
+def sweep_failure_probability():
+    rows = []
+    for prob in FAILURE_PROBS:
+        sequential = _mean_latency(
+            lambda seed: SequentialRecoveryExecutor(seed=seed), prob
+        )
+        concurrent = _mean_latency(
+            lambda seed: ConcurrentRecoveryExecutor(
+                cost_model=HP_9000_350, seed=seed
+            ),
+            prob,
+        )
+        rows.append(
+            {
+                "P(primary fails)": prob,
+                "sequential (ms)": round(sequential * 1000, 1),
+                "concurrent (ms)": round(concurrent * 1000, 1),
+                "concurrent wins": "yes" if concurrent < sequential else "no",
+            }
+        )
+    return rows
+
+
+def sync_ablation():
+    rows = []
+    for mode in (SyncMode.LOCAL, SyncMode.MAJORITY_CONSENSUS):
+        executor = ConcurrentRecoveryExecutor(
+            cost_model=HP_9000_350, sync_mode=mode, seed=1
+        )
+        outcome = executor.run(make_block(0.0))
+        rows.append(
+            {
+                "synchronization": mode.value,
+                "sync latency (ms)": round(outcome.sync_latency * 1000, 2),
+                "block latency (ms)": round(outcome.elapsed * 1000, 2),
+            }
+        )
+    return rows
+
+
+def copy_ablation():
+    rows = []
+    for eager in (False, True):
+        executor = ConcurrentRecoveryExecutor(
+            cost_model=HP_9000_350, eager_full_copy=eager, seed=1
+        )
+        outcome = executor.run(make_block(0.0))
+        rows.append(
+            {
+                "state management": "eager full copy" if eager else "copy-on-write",
+                "block latency (ms)": round(outcome.elapsed * 1000, 2),
+            }
+        )
+    return rows
+
+
+def guard_placement_ablation(acceptance_cost: float = 0.020):
+    """Where the acceptance test runs (section 3.2's placements).
+
+    Recovery-block guards run *after* the body (section 5.1.1), so only
+    the in-child and at-sync placements apply.
+    """
+    rows = []
+    for placement in (
+        GuardPlacement.IN_CHILD,
+        GuardPlacement.AT_SYNC,
+    ):
+        executor = ConcurrentRecoveryExecutor(
+            cost_model=HP_9000_350,
+            guard_placement=placement,
+            acceptance_cost=acceptance_cost,
+            seed=1,
+        )
+        outcome = executor.run(make_block(0.0))
+        rows.append(
+            {
+                "guard placement": placement.value,
+                "block latency (ms)": round(outcome.elapsed * 1000, 2),
+                "selection overhead (ms)": round(
+                    outcome.result.overhead.selection * 1000, 2
+                ),
+            }
+        )
+    return rows
+
+
+def bench_a1_recovery_blocks(benchmark, emit):
+    rows = benchmark(sweep_failure_probability)
+    main_table = format_table(
+        rows,
+        title=(
+            "A1: two-alternate recovery block, mean latency vs primary "
+            "failure probability\n"
+            f"(primary={PRIMARY_COST * 1000:.0f}ms, backup={BACKUP_COST * 1000:.0f}ms, "
+            f"{RUNS_PER_POINT} seeded runs/point, HP 9000/350 model)"
+        ),
+    )
+    sync_table = format_table(
+        sync_ablation(), title="ablation: synchronization mode (robustness price)"
+    )
+    copy_table = format_table(
+        copy_ablation(), title="ablation: COW vs eager full-copy state management"
+    )
+    guard_table = format_table(
+        guard_placement_ablation(),
+        title="ablation: acceptance-test placement (20 ms guard evaluation)",
+    )
+    emit(
+        "A1_recovery_blocks",
+        main_table + "\n\n" + sync_table + "\n\n" + copy_table + "\n\n" + guard_table,
+    )
+
+    # Shape: sequential latency grows with failure probability...
+    seq = [r["sequential (ms)"] for r in rows]
+    assert seq[-1] > seq[0]
+    # ...while concurrent is capped by backup time + overhead: the backup
+    # 'was already running', so no point ever pays primary + backup.
+    con = [r["concurrent (ms)"] for r in rows]
+    assert max(con) < BACKUP_COST * 1000 + 60.0
+    assert seq[-1] > PRIMARY_COST * 1000 + BACKUP_COST * 1000 - 60.0
+    # At high failure rates racing wins.
+    assert rows[-1]["concurrent (ms)"] < rows[-1]["sequential (ms)"]
+    # Consensus costs more than local sync; eager copy more than COW.
+    sync_rows = sync_ablation()
+    assert sync_rows[1]["block latency (ms)"] > sync_rows[0]["block latency (ms)"]
+    copy_rows = copy_ablation()
+    assert copy_rows[1]["block latency (ms)"] > copy_rows[0]["block latency (ms)"]
+    # Guard placed in the child is cheapest ('thus speeding up spawning
+    # and synchronization'); at the sync point it inflates selection.
+    guard_rows = {r["guard placement"]: r for r in guard_placement_ablation()}
+    assert (
+        guard_rows["at_sync"]["selection overhead (ms)"]
+        > guard_rows["in_child"]["selection overhead (ms)"]
+    )

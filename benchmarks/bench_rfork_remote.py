@@ -1,0 +1,175 @@
+"""Experiment M2 -- section 4.4 distributed (remote fork) overhead.
+
+'An rfork() of a 70K process requires slightly less than a second, and
+network delays gave us an observed average execution time of about 1.3
+seconds ... The major cost was creating a checkpoint of the process in
+its entirety.'
+
+This bench remote-forks simulated processes of increasing image size over
+a paper-era LAN and reports the checkpoint / transfer / restore
+decomposition, then contrasts the local COW fork with the remote fork --
+the distributed case 'must actually copy state'.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.net.network import Network
+from repro.net.rfork import remote_fork
+from repro.sim.costs import CostModel
+
+PAPER_LAN = CostModel(
+    name="paper-era LAN",
+    fork_latency=0.031,
+    page_copy_rate=326.0,
+    page_size=2048,
+    checkpoint_rate=200_000.0,
+    network_bandwidth=500_000.0,
+    network_latency=0.010,
+    restore_rate=400_000.0,
+)
+
+IMAGE_SIZES = [16 * 1024, 70 * 1024, 160 * 1024, 320 * 1024]
+
+
+def build_network():
+    network = Network(cost_model=PAPER_LAN)
+    network.add_node("home")
+    network.add_node("away")
+    network.connect("home", "away")
+    return network
+
+
+def sweep():
+    network = build_network()
+    rows = []
+    for size in IMAGE_SIZES:
+        process = network.node("home").manager.create_initial(space_size=size)
+        process.space.put("payload", "x" * (size // 4))
+        result = remote_fork(network, "home", "away", process)
+        local_fork = PAPER_LAN.fork_latency
+        rows.append(
+            {
+                "image (KB)": size // 1024,
+                "checkpoint (s)": round(result.checkpoint_time, 3),
+                "transfer (s)": round(result.transfer_time, 3),
+                "restore (s)": round(result.restore_time, 3),
+                "rfork total (s)": round(result.total_time, 3),
+                "local fork (s)": round(local_fork, 3),
+                "remote/local": round(result.total_time / local_fork, 1),
+            }
+        )
+    return rows
+
+
+def nfs_ablation():
+    """Direct shipping vs the paper's NFS protocol that reduces copying."""
+    from repro.net.rfork import remote_fork_nfs
+    from repro.pages.files import FileSystem
+
+    network = build_network()
+    rows = []
+    for eager in (1.0, 0.5, 0.25):
+        process = network.node("home").manager.create_initial(
+            space_size=70 * 1024
+        )
+        result = remote_fork_nfs(
+            network, "home", "away", process,
+            FileSystem("nfs", page_size=2048), eager_fraction=eager,
+        )
+        rows.append(
+            {
+                "protocol": f"NFS, eager={eager:g}",
+                "transfer (s)": round(result.transfer_time, 3),
+                "total (s)": round(result.total_time, 3),
+            }
+        )
+    direct = remote_fork(
+        network, "home", "away",
+        network.node("home").manager.create_initial(space_size=70 * 1024),
+    )
+    rows.insert(
+        0,
+        {
+            "protocol": "direct ship",
+            "transfer (s)": round(direct.transfer_time, 3),
+            "total (s)": round(direct.total_time, 3),
+        },
+    )
+    return rows
+
+
+def distributed_race_decomposition():
+    """The section 4.1 distributed-case overheads, measured end to end."""
+    from repro.core.alternative import Alternative
+    from repro.net.distributed import DistributedAltExecutor
+
+    network = build_network()
+    for worker in ("w1", "w2"):
+        network.add_node(worker)
+        network.connect("home", worker)
+    executor = DistributedAltExecutor(
+        network, home="home", workers=["w1", "w2"]
+    )
+    parent = executor.new_parent(space_size=70 * 1024)
+
+    def writer(ctx):
+        ctx.put("answer", list(range(500)))
+        return "done"
+
+    result = executor.run(
+        [
+            Alternative("strategy-a", body=writer, cost=3.0),
+            Alternative("strategy-b", body=writer, cost=1.0),
+        ],
+        parent=parent,
+    )
+    return [
+        {
+            "component": "setup (checkpoint+ship+restore)",
+            "seconds": round(result.overhead.setup, 3),
+        },
+        {
+            "component": "runtime (remote COW copies)",
+            "seconds": round(result.overhead.runtime, 4),
+        },
+        {
+            "component": "selection (sync msg + state return + kills)",
+            "seconds": round(result.overhead.selection, 3),
+        },
+        {"component": "TOTAL overhead", "seconds": round(result.overhead.total, 3)},
+        {"component": "winner's own execution", "seconds": 1.0},
+        {"component": "parent-observed elapsed", "seconds": round(result.elapsed, 3)},
+    ]
+
+
+def bench_m2_remote_fork(benchmark, emit):
+    rows = benchmark(sweep)
+    text = format_table(
+        rows,
+        title=(
+            "M2: remote fork via whole-process checkpoint (paper-era LAN)\n"
+            "paper: 70K rfork just under 1 s; ~1.3 s observed with delays"
+        ),
+    )
+    nfs_table = format_table(
+        nfs_ablation(),
+        title="ablation: direct ship vs NFS lazy paging (70K image)",
+    )
+    race_table = format_table(
+        distributed_race_decomposition(),
+        title="distributed alternative race: section 4.1 overhead decomposition",
+    )
+    emit("M2_rfork", text + "\n\n" + nfs_table + "\n\n" + race_table)
+
+    seventy = next(r for r in rows if r["image (KB)"] == 70)
+    # The headline datum: just under a second for 70K.
+    assert 0.5 < seventy["rfork total (s)"] < 1.3
+    # Checkpointing dominates, as the paper observed.
+    assert seventy["checkpoint (s)"] > seventy["transfer (s)"]
+    assert seventy["checkpoint (s)"] > seventy["restore (s)"]
+    # The distributed case is orders of magnitude above the local fork.
+    assert all(r["remote/local"] > 5 for r in rows)
+    # Cost grows with image size.
+    totals = [r["rfork total (s)"] for r in rows]
+    assert totals == sorted(totals)

@@ -1,0 +1,165 @@
+"""Experiment W2 -- the throughput trade-off (sections 4.1 and 3.2.1).
+
+'Given this bias, we may risk wasted work in speculative computation,
+which throughput-oriented performance measures would discourage.'  This
+bench quantifies the trade: for N racing alternatives drawn from a
+heavy-tailed distribution, it reports the execution-time gain (PI)
+against the wasted CPU (work consumed by losers), as N grows.
+
+The second table is the paper's suspicion about sibling elimination:
+asynchronous deletion 'will give better execution-time performance ...
+once again at the expense of resource utilization': with per-kill cost on
+the critical path, synchronous elimination delays the parent, while
+asynchronous elimination returns immediately but lets losers burn longer.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.report import format_table
+from repro.core.alternative import Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.process.primitives import EliminationMode
+from repro.sim.costs import CostModel
+from repro.sim.distributions import LogNormal
+
+NS = [2, 3, 5, 8, 12]
+RUNS = 25
+DIST = LogNormal(mu=1.0, sigma=1.0)
+
+
+def _arms(n, seed):
+    rng = random.Random(seed)
+    return [
+        Alternative(f"alt-{i}", body=lambda ctx, v=i: v, cost=DIST.sample(rng))
+        for i in range(n)
+    ]
+
+
+def sweep_n():
+    rows = []
+    for n in NS:
+        pi_total = 0.0
+        wasted_total = 0.0
+        useful_total = 0.0
+        for seed in range(RUNS):
+            executor = ConcurrentExecutor(
+                cost_model=CostModel(
+                    name="cheap",
+                    fork_latency=0.01,
+                    page_copy_rate=float("inf"),
+                    page_size=4096,
+                    kill_latency=0.001,
+                    sync_latency=0.001,
+                ),
+                seed=seed,
+            )
+            result = executor.run(_arms(n, seed * 101 + n))
+            pi_total += result.performance_improvement
+            wasted_total += result.wasted_work
+            useful_total += result.winner.duration
+        rows.append(
+            {
+                "N": n,
+                "mean PI": round(pi_total / RUNS, 2),
+                "useful CPU (s)": round(useful_total / RUNS, 2),
+                "wasted CPU (s)": round(wasted_total / RUNS, 2),
+                "waste ratio": round(wasted_total / max(useful_total, 1e-12), 2),
+            }
+        )
+    return rows
+
+
+def elimination_ablation():
+    model = CostModel(
+        name="kill-visible",
+        fork_latency=0.0,
+        page_copy_rate=float("inf"),
+        page_size=4096,
+        kill_latency=0.5,
+        sync_latency=0.01,
+    )
+    rows = []
+    for mode in (EliminationMode.SYNCHRONOUS, EliminationMode.ASYNCHRONOUS):
+        elapsed_total = 0.0
+        wasted_total = 0.0
+        for seed in range(RUNS):
+            executor = ConcurrentExecutor(cost_model=model, elimination=mode, seed=seed)
+            result = executor.run(_arms(6, seed * 13 + 7))
+            elapsed_total += result.elapsed
+            wasted_total += result.wasted_work
+        rows.append(
+            {
+                "elimination": mode.value,
+                "mean elapsed (s)": round(elapsed_total / RUNS, 3),
+                "mean wasted CPU (s)": round(wasted_total / RUNS, 3),
+            }
+        )
+    return rows
+
+
+def system_load_sweep():
+    """Section 4.1 item 3 analyzed: the multi-user throughput price."""
+    from repro.analysis.throughput import saturation_point
+
+    points = saturation_point(
+        tau_best=1.0,
+        tau_mean=2.0,
+        n_alternatives=3,
+        cpus=8,
+        users=[1, 4, 8, 16, 32],
+    )
+    return [
+        {
+            "users": p.users,
+            "seq response (s)": round(p.sequential_response, 2),
+            "spec response (s)": round(p.speculative_response, 2),
+            "response gain": round(p.response_gain, 2),
+            "throughput loss": f"{p.throughput_loss:.0%}",
+        }
+        for p in points
+    ]
+
+
+def bench_w2_wasted_work(benchmark, emit):
+    rows = benchmark(sweep_n)
+    n_table = format_table(
+        rows,
+        title=(
+            "W2a: execution-time gain vs throughput price as N grows\n"
+            f"(lognormal execution times, {RUNS} seeded runs per N)"
+        ),
+    )
+    elim_rows = elimination_ablation()
+    elim_table = format_table(
+        elim_rows,
+        title="W2b: sibling elimination, synchronous vs asynchronous (kill=0.5s)",
+    )
+    load_rows = system_load_sweep()
+    load_table = format_table(
+        load_rows,
+        title=(
+            "W2c: multi-user trade-off (8 CPUs, N=3, best=1s, mean=2s):\n"
+            "speculation keeps its response edge until the cluster saturates"
+        ),
+    )
+    emit(
+        "W2_wasted_work",
+        n_table + "\n\n" + elim_table + "\n\n" + load_table,
+    )
+    # Lightly loaded: clear response win.  Heavily loaded: throughput
+    # price appears.
+    assert load_rows[0]["response gain"] > 1.5
+    assert load_rows[-1]["throughput loss"] != "0%"
+
+    # Gains and waste both grow with N.
+    pis = [r["mean PI"] for r in rows]
+    wastes = [r["wasted CPU (s)"] for r in rows]
+    assert pis[-1] > pis[0]
+    assert wastes[-1] > wastes[0]
+    # The paper's suspicion holds: async is faster for the caller but
+    # wastes at least as much CPU.
+    sync_row, async_row = elim_rows
+    assert async_row["mean elapsed (s)"] < sync_row["mean elapsed (s)"]
+    assert async_row["mean wasted CPU (s)"] >= sync_row["mean wasted CPU (s)"] - 1e-9

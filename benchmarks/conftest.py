@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure from the paper's
+evaluation (see DESIGN.md section 4 for the experiment index).  Every
+bench prints its reproduction table to stdout (visible with ``-s``) and
+writes it to ``benchmarks/results/<experiment>.txt`` so the output
+survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Persist and print a bench's reproduction table."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _emit(experiment: str, text: str) -> str:
+        path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+        with open(path, "w") as handle:
+            handle.write(text.rstrip() + "\n")
+        print()
+        print(text)
+        return path
+
+    return _emit

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""A distributed alternative race: rfork the worker, then run the block.
+
+The paper's distributed story in one script:
+
+1. a process on one workstation is checkpointed 'in its entirety' and
+   remote-forked onto a second node over a simulated paper-era LAN
+   (section 4.4's rfork -- we show both the direct-ship protocol and the
+   network-file-system variant that 'reduces copying');
+2. on the remote node the process executes an alternative block whose
+   arms race under copy-on-write;
+3. synchronization goes through majority consensus so that no single
+   voting node's failure can lose the decision (section 3.2.1).
+"""
+
+from repro import Alternative, ConcurrentExecutor, FREE
+from repro.consensus.node import ConsensusNode
+from repro.consensus.protocol import ConsensusProtocolSim
+from repro.net.network import Network
+from repro.net.rfork import remote_fork, remote_fork_nfs
+from repro.pages.files import FileSystem
+from repro.sim.costs import CostModel
+
+PAPER_LAN = CostModel(
+    name="paper-era LAN",
+    fork_latency=0.031,
+    page_copy_rate=326.0,
+    page_size=2048,
+    checkpoint_rate=200_000.0,
+    network_bandwidth=500_000.0,
+    network_latency=0.010,
+    restore_rate=400_000.0,
+)
+
+
+def main():
+    print(__doc__)
+
+    # --- topology ---------------------------------------------------------
+    network = Network(cost_model=PAPER_LAN)
+    for name in ("workstation-a", "workstation-b"):
+        network.add_node(name)
+    network.connect("workstation-a", "workstation-b")
+
+    home = network.node("workstation-a")
+    worker = home.manager.create_initial(space_size=70 * 1024)
+    worker.space.put("work-queue", [f"item-{i}" for i in range(12)])
+    print(f"created worker pid {worker.pid} on workstation-a "
+          f"({worker.space.size // 1024}K image)")
+    print()
+
+    # --- remote fork, both protocols ---------------------------------------
+    direct = remote_fork(network, "workstation-a", "workstation-b", worker)
+    nfs = FileSystem("shared-nfs", page_size=2048)
+    lazy = remote_fork_nfs(
+        network, "workstation-a", "workstation-b", worker, nfs,
+        eager_fraction=0.25,
+    )
+    print("remote fork of the 70K worker onto workstation-b:")
+    print(f"  direct ship : checkpoint={direct.checkpoint_time:.3f}s "
+          f"transfer={direct.transfer_time:.3f}s restore={direct.restore_time:.3f}s "
+          f"total={direct.total_time:.3f}s")
+    print(f"  via NFS     : checkpoint={lazy.checkpoint_time:.3f}s "
+          f"transfer={lazy.transfer_time:.3f}s restore={lazy.restore_time:.3f}s "
+          f"total={lazy.total_time:.3f}s  (lazy paging defers the rest)")
+    print()
+
+    # --- the race on the remote node ---------------------------------------
+    away = network.node("workstation-b")
+    remote_worker = lazy.process
+    assert remote_worker.space.get("work-queue")[0] == "item-0"
+
+    def greedy(ctx):
+        queue = ctx.get("work-queue")
+        ctx.put("processed", len(queue))
+        return f"greedy processed {len(queue)}"
+
+    def sampling(ctx):
+        queue = ctx.get("work-queue")
+        ctx.put("processed", len(queue) // 3)
+        return f"sampling processed {len(queue) // 3}"
+
+    executor = ConcurrentExecutor(
+        cost_model=PAPER_LAN, manager=away.manager, space_size=70 * 1024
+    )
+    result = executor.run(
+        [
+            Alternative("greedy-strategy", body=greedy, cost=4.0),
+            Alternative("sampling-strategy", body=sampling, cost=1.5),
+        ],
+        parent=remote_worker,
+    )
+    print("alternative race on workstation-b:")
+    print(f"  winner : {result.winner.name} -> {result.value!r}")
+    print(f"  elapsed: {result.elapsed:.3f}s "
+          f"(overhead {result.overhead.total * 1000:.1f} ms)")
+    print(f"  state  : processed={remote_worker.space.get('processed')}")
+    print()
+
+    # --- consensus round, message level -------------------------------------
+    voters = [ConsensusNode(f"voter-{i}") for i in range(5)]
+    voters[3].crash()
+    protocol = ConsensusProtocolSim(voters, cost_model=PAPER_LAN, jitter=0.002, seed=1)
+    outcomes = protocol.run(
+        [("sampling-strategy", 0.0), ("greedy-strategy", 0.004)]
+    )
+    print("majority-consensus synchronization (5 voters, one crashed, "
+          "both children claim the sync):")
+    for name, outcome in outcomes.items():
+        verdict = "GRANTED" if outcome.granted else "too late"
+        print(f"  {name:<18} {verdict:<8} grants={outcome.grants} "
+              f"latency={outcome.latency * 1000:.1f} ms")
+    print(f"  durable winner: {protocol.winner()}")
+
+
+if __name__ == "__main__":
+    main()

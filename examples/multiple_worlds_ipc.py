@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Multiple worlds: speculative IPC with predicated messages.
+
+Section 3.4.2, 'an idea from science fiction': when a speculative
+alternative messages another process, the receiver cannot know whether the
+sender's timeline will survive.  Instead of blocking, the receiver *splits*
+-- one copy assumes the sender completes (and takes the message), one
+assumes it does not.  Writes by predicated worlds to shared (sink) state
+are buffered; non-idempotent (source) devices are out of bounds entirely.
+When the alternative block is decided, the wrong worlds evaporate and the
+right world's buffered effects commit.
+"""
+
+from repro.errors import SideEffectViolation
+from repro.ipc.devices import SinkDevice, SourceDevice
+from repro.ipc.router import MessageRouter
+from repro.predicates.world import WorldSet
+from repro.process.primitives import ProcessManager
+
+
+def show_worlds(router, pid, label):
+    print(f"  {label}:")
+    for world in router.worlds_of(pid).live_worlds():
+        inbox = [m.data for m in world.inbox]
+        print(f"    world {world.world_id}: predicate={world.predicate!r} "
+              f"inbox={inbox}")
+
+
+def main():
+    print(__doc__)
+    manager = ProcessManager()
+    router = MessageRouter()
+    router.attach_manager(manager)
+
+    ledger = SinkDevice("account-ledger")
+    printer = SourceDevice("check-printer")
+    ledger.write("balance", 1000)
+
+    # A billing process speculatively computes an invoice two ways.
+    parent = manager.create_initial()
+    fast_path, slow_path = manager.alt_spawn(parent, 2)
+    print(f"spawned alternatives: fast=pid{fast_path.pid}, slow=pid{slow_path.pid}")
+    print(f"  fast predicate: {fast_path.predicate!r}")
+    print(f"  slow predicate: {slow_path.predicate!r}")
+    print()
+
+    # An accounting process receives their (mutually exclusive) invoices.
+    ACCOUNTING = 100
+    router.register(ACCOUNTING, WorldSet(initial_state=None))
+    router.send(fast_path.pid, ACCOUNTING, {"invoice": 250},
+                predicate=fast_path.predicate)
+    router.send(slow_path.pid, ACCOUNTING, {"invoice": 300},
+                predicate=slow_path.predicate)
+    router.deliver_all()
+    show_worlds(router, ACCOUNTING, "accounting after both messages")
+    print()
+
+    # Each accepting world buffers its ledger update; none commits yet.
+    for world in router.worlds_of(ACCOUNTING).live_worlds():
+        for message in world.inbox:
+            new_balance = ledger.read("balance", world=world) - message.data["invoice"]
+            ledger.write("balance", new_balance, world=world)
+            print(f"  world {world.world_id} buffered balance={new_balance} "
+                  f"(own-writes visible: {ledger.read('balance', world=world)})")
+    print(f"  committed balance is still: {ledger.read('balance')}")
+    print()
+
+    # Predicated worlds cannot print checks (a source device).
+    speculative = next(
+        w for w in router.worlds_of(ACCOUNTING).live_worlds() if w.inbox
+    )
+    try:
+        printer.write("check for invoice", world=speculative)
+    except SideEffectViolation as exc:
+        print(f"  source device correctly refused: {exc}")
+    print()
+
+    # The fast path wins the block; the kernel notifies the router.
+    manager.alt_sync(fast_path)
+    manager.alt_wait(parent)
+    print("fast path synchronized; slow path eliminated")
+    show_worlds(router, ACCOUNTING, "accounting after resolution")
+    print(f"  committed balance: {ledger.read('balance')} "
+          "(only the winner's invoice applied)")
+    surviving = router.worlds_of(ACCOUNTING).sole_world()
+    printer.write("check #1 for $250", world=surviving)
+    print(f"  printer output: {printer.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""OR-parallelism in Prolog (paper section 5.2).
+
+'Parallel implementation of logic programming languages provides such an
+environment, because the computation is data-driven, and thus the
+execution time and control flow can vary greatly with the input.'
+
+A travel-planning knowledge base answers route queries.  The clauses for
+``route/3`` embody different strategies; depth-first Prolog commits to the
+first clause and backtracks through an expensive search before reaching
+the answer the second clause finds quickly.  OR-parallel execution races
+the clauses in copied worlds: the first solution wins and nothing is
+merged.
+"""
+
+from repro.prolog import Database, Engine, OrParallelEngine
+from repro.sim.costs import MODERN_COMMODITY
+
+PROGRAM = """
+% direct flights
+flight(nyc, boston).     flight(boston, montreal).
+flight(nyc, chicago).    flight(chicago, denver).
+flight(denver, sfo).     flight(chicago, sfo).
+flight(nyc, atlanta).    flight(atlanta, miami).
+
+% route/3: strategy alternatives for connecting From to To
+route(From, To, Path) :- exhaustive(From, To, [], RevPath),
+                         reverse(RevPath, Path).
+route(From, To, [From, To]) :- flight(From, To).
+route(From, To, [From, Via, To]) :- flight(From, Via), flight(Via, To).
+
+% exhaustive graph search: correct but slow for near destinations
+exhaustive(To, To, Acc, [To|Acc]).
+exhaustive(From, To, Acc, Path) :-
+    flight(From, Next),
+    \\+ member(Next, Acc),
+    exhaustive(Next, To, [From|Acc], Path).
+"""
+
+
+def main():
+    print(__doc__)
+    database = Database()
+    database.consult(PROGRAM)
+    engine = Engine(database)  # loads the list library for member/reverse
+
+    query = "route(nyc, sfo, Path)"
+    print(f"query: ?- {query}.")
+    print()
+
+    # --- sequential depth-first ------------------------------------------
+    sequential = Engine(database)
+    first = sequential.solve_first(query)
+    print("sequential depth-first Prolog:")
+    print(f"  first answer : Path = {first.as_strings()['Path']}")
+    print(f"  inferences   : {sequential.inferences}")
+    print()
+
+    # --- OR-parallel ------------------------------------------------------
+    orp = OrParallelEngine(
+        database, cost_model=MODERN_COMMODITY, inference_time=1e-4
+    )
+    result = orp.solve_first(query)
+    print("OR-parallel (each route/3 clause races in its own world):")
+    print(f"  winning clause : {result.alt_result.winner.name}")
+    print(f"  answer         : Path = {result.solution.as_strings()['Path']}")
+    print(f"  parallel time  : {result.parallel_time * 1000:8.2f} ms (simulated)")
+    print(f"  sequential time: {result.sequential_time * 1000:8.2f} ms (simulated)")
+    print(f"  speedup        : {result.speedup:5.2f}x")
+    print()
+    print("per-clause outcomes:")
+    for outcome in result.alt_result.outcomes:
+        duration = f"{outcome.duration * 1000:8.2f} ms" if outcome.duration else "   --   "
+        print(f"  {outcome.name:<42} {outcome.status:<11} {duration}")
+    print()
+
+    # --- the all-solutions engine is unaffected ---------------------------
+    count = Engine(database).count_solutions("route(nyc, sfo, Path)")
+    print(f"(the full answer set still has {count} routes; "
+          "OR-parallel racing only accelerates time-to-first-solution)")
+
+
+if __name__ == "__main__":
+    main()

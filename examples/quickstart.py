@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Quickstart: racing mutually exclusive alternatives.
+
+The construct from section 2 of Smith & Maguire (ICDCS 1989)::
+
+    ALTBEGIN
+        ENSURE guard1 WITH method1 OR
+        ENSURE guard2 WITH method2 OR
+        FAIL
+    END
+
+At most one method's state changes take effect.  Sequentially, one
+alternative is selected non-deterministically.  Concurrently, all of them
+race as copy-on-write children and the fastest successful one wins.
+"""
+
+from repro import (
+    Alternative,
+    ConcurrentExecutor,
+    FREE,
+    HP_9000_350,
+    SequentialExecutor,
+)
+
+
+def build_alternatives():
+    """Three ways to 'compute' an answer, with different costs."""
+
+    def careful(ctx):
+        ctx.put("answer", "careful result")
+        return "careful result"
+
+    def heuristic(ctx):
+        ctx.put("answer", "heuristic result")
+        return "heuristic result"
+
+    def lucky(ctx):
+        # This method's guard rejects it: it never synchronizes.
+        ctx.fail("lucky guess did not pan out")
+
+    return [
+        Alternative("careful", body=careful, cost=30.0),
+        Alternative("heuristic", body=heuristic, cost=10.0),
+        Alternative("lucky", body=lucky, cost=1.0),
+    ]
+
+
+def main():
+    print(__doc__)
+
+    # --- sequential: pick one at random (Scheme B of section 4.2) -------
+    sequential = SequentialExecutor(seed=7)
+    result = sequential.run(build_alternatives())
+    print("sequential selection:")
+    print(f"  winner  : {result.winner.name}")
+    print(f"  value   : {result.value!r}")
+    print(f"  elapsed : {result.elapsed:.1f} simulated seconds")
+    print()
+
+    # --- concurrent: fastest-first on an idealized machine --------------
+    concurrent = ConcurrentExecutor(cost_model=FREE)
+    result = concurrent.run(build_alternatives())
+    print("concurrent fastest-first (zero overhead):")
+    print(f"  winner  : {result.winner.name}")
+    print(f"  elapsed : {result.elapsed:.1f} simulated seconds")
+    print(f"  PI      : {result.performance_improvement:.2f}x "
+          "(mean sequential time / concurrent time)")
+    print()
+
+    # --- and on the paper's HP 9000/350 cost model ----------------------
+    concurrent = ConcurrentExecutor(cost_model=HP_9000_350)
+    result = concurrent.run(build_alternatives())
+    overhead = result.overhead
+    print(f"concurrent on the {HP_9000_350.name} cost model:")
+    print(f"  elapsed   : {result.elapsed:.4f} s")
+    print(f"  overhead  : setup={overhead.setup:.4f} "
+          f"runtime={overhead.runtime:.6f} selection={overhead.selection:.4f}")
+    print(f"  wasted CPU: {result.wasted_work:.1f} s "
+          "(the throughput price of speculation)")
+    print()
+    print("timeline (the Figure 2 events):")
+    for when, label in result.timeline:
+        print(f"  t={when:>9.4f}  {label}")
+    print()
+    from repro.analysis.report import format_gantt
+
+    print(format_gantt(result.outcomes, title="per-alternative lifetimes:"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Legacy setup shim.
+
+``pip install -e .`` needs the ``wheel`` package to build editable
+wheels; on machines without it (e.g. offline), use either::
+
+    python setup.py develop --user      # legacy editable install
+    # or simply put src/ on the path:
+    export PYTHONPATH="$PWD/src:$PYTHONPATH"
+
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

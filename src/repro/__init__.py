@@ -1,0 +1,70 @@
+"""repro: Transparent Concurrent Execution of Mutually Exclusive Alternatives.
+
+A reproduction of Smith & Maguire (ICDCS 1989).  The top level re-exports
+the public API; see DESIGN.md for the system inventory and EXPERIMENTS.md
+for the reproduced evaluation.
+
+Quickstart::
+
+    from repro import Alternative, ConcurrentExecutor
+
+    alts = [
+        Alternative("index-scan", body=lambda ctx: "via index", cost=2.0),
+        Alternative("table-scan", body=lambda ctx: "via scan", cost=9.0),
+    ]
+    result = ConcurrentExecutor().run(alts)
+    assert result.winner.name == "index-scan"
+"""
+
+from repro.core import (
+    AltContext,
+    AltOutcome,
+    AltResult,
+    Alternative,
+    ConcurrentExecutor,
+    GuardPlacement,
+    OrderedPolicy,
+    OsHost,
+    OverheadBreakdown,
+    PriorityPolicy,
+    RandomPolicy,
+    SequentialExecutor,
+)
+from repro.errors import (
+    AltBlockFailure,
+    AltTimeout,
+    GuardFailure,
+    ReproError,
+    TooLate,
+)
+from repro.process.primitives import EliminationMode
+from repro.sim.costs import ATT_3B2_310, FREE, HP_9000_350, MODERN_COMMODITY, CostModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ATT_3B2_310",
+    "AltBlockFailure",
+    "AltContext",
+    "AltOutcome",
+    "AltResult",
+    "AltTimeout",
+    "Alternative",
+    "ConcurrentExecutor",
+    "CostModel",
+    "EliminationMode",
+    "FREE",
+    "GuardFailure",
+    "GuardPlacement",
+    "HP_9000_350",
+    "MODERN_COMMODITY",
+    "OrderedPolicy",
+    "OsHost",
+    "OverheadBreakdown",
+    "PriorityPolicy",
+    "RandomPolicy",
+    "ReproError",
+    "SequentialExecutor",
+    "TooLate",
+    "__version__",
+]

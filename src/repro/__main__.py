@@ -1,0 +1,54 @@
+"""``python -m repro``: a guided tour of the reproduction.
+
+Prints the paper's section 4.2 table recomputed by the library, runs one
+illustrative race on the HP 9000/350 cost model, and points at the
+examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Alternative, ConcurrentExecutor, HP_9000_350, __version__
+from repro.analysis.model import PAPER_TABLE, speedup_table
+from repro.analysis.report import format_table, format_timeline
+
+
+def main(argv=None) -> int:
+    print(
+        f"repro {__version__} -- Smith & Maguire, 'Transparent Concurrent "
+        "Execution of Mutually Exclusive Alternatives' (ICDCS 1989)"
+    )
+    print()
+    print(format_table(
+        speedup_table(PAPER_TABLE),
+        title="section 4.2 performance-improvement table, recomputed:",
+    ))
+    print()
+
+    arms = [
+        Alternative("careful", body=lambda ctx: "careful", cost=3.0),
+        Alternative("heuristic", body=lambda ctx: "heuristic", cost=1.0),
+        Alternative(
+            "lucky",
+            body=lambda ctx: ctx.fail("guess rejected"),
+            cost=0.2,
+        ),
+    ]
+    result = ConcurrentExecutor(cost_model=HP_9000_350).run(arms)
+    print("one fastest-first race on the HP 9000/350 cost model:")
+    print(format_timeline(result.timeline))
+    print()
+    print(f"winner: {result.winner.name!r}  "
+          f"PI: {result.performance_improvement:.2f}x  "
+          f"wasted CPU: {result.wasted_work:.2f}s")
+    print()
+    print("next steps:")
+    print("  python examples/quickstart.py")
+    print("  pytest tests/")
+    print("  pytest benchmarks/ --benchmark-only   # regenerate the paper")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""The analytic performance model of paper section 4.
+
+Implements the performance-improvement formula, the win condition, the
+paper's worked table, and prediction helpers used by the benchmark
+harness; :mod:`repro.analysis.report` renders the tables.
+"""
+
+from repro.analysis.model import (
+    PAPER_OVERHEAD,
+    PAPER_TABLE,
+    PaperScenario,
+    expected_pi,
+    parallel_wins,
+    performance_improvement,
+    tau_best,
+    tau_mean,
+)
+from repro.analysis.report import format_table
+from repro.analysis.throughput import (
+    ThroughputPoint,
+    saturation_point,
+    simulate_contention,
+)
+
+__all__ = [
+    "ThroughputPoint",
+    "saturation_point",
+    "simulate_contention",
+    "PAPER_OVERHEAD",
+    "PAPER_TABLE",
+    "PaperScenario",
+    "expected_pi",
+    "format_table",
+    "parallel_wins",
+    "performance_improvement",
+    "tau_best",
+    "tau_mean",
+]

@@ -1,0 +1,117 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every bench prints the rows/series the corresponding paper artifact
+reports; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned ASCII table.
+
+    >>> print(format_table([{"a": 1, "b": 2.5}], title="demo"))
+    demo
+    a | b
+    --+----
+    1 | 2.5
+    """
+    if not rows:
+        return title if title else "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    widths = {
+        column: max(len(column), *(len(_cell(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    rule = "-+-".join("-" * widths[column] for column in columns)
+    body = [
+        " | ".join(_cell(row.get(column, "")).ljust(widths[column]) for column in columns)
+        for row in rows
+    ]
+    lines = ([title] if title else []) + [header, rule] + body
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def format_timeline(timeline: Sequence, title: str = "") -> str:
+    """Render an executor timeline as the Figure 2 style event list."""
+    lines = [title] if title else []
+    for time, label in timeline:
+        lines.append(f"  t={time:>10.6f}  {label}")
+    return "\n".join(lines)
+
+
+def format_gantt(outcomes, width: int = 50, title: str = "") -> str:
+    """Render per-alternative execution bars from an AltResult's outcomes.
+
+    Each row spans ``started_at .. finished_at``; the status letter marks
+    how the alternative ended (W won, F failed, E eliminated, - never
+    spawned).
+    """
+    rows = [
+        o for o in outcomes
+        if o.started_at is not None and o.finished_at is not None
+    ]
+    lines = [title] if title else []
+    if not rows:
+        lines.append("(no alternatives ran)")
+        return "\n".join(lines)
+    horizon = max(o.finished_at for o in rows) or 1.0
+    name_width = max(len(o.name) for o in rows)
+    markers = {"won": "W", "failed": "F", "eliminated": "E"}
+    for outcome in sorted(rows, key=lambda o: o.index):
+        start = int(round(width * outcome.started_at / horizon))
+        end = max(start + 1, int(round(width * outcome.finished_at / horizon)))
+        bar = " " * start + "#" * (end - start)
+        marker = markers.get(outcome.status, "?")
+        lines.append(
+            f"{outcome.name:<{name_width}} |{bar:<{width}}| {marker} "
+            f"[{outcome.started_at:.3g}..{outcome.finished_at:.3g}]"
+        )
+    skipped = [o for o in outcomes if o.started_at is None]
+    for outcome in skipped:
+        lines.append(f"{outcome.name:<{name_width}} |{'':<{width}}| - (not spawned)")
+    return "\n".join(lines)
+
+
+def format_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Render an (x, y) series with a crude horizontal bar chart.
+
+    Used by the figure-shaped benches so the 'shape' claims are visible
+    directly in terminal output.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    lines = [title] if title else []
+    lines.append(f"{x_label:>12} | {y_label}")
+    if not ys:
+        return "\n".join(lines)
+    top = max(ys) or 1.0
+    for x, y in zip(xs, ys):
+        bar = "#" * max(0, int(round(width * y / top)))
+        lines.append(f"{_cell(x):>12} | {_cell(y):<10} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""System-throughput impact of speculation (paper section 4.1, item 3).
+
+'As our bias has been towards execution time as a performance goal, we
+were willing to trade away throughput.  Users may want to know what the
+tradeoffs are here, so the effect on system throughput should be
+analyzed.'  This module performs that analysis.
+
+Model: a closed system of ``users`` each repeatedly submitting an
+alternative block to a cluster of ``cpus`` processors under egalitarian
+processor sharing.  Sequential users run one alternative (mean demand
+``tau_mean``); speculative users run all ``n`` alternatives but only need
+the fastest (demand ``tau_best``), burning the siblings' work until
+elimination.  The *load multiplier* of speculation is::
+
+    m = (useful + wasted) / useful
+
+Closed-form saturation analysis gives per-user response time and system
+throughput; :func:`simulate_contention` confirms the shape by replaying
+actual blocks through the processor-sharing scheduler.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.alternative import Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.process.scheduler import ProcessorSharing
+from repro.sim.costs import FREE
+from repro.sim.distributions import Distribution
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """The trade-off at one load level."""
+
+    users: int
+    cpus: int
+    sequential_response: float
+    speculative_response: float
+    sequential_throughput: float
+    speculative_throughput: float
+
+    @property
+    def response_gain(self) -> float:
+        """How much faster a speculative user finishes (>1 is better)."""
+        if self.speculative_response <= 0:
+            return float("inf")
+        return self.sequential_response / self.speculative_response
+
+    @property
+    def throughput_loss(self) -> float:
+        """Fraction of system throughput sacrificed (0..1)."""
+        if self.sequential_throughput <= 0:
+            return 0.0
+        return 1.0 - self.speculative_throughput / self.sequential_throughput
+
+
+def saturation_point(
+    tau_best: float,
+    tau_mean: float,
+    n_alternatives: int,
+    cpus: int,
+    users: Sequence[int],
+    wasted_per_block: Optional[float] = None,
+) -> List[ThroughputPoint]:
+    """Closed-form throughput/response trade-off across load levels.
+
+    Sequential blocks demand ``tau_mean`` CPU-seconds and complete in
+    ``tau_mean`` when unloaded.  Speculative blocks complete in
+    ``tau_best`` unloaded but demand ``tau_best + wasted`` CPU-seconds
+    (``wasted`` defaults to the other ``n-1`` alternatives each burning
+    ``tau_best`` before elimination).  Under processor sharing with U
+    identical users, the slowdown factor is ``max(1, demand_rate)`` where
+    ``demand_rate = U * per_block_cpu / (cpus * per_block_wall)`` -- i.e.
+    response inflates once the cluster saturates.
+    """
+    if wasted_per_block is None:
+        wasted_per_block = (n_alternatives - 1) * tau_best
+    points = []
+    for user_count in users:
+        if user_count < 1:
+            raise ValueError("need at least one user")
+        seq_demand = tau_mean
+        spec_demand = tau_best + wasted_per_block
+        seq_slowdown = max(1.0, user_count * seq_demand / (cpus * tau_mean))
+        spec_slowdown = max(
+            1.0, user_count * spec_demand / (cpus * tau_best)
+        )
+        seq_response = tau_mean * seq_slowdown
+        spec_response = tau_best * spec_slowdown
+        points.append(
+            ThroughputPoint(
+                users=user_count,
+                cpus=cpus,
+                sequential_response=seq_response,
+                speculative_response=spec_response,
+                sequential_throughput=user_count / seq_response,
+                speculative_throughput=user_count / spec_response,
+            )
+        )
+    return points
+
+
+def simulate_contention(
+    duration_dist: Distribution,
+    n_alternatives: int,
+    cpus: int,
+    users: int,
+    blocks_per_user: int = 3,
+    seed: int = 0,
+) -> ThroughputPoint:
+    """Replay actual racing blocks through the shared-CPU scheduler.
+
+    Each user's block is ``n_alternatives`` jobs drawn from
+    ``duration_dist``; all users' jobs contend on ``cpus`` processors.
+    The sequential comparison runs one (mean-cost) job per block on the
+    same cluster.  Returns the measured trade-off point.
+    """
+    rng = random.Random(seed)
+    # --- speculative: all alternatives of all users share the cluster.
+    spec_sched = ProcessorSharing(cpus=cpus)
+    block_jobs = {}
+    for user in range(users):
+        for block in range(blocks_per_user):
+            key = (user, block)
+            jobs = []
+            for alt in range(n_alternatives):
+                job_id = (user, block, alt)
+                spec_sched.add(job_id, 0.0, duration_dist.sample(rng))
+                jobs.append(job_id)
+            block_jobs[key] = jobs
+    completions = {}
+    while True:
+        step = spec_sched.step_to_next_completion()
+        if step is None:
+            break
+        time, job_id = step
+        key = job_id[:2]
+        if key not in completions:
+            completions[key] = time
+            for other in block_jobs[key]:
+                if other != job_id:
+                    spec_sched.cancel(other)
+    spec_response = sum(completions.values()) / len(completions)
+    spec_makespan = max(completions.values())
+    spec_throughput = len(completions) / spec_makespan
+
+    # --- sequential: one job per block at the distribution mean.
+    seq_sched = ProcessorSharing(cpus=cpus)
+    rng = random.Random(seed)
+    for user in range(users):
+        for block in range(blocks_per_user):
+            seq_sched.add((user, block), 0.0, duration_dist.sample(rng))
+    seq_done = seq_sched.run_to_completion()
+    seq_response = sum(seq_done.values()) / len(seq_done)
+    seq_throughput = len(seq_done) / max(seq_done.values())
+
+    return ThroughputPoint(
+        users=users,
+        cpus=cpus,
+        sequential_response=seq_response,
+        speculative_response=spec_response,
+        sequential_throughput=seq_throughput,
+        speculative_throughput=spec_throughput,
+    )

@@ -1,0 +1,21 @@
+"""Fault-tolerant synchronization (paper sections 3.2.1 and 5.1.2).
+
+The synchronization action must happen *at most once* even under
+communication problems and system failures.  The single-node case is a
+plain 0-1 semaphore; 'in applications where this might create a single
+point of failure, the synchronization is set up as a majority consensus
+[Thomas 1979] decision across several nodes'.
+"""
+
+from repro.consensus.majority import MajorityConsensusSemaphore
+from repro.consensus.node import ConsensusNode
+from repro.consensus.protocol import ConsensusProtocolSim, RequestOutcome
+from repro.consensus.semaphore import SyncSemaphore
+
+__all__ = [
+    "ConsensusNode",
+    "ConsensusProtocolSim",
+    "MajorityConsensusSemaphore",
+    "RequestOutcome",
+    "SyncSemaphore",
+]

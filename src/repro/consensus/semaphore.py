@@ -1,0 +1,45 @@
+"""The single-node at-most-once synchronization point.
+
+'The synchronization action is designed so that it can be accomplished at
+most once; that is, if the remote system attempts synchronization for the
+alternative it is executing, it is informed that it is "too late" ... and
+it should terminate itself.'
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+
+class SyncSemaphore:
+    """A 0-1 semaphore that can be acquired exactly once, ever."""
+
+    def __init__(self, name: str = "sync") -> None:
+        self.name = name
+        self._holder: Optional[Hashable] = None
+        self.attempts = 0
+
+    def try_acquire(self, requester: Hashable) -> bool:
+        """Attempt the synchronization; True for the unique winner.
+
+        Re-attempts by the winner itself also return False: the
+        synchronization happens at most once, full stop.
+        """
+        self.attempts += 1
+        if self._holder is None:
+            self._holder = requester
+            return True
+        return False
+
+    @property
+    def holder(self) -> Optional[Hashable]:
+        """Who synchronized, or ``None`` if nobody has yet."""
+        return self._holder
+
+    @property
+    def decided(self) -> bool:
+        """True once some requester has won."""
+        return self._holder is not None
+
+    def __repr__(self) -> str:
+        return f"SyncSemaphore({self.name!r}, holder={self._holder!r})"

@@ -1,0 +1,46 @@
+"""The alternative-block construct and its executors.
+
+This package is the paper's primary contribution:
+
+- :class:`~repro.core.alternative.Alternative` and
+  :class:`~repro.core.alternative.AltContext` express the
+  ``ENSURE guard WITH method`` arms of the alternative block (section 2);
+- :class:`~repro.core.sequential.SequentialExecutor` gives the sequential
+  non-deterministic-selection semantics;
+- :class:`~repro.core.concurrent.ConcurrentExecutor` is the
+  semantics-preserving transformation of section 3: race every alternative
+  speculatively under copy-on-write state management, select fastest-first,
+  eliminate the siblings;
+- :class:`~repro.core.oshost.OsHost` runs the same race with real
+  ``os.fork`` processes on the host kernel's copy-on-write memory.
+"""
+
+from repro.core.alternative import AltContext, Alternative, GuardPlacement
+from repro.core.concurrent import ConcurrentExecutor
+from repro.core.oshost import OsHost, OsRaceOutcome, OsRaceResult
+from repro.core.result import AltOutcome, AltResult, OverheadBreakdown
+from repro.core.selection import (
+    OrderedPolicy,
+    PriorityPolicy,
+    RandomPolicy,
+    SelectionPolicy,
+)
+from repro.core.sequential import SequentialExecutor
+
+__all__ = [
+    "AltContext",
+    "AltOutcome",
+    "AltResult",
+    "Alternative",
+    "ConcurrentExecutor",
+    "GuardPlacement",
+    "OrderedPolicy",
+    "OsHost",
+    "OsRaceOutcome",
+    "OsRaceResult",
+    "OverheadBreakdown",
+    "PriorityPolicy",
+    "RandomPolicy",
+    "SelectionPolicy",
+    "SequentialExecutor",
+]

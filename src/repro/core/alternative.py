@@ -1,0 +1,153 @@
+"""Alternatives, guards, and the execution context.
+
+An :class:`Alternative` is one ``ENSURE guard WITH method`` arm of the
+alternative block of section 2.  Its ``body`` runs against an
+:class:`AltContext` that exposes the alternative's private copy-on-write
+world; everything the body writes there is invisible to siblings and is
+committed to the caller only if this alternative is selected.
+
+Guards can be evaluated 'before spawning the alternative, in the child
+process, at the synchronization point, or at any combination of these
+places, for redundancy' (section 3.2); :class:`GuardPlacement` selects the
+placement and the executors honour it.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Union
+
+from repro.errors import GuardFailure
+from repro.pages.address_space import AddressSpace
+from repro.sim.distributions import Distribution
+
+
+class GuardPlacement(enum.Enum):
+    """Where the guard condition is evaluated."""
+
+    BEFORE_SPAWN = "before_spawn"
+    """In the parent, before forking: closed alternatives are never
+    spawned, saving setup overhead."""
+
+    IN_CHILD = "in_child"
+    """In the child, 'thus speeding up spawning and synchronization' --
+    the paper's default expectation."""
+
+    AT_SYNC = "at_sync"
+    """By the parent at the synchronization point: adds guard evaluation
+    to the selection overhead but double-checks the child's claim."""
+
+
+class AltContext:
+    """What an alternative's body sees: its world, a seeded RNG, a meter.
+
+    ``space`` is this alternative's private COW address space (shared
+    variables live there via :meth:`get`/:meth:`put`); ``charge`` accrues
+    simulated execution time for bodies whose cost is data-dependent.
+    """
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        rng: Optional[random.Random] = None,
+        alt_index: int = 0,
+        name: str = "",
+        process: Any = None,
+    ) -> None:
+        self.space = space
+        self.rng = rng if rng is not None else random.Random(0)
+        self.alt_index = alt_index
+        self.name = name
+        self.process = process
+        """The simulated process running this alternative (when executed
+        by an executor that has one).  Passing it as ``parent`` to another
+        executor sharing the same manager nests alternative blocks, with
+        predicates inherited down the tree (section 3.3)."""
+        self._charged = 0.0
+
+    def charge(self, seconds: float) -> None:
+        """Accrue ``seconds`` of simulated execution time."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self._charged += seconds
+
+    @property
+    def charged(self) -> float:
+        """Simulated time accrued so far by ``charge`` calls."""
+        return self._charged
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Read a shared variable from this world."""
+        return self.space.get(name, default)
+
+    def put(self, name: str, value: Any) -> None:
+        """Write a shared variable in this world (COW-isolated)."""
+        self.space.put(name, value)
+
+    def fail(self, reason: str = "guard condition not satisfied") -> None:
+        """Abort this alternative (it will not synchronize)."""
+        raise GuardFailure(reason)
+
+
+Body = Callable[[AltContext], Any]
+Guard = Callable[[AltContext, Any], bool]
+PreGuard = Callable[[AltContext], bool]
+
+
+@dataclass
+class Alternative:
+    """One arm of an alternative block."""
+
+    name: str
+    body: Body
+    guard: Optional[Guard] = None
+    """Post-condition on the body's result (the recovery-block acceptance
+    test shape).  ``None`` means the body's normal return is success."""
+
+    pre_guard: Optional[PreGuard] = None
+    """Enabling condition, evaluated per :class:`GuardPlacement`."""
+
+    cost: Optional[Union[float, Distribution]] = None
+    """Simulated execution time of the body: a constant, a distribution to
+    sample, or ``None`` to use whatever the body ``charge()``d."""
+
+    guard_cost: float = 0.0
+    """Simulated time to evaluate the guard itself."""
+
+    metadata: dict = field(default_factory=dict)
+
+    def sample_cost(self, rng: random.Random, context: AltContext) -> float:
+        """The simulated duration of one execution of this alternative."""
+        if self.cost is None:
+            return context.charged
+        if isinstance(self.cost, Distribution):
+            return self.cost.sample(rng)
+        return float(self.cost)
+
+    def __repr__(self) -> str:
+        return f"Alternative({self.name!r})"
+
+
+def alternative(
+    name: str,
+    cost: Optional[Union[float, Distribution]] = None,
+    guard: Optional[Guard] = None,
+    pre_guard: Optional[PreGuard] = None,
+) -> Callable[[Body], Alternative]:
+    """Decorator sugar for building alternatives from plain functions.
+
+    >>> @alternative("fast-path", cost=1.0)
+    ... def fast(ctx):
+    ...     return "done"
+    >>> fast.name
+    'fast-path'
+    """
+
+    def wrap(body: Body) -> Alternative:
+        return Alternative(
+            name=name, body=body, guard=guard, pre_guard=pre_guard, cost=cost
+        )
+
+    return wrap

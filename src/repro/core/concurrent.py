@@ -1,0 +1,350 @@
+"""Concurrent speculative execution of an alternative block (section 3).
+
+The semantics-preserving transformation: spawn every alternative as a COW
+child of the caller (``alt_spawn``), race them under real or virtual
+concurrency, select the first successfully synchronizing child
+(fastest-first), absorb its state into the parent by the atomic page
+pointer swap, and eliminate the losing siblings synchronously or
+asynchronously.
+
+Timing is simulated deterministically:
+
+- *setup*: the parent issues forks serially, so alternative ``i`` starts
+  at ``(i + 1) * fork_latency``;
+- *runtime*: each child's CPU demand is its standalone execution time plus
+  the COW copies for the pages it writes; demands contend on ``cpus``
+  processors under egalitarian processor sharing (virtual concurrency);
+- *selection*: the rendezvous costs ``sync_latency``; termination
+  instructions for the ``k-1`` siblings are issued at ``kill_latency``
+  apiece, before the parent resumes (synchronous elimination) or after it
+  (asynchronous).  Losers keep consuming CPU until their kill lands, which
+  is the throughput price the paper accepts.
+
+State semantics are *not* simulated -- they are executed for real on the
+paged store via :class:`~repro.process.ProcessManager`, so losers' writes
+provably never reach the parent.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.alternative import AltContext, Alternative, GuardPlacement
+from repro.core.result import AltOutcome, AltResult, OverheadBreakdown
+from repro.core.sequential import _run_body
+from repro.errors import AltBlockFailure, AltTimeout
+from repro.pages.store import PageStore
+from repro.process.primitives import EliminationMode, ProcessManager
+from repro.process.process import SimProcess
+from repro.process.scheduler import ProcessorSharing
+from repro.sim.costs import CostModel, MODERN_COMMODITY
+
+
+@dataclass
+class _ChildRun:
+    """Internal record of one spawned alternative's semantic execution."""
+
+    index: int
+    alternative: Alternative
+    child: SimProcess
+    succeeded: bool
+    value: object
+    detail: str
+    duration: float
+    pages_written: int
+    arrival: float
+    demand: float
+
+
+class ConcurrentExecutor:
+    """Race all alternatives; fastest successful one wins."""
+
+    def __init__(
+        self,
+        cost_model: CostModel = MODERN_COMMODITY,
+        cpus: Optional[int] = None,
+        elimination: EliminationMode = EliminationMode.SYNCHRONOUS,
+        guard_placement: GuardPlacement = GuardPlacement.IN_CHILD,
+        timeout: Optional[float] = None,
+        seed: int = 0,
+        manager: Optional[ProcessManager] = None,
+        space_size: int = 64 * 1024,
+    ) -> None:
+        self.cost_model = cost_model
+        self.cpus = cpus
+        self.elimination = elimination
+        self.guard_placement = guard_placement
+        self.timeout = timeout
+        self.seed = seed
+        self.manager = (
+            manager
+            if manager is not None
+            else ProcessManager(PageStore(page_size=cost_model.page_size))
+        )
+        self.space_size = space_size
+
+    def new_parent(self) -> SimProcess:
+        """A fresh root process whose space callers may preload."""
+        return self.manager.create_initial(space_size=self.space_size)
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        alternatives: Sequence[Alternative],
+        parent: Optional[SimProcess] = None,
+    ) -> AltResult:
+        """Execute the block concurrently.
+
+        Raises :class:`AltBlockFailure` when every alternative fails and
+        :class:`AltTimeout` when no alternative succeeds inside
+        ``timeout`` simulated seconds.
+        """
+        if not alternatives:
+            raise ValueError("an alternative block needs at least one arm")
+        rng = random.Random(self.seed)
+        parent = parent if parent is not None else self.new_parent()
+        timeline: List[Tuple[float, str]] = [(0.0, "block entered")]
+        outcomes = [
+            AltOutcome(index=i, name=a.name, status="untried")
+            for i, a in enumerate(alternatives)
+        ]
+
+        spawnable = self._filter_before_spawn(
+            alternatives, parent, outcomes, timeline
+        )
+        if not spawnable:
+            error = AltBlockFailure("every alternative was closed before spawn")
+            error.outcomes = outcomes
+            error.elapsed = 0.0
+            raise error
+
+        runs = self._spawn_and_execute(
+            alternatives, spawnable, parent, outcomes, timeline, rng
+        )
+        return self._race(alternatives, runs, parent, outcomes, timeline)
+
+    # ------------------------------------------------------------------
+    # phase 1: pre-spawn guard filtering
+
+    def _filter_before_spawn(self, alternatives, parent, outcomes, timeline):
+        spawnable = list(range(len(alternatives)))
+        if self.guard_placement is not GuardPlacement.BEFORE_SPAWN:
+            return spawnable
+        open_arms = []
+        for index in spawnable:
+            arm = alternatives[index]
+            if arm.pre_guard is None:
+                open_arms.append(index)
+                continue
+            probe = AltContext(parent.space, alt_index=index + 1, name=arm.name)
+            if arm.pre_guard(probe):
+                open_arms.append(index)
+            else:
+                outcomes[index].status = "not_spawned"
+                outcomes[index].detail = "pre-guard closed before spawn"
+                timeline.append((0.0, f"{arm.name} closed (guard before spawn)"))
+        return open_arms
+
+    # ------------------------------------------------------------------
+    # phase 2: spawn children and execute bodies for real
+
+    def _spawn_and_execute(
+        self, alternatives, spawnable, parent, outcomes, timeline, rng
+    ) -> List[_ChildRun]:
+        children = self.manager.alt_spawn(parent, len(spawnable))
+        runs: List[_ChildRun] = []
+        fork = self.cost_model.fork_latency
+        skip_pre_guard = self.guard_placement is GuardPlacement.BEFORE_SPAWN
+        for spawn_slot, (index, child) in enumerate(zip(spawnable, children)):
+            arm = alternatives[index]
+            arrival = (spawn_slot + 1) * fork
+            context = AltContext(
+                child.space,
+                rng=random.Random(self.seed * 1000003 + index),
+                alt_index=index + 1,
+                name=arm.name,
+                process=child,
+            )
+            if skip_pre_guard and arm.pre_guard is not None:
+                # Guard already passed in the parent; do not re-run it.
+                trimmed = Alternative(
+                    name=arm.name,
+                    body=arm.body,
+                    guard=arm.guard,
+                    cost=arm.cost,
+                    guard_cost=arm.guard_cost,
+                )
+                succeeded, value, detail = _run_body(trimmed, context)
+            else:
+                succeeded, value, detail = _run_body(arm, context)
+            duration = arm.sample_cost(rng, context)
+            if self.guard_placement is GuardPlacement.IN_CHILD:
+                # The child evaluates its own guard as part of its run.
+                duration += arm.guard_cost
+            pages = child.space.pages_written
+            demand = duration + self.cost_model.page_copy_time(pages)
+            outcome = outcomes[index]
+            outcome.pid = child.pid
+            outcome.duration = duration
+            outcome.pages_written = pages
+            outcome.started_at = arrival
+            timeline.append((arrival, f"spawn {arm.name} (pid {child.pid})"))
+            runs.append(
+                _ChildRun(
+                    index=index,
+                    alternative=arm,
+                    child=child,
+                    succeeded=succeeded,
+                    value=value,
+                    detail=detail,
+                    duration=duration,
+                    pages_written=pages,
+                    arrival=arrival,
+                    demand=demand,
+                )
+            )
+        return runs
+
+    # ------------------------------------------------------------------
+    # phase 3: the timing race + at-most-once selection
+
+    def _race(self, alternatives, runs, parent, outcomes, timeline) -> AltResult:
+        model = self.cost_model
+        cpus = self.cpus if self.cpus is not None else max(1, len(runs))
+        sched = ProcessorSharing(cpus=cpus)
+        by_index = {run.index: run for run in runs}
+        for run in runs:
+            sched.add(run.index, arrival=run.arrival, demand=run.demand)
+
+        winner_run: Optional[_ChildRun] = None
+        win_time: Optional[float] = None
+        while True:
+            step = sched.step_to_next_completion()
+            if step is None:
+                break
+            time, index = step
+            run = by_index[index]
+            if self.timeout is not None and time > self.timeout:
+                return self._timeout(parent, sched, runs, outcomes, timeline)
+            if run.succeeded:
+                winner_run = run
+                win_time = time
+                timeline.append((time, f"{run.alternative.name} synchronizes"))
+                break
+            self.manager.fail(run.child)
+            outcomes[index].status = "failed"
+            outcomes[index].detail = run.detail
+            outcomes[index].finished_at = time
+            timeline.append(
+                (time, f"{run.alternative.name} aborts: {run.detail}")
+            )
+
+        if winner_run is None:
+            for run in runs:
+                outcomes[run.index].cpu_consumed = sched.job(run.index).consumed
+            error = AltBlockFailure(
+                f"all {len(runs)} spawned alternatives failed"
+            )
+            error.outcomes = outcomes
+            error.elapsed = sched.now
+            # The kernel-level wait also observes the failure.
+            try:
+                self.manager.alt_wait(parent)
+            except AltBlockFailure:
+                pass
+            timeline.append((sched.now, "block FAILED"))
+            error.timeline = timeline
+            raise error
+
+        # At-most-once synchronization through the kernel.
+        assert win_time is not None
+        won = self.manager.alt_sync(winner_run.child, guard_ok=True)
+        assert won, "first successful completion must win the rendezvous"
+
+        losers = [run for run in runs if run is not winner_run
+                  and not sched.job(run.index).finished]
+        sync_done = win_time + model.sync_latency
+        if self.guard_placement is GuardPlacement.AT_SYNC:
+            # The parent re-evaluates the winner's guard at the rendezvous.
+            sync_done += winner_run.alternative.guard_cost
+        # Termination instructions are issued serially after the sync.
+        kill_times = {
+            run.index: sync_done + (slot + 1) * model.kill_latency
+            for slot, run in enumerate(losers)
+        }
+        # Losers burn CPU until their kill lands.
+        for run in losers:
+            sched.advance_to(kill_times[run.index])
+            sched.cancel(run.index)
+            outcomes[run.index].status = "eliminated"
+            outcomes[run.index].finished_at = kill_times[run.index]
+            timeline.append(
+                (kill_times[run.index], f"kill {run.alternative.name}")
+            )
+        last_kill = max(kill_times.values(), default=sync_done)
+
+        if self.elimination is EliminationMode.SYNCHRONOUS:
+            resume_at = max(sync_done, last_kill)
+            selection = resume_at - win_time
+        else:
+            resume_at = sync_done
+            selection = sync_done - win_time
+        self.manager.alt_wait(parent, elimination=self.elimination)
+        if self.elimination is EliminationMode.ASYNCHRONOUS:
+            self.manager.drain_eliminations(winner_run.child.group_id)
+
+        winner_outcome = outcomes[winner_run.index]
+        winner_outcome.status = "won"
+        winner_outcome.value = winner_run.value
+        winner_outcome.finished_at = win_time
+        for run in runs:
+            outcomes[run.index].cpu_consumed = sched.job(run.index).consumed
+        timeline.append((resume_at, "parent resumes"))
+
+        sharing_delay = win_time - winner_run.arrival - winner_run.demand
+        overhead = OverheadBreakdown(
+            setup=len(runs) * model.fork_latency,
+            runtime=(
+                model.page_copy_time(winner_run.pages_written)
+                + max(0.0, sharing_delay)
+            ),
+            selection=selection,
+        )
+        return AltResult(
+            value=winner_run.value,
+            winner=winner_outcome,
+            outcomes=outcomes,
+            elapsed=resume_at,
+            overhead=overhead,
+            wasted_work=sched.wasted_work(winner_run.index),
+            timeline=timeline,
+        )
+
+    def _timeout(self, parent, sched, runs, outcomes, timeline):
+        # The scheduler may already sit past the deadline (the stepping
+        # that *revealed* the timeout over-ran it); never move backwards.
+        if sched.now < self.timeout:
+            sched.advance_to(self.timeout)
+        for run in runs:
+            job = sched.job(run.index)
+            if not job.finished:
+                sched.cancel(run.index)
+            outcomes[run.index].cpu_consumed = sched.job(run.index).consumed
+            if outcomes[run.index].status == "untried":
+                outcomes[run.index].status = "eliminated"
+                outcomes[run.index].detail = "timeout"
+        timeline.append((self.timeout, "alt_wait TIMEOUT"))
+        try:
+            self.manager.alt_wait(parent, timed_out=True)
+        except (AltTimeout, AltBlockFailure):
+            pass
+        error = AltTimeout(
+            f"no alternative succeeded within {self.timeout} seconds"
+        )
+        error.outcomes = outcomes
+        error.elapsed = self.timeout
+        error.timeline = timeline
+        raise error

@@ -1,0 +1,341 @@
+"""Real-process racing on the host kernel's copy-on-write fork.
+
+The simulated executor reproduces the paper's *analysis*; this module
+demonstrates the *mechanism* on a real UNIX descendant.  ``os.fork`` on
+Linux is precisely the copy-on-write fork the paper measures in section
+4.4: the child shares every page with the parent until one of them writes.
+
+Differences from the paper's kernel design, by necessity of running as an
+unprivileged user process:
+
+- The parent cannot adopt the winner's page tables, so the winner ships
+  its result value (and any explicitly exported state) back over a pipe
+  instead of through the page-pointer swap.  The at-most-once selection is
+  enforced by the parent reading a single byte-stream: the first complete
+  success record wins.
+- Sibling elimination is ``SIGKILL``, issued after the winner is chosen --
+  the asynchronous flavour of section 3.2.1.
+
+Use :func:`OsHost.race` for the general fastest-first primitive and
+:meth:`OsHost.run` for racing :class:`~repro.core.Alternative` arms.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import pickle
+import select
+import signal
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.alternative import AltContext, Alternative
+from repro.errors import AltBlockFailure, AltTimeout, GuardFailure
+from repro.pages.address_space import AddressSpace
+from repro.pages.store import PageStore
+
+_HEADER = struct.Struct("!I")
+
+
+@dataclass
+class OsRaceOutcome:
+    """The fate of one racer process."""
+
+    index: int
+    name: str
+    status: str
+    """'won', 'failed', 'killed', or 'crashed'."""
+
+    value: Any = None
+    detail: str = ""
+    pid: Optional[int] = None
+
+
+@dataclass
+class OsRaceResult:
+    """Result of one real-process race."""
+
+    value: Any
+    winner: OsRaceOutcome
+    outcomes: List[OsRaceOutcome]
+    elapsed: float
+    """Real wall-clock seconds from first fork to winner selection."""
+
+    exports: Dict[str, Any] = field(default_factory=dict)
+    """State the winning child chose to ship back to the parent."""
+
+
+class _ChildApi:
+    """What a racing callable receives: an export dict and a fail hook."""
+
+    def __init__(self, index: int, name: str) -> None:
+        self.index = index
+        self.name = name
+        self.exports: Dict[str, Any] = {}
+
+    def export(self, key: str, value: Any) -> None:
+        """Make ``key: value`` part of the state the parent absorbs if
+        this racer wins (the value-shipping stand-in for the page swap)."""
+        self.exports[key] = value
+
+    def fail(self, reason: str = "guard condition not satisfied") -> None:
+        """Abort this racer without synchronizing."""
+        raise GuardFailure(reason)
+
+
+def _write_record(fd: int, payload: dict) -> None:
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    os.write(fd, _HEADER.pack(len(blob)) + blob)
+
+
+class _RecordReader:
+    """Incremental length-prefixed record parser over a pipe."""
+
+    def __init__(self) -> None:
+        self._buffer = b""
+
+    def feed(self, data: bytes) -> List[dict]:
+        self._buffer += data
+        records = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return records
+            (length,) = _HEADER.unpack(self._buffer[:_HEADER.size])
+            if len(self._buffer) < _HEADER.size + length:
+                return records
+            blob = self._buffer[_HEADER.size:_HEADER.size + length]
+            self._buffer = self._buffer[_HEADER.size + length:]
+            records.append(pickle.loads(blob))
+
+
+@dataclass(frozen=True)
+class ForkMeasurement:
+    """One real COW-fork measurement on the host (section 4.4 style)."""
+
+    space_bytes: int
+    fraction_written: float
+    trials: int
+    mean_seconds: float
+    min_seconds: float
+    max_seconds: float
+
+
+def measure_fork_cost(
+    space_bytes: int = 320 * 1024,
+    fraction_written: float = 0.0,
+    trials: int = 5,
+    page_size: int = 4096,
+) -> ForkMeasurement:
+    """Measure a real ``fork()`` + child page-touch round trip.
+
+    Reproduces the paper's section 4.4 methodology on the host kernel:
+    allocate an address-space extent of ``space_bytes``, fork, have the
+    child dirty ``fraction_written`` of the pages (each write is a real
+    copy-on-write fault), and time until the child signals completion.
+    """
+    if not hasattr(os, "fork"):
+        raise RuntimeError("measure_fork_cost requires os.fork")
+    if not 0.0 <= fraction_written <= 1.0:
+        raise ValueError("fraction_written must be in [0, 1]")
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    buffer = bytearray(space_bytes)
+    limit = int(space_bytes * fraction_written)
+    samples = []
+    for _ in range(trials):
+        read_fd, write_fd = os.pipe()
+        start = time.monotonic()
+        pid = os.fork()
+        if pid == 0:
+            for offset in range(0, limit, page_size):
+                buffer[offset] = 1  # COW fault
+            os.write(write_fd, b"x")
+            os._exit(0)
+        os.read(read_fd, 1)
+        samples.append(time.monotonic() - start)
+        os.waitpid(pid, 0)
+        os.close(read_fd)
+        os.close(write_fd)
+    return ForkMeasurement(
+        space_bytes=space_bytes,
+        fraction_written=fraction_written,
+        trials=trials,
+        mean_seconds=sum(samples) / len(samples),
+        min_seconds=min(samples),
+        max_seconds=max(samples),
+    )
+
+
+class OsHost:
+    """Fastest-first racing of Python callables in forked processes."""
+
+    def __init__(self, timeout: Optional[float] = None) -> None:
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def race(
+        self,
+        callables: Sequence[Callable[[_ChildApi], Any]],
+        names: Optional[Sequence[str]] = None,
+    ) -> OsRaceResult:
+        """Fork one child per callable; first success wins.
+
+        Each callable receives a :class:`_ChildApi`.  Raising any
+        exception in a child counts as that alternative failing its guard.
+        Raises :class:`AltBlockFailure` if every child fails and
+        :class:`AltTimeout` if the deadline passes with no winner.
+        """
+        if not callables:
+            raise ValueError("need at least one callable to race")
+        names = list(names) if names is not None else [
+            f"alt-{i}" for i in range(len(callables))
+        ]
+        if len(names) != len(callables):
+            raise ValueError("names and callables must pair up")
+
+        read_fd, write_fd = os.pipe()
+        pids: Dict[int, int] = {}
+        outcomes = [
+            OsRaceOutcome(index=i, name=names[i], status="racing")
+            for i in range(len(callables))
+        ]
+        start = time.monotonic()
+        for index, fn in enumerate(callables):
+            pid = os.fork()
+            if pid == 0:
+                os.close(read_fd)
+                self._child_main(index, names[index], fn, write_fd)
+                os._exit(0)  # pragma: no cover - child always exits above
+            pids[index] = pid
+            outcomes[index].pid = pid
+        os.close(write_fd)
+
+        try:
+            return self._collect(read_fd, pids, outcomes, start)
+        finally:
+            os.close(read_fd)
+            self._kill_survivors(pids, outcomes)
+            self._reap(pids)
+
+    @staticmethod
+    def _child_main(index, name, fn, write_fd) -> None:
+        api = _ChildApi(index, name)
+        try:
+            value = fn(api)
+            record = {
+                "index": index,
+                "ok": True,
+                "value": value,
+                "exports": api.exports,
+            }
+        except BaseException as exc:
+            record = {"index": index, "ok": False, "detail": repr(exc)}
+        try:
+            _write_record(write_fd, record)
+        except BaseException:
+            os._exit(1)
+        os._exit(0)
+
+    def _collect(self, read_fd, pids, outcomes, start) -> OsRaceResult:
+        reader = _RecordReader()
+        failures = 0
+        deadline = None if self.timeout is None else start + self.timeout
+        while failures < len(pids):
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            ready, _, _ = select.select([read_fd], [], [], remaining)
+            if not ready:
+                raise self._timeout_error(outcomes, start)
+            try:
+                data = os.read(read_fd, 65536)
+            except OSError as exc:  # pragma: no cover - platform dependent
+                if exc.errno == errno.EINTR:
+                    continue
+                raise
+            if not data:
+                break  # all writers exited
+            for record in reader.feed(data):
+                index = record["index"]
+                if record["ok"]:
+                    outcomes[index].status = "won"
+                    outcomes[index].value = record["value"]
+                    elapsed = time.monotonic() - start
+                    return OsRaceResult(
+                        value=record["value"],
+                        winner=outcomes[index],
+                        outcomes=outcomes,
+                        elapsed=elapsed,
+                        exports=record.get("exports", {}),
+                    )
+                outcomes[index].status = "failed"
+                outcomes[index].detail = record.get("detail", "")
+                failures += 1
+        error = AltBlockFailure(
+            f"all {len(pids)} racing alternatives failed"
+        )
+        error.outcomes = outcomes
+        raise error
+
+    def _timeout_error(self, outcomes, start) -> AltTimeout:
+        error = AltTimeout(
+            f"no racer succeeded within {self.timeout} seconds"
+        )
+        error.outcomes = outcomes
+        error.elapsed = time.monotonic() - start
+        return error
+
+    @staticmethod
+    def _kill_survivors(pids: Dict[int, int], outcomes) -> None:
+        for index, pid in pids.items():
+            if outcomes[index].status == "racing":
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                    outcomes[index].status = "killed"
+                except ProcessLookupError:
+                    outcomes[index].status = "crashed"
+
+    @staticmethod
+    def _reap(pids: Dict[int, int]) -> None:
+        for pid in pids.values():
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:  # pragma: no cover - already reaped
+                pass
+
+    # ------------------------------------------------------------------
+    # Alternative-based front end
+
+    def run(self, alternatives: Sequence[Alternative]) -> OsRaceResult:
+        """Race :class:`Alternative` arms as real processes.
+
+        Each arm's body runs against a private in-child
+        :class:`AltContext` (a small page-backed space forked with the OS
+        process, so it is genuinely copy-on-write in host memory); the
+        winner's context variables come back as ``exports``.
+        """
+        if not alternatives:
+            raise ValueError("an alternative block needs at least one arm")
+        store = PageStore()
+        base_space = AddressSpace(store, 64 * 1024)
+
+        def make_runner(arm: Alternative, index: int):
+            def runner(api: _ChildApi) -> Any:
+                context = AltContext(base_space, alt_index=index + 1, name=arm.name)
+                if arm.pre_guard is not None and not arm.pre_guard(context):
+                    api.fail("pre-guard not satisfied")
+                value = arm.body(context)
+                if arm.guard is not None and not arm.guard(context, value):
+                    api.fail("acceptance test failed")
+                for name in context.space.names():
+                    api.export(name, context.space.get(name))
+                return value
+
+            return runner
+
+        runners = [make_runner(arm, i) for i, arm in enumerate(alternatives)]
+        return self.race(runners, names=[a.name for a in alternatives])

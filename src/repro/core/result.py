@@ -1,0 +1,127 @@
+"""Outcome records for alternative-block executions.
+
+:class:`AltResult` reports what section 4 of the paper analyzes: the
+selected value and winner, the parent-observed elapsed time, the overhead
+decomposition (setup / runtime / selection), the wasted work, and the
+standalone execution times needed to compute the performance improvement
+
+    PI = tau(C_mean) / (tau(C_best) + tau(overhead)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """The three overhead components of section 4.2."""
+
+    setup: float = 0.0
+    """Creating execution environments: process table entries, page maps."""
+
+    runtime: float = 0.0
+    """COW page copies plus CPU cycles lost to sharing with siblings."""
+
+    selection: float = 0.0
+    """Synchronization, sibling elimination, committing the updates."""
+
+    @property
+    def total(self) -> float:
+        """tau(overhead) = setup + runtime + selection."""
+        return self.setup + self.runtime + self.selection
+
+    def __add__(self, other: "OverheadBreakdown") -> "OverheadBreakdown":
+        return OverheadBreakdown(
+            setup=self.setup + other.setup,
+            runtime=self.runtime + other.runtime,
+            selection=self.selection + other.selection,
+        )
+
+
+@dataclass
+class AltOutcome:
+    """The fate of one alternative in one block execution."""
+
+    index: int
+    name: str
+    status: str
+    """One of 'won', 'failed', 'eliminated', 'not_spawned', 'untried'."""
+
+    value: Any = None
+    duration: Optional[float] = None
+    """Standalone simulated execution time (tau(C_i, x)), when known."""
+
+    pages_written: int = 0
+    pid: Optional[int] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    cpu_consumed: float = 0.0
+    detail: str = ""
+
+    @property
+    def succeeded(self) -> bool:
+        """True when this alternative won the block."""
+        return self.status == "won"
+
+
+@dataclass
+class AltResult:
+    """The result of executing one alternative block."""
+
+    value: Any
+    winner: AltOutcome
+    outcomes: List[AltOutcome]
+    elapsed: float
+    """Wall-clock (simulated) time from block entry to parent resume."""
+
+    overhead: OverheadBreakdown = field(default_factory=OverheadBreakdown)
+    wasted_work: float = 0.0
+    """CPU-seconds consumed by non-selected alternatives (throughput
+    price, section 4.1 item 3)."""
+
+    timeline: List[Tuple[float, str]] = field(default_factory=list)
+    """Labelled events for rendering the Figure 2 execution diagram."""
+
+    @property
+    def durations(self) -> List[float]:
+        """Standalone execution times of all alternatives that ran."""
+        return [o.duration for o in self.outcomes if o.duration is not None]
+
+    @property
+    def tau_best(self) -> float:
+        """tau(C_best, x): the fastest standalone execution time."""
+        durations = self.durations
+        if not durations:
+            raise ValueError("no alternative ran to completion")
+        return min(durations)
+
+    @property
+    def tau_mean(self) -> float:
+        """tau(C_mean, x): the arithmetic mean -- the expected cost of the
+        non-deterministic sequential baseline (Scheme B)."""
+        durations = self.durations
+        if not durations:
+            raise ValueError("no alternative ran to completion")
+        return sum(durations) / len(durations)
+
+    @property
+    def performance_improvement(self) -> float:
+        """Measured PI: sequential-mean time over actual elapsed time."""
+        if self.elapsed <= 0:
+            return float("inf")
+        return self.tau_mean / self.elapsed
+
+    def outcome(self, name: str) -> AltOutcome:
+        """Look up an outcome by alternative name."""
+        for candidate in self.outcomes:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no alternative named {name!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"AltResult(winner={self.winner.name!r}, value={self.value!r}, "
+            f"elapsed={self.elapsed:.6g}, overhead={self.overhead.total:.6g})"
+        )

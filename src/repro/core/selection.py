@@ -1,0 +1,55 @@
+"""Selection policies for the sequential executor.
+
+Section 2: selection among open alternatives is 'non-deterministic and
+unfair'.  A policy decides the order in which the sequential executor
+tries alternatives (or which single one the Scheme B baseline commits to).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence
+
+from repro.core.alternative import Alternative
+
+
+class SelectionPolicy:
+    """Abstract order-of-trial policy."""
+
+    def order(self, alternatives: Sequence[Alternative], rng: random.Random) -> List[int]:
+        """Indices of ``alternatives`` in trial order."""
+        raise NotImplementedError
+
+    def single(self, alternatives: Sequence[Alternative], rng: random.Random) -> int:
+        """The one index Scheme B commits to (default: first in order)."""
+        return self.order(alternatives, rng)[0]
+
+
+class OrderedPolicy(SelectionPolicy):
+    """Try alternatives in the order given (recovery-block style: 'the
+    alternatives are typically ordered on the basis of observed or
+    estimated characteristics such as reliability and execution speed')."""
+
+    def order(self, alternatives: Sequence[Alternative], rng: random.Random) -> List[int]:
+        return list(range(len(alternatives)))
+
+
+class RandomPolicy(SelectionPolicy):
+    """Uniformly random trial order -- the paper's analysis baseline
+    ('we'll assume randomness'; 'arbitrary selection can be done by a call
+    to a random number generator, which costs nothing')."""
+
+    def order(self, alternatives: Sequence[Alternative], rng: random.Random) -> List[int]:
+        indices = list(range(len(alternatives)))
+        rng.shuffle(indices)
+        return indices
+
+
+class PriorityPolicy(SelectionPolicy):
+    """Order by a caller-supplied key (lower key tried first)."""
+
+    def __init__(self, key: Callable[[Alternative], float]) -> None:
+        self.key = key
+
+    def order(self, alternatives: Sequence[Alternative], rng: random.Random) -> List[int]:
+        return sorted(range(len(alternatives)), key=lambda i: self.key(alternatives[i]))

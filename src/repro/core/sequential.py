@@ -1,0 +1,151 @@
+"""Sequential execution of an alternative block (paper section 2).
+
+The observable semantics: exactly one successful alternative's state
+changes take effect (or the block fails), and a post facto examiner cannot
+tell more than that some alternative was selected non-deterministically.
+
+Two modes are provided:
+
+- ``try_all=True`` (default): alternatives are tried in policy order with
+  rollback between failures -- the recovery-block shape.  Rollback is free
+  because every trial runs in a COW fork of the caller's world.
+- ``try_all=False``: the Scheme B baseline of section 4.2 -- commit to one
+  randomly selected alternative; if it fails, the block fails ('failures
+  or infinite loops will frustrate this method').
+
+Elapsed simulated time is the sum of the durations of the alternatives
+actually tried; selection itself 'costs nothing for purposes of our
+analysis'.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.alternative import AltContext, Alternative
+from repro.core.result import AltOutcome, AltResult, OverheadBreakdown
+from repro.core.selection import RandomPolicy, SelectionPolicy
+from repro.errors import AltBlockFailure, GuardFailure
+from repro.pages.store import PageStore
+from repro.process.primitives import ProcessManager
+from repro.process.process import SimProcess
+
+
+class SequentialExecutor:
+    """Run an alternative block one alternative at a time."""
+
+    def __init__(
+        self,
+        policy: Optional[SelectionPolicy] = None,
+        try_all: bool = True,
+        seed: int = 0,
+        manager: Optional[ProcessManager] = None,
+        space_size: int = 64 * 1024,
+    ) -> None:
+        self.policy = policy if policy is not None else RandomPolicy()
+        self.try_all = try_all
+        self.seed = seed
+        self.manager = manager if manager is not None else ProcessManager(PageStore())
+        self.space_size = space_size
+
+    def new_parent(self) -> SimProcess:
+        """A fresh root process whose space callers may preload."""
+        return self.manager.create_initial(space_size=self.space_size)
+
+    def run(
+        self,
+        alternatives: Sequence[Alternative],
+        parent: Optional[SimProcess] = None,
+    ) -> AltResult:
+        """Execute the block; raise :class:`AltBlockFailure` on failure."""
+        if not alternatives:
+            raise ValueError("an alternative block needs at least one arm")
+        rng = random.Random(self.seed)
+        parent = parent if parent is not None else self.new_parent()
+        order = (
+            self.policy.order(alternatives, rng)
+            if self.try_all
+            else [self.policy.single(alternatives, rng)]
+        )
+        outcomes: List[AltOutcome] = [
+            AltOutcome(index=i, name=a.name, status="untried")
+            for i, a in enumerate(alternatives)
+        ]
+        timeline = [(0.0, "block entered")]
+        elapsed = 0.0
+        for index in order:
+            alternative = alternatives[index]
+            outcome = outcomes[index]
+            (child,) = self.manager.alt_spawn(parent, 1)
+            context = AltContext(
+                child.space,
+                rng=random.Random(self.seed * 1000003 + index),
+                alt_index=index + 1,
+                name=alternative.name,
+                process=child,
+            )
+            outcome.pid = child.pid
+            outcome.started_at = elapsed
+            timeline.append((elapsed, f"try {alternative.name}"))
+            succeeded, value, detail = _run_body(alternative, context)
+            duration = alternative.sample_cost(rng, context)
+            outcome.duration = duration
+            outcome.pages_written = child.space.pages_written
+            outcome.cpu_consumed = duration
+            elapsed += duration
+            outcome.finished_at = elapsed
+            if succeeded:
+                self.manager.alt_sync(child, guard_ok=True)
+                self.manager.alt_wait(parent)
+                outcome.status = "won"
+                outcome.value = value
+                timeline.append((elapsed, f"{alternative.name} selected"))
+                return AltResult(
+                    value=value,
+                    winner=outcome,
+                    outcomes=outcomes,
+                    elapsed=elapsed,
+                    overhead=OverheadBreakdown(),
+                    wasted_work=sum(
+                        o.cpu_consumed for o in outcomes if o is not outcome
+                    ),
+                    timeline=timeline,
+                )
+            outcome.status = "failed"
+            outcome.detail = detail
+            timeline.append((elapsed, f"{alternative.name} failed: {detail}"))
+            self.manager.alt_sync(child, guard_ok=False)
+            try:
+                self.manager.alt_wait(parent)
+            except AltBlockFailure:
+                pass  # expected: the lone child failed; parent rolled back
+        timeline.append((elapsed, "block FAILED"))
+        error = AltBlockFailure(
+            f"all {len(order)} tried alternatives failed"
+            + ("" if self.try_all else " (single-shot mode)")
+        )
+        error.outcomes = outcomes
+        error.elapsed = elapsed
+        raise error
+
+
+def _run_body(alternative: Alternative, context: AltContext):
+    """Run body + guards; return (succeeded, value, detail)."""
+    if alternative.pre_guard is not None:
+        try:
+            if not alternative.pre_guard(context):
+                return False, None, "pre-guard not satisfied"
+        except GuardFailure as exc:
+            return False, None, str(exc)
+    try:
+        value = alternative.body(context)
+    except GuardFailure as exc:
+        return False, None, str(exc)
+    if alternative.guard is not None:
+        try:
+            if not alternative.guard(context, value):
+                return False, None, "acceptance test failed"
+        except GuardFailure as exc:
+            return False, None, str(exc)
+    return True, value, ""

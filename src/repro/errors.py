@@ -1,0 +1,84 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing programming errors (``TypeError`` etc.) from modelled
+failures (guard failures, consensus denials, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AltBlockFailure(ReproError):
+    """Raised when every alternative in an alternative block fails.
+
+    This corresponds to the ``FAIL`` arm of the ``ALTBEGIN`` construct in
+    section 2 of the paper: the conditional probability of failure is 1 only
+    when all alternatives have failed.
+    """
+
+
+class GuardFailure(ReproError):
+    """Raised inside an alternative whose guard condition does not hold."""
+
+
+class SynchronizationError(ReproError):
+    """Raised when the at-most-once synchronization protocol is violated
+    or when a child attempts to synchronize after a sibling has won
+    ("too late" in the paper's terminology)."""
+
+
+class TooLate(SynchronizationError):
+    """The synchronization point was already consumed by a sibling."""
+
+
+class AltTimeout(ReproError):
+    """``alt_wait(TIMEOUT)`` expired before any alternative synchronized."""
+
+
+class PageFault(ReproError):
+    """An access touched an address outside the mapped address space."""
+
+
+class ProcessStateError(ReproError):
+    """An operation was attempted on a process in an incompatible state
+    (e.g. synchronizing a process that was already eliminated)."""
+
+
+class PredicateConflict(ReproError):
+    """A world's predicate set became self-contradictory (some process is
+    required both to complete and to not complete)."""
+
+
+class SideEffectViolation(ReproError):
+    """A process with unresolved predicates attempted a non-idempotent
+    (source) operation, which section 3.4.2 of the paper forbids."""
+
+
+class ConsensusUnavailable(ReproError):
+    """A majority of consensus nodes could not be reached."""
+
+
+class NetworkError(ReproError):
+    """A simulated network operation failed (unknown node, partition)."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint or restart of a simulated process failed."""
+
+
+class PrologError(ReproError):
+    """Base class for Prolog front-end errors."""
+
+
+class PrologSyntaxError(PrologError):
+    """The Prolog reader encountered invalid syntax."""
+
+
+class PrologTypeError(PrologError):
+    """A Prolog builtin was applied to arguments of the wrong type
+    (e.g. arithmetic on an unbound variable)."""

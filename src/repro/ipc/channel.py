@@ -1,0 +1,77 @@
+"""Reliable FIFO channels.
+
+Section 3.1 assumes IPC 'behaves reliably (no lost or duplicated messages)
+and FIFO (no out of order messages)'.  :class:`Channel` provides exactly
+that contract between one ordered pair of processes, with counters the
+benchmarks use for accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.ipc.message import Message
+
+
+class Channel:
+    """An ordered, loss-free, duplication-free message queue."""
+
+    def __init__(self, sender: int, dest: int) -> None:
+        self.sender = sender
+        self.dest = dest
+        self._queue: Deque[Message] = deque()
+        self._next_seq = 0
+        self._last_delivered_seq: Optional[int] = None
+        self.sent = 0
+        self.delivered = 0
+
+    def send(self, message: Message) -> Message:
+        """Enqueue ``message``, stamping the channel sequence number."""
+        if message.sender != self.sender or message.dest != self.dest:
+            raise ValueError(
+                f"message {message.sender}->{message.dest} does not belong "
+                f"on channel {self.sender}->{self.dest}"
+            )
+        stamped = Message(
+            sender=message.sender,
+            dest=message.dest,
+            data=message.data,
+            predicate=message.predicate,
+            seq=self._next_seq,
+            control=dict(message.control),
+        )
+        self._next_seq += 1
+        self._queue.append(stamped)
+        self.sent += 1
+        return stamped
+
+    def receive(self) -> Optional[Message]:
+        """Dequeue the next message in FIFO order (``None`` when empty)."""
+        if not self._queue:
+            return None
+        message = self._queue.popleft()
+        if self._last_delivered_seq is not None:
+            if message.seq != self._last_delivered_seq + 1:
+                raise AssertionError(
+                    "FIFO invariant violated: "
+                    f"{message.seq} after {self._last_delivered_seq}"
+                )
+        self._last_delivered_seq = message.seq
+        self.delivered += 1
+        return message
+
+    def drain(self) -> List[Message]:
+        """Dequeue everything currently pending."""
+        messages = []
+        while (message := self.receive()) is not None:
+            messages.append(message)
+        return messages
+
+    @property
+    def pending(self) -> int:
+        """Messages sent but not yet delivered."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"Channel({self.sender}->{self.dest}, pending={self.pending})"

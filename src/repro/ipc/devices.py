@@ -1,0 +1,156 @@
+"""Source and sink devices (paper section 3.1).
+
+'System state is divided into two types, source and sink.  The division is
+made on the basis of idempotence; operations on sink devices can be retried
+without the effects being visible, while operations on sources cannot.'
+
+:class:`SinkDevice` models shared page-backed state such as a database
+file: predicated worlds write to a private overlay ('writes ... must be
+done to a temporary copy until the transaction commits') and read their own
+recent writes first ('so that the transaction is internally consistent').
+
+:class:`SourceDevice` models a teletype-like device whose operations are
+observable and unrepeatable; a world with unresolved predicates is barred
+from it (:class:`~repro.errors.SideEffectViolation`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+from repro.errors import SideEffectViolation
+from repro.predicates.world import World
+
+
+class SinkDevice:
+    """A named, idempotent, key-value sink with per-world overlays."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._committed: Dict[str, Any] = {}
+        self._overlays: Dict[int, Dict[str, Any]] = {}
+        self.commits = 0
+        self.discards = 0
+
+    # ------------------------------------------------------------------
+
+    def read(self, key: str, world: Optional[World] = None, default: Any = None) -> Any:
+        """Read ``key``, seeing the world's own uncommitted writes first."""
+        if world is not None:
+            overlay = self._overlays.get(world.world_id)
+            if overlay is not None and key in overlay:
+                return overlay[key]
+        return self._committed.get(key, default)
+
+    def write(self, key: str, value: Any, world: Optional[World] = None) -> None:
+        """Write ``key``.
+
+        An unconditional caller (``world is None`` or no outstanding
+        predicates *and* no buffered writes) commits directly.  A
+        predicated world's write lands in its private overlay and a
+        deferred commit effect is registered, released when the world's
+        predicates resolve in its favour.
+        """
+        if world is None:
+            self._committed[key] = value
+            return
+        overlay = self._overlays.get(world.world_id)
+        if world.unconditional and overlay is None:
+            self._committed[key] = value
+            return
+        if overlay is None:
+            overlay = {}
+            self._overlays[world.world_id] = overlay
+            world.defer_effect(_CommitOverlay(self, world.world_id))
+        overlay[key] = value
+
+    def keys(self, world: Optional[World] = None) -> List[str]:
+        """Visible keys: committed plus the world's overlay."""
+        visible = set(self._committed)
+        if world is not None:
+            visible |= set(self._overlays.get(world.world_id, ()))
+        return sorted(visible)
+
+    # ------------------------------------------------------------------
+    # world lifecycle
+
+    def commit_world(self, world_id: int) -> int:
+        """Fold a world's overlay into committed state; return write count."""
+        overlay = self._overlays.pop(world_id, None)
+        if overlay is None:
+            return 0
+        self._committed.update(overlay)
+        self.commits += 1
+        return len(overlay)
+
+    def discard_world(self, world_id: int) -> int:
+        """Throw away a world's overlay (the world was eliminated)."""
+        overlay = self._overlays.pop(world_id, None)
+        if overlay is None:
+            return 0
+        self.discards += 1
+        return len(overlay)
+
+    @property
+    def pending_worlds(self) -> int:
+        """Worlds that currently hold uncommitted overlays."""
+        return len(self._overlays)
+
+    def committed_snapshot(self) -> Dict[str, Any]:
+        """A copy of the committed key-value state."""
+        return dict(self._committed)
+
+    def __repr__(self) -> str:
+        return f"SinkDevice({self.name!r}, keys={len(self._committed)})"
+
+
+class _CommitOverlay:
+    """Deferred effect: apply a world's overlay when it becomes real."""
+
+    def __init__(self, device: SinkDevice, world_id: int) -> None:
+        self.device = device
+        self.world_id = world_id
+
+    def __call__(self) -> None:
+        self.device.commit_world(self.world_id)
+
+    def __repr__(self) -> str:
+        return f"commit({self.device.name}, world={self.world_id})"
+
+
+class SourceDevice:
+    """A non-idempotent device: reads consume, writes are observable."""
+
+    def __init__(self, name: str, input_data: Iterable[Any] = ()) -> None:
+        self.name = name
+        self._input: Deque[Any] = deque(input_data)
+        self.output: List[Any] = []
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, world: Optional[World]) -> None:
+        if world is not None:
+            world.require_source_access()
+
+    def read(self, world: Optional[World] = None) -> Any:
+        """Consume the next input item (unrepeatable)."""
+        self._check(world)
+        if not self._input:
+            raise SideEffectViolation(f"source {self.name!r} has no input")
+        self.reads += 1
+        return self._input.popleft()
+
+    def write(self, data: Any, world: Optional[World] = None) -> None:
+        """Emit ``data`` observably ('writing checks or bottling beer')."""
+        self._check(world)
+        self.writes += 1
+        self.output.append(data)
+
+    @property
+    def remaining_input(self) -> int:
+        """Items not yet consumed."""
+        return len(self._input)
+
+    def __repr__(self) -> str:
+        return f"SourceDevice({self.name!r}, remaining={self.remaining_input})"

@@ -1,0 +1,47 @@
+"""The three-part message structure of section 3.4.1.
+
+A message from ``P_m`` to ``P_j`` has:
+
+1. a sending predicate, encapsulating the sender's assumptions;
+2. the data comprising the message contents;
+3. control information -- sender id, destination id, sequence number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.predicates.predicate import Predicate
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable predicated message."""
+
+    sender: int
+    dest: int
+    data: Any
+    predicate: Predicate = field(default_factory=Predicate.empty)
+    seq: int = 0
+    control: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.sender == self.dest:
+            raise ValueError("a process does not message itself")
+
+    @property
+    def effective_predicate(self) -> Predicate:
+        """The predicate a receiver actually takes on by accepting.
+
+        Receipt is a side effect of the *sender*, so acceptance implies the
+        sender itself completes, in addition to everything the sender
+        assumed.
+        """
+        return self.predicate.assuming_completion(self.sender)
+
+    def __repr__(self) -> str:
+        return (
+            f"Message(#{self.seq} {self.sender}->{self.dest}, "
+            f"predicate={self.predicate!r}, data={self.data!r})"
+        )

@@ -1,0 +1,173 @@
+"""The message layer: linking IPC, worlds, and process management.
+
+Section 3.4.2: 'The message system, the virtual addressing mechanism, and
+the process management mechanism are linked.'  :class:`MessageRouter` is
+that link:
+
+- each registered logical process is a :class:`~repro.predicates.WorldSet`;
+- sends go through reliable FIFO :class:`~repro.ipc.Channel` objects;
+- delivery applies the accept/ignore/split rule per live world;
+- process status changes (from the
+  :class:`~repro.process.ProcessManager` or reported directly) resolve
+  predicates everywhere, eliminate contradicted worlds, and release the
+  deferred side effects of worlds that became unconditional.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.ipc.channel import Channel
+from repro.ipc.message import Message
+from repro.predicates.predicate import Predicate
+from repro.predicates.world import WorldSet
+
+
+class MessageRouter:
+    """Predicated message delivery between logical processes."""
+
+    def __init__(self) -> None:
+        self._endpoints: Dict[int, WorldSet] = {}
+        self._channels: Dict[Tuple[int, int], Channel] = {}
+        self._known_status: Dict[int, bool] = {}
+        self.dropped = 0
+        """Messages discarded because the sender was already known failed."""
+
+    # ------------------------------------------------------------------
+    # registration
+
+    def register(self, pid: int, worlds: WorldSet) -> None:
+        """Attach a logical process's world set to the router."""
+        if pid in self._endpoints:
+            raise ReproError(f"pid {pid} already registered")
+        self._endpoints[pid] = worlds
+
+    def worlds_of(self, pid: int) -> WorldSet:
+        """The world set registered for ``pid``."""
+        return self._endpoints[pid]
+
+    def attach_manager(self, manager: Any) -> None:
+        """Subscribe to a :class:`~repro.process.ProcessManager`'s final
+        status notifications."""
+        manager.on_status_change(self.report_status)
+
+    def _channel(self, sender: int, dest: int) -> Channel:
+        key = (sender, dest)
+        if key not in self._channels:
+            self._channels[key] = Channel(sender, dest)
+        return self._channels[key]
+
+    # ------------------------------------------------------------------
+    # sending / delivery
+
+    def send(
+        self,
+        sender: int,
+        dest: int,
+        data: Any,
+        predicate: Optional[Predicate] = None,
+    ) -> Message:
+        """Enqueue a predicated message from ``sender`` to ``dest``."""
+        if dest not in self._endpoints:
+            raise ReproError(f"no such destination pid: {dest}")
+        message = Message(
+            sender=sender,
+            dest=dest,
+            data=data,
+            predicate=predicate if predicate is not None else Predicate.empty(),
+        )
+        return self._channel(sender, dest).send(message)
+
+    def deliver_one(self, sender: int, dest: int) -> Optional[Message]:
+        """Deliver the next pending message on one channel.
+
+        Returns the message if one was processed (whether any world
+        accepted it or not), ``None`` when the channel is empty.
+        """
+        message = self._channel(sender, dest).receive()
+        if message is None:
+            return None
+        self._process_delivery(message)
+        return message
+
+    def deliver_all(self) -> int:
+        """Deliver every pending message on every channel, FIFO per pair.
+
+        Returns the number of messages processed.
+        """
+        count = 0
+        progressed = True
+        while progressed:
+            progressed = False
+            for channel in list(self._channels.values()):
+                message = channel.receive()
+                if message is not None:
+                    self._process_delivery(message)
+                    count += 1
+                    progressed = True
+        return count
+
+    def _process_delivery(self, message: Message) -> None:
+        # Fold already-known outcomes into the message predicate: 'we can
+        # update the value of these elements as processes change status'.
+        predicate = message.predicate
+        sender_status = self._known_status.get(message.sender)
+        if sender_status is False:
+            # The sender is known to have failed; accepting would require
+            # assuming complete(sender), which is known false.
+            self.dropped += 1
+            return
+        for pid in list(predicate.must | predicate.cannot):
+            status = self._known_status.get(pid)
+            if status is None:
+                continue
+            try:
+                predicate = predicate.resolve(pid, status)
+            except Exception:
+                # The sender's assumptions are already contradicted: the
+                # message belongs to a dead timeline.
+                self.dropped += 1
+                return
+        worlds = self._endpoints[message.dest]
+        if sender_status is True:
+            # Sender known complete: acceptance adds no sender assumption,
+            # only whatever unresolved predicates the message still carries.
+            worlds.receive_effective(message, predicate)
+            return
+        worlds.receive(message, message.sender, predicate)
+
+    # ------------------------------------------------------------------
+    # status resolution
+
+    def report_status(self, pid: int, completed: bool) -> List[Any]:
+        """Record a final status and resolve predicates everywhere.
+
+        Returns the deferred side effects released by worlds that became
+        unconditional; the effects have already been executed if callable.
+        """
+        self._known_status[pid] = completed
+        released: List[Any] = []
+        for worlds in self._endpoints.values():
+            for effect in worlds.resolve(pid, completed):
+                if callable(effect):
+                    effect()
+                released.append(effect)
+        return released
+
+    def known_status(self, pid: int) -> Optional[bool]:
+        """The recorded final status of ``pid`` (``None`` if still open)."""
+        return self._known_status.get(pid)
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    @property
+    def total_splits(self) -> int:
+        """Receiver splits across all endpoints (overhead metric)."""
+        return sum(w.splits for w in self._endpoints.values())
+
+    @property
+    def total_pending(self) -> int:
+        """Messages in flight across all channels."""
+        return sum(c.pending for c in self._channels.values())

@@ -1,0 +1,113 @@
+"""Timed message delivery: the predicate layer under simulated latency.
+
+:class:`TimedRouter` composes a logical
+:class:`~repro.ipc.MessageRouter` with a
+:class:`~repro.sim.SimKernel`: sends are scheduled, deliveries happen
+``message_latency`` later (plus optional jitter), and the FIFO contract
+of section 3.1 is preserved per sender/destination pair even when jitter
+would reorder arrivals -- a later send never overtakes an earlier one.
+
+Status reports can also be timed, so experiments can pose races between
+'the winner's commit notification' and 'a speculative message already in
+flight' and watch the predicate machinery sort them out.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional, Tuple
+
+from repro.ipc.message import Message
+from repro.ipc.router import MessageRouter
+from repro.predicates.predicate import Predicate
+from repro.sim.costs import CostModel, MODERN_COMMODITY
+from repro.sim.kernel import SimKernel
+
+
+class TimedRouter:
+    """Latency-aware façade over the logical message router."""
+
+    def __init__(
+        self,
+        kernel: Optional[SimKernel] = None,
+        router: Optional[MessageRouter] = None,
+        cost_model: CostModel = MODERN_COMMODITY,
+        jitter: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.kernel = kernel if kernel is not None else SimKernel()
+        self.router = router if router is not None else MessageRouter()
+        self.cost_model = cost_model
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._last_arrival: Dict[Tuple[int, int], float] = {}
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    # delegation
+
+    def register(self, pid: int, worlds) -> None:
+        """Attach a logical process (see MessageRouter.register)."""
+        self.router.register(pid, worlds)
+
+    def worlds_of(self, pid: int):
+        """The registered world set for ``pid``."""
+        return self.router.worlds_of(pid)
+
+    # ------------------------------------------------------------------
+    # timed operations
+
+    def _arrival_time(self, sender: int, dest: int) -> float:
+        latency = self.cost_model.message_latency
+        if self.jitter > 0:
+            latency += self._rng.uniform(0, self.jitter)
+        arrival = self.kernel.now + latency
+        key = (sender, dest)
+        previous = self._last_arrival.get(key)
+        if previous is not None and arrival <= previous:
+            # FIFO per pair: never overtake an earlier message.
+            arrival = previous + 1e-9
+        self._last_arrival[key] = arrival
+        return arrival
+
+    def send(
+        self,
+        sender: int,
+        dest: int,
+        data: Any,
+        predicate: Optional[Predicate] = None,
+    ) -> Message:
+        """Enqueue now; the receiver processes it one latency later."""
+        message = self.router.send(sender, dest, data, predicate=predicate)
+        arrival = self._arrival_time(sender, dest)
+
+        def deliver() -> None:
+            self.router.deliver_one(sender, dest)
+            self.delivered += 1
+
+        self.kernel.schedule(
+            arrival, deliver, label=f"deliver {sender}->{dest}"
+        )
+        return message
+
+    def report_status(
+        self, pid: int, completed: bool, delay: Optional[float] = None
+    ) -> None:
+        """Broadcast a final status after ``delay`` (default: one network
+        latency -- resolutions travel on the wire too)."""
+        if delay is None:
+            delay = self.cost_model.network_latency
+        self.kernel.schedule_in(
+            delay,
+            lambda: self.router.report_status(pid, completed),
+            label=f"status {pid}={'ok' if completed else 'failed'}",
+        )
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the kernel (deliver everything scheduled)."""
+        return self.kernel.run(until=until)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.kernel.now

@@ -1,0 +1,36 @@
+"""AltTalk: the paper's ALGOL-like alternative-block language (Figure 1).
+
+Section 2 presents the construct::
+
+    ALTBEGIN
+        ENSURE guard1 WITH method1 OR
+        ENSURE guard2 WITH method2 OR
+        ...
+        FAIL
+    END
+
+and section 3.2 sketches 'a language preprocessor applied to a program
+with mutually exclusive alternatives' that lowers it onto ``alt_spawn`` /
+``alt_wait``.  This package is that front end, made executable:
+
+- :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` read a small
+  imperative language (assignment, arithmetic, if/while, ``print``,
+  explicit ``charge`` for simulated time) with ``altbegin`` blocks;
+- :mod:`repro.lang.interpreter` runs programs with variables living in a
+  COW address space, so alternative arms are isolated exactly as the
+  design requires;
+- :mod:`repro.lang.preprocessor` emits the paper's pseudo-C lowering of
+  an ``altbegin`` block, reproducing the section 3.2 listing.
+"""
+
+from repro.lang.interpreter import Interpreter, ProgramResult, run_program
+from repro.lang.parser import parse_program
+from repro.lang.preprocessor import lower_to_pseudo_c
+
+__all__ = [
+    "Interpreter",
+    "ProgramResult",
+    "lower_to_pseudo_c",
+    "parse_program",
+    "run_program",
+]

@@ -1,0 +1,110 @@
+"""Abstract syntax for AltTalk."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+Value = Union[int, float, bool, str]
+
+
+# ----------------------------------------------------------------------
+# expressions
+
+
+class Expr:
+    """Base class for expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Value
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    identifier: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    operator: str  # '-' or 'not'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    operator: str
+    left: Expr
+    right: Expr
+
+
+# ----------------------------------------------------------------------
+# statements
+
+
+class Stmt:
+    """Base class for statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    target: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Print(Stmt):
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Charge(Stmt):
+    """Accrue simulated execution time explicitly."""
+
+    amount: Expr
+
+
+@dataclass(frozen=True)
+class Fail(Stmt):
+    """Abort the enclosing alternative (or the program)."""
+
+    reason: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    condition: Expr
+    then_body: Tuple[Stmt, ...]
+    else_body: Tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    condition: Expr
+    body: Tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class Arm:
+    """One ``ENSURE guard WITH method`` arm."""
+
+    guard: Expr
+    body: Tuple[Stmt, ...]
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class AltBlock(Stmt):
+    """``ALTBEGIN arm (OR arm)* END``."""
+
+    arms: Tuple[Arm, ...]
+
+
+@dataclass(frozen=True)
+class Program:
+    body: Tuple[Stmt, ...]

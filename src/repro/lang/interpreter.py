@@ -1,0 +1,282 @@
+"""Tree-walking interpreter for AltTalk.
+
+Program variables live in a COW :class:`~repro.pages.AddressSpace`
+(through :class:`~repro.core.AltContext`), so when an ``altbegin`` block
+spawns its arms, each arm mutates its own forked world and only the
+selected arm's writes survive -- the construct's semantics come directly
+from the executor machinery rather than being re-implemented here.
+
+Costs: every statement executed accrues ``statement_cost`` simulated
+seconds, and ``charge e;`` adds ``e`` more, so alternative arms have
+data-dependent durations the race can discriminate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Union
+
+from repro.core.alternative import AltContext, Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.core.result import AltResult
+from repro.core.sequential import SequentialExecutor
+from repro.errors import GuardFailure, ReproError
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+
+class LangRuntimeError(ReproError):
+    """An AltTalk program misbehaved at run time."""
+
+
+Executor = Union[SequentialExecutor, ConcurrentExecutor]
+
+
+@dataclass
+class ProgramResult:
+    """What running a program produced."""
+
+    output: List[str] = field(default_factory=list)
+    charged: float = 0.0
+    alt_results: List[AltResult] = field(default_factory=list)
+    variables: dict = field(default_factory=dict)
+
+
+class Interpreter:
+    """Execute AltTalk programs over an alternative-block executor."""
+
+    def __init__(
+        self,
+        executor: Optional[Executor] = None,
+        statement_cost: float = 0.001,
+        max_loop_iterations: int = 100_000,
+    ) -> None:
+        self.executor = (
+            executor if executor is not None else SequentialExecutor()
+        )
+        self.statement_cost = statement_cost
+        self.max_loop_iterations = max_loop_iterations
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, program: Union[str, ast.Program], space_size: int = 64 * 1024
+    ) -> ProgramResult:
+        """Run a program; returns output, charges, and final variables."""
+        if isinstance(program, str):
+            program = parse_program(program)
+        parent = self.executor.new_parent()
+        context = AltContext(parent.space, name="main", process=parent)
+        result = ProgramResult()
+        self._exec_block(program.body, context, result)
+        result.charged += context.charged
+        result.variables = {
+            name: context.get(name) for name in context.space.names()
+        }
+        return result
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _exec_block(self, statements, context: AltContext, result: ProgramResult) -> None:
+        for statement in statements:
+            self._exec_statement(statement, context, result)
+
+    def _exec_statement(self, statement, context: AltContext, result: ProgramResult) -> None:
+        context.charge(self.statement_cost)
+        if isinstance(statement, ast.Assign):
+            context.put(statement.target, self._eval(statement.value, context))
+        elif isinstance(statement, ast.Print):
+            result.output.append(_stringify(self._eval(statement.value, context)))
+        elif isinstance(statement, ast.Charge):
+            amount = self._eval(statement.amount, context)
+            if not isinstance(amount, (int, float)) or isinstance(amount, bool):
+                raise LangRuntimeError("charge needs a numeric amount")
+            context.charge(float(amount))
+        elif isinstance(statement, ast.Fail):
+            reason = (
+                _stringify(self._eval(statement.reason, context))
+                if statement.reason is not None
+                else "fail statement"
+            )
+            raise GuardFailure(reason)
+        elif isinstance(statement, ast.If):
+            if _truthy(self._eval(statement.condition, context)):
+                self._exec_block(statement.then_body, context, result)
+            else:
+                self._exec_block(statement.else_body, context, result)
+        elif isinstance(statement, ast.While):
+            iterations = 0
+            while _truthy(self._eval(statement.condition, context)):
+                iterations += 1
+                if iterations > self.max_loop_iterations:
+                    raise LangRuntimeError(
+                        f"loop exceeded {self.max_loop_iterations} iterations"
+                    )
+                self._exec_block(statement.body, context, result)
+                context.charge(self.statement_cost)
+        elif isinstance(statement, ast.AltBlock):
+            self._exec_altblock(statement, context, result)
+        else:  # pragma: no cover - parser produces only the above
+            raise LangRuntimeError(f"unknown statement {statement!r}")
+
+    # ------------------------------------------------------------------
+    # the alternative block
+
+    def _exec_altblock(
+        self, block: ast.AltBlock, context: AltContext, result: ProgramResult
+    ) -> None:
+        if context.process is None:
+            raise LangRuntimeError(
+                "this executor does not expose processes; cannot nest"
+            )
+        alternatives = [
+            self._lower_arm(arm, result) for arm in block.arms
+        ]
+        if isinstance(self.executor, ConcurrentExecutor):
+            inner: Executor = ConcurrentExecutor(
+                cost_model=self.executor.cost_model,
+                cpus=self.executor.cpus,
+                elimination=self.executor.elimination,
+                guard_placement=self.executor.guard_placement,
+                timeout=self.executor.timeout,
+                seed=self.executor.seed,
+                manager=self.executor.manager,
+            )
+        else:
+            inner = SequentialExecutor(
+                policy=self.executor.policy,
+                try_all=self.executor.try_all,
+                seed=self.executor.seed,
+                manager=self.executor.manager,
+            )
+        alt_result = inner.run(alternatives, parent=context.process)
+        result.alt_results.append(alt_result)
+        context.charge(alt_result.elapsed)
+        # The winner's prints surface in program order after selection.
+        winner_output = alt_result.value
+        if winner_output:
+            result.output.extend(winner_output)
+
+    def _lower_arm(self, arm: ast.Arm, result: ProgramResult) -> Alternative:
+        def body(context: AltContext) -> List[str]:
+            arm_result = ProgramResult()
+            self._exec_block(arm.body, context, arm_result)
+            if not _truthy(self._eval(arm.guard, context)):
+                raise GuardFailure(f"{arm.label}: ENSURE condition false")
+            return arm_result.output
+
+        return Alternative(name=arm.label, body=body, cost=None)
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def _eval(self, expr, context: AltContext) -> Any:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            value = context.get(expr.identifier, _MISSING)
+            if value is _MISSING:
+                raise LangRuntimeError(
+                    f"undefined variable {expr.identifier!r}"
+                )
+            return value
+        if isinstance(expr, ast.Unary):
+            operand = self._eval(expr.operand, context)
+            if expr.operator == "-":
+                _require_number(operand, "-")
+                return -operand
+            return not _truthy(operand)
+        if isinstance(expr, ast.Binary):
+            return self._eval_binary(expr, context)
+        raise LangRuntimeError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _eval_binary(self, expr: ast.Binary, context: AltContext) -> Any:
+        operator = expr.operator
+        if operator == "and":
+            return _truthy(self._eval(expr.left, context)) and _truthy(
+                self._eval(expr.right, context)
+            )
+        if operator == "or":
+            return _truthy(self._eval(expr.left, context)) or _truthy(
+                self._eval(expr.right, context)
+            )
+        left = self._eval(expr.left, context)
+        right = self._eval(expr.right, context)
+        if operator == "+":
+            if isinstance(left, str) or isinstance(right, str):
+                return _stringify(left) + _stringify(right)
+            _require_number(left, "+")
+            _require_number(right, "+")
+            return left + right
+        if operator in ("-", "*", "/", "%"):
+            _require_number(left, operator)
+            _require_number(right, operator)
+            if operator == "-":
+                return left - right
+            if operator == "*":
+                return left * right
+            if operator == "%":
+                if right == 0:
+                    raise LangRuntimeError("modulo by zero")
+                return left % right
+            if right == 0:
+                raise LangRuntimeError("division by zero")
+            return left / right
+        if operator == "==":
+            return left == right
+        if operator == "!=":
+            return left != right
+        if operator in ("<", "<=", ">", ">="):
+            try:
+                if operator == "<":
+                    return left < right
+                if operator == "<=":
+                    return left <= right
+                if operator == ">":
+                    return left > right
+                return left >= right
+            except TypeError:
+                raise LangRuntimeError(
+                    f"cannot compare {type(left).__name__} with "
+                    f"{type(right).__name__}"
+                ) from None
+        raise LangRuntimeError(f"unknown operator {operator!r}")  # pragma: no cover
+
+
+_MISSING = object()
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return bool(value)
+    raise LangRuntimeError(f"no truth value for {value!r}")
+
+
+def _require_number(value: Any, operator: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise LangRuntimeError(
+            f"operator {operator!r} needs numbers, got {value!r}"
+        )
+
+
+def _stringify(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def run_program(
+    source: str,
+    executor: Optional[Executor] = None,
+    statement_cost: float = 0.001,
+) -> ProgramResult:
+    """Parse and run AltTalk source in one call."""
+    interpreter = Interpreter(executor=executor, statement_cost=statement_cost)
+    return interpreter.run(source)

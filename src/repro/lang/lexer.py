@@ -1,0 +1,106 @@
+"""Tokenizer for AltTalk.
+
+Keywords are case-insensitive so programs can be written in the paper's
+shouting ALGOL style (``ALTBEGIN ... ENSURE ... WITH ... OR ... END``) or
+in lowercase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ReproError
+
+
+class LangSyntaxError(ReproError):
+    """Invalid AltTalk source."""
+
+
+KEYWORDS = {
+    "altbegin",
+    "and",
+    "charge",
+    "do",
+    "else",
+    "end",
+    "ensure",
+    "fail",
+    "false",
+    "if",
+    "not",
+    "or",
+    "print",
+    "then",
+    "true",
+    "while",
+    "with",
+}
+
+_TWO_CHAR_OPS = {":=", "<=", ">=", "==", "!="}
+_ONE_CHAR_OPS = {"+", "-", "*", "/", "<", ">", "(", ")", ";", "%"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'kw', 'name', 'num', 'str', 'op', 'end'
+    text: str
+    line: int
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split AltTalk source into tokens."""
+    tokens: List[Token] = []
+    position = 0
+    line = 1
+    n = len(source)
+    while position < n:
+        ch = source[position]
+        if ch == "\n":
+            line += 1
+            position += 1
+            continue
+        if ch in " \t\r":
+            position += 1
+            continue
+        if ch == "#":
+            newline = source.find("\n", position)
+            position = n if newline < 0 else newline
+            continue
+        if source[position:position + 2] in _TWO_CHAR_OPS:
+            tokens.append(Token("op", source[position:position + 2], line))
+            position += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, line))
+            position += 1
+            continue
+        if ch == '"':
+            end = source.find('"', position + 1)
+            if end < 0:
+                raise LangSyntaxError(f"line {line}: unterminated string")
+            tokens.append(Token("str", source[position + 1:end], line))
+            position = end + 1
+            continue
+        if ch.isdigit():
+            start = position
+            while position < n and source[position].isdigit():
+                position += 1
+            if position < n - 1 and source[position] == "." and source[position + 1].isdigit():
+                position += 1
+                while position < n and source[position].isdigit():
+                    position += 1
+            tokens.append(Token("num", source[start:position], line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = position
+            while position < n and (source[position].isalnum() or source[position] == "_"):
+                position += 1
+            word = source[start:position]
+            kind = "kw" if word.lower() in KEYWORDS else "name"
+            text = word.lower() if kind == "kw" else word
+            tokens.append(Token(kind, text, line))
+            continue
+        raise LangSyntaxError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("end", "", line))
+    return tokens

@@ -1,0 +1,263 @@
+"""Recursive-descent parser for AltTalk.
+
+Grammar (EBNF)::
+
+    program  := stmt*
+    stmt     := NAME ':=' expr ';'
+              | 'print' expr ';'
+              | 'charge' expr ';'
+              | 'fail' [expr] ';'
+              | 'if' expr 'then' stmt* ['else' stmt*] 'end'
+              | 'while' expr 'do' stmt* 'end'
+              | 'altbegin' arm ('or' arm)* 'end'
+    arm      := 'ensure' expr 'with' stmt*
+    expr     := or_expr
+    or_expr  := and_expr ('or' and_expr)*        # inside expressions only
+    and_expr := not_expr ('and' not_expr)*
+    not_expr := 'not' not_expr | comparison
+    comparison := sum (('<'|'<='|'>'|'>='|'=='|'!=') sum)?
+    sum      := term (('+'|'-') term)*
+    term     := factor (('*'|'/'|'%') factor)*
+    factor   := NUM | STRING | 'true' | 'false' | NAME | '-' factor
+              | '(' expr ')'
+
+Note: ``or`` is both the arm separator inside an ``altbegin`` block and a
+logical operator inside expressions.  There is no ambiguity because arm
+separators only occur where a statement is expected.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang.ast import (
+    AltBlock,
+    Arm,
+    Assign,
+    Binary,
+    Charge,
+    Expr,
+    Fail,
+    If,
+    Literal,
+    Name,
+    Print,
+    Program,
+    Stmt,
+    Unary,
+    While,
+)
+from repro.lang.lexer import LangSyntaxError, Token, tokenize
+
+_STOP_KEYWORDS = {"end", "else", "or", "ensure"}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def _error(self, message: str) -> LangSyntaxError:
+        token = self.peek()
+        return LangSyntaxError(
+            f"line {token.line}: {message} (at {token.text!r})"
+        )
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise self._error(f"expected {text if text is not None else kind!r}")
+        return self.advance()
+
+    def at(self, kind: str, text: str) -> bool:
+        token = self.peek()
+        return token.kind == kind and token.text == text
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def parse_program(self) -> Program:
+        body = self.parse_statements()
+        if self.peek().kind != "end":
+            raise self._error("unexpected trailing input")
+        return Program(body=body)
+
+    def parse_statements(self) -> Tuple[Stmt, ...]:
+        statements: List[Stmt] = []
+        while True:
+            token = self.peek()
+            if token.kind == "end":
+                return tuple(statements)
+            if token.kind == "kw" and token.text in _STOP_KEYWORDS:
+                return tuple(statements)
+            statements.append(self.parse_statement())
+
+    def parse_statement(self) -> Stmt:
+        token = self.peek()
+        if token.kind == "name":
+            return self._parse_assign()
+        if token.kind == "kw":
+            if token.text == "print":
+                self.advance()
+                value = self.parse_expr()
+                self.expect("op", ";")
+                return Print(value)
+            if token.text == "charge":
+                self.advance()
+                amount = self.parse_expr()
+                self.expect("op", ";")
+                return Charge(amount)
+            if token.text == "fail":
+                self.advance()
+                reason = None
+                if not self.at("op", ";"):
+                    reason = self.parse_expr()
+                self.expect("op", ";")
+                return Fail(reason)
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "altbegin":
+                return self._parse_altblock()
+        raise self._error("expected a statement")
+
+    def _parse_assign(self) -> Assign:
+        target = self.expect("name").text
+        self.expect("op", ":=")
+        value = self.parse_expr()
+        self.expect("op", ";")
+        return Assign(target, value)
+
+    def _parse_if(self) -> If:
+        self.expect("kw", "if")
+        condition = self.parse_expr()
+        self.expect("kw", "then")
+        then_body = self.parse_statements()
+        else_body: Tuple[Stmt, ...] = ()
+        if self.at("kw", "else"):
+            self.advance()
+            else_body = self.parse_statements()
+        self.expect("kw", "end")
+        return If(condition, then_body, else_body)
+
+    def _parse_while(self) -> While:
+        self.expect("kw", "while")
+        condition = self.parse_expr()
+        self.expect("kw", "do")
+        body = self.parse_statements()
+        self.expect("kw", "end")
+        return While(condition, body)
+
+    def _parse_altblock(self) -> AltBlock:
+        self.expect("kw", "altbegin")
+        arms = [self._parse_arm(1)]
+        while self.at("kw", "or"):
+            self.advance()
+            arms.append(self._parse_arm(len(arms) + 1))
+        self.expect("kw", "end")
+        return AltBlock(tuple(arms))
+
+    def _parse_arm(self, number: int) -> Arm:
+        self.expect("kw", "ensure")
+        guard = self.parse_expr()
+        self.expect("kw", "with")
+        body = self.parse_statements()
+        return Arm(guard=guard, body=body, label=f"method{number}")
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.at("kw", "or") and self._or_is_operator():
+            self.advance()
+            right = self._parse_and()
+            left = Binary("or", left, right)
+        return left
+
+    def _or_is_operator(self) -> bool:
+        # 'or' followed by 'ensure' separates altblock arms, not operands.
+        nxt = self.tokens[self.index + 1]
+        return not (nxt.kind == "kw" and nxt.text == "ensure")
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        while self.at("kw", "and"):
+            self.advance()
+            right = self._parse_not()
+            left = Binary("and", left, right)
+        return left
+
+    def _parse_not(self) -> Expr:
+        if self.at("kw", "not"):
+            self.advance()
+            return Unary("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_sum()
+        token = self.peek()
+        if token.kind == "op" and token.text in ("<", "<=", ">", ">=", "==", "!="):
+            self.advance()
+            right = self._parse_sum()
+            return Binary(token.text, left, right)
+        return left
+
+    def _parse_sum(self) -> Expr:
+        left = self._parse_term()
+        while self.peek().kind == "op" and self.peek().text in ("+", "-"):
+            operator = self.advance().text
+            right = self._parse_term()
+            left = Binary(operator, left, right)
+        return left
+
+    def _parse_term(self) -> Expr:
+        left = self._parse_factor()
+        while self.peek().kind == "op" and self.peek().text in ("*", "/", "%"):
+            operator = self.advance().text
+            right = self._parse_factor()
+            left = Binary(operator, left, right)
+        return left
+
+    def _parse_factor(self) -> Expr:
+        token = self.peek()
+        if token.kind == "num":
+            self.advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Literal(value)
+        if token.kind == "str":
+            self.advance()
+            return Literal(token.text)
+        if token.kind == "kw" and token.text in ("true", "false"):
+            self.advance()
+            return Literal(token.text == "true")
+        if token.kind == "name":
+            self.advance()
+            return Name(token.text)
+        if token.kind == "op" and token.text == "-":
+            self.advance()
+            return Unary("-", self._parse_factor())
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        raise self._error("expected an expression")
+
+
+def parse_program(source: str) -> Program:
+    """Parse AltTalk source into a :class:`~repro.lang.ast.Program`."""
+    return _Parser(tokenize(source)).parse_program()

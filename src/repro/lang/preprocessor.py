@@ -1,0 +1,111 @@
+"""The section 3.2 preprocessor lowering, rendered as pseudo-C.
+
+The paper sketches what 'a language preprocessor applied to a program
+with mutually exclusive alternatives would generate'::
+
+    switch ( alt_spawn( n ) )
+    {
+    case 0:
+        alt_wait( TIMEOUT );
+        fail();   /* if returned */
+    case 1:
+        /* first alternate */
+        ...
+        alt_wait( 0 );
+    ...
+    }
+
+:func:`lower_to_pseudo_c` reproduces that listing for any parsed
+``altbegin`` block, so the transformation the executors perform is
+visible as text.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+
+def _expr_to_c(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.Literal):
+        if isinstance(expr.value, bool):
+            return "1" if expr.value else "0"
+        if isinstance(expr.value, str):
+            return f'"{expr.value}"'
+        return str(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.identifier
+    if isinstance(expr, ast.Unary):
+        operator = "!" if expr.operator == "not" else expr.operator
+        return f"{operator}({_expr_to_c(expr.operand)})"
+    if isinstance(expr, ast.Binary):
+        operator = {"and": "&&", "or": "||", "%": "%"}.get(
+            expr.operator, expr.operator
+        )
+        return f"({_expr_to_c(expr.left)} {operator} {_expr_to_c(expr.right)})"
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _stmt_to_c(statement: ast.Stmt, indent: str) -> List[str]:
+    if isinstance(statement, ast.Assign):
+        return [f"{indent}{statement.target} = {_expr_to_c(statement.value)};"]
+    if isinstance(statement, ast.Print):
+        return [f"{indent}printf({_expr_to_c(statement.value)});"]
+    if isinstance(statement, ast.Charge):
+        return [f"{indent}/* charge {_expr_to_c(statement.amount)} */"]
+    if isinstance(statement, ast.Fail):
+        return [f"{indent}abort_alternative();"]
+    if isinstance(statement, ast.If):
+        lines = [f"{indent}if ({_expr_to_c(statement.condition)}) {{"]
+        for inner in statement.then_body:
+            lines.extend(_stmt_to_c(inner, indent + "    "))
+        if statement.else_body:
+            lines.append(f"{indent}}} else {{")
+            for inner in statement.else_body:
+                lines.extend(_stmt_to_c(inner, indent + "    "))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(statement, ast.While):
+        lines = [f"{indent}while ({_expr_to_c(statement.condition)}) {{"]
+        for inner in statement.body:
+            lines.extend(_stmt_to_c(inner, indent + "    "))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(statement, ast.AltBlock):
+        return [f"{indent}/* nested ALTBEGIN lowered separately */"]
+    raise TypeError(f"not a statement: {statement!r}")
+
+
+def lower_to_pseudo_c(block: ast.AltBlock, timeout_name: str = "TIMEOUT") -> str:
+    """Render the paper's alt_spawn/alt_wait switch for ``block``."""
+    n = len(block.arms)
+    lines = [
+        f"switch ( alt_spawn( {n} ) )",
+        "{",
+        "case 0:",
+        f"    alt_wait( {timeout_name} );",
+        "    fail();   /* if returned */",
+    ]
+    for number, arm in enumerate(block.arms, start=1):
+        lines.append(f"case {number}:")
+        lines.append(f"    /* {arm.label} */")
+        for statement in arm.body:
+            lines.extend(_stmt_to_c(statement, "    "))
+        lines.append(
+            f"    if (!({_expr_to_c(arm.guard)})) abort_alternative();"
+        )
+        lines.append("    alt_wait( 0 );")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def lower_source(source: str) -> List[str]:
+    """Lower every top-level ``altbegin`` block in a program."""
+    program = parse_program(source)
+    listings = []
+    for statement in program.body:
+        if isinstance(statement, ast.AltBlock):
+            listings.append(lower_to_pseudo_c(statement))
+    return listings

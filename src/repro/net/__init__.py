@@ -1,0 +1,22 @@
+"""Simulated network and distributed substrate.
+
+Provides the nodes-and-links model under the distributed experiments:
+per-link latency/bandwidth, partitions, and the remote fork built from
+whole-process checkpointing (paper section 4.4's ``rfork()``).
+"""
+
+from repro.net.distributed import DistributedAltExecutor
+from repro.net.migration import MigrationResult, migrate
+from repro.net.network import NetNode, Network
+from repro.net.rfork import RemoteForkResult, remote_fork, remote_fork_nfs
+
+__all__ = [
+    "DistributedAltExecutor",
+    "MigrationResult",
+    "NetNode",
+    "Network",
+    "RemoteForkResult",
+    "migrate",
+    "remote_fork",
+    "remote_fork_nfs",
+]

@@ -1,0 +1,282 @@
+"""Distributed execution of an alternative block across network nodes.
+
+Section 4.1 prices the distributed case explicitly:
+
+- *Memory copying*: 'In the distributed case we must actually copy state
+  for a remote child so that it can read or write locally' -- here, the
+  parent image is checkpointed once and shipped to each worker node;
+- 'There is more copying to be performed during synchronization, as the
+  changed state is updated in the parent's storage' -- the winner's dirty
+  pages travel back over the network before the parent resumes;
+- *Sibling elimination* becomes termination messages with network
+  latency, naturally asynchronous.
+
+Each alternative runs on its own node (real concurrency), and the
+synchronization can be a single home-node semaphore or a majority
+consensus across the workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import random
+
+from repro.consensus.majority import MajorityConsensusSemaphore
+from repro.consensus.node import ConsensusNode
+from repro.core.alternative import AltContext, Alternative
+from repro.core.result import AltOutcome, AltResult, OverheadBreakdown
+from repro.core.sequential import _run_body
+from repro.errors import AltBlockFailure
+from repro.net.network import Network
+from repro.net.rfork import remote_fork
+from repro.process.process import SimProcess
+from repro.sim.costs import CostModel
+
+
+@dataclass
+class _RemoteRun:
+    index: int
+    node: str
+    process: SimProcess
+    succeeded: bool
+    value: object
+    detail: str
+    duration: float
+    pages_written: int
+    arrival: float
+
+    @property
+    def completion(self) -> float:
+        return self.arrival + self.duration
+
+
+class DistributedAltExecutor:
+    """Race alternatives across workstations instead of local children."""
+
+    def __init__(
+        self,
+        network: Network,
+        home: str,
+        workers: Sequence[str],
+        cost_model: Optional[CostModel] = None,
+        use_consensus: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if not workers:
+            raise ValueError("need at least one worker node")
+        self.network = network
+        self.home = home
+        self.workers = list(workers)
+        self.cost_model = (
+            cost_model if cost_model is not None else network.cost_model
+        )
+        self.use_consensus = use_consensus
+        self.seed = seed
+        network.node(home)  # validate early
+        for worker in self.workers:
+            network.node(worker)
+
+    def new_parent(self, space_size: int = 64 * 1024) -> SimProcess:
+        """A fresh parent on the home node."""
+        return self.network.node(self.home).manager.create_initial(
+            space_size=space_size
+        )
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        alternatives: Sequence[Alternative],
+        parent: Optional[SimProcess] = None,
+    ) -> AltResult:
+        """Execute the block with one alternative per worker node.
+
+        Alternatives beyond the worker count round-robin onto nodes; each
+        still gets its own shipped copy of the parent image.
+        """
+        if not alternatives:
+            raise ValueError("an alternative block needs at least one arm")
+        parent = parent if parent is not None else self.new_parent()
+        model = self.cost_model
+        rng = random.Random(self.seed)
+        timeline: List[Tuple[float, str]] = [(0.0, "block entered")]
+        outcomes = [
+            AltOutcome(index=i, name=a.name, status="untried")
+            for i, a in enumerate(alternatives)
+        ]
+
+        runs = self._ship_and_execute(
+            alternatives, parent, outcomes, timeline, rng
+        )
+        return self._select(parent, runs, outcomes, timeline)
+
+    def _ship_and_execute(self, alternatives, parent, outcomes, timeline, rng):
+        model = self.cost_model
+        image_bytes = None
+        clock = 0.0
+        runs: List[_RemoteRun] = []
+        for index, arm in enumerate(alternatives):
+            node_name = self.workers[index % len(self.workers)]
+            if not self.network.reachable(self.home, node_name):
+                outcomes[index].status = "failed"
+                outcomes[index].detail = f"node {node_name} unreachable"
+                timeline.append((clock, f"{arm.name}: {node_name} unreachable"))
+                continue
+            forked = remote_fork(
+                self.network, self.home, node_name, parent, cost_model=model
+            )
+            if image_bytes is None:
+                image_bytes = forked.image_bytes
+                clock += forked.checkpoint_time  # checkpoint happens once
+            # Transfers leave the home node serially; restores overlap.
+            clock += forked.transfer_time
+            arrival = clock + forked.restore_time
+            child = forked.process
+            context = AltContext(
+                child.space,
+                rng=random.Random(self.seed * 1000003 + index),
+                alt_index=index + 1,
+                name=arm.name,
+                process=child,
+            )
+            succeeded, value, detail = _run_body(arm, context)
+            duration = arm.sample_cost(rng, context) + arm.guard_cost
+            pages = child.space.pages_written
+            duration += model.page_copy_time(pages)
+            outcomes[index].pid = child.pid
+            outcomes[index].duration = duration
+            outcomes[index].pages_written = pages
+            outcomes[index].started_at = arrival
+            timeline.append((arrival, f"rfork {arm.name} onto {node_name}"))
+            runs.append(
+                _RemoteRun(
+                    index=index,
+                    node=node_name,
+                    process=child,
+                    succeeded=succeeded,
+                    value=value,
+                    detail=detail,
+                    duration=duration,
+                    pages_written=pages,
+                    arrival=arrival,
+                )
+            )
+        if not runs:
+            error = AltBlockFailure("no worker node was reachable")
+            error.outcomes = outcomes
+            error.elapsed = clock
+            raise error
+        return runs
+
+    def _select(self, parent, runs, outcomes, timeline) -> AltResult:
+        model = self.cost_model
+        ordered = sorted(runs, key=lambda run: run.completion)
+        winner: Optional[_RemoteRun] = None
+        semaphore = self._make_semaphore()
+        for run in ordered:
+            if not run.succeeded:
+                outcomes[run.index].status = "failed"
+                outcomes[run.index].detail = run.detail
+                outcomes[run.index].finished_at = run.completion
+                timeline.append(
+                    (run.completion, f"{run.process.pid} aborts: {run.detail}")
+                )
+                continue
+            granted = self._try_sync(semaphore, run)
+            if granted and winner is None:
+                winner = run
+                timeline.append(
+                    (run.completion, f"{outcomes[run.index].name} requests sync")
+                )
+                break
+        if winner is None:
+            error = AltBlockFailure(
+                f"all {len(runs)} remote alternatives failed"
+            )
+            latest = max(run.completion for run in runs)
+            for run in runs:
+                outcomes[run.index].cpu_consumed = run.duration
+            error.outcomes = outcomes
+            error.elapsed = latest
+            error.timeline = timeline
+            raise error
+
+        # Synchronization: the claim message travels home, then 'the
+        # changed state is updated in the parent's storage'.
+        sync_latency = (
+            MajorityConsensusSemaphore(
+                [ConsensusNode(w) for w in self.workers]
+            ).latency(model)
+            if self.use_consensus
+            else model.network_latency + model.sync_latency
+        )
+        dirty_bytes = winner.pages_written * model.page_size
+        state_ship = self.network.transfer(winner.node, self.home, dirty_bytes)
+        resume_at = winner.completion + sync_latency + state_ship
+        self._apply_remote_state(parent, winner.process)
+        timeline.append(
+            (winner.completion + sync_latency, "sync granted at home")
+        )
+        timeline.append((resume_at, "parent resumes (state shipped home)"))
+
+        winner_outcome = outcomes[winner.index]
+        winner_outcome.status = "won"
+        winner_outcome.value = winner.value
+        winner_outcome.finished_at = winner.completion
+        wasted = 0.0
+        for slot, run in enumerate(r for r in runs if r is not winner):
+            kill_at = resume_at + model.network_latency + slot * model.kill_latency
+            if outcomes[run.index].status == "untried":
+                outcomes[run.index].status = "eliminated"
+                outcomes[run.index].finished_at = min(run.completion, kill_at)
+                timeline.append((kill_at, f"kill message to {run.node}"))
+            consumed = min(run.duration, max(0.0, kill_at - run.arrival))
+            outcomes[run.index].cpu_consumed = consumed
+            wasted += consumed
+        winner_outcome.cpu_consumed = winner.duration
+
+        overhead = OverheadBreakdown(
+            setup=winner.arrival,  # checkpoint + ship + restore for winner
+            runtime=model.page_copy_time(winner.pages_written),
+            selection=sync_latency + state_ship,
+        )
+        return AltResult(
+            value=winner.value,
+            winner=winner_outcome,
+            outcomes=outcomes,
+            elapsed=resume_at,
+            overhead=overhead,
+            wasted_work=wasted,
+            timeline=sorted(timeline, key=lambda pair: pair[0]),
+        )
+
+    def _make_semaphore(self):
+        if self.use_consensus:
+            return MajorityConsensusSemaphore(
+                [ConsensusNode(f"sync-{w}") for w in self.workers]
+            )
+        from repro.consensus.semaphore import SyncSemaphore
+
+        return SyncSemaphore("home")
+
+    def _try_sync(self, semaphore, run: _RemoteRun) -> bool:
+        if isinstance(semaphore, MajorityConsensusSemaphore):
+            try:
+                return semaphore.try_acquire("block", run.process.pid)
+            except Exception:
+                return False
+        return semaphore.try_acquire(run.process.pid)
+
+    @staticmethod
+    def _apply_remote_state(parent: SimProcess, winner: SimProcess) -> None:
+        """Write the winner's dirty pages into the parent's storage."""
+        table = winner.space.table
+        page_size = winner.space.page_size
+        for vpn in sorted(table.dirty_pages):
+            data = table.read_page(vpn)
+            offset = vpn * page_size
+            length = min(len(data), parent.space.size - offset)
+            if length > 0:
+                parent.space.write(offset, data[:length])

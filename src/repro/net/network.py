@@ -1,0 +1,150 @@
+"""A small simulated network of workstation nodes.
+
+Each :class:`NetNode` owns its own page store and process manager (memory
+is not shared across the network -- 'in the distributed case we must
+actually copy state for a remote child').  :class:`Network` provides
+loss-free FIFO links with latency and bandwidth, and supports partitions
+for failure experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.errors import NetworkError
+from repro.pages.store import PageStore
+from repro.process.primitives import ProcessManager
+from repro.sim.costs import CostModel, MODERN_COMMODITY
+
+
+@dataclass
+class Link:
+    """A bidirectional link with one-way latency and bandwidth."""
+
+    latency: float
+    bandwidth: float
+
+    def transfer_time(self, nbytes: int) -> float:
+        """One-way time to move ``nbytes`` over the link."""
+        if nbytes < 0:
+            raise ValueError("byte count cannot be negative")
+        return self.latency + nbytes / self.bandwidth
+
+
+class NetNode:
+    """A workstation: its own store, its own kernel, a name."""
+
+    def __init__(self, name: str, page_size: int = 4096) -> None:
+        self.name = name
+        self.store = PageStore(page_size=page_size)
+        self.manager = ProcessManager(self.store)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def __repr__(self) -> str:
+        return f"NetNode({self.name!r})"
+
+
+class Network:
+    """Named nodes joined by configurable links."""
+
+    def __init__(self, cost_model: CostModel = MODERN_COMMODITY) -> None:
+        self.cost_model = cost_model
+        self.nodes: Dict[str, NetNode] = {}
+        self._links: Dict[FrozenSet[str], Link] = {}
+        self._partitions: Set[FrozenSet[str]] = set()
+        self.transfers = 0
+        self.bytes_transferred = 0
+
+    # ------------------------------------------------------------------
+    # topology
+
+    def add_node(self, name: str, page_size: Optional[int] = None) -> NetNode:
+        """Create and register a node."""
+        if name in self.nodes:
+            raise NetworkError(f"node {name!r} already exists")
+        node = NetNode(
+            name,
+            page_size=page_size if page_size is not None else self.cost_model.page_size,
+        )
+        self.nodes[name] = node
+        return node
+
+    def node(self, name: str) -> NetNode:
+        """Look up a node by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise NetworkError(f"no such node: {name!r}") from None
+
+    def connect(
+        self,
+        a: str,
+        b: str,
+        latency: Optional[float] = None,
+        bandwidth: Optional[float] = None,
+    ) -> Link:
+        """Join two nodes; defaults come from the cost model."""
+        self.node(a)
+        self.node(b)
+        if a == b:
+            raise NetworkError("cannot link a node to itself")
+        link = Link(
+            latency=latency if latency is not None else self.cost_model.network_latency,
+            bandwidth=(
+                bandwidth
+                if bandwidth is not None
+                else self.cost_model.network_bandwidth
+            ),
+        )
+        self._links[frozenset((a, b))] = link
+        return link
+
+    def link(self, a: str, b: str) -> Link:
+        """The link between two nodes (raises when absent)."""
+        key = frozenset((a, b))
+        try:
+            return self._links[key]
+        except KeyError:
+            raise NetworkError(f"no link between {a!r} and {b!r}") from None
+
+    # ------------------------------------------------------------------
+    # partitions
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut communication between two nodes."""
+        self.link(a, b)  # must exist
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore communication between two nodes."""
+        self._partitions.discard(frozenset((a, b)))
+
+    def reachable(self, a: str, b: str) -> bool:
+        """True when a direct, unpartitioned link exists."""
+        key = frozenset((a, b))
+        return key in self._links and key not in self._partitions
+
+    # ------------------------------------------------------------------
+    # transfers
+
+    def transfer(self, src: str, dst: str, nbytes: int) -> float:
+        """Move ``nbytes`` from ``src`` to ``dst``; return elapsed time.
+
+        Raises :class:`NetworkError` when the nodes are not reachable.
+        """
+        if not self.reachable(src, dst):
+            raise NetworkError(f"{src!r} cannot reach {dst!r}")
+        elapsed = self.link(src, dst).transfer_time(nbytes)
+        self.node(src).bytes_sent += nbytes
+        self.node(dst).bytes_received += nbytes
+        self.transfers += 1
+        self.bytes_transferred += nbytes
+        return elapsed
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(nodes={sorted(self.nodes)}, links={len(self._links)}, "
+            f"partitions={len(self._partitions)})"
+        )

@@ -1,0 +1,127 @@
+"""Remote fork via checkpoint/restart (paper section 4.4).
+
+'The major cost (since we implemented rfork() without operating system
+modification) was creating a checkpoint of the process in its entirety.'
+
+:func:`remote_fork` reproduces that pipeline on the simulated network:
+
+1. checkpoint the process on the source node (cost proportional to the
+   image size at the source's checkpoint rate);
+2. ship the image over the link (latency + size / bandwidth);
+3. restore it on the destination node.
+
+The returned :class:`RemoteForkResult` itemizes the three phases so the
+benchmark can report the same decomposition the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.process.checkpoint import (
+    Checkpoint,
+    checkpoint_process,
+    restore_process,
+)
+from repro.process.process import SimProcess
+from repro.net.network import Network
+from repro.sim.costs import CostModel
+
+
+@dataclass(frozen=True)
+class RemoteForkResult:
+    """Outcome and cost decomposition of one remote fork."""
+
+    process: SimProcess
+    image_bytes: int
+    checkpoint_time: float
+    transfer_time: float
+    restore_time: float
+
+    @property
+    def total_time(self) -> float:
+        """End-to-end remote fork latency."""
+        return self.checkpoint_time + self.transfer_time + self.restore_time
+
+
+def remote_fork_nfs(
+    network: Network,
+    src: str,
+    dst: str,
+    process: SimProcess,
+    nfs: "FileSystem",
+    cost_model: CostModel = None,
+    eager_fraction: float = 0.25,
+) -> RemoteForkResult:
+    """Remote fork through a shared network file system.
+
+    The paper's implementation 'uses a network file system to reduce
+    copying': the checkpoint is written once into the shared FS and the
+    remote node restores by paging it in on demand, so only
+    ``eager_fraction`` of the image crosses the wire before the process
+    can run (the rest follows lazily, in the style of the 'on-demand
+    state management techniques' of Theimer et al. that the paper cites).
+    """
+    from repro.pages.files import FileSystem  # local import: optional dep
+
+    if not isinstance(nfs, FileSystem):
+        raise TypeError("nfs must be a pages.files.FileSystem")
+    if not 0.0 <= eager_fraction <= 1.0:
+        raise ValueError("eager_fraction must be in [0, 1]")
+    model = cost_model if cost_model is not None else network.cost_model
+    image = checkpoint_process(process)
+    path = f"/ckpt/{src}/{process.pid}"
+    nfs.write_file(path, image.image)
+    checkpoint_time = model.checkpoint_time(image.size)
+    eager_bytes = int(image.size * eager_fraction)
+    transfer_time = network.transfer(src, dst, eager_bytes)
+    dst_node = network.node(dst)
+    restored = restore_process(
+        Checkpoint(nfs.read_file(path)),
+        dst_node.store,
+        pid=dst_node.manager.allocate_pid(),
+    )
+    dst_node.manager.register(restored)
+    restore_time = model.restore_time(eager_bytes)
+    return RemoteForkResult(
+        process=restored,
+        image_bytes=image.size,
+        checkpoint_time=checkpoint_time,
+        transfer_time=transfer_time,
+        restore_time=restore_time,
+    )
+
+
+def remote_fork(
+    network: Network,
+    src: str,
+    dst: str,
+    process: SimProcess,
+    cost_model: CostModel = None,
+) -> RemoteForkResult:
+    """Fork ``process`` from node ``src`` onto node ``dst``.
+
+    The restored process gets a fresh pid on the destination's manager and
+    is registered there.  Raises :class:`~repro.errors.NetworkError` when
+    the nodes cannot communicate and :class:`~repro.errors.CheckpointError`
+    on image problems.
+    """
+    model = cost_model if cost_model is not None else network.cost_model
+    image = checkpoint_process(process)
+    checkpoint_time = model.checkpoint_time(image.size)
+    transfer_time = network.transfer(src, dst, image.size)
+    dst_node = network.node(dst)
+    restored = restore_process(
+        image,
+        dst_node.store,
+        pid=dst_node.manager.allocate_pid(),
+    )
+    dst_node.manager.register(restored)
+    restore_time = model.restore_time(image.size)
+    return RemoteForkResult(
+        process=restored,
+        image_bytes=image.size,
+        checkpoint_time=checkpoint_time,
+        transfer_time=transfer_time,
+        restore_time=restore_time,
+    )

@@ -1,0 +1,32 @@
+"""Paged single-level store with copy-on-write (paper section 3.3).
+
+All *sink* state is represented as fixed-size pages: 'we bury the entire
+memory hierarchy under the page abstraction; files are named sets of pages'.
+Alternatives inherit the parent's page map and share frames until they
+write, at which point the written page is copied and becomes private
+('copy-on-write' with 'page map inheritance from the parent').
+
+- :class:`~repro.pages.store.PageStore` -- reference-counted physical frames.
+- :class:`~repro.pages.table.PageTable` -- a process's virtual-to-physical
+  map with COW fault handling and a private-dirty counter.
+- :class:`~repro.pages.address_space.AddressSpace` -- byte-addressed view.
+- :mod:`repro.pages.snapshot` -- diffs and the atomic commit (page-pointer
+  swap) used at ``alt_wait`` synchronization.
+"""
+
+from repro.pages.address_space import AddressSpace
+from repro.pages.page import DEFAULT_PAGE_SIZE, zero_page
+from repro.pages.snapshot import commit, diff_pages, written_fraction
+from repro.pages.store import PageStore
+from repro.pages.table import PageTable
+
+__all__ = [
+    "AddressSpace",
+    "DEFAULT_PAGE_SIZE",
+    "PageStore",
+    "PageTable",
+    "commit",
+    "diff_pages",
+    "written_fraction",
+    "zero_page",
+]

@@ -1,0 +1,173 @@
+"""Byte-addressed view over a COW page table.
+
+An :class:`AddressSpace` is what a simulated process sees: a flat array of
+``size`` bytes, read and written at arbitrary offsets, backed by fixed-size
+pages that are shared copy-on-write after a fork.  It also provides a tiny
+named-variable layer (:meth:`put` / :meth:`get`) so application code --
+recovery-block alternates, Prolog worlds -- can treat the space as a
+key-value store while every byte still lives in pages and every update
+still goes through the COW machinery.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, Optional
+
+from repro.errors import PageFault
+from repro.pages.store import PageStore
+from repro.pages.table import PageTable
+
+
+class AddressSpace:
+    """A fixed-size, page-backed, byte-addressable space."""
+
+    def __init__(
+        self,
+        store: PageStore,
+        size: int,
+        table: Optional[PageTable] = None,
+    ) -> None:
+        if size < 0:
+            raise ValueError("address space size cannot be negative")
+        self.store = store
+        self.size = size
+        self.page_size = store.page_size
+        self.table = table if table is not None else PageTable(store)
+        self.table.ensure_zero_filled(range(self.num_pages))
+        # The variable directory is itself serialized into the first pages
+        # of the space, so forked children inherit it through the pages.
+        self._vars_cache: Optional[Dict[str, Any]] = None
+
+    @property
+    def num_pages(self) -> int:
+        """Pages needed to cover :attr:`size` bytes."""
+        return -(-self.size // self.page_size) if self.size else 0
+
+    # ------------------------------------------------------------------
+    # raw byte access
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise PageFault(
+                f"access [{offset}, {offset + length}) outside space of {self.size} bytes"
+            )
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``offset``."""
+        self._check_range(offset, length)
+        chunks = []
+        remaining = length
+        position = offset
+        while remaining > 0:
+            vpn, page_offset = divmod(position, self.page_size)
+            take = min(remaining, self.page_size - page_offset)
+            page = self.table.read_page(vpn)
+            chunks.append(page[page_offset:page_offset + take])
+            position += take
+            remaining -= take
+        return b"".join(chunks)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset``, faulting pages private as needed."""
+        self._check_range(offset, len(data))
+        position = offset
+        start = 0
+        while start < len(data):
+            vpn, page_offset = divmod(position, self.page_size)
+            take = min(len(data) - start, self.page_size - page_offset)
+            self.table.write_page(vpn, data[start:start + take], page_offset)
+            position += take
+            start += take
+        self._vars_cache = None
+
+    # ------------------------------------------------------------------
+    # named-variable layer
+
+    _DIRECTORY_HEADER = 8  # length prefix, big-endian
+
+    def _load_vars(self) -> Dict[str, Any]:
+        if self._vars_cache is not None:
+            return self._vars_cache
+        header = self.read(0, self._DIRECTORY_HEADER)
+        length = int.from_bytes(header, "big")
+        if length == 0:
+            self._vars_cache = {}
+        else:
+            blob = self.read(self._DIRECTORY_HEADER, length)
+            self._vars_cache = pickle.loads(blob)
+        return self._vars_cache
+
+    def _store_vars(self, variables: Dict[str, Any]) -> None:
+        blob = pickle.dumps(variables, protocol=pickle.HIGHEST_PROTOCOL)
+        needed = self._DIRECTORY_HEADER + len(blob)
+        if needed > self.size:
+            raise PageFault(
+                f"variable directory of {needed} bytes exceeds "
+                f"address space of {self.size} bytes"
+            )
+        self.write(0, len(blob).to_bytes(self._DIRECTORY_HEADER, "big") + blob)
+        self._vars_cache = dict(variables)
+
+    def put(self, name: str, value: Any) -> None:
+        """Bind ``name`` to ``value`` in the space's variable directory."""
+        variables = dict(self._load_vars())
+        variables[name] = value
+        self._store_vars(variables)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Look up ``name`` (``default`` when absent)."""
+        return self._load_vars().get(name, default)
+
+    def delete(self, name: str) -> None:
+        """Remove ``name`` from the directory (KeyError when absent)."""
+        variables = dict(self._load_vars())
+        del variables[name]
+        self._store_vars(variables)
+
+    def names(self) -> list:
+        """Sorted variable names currently bound."""
+        return sorted(self._load_vars())
+
+    # ------------------------------------------------------------------
+    # fork / commit
+
+    def fork(self) -> "AddressSpace":
+        """A child space sharing all pages COW with this one."""
+        child_table = self.table.fork()
+        child_table.clear_dirty()
+        child = AddressSpace.__new__(AddressSpace)
+        child.store = self.store
+        child.size = self.size
+        child.page_size = self.page_size
+        child.table = child_table
+        child._vars_cache = None
+        return child
+
+    def adopt(self, child: "AddressSpace") -> None:
+        """Atomically take over ``child``'s pages (the commit swap)."""
+        if child.size != self.size:
+            raise ValueError("cannot adopt a space of a different size")
+        self.table.adopt(child.table)
+        self._vars_cache = None
+
+    def release(self) -> None:
+        """Release every page (process exit)."""
+        self.table.release()
+        self._vars_cache = None
+
+    @property
+    def pages_written(self) -> int:
+        """Distinct pages dirtied since the last fork/commit."""
+        return self.table.pages_written
+
+    @property
+    def cow_faults(self) -> int:
+        """COW copies serviced by this space's table."""
+        return self.table.cow_faults
+
+    def __repr__(self) -> str:
+        return (
+            f"AddressSpace(size={self.size}, pages={self.num_pages}, "
+            f"written={self.pages_written})"
+        )

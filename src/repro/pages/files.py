@@ -1,0 +1,183 @@
+"""Files as named sets of pages (paper section 3.1).
+
+'All sink state can be represented in this fashion ... we bury the entire
+memory hierarchy under the page abstraction; files are named sets of
+pages, and thus mechanisms which are used to transparently access files
+over networks [Sandberg 1985] can be utilized to hide the network through
+the page management abstraction.'
+
+A :class:`PagedFile` is a growable byte sequence over COW page tables, so
+snapshots are cheap and share frames.  A :class:`FileSystem` names files
+in one page store; mounting the *same* FileSystem object from several
+simulated nodes models the network file system the paper's ``rfork()``
+used to reduce copying.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import PageFault, ReproError
+from repro.pages.store import PageStore
+from repro.pages.table import PageTable
+
+
+class PagedFile:
+    """A growable, byte-addressed file backed by COW pages."""
+
+    def __init__(self, name: str, store: PageStore) -> None:
+        self.name = name
+        self.store = store
+        self.table = PageTable(store)
+        self._size = 0
+
+    @property
+    def size(self) -> int:
+        """Current file length in bytes."""
+        return self._size
+
+    @property
+    def num_pages(self) -> int:
+        """Pages currently allocated to the file."""
+        return len(self.table)
+
+    # ------------------------------------------------------------------
+
+    def _ensure_pages(self, up_to_byte: int) -> None:
+        page_size = self.store.page_size
+        needed = -(-up_to_byte // page_size) if up_to_byte else 0
+        self.table.ensure_zero_filled(range(needed))
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset``, growing the file as needed."""
+        if offset < 0:
+            raise PageFault("negative file offset")
+        end = offset + len(data)
+        self._ensure_pages(end)
+        page_size = self.store.page_size
+        position = offset
+        start = 0
+        while start < len(data):
+            vpn, page_offset = divmod(position, page_size)
+            take = min(len(data) - start, page_size - page_offset)
+            self.table.write_page(vpn, data[start:start + take], page_offset)
+            position += take
+            start += take
+        self._size = max(self._size, end)
+
+    def append(self, data: bytes) -> None:
+        """Write ``data`` at the end of the file."""
+        self.write(self._size, data)
+
+    def read(self, offset: int = 0, length: Optional[int] = None) -> bytes:
+        """Read ``length`` bytes from ``offset`` (to EOF by default)."""
+        if offset < 0:
+            raise PageFault("negative file offset")
+        if length is None:
+            length = max(0, self._size - offset)
+        end = min(offset + length, self._size)
+        if offset >= end:
+            return b""
+        page_size = self.store.page_size
+        chunks = []
+        position = offset
+        while position < end:
+            vpn, page_offset = divmod(position, page_size)
+            take = min(end - position, page_size - page_offset)
+            page = self.table.read_page(vpn)
+            chunks.append(page[page_offset:page_offset + take])
+            position += take
+        return b"".join(chunks)
+
+    def truncate(self, size: int = 0) -> None:
+        """Shrink the file to ``size`` bytes, releasing surplus pages."""
+        if size < 0:
+            raise PageFault("negative size")
+        if size >= self._size:
+            return
+        page_size = self.store.page_size
+        keep_pages = -(-size // page_size) if size else 0
+        for vpn in list(self.table.mapped_pages()):
+            if vpn >= keep_pages:
+                self.table.unmap_page(vpn)
+        # Zero the tail of the boundary page so stale bytes cannot
+        # resurface if the file grows again later.
+        boundary_offset = size % page_size
+        if boundary_offset and keep_pages and self.table.is_mapped(keep_pages - 1):
+            self.table.write_page(
+                keep_pages - 1,
+                bytes(page_size - boundary_offset),
+                offset=boundary_offset,
+            )
+        self._size = size
+
+    def snapshot(self, name: str) -> "PagedFile":
+        """A COW copy of the file (version-control style: most pages are
+        shared until one side writes)."""
+        copy = PagedFile.__new__(PagedFile)
+        copy.name = name
+        copy.store = self.store
+        copy.table = self.table.fork()
+        copy._size = self._size
+        return copy
+
+    def release(self) -> None:
+        """Drop every page (file deletion)."""
+        self.table.release()
+        self._size = 0
+
+    def __repr__(self) -> str:
+        return f"PagedFile({self.name!r}, size={self._size})"
+
+
+class FileSystem:
+    """Named paged files over one store; mountable from many nodes."""
+
+    def __init__(self, name: str = "fs", page_size: int = 4096) -> None:
+        self.name = name
+        self.store = PageStore(page_size=page_size)
+        self._files: Dict[str, PagedFile] = {}
+
+    def create(self, path: str) -> PagedFile:
+        """Create an empty file (error if it exists)."""
+        if path in self._files:
+            raise ReproError(f"file exists: {path!r}")
+        file = PagedFile(path, self.store)
+        self._files[path] = file
+        return file
+
+    def open(self, path: str) -> PagedFile:
+        """Open an existing file."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise ReproError(f"no such file: {path!r}") from None
+
+    def exists(self, path: str) -> bool:
+        """True when ``path`` names a file."""
+        return path in self._files
+
+    def unlink(self, path: str) -> None:
+        """Delete a file, releasing its pages."""
+        file = self.open(path)
+        file.release()
+        del self._files[path]
+
+    def listdir(self) -> List[str]:
+        """All file paths, sorted."""
+        return sorted(self._files)
+
+    def write_file(self, path: str, data: bytes) -> PagedFile:
+        """Create-or-replace ``path`` with ``data``."""
+        if self.exists(path):
+            self.unlink(path)
+        file = self.create(path)
+        file.write(0, data)
+        return file
+
+    def read_file(self, path: str) -> bytes:
+        """The whole contents of ``path``."""
+        return self.open(path).read()
+
+    def __repr__(self) -> str:
+        return f"FileSystem({self.name!r}, files={len(self._files)})"

@@ -1,0 +1,36 @@
+"""Page constants and helpers.
+
+Frames hold immutable ``bytes`` so that sharing between page tables is safe
+by construction: a "write" always produces a new frame, which is exactly the
+copy-on-write discipline.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+DEFAULT_PAGE_SIZE = 4096
+"""Default page size in bytes (the HP 9000/350 used 4K pages)."""
+
+
+@lru_cache(maxsize=8)
+def zero_page(page_size: int = DEFAULT_PAGE_SIZE) -> bytes:
+    """The all-zero page of the given size (cached; pages are immutable)."""
+    if page_size <= 0:
+        raise ValueError("page size must be positive")
+    return bytes(page_size)
+
+
+def patch_page(page: bytes, offset: int, data: bytes) -> bytes:
+    """Return a copy of ``page`` with ``data`` spliced in at ``offset``.
+
+    The caller guarantees the write fits within the page.
+    """
+    if offset < 0 or offset + len(data) > len(page):
+        raise ValueError(
+            f"write of {len(data)} bytes at offset {offset} "
+            f"does not fit in a {len(page)}-byte page"
+        )
+    if not data:
+        return page
+    return page[:offset] + data + page[offset + len(data):]

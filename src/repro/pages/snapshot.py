@@ -1,0 +1,64 @@
+"""Snapshots, diffs, and the atomic commit.
+
+These helpers sit on top of :class:`~repro.pages.table.PageTable` and are
+used by the executors to reason about what an alternative changed and to
+implement the ``alt_wait`` page-pointer swap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.pages.address_space import AddressSpace
+from repro.pages.table import PageTable
+
+
+def diff_pages(parent: PageTable, child: PageTable) -> Dict[int, bytes]:
+    """Pages on which ``child`` differs from ``parent``.
+
+    Returns a map from virtual page number to the child's page contents.
+    Pages mapped in only one of the two tables are included (missing pages
+    compare as absent, and the child's contents -- or ``b''`` for an unmap
+    -- are reported).
+    """
+    changed: Dict[int, bytes] = {}
+    parent_vpns = set(parent.mapped_pages())
+    child_vpns = set(child.mapped_pages())
+    for vpn in sorted(parent_vpns | child_vpns):
+        in_parent = vpn in parent_vpns
+        in_child = vpn in child_vpns
+        if in_parent and in_child:
+            parent_frame = parent.frame_of(vpn)
+            child_frame = child.frame_of(vpn)
+            if parent_frame == child_frame:
+                continue  # still physically shared, provably identical
+            parent_page = parent.read_page(vpn)
+            child_page = child.read_page(vpn)
+            if parent_page != child_page:
+                changed[vpn] = child_page
+        elif in_child:
+            changed[vpn] = child.read_page(vpn)
+        else:
+            changed[vpn] = b""
+    return changed
+
+
+def written_fraction(space: AddressSpace) -> float:
+    """Fraction of the space's pages dirtied since the last fork/commit.
+
+    This is the paper's 'important independent variable' for COW overhead.
+    """
+    if space.num_pages == 0:
+        return 0.0
+    return space.pages_written / space.num_pages
+
+
+def commit(parent: AddressSpace, child: AddressSpace) -> int:
+    """Absorb ``child`` into ``parent`` and return pages the child wrote.
+
+    The swap itself is atomic from the simulated program's point of view;
+    the returned count is what the selection-overhead model charges for.
+    """
+    pages = child.pages_written
+    parent.adopt(child)
+    return pages

@@ -1,0 +1,94 @@
+"""Reference-counted physical frame store.
+
+The store plays the role of physical memory plus backing store: a single
+pool of immutable frames shared by every page table in a simulated machine.
+Reference counting tells us when a frame is shared (so a write must copy)
+and when it can be reclaimed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.pages.page import DEFAULT_PAGE_SIZE, zero_page
+
+
+class PageStore:
+    """A pool of immutable, reference-counted page frames."""
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.page_size = page_size
+        self._frames: Dict[int, bytes] = {}
+        self._refcounts: Dict[int, int] = {}
+        self._next_frame = 0
+        self.total_allocations = 0
+        """Cumulative frames ever allocated (for overhead accounting)."""
+
+    # ------------------------------------------------------------------
+
+    def allocate(self, data: bytes = b"") -> int:
+        """Allocate a new frame holding ``data`` (zero-padded to a page).
+
+        Returns the frame id with an initial reference count of 1.
+        """
+        if len(data) > self.page_size:
+            raise ValueError(
+                f"frame data of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        if len(data) < self.page_size:
+            data = data + zero_page(self.page_size)[len(data):]
+        frame_id = self._next_frame
+        self._next_frame += 1
+        self._frames[frame_id] = data
+        self._refcounts[frame_id] = 1
+        self.total_allocations += 1
+        return frame_id
+
+    def read(self, frame_id: int) -> bytes:
+        """Return the immutable contents of a frame."""
+        try:
+            return self._frames[frame_id]
+        except KeyError:
+            raise KeyError(f"no such frame: {frame_id}") from None
+
+    def incref(self, frame_id: int) -> None:
+        """Add a reference (a page-table entry now points at the frame)."""
+        if frame_id not in self._refcounts:
+            raise KeyError(f"no such frame: {frame_id}")
+        self._refcounts[frame_id] += 1
+
+    def decref(self, frame_id: int) -> None:
+        """Drop a reference, reclaiming the frame at zero."""
+        count = self._refcounts.get(frame_id)
+        if count is None:
+            raise KeyError(f"no such frame: {frame_id}")
+        if count == 1:
+            del self._refcounts[frame_id]
+            del self._frames[frame_id]
+        else:
+            self._refcounts[frame_id] = count - 1
+
+    def refcount(self, frame_id: int) -> int:
+        """Current reference count (0 if the frame was reclaimed)."""
+        return self._refcounts.get(frame_id, 0)
+
+    def is_shared(self, frame_id: int) -> bool:
+        """True when more than one page-table entry points at the frame."""
+        return self.refcount(frame_id) > 1
+
+    @property
+    def live_frames(self) -> int:
+        """Number of frames currently allocated."""
+        return len(self._frames)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Total bytes held by live frames."""
+        return self.live_frames * self.page_size
+
+    def __repr__(self) -> str:
+        return (
+            f"PageStore(page_size={self.page_size}, live_frames={self.live_frames})"
+        )

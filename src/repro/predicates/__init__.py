@@ -1,0 +1,13 @@
+"""Predicates and multiple worlds (paper sections 3.3 and 3.4.2).
+
+A predicate is 'a list of process identifiers, some of which the sending
+process depends on completing successfully and others on which the sending
+process depends on to not complete successfully'.  Predicates travel on
+messages, accumulate in worlds, and are resolved as processes change status
+-- which happens 'much less frequently than they make memory references'.
+"""
+
+from repro.predicates.predicate import Predicate
+from repro.predicates.world import World, WorldSet
+
+__all__ = ["Predicate", "World", "WorldSet"]

@@ -1,0 +1,157 @@
+"""The predicate algebra.
+
+A :class:`Predicate` carries two disjoint sets of process ids:
+
+- ``must``: processes assumed to complete successfully, and
+- ``cannot``: processes assumed to *not* complete successfully.
+
+The paper constructs these two ways: children inherit the parent's
+predicates, and each spawned alternative 'additionally assumes that it will
+complete successfully, and that its siblings will not' (sibling rivalry
+taken to its extreme -- footnote 1).
+
+On message receipt the receiver compares its predicate ``R`` with the
+sender's ``S`` (section 3.4.2):
+
+- ``S`` implied by ``R``  -> accept immediately;
+- ``S`` conflicts with ``R`` -> ignore the message;
+- otherwise -> split the receiver into two worlds, one assuming the sender
+  completes (and hence all of ``S``), one assuming only that the sender
+  does not complete (footnote 3: negating *all* of ``S`` could assert that
+  two mutually exclusive processes must both complete).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+from repro.errors import PredicateConflict
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An immutable pair of (must-complete, cannot-complete) pid sets."""
+
+    must: FrozenSet[int] = field(default_factory=frozenset)
+    cannot: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "must", frozenset(self.must))
+        object.__setattr__(self, "cannot", frozenset(self.cannot))
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @staticmethod
+    def empty() -> "Predicate":
+        """The predicate with no assumptions (always satisfied)."""
+        return Predicate(frozenset(), frozenset())
+
+    @staticmethod
+    def of(must: Iterable[int] = (), cannot: Iterable[int] = ()) -> "Predicate":
+        """Build from any iterables of pids."""
+        return Predicate(frozenset(must), frozenset(cannot))
+
+    def assuming_completion(self, pid: int) -> "Predicate":
+        """This predicate plus the assumption that ``pid`` completes."""
+        return Predicate(self.must | {pid}, self.cannot)
+
+    def assuming_failure(self, pid: int) -> "Predicate":
+        """This predicate plus the assumption that ``pid`` does not."""
+        return Predicate(self.must, self.cannot | {pid})
+
+    def child_predicate(self, self_pid: int, sibling_pids: Iterable[int]) -> "Predicate":
+        """The predicate a freshly spawned alternative starts with.
+
+        Inherits this (the parent's) predicate, assumes its own success and
+        every sibling's failure (section 3.3).
+        """
+        siblings = frozenset(sibling_pids) - {self_pid}
+        return Predicate(self.must | {self_pid}, self.cannot | siblings)
+
+    def failure_arm_predicate(self, sibling_pids: Iterable[int]) -> "Predicate":
+        """Predicate of the FAIL arm: no sibling completes (footnote 1)."""
+        return Predicate(self.must, self.cannot | frozenset(sibling_pids))
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def is_empty(self) -> bool:
+        """True when there are no outstanding assumptions."""
+        return not self.must and not self.cannot
+
+    def is_consistent(self) -> bool:
+        """False when some pid is assumed both to complete and to fail."""
+        return not (self.must & self.cannot)
+
+    def check_consistent(self) -> None:
+        """Raise :class:`PredicateConflict` when inconsistent."""
+        overlap = self.must & self.cannot
+        if overlap:
+            raise PredicateConflict(
+                f"processes {sorted(overlap)} assumed both to complete and to fail"
+            )
+
+    def implies(self, other: "Predicate") -> bool:
+        """True when every assumption of ``other`` is already made here.
+
+        The immediate-accept case on message receipt is
+        ``sender_predicate.implied_by(receiver)``, i.e.
+        ``receiver.implies(sender)``.
+        """
+        return other.must <= self.must and other.cannot <= self.cannot
+
+    def conflicts_with(self, other: "Predicate") -> bool:
+        """True when the two sets of assumptions cannot both hold."""
+        return bool(self.must & other.cannot) or bool(self.cannot & other.must)
+
+    def union(self, other: "Predicate") -> "Predicate":
+        """Both sets of assumptions together (raises on inconsistency)."""
+        merged = Predicate(self.must | other.must, self.cannot | other.cannot)
+        merged.check_consistent()
+        return merged
+
+    def missing_from(self, other: "Predicate") -> "Predicate":
+        """The assumptions in ``self`` that ``other`` has not yet made."""
+        return Predicate(self.must - other.must, self.cannot - other.cannot)
+
+    # ------------------------------------------------------------------
+    # resolution
+
+    def resolve(self, pid: int, completed: bool) -> "Predicate":
+        """Discharge assumptions about ``pid`` given its final status.
+
+        Returns the simplified predicate.  Raises
+        :class:`PredicateConflict` when the outcome contradicts an
+        assumption, which means the world holding this predicate must be
+        eliminated.
+        """
+        if completed:
+            if pid in self.cannot:
+                raise PredicateConflict(
+                    f"process {pid} completed but this world assumed it would not"
+                )
+            if pid in self.must:
+                return Predicate(self.must - {pid}, self.cannot)
+            return self
+        if pid in self.must:
+            raise PredicateConflict(
+                f"process {pid} failed but this world assumed it would complete"
+            )
+        if pid in self.cannot:
+            return Predicate(self.must, self.cannot - {pid})
+        return self
+
+    def mentions(self, pid: int) -> bool:
+        """True when ``pid`` appears in either list."""
+        return pid in self.must or pid in self.cannot
+
+    def __len__(self) -> int:
+        return len(self.must) + len(self.cannot)
+
+    def __repr__(self) -> str:
+        must = ",".join(str(p) for p in sorted(self.must)) or "-"
+        cannot = ",".join(str(p) for p in sorted(self.cannot)) or "-"
+        return f"Predicate(must=[{must}], cannot=[{cannot}])"

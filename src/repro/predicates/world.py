@@ -1,0 +1,208 @@
+"""Worlds: predicated copies of a process (the 'multiple worlds' of §3.4.2).
+
+A :class:`World` bundles a predicate with a cloneable unit of state (for a
+simulated process, its address space and registers).  A :class:`WorldSet`
+owns all the live worlds of one logical process and implements:
+
+- the three-way receive rule (accept / ignore / split);
+- predicate resolution when some process completes or fails, eliminating
+  worlds whose assumptions turned out false;
+- the source-access restriction: 'while a process has predicates which are
+  unsatisfied, it is restricted from causing observable side-effects'.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.errors import PredicateConflict, SideEffectViolation
+from repro.predicates.predicate import Predicate
+
+CloneFn = Callable[[Any], Any]
+ReleaseFn = Callable[[Any], None]
+
+
+def _default_clone(state: Any) -> Any:
+    """Clone via the state's own ``fork``/``clone`` method when present."""
+    if hasattr(state, "fork"):
+        return state.fork()
+    if hasattr(state, "clone"):
+        return state.clone()
+    import copy
+
+    return copy.deepcopy(state)
+
+
+@dataclass
+class World:
+    """One predicated timeline of a logical process."""
+
+    world_id: int
+    predicate: Predicate
+    state: Any = None
+    inbox: List[Any] = field(default_factory=list)
+    deferred_effects: List[Any] = field(default_factory=list)
+    alive: bool = True
+
+    @property
+    def unconditional(self) -> bool:
+        """True when every assumption has been discharged."""
+        return self.predicate.is_empty
+
+    def require_source_access(self) -> None:
+        """Guard a non-idempotent operation (section 3.4.2)."""
+        if not self.unconditional:
+            raise SideEffectViolation(
+                f"world {self.world_id} has unresolved predicates "
+                f"{self.predicate!r} and may not touch source state"
+            )
+
+    def defer_effect(self, effect: Any) -> None:
+        """Buffer a side effect until the world becomes unconditional."""
+        self.deferred_effects.append(effect)
+
+
+class WorldSet:
+    """All live worlds of one logical process."""
+
+    def __init__(
+        self,
+        initial_state: Any = None,
+        predicate: Optional[Predicate] = None,
+        clone_state: CloneFn = _default_clone,
+    ) -> None:
+        self._ids = itertools.count()
+        self.clone_state = clone_state
+        first = World(
+            world_id=next(self._ids),
+            predicate=predicate if predicate is not None else Predicate.empty(),
+            state=initial_state,
+        )
+        self.worlds: List[World] = [first]
+        self.splits = 0
+        """Number of receiver splits performed (overhead accounting)."""
+        self.eliminated = 0
+        """Worlds eliminated by predicate resolution."""
+
+    # ------------------------------------------------------------------
+
+    def live_worlds(self) -> List[World]:
+        """The currently live worlds."""
+        return [w for w in self.worlds if w.alive]
+
+    def __len__(self) -> int:
+        return len(self.live_worlds())
+
+    @property
+    def is_consistent(self) -> bool:
+        """A process must always have at least one live world."""
+        return len(self) >= 1
+
+    def sole_world(self) -> World:
+        """The unique live world (raises when split)."""
+        live = self.live_worlds()
+        if len(live) != 1:
+            raise PredicateConflict(
+                f"expected exactly one live world, have {len(live)}"
+            )
+        return live[0]
+
+    # ------------------------------------------------------------------
+    # the receive rule
+
+    def receive(
+        self,
+        message: Any,
+        sender_pid: int,
+        sender_predicate: Predicate,
+    ) -> List[World]:
+        """Apply the three-way rule; return the worlds that accepted.
+
+        ``sender_predicate`` is the sending predicate attached to the
+        message; accepting a message also means assuming the *sender
+        process* completes (receipt is a side effect of the sender).
+        """
+        effective = sender_predicate.assuming_completion(sender_pid)
+        return self.receive_effective(message, effective)
+
+    def receive_effective(self, message: Any, effective: Predicate) -> List[World]:
+        """Apply the three-way rule for a pre-computed effective predicate.
+
+        Used by the router when some of the message's assumptions are
+        already known facts (the sender, say, is known to have completed)
+        and have been discharged before delivery.
+        """
+        accepted: List[World] = []
+        if not effective.is_consistent():
+            # The message's own assumptions are self-contradictory (e.g.
+            # a sender predicted not to complete itself): it belongs to a
+            # logically impossible timeline and every world ignores it.
+            return accepted
+        for world in list(self.live_worlds()):
+            if world.predicate.conflicts_with(effective):
+                continue  # ignore: assumptions cannot co-hold
+            if world.predicate.implies(effective):
+                world.inbox.append(message)
+                accepted.append(world)
+                continue
+            # Split: one copy takes on all the message's assumptions; the
+            # other negates a single pivot assumption (footnote 3: negating
+            # everything could demand two mutually exclusive completions).
+            missing = effective.missing_from(world.predicate)
+            if missing.must:
+                pivot = min(missing.must)
+                no_predicate = world.predicate.assuming_failure(pivot)
+            else:
+                pivot = min(missing.cannot)
+                no_predicate = world.predicate.assuming_completion(pivot)
+            yes_predicate = world.predicate.union(effective)
+            yes_world = World(
+                world_id=next(self._ids),
+                predicate=yes_predicate,
+                state=self.clone_state(world.state),
+                inbox=list(world.inbox) + [message],
+                deferred_effects=list(world.deferred_effects),
+            )
+            no_world = World(
+                world_id=next(self._ids),
+                predicate=no_predicate,
+                state=self.clone_state(world.state),
+                inbox=list(world.inbox),
+                deferred_effects=list(world.deferred_effects),
+            )
+            world.alive = False
+            self.worlds.extend([yes_world, no_world])
+            self.splits += 1
+            accepted.append(yes_world)
+        return accepted
+
+    # ------------------------------------------------------------------
+    # resolution
+
+    def resolve(self, pid: int, completed: bool) -> List[Any]:
+        """Discharge assumptions about ``pid`` in every world.
+
+        Worlds whose assumptions are contradicted are eliminated ('one of
+        the two receivers must be eliminated in order to maintain a
+        consistent state of the world').  Returns the side effects released
+        by worlds that became unconditional.
+        """
+        released: List[Any] = []
+        for world in self.live_worlds():
+            try:
+                world.predicate = world.predicate.resolve(pid, completed)
+            except PredicateConflict:
+                world.alive = False
+                self.eliminated += 1
+                continue
+            if world.unconditional and world.deferred_effects:
+                released.extend(world.deferred_effects)
+                world.deferred_effects = []
+        return released
+
+    def assume(self, predicate: Predicate) -> None:
+        """Fold extra assumptions into every live world (used at spawn)."""
+        for world in self.live_worlds():
+            world.predicate = world.predicate.union(predicate)

@@ -1,0 +1,26 @@
+"""Process management (paper section 3.2).
+
+'Two primitives encapsulate the entire semantics of the process management
+component': ``alt_spawn(n)`` creates the mutually oblivious alternatives as
+COW children of the parent, and ``alt_wait(TIMEOUT)`` establishes 'a single
+path through the tree of possible computations' by absorbing the first
+successfully synchronizing child and eliminating its siblings.
+"""
+
+from repro.process.checkpoint import Checkpoint, checkpoint_process, restore_process
+from repro.process.primitives import AltGroup, EliminationMode, ProcessManager
+from repro.process.process import ProcessState, SimProcess
+from repro.process.scheduler import Job, ProcessorSharing
+
+__all__ = [
+    "AltGroup",
+    "Checkpoint",
+    "EliminationMode",
+    "Job",
+    "ProcessManager",
+    "ProcessorSharing",
+    "ProcessState",
+    "SimProcess",
+    "checkpoint_process",
+    "restore_process",
+]

@@ -1,0 +1,126 @@
+"""Whole-process checkpoint/restart.
+
+The paper's unmodified-kernel ``rfork()`` (section 4.4, footnote 5) works
+'by dumping the state of the process into a file in such a way that the
+file is executable; a bootstrapping routine restores the registers and data
+segments and returns control to the caller of the checkpoint routine'.
+
+:func:`checkpoint_process` serializes a :class:`SimProcess` -- every mapped
+page plus the register file and predicate -- into an opaque byte image, and
+:func:`restore_process` reconstitutes it, possibly in a different
+:class:`~repro.pages.PageStore` (i.e., on a different simulated node).  The
+image size is the dominant cost driver of the remote fork, exactly as in
+the paper ('the major cost was creating a checkpoint of the process in its
+entirety').
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import CheckpointError
+from repro.pages.address_space import AddressSpace
+from repro.pages.store import PageStore
+from repro.pages.table import PageTable
+from repro.predicates.predicate import Predicate
+from repro.process.process import ProcessState, SimProcess
+
+_MAGIC = b"RPCK1"
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """An opaque, shippable process image."""
+
+    image: bytes
+
+    @property
+    def size(self) -> int:
+        """Image size in bytes (drives checkpoint/transfer/restore cost)."""
+        return len(self.image)
+
+
+def checkpoint_process(process: SimProcess) -> Checkpoint:
+    """Dump ``process`` in its entirety into a byte image.
+
+    A return value distinguishes the checkpoint from the restored copy:
+    the restored process carries ``registers['__restored__'] = True``.
+    """
+    if process.is_terminal:
+        raise CheckpointError(
+            f"cannot checkpoint terminal process {process.pid} "
+            f"({process.state.value})"
+        )
+    pages = {
+        vpn: process.space.table.read_page(vpn)
+        for vpn in process.space.table.mapped_pages()
+    }
+    payload = {
+        "pid": process.pid,
+        "size": process.space.size,
+        "page_size": process.space.page_size,
+        "pages": pages,
+        "registers": dict(process.registers),
+        "predicate_must": sorted(process.predicate.must),
+        "predicate_cannot": sorted(process.predicate.cannot),
+        "alt_index": process.alt_index,
+    }
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    # The paper's rfork dumps the process 'in its entirety': pad the image
+    # to at least the full address-space size so that shared zero pages
+    # (which pickle would otherwise deduplicate) are charged for honestly.
+    header = len(blob).to_bytes(8, "big")
+    image = _MAGIC + header + blob
+    if len(image) < process.space.size:
+        image += bytes(process.space.size - len(image))
+    return Checkpoint(image=image)
+
+
+def restore_process(
+    checkpoint: Checkpoint,
+    store: PageStore,
+    pid: Optional[int] = None,
+) -> SimProcess:
+    """Reconstitute a checkpointed process inside ``store``.
+
+    ``pid`` defaults to the checkpointed pid; pass a fresh one when the
+    original is still alive on another node.
+    """
+    if not checkpoint.image.startswith(_MAGIC):
+        raise CheckpointError("not a process checkpoint image")
+    try:
+        offset = len(_MAGIC)
+        blob_len = int.from_bytes(checkpoint.image[offset:offset + 8], "big")
+        blob = checkpoint.image[offset + 8:offset + 8 + blob_len]
+        payload = pickle.loads(blob)
+    except Exception as exc:
+        raise CheckpointError(f"corrupt checkpoint image: {exc}") from exc
+    if payload["page_size"] != store.page_size:
+        raise CheckpointError(
+            f"checkpoint page size {payload['page_size']} does not match "
+            f"target store page size {store.page_size}"
+        )
+    table = PageTable(store)
+    for vpn, data in payload["pages"].items():
+        table.map_page(vpn, data)
+    table.clear_dirty()
+    space = AddressSpace.__new__(AddressSpace)
+    space.store = store
+    space.size = payload["size"]
+    space.page_size = payload["page_size"]
+    space.table = table
+    space._vars_cache = None
+    registers = dict(payload["registers"])
+    registers["__restored__"] = True
+    return SimProcess(
+        pid=pid if pid is not None else payload["pid"],
+        space=space,
+        predicate=Predicate.of(
+            payload["predicate_must"], payload["predicate_cannot"]
+        ),
+        state=ProcessState.RUNNABLE,
+        registers=registers,
+        alt_index=payload["alt_index"],
+    )

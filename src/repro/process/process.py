@@ -1,0 +1,96 @@
+"""Simulated processes.
+
+A :class:`SimProcess` is 'an independently schedulable stream of
+instructions ... associated with some unit of state, e.g., an address
+space'.  Here the unit of state is a COW :class:`~repro.pages.AddressSpace`
+plus a small register file (a dict), and the lifecycle states track the
+alternative-execution protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.pages.address_space import AddressSpace
+from repro.predicates.predicate import Predicate
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle of a simulated process."""
+
+    RUNNABLE = "runnable"
+    """Created and eligible to run."""
+
+    WAITING = "waiting"
+    """Parent blocked in ``alt_wait`` ('the parent is constrained to remain
+    blocked while the children are executing')."""
+
+    SYNCED = "synced"
+    """Child that won the rendezvous; its state was absorbed."""
+
+    FAILED = "failed"
+    """Child whose guard did not hold; it aborted without synchronizing."""
+
+    ELIMINATED = "eliminated"
+    """Losing sibling terminated by the scheduler."""
+
+    EXITED = "exited"
+    """Normal termination outside any alternative group."""
+
+
+_TERMINAL = {
+    ProcessState.SYNCED,
+    ProcessState.FAILED,
+    ProcessState.ELIMINATED,
+    ProcessState.EXITED,
+}
+
+
+@dataclass
+class SimProcess:
+    """A simulated process: pid, address space, predicate, lifecycle."""
+
+    pid: int
+    space: AddressSpace
+    predicate: Predicate = field(default_factory=Predicate.empty)
+    parent_pid: Optional[int] = None
+    state: ProcessState = ProcessState.RUNNABLE
+    registers: Dict[str, Any] = field(default_factory=dict)
+    alt_index: int = 0
+    """Value ``alt_spawn`` returned in this process: 0 in the parent,
+    1..n in the alternates."""
+
+    group_id: Optional[int] = None
+    """The alternative group this process belongs to (children only)."""
+
+    cpu_consumed: float = 0.0
+    """Seconds of simulated CPU charged to this process."""
+
+    @property
+    def is_terminal(self) -> bool:
+        """True once the process can no longer run."""
+        return self.state in _TERMINAL
+
+    @property
+    def is_alternative(self) -> bool:
+        """True for a child spawned by ``alt_spawn``."""
+        return self.alt_index > 0
+
+    def transition(self, new_state: ProcessState) -> None:
+        """Move to ``new_state``; terminal states are sticky."""
+        from repro.errors import ProcessStateError
+
+        if self.is_terminal and new_state != self.state:
+            raise ProcessStateError(
+                f"process {self.pid} is {self.state.value}; "
+                f"cannot become {new_state.value}"
+            )
+        self.state = new_state
+
+    def __repr__(self) -> str:
+        return (
+            f"SimProcess(pid={self.pid}, state={self.state.value}, "
+            f"alt_index={self.alt_index}, predicate={self.predicate!r})"
+        )

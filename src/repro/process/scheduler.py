@@ -1,0 +1,200 @@
+"""Processor-sharing race scheduler.
+
+Section 4.2 distinguishes *real* concurrency (one processor per
+alternative) from *virtual* concurrency ('some sharing of hardware, for
+example through multiprocessing').  When ``C_best`` shares CPUs with its
+siblings, 'C_j's runtime must be added to the runtime overhead of C_best'.
+
+:class:`ProcessorSharing` is a deterministic fluid model of that effect:
+``cpus`` processors are shared equally among the active jobs, so with ``M``
+active jobs each progresses at rate ``min(1, cpus / M)``.  It exposes the
+two quantities the analysis needs -- per-job completion times and per-job
+CPU actually consumed (the wasted-work / throughput cost of speculation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+_EPS = 1e-12
+
+
+@dataclass
+class Job:
+    """One schedulable computation in the race."""
+
+    job_id: Hashable
+    arrival: float
+    demand: float
+    remaining: float = field(init=False)
+    consumed: float = 0.0
+    completed_at: Optional[float] = None
+    cancelled_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError("arrival time cannot be negative")
+        if self.demand < 0:
+            raise ValueError("CPU demand cannot be negative")
+        self.remaining = self.demand
+
+    @property
+    def finished(self) -> bool:
+        """Completed or cancelled."""
+        return self.completed_at is not None or self.cancelled_at is not None
+
+
+class ProcessorSharing:
+    """Deterministic egalitarian processor-sharing simulator."""
+
+    def __init__(self, cpus: int) -> None:
+        if cpus < 1:
+            raise ValueError("need at least one CPU")
+        self.cpus = cpus
+        self.now = 0.0
+        self._jobs: Dict[Hashable, Job] = {}
+
+    # ------------------------------------------------------------------
+
+    def add(self, job_id: Hashable, arrival: float, demand: float) -> Job:
+        """Register a job arriving at ``arrival`` needing ``demand`` CPU-s."""
+        if job_id in self._jobs:
+            raise ValueError(f"duplicate job id {job_id!r}")
+        if arrival < self.now - _EPS:
+            raise ValueError("cannot add a job in the simulated past")
+        job = Job(job_id, arrival, demand)
+        self._jobs[job_id] = job
+        return job
+
+    def job(self, job_id: Hashable) -> Job:
+        """Look up a job by id."""
+        return self._jobs[job_id]
+
+    def jobs(self) -> List[Job]:
+        """All jobs in insertion order."""
+        return list(self._jobs.values())
+
+    def cancel(self, job_id: Hashable) -> None:
+        """Terminate a job at the current time (sibling elimination)."""
+        job = self._jobs[job_id]
+        if not job.finished:
+            job.cancelled_at = self.now
+
+    def _active(self) -> List[Job]:
+        return [
+            j
+            for j in self._jobs.values()
+            if not j.finished and j.arrival <= self.now + _EPS
+        ]
+
+    def _next_arrival(self) -> Optional[float]:
+        future = [
+            j.arrival
+            for j in self._jobs.values()
+            if not j.finished and j.arrival > self.now + _EPS
+        ]
+        return min(future) if future else None
+
+    # ------------------------------------------------------------------
+
+    def step_to_next_completion(self) -> Optional[Tuple[float, Hashable]]:
+        """Advance until some job completes; return ``(time, job_id)``.
+
+        Returns ``None`` when no live job remains.  Jobs with zero demand
+        complete the instant they arrive.
+        """
+        while True:
+            active = self._active()
+            if not active:
+                next_arrival = self._next_arrival()
+                if next_arrival is None:
+                    return None
+                self.now = next_arrival
+                continue
+            # Zero-demand jobs complete immediately.
+            for job in active:
+                if job.remaining <= _EPS:
+                    job.remaining = 0.0
+                    job.completed_at = self.now
+                    return (self.now, job.job_id)
+            rate = min(1.0, self.cpus / len(active))
+            time_to_done = min(job.remaining / rate for job in active)
+            next_arrival = self._next_arrival()
+            horizon = self.now + time_to_done
+            if next_arrival is not None and next_arrival < horizon - _EPS:
+                dt = next_arrival - self.now
+                self._consume(active, rate, dt)
+                self.now = next_arrival
+                continue
+            self._consume(active, rate, time_to_done)
+            self.now = horizon
+            for job in active:
+                if job.remaining <= _EPS:
+                    job.remaining = 0.0
+                    job.completed_at = self.now
+                    return (self.now, job.job_id)
+
+    def advance_to(self, when: float) -> None:
+        """Consume work up to absolute time ``when`` without stopping at
+        completions.  Used to account for losers that keep burning CPU
+        until their (staggered) termination instructions land."""
+        if when < self.now - _EPS:
+            raise ValueError("cannot advance into the past")
+        while self.now < when - _EPS:
+            active = self._active()
+            if not active:
+                next_arrival = self._next_arrival()
+                if next_arrival is None or next_arrival > when:
+                    self.now = when
+                    return
+                self.now = next_arrival
+                continue
+            rate = min(1.0, self.cpus / len(active))
+            time_to_done = min(job.remaining / rate for job in active)
+            next_arrival = self._next_arrival()
+            horizon = min(
+                when,
+                self.now + time_to_done,
+                next_arrival if next_arrival is not None else float("inf"),
+            )
+            dt = horizon - self.now
+            self._consume(active, rate, dt)
+            self.now = horizon
+            for job in active:
+                if job.remaining <= _EPS and job.completed_at is None:
+                    job.remaining = 0.0
+                    job.completed_at = self.now
+
+    def run_to_completion(self) -> Dict[Hashable, float]:
+        """Run every remaining job; return completion times by id."""
+        while self.step_to_next_completion() is not None:
+            pass
+        return {
+            j.job_id: j.completed_at
+            for j in self._jobs.values()
+            if j.completed_at is not None
+        }
+
+    @staticmethod
+    def _consume(active: List[Job], rate: float, dt: float) -> None:
+        for job in active:
+            work = rate * dt
+            job.remaining = max(0.0, job.remaining - work)
+            job.consumed += work
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def total_consumed(self) -> float:
+        """CPU-seconds consumed by all jobs so far."""
+        return sum(j.consumed for j in self._jobs.values())
+
+    def wasted_work(self, winner_id: Hashable) -> float:
+        """CPU-seconds consumed by everyone except ``winner_id``.
+
+        This is the throughput price of speculation (section 4.1 item 3).
+        """
+        return sum(
+            j.consumed for j in self._jobs.values() if j.job_id != winner_id
+        )

@@ -1,0 +1,39 @@
+"""A Prolog interpreter with OR-parallel execution (paper section 5.2).
+
+Built from scratch so the reproduction owns the whole substrate:
+
+- :mod:`repro.prolog.terms` -- atoms, numbers, variables, structures, lists;
+- :mod:`repro.prolog.parser` -- a reader for a practical Prolog subset
+  (clauses, operators, lists, cut, negation, arithmetic);
+- :mod:`repro.prolog.unify` -- unification with trail-based undo;
+- :mod:`repro.prolog.database` -- the clause database;
+- :mod:`repro.prolog.engine` -- SLD resolution with backtracking, cut,
+  and an inference counter used for simulated-time accounting;
+- :mod:`repro.prolog.orparallel` -- clause-level OR-parallelism on the
+  alternatives framework: each candidate clause races in its own copied
+  world, the first solution wins, nothing needs merging.
+"""
+
+from repro.prolog.database import Clause, Database
+from repro.prolog.engine import Engine, Solution
+from repro.prolog.orparallel import OrParallelEngine, OrParallelResult
+from repro.prolog.parser import parse_program, parse_query, parse_term
+from repro.prolog.terms import Atom, Num, Struct, Term, Var, make_list
+
+__all__ = [
+    "Atom",
+    "Clause",
+    "Database",
+    "Engine",
+    "Num",
+    "OrParallelEngine",
+    "OrParallelResult",
+    "Solution",
+    "Struct",
+    "Term",
+    "Var",
+    "make_list",
+    "parse_program",
+    "parse_query",
+    "parse_term",
+]

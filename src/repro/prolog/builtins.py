@@ -1,0 +1,495 @@
+"""Built-in predicates and arithmetic evaluation.
+
+Builtins are generator functions ``fn(engine, args, bindings, trail,
+depth)`` yielding once per solution.  Control constructs (conjunction,
+disjunction, cut, if-then-else) live in the engine because they interact
+with the cut barrier; everything else lives here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+from repro.errors import PrologTypeError
+from repro.prolog.terms import (
+    Atom,
+    EMPTY_LIST,
+    Num,
+    Struct,
+    Term,
+    Var,
+    list_items,
+    make_list,
+    term_str,
+)
+from repro.prolog.unify import resolve, undo_to, unify, walk
+
+Builtin = Callable
+
+
+def eval_arith(term: Term, bindings) -> float:
+    """Evaluate an arithmetic expression term to a Python number."""
+    term = walk(term, bindings)
+    if isinstance(term, Num):
+        return term.value
+    if isinstance(term, Var):
+        raise PrologTypeError(
+            f"arguments are not sufficiently instantiated: {term_str(term)}"
+        )
+    if isinstance(term, Atom):
+        constants = {"pi": math.pi, "e": math.e}
+        if term.name in constants:
+            return constants[term.name]
+        raise PrologTypeError(f"not an arithmetic expression: {term.name}")
+    assert isinstance(term, Struct)
+    args = [eval_arith(arg, bindings) for arg in term.args]
+    table2 = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": _divide,
+        "//": _int_divide,
+        "mod": _modulo,
+        "**": lambda a, b: a**b,
+        "min": min,
+        "max": max,
+    }
+    table1 = {
+        "-": lambda a: -a,
+        "+": lambda a: a,
+        "abs": abs,
+        "sign": lambda a: (a > 0) - (a < 0),
+        "sqrt": math.sqrt,
+        "truncate": lambda a: int(a),
+        "float": float,
+    }
+    if term.arity == 2 and term.functor in table2:
+        return table2[term.functor](*args)
+    if term.arity == 1 and term.functor in table1:
+        return table1[term.functor](*args)
+    raise PrologTypeError(
+        f"unknown arithmetic function: {term.functor}/{term.arity}"
+    )
+
+
+def _divide(a, b):
+    if b == 0:
+        raise PrologTypeError("zero divisor")
+    result = a / b
+    if isinstance(a, int) and isinstance(b, int) and a % b == 0:
+        return a // b
+    return result
+
+
+def _int_divide(a, b):
+    if b == 0:
+        raise PrologTypeError("zero divisor")
+    return int(a // b)
+
+
+def _modulo(a, b):
+    if b == 0:
+        raise PrologTypeError("zero divisor")
+    return a % b
+
+
+def _to_num(value) -> Num:
+    return Num(value)
+
+
+# ----------------------------------------------------------------------
+# builtin implementations
+
+
+def _bi_true(engine, args, bindings, trail, depth):
+    yield
+
+
+def _bi_fail(engine, args, bindings, trail, depth):
+    return
+    yield  # pragma: no cover
+
+
+def _bi_unify(engine, args, bindings, trail, depth):
+    mark = len(trail)
+    if unify(args[0], args[1], bindings, trail, engine.occurs_check):
+        yield
+    undo_to(mark, bindings, trail)
+
+
+def _bi_not_unifiable(engine, args, bindings, trail, depth):
+    mark = len(trail)
+    unifiable = unify(args[0], args[1], bindings, trail, engine.occurs_check)
+    undo_to(mark, bindings, trail)
+    if not unifiable:
+        yield
+
+
+def _bi_structural_eq(engine, args, bindings, trail, depth):
+    if resolve(args[0], bindings) == resolve(args[1], bindings):
+        yield
+
+
+def _bi_structural_neq(engine, args, bindings, trail, depth):
+    if resolve(args[0], bindings) != resolve(args[1], bindings):
+        yield
+
+
+def _bi_is(engine, args, bindings, trail, depth):
+    value = _to_num(eval_arith(args[1], bindings))
+    mark = len(trail)
+    if unify(args[0], value, bindings, trail):
+        yield
+    undo_to(mark, bindings, trail)
+
+
+def _compare(op):
+    def builtin(engine, args, bindings, trail, depth):
+        left = eval_arith(args[0], bindings)
+        right = eval_arith(args[1], bindings)
+        if op(left, right):
+            yield
+
+    return builtin
+
+
+def _type_check(predicate):
+    def builtin(engine, args, bindings, trail, depth):
+        if predicate(walk(args[0], bindings)):
+            yield
+
+    return builtin
+
+
+def _bi_between(engine, args, bindings, trail, depth):
+    low = eval_arith(args[0], bindings)
+    high = eval_arith(args[1], bindings)
+    if not (isinstance(low, int) and isinstance(high, int)):
+        raise PrologTypeError("between/3 needs integer bounds")
+    target = walk(args[2], bindings)
+    if isinstance(target, Num):
+        if isinstance(target.value, int) and low <= target.value <= high:
+            yield
+        return
+    for value in range(low, high + 1):
+        mark = len(trail)
+        if unify(args[2], Num(value), bindings, trail):
+            yield
+        undo_to(mark, bindings, trail)
+
+
+def _bi_length(engine, args, bindings, trail, depth):
+    lst = walk(args[0], bindings)
+    if not isinstance(lst, Var):
+        items, tail = list_items(resolve(lst, bindings))
+        if tail != EMPTY_LIST:
+            raise PrologTypeError("length/2 on a partial list")
+        mark = len(trail)
+        if unify(args[1], Num(len(items)), bindings, trail):
+            yield
+        undo_to(mark, bindings, trail)
+        return
+    count = walk(args[1], bindings)
+    if isinstance(count, Num) and isinstance(count.value, int):
+        fresh = make_list(
+            [Var(f"_L{i}", engine.fresh_salt()) for i in range(count.value)]
+        )
+        mark = len(trail)
+        if unify(args[0], fresh, bindings, trail):
+            yield
+        undo_to(mark, bindings, trail)
+        return
+    raise PrologTypeError("length/2 needs a list or an integer")
+
+
+def _bi_findall(engine, args, bindings, trail, depth):
+    template, goal, result = args
+    collected = []
+    mark = len(trail)
+    for _ in engine.solve_goal_fresh(goal, bindings, trail, depth):
+        collected.append(resolve(template, bindings))
+    undo_to(mark, bindings, trail)
+    mark = len(trail)
+    if unify(result, make_list(collected), bindings, trail):
+        yield
+    undo_to(mark, bindings, trail)
+
+
+def _bi_write(engine, args, bindings, trail, depth):
+    engine.write_output(term_str(resolve(args[0], bindings)))
+    yield
+
+
+def _bi_nl(engine, args, bindings, trail, depth):
+    engine.write_output("\n")
+    yield
+
+
+def _clause_arg(args, bindings) -> Term:
+    term = resolve(args[0], bindings)
+    if isinstance(term, Var):
+        raise PrologTypeError("assert/retract argument must be instantiated")
+    return term
+
+
+def _bi_assertz(engine, args, bindings, trail, depth):
+    engine.database.assertz(_clause_arg(args, bindings))
+    yield
+
+
+def _bi_asserta(engine, args, bindings, trail, depth):
+    engine.database.asserta(_clause_arg(args, bindings))
+    yield
+
+
+def _bi_retract(engine, args, bindings, trail, depth):
+    from repro.prolog.database import clause_from_term
+
+    pattern = clause_from_term(walk(args[0], bindings))
+    candidates = engine.database.clauses_for(*pattern.indicator)
+    for stored in candidates:
+        activation = engine.database.fresh_activation(stored)
+        mark = len(trail)
+        head_ok = unify(pattern.head, activation.head, bindings, trail)
+        if head_ok and _body_matches(pattern, activation, bindings, trail):
+            # Removal is permanent: backtracking does not restore the
+            # clause (standard retract/1 behaviour).
+            engine.database.remove_clause(stored)
+            yield
+        undo_to(mark, bindings, trail)
+
+
+def _body_matches(pattern, activation, bindings, trail) -> bool:
+    from repro.prolog.terms import Atom as _Atom
+
+    if not pattern.body:
+        # Plain 'retract(head)' matches facts only.
+        return not activation.body or activation.body == (_Atom("true"),)
+    if len(pattern.body) == 1 and isinstance(pattern.body[0], Var):
+        # retract((H :- B)) with variable body matches anything.
+        body_term = _conjoin_terms(activation.body) if activation.body else _Atom("true")
+        return unify(pattern.body[0], body_term, bindings, trail)
+    if len(pattern.body) != len(activation.body):
+        return False
+    return all(
+        unify(p, a, bindings, trail)
+        for p, a in zip(pattern.body, activation.body)
+    )
+
+
+def _conjoin_terms(goals):
+    result = goals[-1]
+    for goal in reversed(goals[:-1]):
+        result = Struct(",", (goal, result))
+    return result
+
+
+def _bi_atom_length(engine, args, bindings, trail, depth):
+    atom = walk(args[0], bindings)
+    if not isinstance(atom, Atom):
+        raise PrologTypeError("atom_length/2 needs an atom")
+    mark = len(trail)
+    if unify(args[1], Num(len(atom.name)), bindings, trail):
+        yield
+    undo_to(mark, bindings, trail)
+
+
+def _bi_functor(engine, args, bindings, trail, depth):
+    term = walk(args[0], bindings)
+    mark = len(trail)
+    if not isinstance(term, Var):
+        # Decompose: functor(foo(a,b), F, A) -> F=foo, A=2.
+        if isinstance(term, Struct):
+            name: Term = Atom(term.functor)
+            arity = Num(term.arity)
+        elif isinstance(term, Atom):
+            name = term
+            arity = Num(0)
+        else:  # numbers are their own functor
+            name = term
+            arity = Num(0)
+        if unify(args[1], name, bindings, trail) and unify(
+            args[2], arity, bindings, trail
+        ):
+            yield
+        undo_to(mark, bindings, trail)
+        return
+    # Construct: functor(T, foo, 2) -> T = foo(_, _).
+    name = walk(args[1], bindings)
+    arity = walk(args[2], bindings)
+    if isinstance(name, Var) or not isinstance(arity, Num):
+        raise PrologTypeError("functor/3: arguments insufficiently instantiated")
+    if not isinstance(arity.value, int) or arity.value < 0:
+        raise PrologTypeError("functor/3: arity must be a non-negative integer")
+    if arity.value == 0:
+        built: Term = name
+    else:
+        if not isinstance(name, Atom):
+            raise PrologTypeError("functor/3: functor name must be an atom")
+        built = Struct(
+            name.name,
+            tuple(
+                Var(f"_F{i}", engine.fresh_salt()) for i in range(arity.value)
+            ),
+        )
+    if unify(args[0], built, bindings, trail):
+        yield
+    undo_to(mark, bindings, trail)
+
+
+def _bi_arg(engine, args, bindings, trail, depth):
+    index = walk(args[0], bindings)
+    term = walk(args[1], bindings)
+    if not isinstance(term, Struct):
+        raise PrologTypeError("arg/3 needs a compound second argument")
+    if not isinstance(index, Num) or not isinstance(index.value, int):
+        raise PrologTypeError("arg/3 needs an integer first argument")
+    if not 1 <= index.value <= term.arity:
+        return
+    mark = len(trail)
+    if unify(args[2], term.args[index.value - 1], bindings, trail):
+        yield
+    undo_to(mark, bindings, trail)
+
+
+def _bi_univ(engine, args, bindings, trail, depth):
+    """``Term =.. List``: decompose/construct via a list."""
+    term = walk(args[0], bindings)
+    mark = len(trail)
+    if not isinstance(term, Var):
+        if isinstance(term, Struct):
+            parts = make_list([Atom(term.functor), *term.args])
+        else:
+            parts = make_list([term])
+        if unify(args[1], parts, bindings, trail):
+            yield
+        undo_to(mark, bindings, trail)
+        return
+    items, tail = list_items(resolve(args[1], bindings))
+    if tail != EMPTY_LIST or not items:
+        raise PrologTypeError("=../2 needs a proper non-empty list")
+    head = items[0]
+    if len(items) == 1:
+        built: Term = head
+    else:
+        if not isinstance(head, Atom):
+            raise PrologTypeError("=../2: functor must be an atom")
+        built = Struct(head.name, tuple(items[1:]))
+    if unify(args[0], built, bindings, trail):
+        yield
+    undo_to(mark, bindings, trail)
+
+
+def _bi_copy_term(engine, args, bindings, trail, depth):
+    from repro.prolog.unify import rename_term
+
+    original = resolve(args[0], bindings)
+    fresh = rename_term(original, engine.fresh_salt())
+    mark = len(trail)
+    if unify(args[1], fresh, bindings, trail):
+        yield
+    undo_to(mark, bindings, trail)
+
+
+def _bi_succ(engine, args, bindings, trail, depth):
+    left = walk(args[0], bindings)
+    right = walk(args[1], bindings)
+    mark = len(trail)
+    if isinstance(left, Num):
+        if not isinstance(left.value, int) or left.value < 0:
+            raise PrologTypeError("succ/2 needs natural numbers")
+        if unify(args[1], Num(left.value + 1), bindings, trail):
+            yield
+    elif isinstance(right, Num):
+        if not isinstance(right.value, int) or right.value < 1:
+            if isinstance(right.value, int) and right.value == 0:
+                undo_to(mark, bindings, trail)
+                return
+            raise PrologTypeError("succ/2 needs natural numbers")
+        if unify(args[0], Num(right.value - 1), bindings, trail):
+            yield
+    else:
+        raise PrologTypeError("succ/2: arguments insufficiently instantiated")
+    undo_to(mark, bindings, trail)
+
+
+def _is_callable(term: Term) -> bool:
+    return isinstance(term, (Atom, Struct))
+
+
+BUILTINS: Dict[Tuple[str, int], Builtin] = {
+    ("true", 0): _bi_true,
+    ("fail", 0): _bi_fail,
+    ("false", 0): _bi_fail,
+    ("=", 2): _bi_unify,
+    ("\\=", 2): _bi_not_unifiable,
+    ("==", 2): _bi_structural_eq,
+    ("\\==", 2): _bi_structural_neq,
+    ("is", 2): _bi_is,
+    ("<", 2): _compare(lambda a, b: a < b),
+    (">", 2): _compare(lambda a, b: a > b),
+    ("=<", 2): _compare(lambda a, b: a <= b),
+    (">=", 2): _compare(lambda a, b: a >= b),
+    ("=:=", 2): _compare(lambda a, b: a == b),
+    ("=\\=", 2): _compare(lambda a, b: a != b),
+    ("var", 1): _type_check(lambda t: isinstance(t, Var)),
+    ("nonvar", 1): _type_check(lambda t: not isinstance(t, Var)),
+    ("atom", 1): _type_check(lambda t: isinstance(t, Atom)),
+    ("number", 1): _type_check(lambda t: isinstance(t, Num)),
+    ("integer", 1): _type_check(
+        lambda t: isinstance(t, Num) and isinstance(t.value, int)
+    ),
+    ("float", 1): _type_check(
+        lambda t: isinstance(t, Num) and isinstance(t.value, float)
+    ),
+    ("atomic", 1): _type_check(lambda t: isinstance(t, (Atom, Num))),
+    ("callable", 1): _type_check(_is_callable),
+    ("between", 3): _bi_between,
+    ("length", 2): _bi_length,
+    ("findall", 3): _bi_findall,
+    ("write", 1): _bi_write,
+    ("nl", 0): _bi_nl,
+    ("atom_length", 2): _bi_atom_length,
+    ("assertz", 1): _bi_assertz,
+    ("asserta", 1): _bi_asserta,
+    ("assert", 1): _bi_assertz,
+    ("retract", 1): _bi_retract,
+    ("functor", 3): _bi_functor,
+    ("arg", 3): _bi_arg,
+    ("=..", 2): _bi_univ,
+    ("copy_term", 2): _bi_copy_term,
+    ("succ", 2): _bi_succ,
+}
+
+
+LIBRARY = """
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+append([], L, L).
+append([H|T], L, [H|R]) :- append(T, L, R).
+
+reverse(L, R) :- reverse_(L, [], R).
+reverse_([], Acc, Acc).
+reverse_([H|T], Acc, R) :- reverse_(T, [H|Acc], R).
+
+last([X], X).
+last([_|T], X) :- last(T, X).
+
+nth0(0, [X|_], X) :- !.
+nth0(N, [_|T], X) :- N > 0, M is N - 1, nth0(M, T, X).
+
+select(X, [X|T], T).
+select(X, [H|T], [H|R]) :- select(X, T, R).
+
+sum_list([], 0).
+sum_list([H|T], S) :- sum_list(T, S1), S is S1 + H.
+
+max_list([X], X).
+max_list([H|T], M) :- max_list(T, M1), (H >= M1 -> M = H ; M = M1).
+
+min_list([X], X).
+min_list([H|T], M) :- min_list(T, M1), (H =< M1 -> M = H ; M = M1).
+"""
+"""Library predicates defined in Prolog itself and loaded on demand."""

@@ -1,0 +1,138 @@
+"""The clause database.
+
+'A database of predicate values and rules is used to construct a set of
+dependency relations.'  Clauses are indexed by predicate indicator
+``(functor, arity)`` and stored in source order; each activation renames
+the clause's variables with a fresh salt.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import PrologError
+from repro.prolog.parser import parse_program
+from repro.prolog.terms import Atom, Struct, Term, Var
+from repro.prolog.unify import rename_term
+
+
+@dataclass(frozen=True)
+class Clause:
+    """``head :- body_1, ..., body_n`` (facts have an empty body)."""
+
+    head: Term
+    body: Tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        if isinstance(self.head, Var):
+            raise PrologError("a clause head cannot be a variable")
+        if isinstance(self.head, (Atom, Struct)):
+            return
+        raise PrologError(f"invalid clause head: {self.head!r}")
+
+    @property
+    def indicator(self) -> Tuple[str, int]:
+        """The head's predicate indicator."""
+        if isinstance(self.head, Atom):
+            return (self.head.name, 0)
+        assert isinstance(self.head, Struct)
+        return self.head.indicator
+
+    def rename(self, salt: int) -> "Clause":
+        """A fresh activation with all variables salted."""
+        cache: Dict[Var, Var] = {}
+        return Clause(
+            head=rename_term(self.head, salt, cache),
+            body=tuple(rename_term(goal, salt, cache) for goal in self.body),
+        )
+
+
+def _flatten_conjunction(term: Term) -> Tuple[Term, ...]:
+    if isinstance(term, Struct) and term.functor == "," and term.arity == 2:
+        return _flatten_conjunction(term.args[0]) + _flatten_conjunction(term.args[1])
+    return (term,)
+
+
+def clause_from_term(term: Term) -> Clause:
+    """Build a clause from a parsed ``head :- body`` or fact term."""
+    if isinstance(term, Struct) and term.functor == ":-" and term.arity == 2:
+        head, body = term.args
+        return Clause(head=head, body=_flatten_conjunction(body))
+    return Clause(head=term)
+
+
+class Database:
+    """An indexed, ordered store of clauses."""
+
+    def __init__(self) -> None:
+        self._clauses: Dict[Tuple[str, int], List[Clause]] = {}
+        self._salt = itertools.count(1)
+
+    # ------------------------------------------------------------------
+
+    def add_clause(self, clause: Clause) -> None:
+        """Append a clause (``assertz`` order)."""
+        self._clauses.setdefault(clause.indicator, []).append(clause)
+
+    def add_clause_front(self, clause: Clause) -> None:
+        """Prepend a clause (``asserta`` order)."""
+        self._clauses.setdefault(clause.indicator, []).insert(0, clause)
+
+    def assertz(self, term: Term) -> None:
+        """Add a parsed clause term at the end of its predicate."""
+        self.add_clause(clause_from_term(term))
+
+    def asserta(self, term: Term) -> None:
+        """Add a parsed clause term at the front of its predicate."""
+        self.add_clause_front(clause_from_term(term))
+
+    def remove_clause(self, clause: Clause) -> bool:
+        """Remove one stored clause (identity match); True on success."""
+        bucket = self._clauses.get(clause.indicator)
+        if not bucket:
+            return False
+        for index, stored in enumerate(bucket):
+            if stored is clause:
+                # Keep the (now possibly empty) bucket: the predicate
+                # remains *known*, so calls fail rather than error.
+                del bucket[index]
+                return True
+        return False
+
+    def consult(self, source: str) -> int:
+        """Load a program text; returns the number of clauses added."""
+        terms = parse_program(source)
+        for term in terms:
+            self.assertz(term)
+        return len(terms)
+
+    def clauses_for(self, functor: str, arity: int) -> List[Clause]:
+        """The clauses of one predicate, in assertion order."""
+        return list(self._clauses.get((functor, arity), ()))
+
+    def has_predicate(self, functor: str, arity: int) -> bool:
+        """True when at least one clause exists for the indicator."""
+        return bool(self._clauses.get((functor, arity)))
+
+    def is_known(self, functor: str, arity: int) -> bool:
+        """True when the predicate has ever had a clause (possibly all
+        retracted since); calls to known-but-empty predicates fail
+        instead of raising."""
+        return (functor, arity) in self._clauses
+
+    def predicates(self) -> List[Tuple[str, int]]:
+        """All defined predicate indicators, sorted."""
+        return sorted(self._clauses)
+
+    def fresh_activation(self, clause: Clause) -> Clause:
+        """Rename a clause with a database-unique salt."""
+        return clause.rename(next(self._salt))
+
+    def __len__(self) -> int:
+        return sum(len(clauses) for clauses in self._clauses.values())
+
+    def __repr__(self) -> str:
+        return f"Database(predicates={len(self._clauses)}, clauses={len(self)})"

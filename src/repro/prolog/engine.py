@@ -1,0 +1,280 @@
+"""SLD resolution with backtracking, cut, and inference accounting.
+
+'Progress is achieved with a goal-oriented predicate-satisfaction
+algorithm.'  The engine is a classical depth-first SLD resolver:
+
+- goals resolve against database clauses in assertion order;
+- bindings are mutated in place and undone through the trail;
+- ``!`` prunes through a per-clause-activation cut barrier;
+- every goal invocation counts as one *inference*, which is the unit the
+  OR-parallel layer converts into simulated execution time.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import PrologError
+from repro.prolog.builtins import BUILTINS, LIBRARY
+from repro.prolog.database import Database
+from repro.prolog.parser import parse_query
+from repro.prolog.terms import Atom, Struct, Term, Var, term_str, variables_of
+from repro.prolog.unify import Bindings, Trail, resolve, undo_to, unify, walk
+
+
+@dataclass
+class Solution:
+    """One answer: query variable names mapped to resolved terms."""
+
+    assignments: Dict[str, Term]
+
+    def __getitem__(self, name: str) -> Term:
+        return self.assignments[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.assignments
+
+    def get(self, name: str, default=None):
+        return self.assignments.get(name, default)
+
+    def as_strings(self) -> Dict[str, str]:
+        """Assignments rendered as Prolog text."""
+        return {name: term_str(term) for name, term in self.assignments.items()}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self.as_strings().items()))
+        return f"Solution({inner})"
+
+
+class _Barrier:
+    """Cut barrier: one per clause activation / call scope."""
+
+    __slots__ = ("cut",)
+
+    def __init__(self) -> None:
+        self.cut = False
+
+
+_MIN_RECURSION_LIMIT = 15_000
+"""The resolver uses one small pack of Python frames per goal depth, so
+deep Prolog recursion needs a higher interpreter recursion limit.  This
+value supports roughly 2,000 levels of Prolog recursion while still
+raising ``RecursionError`` safely before the C stack is at risk."""
+
+
+class Engine:
+    """A Prolog interpreter over a :class:`Database`."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        max_inferences: Optional[int] = 5_000_000,
+        occurs_check: bool = False,
+        load_library: bool = True,
+    ) -> None:
+        self.database = database if database is not None else Database()
+        self.max_inferences = max_inferences
+        self.occurs_check = occurs_check
+        self.inferences = 0
+        self.output: List[str] = []
+        self._salt = itertools.count(1_000_000)
+        if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+        if load_library and not self.database.has_predicate("member", 2):
+            self.database.consult(LIBRARY)
+
+    # ------------------------------------------------------------------
+    # public API
+
+    def consult(self, source: str) -> int:
+        """Load program text into the database."""
+        return self.database.consult(source)
+
+    def solve(
+        self, query: Union[str, Term], limit: Optional[int] = None
+    ) -> Iterator[Solution]:
+        """Iterate solutions of ``query`` (string or term).
+
+        ``limit`` caps the number of solutions produced.
+        """
+        goal = parse_query(query) if isinstance(query, str) else query
+        query_vars = [v for v in variables_of(goal) if not v.name.startswith("_")]
+        bindings: Bindings = {}
+        trail: Trail = []
+        produced = 0
+        for _ in self._solve_goal(goal, bindings, trail, 0, _Barrier()):
+            yield Solution(
+                {var.name: resolve(var, bindings) for var in query_vars}
+            )
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    def solve_first(self, query: Union[str, Term]) -> Optional[Solution]:
+        """The first solution, or ``None``."""
+        for solution in self.solve(query, limit=1):
+            return solution
+        return None
+
+    def count_solutions(self, query: Union[str, Term]) -> int:
+        """How many solutions the query has."""
+        return sum(1 for _ in self.solve(query))
+
+    def write_output(self, text: str) -> None:
+        """Sink for ``write/1`` and ``nl/0``."""
+        self.output.append(text)
+
+    def fresh_salt(self) -> int:
+        """A fresh variable salt for builtins that invent variables."""
+        return next(self._salt)
+
+    def solve_goal_fresh(self, goal, bindings, trail, depth):
+        """Solve a goal in a fresh cut scope (for findall/3, call/1)."""
+        return self._solve_goal(goal, bindings, trail, depth, _Barrier())
+
+    # ------------------------------------------------------------------
+    # the resolver
+
+    def _charge_inference(self) -> None:
+        self.inferences += 1
+        if self.max_inferences is not None and self.inferences > self.max_inferences:
+            raise PrologError(
+                f"inference limit of {self.max_inferences} exceeded"
+            )
+
+    def _solve_goal(
+        self,
+        goal: Term,
+        bindings: Bindings,
+        trail: Trail,
+        depth: int,
+        barrier: _Barrier,
+    ) -> Iterator[None]:
+        self._charge_inference()
+        goal = walk(goal, bindings)
+        if isinstance(goal, Var):
+            raise PrologError("unbound variable called as a goal")
+        indicator = (
+            (goal.name, 0) if isinstance(goal, Atom) else goal.indicator
+        )
+        args: Tuple[Term, ...] = () if isinstance(goal, Atom) else goal.args
+
+        # Control constructs (cut-transparent).
+        if indicator == (",", 2):
+            yield from self._solve_conjunction(args, bindings, trail, depth, barrier)
+            return
+        if indicator == (";", 2):
+            yield from self._solve_disjunction(args, bindings, trail, depth, barrier)
+            return
+        if indicator == ("->", 2):
+            yield from self._solve_if_then_else(
+                args[0], args[1], None, bindings, trail, depth, barrier
+            )
+            return
+        if indicator == ("!", 0):
+            yield
+            barrier.cut = True
+            return
+        if indicator == ("\\+", 1):
+            yield from self._solve_negation(args[0], bindings, trail, depth)
+            return
+        if indicator == ("call", 1):
+            yield from self.solve_goal_fresh(args[0], bindings, trail, depth + 1)
+            return
+
+        builtin = BUILTINS.get(indicator)
+        if builtin is not None:
+            yield from builtin(self, args, bindings, trail, depth)
+            return
+
+        yield from self._solve_user_goal(goal, indicator, bindings, trail, depth)
+
+    def _solve_user_goal(self, goal, indicator, bindings, trail, depth):
+        clauses = self.database.clauses_for(*indicator)
+        if not clauses:
+            if self.database.is_known(*indicator):
+                return  # all clauses retracted: the call simply fails
+            raise PrologError(
+                f"unknown predicate {indicator[0]}/{indicator[1]}"
+            )
+        clause_barrier = _Barrier()
+        for clause in clauses:
+            activation = self.database.fresh_activation(clause)
+            mark = len(trail)
+            if unify(goal, activation.head, bindings, trail, self.occurs_check):
+                yield from self._solve_conjunction(
+                    activation.body, bindings, trail, depth + 1, clause_barrier
+                )
+            undo_to(mark, bindings, trail)
+            if clause_barrier.cut:
+                return
+
+    def _solve_conjunction(self, goals, bindings, trail, depth, barrier):
+        if not goals:
+            yield
+            return
+        yield from self._solve_goals_from(goals, 0, bindings, trail, depth, barrier)
+
+    def _solve_goals_from(self, goals, index, bindings, trail, depth, barrier):
+        if index == len(goals):
+            yield
+            return
+        generator = self._solve_goal(goals[index], bindings, trail, depth, barrier)
+        for _ in generator:
+            yield from self._solve_goals_from(
+                goals, index + 1, bindings, trail, depth, barrier
+            )
+            if barrier.cut:
+                generator.close()
+                return
+
+    def _solve_disjunction(self, args, bindings, trail, depth, barrier):
+        left, right = args
+        left_walked = walk(left, bindings)
+        if (
+            isinstance(left_walked, Struct)
+            and left_walked.functor == "->"
+            and left_walked.arity == 2
+        ):
+            yield from self._solve_if_then_else(
+                left_walked.args[0],
+                left_walked.args[1],
+                right,
+                bindings,
+                trail,
+                depth,
+                barrier,
+            )
+            return
+        mark = len(trail)
+        yield from self._solve_goal(left, bindings, trail, depth, barrier)
+        undo_to(mark, bindings, trail)
+        if barrier.cut:
+            return
+        yield from self._solve_goal(right, bindings, trail, depth, barrier)
+
+    def _solve_if_then_else(
+        self, condition, then_goal, else_goal, bindings, trail, depth, barrier
+    ):
+        mark = len(trail)
+        condition_held = False
+        for _ in self.solve_goal_fresh(condition, bindings, trail, depth + 1):
+            condition_held = True
+            yield from self._solve_goal(then_goal, bindings, trail, depth, barrier)
+            break  # the condition is committed to its first solution
+        if condition_held:
+            return
+        undo_to(mark, bindings, trail)
+        if else_goal is not None:
+            yield from self._solve_goal(else_goal, bindings, trail, depth, barrier)
+
+    def _solve_negation(self, goal, bindings, trail, depth):
+        mark = len(trail)
+        for _ in self.solve_goal_fresh(goal, bindings, trail, depth + 1):
+            undo_to(mark, bindings, trail)
+            return
+        undo_to(mark, bindings, trail)
+        yield

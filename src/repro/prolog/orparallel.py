@@ -1,0 +1,361 @@
+"""OR-parallel Prolog execution on the alternatives framework (§5.2).
+
+'More appropriate is rule-level parallelism ... The situation is similar
+for OR-parallelism; this is more interesting to us, since it maps closely
+to our problem of attempting alternatives in parallel.  The alternatives
+here are specialized to predicates.'
+
+At the query's principal choice point, each candidate clause becomes one
+:class:`~repro.core.Alternative`: its body unifies the goal with that
+clause's (renamed) head and, on success, solves the clause body to the
+first solution with a private engine over *copied* bindings.  'What our
+method does is copy, and since we choose only one alternative, no merging
+is necessary.'  The fastest clause to produce a solution wins the race;
+execution time is ``inferences x inference_time``, charged through the
+alternative's context, so the simulated race reflects the real search
+effort of each branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.core.alternative import AltContext, Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.core.result import AltResult
+from repro.errors import AltBlockFailure, PrologError
+from repro.process.primitives import EliminationMode
+from repro.prolog.builtins import BUILTINS
+from repro.prolog.database import Database
+from repro.prolog.engine import Engine, Solution
+from repro.prolog.parser import parse_query
+from repro.prolog.terms import Atom, Struct, Term, Var, term_str, variables_of
+from repro.prolog.unify import Bindings, Trail, resolve, undo_to, unify, walk
+from repro.sim.costs import CostModel, FREE
+
+_CONTROL = {(",", 2), (";", 2), ("->", 2), ("!", 0), ("\\+", 1), ("call", 1)}
+
+
+@dataclass
+class OrParallelResult:
+    """Outcome of one OR-parallel first-solution query."""
+
+    solution: Optional[Solution]
+    alt_result: AltResult
+    sequential_inferences: int
+    """Inferences a plain depth-first engine needs for the same query."""
+
+    inference_time: float
+    prefix_inferences: int = 0
+    """Deterministic reductions performed before the choice point when
+    descending (shared by all branches, paid once)."""
+
+    @property
+    def parallel_time(self) -> float:
+        """Simulated time of the OR-parallel race (incl. shared prefix)."""
+        return (
+            self.alt_result.elapsed
+            + self.prefix_inferences * self.inference_time
+        )
+
+    @property
+    def sequential_time(self) -> float:
+        """Simulated time of sequential backtracking."""
+        return self.sequential_inferences * self.inference_time
+
+    @property
+    def speedup(self) -> float:
+        """Sequential over parallel time-to-first-solution."""
+        if self.parallel_time <= 0:
+            return float("inf")
+        return self.sequential_time / self.parallel_time
+
+
+class OrParallelEngine:
+    """Race the clauses of the query's principal predicate."""
+
+    def __init__(
+        self,
+        database: Database,
+        cost_model: CostModel = FREE,
+        inference_time: float = 1e-4,
+        cpus: Optional[int] = None,
+        elimination: EliminationMode = EliminationMode.ASYNCHRONOUS,
+        max_inferences: Optional[int] = 5_000_000,
+        seed: int = 0,
+    ) -> None:
+        self.database = database
+        self.cost_model = cost_model
+        self.inference_time = inference_time
+        self.max_inferences = max_inferences
+        self._executor_args = dict(
+            cost_model=cost_model,
+            cpus=cpus,
+            elimination=elimination,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _principal_clauses(self, goal: Term):
+        if isinstance(goal, Atom):
+            indicator = (goal.name, 0)
+        elif isinstance(goal, Struct):
+            indicator = goal.indicator
+        else:
+            raise PrologError(f"not a callable goal: {goal!r}")
+        if indicator in ((",", 2), (";", 2)):
+            raise PrologError(
+                "OR-parallel execution starts at a predicate call; "
+                "wrap conjunctions in a driver predicate"
+            )
+        clauses = self.database.clauses_for(*indicator)
+        if not clauses:
+            raise PrologError(
+                f"unknown predicate {indicator[0]}/{indicator[1]}"
+            )
+        return clauses
+
+    def _clause_alternative(self, goal: Term, clause, slot: int) -> Alternative:
+        def body(context: AltContext):
+            engine = Engine(
+                self.database,
+                max_inferences=self.max_inferences,
+                load_library=False,
+            )
+            activation = self.database.fresh_activation(clause)
+            bindings: dict = {}
+            trail: list = []
+            # The OR-branch's private world: bindings are *copied* per
+            # branch (fresh dict), exactly the copy-no-merge strategy.
+            # The reduction step itself (goal-to-head unification) costs
+            # one inference, matching the sequential engine's accounting.
+            context.charge(self.inference_time)
+            if not unify(goal, activation.head, bindings, trail):
+                context.fail("clause head does not unify")
+            solution_found = False
+            query_vars = [
+                v for v in variables_of(goal) if not v.name.startswith("_")
+            ]
+            answer = None
+            branch_goal = (
+                _conjoin(activation.body) if activation.body else Atom("true")
+            )
+            for _ in engine.solve_goal_fresh(branch_goal, bindings, trail, 0):
+                solution_found = True
+                answer = Solution(
+                    {v.name: resolve(v, bindings) for v in query_vars}
+                )
+                break
+            context.charge(engine.inferences * self.inference_time)
+            undo_to(0, bindings, trail)
+            if not solution_found:
+                context.fail("no solution on this branch")
+            context.put("solution", answer.as_strings())
+            return answer
+
+        return Alternative(name=f"clause-{slot}:{_head_str(clause)}", body=body)
+
+    # ------------------------------------------------------------------
+
+    def solve_first(
+        self, query: Union[str, Term], descend: bool = False
+    ) -> OrParallelResult:
+        """Race clauses at a choice point; return the fastest solution.
+
+        With ``descend=False`` (the default) the race happens at the
+        query's principal predicate, which must have several clauses.
+        With ``descend=True`` the engine first performs the query's
+        *deterministic* reductions -- resolving through single-clause
+        predicates, carrying the rest of the conjunction as a
+        continuation -- and spawns the race at the first genuine choice
+        point it meets.  This is the granularity control of section 5.2:
+        spawning is deferred until there is real branching to exploit.
+
+        Raises :class:`~repro.errors.AltBlockFailure` when no branch
+        yields a solution (the query simply fails).
+        """
+        goal = parse_query(query) if isinstance(query, str) else query
+        if descend:
+            return self._solve_first_descend(goal)
+        clauses = self._principal_clauses(goal)
+        alternatives = [
+            self._clause_alternative(goal, clause, slot)
+            for slot, clause in enumerate(clauses, start=1)
+        ]
+        return self._race(goal, alternatives, prefix_inferences=0)
+
+    def _race(
+        self,
+        goal: Term,
+        alternatives: List[Alternative],
+        prefix_inferences: int,
+    ) -> OrParallelResult:
+        executor = ConcurrentExecutor(**self._executor_args)
+        sequential = self._sequential_inferences(goal)
+        try:
+            alt_result = executor.run(alternatives)
+        except AltBlockFailure as failure:
+            failure.sequential_inferences = sequential
+            raise
+        return OrParallelResult(
+            solution=alt_result.value,
+            alt_result=alt_result,
+            sequential_inferences=sequential,
+            inference_time=self.inference_time,
+            prefix_inferences=prefix_inferences,
+        )
+
+    # ------------------------------------------------------------------
+    # descent to the first choice point
+
+    def _solve_first_descend(self, goal: Term) -> OrParallelResult:
+        goals: List[Term] = list(_flatten(goal))
+        bindings: Bindings = {}
+        trail: Trail = []
+        prefix = 0
+        while goals:
+            current = walk(goals[0], bindings)
+            if isinstance(current, Var):
+                raise PrologError("unbound variable called as a goal")
+            indicator = (
+                (current.name, 0)
+                if isinstance(current, Atom)
+                else current.indicator
+            )
+            if indicator in _CONTROL or indicator in BUILTINS:
+                # Control constructs and builtins end the deterministic
+                # descent; the remaining conjunction runs as one branch.
+                break
+            if not self.database.has_predicate(*indicator):
+                raise PrologError(
+                    f"unknown predicate {indicator[0]}/{indicator[1]}"
+                )
+            clauses = self.database.clauses_for(*indicator)
+            if len(clauses) > 1:
+                alternatives = [
+                    self._continuation_alternative(
+                        goal, current, list(goals[1:]), bindings, clause, slot
+                    )
+                    for slot, clause in enumerate(clauses, start=1)
+                ]
+                return self._race(goal, alternatives, prefix_inferences=prefix)
+            activation = self.database.fresh_activation(clauses[0])
+            prefix += 1
+            if not unify(current, activation.head, bindings, trail):
+                sequential = self._sequential_inferences(goal)
+                failure = AltBlockFailure(
+                    "query fails deterministically before any choice point"
+                )
+                failure.sequential_inferences = sequential
+                raise failure
+            goals = list(activation.body) + goals[1:]
+        # No multi-clause choice point: run the residue as a single branch
+        # so callers get a uniform result shape.
+        residue = _conjoin(tuple(goals)) if goals else Atom("true")
+        alternatives = [
+            self._residue_alternative(goal, residue, bindings)
+        ]
+        return self._race(goal, alternatives, prefix_inferences=prefix)
+
+    def _continuation_alternative(
+        self,
+        query_goal: Term,
+        first_goal: Term,
+        rest_goals: List[Term],
+        shared_bindings: Bindings,
+        clause,
+        slot: int,
+    ) -> Alternative:
+        def body(context: AltContext):
+            engine = Engine(
+                self.database,
+                max_inferences=self.max_inferences,
+                load_library=False,
+            )
+            # Copy the shared prefix bindings: each branch owns a world.
+            bindings: Bindings = dict(shared_bindings)
+            trail: Trail = []
+            activation = self.database.fresh_activation(clause)
+            context.charge(self.inference_time)  # the reduction step
+            if not unify(first_goal, activation.head, bindings, trail):
+                context.fail("clause head does not unify")
+            branch_goals = tuple(activation.body) + tuple(rest_goals)
+            branch_goal = _conjoin(branch_goals) if branch_goals else Atom("true")
+            answer = self._first_answer(engine, query_goal, branch_goal, bindings, trail)
+            context.charge(engine.inferences * self.inference_time)
+            if answer is None:
+                context.fail("no solution on this branch")
+            context.put("solution", answer.as_strings())
+            return answer
+
+        return Alternative(name=f"clause-{slot}:{_head_str(clause)}", body=body)
+
+    def _residue_alternative(
+        self, query_goal: Term, residue: Term, shared_bindings: Bindings
+    ) -> Alternative:
+        def body(context: AltContext):
+            engine = Engine(
+                self.database,
+                max_inferences=self.max_inferences,
+                load_library=False,
+            )
+            bindings: Bindings = dict(shared_bindings)
+            trail: Trail = []
+            answer = self._first_answer(engine, query_goal, residue, bindings, trail)
+            context.charge(engine.inferences * self.inference_time)
+            if answer is None:
+                context.fail("the deterministic residue fails")
+            return answer
+
+        return Alternative(name="deterministic-residue", body=body)
+
+    def _first_answer(
+        self,
+        engine: Engine,
+        query_goal: Term,
+        branch_goal: Term,
+        bindings: Bindings,
+        trail: Trail,
+    ) -> Optional[Solution]:
+        query_vars = [
+            v for v in variables_of(query_goal) if not v.name.startswith("_")
+        ]
+        for _ in engine.solve_goal_fresh(branch_goal, bindings, trail, 0):
+            answer = Solution(
+                {v.name: resolve(v, bindings) for v in query_vars}
+            )
+            undo_to(0, bindings, trail)
+            return answer
+        undo_to(0, bindings, trail)
+        return None
+
+    def _sequential_inferences(self, goal: Term) -> int:
+        engine = Engine(
+            self.database,
+            max_inferences=self.max_inferences,
+            load_library=False,
+        )
+        engine.solve_first(goal)
+        return engine.inferences
+
+
+def _conjoin(goals) -> Term:
+    """Fold a goal tuple back into a ','-tree for the engine."""
+    result = goals[-1]
+    for goal in reversed(goals[:-1]):
+        result = Struct(",", (goal, result))
+    return result
+
+
+def _flatten(term: Term) -> List[Term]:
+    """Flatten a ','-tree into a goal list."""
+    if isinstance(term, Struct) and term.functor == "," and term.arity == 2:
+        return _flatten(term.args[0]) + _flatten(term.args[1])
+    return [term]
+
+
+def _head_str(clause) -> str:
+    text = term_str(clause.head)
+    return text if len(text) <= 30 else text[:27] + "..."

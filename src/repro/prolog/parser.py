@@ -1,0 +1,357 @@
+"""A reader for a practical Prolog subset.
+
+Supports: facts and rules (``:-``), conjunction ``,``, disjunction ``;``,
+negation ``\\+``, cut ``!``, unification and comparison operators,
+arithmetic expressions with standard precedence, lists with ``[H|T]``
+sugar, quoted atoms, ``%`` line comments and ``/* */`` block comments.
+
+The grammar is a Pratt (operator-precedence) parser over a hand-written
+tokenizer, following the standard Prolog operator table for the operators
+we implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import PrologSyntaxError
+from repro.prolog.terms import Atom, EMPTY_LIST, Num, Struct, Term, Var, make_list
+
+# operator table: name -> (precedence, type) for infix and prefix
+_INFIX_OPS = {
+    ":-": (1200, "xfx"),
+    ";": (1100, "xfy"),
+    "->": (1050, "xfy"),
+    ",": (1000, "xfy"),
+    "=": (700, "xfx"),
+    "=..": (700, "xfx"),
+    "\\=": (700, "xfx"),
+    "==": (700, "xfx"),
+    "\\==": (700, "xfx"),
+    "is": (700, "xfx"),
+    "<": (700, "xfx"),
+    ">": (700, "xfx"),
+    "=<": (700, "xfx"),
+    ">=": (700, "xfx"),
+    "=:=": (700, "xfx"),
+    "=\\=": (700, "xfx"),
+    "+": (500, "yfx"),
+    "-": (500, "yfx"),
+    "*": (400, "yfx"),
+    "/": (400, "yfx"),
+    "//": (400, "yfx"),
+    "mod": (400, "yfx"),
+    "**": (200, "xfx"),
+}
+
+_PREFIX_OPS = {
+    ":-": (1200, "fx"),
+    "\\+": (900, "fy"),
+    "-": (200, "fy"),
+    "+": (200, "fy"),
+}
+
+_SYMBOL_CHARS = set("+-*/\\^<>=~:.?@#&")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'atom', 'var', 'num', 'punct', 'end'
+    text: str
+    position: int
+
+
+class _Tokenizer:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.position = 0
+        self.tokens: List[Token] = []
+        self._scan()
+
+    def _error(self, message: str) -> PrologSyntaxError:
+        line = self.text.count("\n", 0, self.position) + 1
+        return PrologSyntaxError(f"line {line}: {message}")
+
+    def _scan(self) -> None:
+        text = self.text
+        n = len(text)
+        while self.position < n:
+            ch = text[self.position]
+            if ch in " \t\r\n":
+                self.position += 1
+                continue
+            if ch == "%":
+                newline = text.find("\n", self.position)
+                self.position = n if newline < 0 else newline + 1
+                continue
+            if text.startswith("/*", self.position):
+                end = text.find("*/", self.position + 2)
+                if end < 0:
+                    raise self._error("unterminated block comment")
+                self.position = end + 2
+                continue
+            start = self.position
+            if ch.isdigit():
+                self._scan_number(start)
+            elif ch == "'":
+                self._scan_quoted_atom(start)
+            elif ch.isalpha() or ch == "_":
+                self._scan_name(start)
+            elif ch in "()[]|,!":
+                self.position += 1
+                kind = "atom" if ch in ",!" else "punct"
+                self.tokens.append(Token(kind, ch, start))
+            elif ch == ";":
+                self.position += 1
+                self.tokens.append(Token("atom", ";", start))
+            elif ch in _SYMBOL_CHARS:
+                self._scan_symbol(start)
+            else:
+                raise self._error(f"unexpected character {ch!r}")
+        self.tokens.append(Token("end", "", n))
+
+    def _scan_number(self, start: int) -> None:
+        text = self.text
+        position = start
+        while position < len(text) and text[position].isdigit():
+            position += 1
+        if (
+            position < len(text) - 1
+            and text[position] == "."
+            and text[position + 1].isdigit()
+        ):
+            position += 1
+            while position < len(text) and text[position].isdigit():
+                position += 1
+            if position < len(text) and text[position] in "eE":
+                position += 1
+                if position < len(text) and text[position] in "+-":
+                    position += 1
+                while position < len(text) and text[position].isdigit():
+                    position += 1
+        self.position = position
+        self.tokens.append(Token("num", text[start:position], start))
+
+    def _scan_quoted_atom(self, start: int) -> None:
+        text = self.text
+        position = start + 1
+        chunks = []
+        while True:
+            if position >= len(text):
+                raise self._error("unterminated quoted atom")
+            ch = text[position]
+            if ch == "'":
+                if position + 1 < len(text) and text[position + 1] == "'":
+                    chunks.append("'")
+                    position += 2
+                    continue
+                position += 1
+                break
+            chunks.append(ch)
+            position += 1
+        self.position = position
+        self.tokens.append(Token("atom", "".join(chunks), start))
+
+    def _scan_name(self, start: int) -> None:
+        text = self.text
+        position = start
+        while position < len(text) and (text[position].isalnum() or text[position] == "_"):
+            position += 1
+        self.position = position
+        word = text[start:position]
+        kind = "var" if word[0].isupper() or word[0] == "_" else "atom"
+        self.tokens.append(Token(kind, word, start))
+
+    def _scan_symbol(self, start: int) -> None:
+        text = self.text
+        position = start
+        while position < len(text) and text[position] in _SYMBOL_CHARS:
+            position += 1
+        word = text[start:position]
+        # A '.' followed by whitespace/EOF is the clause terminator; a '.'
+        # glued to symbols is part of an operator like ':-' or '=..'.
+        if word == ".":
+            self.position = position
+            self.tokens.append(Token("punct", ".", start))
+            return
+        known = set(_INFIX_OPS) | set(_PREFIX_OPS)
+        if word not in known and word.endswith(".") and word[:-1] in known:
+            # Split a trailing clause terminator off an operator run,
+            # e.g. 'X = a.' tokenized as '=', then '.'.
+            word = word[:-1]
+            position -= 1
+        self.position = position
+        self.tokens.append(Token("atom", word, start))
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], text: str) -> None:
+        self.tokens = tokens
+        self.text = text
+        self.index = 0
+
+    # ------------------------------------------------------------------
+
+    def _error(self, message: str) -> PrologSyntaxError:
+        token = self.peek()
+        line = self.text.count("\n", 0, token.position) + 1
+        return PrologSyntaxError(f"line {line}: {message} (at {token.text!r})")
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            want = text if text is not None else kind
+            raise self._error(f"expected {want!r}")
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # Pratt parsing
+
+    def parse_term(self, max_precedence: int = 1200) -> Term:
+        left, left_precedence = self._parse_primary(max_precedence)
+        return self._parse_infix(left, left_precedence, max_precedence)
+
+    def _parse_infix(self, left: Term, left_precedence: int, max_precedence: int) -> Term:
+        while True:
+            token = self.peek()
+            if token.kind != "atom" or token.text not in _INFIX_OPS:
+                return left
+            precedence, fixity = _INFIX_OPS[token.text]
+            if precedence > max_precedence:
+                return left
+            left_limit = precedence - 1 if fixity in ("xfx", "xfy") else precedence
+            if left_precedence > left_limit:
+                return left
+            self.advance()
+            right_limit = precedence if fixity == "xfy" else precedence - 1
+            right = self.parse_term(right_limit)
+            left = Struct(token.text, (left, right))
+            left_precedence = precedence
+
+    def _parse_primary(self, max_precedence: int) -> Tuple[Term, int]:
+        token = self.peek()
+        if token.kind == "num":
+            self.advance()
+            text = token.text
+            value = float(text) if ("." in text or "e" in text or "E" in text) else int(text)
+            return Num(value), 0
+        if token.kind == "var":
+            self.advance()
+            return Var(token.text), 0
+        if token.kind == "punct" and token.text == "(":
+            self.advance()
+            inner = self.parse_term(1200)
+            self.expect("punct", ")")
+            return inner, 0
+        if token.kind == "punct" and token.text == "[":
+            return self._parse_list(), 0
+        if token.kind == "atom":
+            return self._parse_atom_or_struct(max_precedence)
+        raise self._error("expected a term")
+
+    def _parse_atom_or_struct(self, max_precedence: int) -> Tuple[Term, int]:
+        token = self.advance()
+        name = token.text
+        following = self.peek()
+        # functor( -- only when '(' is glued (standard Prolog requires it;
+        # we accept any '(' directly after for simplicity).
+        if following.kind == "punct" and following.text == "(":
+            self.advance()
+            args = [self.parse_term(999)]
+            while self.peek().kind == "atom" and self.peek().text == ",":
+                self.advance()
+                args.append(self.parse_term(999))
+            self.expect("punct", ")")
+            return Struct(name, tuple(args)), 0
+        if name in _PREFIX_OPS:
+            precedence, fixity = _PREFIX_OPS[name]
+            if precedence <= max_precedence and self._starts_term(following):
+                limit = precedence if fixity == "fy" else precedence - 1
+                operand = self.parse_term(limit)
+                if (
+                    name == "-"
+                    and isinstance(operand, Num)
+                ):
+                    return Num(-operand.value), 0
+                return Struct(name, (operand,)), precedence
+        return Atom(name), 0
+
+    def _starts_term(self, token: Token) -> bool:
+        if token.kind in ("num", "var"):
+            return True
+        if token.kind == "punct" and token.text in ("(", "["):
+            return True
+        if token.kind == "atom" and token.text not in (",", "|"):
+            return True
+        return False
+
+    def _parse_list(self) -> Term:
+        self.expect("punct", "[")
+        if self.peek().kind == "punct" and self.peek().text == "]":
+            self.advance()
+            return EMPTY_LIST
+        items = [self.parse_term(999)]
+        while self.peek().kind == "atom" and self.peek().text == ",":
+            self.advance()
+            items.append(self.parse_term(999))
+        tail: Term = EMPTY_LIST
+        if self.peek().kind == "punct" and self.peek().text == "|":
+            self.advance()
+            tail = self.parse_term(999)
+        self.expect("punct", "]")
+        return make_list(items, tail)
+
+    # ------------------------------------------------------------------
+    # clause/program level
+
+    def parse_clause_term(self) -> Optional[Term]:
+        if self.peek().kind == "end":
+            return None
+        term = self.parse_term(1200)
+        self.expect("punct", ".")
+        return term
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "end"
+
+
+def _parser_for(text: str) -> _Parser:
+    return _Parser(_Tokenizer(text).tokens, text)
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term (no trailing '.')."""
+    parser = _parser_for(text)
+    term = parser.parse_term(1200)
+    if not parser.at_end():
+        raise parser._error("trailing input after term")
+    return term
+
+
+def parse_query(text: str) -> Term:
+    """Parse a query: a term with an optional trailing '.'."""
+    text = text.strip()
+    if text.endswith("."):
+        text = text[:-1]
+    return parse_term(text)
+
+
+def parse_program(text: str) -> List[Term]:
+    """Parse a whole program: '.'-terminated clause terms."""
+    parser = _parser_for(text)
+    clauses = []
+    while True:
+        term = parser.parse_clause_term()
+        if term is None:
+            return clauses
+        clauses.append(term)

@@ -1,0 +1,181 @@
+"""Prolog term representation.
+
+Terms are immutable and hashable.  Variables are identified by
+``(name, salt)``: the salt is 0 for variables as written in source and a
+fresh positive integer after clause renaming, so distinct clause
+activations never capture each other's variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple, Union
+
+
+class Term:
+    """Base class for all Prolog terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Atom(Term):
+    """A constant symbol: ``foo``, ``[]``, ``'quoted atom'``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Num(Term):
+    """An integer or float."""
+
+    value: Union[int, float]
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A logic variable."""
+
+    name: str
+    salt: int = 0
+
+    def __str__(self) -> str:
+        if self.salt:
+            return f"_{self.name}{self.salt}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Struct(Term):
+    """A compound term ``functor(arg1, ..., argN)``."""
+
+    functor: str
+    args: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+        if not self.args:
+            raise ValueError("a Struct needs at least one argument; use Atom")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def indicator(self) -> Tuple[str, int]:
+        """The predicate indicator ``(functor, arity)``."""
+        return (self.functor, self.arity)
+
+    def __str__(self) -> str:
+        return term_str(self)
+
+
+EMPTY_LIST = Atom("[]")
+CONS = "."
+
+
+def cons(head: Term, tail: Term) -> Struct:
+    """The list cell ``'.'(head, tail)``."""
+    return Struct(CONS, (head, tail))
+
+
+def make_list(items: Iterable[Term], tail: Term = EMPTY_LIST) -> Term:
+    """Build a Prolog list term from Python items."""
+    result = tail
+    for item in reversed(list(items)):
+        result = cons(item, result)
+    return result
+
+
+def is_cons(term: Term) -> bool:
+    """True for a list cell."""
+    return isinstance(term, Struct) and term.functor == CONS and term.arity == 2
+
+
+def list_items(term: Term) -> Tuple[List[Term], Term]:
+    """Split a list term into ``(items, tail)``.
+
+    The tail is ``[]`` for a proper list, a variable for a partial list.
+    """
+    items: List[Term] = []
+    while is_cons(term):
+        items.append(term.args[0])
+        term = term.args[1]
+    return items, term
+
+
+def from_python(value) -> Term:
+    """Convert a Python value (int/float/str/list/Term) into a term."""
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        return Atom("true" if value else "fail")
+    if isinstance(value, (int, float)):
+        return Num(value)
+    if isinstance(value, str):
+        return Atom(value)
+    if isinstance(value, (list, tuple)):
+        return make_list([from_python(v) for v in value])
+    raise TypeError(f"cannot convert {value!r} to a Prolog term")
+
+
+def to_python(term: Term):
+    """Convert a ground term into a Python value where natural."""
+    if isinstance(term, Num):
+        return term.value
+    if isinstance(term, Atom):
+        return term.name
+    if is_cons(term) or term == EMPTY_LIST:
+        items, tail = list_items(term)
+        if tail != EMPTY_LIST:
+            raise ValueError(f"not a proper list: {term_str(term)}")
+        return [to_python(item) for item in items]
+    return term_str(term)
+
+
+_INFIX = {",", ";", ":-", "->", "=", "\\=", "==", "\\==", "is",
+          "<", ">", "=<", ">=", "=:=", "=\\=",
+          "+", "-", "*", "/", "//", "mod", "**"}
+
+
+def term_str(term: Term) -> str:
+    """Readable rendering with list and operator sugar."""
+    if isinstance(term, (Atom, Num, Var)):
+        return str(term)
+    if isinstance(term, Struct):
+        if is_cons(term):
+            items, tail = list_items(term)
+            inner = ",".join(term_str(item) for item in items)
+            if tail == EMPTY_LIST:
+                return f"[{inner}]"
+            return f"[{inner}|{term_str(tail)}]"
+        if term.arity == 2 and term.functor in _INFIX:
+            left, right = term.args
+            return f"{term_str(left)}{term.functor}{term_str(right)}"
+        if term.arity == 1 and term.functor in ("-", "\\+"):
+            return f"{term.functor}{term_str(term.args[0])}"
+        inner = ",".join(term_str(arg) for arg in term.args)
+        return f"{term.functor}({inner})"
+    raise TypeError(f"not a term: {term!r}")
+
+
+def variables_of(term: Term) -> List[Var]:
+    """All variables in ``term``, in first-occurrence order."""
+    seen: List[Var] = []
+    stack = [term]
+    found = set()
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Var):
+            if current not in found:
+                found.add(current)
+                seen.append(current)
+        elif isinstance(current, Struct):
+            stack.extend(reversed(current.args))
+    return seen

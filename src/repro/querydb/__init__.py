@@ -1,0 +1,37 @@
+"""A miniature relational engine with racing access paths.
+
+The paper's abstract names the motivating workload: 'for problems where
+the required execution time is unpredictable, such as database queries,
+this method can show substantial execution time performance increases.'
+This package is that workload, built out rather than assumed:
+
+- :mod:`repro.querydb.table` -- tables, rows, and typed columns;
+- :mod:`repro.querydb.index` -- hash and sorted indexes;
+- :mod:`repro.querydb.query` -- conjunctive selection queries;
+- :mod:`repro.querydb.plans` -- access-path operators (full scan, hash
+  probe, sorted-range scan) with per-operation cost accounting;
+- :mod:`repro.querydb.racing` -- the planner that *refuses to choose*:
+  every applicable access path races as an alternative, and the fastest
+  one to produce the (guard-checked) result set wins.
+"""
+
+from repro.querydb.index import HashIndex, SortedIndex
+from repro.querydb.plans import CostMeter, FullScan, HashProbe, Plan, RangeScan
+from repro.querydb.query import Condition, Query
+from repro.querydb.racing import QueryRaceResult, RacingQueryEngine
+from repro.querydb.table import Table
+
+__all__ = [
+    "Condition",
+    "CostMeter",
+    "FullScan",
+    "HashIndex",
+    "HashProbe",
+    "Plan",
+    "Query",
+    "QueryRaceResult",
+    "RacingQueryEngine",
+    "RangeScan",
+    "SortedIndex",
+    "Table",
+]

@@ -1,0 +1,78 @@
+"""Hash and sorted indexes over one column."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, List, Tuple
+
+from repro.querydb.table import Row, Table
+
+
+class HashIndex:
+    """Exact-match index: column value -> row list."""
+
+    def __init__(self, table: Table, column: str) -> None:
+        self.table = table
+        self.column = column
+        self._position = table.column_position(column)
+        self._buckets: Dict[Any, List[Row]] = {}
+        for row in table.rows:
+            self._buckets.setdefault(row[self._position], []).append(row)
+        self._built_rows = len(table.rows)
+
+    def refresh(self) -> None:
+        """Index rows inserted since the last build."""
+        for row in self.table.rows[self._built_rows:]:
+            self._buckets.setdefault(row[self._position], []).append(row)
+        self._built_rows = len(self.table.rows)
+
+    def lookup(self, value: Any) -> List[Row]:
+        """All rows whose column equals ``value``."""
+        return list(self._buckets.get(value, ()))
+
+    @property
+    def distinct_keys(self) -> int:
+        """Number of distinct indexed values."""
+        return len(self._buckets)
+
+    def __repr__(self) -> str:
+        return f"HashIndex({self.table.name}.{self.column})"
+
+
+class SortedIndex:
+    """Ordered index supporting range scans."""
+
+    def __init__(self, table: Table, column: str) -> None:
+        self.table = table
+        self.column = column
+        position = table.column_position(column)
+        decorated: List[Tuple[Any, int]] = sorted(
+            (row[position], index) for index, row in enumerate(table.rows)
+        )
+        self._keys = [key for key, _ in decorated]
+        self._row_ids = [row_id for _, row_id in decorated]
+
+    def range(self, low: Any = None, high: Any = None,
+              include_low: bool = True, include_high: bool = True) -> List[Row]:
+        """Rows with column value in the (possibly open) interval."""
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect.bisect_left(self._keys, low)
+        else:
+            start = bisect.bisect_right(self._keys, low)
+        if high is None:
+            stop = len(self._keys)
+        elif include_high:
+            stop = bisect.bisect_right(self._keys, high)
+        else:
+            stop = bisect.bisect_left(self._keys, high)
+        rows = self.table.rows
+        return [rows[self._row_ids[i]] for i in range(start, max(start, stop))]
+
+    def equal(self, value: Any) -> List[Row]:
+        """Rows with column value exactly ``value``."""
+        return self.range(low=value, high=value)
+
+    def __repr__(self) -> str:
+        return f"SortedIndex({self.table.name}.{self.column})"

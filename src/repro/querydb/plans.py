@@ -1,0 +1,160 @@
+"""Access-path operators with explicit cost accounting.
+
+Each plan executes a :class:`~repro.querydb.query.Query` against a table
+and charges a :class:`CostMeter` for the work it actually does -- rows
+scanned, index probes, comparisons.  The meter's simulated-seconds total
+is what the racing planner feeds to the alternatives framework, so plan
+costs are *measured from the data*, not estimated: exactly the 'cannot
+reasonably precompute tau(C_i, x)' regime of section 4.2 relation 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.querydb.index import HashIndex, SortedIndex
+from repro.querydb.query import Query
+from repro.querydb.table import Row, Table
+
+
+@dataclass
+class CostMeter:
+    """Counts the primitive operations a plan performs."""
+
+    row_cost: float = 1e-5
+    """Seconds to fetch + test one row."""
+
+    probe_cost: float = 2e-5
+    """Seconds for one index probe (hash bucket or bisect descent)."""
+
+    rows_examined: int = 0
+    probes: int = 0
+
+    def charge_rows(self, count: int) -> None:
+        self.rows_examined += count
+
+    def charge_probe(self, count: int = 1) -> None:
+        self.probes += count
+
+    @property
+    def seconds(self) -> float:
+        """Total simulated time for the metered work."""
+        return self.rows_examined * self.row_cost + self.probes * self.probe_cost
+
+
+class Plan:
+    """Abstract access path."""
+
+    name = "plan"
+
+    def applicable(self, query: Query) -> bool:
+        """Can this path serve the query at all?"""
+        raise NotImplementedError
+
+    def execute(self, query: Query, meter: CostMeter) -> List[Row]:
+        """Run the query, charging the meter; returns matching rows."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class FullScan(Plan):
+    """Examine every row.  Always applicable; cost = |table|."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+        self.name = f"full-scan({table.name})"
+
+    def applicable(self, query: Query) -> bool:
+        return True
+
+    def execute(self, query: Query, meter: CostMeter) -> List[Row]:
+        matches = []
+        for row in self.table.scan():
+            meter.charge_rows(1)
+            if query.matches(self.table, row):
+                matches.append(row)
+        return matches
+
+
+class HashProbe(Plan):
+    """Probe a hash index on an equality condition, then re-check the
+    residual conditions on the bucket."""
+
+    def __init__(self, index: HashIndex) -> None:
+        self.index = index
+        self.table = index.table
+        self.name = f"hash-probe({self.table.name}.{index.column})"
+
+    def applicable(self, query: Query) -> bool:
+        condition = query.condition_on(self.index.column)
+        return condition is not None and condition.is_equality
+
+    def execute(self, query: Query, meter: CostMeter) -> List[Row]:
+        condition = query.condition_on(self.index.column)
+        if condition is None or not condition.is_equality:
+            raise ReproError(f"{self.name} cannot serve {query}")
+        meter.charge_probe()
+        bucket = self.index.lookup(condition.value)
+        meter.charge_rows(len(bucket))
+        return [row for row in bucket if query.matches(self.table, row)]
+
+
+class RangeScan(Plan):
+    """Walk a sorted index over the narrowest range the query allows."""
+
+    def __init__(self, index: SortedIndex) -> None:
+        self.index = index
+        self.table = index.table
+        self.name = f"range-scan({self.table.name}.{index.column})"
+
+    def applicable(self, query: Query) -> bool:
+        condition = query.condition_on(self.index.column)
+        return condition is not None and (
+            condition.is_equality or condition.is_range
+        )
+
+    def execute(self, query: Query, meter: CostMeter) -> List[Row]:
+        low = high = None
+        include_low = include_high = True
+        column_conditions = [
+            c for c in query.conditions if c.column == self.index.column
+        ]
+        if not column_conditions:
+            raise ReproError(f"{self.name} cannot serve {query}")
+        for condition in column_conditions:
+            if condition.is_equality:
+                low = high = condition.value
+            elif condition.op in (">", ">="):
+                low = condition.value
+                include_low = condition.op == ">="
+            elif condition.op in ("<", "<="):
+                high = condition.value
+                include_high = condition.op == "<="
+        meter.charge_probe(2)  # two bisect descents
+        candidates = self.index.range(low, high, include_low, include_high)
+        meter.charge_rows(len(candidates))
+        return [row for row in candidates if query.matches(self.table, row)]
+
+
+def candidate_plans(
+    table: Table,
+    query: Query,
+    hash_indexes: Optional[List[HashIndex]] = None,
+    sorted_indexes: Optional[List[SortedIndex]] = None,
+) -> List[Plan]:
+    """Every access path that can serve ``query``, full scan included."""
+    plans: List[Plan] = []
+    for index in hash_indexes or ():
+        plan = HashProbe(index)
+        if plan.applicable(query):
+            plans.append(plan)
+    for index in sorted_indexes or ():
+        plan = RangeScan(index)
+        if plan.applicable(query):
+            plans.append(plan)
+    plans.append(FullScan(table))
+    return plans

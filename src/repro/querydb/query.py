@@ -1,0 +1,88 @@
+"""Conjunctive selection queries."""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.querydb.table import Row, Table
+
+_OPS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One comparison ``column OP value``."""
+
+    column: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ReproError(f"unsupported operator {self.op!r}")
+
+    def matches(self, table: Table, row: Row) -> bool:
+        """Evaluate the condition on a row."""
+        return _OPS[self.op](table.value(row, self.column), self.value)
+
+    @property
+    def is_equality(self) -> bool:
+        return self.op == "=="
+
+    @property
+    def is_range(self) -> bool:
+        return self.op in ("<", "<=", ">", ">=")
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """``SELECT [projection] FROM table WHERE cond AND cond AND ...``."""
+
+    conditions: Tuple[Condition, ...]
+    projection: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "conditions", tuple(self.conditions))
+        if self.projection is not None:
+            object.__setattr__(self, "projection", tuple(self.projection))
+
+    @staticmethod
+    def where(*conditions: Condition, projection=None) -> "Query":
+        """Build a query from condition objects."""
+        return Query(conditions=tuple(conditions), projection=projection)
+
+    def matches(self, table: Table, row: Row) -> bool:
+        """True when the row satisfies every condition."""
+        return all(c.matches(table, row) for c in self.conditions)
+
+    def project(self, table: Table, rows: List[Row]) -> List[Tuple]:
+        """Apply the projection (identity when none)."""
+        if self.projection is None:
+            return list(rows)
+        positions = [table.column_position(c) for c in self.projection]
+        return [tuple(row[p] for p in positions) for row in rows]
+
+    def condition_on(self, column: str) -> Optional[Condition]:
+        """The first condition mentioning ``column``, if any."""
+        for condition in self.conditions:
+            if condition.column == column:
+                return condition
+        return None
+
+    def __str__(self) -> str:
+        where = " AND ".join(str(c) for c in self.conditions) or "TRUE"
+        select = ", ".join(self.projection) if self.projection else "*"
+        return f"SELECT {select} WHERE {where}"

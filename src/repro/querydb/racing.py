@@ -1,0 +1,132 @@
+"""The planner that refuses to choose: race every applicable plan.
+
+A conventional optimizer estimates costs and commits to one plan --
+section 4.2's 'synthetic computation' built from a partition of the input
+domain, with all its hazards ('it's rarely as simple to delimit
+performance boundaries').  The racing engine instead runs every
+applicable access path as a copy-on-write alternative: each plan's
+*measured* work becomes its simulated duration, the fastest plan's rows
+are committed, and the others are eliminated.
+
+A Scheme B baseline (commit to one plan at random) and a static baseline
+(always the first plan) are provided for the comparisons the paper's
+analysis needs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.alternative import AltContext, Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.core.result import AltResult
+from repro.errors import ReproError
+from repro.querydb.index import HashIndex, SortedIndex
+from repro.querydb.plans import CostMeter, Plan, candidate_plans
+from repro.querydb.query import Query
+from repro.querydb.table import Row, Table
+from repro.sim.costs import CostModel, MODERN_COMMODITY
+
+
+@dataclass
+class QueryRaceResult:
+    """Rows plus the race that produced them."""
+
+    rows: List[Tuple]
+    winning_plan: str
+    alt_result: AltResult
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated time to the answer, overheads included."""
+        return self.alt_result.elapsed
+
+
+class RacingQueryEngine:
+    """Execute queries by racing all applicable access paths."""
+
+    def __init__(
+        self,
+        table: Table,
+        cost_model: CostModel = MODERN_COMMODITY,
+        row_cost: float = 1e-5,
+        probe_cost: float = 2e-5,
+        seed: int = 0,
+    ) -> None:
+        self.table = table
+        self.cost_model = cost_model
+        self.row_cost = row_cost
+        self.probe_cost = probe_cost
+        self.seed = seed
+        self.hash_indexes: List[HashIndex] = []
+        self.sorted_indexes: List[SortedIndex] = []
+
+    # ------------------------------------------------------------------
+    # index management
+
+    def create_hash_index(self, column: str) -> HashIndex:
+        """Build and register a hash index."""
+        index = HashIndex(self.table, column)
+        self.hash_indexes.append(index)
+        return index
+
+    def create_sorted_index(self, column: str) -> SortedIndex:
+        """Build and register a sorted index."""
+        index = SortedIndex(self.table, column)
+        self.sorted_indexes.append(index)
+        return index
+
+    def plans_for(self, query: Query) -> List[Plan]:
+        """Every applicable access path for ``query``."""
+        return candidate_plans(
+            self.table, query, self.hash_indexes, self.sorted_indexes
+        )
+
+    # ------------------------------------------------------------------
+    # execution strategies
+
+    def _meter(self) -> CostMeter:
+        return CostMeter(row_cost=self.row_cost, probe_cost=self.probe_cost)
+
+    def _plan_alternative(self, plan: Plan, query: Query) -> Alternative:
+        def body(context: AltContext):
+            meter = self._meter()
+            rows = plan.execute(query, meter)
+            context.charge(meter.seconds)
+            context.put("rows_examined", meter.rows_examined)
+            return query.project(self.table, rows)
+
+        return Alternative(name=plan.name, body=body)
+
+    def execute_racing(self, query: Query) -> QueryRaceResult:
+        """Race every applicable plan; fastest correct answer wins."""
+        plans = self.plans_for(query)
+        executor = ConcurrentExecutor(cost_model=self.cost_model, seed=self.seed)
+        alt_result = executor.run(
+            [self._plan_alternative(plan, query) for plan in plans]
+        )
+        return QueryRaceResult(
+            rows=alt_result.value,
+            winning_plan=alt_result.winner.name,
+            alt_result=alt_result,
+        )
+
+    def execute_static(self, query: Query, plan: Optional[Plan] = None):
+        """Run one chosen plan (a conventional optimizer's commitment).
+
+        Returns ``(rows, simulated_seconds)``.
+        """
+        chosen = plan if plan is not None else self.plans_for(query)[0]
+        if not chosen.applicable(query):
+            raise ReproError(f"{chosen.name} cannot serve {query}")
+        meter = self._meter()
+        rows = chosen.execute(query, meter)
+        return query.project(self.table, rows), meter.seconds
+
+    def execute_random(self, query: Query, rng: Optional[random.Random] = None):
+        """Scheme B: commit to a uniformly random applicable plan."""
+        rng = rng if rng is not None else random.Random(self.seed)
+        plans = self.plans_for(query)
+        return self.execute_static(query, rng.choice(plans))

@@ -1,0 +1,86 @@
+"""Tables: named, typed, append-only row stores."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from repro.errors import ReproError
+
+
+class SchemaError(ReproError):
+    """A row or query did not match the table's schema."""
+
+
+Row = Tuple[Any, ...]
+
+
+class Table:
+    """An append-only table with named columns.
+
+    Rows are tuples in column order; :meth:`insert` also accepts dicts.
+    """
+
+    def __init__(self, name: str, columns: Sequence[str]) -> None:
+        if not columns:
+            raise SchemaError("a table needs at least one column")
+        if len(set(columns)) != len(columns):
+            raise SchemaError("column names must be unique")
+        self.name = name
+        self.columns: Tuple[str, ...] = tuple(columns)
+        self._positions: Dict[str, int] = {
+            column: index for index, column in enumerate(self.columns)
+        }
+        self.rows: List[Row] = []
+
+    # ------------------------------------------------------------------
+
+    def column_position(self, column: str) -> int:
+        """Index of ``column`` within a row tuple."""
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
+
+    def insert(self, row) -> None:
+        """Append one row (tuple in column order, or a dict)."""
+        if isinstance(row, dict):
+            missing = set(self.columns) - set(row)
+            extra = set(row) - set(self.columns)
+            if missing or extra:
+                raise SchemaError(
+                    f"row keys mismatch: missing={sorted(missing)} "
+                    f"extra={sorted(extra)}"
+                )
+            row = tuple(row[column] for column in self.columns)
+        else:
+            row = tuple(row)
+            if len(row) != len(self.columns):
+                raise SchemaError(
+                    f"row of {len(row)} values for {len(self.columns)} columns"
+                )
+        self.rows.append(row)
+
+    def insert_many(self, rows) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.insert(row)
+
+    def scan(self) -> Iterator[Row]:
+        """Iterate every row in insertion order."""
+        return iter(self.rows)
+
+    def value(self, row: Row, column: str) -> Any:
+        """A named column of a row."""
+        return row[self.column_position(column)]
+
+    def as_dicts(self, rows) -> List[Dict[str, Any]]:
+        """Render rows as dicts for display."""
+        return [dict(zip(self.columns, row)) for row in rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, columns={list(self.columns)}, rows={len(self)})"

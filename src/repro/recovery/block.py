@@ -1,0 +1,74 @@
+"""The recovery block construct.
+
+Section 5.1.1 notes two differences from the alternative block of section
+2: the recovery block has *one* guard (the acceptance test) applied to all
+alternates, and the guard runs *after* the body.  Neither is a problem:
+'the computation can be viewed as part of the guard, with the body
+consisting solely of updates to external variables'.  Concretely, we map
+each alternate to an :class:`~repro.core.Alternative` whose post-``guard``
+is the shared acceptance test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+from repro.core.alternative import AltContext, Alternative
+from repro.sim.distributions import Distribution
+
+AcceptanceTest = Callable[[AltContext, Any], bool]
+Body = Callable[[AltContext], Any]
+
+
+@dataclass
+class RecoveryAlternate:
+    """One software version inside a recovery block.
+
+    Alternates 'are typically ordered on the basis of observed or
+    estimated characteristics such as reliability and execution speed';
+    the order of the list passed to :class:`RecoveryBlock` is that order.
+    """
+
+    name: str
+    body: Body
+    cost: Optional[Union[float, Distribution]] = None
+    metadata: dict = field(default_factory=dict)
+
+
+class RecoveryBlock:
+    """An ordered set of alternates plus one acceptance test."""
+
+    def __init__(
+        self,
+        name: str,
+        alternates: Sequence[RecoveryAlternate],
+        acceptance: AcceptanceTest,
+    ) -> None:
+        if not alternates:
+            raise ValueError("a recovery block needs at least one alternate")
+        names = [a.name for a in alternates]
+        if len(set(names)) != len(names):
+            raise ValueError("alternate names must be unique")
+        self.name = name
+        self.alternates: List[RecoveryAlternate] = list(alternates)
+        self.acceptance = acceptance
+
+    def as_alternatives(self) -> List[Alternative]:
+        """The block's arms as core alternatives (guard = acceptance)."""
+        return [
+            Alternative(
+                name=alternate.name,
+                body=alternate.body,
+                guard=self.acceptance,
+                cost=alternate.cost,
+                metadata=dict(alternate.metadata),
+            )
+            for alternate in self.alternates
+        ]
+
+    def __len__(self) -> int:
+        return len(self.alternates)
+
+    def __repr__(self) -> str:
+        return f"RecoveryBlock({self.name!r}, alternates={len(self)})"

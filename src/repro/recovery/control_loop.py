@@ -1,0 +1,94 @@
+"""A Welch-style real-time control loop over recovery blocks.
+
+Welch [1983] measured distributed recovery-block performance 'in a
+real-time control loop' with two-alternate blocks.  This harness runs a
+control loop of ``steps`` iterations; each iteration executes one recovery
+block (sequentially or concurrently) and must deliver a command within
+``deadline`` simulated seconds.  The paper's conclusion section points out
+the real-time fit: 'sibling elimination can be carried out asynchronously
+with respect to result delivery'.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Union
+
+from repro.errors import AltBlockFailure
+from repro.recovery.block import RecoveryBlock
+from repro.recovery.concurrent import ConcurrentRecoveryExecutor, RecoveryRunResult
+from repro.recovery.sequential import SequentialRecoveryExecutor
+
+BlockFactory = Callable[[int], RecoveryBlock]
+Executor = Union[SequentialRecoveryExecutor, ConcurrentRecoveryExecutor]
+
+
+@dataclass
+class ControlLoopResult:
+    """Aggregate outcome of one control-loop run."""
+
+    steps: int
+    deadline: float
+    latencies: List[float] = field(default_factory=list)
+    missed_deadlines: int = 0
+    block_failures: int = 0
+
+    @property
+    def completed_steps(self) -> int:
+        """Iterations that produced a command (even if late)."""
+        return len(self.latencies)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-iteration latency over completed steps."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def worst_latency(self) -> float:
+        """Worst-case per-iteration latency."""
+        return max(self.latencies) if self.latencies else 0.0
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of iterations that missed the deadline or failed."""
+        if self.steps == 0:
+            return 0.0
+        return (self.missed_deadlines + self.block_failures) / self.steps
+
+
+def run_control_loop(
+    executor: Executor,
+    block_factory: BlockFactory,
+    steps: int,
+    deadline: float,
+) -> ControlLoopResult:
+    """Drive ``steps`` control iterations through ``executor``.
+
+    ``block_factory(step)`` builds the iteration's recovery block (so
+    scripted faults can key off the step number).  A block failure counts
+    as a missed command; the loop continues -- a real controller would
+    hold the previous output.
+    """
+    if steps < 1:
+        raise ValueError("need at least one control step")
+    if deadline <= 0:
+        raise ValueError("deadline must be positive")
+    outcome = ControlLoopResult(steps=steps, deadline=deadline)
+    for step in range(steps):
+        block = block_factory(step)
+        try:
+            result = executor.run(block)
+        except AltBlockFailure:
+            outcome.block_failures += 1
+            continue
+        elapsed = (
+            result.elapsed
+            if isinstance(result, RecoveryRunResult)
+            else result.elapsed
+        )
+        outcome.latencies.append(elapsed)
+        if elapsed > deadline:
+            outcome.missed_deadlines += 1
+    return outcome

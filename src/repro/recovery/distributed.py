@@ -1,0 +1,69 @@
+"""Recovery blocks executed across workstations (section 5.1 proper).
+
+The section's title scenario: each alternate version of the software runs
+on its *own node* (a remote-forked copy of the caller's state), the
+acceptance test guards each, and the at-most-once synchronization is
+replicated so the mechanism adds no single point of failure.  This module
+is a thin composition of :class:`~repro.recovery.RecoveryBlock` with
+:class:`~repro.net.DistributedAltExecutor`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.net.distributed import DistributedAltExecutor
+from repro.net.network import Network
+from repro.process.process import SimProcess
+from repro.recovery.block import RecoveryBlock
+from repro.recovery.concurrent import RecoveryRunResult, SyncMode
+from repro.sim.costs import CostModel
+
+
+class DistributedRecoveryExecutor:
+    """Run each recovery-block alternate on its own network node."""
+
+    def __init__(
+        self,
+        network: Network,
+        home: str,
+        workers: Sequence[str],
+        cost_model: Optional[CostModel] = None,
+        use_consensus: bool = True,
+        seed: int = 0,
+    ) -> None:
+        self._executor = DistributedAltExecutor(
+            network,
+            home=home,
+            workers=workers,
+            cost_model=cost_model,
+            use_consensus=use_consensus,
+            seed=seed,
+        )
+        self.use_consensus = use_consensus
+
+    def new_parent(self, space_size: int = 64 * 1024) -> SimProcess:
+        """A fresh parent on the home node."""
+        return self._executor.new_parent(space_size=space_size)
+
+    def run(
+        self, block: RecoveryBlock, parent: Optional[SimProcess] = None
+    ) -> RecoveryRunResult:
+        """Execute ``block`` with one alternate per worker node.
+
+        Raises :class:`~repro.errors.AltBlockFailure` when every alternate
+        fails its acceptance test and
+        :class:`~repro.errors.NetworkError` style failures surface per
+        node (an unreachable worker only loses its own alternate).
+        """
+        parent = parent if parent is not None else self.new_parent()
+        result = self._executor.run(block.as_alternatives(), parent=parent)
+        return RecoveryRunResult(
+            result=result,
+            sync_mode=(
+                SyncMode.MAJORITY_CONSENSUS
+                if self.use_consensus
+                else SyncMode.LOCAL
+            ),
+            sync_latency=result.overhead.selection,
+        )

@@ -1,0 +1,80 @@
+"""Fault injection for recovery-block experiments.
+
+The paper's recovery-block discussion (and the Kim/Welch experiments it
+cites) hinges on alternates that sometimes fail their acceptance test.
+These helpers build bodies with controlled failure behaviour:
+
+- :func:`flaky_body` fails with a fixed probability per execution, drawn
+  from the alternative's own seeded RNG (so runs are reproducible);
+- :func:`scripted_body` fails on an explicit set of invocation numbers,
+  for deterministic tests of rollback chains.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Optional
+
+from repro.core.alternative import AltContext
+
+
+def flaky_body(
+    value: Any,
+    failure_prob: float,
+    side_effect: Optional[Callable[[AltContext], None]] = None,
+) -> Callable[[AltContext], Any]:
+    """A body computing ``value`` that fails with ``failure_prob``.
+
+    The failure decision uses ``ctx.rng``, which executors seed per
+    (executor seed, alternative index), so results are reproducible.
+    ``side_effect`` runs before the failure decision, modelling versions
+    that dirty state before their acceptance test rejects them.
+    """
+    if not 0.0 <= failure_prob <= 1.0:
+        raise ValueError("failure probability must be in [0, 1]")
+
+    def body(context: AltContext) -> Any:
+        if side_effect is not None:
+            side_effect(context)
+        if context.rng.random() < failure_prob:
+            context.fail("injected fault")
+        return value
+
+    return body
+
+
+def scripted_body(
+    value: Any,
+    fail_on_calls: Iterable[int],
+) -> Callable[[AltContext], Any]:
+    """A body that fails on the given 1-based invocation numbers.
+
+    Shared across block executions (the counter lives in the closure), so
+    a control loop can make, say, the primary fail on exactly its 3rd and
+    7th iterations.
+    """
+    failures = frozenset(fail_on_calls)
+    counter = itertools.count(1)
+
+    def body(context: AltContext) -> Any:
+        call = next(counter)
+        if call in failures:
+            context.fail(f"scripted fault on call {call}")
+        return value
+
+    return body
+
+
+def always_accept(context: AltContext, value: Any) -> bool:
+    """An acceptance test that passes anything (bodies signal their own
+    failures through ``ctx.fail``)."""
+    return True
+
+
+def accept_if(predicate: Callable[[Any], bool]) -> Callable[[AltContext, Any], bool]:
+    """Build an acceptance test from a plain predicate on the value."""
+
+    def acceptance(context: AltContext, value: Any) -> bool:
+        return predicate(value)
+
+    return acceptance

@@ -1,0 +1,54 @@
+"""Sequential recovery-block execution.
+
+The classical semantics: run the primary, apply the acceptance test; on
+failure roll the program state back to the block entry and try the next
+alternate; if the last alternate fails the test, the block as a whole
+fails.  Rollback comes for free from the COW fork underneath
+:class:`~repro.core.SequentialExecutor`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.result import AltResult
+from repro.core.selection import OrderedPolicy
+from repro.core.sequential import SequentialExecutor
+from repro.process.primitives import ProcessManager
+from repro.process.process import SimProcess
+from repro.recovery.block import RecoveryBlock
+
+
+class SequentialRecoveryExecutor:
+    """Ordered, rollback-between-failures execution of recovery blocks."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        manager: Optional[ProcessManager] = None,
+        space_size: int = 64 * 1024,
+    ) -> None:
+        self._executor = SequentialExecutor(
+            policy=OrderedPolicy(),
+            try_all=True,
+            seed=seed,
+            manager=manager,
+            space_size=space_size,
+        )
+
+    @property
+    def manager(self) -> ProcessManager:
+        """The underlying process manager (shared state lives here)."""
+        return self._executor.manager
+
+    def new_parent(self) -> SimProcess:
+        """A fresh root process whose space callers may preload."""
+        return self._executor.new_parent()
+
+    def run(
+        self, block: RecoveryBlock, parent: Optional[SimProcess] = None
+    ) -> AltResult:
+        """Execute ``block``; raises
+        :class:`~repro.errors.AltBlockFailure` when every alternate fails
+        its acceptance test."""
+        return self._executor.run(block.as_alternatives(), parent=parent)

@@ -1,0 +1,32 @@
+"""Transparent replication (paper section 6, related work made real).
+
+'Transparent replication can easily be combined with the use of parallel
+execution of several alternatives for increases in performance,
+reliability, or both.'  Replication differs from alternatives in that all
+copies are *expected* to behave identically, so I/O must be managed:
+'only one read operation can be performed, and its results buffered for
+subsequent readers of the same data.  Thus, idempotency of some source
+state can be forced through buffering.'
+
+- :class:`~repro.replication.buffered.BufferedSource` forces idempotency
+  onto a source device for a set of replicas;
+- :class:`~repro.replication.executor.ReplicatedExecutor` races N
+  replicas of one computation across failure-prone simulated nodes and,
+  in combined mode, replicates each *alternative* for performance and
+  reliability at once.
+"""
+
+from repro.replication.buffered import BufferedSource, ReplicaDivergence
+from repro.replication.executor import (
+    ReplicaSpec,
+    ReplicatedExecutor,
+    ReplicationResult,
+)
+
+__all__ = [
+    "BufferedSource",
+    "ReplicaDivergence",
+    "ReplicaSpec",
+    "ReplicatedExecutor",
+    "ReplicationResult",
+]

@@ -1,0 +1,90 @@
+"""Forcing idempotency onto source devices for replicated readers.
+
+A :class:`BufferedSource` wraps a non-idempotent
+:class:`~repro.ipc.SourceDevice`.  Each replica reads through its own
+cursor: the first replica to need input item *k* performs the one real
+read; every later replica is served from the buffer.  Writes are
+deduplicated the same way -- the first replica to emit logical output *k*
+really writes; the others must emit byte-identical data, and a mismatch
+raises :class:`ReplicaDivergence` (replicas are supposed to be
+deterministic copies; divergence is a bug worth surfacing, not hiding).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List
+
+from repro.errors import ReproError
+from repro.ipc.devices import SourceDevice
+
+
+class ReplicaDivergence(ReproError):
+    """Two replicas of the same computation produced different output."""
+
+
+class BufferedSource:
+    """A source device shared safely by N replicas of one computation."""
+
+    def __init__(self, source: SourceDevice) -> None:
+        self.source = source
+        self._read_buffer: List[Any] = []
+        self._read_cursors: Dict[Hashable, int] = {}
+        self._write_log: List[Any] = []
+        self._write_cursors: Dict[Hashable, int] = {}
+
+    # ------------------------------------------------------------------
+    # reads
+
+    def read(self, replica_id: Hashable) -> Any:
+        """The next input item, from this replica's point of view.
+
+        Only the first replica to reach a given position triggers a real
+        (unrepeatable) read of the underlying source.
+        """
+        cursor = self._read_cursors.get(replica_id, 0)
+        if cursor == len(self._read_buffer):
+            self._read_buffer.append(self.source.read())
+        value = self._read_buffer[cursor]
+        self._read_cursors[replica_id] = cursor + 1
+        return value
+
+    @property
+    def real_reads(self) -> int:
+        """Reads actually performed on the underlying source."""
+        return len(self._read_buffer)
+
+    def reads_by(self, replica_id: Hashable) -> int:
+        """Items consumed by one replica."""
+        return self._read_cursors.get(replica_id, 0)
+
+    # ------------------------------------------------------------------
+    # writes
+
+    def write(self, replica_id: Hashable, data: Any) -> bool:
+        """Emit ``data`` as this replica's next logical output.
+
+        Returns True when this call performed the real write (i.e. this
+        replica reached the position first).  Raises
+        :class:`ReplicaDivergence` when a replica's output disagrees with
+        what an earlier replica already emitted at the same position.
+        """
+        cursor = self._write_cursors.get(replica_id, 0)
+        if cursor == len(self._write_log):
+            self._write_log.append(data)
+            self.source.write(data)
+            performed = True
+        else:
+            expected = self._write_log[cursor]
+            if expected != data:
+                raise ReplicaDivergence(
+                    f"replica {replica_id!r} wrote {data!r} at position "
+                    f"{cursor}, but {expected!r} was already committed"
+                )
+            performed = False
+        self._write_cursors[replica_id] = cursor + 1
+        return performed
+
+    @property
+    def real_writes(self) -> int:
+        """Writes actually performed on the underlying source."""
+        return len(self._write_log)

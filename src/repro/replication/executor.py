@@ -1,0 +1,171 @@
+"""Racing replicas for reliability, and replicated alternatives for both.
+
+Unlike Cooper's CIRCUS (replication for reliability) or Goldberg's
+process cloning (replication for performance), the executor here serves
+the paper's closing point: replication and alternative-racing *compose*.
+A :class:`ReplicatedExecutor` runs:
+
+- ``run(computation, ...)`` -- N copies of one computation on simulated
+  nodes with crash injection and per-node latency variation; the fastest
+  surviving replica's answer is delivered (performance *and* crash
+  tolerance for a single computation);
+- ``run_alternatives(alternatives, ...)`` -- each alternative replicated
+  N ways, all N x K copies racing; an alternative's answer survives if
+  any one of its replicas does.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.core.alternative import AltContext, Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.core.result import AltResult
+from repro.errors import AltBlockFailure
+from repro.process.primitives import EliminationMode
+from repro.sim.costs import CostModel, MODERN_COMMODITY
+from repro.sim.distributions import Deterministic, Distribution
+
+Computation = Callable[[AltContext], Any]
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """How to replicate: count, crash probability, latency model."""
+
+    replicas: int = 3
+    crash_probability: float = 0.0
+    """Per-replica probability of crashing before completing (a node
+    failure, not a wrong answer)."""
+
+    latency: Distribution = field(default_factory=lambda: Deterministic(1.0))
+    """Per-replica execution-time distribution (nodes differ in load)."""
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError("need at least one replica")
+        if not 0.0 <= self.crash_probability <= 1.0:
+            raise ValueError("crash probability must be in [0, 1]")
+
+
+@dataclass
+class ReplicationResult:
+    """Outcome of a replicated run."""
+
+    value: Any
+    winner_name: str
+    elapsed: float
+    crashed_replicas: int
+    alt_result: AltResult
+
+    @property
+    def survived(self) -> bool:
+        """True when at least one replica delivered."""
+        return self.winner_name != ""
+
+
+class ReplicatedExecutor:
+    """Run computations N-ways replicated on a simulated cluster."""
+
+    def __init__(
+        self,
+        spec: ReplicaSpec,
+        cost_model: CostModel = MODERN_COMMODITY,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.cost_model = cost_model
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def _replicas_of(
+        self,
+        name: str,
+        computation: Computation,
+        rng: random.Random,
+        guard: Optional[Callable] = None,
+    ) -> List[Alternative]:
+        replicas = []
+        for replica in range(self.spec.replicas):
+            crashes = rng.random() < self.spec.crash_probability
+            latency = self.spec.latency.sample(rng)
+
+            def body(
+                context: AltContext,
+                _crashes: bool = crashes,
+                _computation: Computation = computation,
+            ) -> Any:
+                if _crashes:
+                    context.fail("replica node crashed")
+                return _computation(context)
+
+            replicas.append(
+                Alternative(
+                    name=f"{name}@replica-{replica}",
+                    body=body,
+                    guard=guard,
+                    cost=latency,
+                    metadata={"replica": replica, "of": name},
+                )
+            )
+        return replicas
+
+    def run(self, computation: Computation, name: str = "task") -> ReplicationResult:
+        """Race N replicas of one computation; first survivor wins.
+
+        Raises :class:`AltBlockFailure` when every replica crashed.
+        """
+        rng = random.Random(self.seed)
+        replicas = self._replicas_of(name, computation, rng)
+        executor = ConcurrentExecutor(
+            cost_model=self.cost_model,
+            elimination=EliminationMode.ASYNCHRONOUS,
+            seed=self.seed,
+        )
+        result = executor.run(replicas)
+        crashed = sum(1 for o in result.outcomes if o.status == "failed")
+        return ReplicationResult(
+            value=result.value,
+            winner_name=result.winner.name,
+            elapsed=result.elapsed,
+            crashed_replicas=crashed,
+            alt_result=result,
+        )
+
+    def run_alternatives(
+        self, alternatives: Sequence[Alternative]
+    ) -> ReplicationResult:
+        """Replicate *each* alternative N ways and race all copies.
+
+        The combination the paper's section 6 closes on: alternative
+        diversity buys performance, replication buys crash tolerance.
+        """
+        if not alternatives:
+            raise ValueError("need at least one alternative")
+        rng = random.Random(self.seed)
+        copies: List[Alternative] = []
+        for arm in alternatives:
+            copies.extend(
+                self._replicas_of(arm.name, arm.body, rng, guard=arm.guard)
+            )
+        executor = ConcurrentExecutor(
+            cost_model=self.cost_model,
+            elimination=EliminationMode.ASYNCHRONOUS,
+            seed=self.seed,
+        )
+        result = executor.run(copies)
+        crashed = sum(1 for o in result.outcomes if o.status == "failed")
+        return ReplicationResult(
+            value=result.value,
+            winner_name=result.winner.name,
+            elapsed=result.elapsed,
+            crashed_replicas=crashed,
+            alt_result=result,
+        )
+
+    def survival_probability(self) -> float:
+        """P(at least one replica survives) under independent crashes."""
+        return 1.0 - self.spec.crash_probability**self.spec.replicas

@@ -1,0 +1,51 @@
+"""Discrete-event simulation substrate.
+
+This subpackage provides the deterministic simulation core that the rest of
+the library builds on:
+
+- :mod:`repro.sim.clock` -- virtual time.
+- :mod:`repro.sim.events` -- a stable priority event queue.
+- :mod:`repro.sim.kernel` -- the event loop plus coroutine-style simulated
+  activities.
+- :mod:`repro.sim.costs` -- the overhead cost model of section 4 of the
+  paper, with presets calibrated to the machines measured in section 4.4.
+- :mod:`repro.sim.distributions` -- seeded execution-time distributions used
+  by the workload generators.
+"""
+
+from repro.sim.clock import Clock
+from repro.sim.costs import ATT_3B2_310, FREE, HP_9000_350, MODERN_COMMODITY, CostModel
+from repro.sim.distributions import (
+    Bimodal,
+    Deterministic,
+    Distribution,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Shifted,
+    Uniform,
+)
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Delay, SimKernel, WaitCondition
+
+__all__ = [
+    "ATT_3B2_310",
+    "Bimodal",
+    "Clock",
+    "CostModel",
+    "Delay",
+    "Deterministic",
+    "Distribution",
+    "Empirical",
+    "Event",
+    "EventQueue",
+    "Exponential",
+    "FREE",
+    "HP_9000_350",
+    "LogNormal",
+    "MODERN_COMMODITY",
+    "Shifted",
+    "SimKernel",
+    "Uniform",
+    "WaitCondition",
+]

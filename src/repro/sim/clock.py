@@ -1,0 +1,51 @@
+"""Virtual time for the discrete-event simulator.
+
+Simulated time is a float measured in seconds.  The clock only moves
+forward; the event kernel owns the single clock instance and advances it as
+events fire.
+"""
+
+from __future__ import annotations
+
+
+class Clock:
+    """A monotonically non-decreasing virtual clock.
+
+    >>> clock = Clock()
+    >>> clock.now
+    0.0
+    >>> clock.advance_to(1.5)
+    >>> clock.now
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before time zero")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Move the clock forward to ``when``.
+
+        Raises ``ValueError`` on an attempt to move backwards, which would
+        indicate a scheduling bug in the caller.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: {when!r} < {self._now!r}"
+            )
+        self._now = float(when)
+
+    def advance_by(self, delta: float) -> None:
+        """Move the clock forward by ``delta`` seconds."""
+        if delta < 0:
+            raise ValueError(f"cannot advance by negative delta {delta!r}")
+        self._now += float(delta)
+
+    def __repr__(self) -> str:
+        return f"Clock(now={self._now!r})"

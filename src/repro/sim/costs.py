@@ -1,0 +1,188 @@
+"""Overhead cost model (paper section 4).
+
+Section 4.2 decomposes concurrency overhead into three components::
+
+    tau(overhead) = tau(setup)     -- creating execution environments
+                  + tau(runtime)   -- COW page copies + CPU sharing
+                  + tau(selection) -- sibling elimination and commit
+
+:class:`CostModel` carries the machine parameters that determine each
+component.  Two presets reproduce the measurements of section 4.4:
+
+- ``ATT_3B2_310``: ``fork()`` of a 320K address space in ~31 ms; page-copy
+  service rate of 326 2K-pages/second.
+- ``HP_9000_350``: ``fork()`` in ~12 ms; 1034 4K-pages/second.
+
+A third preset, ``MODERN_COMMODITY``, is a rough 2020s-era laptop for use in
+examples; none of the paper's conclusions depend on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Machine/OS parameters that drive simulated overhead.
+
+    All times are in seconds, sizes in bytes, rates in events per second.
+    """
+
+    name: str
+    fork_latency: float
+    """Base latency of a copy-on-write fork (no pages yet written)."""
+
+    page_copy_rate: float
+    """Pages copied per second when a COW fault fires."""
+
+    page_size: int
+    """Size of one page in bytes."""
+
+    kill_latency: float = 0.0005
+    """Cost of issuing one sibling-termination instruction (section 4.1
+    item 2: 'the instructions to terminate the alternates must still be
+    issued, and they increase with the number of alternates')."""
+
+    sync_latency: float = 0.001
+    """Cost of the rendezvous itself: the atomic page-pointer swap plus
+    bookkeeping at ``alt_wait``/``alt_sync``."""
+
+    message_latency: float = 0.002
+    """One-way latency of a local IPC message."""
+
+    network_latency: float = 0.010
+    """One-way latency of a network message between nodes."""
+
+    network_bandwidth: float = 1_000_000.0
+    """Network throughput in bytes/second (10 Mbit Ethernet era default)."""
+
+    checkpoint_rate: float = 500_000.0
+    """Bytes per second written when checkpointing a whole process image
+    (the dominant cost of the paper's unmodified-kernel ``rfork()``)."""
+
+    restore_rate: float = 1_000_000.0
+    """Bytes per second read when restoring a checkpoint."""
+
+    def page_copy_time(self, pages: int = 1) -> float:
+        """Time to service ``pages`` copy-on-write faults."""
+        if pages < 0:
+            raise ValueError("page count cannot be negative")
+        return pages / self.page_copy_rate
+
+    def pages_for(self, nbytes: int) -> int:
+        """Number of pages needed to hold ``nbytes`` (ceiling division)."""
+        if nbytes < 0:
+            raise ValueError("byte count cannot be negative")
+        return -(-nbytes // self.page_size)
+
+    def fork_time(self, pages_written_by_child: int = 0) -> float:
+        """Fork latency plus the COW copies the child will later incur.
+
+        The paper's section 4.4 observation: 'The fraction of the pages in
+        the address space which are written is the important independent
+        variable for a program with a known address space size.'
+        """
+        return self.fork_latency + self.page_copy_time(pages_written_by_child)
+
+    def elimination_time(self, siblings: int) -> float:
+        """Cost of issuing termination instructions for ``siblings``."""
+        if siblings < 0:
+            raise ValueError("sibling count cannot be negative")
+        return siblings * self.kill_latency
+
+    def checkpoint_time(self, image_bytes: int) -> float:
+        """Time to dump a process image of ``image_bytes`` to a file."""
+        return image_bytes / self.checkpoint_rate
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time to ship ``nbytes`` across one network link."""
+        return self.network_latency + nbytes / self.network_bandwidth
+
+    def restore_time(self, image_bytes: int) -> float:
+        """Time to restore a checkpointed image on the remote node."""
+        return image_bytes / self.restore_rate
+
+    def rfork_time(self, image_bytes: int) -> float:
+        """End-to-end remote fork: checkpoint, ship, restore.
+
+        With the default parameters a 70K image lands near the ~1 second
+        the paper reports for its unmodified-kernel implementation.
+        """
+        return (
+            self.checkpoint_time(image_bytes)
+            + self.transfer_time(image_bytes)
+            + self.restore_time(image_bytes)
+        )
+
+    def scaled(self, factor: float, name: str = "") -> "CostModel":
+        """A model whose latencies are multiplied by ``factor``.
+
+        Rates are divided by the same factor so the whole machine slows
+        down (or speeds up) uniformly.  Useful for sensitivity sweeps.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return replace(
+            self,
+            name=name or f"{self.name} x{factor:g}",
+            fork_latency=self.fork_latency * factor,
+            page_copy_rate=self.page_copy_rate / factor,
+            kill_latency=self.kill_latency * factor,
+            sync_latency=self.sync_latency * factor,
+            message_latency=self.message_latency * factor,
+            network_latency=self.network_latency * factor,
+            network_bandwidth=self.network_bandwidth / factor,
+            checkpoint_rate=self.checkpoint_rate / factor,
+            restore_rate=self.restore_rate / factor,
+        )
+
+
+ATT_3B2_310 = CostModel(
+    name="AT&T 3B2/310",
+    fork_latency=0.031,
+    page_copy_rate=326.0,
+    page_size=2048,
+)
+"""Preset from section 4.4: 31 ms fork of a 320K space, 326 2K-pages/s."""
+
+
+HP_9000_350 = CostModel(
+    name="HP 9000/350",
+    fork_latency=0.012,
+    page_copy_rate=1034.0,
+    page_size=4096,
+)
+"""Preset from section 4.4: 12 ms fork, 1034 4K-pages/s."""
+
+
+MODERN_COMMODITY = CostModel(
+    name="modern commodity",
+    fork_latency=0.0004,
+    page_copy_rate=2_000_000.0,
+    page_size=4096,
+    kill_latency=0.00002,
+    sync_latency=0.00005,
+    message_latency=0.00005,
+    network_latency=0.0002,
+    network_bandwidth=1_000_000_000.0,
+    checkpoint_rate=500_000_000.0,
+    restore_rate=1_000_000_000.0,
+)
+"""A rough 2020s machine, for examples only."""
+
+
+FREE = CostModel(
+    name="zero overhead",
+    fork_latency=0.0,
+    page_copy_rate=float("inf"),
+    page_size=4096,
+    kill_latency=0.0,
+    sync_latency=0.0,
+    message_latency=0.0,
+    network_latency=0.0,
+    network_bandwidth=float("inf"),
+    checkpoint_rate=float("inf"),
+    restore_rate=float("inf"),
+)
+"""All overheads zero -- isolates algorithmic effects in tests and benches."""

@@ -1,0 +1,178 @@
+"""Seeded execution-time distributions.
+
+The paper's performance case (section 4.2, relation 3) is precisely the
+regime where ``tau(C_i, x)`` is *unpredictable*: database queries, heuristic
+searches, input-dependent sorts.  The workload generators in the benchmark
+harness draw per-alternative execution times from these distributions.
+
+Every distribution exposes:
+
+- ``sample(rng)`` -- one draw using the supplied ``random.Random``;
+- ``mean()`` -- the analytic mean, used by :mod:`repro.analysis` to predict
+  the sequential baseline ``tau(C_mean)`` without sampling error.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class Distribution:
+    """Abstract base for execution-time distributions."""
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw one value (seconds)."""
+        raise NotImplementedError
+
+    def mean(self) -> float:
+        """Analytic expectation of the distribution."""
+        raise NotImplementedError
+
+    def sample_many(self, rng: random.Random, n: int) -> list[float]:
+        """Draw ``n`` values."""
+        if n < 0:
+            raise ValueError("sample count cannot be negative")
+        return [self.sample(rng) for _ in range(n)]
+
+
+@dataclass(frozen=True)
+class Deterministic(Distribution):
+    """Always returns ``value``."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("execution time cannot be negative")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError("require 0 <= low <= high")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+@dataclass(frozen=True)
+class Exponential(Distribution):
+    """Exponential with the given ``mean_value`` (heavy right tail)."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError("mean must be positive")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self.mean_value)
+
+    def mean(self) -> float:
+        return self.mean_value
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Log-normal given the mean and sigma of the underlying normal.
+
+    Database-query-like: most runs cluster, a few are very slow.
+    """
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma cannot be negative")
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.lognormvariate(self.mu, self.sigma)
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+
+@dataclass(frozen=True)
+class Bimodal(Distribution):
+    """With probability ``p_fast`` draw from ``fast``, else from ``slow``.
+
+    Models the paper's quicksort example: usually fast, pathologically slow
+    on adversarial inputs.
+    """
+
+    fast: Distribution
+    slow: Distribution
+    p_fast: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_fast <= 1.0:
+            raise ValueError("p_fast must be a probability")
+
+    def sample(self, rng: random.Random) -> float:
+        if rng.random() < self.p_fast:
+            return self.fast.sample(rng)
+        return self.slow.sample(rng)
+
+    def mean(self) -> float:
+        return self.p_fast * self.fast.mean() + (1 - self.p_fast) * self.slow.mean()
+
+
+@dataclass(frozen=True)
+class Shifted(Distribution):
+    """``base`` plus a constant offset (e.g. a mandatory copy cost)."""
+
+    base: Distribution
+    offset: float
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError("offset cannot be negative")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.base.sample(rng) + self.offset
+
+    def mean(self) -> float:
+        return self.base.mean() + self.offset
+
+
+@dataclass(frozen=True)
+class Empirical(Distribution):
+    """Uniform draw from a fixed set of observed values."""
+
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("need at least one value")
+        if any(v < 0 for v in self.values):
+            raise ValueError("execution times cannot be negative")
+
+    @staticmethod
+    def of(values: Sequence[float]) -> "Empirical":
+        """Build from any sequence of observations."""
+        return Empirical(tuple(float(v) for v in values))
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.choice(self.values)
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)

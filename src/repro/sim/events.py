@@ -1,0 +1,68 @@
+"""A stable priority queue of timed events.
+
+Events that share a firing time are delivered in the order they were
+scheduled, which keeps every simulation in this package fully deterministic
+for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, seq)`` so that ties break in scheduling order.
+    ``cancelled`` events stay in the heap but are skipped on pop.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue will skip it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects with stable tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        event = Event(time=time, seq=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time

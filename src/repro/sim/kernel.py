@@ -1,0 +1,176 @@
+"""The discrete-event kernel.
+
+:class:`SimKernel` combines a :class:`~repro.sim.clock.Clock` with an
+:class:`~repro.sim.events.EventQueue` and supports two styles of simulated
+activity:
+
+- plain timed callbacks (``schedule`` / ``schedule_in``), and
+- coroutine-style activities: generators that yield :class:`Delay` or
+  :class:`WaitCondition` effects and are resumed by the kernel.
+
+The coroutine style is used by the consensus and network layers, where a
+protocol participant naturally reads as sequential code interleaved with
+waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.clock import Clock
+from repro.sim.events import Event, EventQueue
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Effect yielded by an activity to sleep for ``seconds`` of sim time."""
+
+    seconds: float
+
+
+@dataclass(frozen=True)
+class WaitCondition:
+    """Effect yielded by an activity to block until ``predicate()`` is true.
+
+    The predicate is re-evaluated after every event fires; ``poll_interval``
+    bounds how long the kernel may go without re-checking when the event
+    queue is otherwise empty.
+    """
+
+    predicate: Callable[[], bool]
+    poll_interval: float = 0.001
+
+
+Activity = Generator[Any, Any, Any]
+
+
+class SimKernel:
+    """Deterministic discrete-event simulation loop."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.clock = Clock(start_time)
+        self._queue = EventQueue()
+        self._waiters: list[tuple[WaitCondition, Activity]] = []
+        self._trace: list[tuple[float, str]] = []
+        self._tracing = False
+
+    # ------------------------------------------------------------------
+    # time & tracing
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now
+
+    def enable_tracing(self) -> None:
+        """Record ``(time, label)`` for every labelled event that fires."""
+        self._tracing = True
+
+    @property
+    def trace(self) -> list[tuple[float, str]]:
+        """The recorded trace (empty unless tracing was enabled)."""
+        return list(self._trace)
+
+    def record(self, label: str) -> None:
+        """Append a labelled point to the trace at the current time."""
+        if self._tracing:
+            self._trace.append((self.now, label))
+
+    # ------------------------------------------------------------------
+    # scheduling
+
+    def schedule(self, when: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Run ``action`` at absolute time ``when``."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self.now}")
+        return self._queue.push(when, action, label)
+
+    def schedule_in(self, delay: float, action: Callable[[], Any], label: str = "") -> Event:
+        """Run ``action`` ``delay`` seconds from now."""
+        return self.schedule(self.now + delay, action, label)
+
+    def spawn(self, activity: Activity, label: str = "") -> None:
+        """Start a coroutine-style activity immediately."""
+        self.schedule(self.now, lambda: self._step(activity), label or "spawn")
+
+    # ------------------------------------------------------------------
+    # event loop
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Fire events until the queue drains or ``until`` is reached.
+
+        Returns the final simulated time.
+        """
+        while True:
+            self._wake_ready_waiters()
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                if self._waiters:
+                    # Nothing scheduled but activities are blocked on
+                    # conditions; poll at the smallest requested interval.
+                    interval = min(w.poll_interval for w, _ in self._waiters)
+                    target = self.now + interval
+                    if until is not None and target > until:
+                        self.clock.advance_to(until)
+                        return self.now
+                    self.clock.advance_to(target)
+                    continue
+                return self.now
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                return self.now
+            event = self._queue.pop()
+            assert event is not None
+            self.clock.advance_to(event.time)
+            if self._tracing and event.label:
+                self._trace.append((self.now, event.label))
+            event.action()
+
+    def run_all(self, max_time: float = 1e12) -> float:
+        """Run to quiescence with a generous safety horizon."""
+        return self.run(until=max_time)
+
+    # ------------------------------------------------------------------
+    # coroutine machinery
+
+    def _step(self, activity: Activity, send_value: Any = None) -> None:
+        try:
+            effect = activity.send(send_value)
+        except StopIteration:
+            return
+        if isinstance(effect, Delay):
+            if effect.seconds < 0:
+                raise ValueError("Delay must be non-negative")
+            self.schedule_in(effect.seconds, lambda: self._step(activity))
+        elif isinstance(effect, WaitCondition):
+            if effect.predicate():
+                self.schedule(self.now, lambda: self._step(activity))
+            else:
+                self._waiters.append((effect, activity))
+        else:
+            raise TypeError(
+                f"activity yielded {effect!r}; expected Delay or WaitCondition"
+            )
+
+    def _wake_ready_waiters(self) -> None:
+        if not self._waiters:
+            return
+        still_blocked: list[tuple[WaitCondition, Activity]] = []
+        ready: list[Activity] = []
+        for condition, activity in self._waiters:
+            if condition.predicate():
+                ready.append(activity)
+            else:
+                still_blocked.append((condition, activity))
+        self._waiters = still_blocked
+        for activity in ready:
+            self.schedule(self.now, lambda a=activity: self._step(a))
+
+
+def run_activities(activities: Iterable[Activity], until: Optional[float] = None) -> float:
+    """Convenience: run a set of activities on a fresh kernel to completion."""
+    kernel = SimKernel()
+    for activity in activities:
+        kernel.spawn(activity)
+    return kernel.run(until=until)

@@ -1,0 +1,17 @@
+"""Predicated versions of shared data (paper section 6).
+
+'More related to our predicates is the idea used in the PEDIT [Kruskal
+1984] parametric line editor.  Associated with each line of text is a set
+of parameters ... The line is selected for display if the mask set in the
+view of the file matches the settings of the state variables ... Each
+setting of the state variables gives a distinct version, but in practice
+most of the text is shared between the versions.'
+
+:class:`~repro.versions.pedit.ParametricFile` implements that model: one
+store of predicated lines, many views, heavy sharing -- the same
+structural trick the paper's worlds play with pages.
+"""
+
+from repro.versions.pedit import LineConstraint, ParametricFile, View
+
+__all__ = ["LineConstraint", "ParametricFile", "View"]

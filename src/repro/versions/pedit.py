@@ -1,0 +1,231 @@
+"""A PEDIT-style parametric file: many versions, one line store.
+
+Lines carry a :class:`LineConstraint` -- required state-variable settings
+plus explicit exclusions.  A :class:`View` fixes the state variables
+(``SYSTEM=UNIX, VERSION=SysV`` in the paper's example); the view shows
+exactly the lines whose constraints its settings satisfy.  Edits made
+through a view predicate the changes on that view's settings, so other
+versions are untouched -- deletion of a shared line from one view only
+*excludes* it there.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class VersionError(ReproError):
+    """Invalid parametric-file operation."""
+
+
+@dataclass
+class LineConstraint:
+    """Visibility rule for one line."""
+
+    required: Dict[str, str] = field(default_factory=dict)
+    """Variable settings that must hold for the line to appear."""
+
+    excluded: List[Dict[str, str]] = field(default_factory=list)
+    """Settings combinations under which the line is hidden even when the
+    requirements hold (produced by deleting the line from a view)."""
+
+    def visible_under(self, settings: Dict[str, str]) -> bool:
+        """Does the line appear in a view with these settings?"""
+        for variable, value in self.required.items():
+            if settings.get(variable) != value:
+                return False
+        for exclusion in self.excluded:
+            if exclusion and all(
+                settings.get(variable) == value
+                for variable, value in exclusion.items()
+            ):
+                return False
+        return True
+
+    def copy(self) -> "LineConstraint":
+        return LineConstraint(
+            required=dict(self.required),
+            excluded=[dict(e) for e in self.excluded],
+        )
+
+
+@dataclass
+class _Line:
+    line_id: int
+    text: str
+    constraint: LineConstraint
+
+
+class ParametricFile:
+    """One store of predicated lines; versions are views over it."""
+
+    def __init__(self, name: str = "file") -> None:
+        self.name = name
+        self._lines: List[_Line] = []
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # direct (unconditional) editing
+
+    def append(self, text: str, required: Optional[Dict[str, str]] = None) -> int:
+        """Add a line at the end; returns its id."""
+        line = _Line(
+            line_id=next(self._ids),
+            text=text,
+            constraint=LineConstraint(required=dict(required or {})),
+        )
+        self._lines.append(line)
+        return line.line_id
+
+    def extend(self, texts: Iterable[str]) -> None:
+        """Append several unconditional lines."""
+        for text in texts:
+            self.append(text)
+
+    @property
+    def total_lines(self) -> int:
+        """Stored lines across all versions."""
+        return len(self._lines)
+
+    def view(self, **settings: str) -> "View":
+        """Open a view with the given state-variable settings."""
+        return View(self, dict(settings))
+
+    # ------------------------------------------------------------------
+    # internals for views
+
+    def _visible(self, settings: Dict[str, str]) -> List[_Line]:
+        return [
+            line for line in self._lines
+            if line.constraint.visible_under(settings)
+        ]
+
+    def _insert_after(
+        self, anchor_id: Optional[int], text: str, required: Dict[str, str]
+    ) -> int:
+        line = _Line(
+            line_id=next(self._ids),
+            text=text,
+            constraint=LineConstraint(required=dict(required)),
+        )
+        if anchor_id is None:
+            self._lines.insert(0, line)
+        else:
+            for index, existing in enumerate(self._lines):
+                if existing.line_id == anchor_id:
+                    self._lines.insert(index + 1, line)
+                    break
+            else:
+                raise VersionError(f"no line with id {anchor_id}")
+        return line.line_id
+
+    def _find(self, line_id: int) -> _Line:
+        for line in self._lines:
+            if line.line_id == line_id:
+                return line
+        raise VersionError(f"no line with id {line_id}")
+
+    # ------------------------------------------------------------------
+    # analysis
+
+    def sharing_report(
+        self, versions: List[Dict[str, str]]
+    ) -> Dict[str, float]:
+        """How much text the given versions share.
+
+        Returns ``lines_per_version`` (mean), ``stored_lines``, and
+        ``sharing_factor`` = total displayed lines across versions over
+        stored lines -- the PEDIT observation quantified.
+        """
+        if not versions:
+            raise VersionError("need at least one version")
+        displayed = [len(self._visible(settings)) for settings in versions]
+        total_displayed = sum(displayed)
+        return {
+            "stored_lines": float(self.total_lines),
+            "lines_per_version": total_displayed / len(versions),
+            "sharing_factor": (
+                total_displayed / self.total_lines if self._lines else 0.0
+            ),
+        }
+
+    def __repr__(self) -> str:
+        return f"ParametricFile({self.name!r}, stored={self.total_lines})"
+
+
+class View:
+    """One version of the file: fixed state-variable settings."""
+
+    def __init__(self, file: ParametricFile, settings: Dict[str, str]) -> None:
+        self.file = file
+        self.settings = dict(settings)
+
+    # ------------------------------------------------------------------
+
+    def lines(self) -> List[str]:
+        """The text of this version, in order."""
+        return [line.text for line in self.file._visible(self.settings)]
+
+    def line_ids(self) -> List[int]:
+        """Ids of the visible lines, in order."""
+        return [line.line_id for line in self.file._visible(self.settings)]
+
+    def text(self) -> str:
+        """The version as one string."""
+        return "\n".join(self.lines())
+
+    def __len__(self) -> int:
+        return len(self.file._visible(self.settings))
+
+    # ------------------------------------------------------------------
+    # predicated editing
+
+    def insert(self, position: int, text: str) -> int:
+        """Insert a line at ``position`` *of this view*.
+
+        The new line is predicated on this view's settings: other
+        versions do not see it.
+        """
+        visible = self.file._visible(self.settings)
+        if position < 0 or position > len(visible):
+            raise VersionError(
+                f"position {position} outside view of {len(visible)} lines"
+            )
+        anchor = visible[position - 1].line_id if position > 0 else None
+        return self.file._insert_after(anchor, text, self.settings)
+
+    def append(self, text: str) -> int:
+        """Insert at the end of this view."""
+        return self.insert(len(self), text)
+
+    def delete(self, position: int) -> None:
+        """Remove the line at ``position`` *from this view only*.
+
+        A line that exists solely for this view is removed outright; a
+        shared line gains an exclusion for these settings.
+        """
+        visible = self.file._visible(self.settings)
+        try:
+            line = visible[position]
+        except IndexError:
+            raise VersionError(
+                f"position {position} outside view of {len(visible)} lines"
+            ) from None
+        if line.constraint.required == self.settings and not line.constraint.excluded:
+            self.file._lines.remove(line)
+        else:
+            line.constraint.excluded.append(dict(self.settings))
+
+    def replace(self, position: int, text: str) -> int:
+        """Replace a line in this view: exclude the old, insert the new."""
+        line_id = self.insert(position + 1, text)
+        self.delete(position)
+        return line_id
+
+    def __repr__(self) -> str:
+        inner = ",".join(f"{k}={v}" for k, v in sorted(self.settings.items()))
+        return f"View({inner}, lines={len(self)})"

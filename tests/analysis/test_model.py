@@ -1,0 +1,152 @@
+"""Tests for the section 4.2 analytic model -- including exact
+reproduction of the paper's worked table."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.model import (
+    PAPER_OVERHEAD,
+    PAPER_TABLE,
+    crossover_overhead,
+    decompose_overhead,
+    dispersion,
+    expected_pi,
+    parallel_wins,
+    performance_improvement,
+    tau_best,
+    tau_mean,
+)
+from repro.sim.distributions import Deterministic, Exponential
+
+
+class TestBasics:
+    def test_tau_mean(self):
+        assert tau_mean([10, 20, 30]) == 20.0
+
+    def test_tau_best(self):
+        assert tau_best([10, 20, 30]) == 10.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tau_mean([])
+        with pytest.raises(ValueError):
+            tau_best([])
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ValueError):
+            performance_improvement([1.0], -1.0)
+
+    def test_decompose(self):
+        assert decompose_overhead(1.0, 2.0, 3.0) == 6.0
+        with pytest.raises(ValueError):
+            decompose_overhead(-1.0, 0.0, 0.0)
+
+
+class TestPaperTable:
+    """The six scenarios of section 4.2 must reproduce exactly."""
+
+    @pytest.mark.parametrize("scenario", PAPER_TABLE, ids=lambda s: f"row{s.row}")
+    def test_row_matches_paper(self, scenario):
+        assert scenario.matches_paper(), (
+            f"row {scenario.row}: computed {scenario.computed_pi():.4f}, "
+            f"paper says {scenario.paper_pi}"
+        )
+
+    def test_row_values_explicitly(self):
+        computed = [round(s.computed_pi(), 2) for s in PAPER_TABLE]
+        assert computed == [1.33, 7.0, 0.8, 0.33, 1.0, 1.9]
+
+    def test_overhead_is_five(self):
+        assert PAPER_OVERHEAD == 5.0
+        assert all(s.overhead == 5.0 for s in PAPER_TABLE)
+
+    def test_inference_3_and_5_size_of_differences(self):
+        """Rows (3) and (5): equal times mean no win."""
+        assert not parallel_wins(PAPER_TABLE[2].times, PAPER_OVERHEAD)
+        assert not parallel_wins(PAPER_TABLE[4].times, PAPER_OVERHEAD)
+
+    def test_inference_4_relative_magnitudes(self):
+        """Row (4): overhead dwarfs the times."""
+        assert PAPER_TABLE[3].computed_pi() < 0.5
+
+    def test_inference_6_overhead_diminishes(self):
+        """Row (6) vs row (1): same 1:2:3 shape, 10x the scale, better PI."""
+        assert PAPER_TABLE[5].computed_pi() > PAPER_TABLE[0].computed_pi()
+
+    def test_inference_2_large_dispersion_wins_big(self):
+        assert PAPER_TABLE[1].computed_pi() == max(
+            s.computed_pi() for s in PAPER_TABLE
+        )
+        assert dispersion(PAPER_TABLE[1].times) == max(
+            dispersion(s.times) for s in PAPER_TABLE[:5]
+        )
+
+
+class TestWinCondition:
+    def test_wins_iff_best_plus_overhead_below_mean(self):
+        assert parallel_wins([10, 20, 30], 5.0)      # 15 < 20
+        assert not parallel_wins([10, 20, 30], 10.0)  # 20 !< 20
+        assert not parallel_wins([10, 20, 30], 11.0)
+
+    def test_crossover(self):
+        times = [10, 20, 30]
+        crossing = crossover_overhead(times)
+        assert crossing == 10.0
+        assert parallel_wins(times, crossing - 0.01)
+        assert not parallel_wins(times, crossing)
+
+    def test_pi_one_at_crossover(self):
+        times = [10, 20, 30]
+        assert performance_improvement(times, crossover_overhead(times)) == 1.0
+
+
+class TestExpectedPI:
+    def test_deterministic_matches_pointwise(self):
+        dists = [Deterministic(10.0), Deterministic(20.0), Deterministic(30.0)]
+        assert expected_pi(dists, 5.0, samples=10) == pytest.approx(
+            performance_improvement([10, 20, 30], 5.0)
+        )
+
+    def test_dispersion_raises_expected_pi(self):
+        """More dispersion -> bigger expected win (the paper's core
+        claim)."""
+        narrow = [Deterministic(10.0)] * 3
+        wide = [Exponential(10.0)] * 3
+        rng = random.Random(1)
+        assert expected_pi(wide, 0.5, samples=4000, rng=rng) > expected_pi(
+            narrow, 0.5, samples=10
+        )
+
+    def test_bad_samples_rejected(self):
+        with pytest.raises(ValueError):
+            expected_pi([Deterministic(1.0)], 0.0, samples=0)
+
+
+positive_times = st.lists(
+    st.floats(min_value=0.01, max_value=1000, allow_nan=False),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(times=positive_times, overhead=st.floats(min_value=0, max_value=100))
+def test_pi_above_one_iff_wins(times, overhead):
+    pi = performance_improvement(times, overhead)
+    assert (pi > 1.0) == parallel_wins(times, overhead)
+
+
+@given(times=positive_times)
+def test_zero_overhead_pi_is_mean_over_best(times):
+    pi = performance_improvement(times, 0.0)
+    assert pi == pytest.approx(tau_mean(times) / tau_best(times))
+    assert pi >= 1.0 - 1e-9  # mean >= min, up to float rounding
+
+
+@given(times=positive_times, overhead=st.floats(min_value=0, max_value=100))
+def test_pi_monotone_decreasing_in_overhead(times, overhead):
+    assert performance_improvement(times, overhead) >= performance_improvement(
+        times, overhead + 1.0
+    )

@@ -1,0 +1,104 @@
+"""Tests for table and series rendering."""
+
+import pytest
+
+from repro.analysis.report import format_series, format_table, format_timeline
+
+
+class TestFormatTable:
+    def test_basic_table(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.125}])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "10" in lines[3]
+
+    def test_title(self):
+        text = format_table([{"x": 1}], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_selection_and_order(self):
+        text = format_table([{"a": 1, "b": 2, "c": 3}], columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_empty_rows(self):
+        assert format_table([]) == "(no rows)"
+        assert format_table([], title="t") == "t"
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.000123456}])
+        assert "0.000123" in text
+
+
+class TestFormatTimeline:
+    def test_events_rendered(self):
+        text = format_timeline([(0.0, "start"), (1.5, "end")], title="T")
+        assert "T" in text
+        assert "t=  0.000000  start" in text
+        assert "end" in text
+
+
+class TestFormatSeries:
+    def test_bars_scale(self):
+        text = format_series(
+            [1, 2], [1.0, 2.0], x_label="n", y_label="pi", width=10
+        )
+        lines = text.splitlines()
+        assert lines[-1].count("#") == 10
+        assert lines[-2].count("#") == 5
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            format_series([1], [1, 2])
+
+    def test_empty_series(self):
+        text = format_series([], [], title="empty")
+        assert "empty" in text
+
+
+class TestFormatGantt:
+    def make_outcomes(self):
+        from repro.core.alternative import Alternative
+        from repro.core.concurrent import ConcurrentExecutor
+        from repro.sim.costs import FREE
+
+        result = ConcurrentExecutor(cost_model=FREE).run(
+            [
+                Alternative("win", body=lambda ctx: 1, cost=1.0),
+                Alternative("lose", body=lambda ctx: 2, cost=3.0),
+                Alternative("bad", body=lambda ctx: ctx.fail("x"), cost=0.5),
+            ]
+        )
+        return result.outcomes
+
+    def test_one_row_per_alternative(self):
+        from repro.analysis.report import format_gantt
+
+        text = format_gantt(self.make_outcomes(), title="race")
+        lines = text.splitlines()
+        assert lines[0] == "race"
+        assert len(lines) == 4
+
+    def test_status_markers(self):
+        from repro.analysis.report import format_gantt
+
+        text = format_gantt(self.make_outcomes())
+        assert "| W " in text
+        assert "| E " in text
+        assert "| F " in text
+
+    def test_bars_present(self):
+        from repro.analysis.report import format_gantt
+
+        text = format_gantt(self.make_outcomes())
+        assert "#" in text
+
+    def test_empty_outcomes(self):
+        from repro.analysis.report import format_gantt
+
+        assert "(no alternatives ran)" in format_gantt([])

@@ -1,0 +1,113 @@
+"""Tests for the throughput trade-off analysis."""
+
+import pytest
+
+from repro.analysis.throughput import (
+    ThroughputPoint,
+    saturation_point,
+    simulate_contention,
+)
+from repro.sim.distributions import Exponential, Uniform
+
+
+class TestSaturationModel:
+    def points(self, users=(1, 2, 4, 8, 16), cpus=4):
+        return saturation_point(
+            tau_best=1.0,
+            tau_mean=3.0,
+            n_alternatives=3,
+            cpus=cpus,
+            users=list(users),
+        )
+
+    def test_unloaded_speculation_wins_response(self):
+        point = self.points(users=[1])[0]
+        assert point.speculative_response < point.sequential_response
+        assert point.response_gain == pytest.approx(3.0)
+
+    def test_saturated_speculation_pays_throughput(self):
+        # Low dispersion: mean 1.5 vs n * best = 3 CPU-seconds per block.
+        point = saturation_point(
+            tau_best=1.0, tau_mean=1.5, n_alternatives=3, cpus=4, users=[16]
+        )[0]
+        assert point.throughput_loss == pytest.approx(0.5, abs=0.01)
+
+    def test_throughput_neutral_at_high_dispersion(self):
+        """The crossover the model exposes: when tau_mean equals
+        n * tau_best, racing costs no throughput even at saturation --
+        dispersion pays for the speculation."""
+        point = saturation_point(
+            tau_best=1.0, tau_mean=3.0, n_alternatives=3, cpus=4, users=[16]
+        )[0]
+        assert point.throughput_loss == pytest.approx(0.0, abs=1e-9)
+        # And with even more dispersion, speculation *wins* throughput.
+        win = saturation_point(
+            tau_best=1.0, tau_mean=5.0, n_alternatives=3, cpus=4, users=[16]
+        )[0]
+        assert win.throughput_loss < 0.0
+
+    def test_response_monotone_in_users(self):
+        responses = [p.speculative_response for p in self.points()]
+        assert responses == sorted(responses)
+
+    def test_more_cpus_defer_the_price(self):
+        small = saturation_point(1.0, 3.0, 3, cpus=2, users=[8])[0]
+        large = saturation_point(1.0, 3.0, 3, cpus=16, users=[8])[0]
+        assert large.speculative_response < small.speculative_response
+        assert large.throughput_loss <= small.throughput_loss
+
+    def test_explicit_wasted_override(self):
+        cheap = saturation_point(
+            1.0, 3.0, 3, cpus=1, users=[8], wasted_per_block=0.0
+        )[0]
+        pricey = saturation_point(
+            1.0, 3.0, 3, cpus=1, users=[8], wasted_per_block=5.0
+        )[0]
+        assert cheap.speculative_response < pricey.speculative_response
+
+    def test_invalid_users_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_point(1.0, 2.0, 2, cpus=1, users=[0])
+
+    def test_point_derived_metrics(self):
+        point = ThroughputPoint(
+            users=2,
+            cpus=2,
+            sequential_response=4.0,
+            speculative_response=2.0,
+            sequential_throughput=0.5,
+            speculative_throughput=0.25,
+        )
+        assert point.response_gain == 2.0
+        assert point.throughput_loss == 0.5
+
+
+class TestContentionSimulation:
+    def test_ample_cpus_speculation_wins_both_ways(self):
+        point = simulate_contention(
+            Uniform(1.0, 9.0), n_alternatives=3, cpus=64, users=4, seed=1
+        )
+        assert point.response_gain > 1.0
+
+    def test_scarce_cpus_speculation_pays(self):
+        rich = simulate_contention(
+            Exponential(2.0), n_alternatives=4, cpus=64, users=4, seed=2
+        )
+        poor = simulate_contention(
+            Exponential(2.0), n_alternatives=4, cpus=2, users=4, seed=2
+        )
+        # Contention erodes the response-time advantage.
+        assert poor.response_gain < rich.response_gain
+
+    def test_wasted_work_is_bounded_by_cancellation(self):
+        point = simulate_contention(
+            Uniform(1.0, 2.0), n_alternatives=2, cpus=4, users=2, seed=3
+        )
+        assert point.speculative_response > 0
+        assert point.speculative_throughput > 0
+
+    def test_deterministic_under_seed(self):
+        a = simulate_contention(Uniform(1, 5), 3, cpus=4, users=3, seed=9)
+        b = simulate_contention(Uniform(1, 5), 3, cpus=4, users=3, seed=9)
+        assert a.speculative_response == b.speculative_response
+        assert a.sequential_response == b.sequential_response

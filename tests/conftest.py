@@ -1,0 +1,13 @@
+"""Suite-wide test configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# Property tests exercise real simulations; wall-clock deadlines only add
+# flakiness on loaded machines, and the executors intentionally do a lot
+# of work per example.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

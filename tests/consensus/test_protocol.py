@@ -1,0 +1,136 @@
+"""Tests for the timed consensus-round simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.node import ConsensusNode
+from repro.consensus.protocol import ConsensusProtocolSim
+from repro.sim.costs import HP_9000_350, MODERN_COMMODITY
+
+
+def make_sim(n=5, jitter=0.0, seed=0, cost_model=HP_9000_350):
+    nodes = [ConsensusNode(f"n{i}") for i in range(n)]
+    return ConsensusProtocolSim(nodes, cost_model=cost_model, jitter=jitter, seed=seed), nodes
+
+
+class TestSingleRequester:
+    def test_sole_requester_granted(self):
+        sim, _ = make_sim()
+        outcomes = sim.run([("child-a", 0.0)])
+        outcome = outcomes["child-a"]
+        assert outcome.granted
+        assert outcome.grants >= sim.quorum
+        assert sim.winner() == "child-a"
+
+    def test_latency_at_least_one_round_trip(self):
+        sim, _ = make_sim(cost_model=HP_9000_350)
+        outcome = sim.run([("child-a", 0.0)])["child-a"]
+        assert outcome.latency >= 2 * HP_9000_350.network_latency
+
+    def test_start_time_respected(self):
+        sim, _ = make_sim()
+        outcome = sim.run([("late", 5.0)])["late"]
+        assert outcome.started_at == 5.0
+        assert outcome.decided_at > 5.0
+
+    def test_messages_counted(self):
+        sim, _ = make_sim(n=5)
+        sim.run([("a", 0.0)])
+        # 5 requests out, 5 replies back.
+        assert sim.messages_sent == 10
+
+
+class TestContention:
+    def test_at_most_one_winner_simultaneous(self):
+        sim, _ = make_sim(jitter=0.005, seed=3)
+        outcomes = sim.run([("a", 0.0), ("b", 0.0), ("c", 0.0)])
+        winners = [o for o in outcomes.values() if o.granted]
+        assert len(winners) <= 1
+        # Everyone got an answer.
+        assert all(o.decided_at is not None for o in outcomes.values())
+
+    def test_earlier_requester_wins_without_jitter(self):
+        sim, _ = make_sim(jitter=0.0)
+        outcomes = sim.run([("early", 0.0), ("late", 1.0)])
+        assert outcomes["early"].granted
+        assert not outcomes["late"].granted
+
+    def test_split_vote_possible_under_jitter(self):
+        """With heavy jitter, interleavings where nobody reaches quorum
+        must still be safe (no winner, not two)."""
+        seen_no_winner = False
+        for seed in range(30):
+            sim, _ = make_sim(n=4, jitter=0.05, seed=seed)
+            outcomes = sim.run([("a", 0.0), ("b", 0.0)])
+            winners = [o for o in outcomes.values() if o.granted]
+            assert len(winners) <= 1
+            if not winners:
+                seen_no_winner = True
+        assert seen_no_winner, "expected at least one split-vote round"
+
+
+class TestFailures:
+    def test_minority_crash_still_grants(self):
+        sim, nodes = make_sim(n=5)
+        nodes[0].crash()
+        nodes[4].crash()
+        outcome = sim.run([("a", 0.0)])["a"]
+        assert outcome.granted
+        assert outcome.replies == 3
+
+    def test_majority_crash_reports_unavailable(self):
+        sim, nodes = make_sim(n=5)
+        for node in nodes[:3]:
+            node.crash()
+        outcome = sim.run([("a", 0.0)], timeout=0.5)["a"]
+        assert not outcome.granted
+        assert outcome.unavailable
+        assert outcome.replies == 2
+
+    def test_crashed_node_never_replies(self):
+        sim, nodes = make_sim(n=3)
+        nodes[1].crash()
+        outcome = sim.run([("a", 0.0)], timeout=0.5)["a"]
+        assert outcome.replies == 2
+
+
+class TestConfiguration:
+    def test_duplicate_requesters_rejected(self):
+        sim, _ = make_sim()
+        with pytest.raises(ValueError):
+            sim.run([("a", 0.0), ("a", 1.0)])
+
+    def test_empty_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ConsensusProtocolSim([])
+
+    def test_determinism(self):
+        first, _ = make_sim(jitter=0.01, seed=5)
+        second, _ = make_sim(jitter=0.01, seed=5)
+        a = first.run([("a", 0.0), ("b", 0.001)])
+        b = second.run([("a", 0.0), ("b", 0.001)])
+        assert {k: v.granted for k, v in a.items()} == {
+            k: v.granted for k, v in b.items()
+        }
+
+    def test_protocol_latency_exceeds_local_sync(self):
+        sim, _ = make_sim(cost_model=MODERN_COMMODITY)
+        outcome = sim.run([("a", 0.0)])["a"]
+        assert outcome.latency > MODERN_COMMODITY.sync_latency
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_nodes=st.integers(min_value=1, max_value=7),
+    n_requesters=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+    jitter=st.floats(min_value=0.0, max_value=0.05),
+)
+def test_safety_property(n_nodes, n_requesters, seed, jitter):
+    """No configuration yields two granted requesters."""
+    nodes = [ConsensusNode(f"n{i}") for i in range(n_nodes)]
+    sim = ConsensusProtocolSim(nodes, jitter=jitter, seed=seed)
+    requests = [(f"r{i}", i * 0.0003) for i in range(n_requesters)]
+    outcomes = sim.run(requests, timeout=1.0)
+    assert sum(1 for o in outcomes.values() if o.granted) <= 1

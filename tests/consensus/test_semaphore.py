@@ -1,0 +1,35 @@
+"""Tests for the single-node at-most-once semaphore."""
+
+from repro.consensus.semaphore import SyncSemaphore
+
+
+class TestSyncSemaphore:
+    def test_first_acquire_wins(self):
+        semaphore = SyncSemaphore()
+        assert semaphore.try_acquire("child-1") is True
+        assert semaphore.holder == "child-1"
+        assert semaphore.decided
+
+    def test_second_acquire_is_too_late(self):
+        semaphore = SyncSemaphore()
+        semaphore.try_acquire("child-1")
+        assert semaphore.try_acquire("child-2") is False
+        assert semaphore.holder == "child-1"
+
+    def test_winner_retry_also_refused(self):
+        """At most once, full stop: even the winner cannot re-sync."""
+        semaphore = SyncSemaphore()
+        semaphore.try_acquire("child-1")
+        assert semaphore.try_acquire("child-1") is False
+
+    def test_undecided_initially(self):
+        semaphore = SyncSemaphore()
+        assert not semaphore.decided
+        assert semaphore.holder is None
+
+    def test_attempt_counter(self):
+        semaphore = SyncSemaphore()
+        semaphore.try_acquire("a")
+        semaphore.try_acquire("b")
+        semaphore.try_acquire("c")
+        assert semaphore.attempts == 3

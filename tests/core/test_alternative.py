@@ -1,0 +1,70 @@
+"""Tests for Alternative and AltContext."""
+
+import random
+
+import pytest
+
+from repro.core.alternative import AltContext, Alternative, alternative
+from repro.errors import GuardFailure
+from repro.pages.address_space import AddressSpace
+from repro.pages.store import PageStore
+from repro.sim.distributions import Deterministic, Uniform
+
+
+def make_context():
+    return AltContext(AddressSpace(PageStore(), 4096))
+
+
+class TestAltContext:
+    def test_charge_accumulates(self):
+        context = make_context()
+        context.charge(1.5)
+        context.charge(0.5)
+        assert context.charged == 2.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            make_context().charge(-1.0)
+
+    def test_get_put_roundtrip(self):
+        context = make_context()
+        context.put("k", [1, 2])
+        assert context.get("k") == [1, 2]
+        assert context.get("missing", "d") == "d"
+
+    def test_fail_raises_guard_failure(self):
+        with pytest.raises(GuardFailure, match="too slow"):
+            make_context().fail("too slow")
+
+
+class TestAlternativeCost:
+    def test_constant_cost(self):
+        arm = Alternative("a", body=lambda c: None, cost=3.0)
+        assert arm.sample_cost(random.Random(0), make_context()) == 3.0
+
+    def test_distribution_cost(self):
+        arm = Alternative("a", body=lambda c: None, cost=Uniform(1.0, 2.0))
+        value = arm.sample_cost(random.Random(0), make_context())
+        assert 1.0 <= value <= 2.0
+
+    def test_charged_cost_when_none(self):
+        arm = Alternative("a", body=lambda c: None, cost=None)
+        context = make_context()
+        context.charge(7.0)
+        assert arm.sample_cost(random.Random(0), context) == 7.0
+
+    def test_deterministic_distribution(self):
+        arm = Alternative("a", body=lambda c: None, cost=Deterministic(4.0))
+        assert arm.sample_cost(random.Random(0), make_context()) == 4.0
+
+
+class TestDecorator:
+    def test_decorator_builds_alternative(self):
+        @alternative("named", cost=2.0)
+        def arm(ctx):
+            return "value"
+
+        assert isinstance(arm, Alternative)
+        assert arm.name == "named"
+        assert arm.cost == 2.0
+        assert arm.body(make_context()) == "value"

@@ -1,0 +1,290 @@
+"""Tests for the concurrent fastest-first executor (section 3)."""
+
+import pytest
+
+from repro.core.alternative import Alternative, GuardPlacement
+from repro.core.concurrent import ConcurrentExecutor
+from repro.errors import AltBlockFailure, AltTimeout
+from repro.process.primitives import EliminationMode
+from repro.sim.costs import FREE, HP_9000_350, CostModel
+
+
+def ok(name, value, cost):
+    return Alternative(name, body=lambda ctx, v=value: v, cost=cost)
+
+
+def bad(name, cost, reason="guard failed"):
+    def body(ctx):
+        ctx.fail(reason)
+
+    return Alternative(name, body=body, cost=cost)
+
+
+def free_executor(**kwargs):
+    return ConcurrentExecutor(cost_model=FREE, **kwargs)
+
+
+class TestFastestFirst:
+    def test_fastest_alternative_wins(self):
+        result = free_executor().run(
+            [ok("slow", 1, 10.0), ok("fast", 2, 1.0), ok("mid", 3, 5.0)]
+        )
+        assert result.winner.name == "fast"
+        assert result.value == 2
+        assert result.elapsed == pytest.approx(1.0)
+
+    def test_fastest_failure_does_not_win(self):
+        result = free_executor().run(
+            [bad("fast-but-wrong", 1.0), ok("slow-but-right", "v", 5.0)]
+        )
+        assert result.winner.name == "slow-but-right"
+        assert result.elapsed == pytest.approx(5.0)
+
+    def test_loser_statuses(self):
+        result = free_executor().run(
+            [ok("win", 1, 1.0), ok("lose", 2, 9.0), bad("abort", 0.5)]
+        )
+        assert result.outcome("win").status == "won"
+        assert result.outcome("lose").status == "eliminated"
+        assert result.outcome("abort").status == "failed"
+
+    def test_all_fail_raises(self):
+        with pytest.raises(AltBlockFailure) as info:
+            free_executor().run([bad("a", 1.0), bad("b", 2.0)])
+        assert info.value.elapsed == pytest.approx(2.0)
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            free_executor().run([])
+
+    def test_tau_properties(self):
+        result = free_executor().run(
+            [ok("a", 1, 10.0), ok("b", 2, 20.0), ok("c", 3, 30.0)]
+        )
+        assert result.tau_best == pytest.approx(10.0)
+        assert result.tau_mean == pytest.approx(20.0)
+        assert result.performance_improvement == pytest.approx(2.0)
+
+
+class TestStateSemantics:
+    def test_winner_state_absorbed_losers_invisible(self):
+        executor = free_executor()
+        parent = executor.new_parent()
+        parent.space.put("x", "original")
+
+        def writer(value, cost):
+            def body(ctx):
+                ctx.put("x", value)
+                return value
+
+            return Alternative(f"write-{value}", body=body, cost=cost)
+
+        result = executor.run([writer("fast", 1.0), writer("slow", 9.0)], parent=parent)
+        assert result.value == "fast"
+        assert parent.space.get("x") == "fast"
+
+    def test_failed_alternative_state_rolled_back(self):
+        executor = free_executor()
+        parent = executor.new_parent()
+        parent.space.put("x", "original")
+
+        def poison(ctx):
+            ctx.put("x", "poison")
+            ctx.fail("no good")
+
+        executor.run(
+            [Alternative("poisoner", body=poison, cost=0.5), ok("clean", 1, 2.0)],
+            parent=parent,
+        )
+        assert parent.space.get("x") == "original"
+
+    def test_no_frames_leak(self):
+        executor = free_executor()
+        parent = executor.new_parent()
+        parent.space.put("seed", list(range(50)))
+        baseline = executor.manager.store.live_frames
+
+        def writer(ctx):
+            ctx.put("data", "mine")
+            return 1
+
+        executor.run(
+            [Alternative(f"w{i}", body=writer, cost=float(i + 1)) for i in range(4)],
+            parent=parent,
+        )
+        assert executor.manager.store.live_frames <= baseline + 1
+
+
+class TestOverheadModel:
+    def test_setup_scales_with_alternatives(self):
+        model = HP_9000_350
+        result2 = ConcurrentExecutor(cost_model=model).run(
+            [ok("a", 1, 1.0), ok("b", 2, 2.0)]
+        )
+        result4 = ConcurrentExecutor(cost_model=model).run(
+            [ok("a", 1, 1.0), ok("b", 2, 2.0), ok("c", 3, 3.0), ok("d", 4, 4.0)]
+        )
+        assert result2.overhead.setup == pytest.approx(2 * model.fork_latency)
+        assert result4.overhead.setup == pytest.approx(4 * model.fork_latency)
+
+    def test_cow_copies_charged_to_runtime(self):
+        model = HP_9000_350
+
+        def writer(ctx):
+            ctx.put("blob", "x" * 3 * model.page_size)
+            return 1
+
+        result = ConcurrentExecutor(cost_model=model).run(
+            [Alternative("writer", body=writer, cost=1.0)]
+        )
+        pages = result.winner.pages_written
+        assert pages >= 3
+        assert result.overhead.runtime >= model.page_copy_time(pages)
+
+    def test_elapsed_includes_overheads(self):
+        model = HP_9000_350
+        result = ConcurrentExecutor(cost_model=model).run(
+            [ok("a", 1, 1.0), ok("b", 2, 2.0)]
+        )
+        # elapsed = fork of winner (first spawn) + demand + sync + kills
+        assert result.elapsed > 1.0 + model.fork_latency
+
+    def test_zero_overhead_model_elapsed_equals_best(self):
+        result = free_executor().run([ok("a", 1, 3.0), ok("b", 2, 7.0)])
+        assert result.elapsed == pytest.approx(3.0)
+        assert result.overhead.total == pytest.approx(0.0)
+
+
+class TestVirtualConcurrency:
+    def test_single_cpu_sharing_slows_everyone(self):
+        result = free_executor(cpus=1).run([ok("a", 1, 1.0), ok("b", 2, 1.0)])
+        # Two equal jobs on one CPU: the first completion is at 2.0.
+        assert result.elapsed == pytest.approx(2.0)
+
+    def test_real_concurrency_default(self):
+        result = free_executor().run(
+            [ok("a", 1, 1.0), ok("b", 2, 1.0), ok("c", 3, 1.0)]
+        )
+        assert result.elapsed == pytest.approx(1.0)
+
+    def test_sharing_delay_appears_in_runtime_overhead(self):
+        result = free_executor(cpus=1).run([ok("a", 1, 2.0), ok("b", 2, 3.0)])
+        # Winner 'a' completes at 2*2=4.0 under fair sharing... wait: with
+        # equal rates a finishes first; its standalone time is 2.0, so the
+        # sharing delay charged to runtime overhead is elapsed - 2.0.
+        assert result.overhead.runtime == pytest.approx(result.elapsed - 2.0)
+
+
+class TestElimination:
+    def test_synchronous_waits_for_kills(self):
+        model = CostModel(
+            name="kill-heavy",
+            fork_latency=0.0,
+            page_copy_rate=float("inf"),
+            page_size=4096,
+            kill_latency=1.0,
+            sync_latency=0.0,
+        )
+        sync = ConcurrentExecutor(
+            cost_model=model, elimination=EliminationMode.SYNCHRONOUS
+        ).run([ok("w", 1, 1.0), ok("l1", 2, 50.0), ok("l2", 3, 50.0)])
+        async_ = ConcurrentExecutor(
+            cost_model=model, elimination=EliminationMode.ASYNCHRONOUS
+        ).run([ok("w", 1, 1.0), ok("l1", 2, 50.0), ok("l2", 3, 50.0)])
+        assert sync.elapsed == pytest.approx(3.0)  # 1.0 + two 1.0 kills
+        assert async_.elapsed == pytest.approx(1.0)
+        assert async_.elapsed < sync.elapsed  # the paper's suspicion
+
+    def test_async_elimination_still_terminates_siblings(self):
+        executor = free_executor(elimination=EliminationMode.ASYNCHRONOUS)
+        result = executor.run([ok("w", 1, 1.0), ok("l", 2, 9.0)])
+        assert result.outcome("l").status == "eliminated"
+
+    def test_wasted_work_positive_when_losers_run(self):
+        result = free_executor().run([ok("w", 1, 1.0), ok("l", 2, 10.0)])
+        assert result.wasted_work == pytest.approx(1.0)  # l ran until kill
+
+
+class TestTimeout:
+    def test_timeout_raises(self):
+        with pytest.raises(AltTimeout) as info:
+            free_executor(timeout=1.0).run([ok("slow", 1, 5.0)])
+        assert info.value.elapsed == pytest.approx(1.0)
+
+    def test_timeout_not_hit_when_fast_enough(self):
+        result = free_executor(timeout=10.0).run([ok("fast", 1, 1.0)])
+        assert result.value == 1
+
+    def test_timeout_with_only_failures_before_it(self):
+        with pytest.raises(AltBlockFailure):
+            free_executor(timeout=10.0).run([bad("a", 1.0)])
+
+
+class TestGuardPlacement:
+    def closed_arm(self, name, cost):
+        return Alternative(
+            name,
+            body=lambda ctx: "never",
+            pre_guard=lambda ctx: False,
+            cost=cost,
+        )
+
+    def test_before_spawn_saves_fork(self):
+        model = HP_9000_350
+        executor = ConcurrentExecutor(
+            cost_model=model, guard_placement=GuardPlacement.BEFORE_SPAWN
+        )
+        result = executor.run([self.closed_arm("closed", 1.0), ok("open", 1, 1.0)])
+        assert result.outcome("closed").status == "not_spawned"
+        assert result.overhead.setup == pytest.approx(model.fork_latency)
+
+    def test_in_child_spawns_then_fails(self):
+        executor = free_executor(guard_placement=GuardPlacement.IN_CHILD)
+        result = executor.run([self.closed_arm("closed", 1.0), ok("open", 1, 2.0)])
+        assert result.outcome("closed").status == "failed"
+
+    def test_all_closed_before_spawn_fails_block(self):
+        executor = free_executor(guard_placement=GuardPlacement.BEFORE_SPAWN)
+        with pytest.raises(AltBlockFailure):
+            executor.run([self.closed_arm("c1", 1.0), self.closed_arm("c2", 1.0)])
+
+    def test_at_sync_charges_guard_to_selection(self):
+        arm = ok("w", 1, 1.0)
+        arm.guard_cost = 0.5
+        result = free_executor(guard_placement=GuardPlacement.AT_SYNC).run([arm])
+        assert result.overhead.selection == pytest.approx(0.5)
+        assert result.elapsed == pytest.approx(1.5)
+
+
+class TestTimeline:
+    def test_figure2_events_present(self):
+        result = free_executor().run(
+            [ok("win", 1, 1.0), ok("lose", 2, 5.0), bad("guardfail", 0.5)]
+        )
+        labels = [label for _, label in result.timeline]
+        assert any("spawn win" in label for label in labels)
+        assert any("guardfail aborts" in label for label in labels)
+        assert any("win synchronizes" in label for label in labels)
+        assert any("kill lose" in label for label in labels)
+        assert labels[-1] == "parent resumes"
+
+    def test_timeline_times_monotone(self):
+        result = free_executor().run([ok("a", 1, 1.0), ok("b", 2, 2.0)])
+        times = [t for t, _ in result.timeline]
+        assert times == sorted(times)
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        from repro.sim.distributions import Uniform
+
+        def build():
+            return [
+                Alternative("a", body=lambda ctx: "a", cost=Uniform(1, 10)),
+                Alternative("b", body=lambda ctx: "b", cost=Uniform(1, 10)),
+            ]
+
+        first = ConcurrentExecutor(cost_model=FREE, seed=5).run(build())
+        second = ConcurrentExecutor(cost_model=FREE, seed=5).run(build())
+        assert first.winner.name == second.winner.name
+        assert first.elapsed == second.elapsed

@@ -1,0 +1,127 @@
+"""Edge-interaction regression tests for the concurrent executor."""
+
+import pytest
+
+from repro.core.alternative import Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.errors import AltBlockFailure, AltTimeout
+from repro.process.primitives import EliminationMode
+from repro.sim.costs import FREE, CostModel
+
+
+def ok(name, value, cost):
+    return Alternative(name, body=lambda ctx, v=value: v, cost=cost)
+
+
+def bad(name, cost):
+    return Alternative(name, body=lambda ctx: ctx.fail("no"), cost=cost)
+
+
+class TestTimeoutInteractions:
+    def test_timeout_under_cpu_sharing(self):
+        # Two 3s jobs on one CPU: first completion at 6s > 5s timeout.
+        executor = ConcurrentExecutor(cost_model=FREE, cpus=1, timeout=5.0)
+        with pytest.raises(AltTimeout):
+            executor.run([ok("a", 1, 3.0), ok("b", 2, 3.0)])
+
+    def test_success_exactly_at_timeout_counts(self):
+        executor = ConcurrentExecutor(cost_model=FREE, timeout=2.0)
+        result = executor.run([ok("a", 1, 2.0)])
+        assert result.value == 1
+
+    def test_failures_then_timeout(self):
+        executor = ConcurrentExecutor(cost_model=FREE, timeout=3.0)
+        with pytest.raises(AltTimeout):
+            executor.run([bad("f", 1.0), ok("slow", 1, 10.0)])
+
+    def test_timeout_cleans_kernel_state(self):
+        executor = ConcurrentExecutor(cost_model=FREE, timeout=1.0)
+        parent = executor.new_parent()
+        with pytest.raises(AltTimeout):
+            executor.run([ok("slow", 1, 5.0)], parent=parent)
+        # The parent is reusable for another block afterwards.
+        result = executor.run([ok("fast", 2, 0.5)], parent=parent)
+        assert result.value == 2
+
+
+class TestParentReuse:
+    def test_many_sequential_blocks_share_one_parent(self):
+        executor = ConcurrentExecutor(cost_model=FREE)
+        parent = executor.new_parent()
+        for round_number in range(5):
+            result = executor.run(
+                [
+                    ok("a", round_number, 1.0),
+                    ok("b", -round_number, 2.0),
+                ],
+                parent=parent,
+            )
+            assert result.value == round_number
+            parent.space.put(f"round-{round_number}", result.value)
+        assert parent.space.get("round-4") == 4
+
+    def test_state_accumulates_across_blocks(self):
+        executor = ConcurrentExecutor(cost_model=FREE)
+        parent = executor.new_parent()
+
+        def incrementer(ctx):
+            ctx.put("total", ctx.get("total", 0) + 1)
+            return ctx.get("total")
+
+        for expected in (1, 2, 3):
+            result = executor.run(
+                [Alternative("inc", body=incrementer, cost=1.0)], parent=parent
+            )
+            assert result.value == expected
+
+
+class TestFailureAccounting:
+    def test_block_failure_carries_outcomes_and_timeline(self):
+        executor = ConcurrentExecutor(cost_model=FREE)
+        with pytest.raises(AltBlockFailure) as info:
+            executor.run([bad("x", 1.0), bad("y", 2.0)])
+        assert len(info.value.outcomes) == 2
+        assert all(o.status == "failed" for o in info.value.outcomes)
+        labels = [label for _, label in info.value.timeline]
+        assert labels[-1] == "block FAILED"
+        assert all(o.cpu_consumed > 0 for o in info.value.outcomes)
+
+    def test_single_alternative_block(self):
+        result = ConcurrentExecutor(cost_model=FREE).run([ok("only", 7, 1.0)])
+        assert result.value == 7
+        assert result.wasted_work == 0.0
+
+    def test_zero_cost_alternative(self):
+        result = ConcurrentExecutor(cost_model=FREE).run(
+            [ok("instant", 1, 0.0), ok("slow", 2, 5.0)]
+        )
+        assert result.value == 1
+        assert result.elapsed == pytest.approx(0.0)
+
+
+class TestEliminationEdge:
+    def test_async_with_all_losers_already_done(self):
+        """Losers that finished (failed) before the winner need no kill."""
+        model = CostModel(
+            name="m", fork_latency=0.0, page_copy_rate=float("inf"),
+            page_size=4096, kill_latency=10.0, sync_latency=0.0,
+        )
+        executor = ConcurrentExecutor(
+            cost_model=model, elimination=EliminationMode.SYNCHRONOUS
+        )
+        result = executor.run([bad("f", 0.5), ok("w", 1, 2.0)])
+        # No live sibling at win time: no kill cost on the critical path.
+        assert result.elapsed == pytest.approx(2.0)
+
+    def test_kill_cost_scales_with_live_losers(self):
+        model = CostModel(
+            name="m", fork_latency=0.0, page_copy_rate=float("inf"),
+            page_size=4096, kill_latency=1.0, sync_latency=0.0,
+        )
+        two = ConcurrentExecutor(cost_model=model).run(
+            [ok("w", 1, 1.0), ok("l1", 2, 9.0)]
+        )
+        three = ConcurrentExecutor(cost_model=model).run(
+            [ok("w", 1, 1.0), ok("l1", 2, 9.0), ok("l2", 3, 9.0)]
+        )
+        assert three.elapsed > two.elapsed

@@ -1,0 +1,184 @@
+"""Nested alternative blocks.
+
+Section 3.3: 'the predicates of a "child" process consist of those of the
+"parent"; this allows for nesting and potentially complex dependencies.'
+An alternative's body can itself execute an alternative block by passing
+its own process (``ctx.process``) as the inner block's parent on the same
+manager.
+"""
+
+import pytest
+
+from repro.core.alternative import Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.core.sequential import SequentialExecutor
+from repro.core.selection import OrderedPolicy
+from repro.errors import AltBlockFailure
+from repro.sim.costs import FREE
+
+
+def make_nested_executor():
+    outer = ConcurrentExecutor(cost_model=FREE)
+
+    def inner_block(ctx, values_and_costs):
+        inner = ConcurrentExecutor(cost_model=FREE, manager=outer.manager)
+        arms = [
+            Alternative(f"inner-{v}", body=lambda c, v=v: v, cost=cost)
+            for v, cost in values_and_costs
+        ]
+        result = inner.run(arms, parent=ctx.process)
+        ctx.charge(result.elapsed)
+        return result.value
+
+    return outer, inner_block
+
+
+class TestNestedConcurrent:
+    def test_inner_block_races_inside_outer_alternative(self):
+        outer, inner_block = make_nested_executor()
+
+        def with_inner(ctx):
+            return inner_block(ctx, [("deep-fast", 1.0), ("deep-slow", 9.0)])
+
+        arms = [
+            Alternative("compound", body=with_inner, cost=None),
+            Alternative("simple", body=lambda ctx: "flat", cost=50.0),
+        ]
+        result = outer.run(arms)
+        assert result.value == "deep-fast"
+        assert result.winner.name == "compound"
+        # The outer alternative's duration includes the inner race.
+        assert result.winner.duration == pytest.approx(1.0)
+
+    def test_inner_winner_state_propagates_through_outer_commit(self):
+        outer = ConcurrentExecutor(cost_model=FREE)
+        parent = outer.new_parent()
+        parent.space.put("x", "root")
+
+        def with_inner(ctx):
+            inner = ConcurrentExecutor(cost_model=FREE, manager=outer.manager)
+
+            def write_deep(c):
+                c.put("x", "deep")
+                return "deep"
+
+            result = inner.run(
+                [Alternative("w", body=write_deep, cost=1.0)], parent=ctx.process
+            )
+            ctx.charge(result.elapsed)
+            return result.value
+
+        outer.run([Alternative("outer", body=with_inner, cost=None)], parent=parent)
+        assert parent.space.get("x") == "deep"
+
+    def test_losing_outer_alternative_discards_inner_commits(self):
+        outer = ConcurrentExecutor(cost_model=FREE)
+        parent = outer.new_parent()
+        parent.space.put("x", "root")
+
+        def slow_with_inner(ctx):
+            inner = ConcurrentExecutor(cost_model=FREE, manager=outer.manager)
+
+            def write_deep(c):
+                c.put("x", "loser-deep")
+                return 1
+
+            inner.run(
+                [Alternative("w", body=write_deep, cost=1.0)], parent=ctx.process
+            )
+            ctx.charge(100.0)  # the outer alternative is slow overall
+            return "slow"
+
+        def fast(ctx):
+            return "fast"
+
+        result = outer.run(
+            [
+                Alternative("slow-compound", body=slow_with_inner, cost=None),
+                Alternative("fast-flat", body=fast, cost=1.0),
+            ],
+            parent=parent,
+        )
+        assert result.value == "fast"
+        # The inner block committed into the *losing* child's world, which
+        # was eliminated wholesale -- nothing leaks to the root.
+        assert parent.space.get("x") == "root"
+
+    def test_nested_predicates_include_ancestors(self):
+        outer = ConcurrentExecutor(cost_model=FREE)
+        captured = {}
+
+        def with_inner(ctx):
+            inner = ConcurrentExecutor(cost_model=FREE, manager=outer.manager)
+
+            def probe(c):
+                captured["predicate"] = c.process.predicate
+                return 1
+
+            inner.run([Alternative("probe", body=probe, cost=1.0)], parent=ctx.process)
+            captured["outer_pid"] = ctx.process.pid
+            return 1
+
+        outer.run(
+            [
+                Alternative("a", body=with_inner, cost=None),
+                Alternative("b", body=lambda ctx: 2, cost=99.0),
+            ]
+        )
+        predicate = captured["predicate"]
+        # The grandchild assumes its own success, its parent's success
+        # (inherited), and the failure of its parent's sibling.
+        assert captured["outer_pid"] in predicate.must
+        assert len(predicate.cannot) >= 1
+
+    def test_inner_failure_fails_the_outer_alternative(self):
+        outer, inner_block = make_nested_executor()
+
+        def with_failing_inner(ctx):
+            inner = ConcurrentExecutor(cost_model=FREE, manager=outer.manager)
+
+            def doomed(c):
+                c.fail("inner guard")
+
+            try:
+                inner.run(
+                    [Alternative("doomed", body=doomed, cost=1.0)],
+                    parent=ctx.process,
+                )
+            except AltBlockFailure:
+                ctx.fail("inner block failed entirely")
+
+        result = outer.run(
+            [
+                Alternative("compound", body=with_failing_inner, cost=None),
+                Alternative("fallback", body=lambda ctx: "ok", cost=5.0),
+            ]
+        )
+        assert result.value == "ok"
+
+
+class TestNestedSequential:
+    def test_sequential_inside_sequential(self):
+        outer = SequentialExecutor(policy=OrderedPolicy())
+
+        def with_inner(ctx):
+            inner = SequentialExecutor(
+                policy=OrderedPolicy(), manager=outer.manager
+            )
+            result = inner.run(
+                [
+                    Alternative(
+                        "inner-fail",
+                        body=lambda c: c.fail("no"),
+                        cost=1.0,
+                    ),
+                    Alternative("inner-ok", body=lambda c: "inner", cost=2.0),
+                ],
+                parent=ctx.process,
+            )
+            ctx.charge(result.elapsed)
+            return result.value
+
+        result = outer.run([Alternative("outer", body=with_inner, cost=None)])
+        assert result.value == "inner"
+        assert result.elapsed == pytest.approx(3.0)  # 1.0 failed + 2.0

@@ -1,0 +1,207 @@
+"""Tests for real-process racing on the host's COW fork."""
+
+import os
+import time
+
+import pytest
+
+from repro.core.alternative import Alternative
+from repro.core.oshost import OsHost
+from repro.errors import AltBlockFailure, AltTimeout
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="requires os.fork"
+)
+
+
+class TestRace:
+    def test_fastest_callable_wins(self):
+        def fast(api):
+            return "fast"
+
+        def slow(api):
+            time.sleep(5.0)
+            return "slow"
+
+        result = OsHost().race([slow, fast], names=["slow", "fast"])
+        assert result.value == "fast"
+        assert result.winner.name == "fast"
+        assert result.elapsed < 4.0
+
+    def test_failure_lets_slower_win(self):
+        def failing(api):
+            api.fail("bad guard")
+
+        def steady(api):
+            time.sleep(0.05)
+            return 42
+
+        result = OsHost().race([failing, steady], names=["failing", "steady"])
+        assert result.value == 42
+        assert result.outcomes[0].status == "failed"
+
+    def test_exception_counts_as_failure(self):
+        def crasher(api):
+            raise RuntimeError("boom")
+
+        def winner(api):
+            return "ok"
+
+        result = OsHost().race([crasher, winner])
+        assert result.value == "ok"
+
+    def test_all_fail_raises(self):
+        def failing(api):
+            api.fail("no")
+
+        with pytest.raises(AltBlockFailure):
+            OsHost().race([failing, failing])
+
+    def test_timeout(self):
+        def sleeper(api):
+            time.sleep(30.0)
+            return 1
+
+        with pytest.raises(AltTimeout):
+            OsHost(timeout=0.2).race([sleeper])
+
+    def test_losers_are_killed(self):
+        def fast(api):
+            return os.getpid()
+
+        def hang(api):
+            time.sleep(60.0)
+
+        result = OsHost().race([fast, hang], names=["fast", "hang"])
+        hang_outcome = result.outcomes[1]
+        assert hang_outcome.status == "killed"
+        # The killed pid must be gone (waitpid already reaped it).
+        with pytest.raises(OSError):
+            os.kill(hang_outcome.pid, 0)
+
+    def test_child_isolation_is_real_cow(self):
+        """A child's mutation of inherited memory is invisible here."""
+        shared = {"value": "parent"}
+
+        def mutator(api):
+            shared["value"] = "child"
+            time.sleep(0.05)
+            return shared["value"]
+
+        result = OsHost().race([mutator])
+        assert result.value == "child"
+        assert shared["value"] == "parent"
+
+    def test_exports_come_back(self):
+        def producer(api):
+            api.export("rows", [1, 2, 3])
+            return "done"
+
+        result = OsHost().race([producer])
+        assert result.exports == {"rows": [1, 2, 3]}
+
+    def test_empty_race_rejected(self):
+        with pytest.raises(ValueError):
+            OsHost().race([])
+
+    def test_mismatched_names_rejected(self):
+        with pytest.raises(ValueError):
+            OsHost().race([lambda api: 1], names=["a", "b"])
+
+
+class TestAlternativeFrontEnd:
+    def test_run_alternatives(self):
+        def fast_body(ctx):
+            ctx.put("who", "fast")
+            return "fast"
+
+        def slow_body(ctx):
+            time.sleep(3.0)
+            return "slow"
+
+        result = OsHost().run(
+            [
+                Alternative("slow", body=slow_body),
+                Alternative("fast", body=fast_body),
+            ]
+        )
+        assert result.value == "fast"
+        assert result.exports["who"] == "fast"
+
+    def test_guard_in_child(self):
+        arm = Alternative(
+            "guarded",
+            body=lambda ctx: -5,
+            guard=lambda ctx, value: value > 0,
+        )
+        safe = Alternative("safe", body=lambda ctx: 1)
+        result = OsHost().run([arm, safe])
+        assert result.value == 1
+
+    def test_pre_guard_closes_arm(self):
+        closed = Alternative(
+            "closed", body=lambda ctx: "x", pre_guard=lambda ctx: False
+        )
+        open_arm = Alternative("open", body=lambda ctx: "y")
+        result = OsHost().run([closed, open_arm])
+        assert result.value == "y"
+
+
+class TestForkMeasurement:
+    def test_measures_positive_latency(self):
+        from repro.core.oshost import measure_fork_cost
+
+        measurement = measure_fork_cost(
+            space_bytes=64 * 1024, fraction_written=0.0, trials=3
+        )
+        assert measurement.mean_seconds > 0
+        assert measurement.min_seconds <= measurement.mean_seconds
+        assert measurement.mean_seconds <= measurement.max_seconds
+        assert measurement.trials == 3
+
+    def test_writing_pages_costs_more(self):
+        from repro.core.oshost import measure_fork_cost
+
+        size = 8 * 1024 * 1024  # large enough for faults to dominate noise
+        clean = measure_fork_cost(size, fraction_written=0.0, trials=3)
+        dirty = measure_fork_cost(size, fraction_written=1.0, trials=3)
+        # The paper's independent variable at work on real hardware; use
+        # a generous margin because wall-clock noise is real.
+        assert dirty.mean_seconds > clean.mean_seconds * 0.8
+
+    def test_validation(self):
+        from repro.core.oshost import measure_fork_cost
+
+        with pytest.raises(ValueError):
+            measure_fork_cost(fraction_written=1.5)
+        with pytest.raises(ValueError):
+            measure_fork_cost(trials=0)
+
+
+class TestOsHostStress:
+    def test_many_racers(self):
+        def make(index):
+            def racer(api):
+                time.sleep(0.01 * (index + 1))
+                return index
+
+            return racer
+
+        result = OsHost(timeout=30.0).race([make(i) for i in range(12)])
+        assert result.value == 0
+        killed = sum(1 for o in result.outcomes if o.status == "killed")
+        assert killed >= 10
+
+    def test_large_export_payload(self):
+        def producer(api):
+            api.export("blob", list(range(50_000)))
+            return "ok"
+
+        result = OsHost().race([producer])
+        assert len(result.exports["blob"]) == 50_000
+
+    def test_sequential_reuse_of_host(self):
+        host = OsHost()
+        for round_number in range(3):
+            result = host.race([lambda api, r=round_number: r])
+            assert result.value == round_number

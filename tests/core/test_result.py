@@ -1,0 +1,173 @@
+"""Direct unit tests for result types and small helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.model import PAPER_TABLE, speedup_table
+from repro.core.result import AltOutcome, AltResult, OverheadBreakdown
+from repro.errors import ReproError, SynchronizationError, TooLate
+from repro.pages.page import patch_page, zero_page
+from repro.prolog.builtins import eval_arith
+from repro.prolog.database import Clause, clause_from_term
+from repro.prolog.parser import parse_term
+from repro.prolog.terms import Atom, Num, Var
+from repro.sim.distributions import Deterministic, Shifted, Uniform
+
+
+class TestOverheadBreakdown:
+    def test_total(self):
+        breakdown = OverheadBreakdown(setup=1.0, runtime=2.0, selection=3.0)
+        assert breakdown.total == 6.0
+
+    def test_addition(self):
+        left = OverheadBreakdown(setup=1.0)
+        right = OverheadBreakdown(runtime=2.0, selection=0.5)
+        combined = left + right
+        assert combined.setup == 1.0
+        assert combined.runtime == 2.0
+        assert combined.total == 3.5
+
+    def test_default_is_zero(self):
+        assert OverheadBreakdown().total == 0.0
+
+
+def make_result():
+    won = AltOutcome(index=0, name="w", status="won", value=9, duration=1.0)
+    lost = AltOutcome(index=1, name="l", status="eliminated", duration=3.0)
+    return AltResult(
+        value=9, winner=won, outcomes=[won, lost], elapsed=1.5
+    )
+
+
+class TestAltResult:
+    def test_taus(self):
+        result = make_result()
+        assert result.tau_best == 1.0
+        assert result.tau_mean == 2.0
+
+    def test_pi(self):
+        assert make_result().performance_improvement == pytest.approx(2.0 / 1.5)
+
+    def test_zero_elapsed_pi_is_infinite(self):
+        result = make_result()
+        result.elapsed = 0.0
+        assert math.isinf(result.performance_improvement)
+
+    def test_outcome_lookup(self):
+        result = make_result()
+        assert result.outcome("l").status == "eliminated"
+        with pytest.raises(KeyError):
+            result.outcome("missing")
+
+    def test_no_durations_raises(self):
+        won = AltOutcome(index=0, name="w", status="won")
+        result = AltResult(value=1, winner=won, outcomes=[won], elapsed=1.0)
+        with pytest.raises(ValueError):
+            result.tau_best
+
+    def test_succeeded_flag(self):
+        result = make_result()
+        assert result.winner.succeeded
+        assert not result.outcome("l").succeeded
+
+
+class TestPageHelpers:
+    def test_zero_page_cached_and_zeroed(self):
+        assert zero_page(64) == bytes(64)
+        assert zero_page(64) is zero_page(64)  # lru-cached
+
+    def test_zero_page_validates(self):
+        with pytest.raises(ValueError):
+            zero_page(0)
+
+    def test_patch_page(self):
+        page = b"abcdef"
+        assert patch_page(page, 2, b"XY") == b"abXYef"
+        assert patch_page(page, 0, b"") is page
+
+    def test_patch_page_bounds(self):
+        with pytest.raises(ValueError):
+            patch_page(b"abc", 2, b"too-long")
+        with pytest.raises(ValueError):
+            patch_page(b"abc", -1, b"x")
+
+
+class TestClauseHelpers:
+    def test_clause_from_fact(self):
+        clause = clause_from_term(parse_term("p(1)"))
+        assert clause.indicator == ("p", 1)
+        assert clause.body == ()
+
+    def test_clause_from_rule_flattens_body(self):
+        clause = clause_from_term(parse_term("p(X) :- q(X), r(X), s(X)"))
+        assert len(clause.body) == 3
+
+    def test_atom_head(self):
+        clause = clause_from_term(parse_term("standalone"))
+        assert clause.indicator == ("standalone", 0)
+
+    def test_variable_head_rejected(self):
+        from repro.errors import PrologError
+
+        with pytest.raises(PrologError):
+            Clause(head=Var("X"))
+
+    def test_number_head_rejected(self):
+        from repro.errors import PrologError
+
+        with pytest.raises(PrologError):
+            Clause(head=Num(3))
+
+
+class TestEvalArith:
+    def test_constants(self):
+        assert eval_arith(parse_term("pi"), {}) == pytest.approx(math.pi)
+        assert eval_arith(parse_term("e"), {}) == pytest.approx(math.e)
+
+    def test_nested_functions(self):
+        value = eval_arith(parse_term("sqrt(abs(-16)) + 1"), {})
+        assert value == pytest.approx(5.0)
+
+    def test_sign_and_truncate(self):
+        assert eval_arith(parse_term("sign(-3)"), {}) == -1
+        assert eval_arith(parse_term("truncate(3.9)"), {}) == 3
+
+    def test_unknown_function_rejected(self):
+        from repro.errors import PrologTypeError
+
+        with pytest.raises(PrologTypeError):
+            eval_arith(parse_term("mystery(1)"), {})
+
+    def test_unknown_atom_rejected(self):
+        from repro.errors import PrologTypeError
+
+        with pytest.raises(PrologTypeError):
+            eval_arith(Atom("notanumber"), {})
+
+
+class TestMisc:
+    def test_error_hierarchy(self):
+        assert issubclass(TooLate, SynchronizationError)
+        assert issubclass(SynchronizationError, ReproError)
+
+    def test_speedup_table_rows(self):
+        rows = speedup_table(PAPER_TABLE)
+        assert len(rows) == 6
+        assert all(row["match"] == "yes" for row in rows)
+
+    def test_shifted_distribution(self):
+        import random
+
+        shifted = Shifted(Uniform(1.0, 2.0), offset=10.0)
+        value = shifted.sample(random.Random(0))
+        assert 11.0 <= value <= 12.0
+        assert shifted.mean() == pytest.approx(11.5)
+        with pytest.raises(ValueError):
+            Shifted(Deterministic(1.0), offset=-1.0)
+
+    def test_base_distribution_is_abstract(self):
+        from repro.sim.distributions import Distribution
+
+        with pytest.raises(NotImplementedError):
+            Distribution().mean()

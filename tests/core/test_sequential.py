@@ -1,0 +1,147 @@
+"""Tests for the sequential executor (section 2 semantics)."""
+
+import pytest
+
+from repro.core.alternative import Alternative
+from repro.core.selection import OrderedPolicy, PriorityPolicy, RandomPolicy
+from repro.core.sequential import SequentialExecutor
+from repro.errors import AltBlockFailure
+
+
+def ok(name, value, cost=1.0):
+    return Alternative(name, body=lambda ctx, v=value: v, cost=cost)
+
+
+def bad(name, cost=1.0, reason="nope"):
+    def body(ctx):
+        ctx.fail(reason)
+
+    return Alternative(name, body=body, cost=cost)
+
+
+class TestTryAll:
+    def test_first_success_selected(self):
+        executor = SequentialExecutor(policy=OrderedPolicy())
+        result = executor.run([ok("a", 1), ok("b", 2)])
+        assert result.value == 1
+        assert result.winner.name == "a"
+        assert result.outcome("b").status == "untried"
+
+    def test_failures_roll_back_and_continue(self):
+        executor = SequentialExecutor(policy=OrderedPolicy())
+
+        def poison(ctx):
+            ctx.put("shared", "poisoned")
+            ctx.fail("guard says no")
+
+        alts = [
+            Alternative("poisoner", body=poison, cost=2.0),
+            Alternative("clean", body=lambda ctx: ctx.get("shared", "clean"), cost=1.0),
+        ]
+        result = executor.run(alts)
+        # The failed alternative's write was rolled back: the winner reads
+        # the pre-block value, not the poison.
+        assert result.value == "clean"
+        assert result.outcome("poisoner").status == "failed"
+
+    def test_elapsed_sums_tried_durations(self):
+        executor = SequentialExecutor(policy=OrderedPolicy())
+        result = executor.run([bad("slow-fail", cost=5.0), ok("b", 2, cost=3.0)])
+        assert result.elapsed == pytest.approx(8.0)
+
+    def test_all_fail_raises(self):
+        executor = SequentialExecutor(policy=OrderedPolicy())
+        with pytest.raises(AltBlockFailure) as info:
+            executor.run([bad("a"), bad("b")])
+        assert info.value.elapsed == pytest.approx(2.0)
+        assert [o.status for o in info.value.outcomes] == ["failed", "failed"]
+
+    def test_winner_state_committed_to_parent(self):
+        executor = SequentialExecutor(policy=OrderedPolicy())
+        parent = executor.new_parent()
+        parent.space.put("x", "before")
+
+        def writer(ctx):
+            ctx.put("x", "after")
+            return ctx.get("x")
+
+        executor.run([Alternative("w", body=writer, cost=1.0)], parent=parent)
+        assert parent.space.get("x") == "after"
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialExecutor().run([])
+
+    def test_post_guard_rejects_result(self):
+        arm = Alternative(
+            "guarded",
+            body=lambda ctx: -1,
+            guard=lambda ctx, value: value >= 0,
+            cost=1.0,
+        )
+        with pytest.raises(AltBlockFailure):
+            SequentialExecutor(policy=OrderedPolicy()).run([arm])
+
+    def test_pre_guard_skips_body(self):
+        ran = []
+
+        def body(ctx):
+            ran.append(True)
+            return "x"
+
+        arm = Alternative("closed", body=body, pre_guard=lambda ctx: False, cost=1.0)
+        result = SequentialExecutor(policy=OrderedPolicy()).run([arm, ok("b", 2)])
+        assert result.value == 2
+        assert ran == []
+
+
+class TestSchemeB:
+    def test_single_shot_success(self):
+        executor = SequentialExecutor(
+            policy=OrderedPolicy(), try_all=False, seed=1
+        )
+        result = executor.run([ok("only", 42, cost=4.0)])
+        assert result.value == 42
+        assert result.elapsed == pytest.approx(4.0)
+
+    def test_single_shot_failure_frustrates_scheme_b(self):
+        """'failures or infinite loops will frustrate this method'."""
+        executor = SequentialExecutor(policy=OrderedPolicy(), try_all=False)
+        with pytest.raises(AltBlockFailure):
+            executor.run([bad("doomed"), ok("never-tried", 1)])
+
+    def test_random_selection_is_seeded(self):
+        alts = [ok("a", "a", cost=1.0), ok("b", "b", cost=1.0), ok("c", "c", cost=1.0)]
+        first = SequentialExecutor(policy=RandomPolicy(), try_all=False, seed=3).run(alts)
+        second = SequentialExecutor(policy=RandomPolicy(), try_all=False, seed=3).run(alts)
+        assert first.winner.name == second.winner.name
+
+    def test_random_selection_varies_across_seeds(self):
+        alts = [ok("a", "a"), ok("b", "b"), ok("c", "c")]
+        winners = {
+            SequentialExecutor(policy=RandomPolicy(), try_all=False, seed=s)
+            .run(alts)
+            .winner.name
+            for s in range(20)
+        }
+        assert len(winners) > 1
+
+
+class TestPolicies:
+    def test_priority_policy_orders_by_key(self):
+        alts = [ok("slow", 1, cost=9.0), ok("fast", 2, cost=1.0)]
+        policy = PriorityPolicy(key=lambda a: a.cost)
+        result = SequentialExecutor(policy=policy).run(alts)
+        assert result.winner.name == "fast"
+
+    def test_wasted_work_counts_failed_trials(self):
+        executor = SequentialExecutor(policy=OrderedPolicy())
+        result = executor.run([bad("f", cost=4.0), ok("w", 1, cost=1.0)])
+        assert result.wasted_work == pytest.approx(4.0)
+
+    def test_timeline_records_trials(self):
+        executor = SequentialExecutor(policy=OrderedPolicy())
+        result = executor.run([bad("f"), ok("w", 1)])
+        labels = [label for _, label in result.timeline]
+        assert any("try f" in label for label in labels)
+        assert any("w selected" in label for label in labels)

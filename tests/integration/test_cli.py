@@ -1,0 +1,34 @@
+"""The python -m repro tour must run and show the paper table."""
+
+import subprocess
+import sys
+
+
+def test_module_entry_point_runs():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 0, completed.stderr
+    out = completed.stdout
+    assert "ICDCS 1989" in out
+    assert "1.33" in out and "7" in out  # the section 4.2 table
+    assert "parent resumes" in out
+
+
+def test_module_reports_all_rows_match():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro"],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    # every row of the recomputed table must say 'yes' under 'match'
+    table_lines = [
+        line for line in completed.stdout.splitlines()
+        if line.strip().startswith(("1 ", "2 ", "3 ", "4 ", "5 ", "6 "))
+    ]
+    assert len(table_lines) == 6
+    assert all("yes" in line for line in table_lines)

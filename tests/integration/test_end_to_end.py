@@ -1,0 +1,203 @@
+"""Integration tests: the subsystems working together."""
+
+import pytest
+
+from repro.core.alternative import Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.core.sequential import SequentialExecutor
+from repro.core.selection import OrderedPolicy
+from repro.errors import AltBlockFailure
+from repro.ipc.devices import SinkDevice, SourceDevice
+from repro.ipc.router import MessageRouter
+from repro.net.network import Network
+from repro.net.rfork import remote_fork
+from repro.predicates.predicate import Predicate
+from repro.predicates.world import WorldSet
+from repro.process.primitives import ProcessManager
+from repro.sim.costs import FREE, HP_9000_350
+
+
+class TestSpeculativeIpcPipeline:
+    """An alternative block whose children message a third process: the
+    full predicates + multiple-worlds + sink-buffering pipeline."""
+
+    def test_only_winner_side_effects_survive(self):
+        manager = ProcessManager()
+        router = MessageRouter()
+        router.attach_manager(manager)
+        ledger = SinkDevice("ledger")
+
+        parent = manager.create_initial()
+        children = manager.alt_spawn(parent, 2)
+        observer_pid = 999
+        router.register(observer_pid, WorldSet(initial_state=None))
+
+        # Both speculative children message the observer, each under its
+        # own sibling-rivalry predicate.
+        for child, amount in zip(children, (100, 200)):
+            router.send(
+                child.pid, observer_pid, {"credit": amount}, predicate=child.predicate
+            )
+        router.deliver_all()
+
+        # The observer world-splits per message; each accepting world
+        # buffers a write to the shared ledger.
+        for world in router.worlds_of(observer_pid).live_worlds():
+            for message in world.inbox:
+                ledger.write("balance", message.data["credit"], world=world)
+        assert ledger.read("balance") is None  # nothing committed yet
+
+        # Child 1 wins the block.
+        manager.alt_sync(children[0])
+        manager.alt_wait(parent)
+        assert ledger.read("balance") == 100  # winner's effect committed
+        live = router.worlds_of(observer_pid).live_worlds()
+        assert all(not w.predicate.mentions(children[1].pid) for w in live)
+
+    def test_failed_block_leaves_no_trace(self):
+        manager = ProcessManager()
+        router = MessageRouter()
+        router.attach_manager(manager)
+        ledger = SinkDevice("ledger")
+
+        parent = manager.create_initial()
+        children = manager.alt_spawn(parent, 2)
+        router.register(7, WorldSet(initial_state=None))
+        for child in children:
+            router.send(child.pid, 7, "speculative", predicate=child.predicate)
+        router.deliver_all()
+        for world in router.worlds_of(7).live_worlds():
+            if world.inbox:
+                ledger.write("poked", True, world=world)
+
+        manager.fail(children[0])
+        manager.fail(children[1])
+        with pytest.raises(AltBlockFailure):
+            manager.alt_wait(parent)
+        assert ledger.read("poked") is None
+        # One world remains: the one that believed in neither child.
+        assert len(router.worlds_of(7)) == 1
+        assert router.worlds_of(7).sole_world().unconditional
+
+
+class TestSourceProtection:
+    def test_speculative_child_cannot_touch_teletype(self):
+        manager = ProcessManager()
+        router = MessageRouter()
+        router.attach_manager(manager)
+        teletype = SourceDevice("tty", input_data=["keystroke"])
+
+        parent = manager.create_initial()
+        (child,) = manager.alt_spawn(parent, 1)
+        worlds = WorldSet(initial_state=None, predicate=child.predicate)
+        router.register(child.pid, worlds)
+
+        from repro.errors import SideEffectViolation
+
+        with pytest.raises(SideEffectViolation):
+            teletype.read(world=worlds.sole_world())
+
+        # Once the child wins, its predicates resolve and access opens up.
+        manager.alt_sync(child)
+        manager.alt_wait(parent)
+        assert teletype.read(world=worlds.sole_world()) == "keystroke"
+
+
+class TestDistributedRecoveryPipeline:
+    """Checkpoint a process mid-computation, rfork it to another node,
+    and run an alternative block on the remote copy."""
+
+    def test_rfork_then_race_on_remote_node(self):
+        network = Network(cost_model=HP_9000_350)
+        network.add_node("home")
+        network.add_node("away")
+        network.connect("home", "away")
+
+        home = network.node("home")
+        original = home.manager.create_initial(space_size=16 * 1024)
+        original.space.put("dataset", list(range(20)))
+
+        forked = remote_fork(network, "home", "away", original)
+        remote_process = forked.process
+        assert remote_process.space.get("dataset") == list(range(20))
+
+        away = network.node("away")
+        executor = ConcurrentExecutor(
+            cost_model=FREE, manager=away.manager, space_size=16 * 1024
+        )
+
+        def summing(ctx):
+            return sum(ctx.get("dataset"))
+
+        def maxing(ctx):
+            return max(ctx.get("dataset"))
+
+        result = executor.run(
+            [
+                Alternative("sum", body=summing, cost=2.0),
+                Alternative("max", body=maxing, cost=1.0),
+            ],
+            parent=remote_process,
+        )
+        assert result.value == 19
+        assert result.winner.name == "max"
+
+
+class TestSequentialConcurrentAgreement:
+    """Semantics preservation: for deterministic alternatives, the
+    concurrent transformation returns a value the sequential construct
+    could have returned."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_concurrent_value_is_a_sequential_value(self, seed):
+        def arm(name, value, cost, fails=False):
+            def body(ctx):
+                if fails:
+                    ctx.fail("closed")
+                ctx.put("result", value)
+                return value
+
+            return Alternative(name, body=body, cost=cost)
+
+        def build():
+            return [
+                arm("a", "A", 3.0),
+                arm("b", "B", 1.0, fails=True),
+                arm("c", "C", 2.0),
+            ]
+
+        concurrent = ConcurrentExecutor(cost_model=FREE, seed=seed).run(build())
+        sequential_values = set()
+        for order_seed in range(10):
+            executor = SequentialExecutor(seed=order_seed)
+            sequential_values.add(executor.run(build()).value)
+        assert concurrent.value in sequential_values
+
+    def test_both_fail_identically(self):
+        def doomed(ctx):
+            ctx.fail("always")
+
+        arms = [Alternative("x", body=doomed, cost=1.0)]
+        with pytest.raises(AltBlockFailure):
+            SequentialExecutor(policy=OrderedPolicy()).run(list(arms))
+        with pytest.raises(AltBlockFailure):
+            ConcurrentExecutor(cost_model=FREE).run(list(arms))
+
+
+class TestPaperScenarioEndToEnd:
+    """Run the paper's Table row (1) through the simulator and check the
+    measured PI against the analytic 1.33."""
+
+    def test_table_row_1_measured(self):
+        from repro.analysis.model import performance_improvement
+
+        times = [10.0, 20.0, 30.0]
+        arms = [
+            Alternative(f"C{i+1}", body=lambda ctx, v=i: v, cost=t)
+            for i, t in enumerate(times)
+        ]
+        result = ConcurrentExecutor(cost_model=FREE).run(arms)
+        # With zero overhead the measured improvement equals mean/best.
+        assert result.performance_improvement == pytest.approx(2.0)
+        # And the paper's PI with overhead 5 is recovered analytically.
+        assert performance_improvement(times, 5.0) == pytest.approx(1.333, abs=0.001)

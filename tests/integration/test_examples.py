@@ -1,0 +1,51 @@
+"""Every example script must run cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "quickstart.py",
+    "database_query.py",
+    "recovery_blocks.py",
+    "prolog_or_parallel.py",
+    "multiple_worlds_ipc.py",
+    "distributed_race.py",
+    "alttalk_program.py",
+]
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    assert os.path.exists(path), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_shows_timeline():
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "quickstart.py"))
+    completed = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=120
+    )
+    assert "parent resumes" in completed.stdout
+    assert "heuristic" in completed.stdout
+
+
+def test_prolog_example_reports_speedup():
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, "prolog_or_parallel.py"))
+    completed = subprocess.run(
+        [sys.executable, path], capture_output=True, text=True, timeout=120
+    )
+    assert "speedup" in completed.stdout
+    assert "clause-" in completed.stdout

@@ -1,0 +1,228 @@
+"""Cross-cutting property-based tests on system invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alternative import Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.core.sequential import SequentialExecutor
+from repro.errors import AltBlockFailure
+from repro.pages.files import FileSystem
+from repro.process.scheduler import ProcessorSharing
+from repro.sim.costs import FREE
+
+
+# ----------------------------------------------------------------------
+# semantics preservation: the paper's core correctness claim
+
+
+arm_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.01, max_value=50, allow_nan=False),  # cost
+        st.booleans(),                                             # fails?
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=arm_specs, seed=st.integers(min_value=0, max_value=100))
+def test_concurrent_execution_preserves_block_semantics(specs, seed):
+    """To an observer, concurrent execution must look like some
+    non-deterministic sequential selection: the winner is always an arm
+    that succeeds sequentially, and the block fails concurrently iff it
+    fails for every sequential order."""
+
+    def build():
+        arms = []
+        for index, (cost, fails) in enumerate(specs):
+            def body(ctx, _fails=fails, _index=index):
+                if _fails:
+                    ctx.fail("guard")
+                ctx.put("winner", _index)
+                return _index
+
+            arms.append(Alternative(f"arm-{index}", body=body, cost=cost))
+        return arms
+
+    successful = {i for i, (_, fails) in enumerate(specs) if not fails}
+    executor = ConcurrentExecutor(cost_model=FREE, seed=seed)
+    if not successful:
+        with pytest.raises(AltBlockFailure):
+            executor.run(build())
+        with pytest.raises(AltBlockFailure):
+            SequentialExecutor(seed=seed).run(build())
+        return
+    result = executor.run(build())
+    assert result.value in successful
+    # Fastest-first refinement: the winner is the *cheapest* successful arm.
+    cheapest = min(successful, key=lambda i: specs[i][0])
+    assert result.value == cheapest
+
+
+@settings(max_examples=40, deadline=None)
+@given(specs=arm_specs, seed=st.integers(min_value=0, max_value=100))
+def test_winner_state_and_only_winner_state_commits(specs, seed):
+    """No interleaving leaks a loser's writes into the parent."""
+    executor = ConcurrentExecutor(cost_model=FREE, seed=seed)
+    parent = executor.new_parent()
+    parent.space.put("winner", "nobody")
+
+    arms = []
+    for index, (cost, fails) in enumerate(specs):
+        def body(ctx, _fails=fails, _index=index):
+            ctx.put("winner", _index)  # write BEFORE the guard decision
+            if _fails:
+                ctx.fail("guard")
+            return _index
+
+        arms.append(Alternative(f"arm-{index}", body=body, cost=cost))
+    try:
+        result = executor.run(arms, parent=parent)
+    except AltBlockFailure:
+        assert parent.space.get("winner") == "nobody"
+        return
+    assert parent.space.get("winner") == result.value
+
+
+# ----------------------------------------------------------------------
+# processor sharing invariants
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    demands=st.lists(
+        st.floats(min_value=0.01, max_value=20, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+    cpus=st.integers(min_value=1, max_value=4),
+    horizon=st.floats(min_value=0.01, max_value=50, allow_nan=False),
+)
+def test_advance_to_never_overdelivers(demands, cpus, horizon):
+    """advance_to must respect capacity: total consumed work is at most
+    cpus * elapsed time, and per-job consumption at most its demand."""
+    scheduler = ProcessorSharing(cpus=cpus)
+    for index, demand in enumerate(demands):
+        scheduler.add(index, arrival=0.0, demand=demand)
+    scheduler.advance_to(horizon)
+    assert scheduler.total_consumed() <= cpus * horizon + 1e-6
+    for index, demand in enumerate(demands):
+        job = scheduler.job(index)
+        assert job.consumed <= demand + 1e-6
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    demands=st.lists(
+        st.floats(min_value=0.01, max_value=20, allow_nan=False),
+        min_size=2,
+        max_size=6,
+    ),
+    cpus=st.integers(min_value=1, max_value=4),
+)
+def test_processor_sharing_is_fair(demands, cpus):
+    """Jobs present for the same interval consume equal work."""
+    scheduler = ProcessorSharing(cpus=cpus)
+    for index, demand in enumerate(demands):
+        scheduler.add(index, arrival=0.0, demand=demand)
+    shortest = min(demands)
+    # Advance to just before the first completion: everyone still active.
+    rate = min(1.0, cpus / len(demands))
+    scheduler.advance_to(shortest / rate * 0.99)
+    consumptions = [scheduler.job(i).consumed for i in range(len(demands))]
+    assert max(consumptions) - min(consumptions) < 1e-6
+
+
+# ----------------------------------------------------------------------
+# paged file vs flat-buffer model
+
+
+file_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("write"),
+            st.integers(min_value=0, max_value=300),
+            st.binary(min_size=1, max_size=60),
+        ),
+        st.tuples(st.just("append"), st.just(0), st.binary(max_size=40)),
+        st.tuples(
+            st.just("truncate"),
+            st.integers(min_value=0, max_value=200),
+            st.just(b""),
+        ),
+    ),
+    max_size=15,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(operations=file_ops)
+def test_paged_file_matches_flat_buffer(operations):
+    """A PagedFile is observationally a growable flat byte buffer."""
+    fs = FileSystem(page_size=32)
+    file = fs.create("/model")
+    model = bytearray()
+    for kind, offset, data in operations:
+        if kind == "write":
+            file.write(offset, data)
+            if offset + len(data) > len(model):
+                model.extend(bytes(offset + len(data) - len(model)))
+            model[offset:offset + len(data)] = data
+        elif kind == "append":
+            file.append(data)
+            model.extend(data)
+        else:
+            file.truncate(offset)
+            del model[offset:]
+    assert file.size == len(model)
+    assert file.read() == bytes(model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations=file_ops, snap_at=st.integers(min_value=0, max_value=15))
+def test_file_snapshot_is_immutable(operations, snap_at):
+    """A snapshot taken mid-edit never changes afterwards."""
+    fs = FileSystem(page_size=32)
+    file = fs.create("/doc")
+    snapshot = None
+    frozen = b""
+    for step, (kind, offset, data) in enumerate(operations):
+        if step == snap_at and snapshot is None:
+            snapshot = file.snapshot("/doc@snap")
+            frozen = snapshot.read()
+        if kind == "write":
+            file.write(offset, data)
+        elif kind == "append":
+            file.append(data)
+        else:
+            file.truncate(offset)
+    if snapshot is not None:
+        assert snapshot.read() == frozen
+
+
+# ----------------------------------------------------------------------
+# AltTalk expressions vs a Python reference
+
+
+@st.composite
+def arith_exprs(draw, depth=0):
+    if depth > 3 or draw(st.booleans()):
+        return str(draw(st.integers(min_value=0, max_value=99)))
+    left = draw(arith_exprs(depth=depth + 1))
+    right = draw(arith_exprs(depth=depth + 1))
+    operator = draw(st.sampled_from(["+", "-", "*"]))
+    return f"({left} {operator} {right})"
+
+
+@settings(max_examples=80, deadline=None)
+@given(expression=arith_exprs())
+def test_alttalk_arithmetic_matches_python(expression):
+    from repro.lang.interpreter import run_program
+
+    result = run_program(f"v := {expression};")
+    assert result.variables["v"] == eval(expression)

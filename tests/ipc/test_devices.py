@@ -1,0 +1,142 @@
+"""Tests for source/sink devices."""
+
+import pytest
+
+from repro.errors import SideEffectViolation
+from repro.ipc.devices import SinkDevice, SourceDevice
+from repro.predicates.predicate import Predicate
+from repro.predicates.world import World
+
+
+def predicated_world(world_id=1):
+    return World(world_id=world_id, predicate=Predicate.of(must=[9]))
+
+
+def free_world(world_id=2):
+    return World(world_id=world_id, predicate=Predicate.empty())
+
+
+class TestSinkDevice:
+    def test_unconditional_write_commits(self):
+        sink = SinkDevice("db")
+        sink.write("k", 1)
+        assert sink.read("k") == 1
+
+    def test_free_world_write_commits_directly(self):
+        sink = SinkDevice("db")
+        world = free_world()
+        sink.write("k", 1, world=world)
+        assert sink.read("k") == 1
+        assert sink.pending_worlds == 0
+
+    def test_predicated_write_is_buffered(self):
+        sink = SinkDevice("db")
+        world = predicated_world()
+        sink.write("k", "speculative", world=world)
+        assert sink.read("k") is None  # not visible globally
+        assert sink.pending_worlds == 1
+
+    def test_world_reads_its_own_writes(self):
+        """'it can read what was written' -- internal consistency."""
+        sink = SinkDevice("db")
+        sink.write("k", "committed")
+        world = predicated_world()
+        sink.write("k", "mine", world=world)
+        assert sink.read("k", world=world) == "mine"
+        assert sink.read("k") == "committed"
+
+    def test_commit_world_applies_overlay(self):
+        sink = SinkDevice("db")
+        world = predicated_world()
+        sink.write("a", 1, world=world)
+        sink.write("b", 2, world=world)
+        assert sink.commit_world(world.world_id) == 2
+        assert sink.read("a") == 1
+        assert sink.read("b") == 2
+        assert sink.commits == 1
+
+    def test_discard_world_hides_everything(self):
+        sink = SinkDevice("db")
+        world = predicated_world()
+        sink.write("a", 1, world=world)
+        assert sink.discard_world(world.world_id) == 1
+        assert sink.read("a") is None
+        assert sink.discards == 1
+
+    def test_commit_registered_as_deferred_effect(self):
+        sink = SinkDevice("db")
+        world = predicated_world()
+        sink.write("a", 1, world=world)
+        assert len(world.deferred_effects) == 1
+        world.deferred_effects[0]()  # simulate predicate resolution
+        assert sink.read("a") == 1
+
+    def test_only_one_deferred_effect_per_world(self):
+        sink = SinkDevice("db")
+        world = predicated_world()
+        sink.write("a", 1, world=world)
+        sink.write("b", 2, world=world)
+        assert len(world.deferred_effects) == 1
+
+    def test_keys_include_overlay(self):
+        sink = SinkDevice("db")
+        sink.write("committed", 1)
+        world = predicated_world()
+        sink.write("buffered", 2, world=world)
+        assert sink.keys(world=world) == ["buffered", "committed"]
+        assert sink.keys() == ["committed"]
+
+    def test_commit_of_unknown_world_is_noop(self):
+        sink = SinkDevice("db")
+        assert sink.commit_world(99) == 0
+        assert sink.discard_world(99) == 0
+
+    def test_snapshot_is_a_copy(self):
+        sink = SinkDevice("db")
+        sink.write("k", 1)
+        snap = sink.committed_snapshot()
+        snap["k"] = 2
+        assert sink.read("k") == 1
+
+
+class TestSourceDevice:
+    def test_read_consumes(self):
+        source = SourceDevice("tty", input_data=["a", "b"])
+        assert source.read() == "a"
+        assert source.read() == "b"
+        assert source.remaining_input == 0
+
+    def test_read_past_end_raises(self):
+        source = SourceDevice("tty")
+        with pytest.raises(SideEffectViolation):
+            source.read()
+
+    def test_write_is_observable(self):
+        source = SourceDevice("tty")
+        source.write("hello")
+        assert source.output == ["hello"]
+
+    def test_predicated_world_barred_from_source(self):
+        source = SourceDevice("tty", input_data=["x"])
+        world = predicated_world()
+        with pytest.raises(SideEffectViolation):
+            source.read(world=world)
+        with pytest.raises(SideEffectViolation):
+            source.write("data", world=world)
+        # Nothing was consumed or emitted.
+        assert source.remaining_input == 1
+        assert source.output == []
+
+    def test_unconditional_world_allowed(self):
+        source = SourceDevice("tty", input_data=["x"])
+        world = free_world()
+        assert source.read(world=world) == "x"
+        source.write("ok", world=world)
+        assert source.output == ["ok"]
+
+    def test_counters(self):
+        source = SourceDevice("tty", input_data=["x"])
+        source.read()
+        source.write("y")
+        assert source.reads == 1
+        assert source.writes == 1

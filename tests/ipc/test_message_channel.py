@@ -1,0 +1,76 @@
+"""Tests for messages and reliable FIFO channels."""
+
+import pytest
+
+from repro.ipc.channel import Channel
+from repro.ipc.message import Message
+from repro.predicates.predicate import Predicate
+
+
+class TestMessage:
+    def test_three_part_structure(self):
+        message = Message(
+            sender=1,
+            dest=2,
+            data={"query": 42},
+            predicate=Predicate.of(must=[1]),
+            control={"priority": "high"},
+        )
+        assert message.sender == 1
+        assert message.dest == 2
+        assert message.data == {"query": 42}
+        assert message.predicate.must == {1}
+        assert message.control["priority"] == "high"
+
+    def test_effective_predicate_adds_sender_completion(self):
+        message = Message(sender=5, dest=2, data=None, predicate=Predicate.of(must=[7]))
+        assert message.effective_predicate.must == {7, 5}
+
+    def test_self_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message(sender=1, dest=1, data=None)
+
+    def test_default_predicate_is_empty(self):
+        assert Message(sender=1, dest=2, data="x").predicate.is_empty
+
+
+class TestChannel:
+    def test_fifo_order(self):
+        channel = Channel(1, 2)
+        for i in range(3):
+            channel.send(Message(sender=1, dest=2, data=i))
+        received = [channel.receive().data for _ in range(3)]
+        assert received == [0, 1, 2]
+
+    def test_sequence_numbers_stamped(self):
+        channel = Channel(1, 2)
+        first = channel.send(Message(sender=1, dest=2, data="a"))
+        second = channel.send(Message(sender=1, dest=2, data="b"))
+        assert (first.seq, second.seq) == (0, 1)
+
+    def test_no_loss_no_duplication(self):
+        channel = Channel(1, 2)
+        for i in range(10):
+            channel.send(Message(sender=1, dest=2, data=i))
+        drained = channel.drain()
+        assert [m.data for m in drained] == list(range(10))
+        assert channel.receive() is None
+        assert channel.sent == 10
+        assert channel.delivered == 10
+
+    def test_wrong_endpoints_rejected(self):
+        channel = Channel(1, 2)
+        with pytest.raises(ValueError):
+            channel.send(Message(sender=3, dest=2, data=None))
+        with pytest.raises(ValueError):
+            channel.send(Message(sender=1, dest=3, data=None))
+
+    def test_empty_receive_returns_none(self):
+        assert Channel(1, 2).receive() is None
+
+    def test_pending_count(self):
+        channel = Channel(1, 2)
+        channel.send(Message(sender=1, dest=2, data="x"))
+        assert channel.pending == 1
+        channel.receive()
+        assert channel.pending == 0

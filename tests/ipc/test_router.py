@@ -1,0 +1,187 @@
+"""Tests for the predicated message router."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ipc.devices import SinkDevice
+from repro.ipc.router import MessageRouter
+from repro.predicates.predicate import Predicate
+from repro.predicates.world import WorldSet
+
+
+class FakeState:
+    def __init__(self, value=0):
+        self.value = value
+
+    def fork(self):
+        return FakeState(self.value)
+
+
+def router_with(*pids, predicates=None):
+    router = MessageRouter()
+    predicates = predicates or {}
+    for pid in pids:
+        router.register(
+            pid, WorldSet(FakeState(), predicate=predicates.get(pid, Predicate.empty()))
+        )
+    return router
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        router = router_with(1)
+        with pytest.raises(ReproError):
+            router.register(1, WorldSet(FakeState()))
+
+    def test_send_to_unknown_pid_rejected(self):
+        router = router_with(1)
+        with pytest.raises(ReproError):
+            router.send(1, 99, "hello")
+
+
+class TestDelivery:
+    def test_simple_send_splits_receiver(self):
+        router = router_with(1, 2)
+        router.send(1, 2, "hello")
+        router.deliver_all()
+        worlds = router.worlds_of(2)
+        assert len(worlds) == 2  # accepted-and-assumed vs sender-fails
+        assert router.total_splits == 1
+
+    def test_fifo_within_pair(self):
+        router = router_with(1, 2)
+        router.send(1, 2, "first")
+        router.send(1, 2, "second")
+        router.deliver_all()
+        accepting = [w for w in router.worlds_of(2).live_worlds() if w.inbox]
+        assert len(accepting) == 1
+        assert [m.data for m in accepting[0].inbox] == ["first", "second"]
+
+    def test_deliver_one_steps_one_message(self):
+        router = router_with(1, 2)
+        router.send(1, 2, "a")
+        router.send(1, 2, "b")
+        first = router.deliver_one(1, 2)
+        assert first.data == "a"
+        assert router.total_pending == 1
+
+    def test_agreeing_receiver_no_split(self):
+        # Receiver already assumes sender pid 1 completes.
+        router = router_with(1, 2, predicates={2: Predicate.of(must=[1])})
+        router.send(1, 2, "data")
+        router.deliver_all()
+        assert len(router.worlds_of(2)) == 1
+        assert router.total_splits == 0
+        assert router.worlds_of(2).sole_world().inbox[0].data == "data"
+
+    def test_conflicting_receiver_ignores(self):
+        # Receiver assumes sender pid 1 does NOT complete.
+        router = router_with(1, 2, predicates={2: Predicate.of(cannot=[1])})
+        router.send(1, 2, "data")
+        router.deliver_all()
+        assert len(router.worlds_of(2)) == 1
+        assert router.worlds_of(2).sole_world().inbox == []
+
+
+class TestStatusResolution:
+    def test_sender_completion_collapses_split(self):
+        router = router_with(1, 2)
+        router.send(1, 2, "msg")
+        router.deliver_all()
+        router.report_status(1, completed=True)
+        worlds = router.worlds_of(2)
+        assert len(worlds) == 1
+        assert worlds.sole_world().inbox[0].data == "msg"
+
+    def test_sender_failure_discards_message_world(self):
+        router = router_with(1, 2)
+        router.send(1, 2, "msg")
+        router.deliver_all()
+        router.report_status(1, completed=False)
+        worlds = router.worlds_of(2)
+        assert len(worlds) == 1
+        assert worlds.sole_world().inbox == []
+
+    def test_in_flight_message_from_failed_sender_dropped(self):
+        router = router_with(1, 2)
+        router.send(1, 2, "msg")
+        router.report_status(1, completed=False)  # before delivery
+        router.deliver_all()
+        assert router.dropped == 1
+        assert len(router.worlds_of(2)) == 1
+        assert router.worlds_of(2).sole_world().inbox == []
+
+    def test_message_from_known_complete_sender_accepted_in_place(self):
+        router = router_with(1, 2)
+        router.report_status(1, completed=True)
+        router.send(1, 2, "msg")
+        router.deliver_all()
+        worlds = router.worlds_of(2)
+        assert len(worlds) == 1  # no split: nothing left to assume
+        assert worlds.sole_world().inbox[0].data == "msg"
+
+    def test_predicate_resolved_against_known_facts_at_delivery(self):
+        router = router_with(1, 2)
+        # Sender's message assumes pid 7 completes; pid 7 already did.
+        router.report_status(7, completed=True)
+        router.send(1, 2, "msg", predicate=Predicate.of(must=[7]))
+        router.deliver_all()
+        accepting = [w for w in router.worlds_of(2).live_worlds() if w.inbox]
+        # Only the sender's own completion remains an open assumption.
+        assert accepting[0].predicate.must == {1}
+
+    def test_message_on_dead_timeline_dropped(self):
+        router = router_with(1, 2)
+        router.report_status(7, completed=False)
+        router.send(1, 2, "msg", predicate=Predicate.of(must=[7]))
+        router.deliver_all()
+        assert router.dropped == 1
+
+    def test_known_status_query(self):
+        router = router_with(1)
+        assert router.known_status(1) is None
+        router.report_status(1, True)
+        assert router.known_status(1) is True
+
+
+class TestDeferredEffects:
+    def test_sink_commit_released_on_resolution(self):
+        router = router_with(1, 2)
+        sink = SinkDevice("db")
+        router.send(1, 2, "do-write")
+        router.deliver_all()
+        accepting = [w for w in router.worlds_of(2).live_worlds() if w.inbox]
+        sink.write("result", 42, world=accepting[0])
+        assert sink.read("result") is None
+        released = router.report_status(1, completed=True)
+        assert len(released) == 1
+        assert sink.read("result") == 42
+
+    def test_eliminated_world_never_commits(self):
+        router = router_with(1, 2)
+        sink = SinkDevice("db")
+        router.send(1, 2, "do-write")
+        router.deliver_all()
+        accepting = [w for w in router.worlds_of(2).live_worlds() if w.inbox]
+        sink.write("result", 42, world=accepting[0])
+        router.report_status(1, completed=False)
+        assert sink.read("result") is None
+
+
+class TestChainedCommunication:
+    def test_two_hop_predicate_propagation(self):
+        """A predicated receiver forwards; downstream inherits assumptions."""
+        router = router_with(1, 2, 3)
+        router.send(1, 2, "step-1")
+        router.deliver_all()
+        accepting = [w for w in router.worlds_of(2).live_worlds() if w.inbox][0]
+        # Process 2's accepting world forwards under its own predicate.
+        router.send(2, 3, "step-2", predicate=accepting.predicate)
+        router.deliver_all()
+        yes_worlds = [w for w in router.worlds_of(3).live_worlds() if w.inbox]
+        assert len(yes_worlds) == 1
+        # Process 3's accepting world assumes both 1 and 2 complete.
+        assert yes_worlds[0].predicate.must == {1, 2}
+        # When 1 fails, every timeline that believed in it dies everywhere.
+        router.report_status(1, completed=False)
+        assert [w for w in router.worlds_of(3).live_worlds() if w.inbox] == []

@@ -1,0 +1,107 @@
+"""Tests for timed message delivery."""
+
+import pytest
+
+from repro.ipc.timed import TimedRouter
+from repro.predicates.predicate import Predicate
+from repro.predicates.world import WorldSet
+from repro.sim.costs import MODERN_COMMODITY, CostModel
+
+SLOW_NET = CostModel(
+    name="slow net",
+    fork_latency=0.0,
+    page_copy_rate=float("inf"),
+    page_size=4096,
+    message_latency=0.1,
+    network_latency=0.5,
+)
+
+
+def timed_router(jitter=0.0, seed=0, cost_model=SLOW_NET):
+    router = TimedRouter(cost_model=cost_model, jitter=jitter, seed=seed)
+    for pid in (1, 2, 3):
+        router.register(pid, WorldSet(initial_state=None))
+    return router
+
+
+class TestTimedDelivery:
+    def test_message_arrives_after_latency(self):
+        router = timed_router()
+        router.send(1, 2, "hello")
+        assert not any(
+            w.inbox for w in router.worlds_of(2).live_worlds()
+        )  # not yet
+        router.run()
+        assert router.now == pytest.approx(0.1)
+        accepting = [w for w in router.worlds_of(2).live_worlds() if w.inbox]
+        assert accepting[0].inbox[0].data == "hello"
+
+    def test_fifo_preserved_under_jitter(self):
+        router = timed_router(jitter=1.0, seed=4)
+        for index in range(6):
+            router.send(1, 2, index)
+        router.run()
+        accepting = [w for w in router.worlds_of(2).live_worlds() if w.inbox]
+        assert [m.data for m in accepting[0].inbox] == list(range(6))
+
+    def test_independent_pairs_may_interleave(self):
+        router = timed_router()
+        router.send(1, 3, "from-1")
+        router.send(2, 3, "from-2")
+        router.run()
+        inboxes = [
+            m.data
+            for w in router.worlds_of(3).live_worlds()
+            for m in w.inbox
+        ]
+        assert set(inboxes) >= {"from-1", "from-2"}
+
+    def test_delivery_counter(self):
+        router = timed_router()
+        router.send(1, 2, "a")
+        router.send(1, 2, "b")
+        router.run()
+        assert router.delivered == 2
+
+
+class TestTimedResolution:
+    def test_status_report_travels_on_the_wire(self):
+        router = timed_router()
+        router.send(1, 2, "speculative")
+        router.report_status(1, completed=True)
+        router.run()
+        # After draining, the split has collapsed to the accepting world.
+        worlds = router.worlds_of(2)
+        assert len(worlds) == 1
+        assert worlds.sole_world().inbox[0].data == "speculative"
+
+    def test_late_failure_report_still_cleans_up(self):
+        router = timed_router()
+        router.send(1, 2, "doomed")
+        router.report_status(1, completed=False, delay=2.0)
+        router.run()
+        worlds = router.worlds_of(2)
+        assert len(worlds) == 1
+        assert worlds.sole_world().inbox == []
+
+    def test_in_flight_message_vs_early_failure_report(self):
+        """A status report can land before a slow message: the dead
+        timeline's message must be dropped at delivery."""
+        router = timed_router(cost_model=SLOW_NET)
+        router.send(1, 2, "slow message")          # arrives at 0.1
+        router.report_status(1, completed=False, delay=0.01)  # at 0.01
+        router.run()
+        assert router.router.dropped == 1
+        assert len(router.worlds_of(2)) == 1
+
+    def test_predicated_chain_with_latency(self):
+        router = timed_router()
+        router.send(1, 2, "step", predicate=Predicate.of(must=[3]))
+        router.run()
+        # Receiver split on {1 completes + 3 completes} vs {1 fails}.
+        assert len(router.worlds_of(2)) == 2
+        router.report_status(3, completed=True)
+        router.report_status(1, completed=True)
+        router.run()
+        assert len(router.worlds_of(2)) == 1
+        assert router.worlds_of(2).sole_world().unconditional

@@ -1,0 +1,213 @@
+"""Tests for the AltTalk interpreter."""
+
+import pytest
+
+from repro.core.concurrent import ConcurrentExecutor
+from repro.core.selection import OrderedPolicy
+from repro.core.sequential import SequentialExecutor
+from repro.errors import AltBlockFailure
+from repro.lang.interpreter import LangRuntimeError, run_program
+from repro.sim.costs import FREE
+
+
+class TestPlainPrograms:
+    def test_assignment_and_arithmetic(self):
+        result = run_program("x := 2 + 3 * 4; print x;")
+        assert result.output == ["14"]
+        assert result.variables["x"] == 14
+
+    def test_string_concatenation(self):
+        result = run_program('msg := "n=" + 42; print msg;')
+        assert result.output == ["n=42"]
+
+    def test_if_else(self):
+        result = run_program(
+            """
+            x := 10;
+            if x > 5 then print "big"; else print "small"; end
+            """
+        )
+        assert result.output == ["big"]
+
+    def test_while_loop(self):
+        result = run_program(
+            """
+            total := 0;
+            i := 1;
+            while i <= 5 do
+                total := total + i;
+                i := i + 1;
+            end
+            print total;
+            """
+        )
+        assert result.output == ["15"]
+
+    def test_charge_accumulates(self):
+        result = run_program("charge 2.5; charge 0.5;", statement_cost=0.0)
+        assert result.charged == pytest.approx(3.0)
+
+    def test_statement_cost_counts(self):
+        result = run_program("x := 1; y := 2;", statement_cost=0.1)
+        assert result.charged == pytest.approx(0.2)
+
+    def test_boolean_logic(self):
+        result = run_program(
+            "a := true; b := false; print a and not b; print a or b;"
+        )
+        assert result.output == ["true", "true"]
+
+    def test_runaway_loop_detected(self):
+        with pytest.raises(LangRuntimeError, match="iterations"):
+            run_program("while true do x := 1; end")
+
+    def test_undefined_variable(self):
+        with pytest.raises(LangRuntimeError, match="undefined"):
+            run_program("print nothing;")
+
+    def test_division_by_zero(self):
+        with pytest.raises(LangRuntimeError, match="division"):
+            run_program("x := 1 / 0;")
+
+    def test_type_errors(self):
+        with pytest.raises(LangRuntimeError):
+            run_program('x := "s" * 2;')
+        with pytest.raises(LangRuntimeError):
+            run_program("charge true;")
+
+
+ALT_SOURCE = """
+x := 0;
+altbegin
+    ensure x == 1 with
+        charge 5;
+        x := 1;
+        print "slow arm ran";
+or
+    ensure x == 2 with
+        charge 1;
+        x := 2;
+        print "fast arm ran";
+end
+print "x is " + x;
+"""
+
+
+class TestAltBlocks:
+    def test_concurrent_selects_fastest(self):
+        executor = ConcurrentExecutor(cost_model=FREE)
+        result = run_program(ALT_SOURCE, executor=executor, statement_cost=0.0)
+        assert result.output == ["fast arm ran", "x is 2"]
+        assert result.variables["x"] == 2
+        (alt,) = result.alt_results
+        assert alt.winner.name == "method2"
+
+    def test_sequential_ordered_selects_first(self):
+        executor = SequentialExecutor(policy=OrderedPolicy())
+        result = run_program(ALT_SOURCE, executor=executor, statement_cost=0.0)
+        assert result.variables["x"] == 1
+        assert result.output == ["slow arm ran", "x is 1"]
+
+    def test_loser_writes_are_rolled_back(self):
+        source = """
+        shared := "initial";
+        altbegin
+            ensure false with
+                shared := "poisoned";
+        or
+            ensure true with
+                witness := shared;
+        end
+        print witness;
+        """
+        executor = ConcurrentExecutor(cost_model=FREE)
+        result = run_program(source, executor=executor)
+        assert result.output == ["initial"]
+        assert result.variables["shared"] == "initial"
+
+    def test_guard_failure_falls_to_other_arm(self):
+        source = """
+        altbegin
+            ensure 1 > 2 with
+                charge 0.1;
+                v := "wrong";
+        or
+            ensure true with
+                charge 9;
+                v := "right";
+        end
+        print v;
+        """
+        executor = ConcurrentExecutor(cost_model=FREE)
+        result = run_program(source, executor=executor)
+        assert result.output == ["right"]
+
+    def test_explicit_fail_statement_aborts_arm(self):
+        source = """
+        altbegin
+            ensure true with
+                fail "not today";
+        or
+            ensure true with
+                v := 1;
+        end
+        """
+        executor = ConcurrentExecutor(cost_model=FREE)
+        result = run_program(source, executor=executor)
+        assert result.variables["v"] == 1
+
+    def test_all_arms_fail_is_block_failure(self):
+        source = """
+        altbegin
+            ensure false with x := 1;
+        or
+            ensure false with x := 2;
+        end
+        """
+        with pytest.raises(AltBlockFailure):
+            run_program(source, executor=ConcurrentExecutor(cost_model=FREE))
+
+    def test_alt_elapsed_charged_to_program(self):
+        executor = ConcurrentExecutor(cost_model=FREE)
+        result = run_program(ALT_SOURCE, executor=executor, statement_cost=0.0)
+        # The fast arm charges 1.0; the block contributes its elapsed.
+        assert result.charged >= 1.0
+
+    def test_nested_alt_blocks(self):
+        source = """
+        altbegin
+            ensure true with
+                altbegin
+                    ensure true with
+                        charge 1;
+                        v := "deep-fast";
+                or
+                    ensure true with
+                        charge 9;
+                        v := "deep-slow";
+                end
+        or
+            ensure true with
+                charge 50;
+                v := "shallow";
+        end
+        print v;
+        """
+        executor = ConcurrentExecutor(cost_model=FREE)
+        result = run_program(source, executor=executor, statement_cost=0.0)
+        assert result.output == ["deep-fast"]
+
+    def test_two_blocks_in_sequence(self):
+        source = """
+        altbegin
+            ensure true with a := 1;
+        end
+        altbegin
+            ensure true with b := a + 1;
+        end
+        print b;
+        """
+        executor = ConcurrentExecutor(cost_model=FREE)
+        result = run_program(source, executor=executor)
+        assert result.output == ["2"]
+        assert len(result.alt_results) == 2

@@ -1,0 +1,72 @@
+"""Edge cases for the AltTalk interpreter."""
+
+import pytest
+
+from repro.lang.interpreter import LangRuntimeError, run_program
+
+
+class TestExpressionsEdges:
+    def test_string_comparison(self):
+        result = run_program('v := "abc" == "abc"; w := "a" != "b"; print v; print w;')
+        assert result.output == ["true", "true"]
+
+    def test_modulo(self):
+        assert run_program("v := 17 % 5;").variables["v"] == 2
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(LangRuntimeError, match="modulo"):
+            run_program("v := 1 % 0;")
+
+    def test_mixed_type_comparison_rejected(self):
+        with pytest.raises(LangRuntimeError, match="compare"):
+            run_program('v := 1 < "s";')
+
+    def test_float_print_formatting(self):
+        result = run_program("v := 5 / 2; print v; w := 4 / 2; print w;")
+        assert result.output == ["2.5", "2"]
+
+    def test_short_circuit_and(self):
+        # 'false and (1/0 ...)' must not evaluate the right side.
+        result = run_program("v := false and 1 / 0 > 0; print v;")
+        assert result.output == ["false"]
+
+    def test_short_circuit_or(self):
+        result = run_program("v := true or 1 / 0 > 0; print v;")
+        assert result.output == ["true"]
+
+    def test_unary_minus_on_expression(self):
+        assert run_program("v := -(2 + 3);").variables["v"] == -5
+
+    def test_truthiness_of_numbers_and_strings(self):
+        result = run_program(
+            'if 1 then print "n"; end if "x" then print "s"; end '
+            'if 0 then print "never"; end'
+        )
+        assert result.output == ["n", "s"]
+
+
+class TestControlFlowEdges:
+    def test_nested_if_in_while(self):
+        result = run_program(
+            """
+            i := 0;
+            evens := 0;
+            while i < 10 do
+                if i % 2 == 0 then
+                    evens := evens + 1;
+                end
+                i := i + 1;
+            end
+            print evens;
+            """
+        )
+        assert result.output == ["5"]
+
+    def test_empty_branches(self):
+        result = run_program("if true then else end print 1;")
+        assert result.output == ["1"]
+
+    def test_while_never_entered(self):
+        result = run_program("while false do v := 1; end print 2;")
+        assert result.output == ["2"]
+        assert "v" not in result.variables

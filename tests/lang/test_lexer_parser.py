@@ -1,0 +1,178 @@
+"""Tests for the AltTalk lexer and parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.lexer import LangSyntaxError, tokenize
+from repro.lang.parser import parse_program
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize('x := 1 + 2.5; print "hi";')
+        kinds = [t.kind for t in tokens]
+        assert kinds == [
+            "name", "op", "num", "op", "num", "op",
+            "kw", "str", "op", "end",
+        ]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("ALTBEGIN ensure WITH Or End")
+        assert [t.text for t in tokens[:-1]] == [
+            "altbegin", "ensure", "with", "or", "end",
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("x := 1; # a comment\ny := 2;")
+        assert sum(1 for t in tokens if t.kind == "name") == 2
+
+    def test_line_numbers(self):
+        tokens = tokenize("a := 1;\nb := 2;")
+        assert tokens[0].line == 1
+        assert tokens[4].line == 2
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a <= b >= c == d != e := f")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<=", ">=", "==", "!=", ":="]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LangSyntaxError, match="unterminated"):
+            tokenize('x := "open;')
+
+    def test_unexpected_character(self):
+        with pytest.raises(LangSyntaxError):
+            tokenize("x := @;")
+
+
+class TestParserStatements:
+    def test_assignment(self):
+        program = parse_program("x := 1 + 2;")
+        (statement,) = program.body
+        assert isinstance(statement, ast.Assign)
+        assert statement.target == "x"
+        assert isinstance(statement.value, ast.Binary)
+
+    def test_if_else(self):
+        program = parse_program(
+            "if x > 0 then y := 1; else y := 2; end"
+        )
+        (statement,) = program.body
+        assert isinstance(statement, ast.If)
+        assert len(statement.then_body) == 1
+        assert len(statement.else_body) == 1
+
+    def test_while(self):
+        program = parse_program("while i < 10 do i := i + 1; end")
+        (statement,) = program.body
+        assert isinstance(statement, ast.While)
+
+    def test_fail_with_and_without_reason(self):
+        program = parse_program('fail; fail "reason";')
+        assert program.body[0].reason is None
+        assert isinstance(program.body[1].reason, ast.Literal)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(LangSyntaxError):
+            parse_program("x := 1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(LangSyntaxError):
+            parse_program("x := 1; )")
+
+
+class TestParserAltBlocks:
+    SOURCE = """
+    altbegin
+        ensure x > 0 with
+            x := 1;
+    or
+        ensure true with
+            x := 2;
+            y := 3;
+    end
+    """
+
+    def test_two_arms(self):
+        program = parse_program(self.SOURCE)
+        (block,) = program.body
+        assert isinstance(block, ast.AltBlock)
+        assert len(block.arms) == 2
+        assert block.arms[0].label == "method1"
+        assert len(block.arms[1].body) == 2
+
+    def test_or_inside_expression_still_works(self):
+        program = parse_program(
+            """
+            altbegin
+                ensure a or b with
+                    x := 1;
+            or
+                ensure true with
+                    x := 2;
+            end
+            """
+        )
+        (block,) = program.body
+        assert len(block.arms) == 2
+        assert isinstance(block.arms[0].guard, ast.Binary)
+        assert block.arms[0].guard.operator == "or"
+
+    def test_single_arm(self):
+        program = parse_program(
+            "altbegin ensure true with x := 1; end"
+        )
+        (block,) = program.body
+        assert len(block.arms) == 1
+
+    def test_nested_altblock(self):
+        program = parse_program(
+            """
+            altbegin
+                ensure true with
+                    altbegin
+                        ensure true with y := 1;
+                    end
+            end
+            """
+        )
+        (outer,) = program.body
+        inner = outer.arms[0].body[0]
+        assert isinstance(inner, ast.AltBlock)
+
+
+class TestExpressions:
+    def parse_expr(self, text):
+        program = parse_program(f"v := {text};")
+        return program.body[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self.parse_expr("1 + 2 * 3")
+        assert expr.operator == "+"
+        assert expr.right.operator == "*"
+
+    def test_comparison_binds_looser_than_sum(self):
+        expr = self.parse_expr("a + 1 < b * 2")
+        assert expr.operator == "<"
+
+    def test_and_or_not(self):
+        expr = self.parse_expr("not a and b or c")
+        assert expr.operator == "or"
+        assert expr.left.operator == "and"
+        assert expr.left.left.operator == "not"
+
+    def test_unary_minus(self):
+        expr = self.parse_expr("-x * 2")
+        assert expr.operator == "*"
+        assert isinstance(expr.left, ast.Unary)
+
+    def test_parentheses(self):
+        expr = self.parse_expr("(1 + 2) * 3")
+        assert expr.operator == "*"
+        assert expr.left.operator == "+"
+
+    def test_literals(self):
+        assert self.parse_expr("42").value == 42
+        assert self.parse_expr("2.5").value == 2.5
+        assert self.parse_expr("true").value is True
+        assert self.parse_expr('"s"').value == "s"

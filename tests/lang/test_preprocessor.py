@@ -1,0 +1,80 @@
+"""Tests for the pseudo-C preprocessor lowering."""
+
+from repro.lang import ast
+from repro.lang.parser import parse_program
+from repro.lang.preprocessor import lower_source, lower_to_pseudo_c
+
+SOURCE = """
+altbegin
+    ensure done == 1 with
+        done := 1;
+or
+    ensure done == 2 with
+        done := 2;
+        print "second";
+end
+"""
+
+
+class TestLowering:
+    def block(self):
+        (block,) = parse_program(SOURCE).body
+        return block
+
+    def test_switch_on_alt_spawn(self):
+        text = lower_to_pseudo_c(self.block())
+        assert "switch ( alt_spawn( 2 ) )" in text
+
+    def test_parent_case_waits_with_timeout(self):
+        text = lower_to_pseudo_c(self.block())
+        assert "case 0:" in text
+        assert "alt_wait( TIMEOUT );" in text
+        assert "fail();   /* if returned */" in text
+
+    def test_each_arm_gets_case_and_sync(self):
+        text = lower_to_pseudo_c(self.block())
+        assert "case 1:" in text
+        assert "case 2:" in text
+        assert text.count("alt_wait( 0 );") == 2
+
+    def test_guard_check_before_sync(self):
+        text = lower_to_pseudo_c(self.block())
+        assert "if (!((done == 1))) abort_alternative();" in text
+
+    def test_statements_translated(self):
+        text = lower_to_pseudo_c(self.block())
+        assert "done = 1;" in text
+        assert 'printf("second");' in text
+
+    def test_custom_timeout_symbol(self):
+        text = lower_to_pseudo_c(self.block(), timeout_name="DEADLINE")
+        assert "alt_wait( DEADLINE );" in text
+
+    def test_lower_source_finds_all_blocks(self):
+        listings = lower_source(SOURCE + "\n" + SOURCE)
+        assert len(listings) == 2
+
+    def test_control_flow_translation(self):
+        source = """
+        altbegin
+            ensure true with
+                if x > 0 then
+                    y := 1;
+                else
+                    while y < 3 do
+                        y := y + 1;
+                    end
+                end
+        end
+        """
+        (block,) = parse_program(source).body
+        text = lower_to_pseudo_c(block)
+        assert "if ((x > 0)) {" in text
+        assert "while ((y < 3)) {" in text
+
+    def test_matches_paper_listing_shape(self):
+        """The overall shape of the section 3.2 listing."""
+        lines = lower_to_pseudo_c(self.block()).splitlines()
+        assert lines[0].startswith("switch ( alt_spawn(")
+        assert lines[1] == "{"
+        assert lines[-1] == "}"

@@ -1,0 +1,181 @@
+"""Tests for distributed alternative execution."""
+
+import pytest
+
+from repro.core.alternative import Alternative
+from repro.errors import AltBlockFailure
+from repro.net.distributed import DistributedAltExecutor
+from repro.net.network import Network
+from repro.sim.costs import CostModel
+
+FAST_LAN = CostModel(
+    name="fast LAN",
+    fork_latency=0.001,
+    page_copy_rate=100_000.0,
+    page_size=2048,
+    checkpoint_rate=50_000_000.0,
+    network_bandwidth=10_000_000.0,
+    network_latency=0.001,
+    restore_rate=50_000_000.0,
+)
+
+
+@pytest.fixture
+def net():
+    network = Network(cost_model=FAST_LAN)
+    network.add_node("home")
+    for name in ("w1", "w2", "w3"):
+        network.add_node(name)
+        network.connect("home", name)
+        network.connect(name, "home") if False else None
+    return network
+
+
+def executor(net, **kwargs):
+    return DistributedAltExecutor(
+        net, home="home", workers=["w1", "w2", "w3"], **kwargs
+    )
+
+
+def ok(name, value, cost):
+    def body(ctx):
+        ctx.put("result", value)
+        return value
+
+    return Alternative(name, body=body, cost=cost)
+
+
+def bad(name, cost):
+    return Alternative(name, body=lambda ctx: ctx.fail("guard"), cost=cost)
+
+
+class TestBasicRace:
+    def test_fastest_remote_alternative_wins(self, net):
+        result = executor(net).run(
+            [ok("slow", 1, 5.0), ok("fast", 2, 0.5), ok("mid", 3, 2.0)]
+        )
+        assert result.value == 2
+        assert result.winner.name == "fast"
+
+    def test_winner_state_shipped_home(self, net):
+        dist = executor(net)
+        parent = dist.new_parent()
+        parent.space.put("x", "home-original")
+        result = dist.run(
+            [ok("writer", "remote-value", 1.0)], parent=parent
+        )
+        assert parent.space.get("result") == "remote-value"
+
+    def test_loser_state_never_reaches_home(self, net):
+        dist = executor(net)
+        parent = dist.new_parent()
+
+        def poison(ctx):
+            ctx.put("result", "poison")
+            ctx.fail("bad")
+
+        dist.run(
+            [Alternative("poisoner", body=poison, cost=0.1), ok("clean", "v", 1.0)],
+            parent=parent,
+        )
+        assert parent.space.get("result") == "v"
+
+    def test_children_get_copies_of_parent_state(self, net):
+        dist = executor(net)
+        parent = dist.new_parent()
+        parent.space.put("dataset", [1, 2, 3])
+
+        def reads(ctx):
+            return sum(ctx.get("dataset"))
+
+        result = dist.run([Alternative("reader", body=reads, cost=1.0)], parent=parent)
+        assert result.value == 6
+
+    def test_all_fail_raises(self, net):
+        with pytest.raises(AltBlockFailure):
+            executor(net).run([bad("a", 1.0), bad("b", 1.0)])
+
+    def test_round_robin_when_more_alternatives_than_workers(self, net):
+        arms = [ok(f"alt-{i}", i, float(i + 1)) for i in range(5)]
+        result = executor(net).run(arms)
+        assert result.value == 0
+        assert len(result.outcomes) == 5
+
+
+class TestDistributedOverhead:
+    def test_setup_includes_shipping(self, net):
+        result = executor(net).run([ok("only", 1, 1.0)])
+        # Setup covers checkpoint + transfer + restore of the image.
+        assert result.overhead.setup > 0
+        assert result.elapsed > 1.0
+
+    def test_selection_includes_state_return(self, net):
+        def heavy_writer(ctx):
+            ctx.put("blob", "x" * 50_000)
+            return 1
+
+        light = executor(net).run([ok("light", 1, 1.0)])
+        heavy = executor(net).run(
+            [Alternative("heavy", body=heavy_writer, cost=1.0)]
+        )
+        # More dirty pages -> more copying back at synchronization.
+        assert heavy.overhead.selection > light.overhead.selection
+
+    def test_distributed_costs_more_than_local(self, net):
+        """Section 4.4: 'There is somewhat more overhead associated with
+        the distributed case.'"""
+        from repro.core.concurrent import ConcurrentExecutor
+
+        arms = lambda: [ok("a", 1, 1.0), ok("b", 2, 2.0)]
+        local = ConcurrentExecutor(cost_model=FAST_LAN).run(arms())
+        remote = executor(net).run(arms())
+        assert remote.overhead.total > local.overhead.total
+
+    def test_unreachable_worker_skipped(self, net):
+        net.partition("home", "w1")
+        result = executor(net).run(
+            [ok("on-w1", 1, 0.5), ok("on-w2", 2, 1.0)]
+        )
+        # The first alternative's node is cut off; the second still runs.
+        assert result.value == 2
+        assert result.outcome("on-w1").status == "failed"
+
+    def test_no_reachable_workers_raises(self, net):
+        for worker in ("w1", "w2", "w3"):
+            net.partition("home", worker)
+        with pytest.raises(AltBlockFailure, match="reachable"):
+            executor(net).run([ok("a", 1, 1.0)])
+
+
+class TestConsensusSync:
+    def test_consensus_mode_runs_and_costs_more(self, net):
+        local_sync = executor(net).run([ok("a", 1, 1.0), ok("b", 2, 2.0)])
+        consensus = executor(net, use_consensus=True).run(
+            [ok("a", 1, 1.0), ok("b", 2, 2.0)]
+        )
+        assert consensus.value == local_sync.value
+        assert consensus.overhead.selection > local_sync.overhead.selection
+
+
+class TestValidation:
+    def test_needs_workers(self, net):
+        with pytest.raises(ValueError):
+            DistributedAltExecutor(net, home="home", workers=[])
+
+    def test_unknown_nodes_rejected(self, net):
+        from repro.errors import NetworkError
+
+        with pytest.raises(NetworkError):
+            DistributedAltExecutor(net, home="nowhere", workers=["w1"])
+
+    def test_empty_block_rejected(self, net):
+        with pytest.raises(ValueError):
+            executor(net).run([])
+
+    def test_timeline_sorted_and_labelled(self, net):
+        result = executor(net).run([ok("a", 1, 1.0), ok("b", 2, 2.0)])
+        times = [t for t, _ in result.timeline]
+        assert times == sorted(times)
+        labels = " ".join(label for _, label in result.timeline)
+        assert "rfork" in labels
+        assert "parent resumes" in labels

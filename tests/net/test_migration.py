@@ -1,0 +1,115 @@
+"""Tests for stop-and-copy process migration."""
+
+import pytest
+
+from repro.errors import CheckpointError, NetworkError
+from repro.net.migration import migrate
+from repro.net.network import Network
+from repro.pages.files import FileSystem
+from repro.process.process import ProcessState
+from repro.sim.costs import HP_9000_350
+
+
+@pytest.fixture
+def net():
+    network = Network(cost_model=HP_9000_350)
+    network.add_node("a")
+    network.add_node("b")
+    network.connect("a", "b")
+    return network
+
+
+def make_process(net, node="a", size=16 * 1024):
+    process = net.node(node).manager.create_initial(space_size=size)
+    process.space.put("state", {"step": 7})
+    return process
+
+
+class TestMigration:
+    def test_state_travels(self, net):
+        process = make_process(net)
+        result = migrate(net, "a", "b", process)
+        assert result.process.space.get("state") == {"step": 7}
+
+    def test_pid_is_preserved(self, net):
+        process = make_process(net)
+        original_pid = process.pid
+        result = migrate(net, "a", "b", process)
+        assert result.process.pid == original_pid
+        assert result.pid_preserved
+
+    def test_original_is_retired_silently(self, net):
+        events = []
+        net.node("a").manager.on_status_change(
+            lambda pid, ok: events.append((pid, ok))
+        )
+        process = make_process(net)
+        migrate(net, "a", "b", process)
+        assert process.state == ProcessState.EXITED
+        assert events == []  # a move is not a completion
+
+    def test_source_node_forgets_the_process(self, net):
+        process = make_process(net)
+        pid = process.pid
+        migrate(net, "a", "b", process)
+        assert pid not in net.node("a").manager.processes
+        assert pid in net.node("b").manager.processes
+
+    def test_predicates_survive_the_move(self, net):
+        from repro.predicates.predicate import Predicate
+
+        process = make_process(net)
+        process.predicate = Predicate.of(must=[42])
+        result = migrate(net, "a", "b", process)
+        assert result.process.predicate.must == {42}
+
+    def test_pid_collision_on_destination_gets_fresh_pid(self, net):
+        # Occupy the pid on the destination first.
+        blocker = net.node("b").manager.create_initial()
+        process = make_process(net)
+        assert blocker.pid == process.pid  # both are first pids
+        result = migrate(net, "a", "b", process)
+        assert result.process.pid != process.pid
+
+    def test_downtime_positive_and_size_dependent(self, net):
+        small = migrate(net, "a", "b", make_process(net, size=8 * 1024))
+        large = migrate(net, "a", "b", make_process(net, size=128 * 1024))
+        assert 0 < small.downtime < large.downtime
+
+    def test_nfs_migration_reduces_downtime(self, net):
+        stop_copy = migrate(net, "a", "b", make_process(net, size=64 * 1024))
+        lazy = migrate(
+            net, "a", "b", make_process(net, size=64 * 1024),
+            nfs=FileSystem("nfs", page_size=HP_9000_350.page_size),
+            eager_fraction=0.1,
+        )
+        assert lazy.downtime < stop_copy.downtime
+
+    def test_round_trip_migration(self, net):
+        process = make_process(net)
+        first = migrate(net, "a", "b", process)
+        back = migrate(net, "b", "a", first.process)
+        assert back.process.space.get("state") == {"step": 7}
+        assert back.process.pid == process.pid
+
+
+class TestMigrationErrors:
+    def test_terminal_process_rejected(self, net):
+        process = make_process(net)
+        net.node("a").manager.exit(process)
+        with pytest.raises(CheckpointError):
+            migrate(net, "a", "b", process)
+
+    def test_wrong_source_node_rejected(self, net):
+        process = make_process(net)
+        with pytest.raises(CheckpointError, match="does not live"):
+            migrate(net, "b", "a", process)
+
+    def test_partition_blocks_migration(self, net):
+        process = make_process(net)
+        net.partition("a", "b")
+        with pytest.raises(NetworkError):
+            migrate(net, "a", "b", process)
+        # The original must be untouched after the failed move.
+        assert process.state == ProcessState.RUNNABLE
+        assert process.pid in net.node("a").manager.processes

@@ -1,0 +1,90 @@
+"""Tests for the simulated network."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.network import Network
+from repro.sim.costs import HP_9000_350
+
+
+@pytest.fixture
+def net():
+    network = Network(cost_model=HP_9000_350)
+    network.add_node("alpha")
+    network.add_node("beta")
+    network.connect("alpha", "beta", latency=0.01, bandwidth=1_000_000)
+    return network
+
+
+class TestTopology:
+    def test_nodes_have_own_stores(self, net):
+        assert net.node("alpha").store is not net.node("beta").store
+
+    def test_duplicate_node_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.add_node("alpha")
+
+    def test_unknown_node_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.node("gamma")
+
+    def test_self_link_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.connect("alpha", "alpha")
+
+    def test_link_defaults_from_cost_model(self):
+        network = Network(cost_model=HP_9000_350)
+        network.add_node("a")
+        network.add_node("b")
+        link = network.connect("a", "b")
+        assert link.latency == HP_9000_350.network_latency
+        assert link.bandwidth == HP_9000_350.network_bandwidth
+
+    def test_page_size_defaults_from_cost_model(self):
+        network = Network(cost_model=HP_9000_350)
+        node = network.add_node("a")
+        assert node.store.page_size == HP_9000_350.page_size
+
+
+class TestTransfer:
+    def test_transfer_time(self, net):
+        elapsed = net.transfer("alpha", "beta", 500_000)
+        assert elapsed == pytest.approx(0.01 + 0.5)
+
+    def test_transfer_is_bidirectional(self, net):
+        assert net.transfer("beta", "alpha", 1000) > 0
+
+    def test_transfer_accounting(self, net):
+        net.transfer("alpha", "beta", 1000)
+        assert net.node("alpha").bytes_sent == 1000
+        assert net.node("beta").bytes_received == 1000
+        assert net.bytes_transferred == 1000
+        assert net.transfers == 1
+
+    def test_no_link_no_transfer(self, net):
+        net.add_node("gamma")
+        with pytest.raises(NetworkError):
+            net.transfer("alpha", "gamma", 10)
+
+    def test_negative_bytes_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.transfer("alpha", "beta", -1)
+
+
+class TestPartitions:
+    def test_partition_blocks_transfer(self, net):
+        net.partition("alpha", "beta")
+        assert not net.reachable("alpha", "beta")
+        with pytest.raises(NetworkError):
+            net.transfer("alpha", "beta", 10)
+
+    def test_heal_restores(self, net):
+        net.partition("alpha", "beta")
+        net.heal("alpha", "beta")
+        assert net.reachable("alpha", "beta")
+        assert net.transfer("alpha", "beta", 10) > 0
+
+    def test_partition_of_missing_link_rejected(self, net):
+        net.add_node("gamma")
+        with pytest.raises(NetworkError):
+            net.partition("alpha", "gamma")

@@ -1,0 +1,150 @@
+"""Tests for remote fork via checkpoint/restart."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.network import Network
+from repro.net.rfork import remote_fork
+from repro.sim.costs import CostModel
+
+
+PAPER_LAN = CostModel(
+    name="paper-era LAN",
+    fork_latency=0.031,
+    page_copy_rate=326.0,
+    page_size=2048,
+    checkpoint_rate=200_000.0,
+    network_bandwidth=500_000.0,
+    network_latency=0.010,
+    restore_rate=400_000.0,
+)
+
+
+@pytest.fixture
+def net():
+    network = Network(cost_model=PAPER_LAN)
+    network.add_node("home")
+    network.add_node("away")
+    network.connect("home", "away")
+    return network
+
+
+def make_process(net, size=70 * 1024):
+    process = net.node("home").manager.create_initial(space_size=size)
+    process.space.put("payload", list(range(100)))
+    return process
+
+
+class TestRemoteFork:
+    def test_state_arrives_intact(self, net):
+        process = make_process(net)
+        result = remote_fork(net, "home", "away", process)
+        assert result.process.space.get("payload") == list(range(100))
+
+    def test_remote_copy_is_registered_on_destination(self, net):
+        process = make_process(net)
+        result = remote_fork(net, "home", "away", process)
+        away = net.node("away")
+        assert away.manager.processes[result.process.pid] is result.process
+        assert result.process.space.store is away.store
+
+    def test_remote_copy_is_isolated(self, net):
+        process = make_process(net)
+        result = remote_fork(net, "home", "away", process)
+        result.process.space.put("payload", "remote")
+        assert process.space.get("payload") == list(range(100))
+
+    def test_restored_flag_set(self, net):
+        process = make_process(net)
+        result = remote_fork(net, "home", "away", process)
+        assert result.process.registers["__restored__"] is True
+
+    def test_cost_decomposition(self, net):
+        process = make_process(net)
+        result = remote_fork(net, "home", "away", process)
+        assert result.total_time == pytest.approx(
+            result.checkpoint_time + result.transfer_time + result.restore_time
+        )
+        assert result.image_bytes >= 70 * 1024
+
+    def test_70k_process_lands_near_a_second(self, net):
+        """Section 4.4: 'An rfork() of a 70K process requires slightly
+        less than a second' on the paper's era hardware."""
+        process = make_process(net)
+        result = remote_fork(net, "home", "away", process)
+        assert 0.5 < result.total_time < 1.5
+
+    def test_cost_grows_with_image_size(self, net):
+        small = make_process(net, size=16 * 1024)
+        large = make_process(net, size=256 * 1024)
+        t_small = remote_fork(net, "home", "away", small).total_time
+        t_large = remote_fork(net, "home", "away", large).total_time
+        assert t_large > t_small * 4
+
+    def test_partitioned_nodes_cannot_rfork(self, net):
+        process = make_process(net)
+        net.partition("home", "away")
+        with pytest.raises(NetworkError):
+            remote_fork(net, "home", "away", process)
+
+    def test_pids_do_not_collide_on_destination(self, net):
+        process = make_process(net)
+        away = net.node("away")
+        existing = away.manager.create_initial()
+        result = remote_fork(net, "home", "away", process)
+        assert result.process.pid != existing.pid
+
+
+class TestRemoteForkNfs:
+    def test_nfs_state_intact(self, net):
+        from repro.net.rfork import remote_fork_nfs
+        from repro.pages.files import FileSystem
+
+        nfs = FileSystem("shared")
+        process = make_process(net)
+        result = remote_fork_nfs(net, "home", "away", process, nfs)
+        assert result.process.space.get("payload") == list(range(100))
+        assert nfs.listdir()  # the checkpoint landed in the shared FS
+
+    def test_nfs_reduces_copying(self, net):
+        """The paper: the NFS protocol exists 'to reduce copying' -- only
+        the eagerly paged fraction crosses the wire up front."""
+        from repro.net.rfork import remote_fork, remote_fork_nfs
+        from repro.pages.files import FileSystem
+
+        nfs = FileSystem("shared")
+        direct = remote_fork(net, "home", "away", make_process(net))
+        lazy = remote_fork_nfs(
+            net, "home", "away", make_process(net), nfs, eager_fraction=0.25
+        )
+        assert lazy.total_time < direct.total_time
+        assert lazy.transfer_time < direct.transfer_time
+        # Checkpoint cost is unchanged: the whole image is still dumped.
+        assert lazy.checkpoint_time == pytest.approx(direct.checkpoint_time)
+
+    def test_eager_fraction_validated(self, net):
+        from repro.net.rfork import remote_fork_nfs
+        from repro.pages.files import FileSystem
+
+        with pytest.raises(ValueError):
+            remote_fork_nfs(
+                net, "home", "away", make_process(net), FileSystem("x"),
+                eager_fraction=1.5,
+            )
+
+    def test_nfs_type_checked(self, net):
+        from repro.net.rfork import remote_fork_nfs
+
+        with pytest.raises(TypeError):
+            remote_fork_nfs(net, "home", "away", make_process(net), nfs=object())
+
+    def test_full_eager_matches_direct_transfer_shape(self, net):
+        from repro.net.rfork import remote_fork, remote_fork_nfs
+        from repro.pages.files import FileSystem
+
+        direct = remote_fork(net, "home", "away", make_process(net))
+        eager = remote_fork_nfs(
+            net, "home", "away", make_process(net), FileSystem("x"),
+            eager_fraction=1.0,
+        )
+        assert eager.transfer_time == pytest.approx(direct.transfer_time, rel=0.01)

@@ -1,0 +1,222 @@
+"""Tests for the byte-addressed COW address space."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PageFault
+from repro.pages.address_space import AddressSpace
+from repro.pages.store import PageStore
+
+
+def make_space(size=256, page_size=32):
+    return AddressSpace(PageStore(page_size=page_size), size)
+
+
+class TestByteAccess:
+    def test_fresh_space_reads_zero(self):
+        space = make_space()
+        assert space.read(0, 16) == bytes(16)
+
+    def test_write_then_read(self):
+        space = make_space()
+        space.write(10, b"hello")
+        assert space.read(10, 5) == b"hello"
+
+    def test_write_spanning_pages(self):
+        space = make_space(size=256, page_size=32)
+        data = bytes(range(64))
+        space.write(16, data)  # crosses two page boundaries
+        assert space.read(16, 64) == data
+
+    def test_read_spanning_whole_space(self):
+        space = make_space(size=96, page_size=32)
+        space.write(0, b"a" * 96)
+        assert space.read(0, 96) == b"a" * 96
+
+    def test_out_of_range_access_faults(self):
+        space = make_space(size=64)
+        with pytest.raises(PageFault):
+            space.read(60, 10)
+        with pytest.raises(PageFault):
+            space.write(63, b"ab")
+        with pytest.raises(PageFault):
+            space.read(-1, 2)
+
+    def test_zero_size_space(self):
+        space = make_space(size=0)
+        assert space.num_pages == 0
+        assert space.read(0, 0) == b""
+
+    def test_num_pages_rounds_up(self):
+        assert make_space(size=33, page_size=32).num_pages == 2
+        assert make_space(size=32, page_size=32).num_pages == 1
+
+
+class TestVariables:
+    def test_put_get(self):
+        space = make_space(size=4096)
+        space.put("x", [1, 2, 3])
+        assert space.get("x") == [1, 2, 3]
+
+    def test_get_default(self):
+        space = make_space(size=4096)
+        assert space.get("missing", 7) == 7
+
+    def test_delete(self):
+        space = make_space(size=4096)
+        space.put("x", 1)
+        space.delete("x")
+        assert space.get("x") is None
+        with pytest.raises(KeyError):
+            space.delete("x")
+
+    def test_names_sorted(self):
+        space = make_space(size=4096)
+        space.put("b", 1)
+        space.put("a", 2)
+        assert space.names() == ["a", "b"]
+
+    def test_directory_overflow_faults(self):
+        space = make_space(size=64, page_size=32)
+        with pytest.raises(PageFault):
+            space.put("big", "x" * 1000)
+
+    def test_raw_write_invalidates_cache(self):
+        space = make_space(size=4096)
+        space.put("x", 1)
+        # Clobber the directory length prefix directly.
+        space.write(0, bytes(8))
+        assert space.get("x") is None
+
+
+class TestForkSemantics:
+    def test_child_sees_parent_data(self):
+        parent = make_space(size=4096)
+        parent.put("k", "v")
+        child = parent.fork()
+        assert child.get("k") == "v"
+
+    def test_child_writes_do_not_leak_to_parent(self):
+        parent = make_space(size=4096)
+        parent.put("k", "parent")
+        child = parent.fork()
+        child.put("k", "child")
+        assert parent.get("k") == "parent"
+        assert child.get("k") == "child"
+
+    def test_sibling_isolation(self):
+        parent = make_space(size=4096)
+        a = parent.fork()
+        b = parent.fork()
+        a.put("who", "a")
+        b.put("who", "b")
+        assert a.get("who") == "a"
+        assert b.get("who") == "b"
+        assert parent.get("who") is None
+
+    def test_fork_starts_with_zero_written(self):
+        parent = make_space()
+        parent.write(0, b"dirty")
+        child = parent.fork()
+        assert child.pages_written == 0
+
+    def test_pages_written_tracks_dirtied_pages(self):
+        parent = make_space(size=256, page_size=32)
+        child = parent.fork()
+        child.write(0, b"a")
+        child.write(100, b"b")
+        assert child.pages_written == 2
+
+    def test_cow_faults_count_copies(self):
+        parent = make_space(size=256, page_size=32)
+        child = parent.fork()
+        child.write(0, b"a")
+        child.write(1, b"b")  # same page: no second fault
+        assert child.cow_faults == 1
+
+    def test_adopt_absorbs_child_state(self):
+        parent = make_space(size=4096)
+        parent.put("k", "before")
+        child = parent.fork()
+        child.put("k", "after")
+        parent.adopt(child)
+        assert parent.get("k") == "after"
+
+    def test_adopt_size_mismatch_rejected(self):
+        store = PageStore(page_size=32)
+        parent = AddressSpace(store, 64)
+        other = AddressSpace(store, 128)
+        with pytest.raises(ValueError):
+            parent.adopt(other)
+
+    def test_release_frees_frames(self):
+        store = PageStore(page_size=32)
+        space = AddressSpace(store, 128)
+        space.write(0, b"data")
+        space.release()
+        assert store.live_frames == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_space(size=-1)
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=200),
+            st.binary(min_size=1, max_size=40),
+        ),
+        max_size=20,
+    )
+)
+def test_space_behaves_like_bytearray(writes):
+    """Property: an AddressSpace is observationally a flat byte array."""
+    size = 256
+    space = make_space(size=size, page_size=32)
+    model = bytearray(size)
+    for offset, data in writes:
+        if offset + len(data) > size:
+            continue
+        space.write(offset, data)
+        model[offset:offset + len(data)] = data
+    assert space.read(0, size) == bytes(model)
+
+
+@given(
+    parent_writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=180),
+            st.binary(min_size=1, max_size=30),
+        ),
+        max_size=10,
+    ),
+    child_writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=180),
+            st.binary(min_size=1, max_size=30),
+        ),
+        max_size=10,
+    ),
+)
+def test_fork_isolation_property(parent_writes, child_writes):
+    """Property: after a fork, child writes never alter the parent image
+    and vice versa."""
+    size = 224
+    space = make_space(size=size, page_size=32)
+    for offset, data in parent_writes:
+        if offset + len(data) <= size:
+            space.write(offset, data)
+    image_before = space.read(0, size)
+    child = space.fork()
+    for offset, data in child_writes:
+        if offset + len(data) <= size:
+            child.write(offset, data)
+    assert space.read(0, size) == image_before
+    # And the child caught every parent byte it did not overwrite.
+    model = bytearray(image_before)
+    for offset, data in child_writes:
+        if offset + len(data) <= size:
+            model[offset:offset + len(data)] = data
+    assert child.read(0, size) == bytes(model)

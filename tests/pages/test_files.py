@@ -1,0 +1,139 @@
+"""Tests for paged files and the file system."""
+
+import pytest
+
+from repro.errors import PageFault, ReproError
+from repro.pages.files import FileSystem, PagedFile
+from repro.pages.store import PageStore
+
+
+@pytest.fixture
+def fs():
+    return FileSystem("testfs", page_size=32)
+
+
+class TestPagedFile:
+    def test_starts_empty(self, fs):
+        file = fs.create("/empty")
+        assert file.size == 0
+        assert file.read() == b""
+
+    def test_write_and_read(self, fs):
+        file = fs.create("/f")
+        file.write(0, b"hello world")
+        assert file.read() == b"hello world"
+        assert file.size == 11
+
+    def test_write_spanning_pages(self, fs):
+        file = fs.create("/f")
+        data = bytes(range(100))
+        file.write(10, data)
+        assert file.read(10, 100) == data
+        assert file.num_pages == 4  # 110 bytes over 32-byte pages
+
+    def test_sparse_write_reads_zero_gap(self, fs):
+        file = fs.create("/f")
+        file.write(64, b"far")
+        assert file.read(0, 64) == bytes(64)
+        assert file.size == 67
+
+    def test_append(self, fs):
+        file = fs.create("/f")
+        file.append(b"one")
+        file.append(b"two")
+        assert file.read() == b"onetwo"
+
+    def test_read_past_eof_clamped(self, fs):
+        file = fs.create("/f")
+        file.write(0, b"abc")
+        assert file.read(1, 100) == b"bc"
+        assert file.read(50, 10) == b""
+
+    def test_negative_offset_rejected(self, fs):
+        file = fs.create("/f")
+        with pytest.raises(PageFault):
+            file.write(-1, b"x")
+        with pytest.raises(PageFault):
+            file.read(-1, 2)
+
+    def test_truncate_releases_pages(self, fs):
+        file = fs.create("/f")
+        file.write(0, b"x" * 100)
+        pages_before = file.num_pages
+        file.truncate(10)
+        assert file.size == 10
+        assert file.num_pages < pages_before
+        assert file.read() == b"x" * 10
+
+    def test_truncate_growing_is_noop(self, fs):
+        file = fs.create("/f")
+        file.write(0, b"abc")
+        file.truncate(100)
+        assert file.size == 3
+
+
+class TestSnapshots:
+    def test_snapshot_shares_pages_cow(self, fs):
+        file = fs.create("/v1")
+        file.write(0, b"version one content!")
+        allocations_before = fs.store.total_allocations
+        snap = file.snapshot("/v1@1")
+        assert fs.store.total_allocations == allocations_before  # pure COW
+        assert snap.read() == b"version one content!"
+
+    def test_snapshot_isolated_from_later_writes(self, fs):
+        file = fs.create("/v1")
+        file.write(0, b"original")
+        snap = file.snapshot("/v1@1")
+        file.write(0, b"MUTATED!")
+        assert snap.read() == b"original"
+        assert file.read() == b"MUTATED!"
+
+    def test_most_text_shared_between_versions(self, fs):
+        """The PEDIT observation: 'in practice most of the text is shared
+        between the versions'."""
+        file = fs.create("/src")
+        file.write(0, b"A" * 320)  # 10 pages
+        snap = file.snapshot("/src@1")
+        file.write(0, b"B")  # touch one page
+        shared = sum(
+            1
+            for vpn in file.table.mapped_pages()
+            if snap.table.is_mapped(vpn)
+            and file.table.frame_of(vpn) == snap.table.frame_of(vpn)
+        )
+        assert shared == 9
+
+
+class TestFileSystem:
+    def test_create_open_roundtrip(self, fs):
+        fs.create("/a")
+        assert fs.open("/a").name == "/a"
+        assert fs.exists("/a")
+
+    def test_duplicate_create_rejected(self, fs):
+        fs.create("/a")
+        with pytest.raises(ReproError):
+            fs.create("/a")
+
+    def test_open_missing_rejected(self, fs):
+        with pytest.raises(ReproError):
+            fs.open("/missing")
+
+    def test_unlink_releases_pages(self, fs):
+        fs.write_file("/a", b"data" * 20)
+        frames = fs.store.live_frames
+        assert frames > 0
+        fs.unlink("/a")
+        assert fs.store.live_frames == 0
+        assert not fs.exists("/a")
+
+    def test_listdir_sorted(self, fs):
+        fs.create("/b")
+        fs.create("/a")
+        assert fs.listdir() == ["/a", "/b"]
+
+    def test_write_file_replaces(self, fs):
+        fs.write_file("/a", b"first")
+        fs.write_file("/a", b"second")
+        assert fs.read_file("/a") == b"second"

@@ -1,0 +1,85 @@
+"""Tests for diffs, written fraction, and the commit swap."""
+
+import pytest
+
+from repro.pages.address_space import AddressSpace
+from repro.pages.snapshot import commit, diff_pages, written_fraction
+from repro.pages.store import PageStore
+
+
+def spaces():
+    store = PageStore(page_size=32)
+    parent = AddressSpace(store, 128)
+    parent.write(0, b"base")
+    parent.table.clear_dirty()
+    return parent
+
+
+class TestDiff:
+    def test_identical_after_fork(self):
+        parent = spaces()
+        child = parent.fork()
+        assert diff_pages(parent.table, child.table) == {}
+
+    def test_child_write_shows_in_diff(self):
+        parent = spaces()
+        child = parent.fork()
+        child.write(40, b"xyz")
+        diff = diff_pages(parent.table, child.table)
+        assert list(diff) == [1]  # page 1 holds offset 40 with 32-byte pages
+        assert b"xyz" in diff[1]
+
+    def test_write_of_same_value_not_in_diff(self):
+        parent = spaces()
+        child = parent.fork()
+        child.write(0, b"base")  # same bytes: copied frame, equal contents
+        assert diff_pages(parent.table, child.table) == {}
+
+    def test_unmapped_in_child_reports_empty(self):
+        parent = spaces()
+        child = parent.fork()
+        child.table.unmap_page(0)
+        diff = diff_pages(parent.table, child.table)
+        assert diff[0] == b""
+
+    def test_extra_page_in_child(self):
+        parent = spaces()
+        child = parent.fork()
+        child.table.map_page(9, b"new")
+        diff = diff_pages(parent.table, child.table)
+        assert diff[9].startswith(b"new")
+
+
+class TestWrittenFraction:
+    def test_zero_when_clean(self):
+        parent = spaces()
+        child = parent.fork()
+        assert written_fraction(child) == 0.0
+
+    def test_counts_dirty_pages(self):
+        parent = spaces()  # 4 pages
+        child = parent.fork()
+        child.write(0, b"a")
+        child.write(33, b"b")
+        assert written_fraction(child) == pytest.approx(0.5)
+
+    def test_empty_space(self):
+        store = PageStore(page_size=32)
+        space = AddressSpace(store, 0)
+        assert written_fraction(space) == 0.0
+
+
+class TestCommit:
+    def test_commit_returns_pages_written(self):
+        parent = spaces()
+        child = parent.fork()
+        child.write(0, b"A")
+        child.write(64, b"B")
+        assert commit(parent, child) == 2
+
+    def test_commit_transfers_contents(self):
+        parent = spaces()
+        child = parent.fork()
+        child.write(0, b"WON!")
+        commit(parent, child)
+        assert parent.read(0, 4) == b"WON!"

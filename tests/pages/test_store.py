@@ -1,0 +1,80 @@
+"""Tests for the reference-counted frame store."""
+
+import pytest
+
+from repro.pages.store import PageStore
+
+
+class TestAllocation:
+    def test_allocate_zero_padded(self):
+        store = PageStore(page_size=16)
+        frame = store.allocate(b"hi")
+        assert store.read(frame) == b"hi" + bytes(14)
+
+    def test_allocate_full_page(self):
+        store = PageStore(page_size=4)
+        frame = store.allocate(b"abcd")
+        assert store.read(frame) == b"abcd"
+
+    def test_allocate_oversized_rejected(self):
+        store = PageStore(page_size=4)
+        with pytest.raises(ValueError):
+            store.allocate(b"abcde")
+
+    def test_frame_ids_are_unique(self):
+        store = PageStore(page_size=4)
+        ids = {store.allocate() for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            PageStore(page_size=0)
+
+
+class TestRefcounting:
+    def test_initial_refcount_is_one(self):
+        store = PageStore(page_size=4)
+        frame = store.allocate()
+        assert store.refcount(frame) == 1
+        assert not store.is_shared(frame)
+
+    def test_incref_makes_shared(self):
+        store = PageStore(page_size=4)
+        frame = store.allocate()
+        store.incref(frame)
+        assert store.refcount(frame) == 2
+        assert store.is_shared(frame)
+
+    def test_decref_to_zero_reclaims(self):
+        store = PageStore(page_size=4)
+        frame = store.allocate()
+        store.decref(frame)
+        assert store.refcount(frame) == 0
+        assert store.live_frames == 0
+        with pytest.raises(KeyError):
+            store.read(frame)
+
+    def test_decref_of_shared_keeps_frame(self):
+        store = PageStore(page_size=4)
+        frame = store.allocate(b"x")
+        store.incref(frame)
+        store.decref(frame)
+        assert store.read(frame) == b"x" + bytes(3)
+
+    def test_operations_on_unknown_frame_raise(self):
+        store = PageStore(page_size=4)
+        with pytest.raises(KeyError):
+            store.incref(99)
+        with pytest.raises(KeyError):
+            store.decref(99)
+        with pytest.raises(KeyError):
+            store.read(99)
+
+    def test_accounting(self):
+        store = PageStore(page_size=8)
+        store.allocate()
+        frame = store.allocate()
+        store.decref(frame)
+        assert store.total_allocations == 2
+        assert store.live_frames == 1
+        assert store.resident_bytes == 8

@@ -1,0 +1,158 @@
+"""Tests for the predicate algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PredicateConflict
+from repro.predicates.predicate import Predicate
+
+
+class TestConstruction:
+    def test_empty(self):
+        predicate = Predicate.empty()
+        assert predicate.is_empty
+        assert predicate.is_consistent()
+        assert len(predicate) == 0
+
+    def test_of(self):
+        predicate = Predicate.of(must=[1, 2], cannot=[3])
+        assert predicate.must == {1, 2}
+        assert predicate.cannot == {3}
+        assert len(predicate) == 3
+
+    def test_assuming(self):
+        base = Predicate.empty()
+        assert base.assuming_completion(5).must == {5}
+        assert base.assuming_failure(5).cannot == {5}
+
+    def test_child_predicate_sibling_rivalry(self):
+        parent = Predicate.of(must=[9])
+        child = parent.child_predicate(2, [1, 2, 3])
+        assert child.must == {9, 2}
+        assert child.cannot == {1, 3}
+
+    def test_failure_arm_assumes_no_sibling_completes(self):
+        parent = Predicate.of(must=[9])
+        fail_arm = parent.failure_arm_predicate([1, 2, 3])
+        assert fail_arm.must == {9}
+        assert fail_arm.cannot == {1, 2, 3}
+
+
+class TestQueries:
+    def test_consistency(self):
+        assert Predicate.of(must=[1], cannot=[2]).is_consistent()
+        bad = Predicate.of(must=[1], cannot=[1])
+        assert not bad.is_consistent()
+        with pytest.raises(PredicateConflict):
+            bad.check_consistent()
+
+    def test_implies(self):
+        big = Predicate.of(must=[1, 2], cannot=[3])
+        small = Predicate.of(must=[1])
+        assert big.implies(small)
+        assert not small.implies(big)
+        assert big.implies(Predicate.empty())
+
+    def test_conflicts(self):
+        a = Predicate.of(must=[1])
+        b = Predicate.of(cannot=[1])
+        assert a.conflicts_with(b)
+        assert b.conflicts_with(a)
+        assert not a.conflicts_with(Predicate.of(must=[1, 2]))
+
+    def test_union(self):
+        a = Predicate.of(must=[1], cannot=[2])
+        b = Predicate.of(must=[3], cannot=[4])
+        u = a.union(b)
+        assert u.must == {1, 3}
+        assert u.cannot == {2, 4}
+
+    def test_union_of_conflicting_raises(self):
+        with pytest.raises(PredicateConflict):
+            Predicate.of(must=[1]).union(Predicate.of(cannot=[1]))
+
+    def test_missing_from(self):
+        sender = Predicate.of(must=[1, 2], cannot=[3])
+        receiver = Predicate.of(must=[1])
+        missing = sender.missing_from(receiver)
+        assert missing.must == {2}
+        assert missing.cannot == {3}
+
+    def test_mentions(self):
+        predicate = Predicate.of(must=[1], cannot=[2])
+        assert predicate.mentions(1)
+        assert predicate.mentions(2)
+        assert not predicate.mentions(3)
+
+
+class TestResolution:
+    def test_completion_discharges_must(self):
+        predicate = Predicate.of(must=[1, 2])
+        resolved = predicate.resolve(1, completed=True)
+        assert resolved.must == {2}
+
+    def test_failure_discharges_cannot(self):
+        predicate = Predicate.of(cannot=[1, 2])
+        resolved = predicate.resolve(2, completed=False)
+        assert resolved.cannot == {1}
+
+    def test_completion_contradicts_cannot(self):
+        with pytest.raises(PredicateConflict):
+            Predicate.of(cannot=[1]).resolve(1, completed=True)
+
+    def test_failure_contradicts_must(self):
+        with pytest.raises(PredicateConflict):
+            Predicate.of(must=[1]).resolve(1, completed=False)
+
+    def test_unmentioned_pid_is_noop(self):
+        predicate = Predicate.of(must=[1])
+        assert predicate.resolve(99, completed=True) is predicate
+        assert predicate.resolve(99, completed=False) is predicate
+
+    def test_full_discharge_yields_empty(self):
+        predicate = Predicate.of(must=[1], cannot=[2])
+        resolved = predicate.resolve(1, True).resolve(2, False)
+        assert resolved.is_empty
+
+
+pids = st.frozensets(st.integers(min_value=0, max_value=20), max_size=6)
+
+
+@given(must_a=pids, cannot_a=pids, must_b=pids, cannot_b=pids)
+def test_conflict_is_symmetric(must_a, cannot_a, must_b, cannot_b):
+    a = Predicate(must_a, cannot_a)
+    b = Predicate(must_b, cannot_b)
+    assert a.conflicts_with(b) == b.conflicts_with(a)
+
+
+@given(must=pids, cannot=pids)
+def test_implies_is_reflexive(must, cannot):
+    predicate = Predicate(must, cannot)
+    assert predicate.implies(predicate)
+
+
+@given(must_a=pids, cannot_a=pids, must_b=pids, cannot_b=pids)
+def test_union_implies_both_parts(must_a, cannot_a, must_b, cannot_b):
+    a = Predicate(must_a, cannot_a)
+    b = Predicate(must_b, cannot_b)
+    if not a.is_consistent() or not b.is_consistent() or a.conflicts_with(b):
+        return
+    union = a.union(b)
+    assert union.implies(a)
+    assert union.implies(b)
+
+
+@given(must=pids, cannot=pids, pid=st.integers(min_value=0, max_value=20))
+def test_resolution_shrinks_or_raises(must, cannot, pid):
+    predicate = Predicate(must, cannot)
+    if not predicate.is_consistent():
+        return
+    for completed in (True, False):
+        try:
+            resolved = predicate.resolve(pid, completed)
+        except PredicateConflict:
+            assert predicate.mentions(pid)
+        else:
+            assert len(resolved) <= len(predicate)
+            assert not resolved.mentions(pid) or not predicate.mentions(pid)

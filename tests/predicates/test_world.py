@@ -1,0 +1,178 @@
+"""Tests for multiple-worlds receiver semantics."""
+
+import pytest
+
+from repro.errors import PredicateConflict, SideEffectViolation
+from repro.predicates.predicate import Predicate
+from repro.predicates.world import World, WorldSet
+
+
+class FakeState:
+    """Cloneable state standing in for an address space."""
+
+    def __init__(self, value=0):
+        self.value = value
+
+    def fork(self):
+        return FakeState(self.value)
+
+
+class TestWorld:
+    def test_unconditional_when_predicate_empty(self):
+        world = World(world_id=0, predicate=Predicate.empty())
+        assert world.unconditional
+        world.require_source_access()  # does not raise
+
+    def test_source_access_blocked_with_predicates(self):
+        world = World(world_id=0, predicate=Predicate.of(must=[1]))
+        assert not world.unconditional
+        with pytest.raises(SideEffectViolation):
+            world.require_source_access()
+
+    def test_defer_effect(self):
+        world = World(world_id=0, predicate=Predicate.of(must=[1]))
+        world.defer_effect("write-check")
+        assert world.deferred_effects == ["write-check"]
+
+
+class TestReceiveRule:
+    def test_agreeing_message_accepted_in_place(self):
+        worlds = WorldSet(FakeState(), predicate=Predicate.of(must=[7]))
+        accepted = worlds.receive("msg", sender_pid=7, sender_predicate=Predicate.empty())
+        assert len(accepted) == 1
+        assert len(worlds) == 1  # no split
+        assert worlds.sole_world().inbox == ["msg"]
+        assert worlds.splits == 0
+
+    def test_conflicting_message_ignored(self):
+        worlds = WorldSet(FakeState(), predicate=Predicate.of(cannot=[7]))
+        accepted = worlds.receive("msg", sender_pid=7, sender_predicate=Predicate.empty())
+        assert accepted == []
+        assert len(worlds) == 1
+        assert worlds.sole_world().inbox == []
+
+    def test_extending_message_splits_receiver(self):
+        worlds = WorldSet(FakeState(5), predicate=Predicate.empty())
+        accepted = worlds.receive(
+            "msg", sender_pid=7, sender_predicate=Predicate.of(must=[8])
+        )
+        live = worlds.live_worlds()
+        assert len(live) == 2
+        assert worlds.splits == 1
+        yes = accepted[0]
+        no = next(w for w in live if w is not yes)
+        # The accepting copy assumes the sender and all its predicates.
+        assert yes.predicate.must == {7, 8}
+        assert yes.inbox == ["msg"]
+        # The other copy only negates the sender's completion (footnote 3).
+        assert no.predicate.cannot == {7}
+        assert no.predicate.must == set()
+        assert no.inbox == []
+
+    def test_split_clones_state(self):
+        worlds = WorldSet(FakeState(5))
+        worlds.receive("msg", sender_pid=1, sender_predicate=Predicate.empty())
+        live = worlds.live_worlds()
+        # Sender pid 1 is new: split happened; mutate one copy.
+        live[0].state.value = 99
+        assert live[1].state.value == 5
+
+    def test_message_from_assumed_failed_sender_ignored(self):
+        worlds = WorldSet(FakeState(), predicate=Predicate.of(cannot=[3]))
+        accepted = worlds.receive(
+            "msg", sender_pid=3, sender_predicate=Predicate.empty()
+        )
+        assert accepted == []
+
+    def test_second_message_from_same_sender_no_second_split(self):
+        worlds = WorldSet(FakeState())
+        worlds.receive("m1", sender_pid=4, sender_predicate=Predicate.empty())
+        assert worlds.splits == 1
+        worlds.receive("m2", sender_pid=4, sender_predicate=Predicate.empty())
+        # The yes-world accepts in place; the no-world ignores.
+        assert worlds.splits == 1
+        yes = [w for w in worlds.live_worlds() if w.inbox]
+        assert len(yes) == 1
+        assert yes[0].inbox == ["m1", "m2"]
+
+
+class TestResolution:
+    def test_resolution_eliminates_wrong_world(self):
+        worlds = WorldSet(FakeState())
+        worlds.receive("msg", sender_pid=4, sender_predicate=Predicate.empty())
+        assert len(worlds) == 2
+        worlds.resolve(4, completed=True)
+        live = worlds.live_worlds()
+        assert len(live) == 1
+        assert live[0].inbox == ["msg"]  # the accepting world survived
+        assert worlds.eliminated == 1
+
+    def test_resolution_other_direction(self):
+        worlds = WorldSet(FakeState())
+        worlds.receive("msg", sender_pid=4, sender_predicate=Predicate.empty())
+        worlds.resolve(4, completed=False)
+        live = worlds.live_worlds()
+        assert len(live) == 1
+        assert live[0].inbox == []  # the rejecting world survived
+
+    def test_resolution_releases_deferred_effects(self):
+        worlds = WorldSet(FakeState())
+        accepted = worlds.receive(
+            "msg", sender_pid=4, sender_predicate=Predicate.empty()
+        )
+        accepted[0].defer_effect("launch-missiles")
+        released = worlds.resolve(4, completed=True)
+        assert released == ["launch-missiles"]
+        assert worlds.sole_world().deferred_effects == []
+
+    def test_unrelated_resolution_keeps_both_worlds(self):
+        worlds = WorldSet(FakeState())
+        worlds.receive("msg", sender_pid=4, sender_predicate=Predicate.empty())
+        worlds.resolve(99, completed=True)
+        assert len(worlds) == 2
+
+    def test_sole_world_raises_when_split(self):
+        worlds = WorldSet(FakeState())
+        worlds.receive("msg", sender_pid=4, sender_predicate=Predicate.empty())
+        with pytest.raises(PredicateConflict):
+            worlds.sole_world()
+
+    def test_assume_folds_into_all_worlds(self):
+        worlds = WorldSet(FakeState())
+        worlds.assume(Predicate.of(must=[2]))
+        assert worlds.sole_world().predicate.must == {2}
+
+    def test_cascading_resolution(self):
+        """Nested splits collapse to one world as senders resolve."""
+        worlds = WorldSet(FakeState())
+        worlds.receive("a", sender_pid=1, sender_predicate=Predicate.empty())
+        worlds.receive("b", sender_pid=2, sender_predicate=Predicate.empty())
+        assert len(worlds) in (3, 4)  # each live world split on sender 2
+        worlds.resolve(1, completed=True)
+        worlds.resolve(2, completed=False)
+        live = worlds.live_worlds()
+        assert len(live) == 1
+        assert live[0].inbox == ["a"]
+        assert live[0].unconditional
+
+
+class TestInconsistentMessages:
+    def test_self_contradictory_message_ignored(self):
+        """A sender that assumed its own failure sends a message: the
+        effective predicate (which adds the sender's completion) is
+        self-contradictory and must be ignored, not crash the receiver."""
+        worlds = WorldSet(FakeState())
+        accepted = worlds.receive(
+            "impossible", sender_pid=5,
+            sender_predicate=Predicate.of(cannot=[5]),
+        )
+        assert accepted == []
+        assert len(worlds) == 1
+        assert worlds.sole_world().inbox == []
+
+    def test_internally_inconsistent_effective_ignored(self):
+        worlds = WorldSet(FakeState())
+        accepted = worlds.receive_effective(
+            "bad", Predicate(frozenset([7]), frozenset([7]))
+        )
+        assert accepted == []

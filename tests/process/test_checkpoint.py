@@ -1,0 +1,108 @@
+"""Tests for process checkpoint/restart."""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.pages.store import PageStore
+from repro.process.checkpoint import checkpoint_process, restore_process
+from repro.process.primitives import ProcessManager
+
+
+@pytest.fixture
+def manager():
+    return ProcessManager(PageStore(page_size=512))
+
+
+def make_process(manager, **vars_):
+    process = manager.create_initial(space_size=4096)
+    for key, value in vars_.items():
+        process.space.put(key, value)
+    process.registers["pc"] = 42
+    return process
+
+
+class TestRoundTrip:
+    def test_restore_preserves_memory(self, manager):
+        process = make_process(manager, greeting="hello", data=[1, 2, 3])
+        image = checkpoint_process(process)
+        restored = restore_process(image, PageStore(page_size=512))
+        assert restored.space.get("greeting") == "hello"
+        assert restored.space.get("data") == [1, 2, 3]
+
+    def test_restore_preserves_registers_and_pid(self, manager):
+        process = make_process(manager)
+        restored = restore_process(
+            checkpoint_process(process), PageStore(page_size=512)
+        )
+        assert restored.registers["pc"] == 42
+        assert restored.pid == process.pid
+
+    def test_restored_flag_distinguishes_copy(self, manager):
+        """A return value distinguishes the checkpoint from the restart
+        (paper footnote 5)."""
+        process = make_process(manager)
+        restored = restore_process(
+            checkpoint_process(process), PageStore(page_size=512)
+        )
+        assert restored.registers.get("__restored__") is True
+        assert process.registers.get("__restored__") is None
+
+    def test_fresh_pid_can_be_assigned(self, manager):
+        process = make_process(manager)
+        restored = restore_process(
+            checkpoint_process(process), PageStore(page_size=512), pid=777
+        )
+        assert restored.pid == 777
+
+    def test_predicates_survive(self, manager):
+        from repro.predicates.predicate import Predicate
+
+        process = make_process(manager)
+        process.predicate = Predicate.of(must=[1], cannot=[2])
+        restored = restore_process(
+            checkpoint_process(process), PageStore(page_size=512)
+        )
+        assert restored.predicate.must == {1}
+        assert restored.predicate.cannot == {2}
+
+    def test_restored_space_is_independent(self, manager):
+        process = make_process(manager, k="original")
+        restored = restore_process(
+            checkpoint_process(process), PageStore(page_size=512)
+        )
+        restored.space.put("k", "remote")
+        assert process.space.get("k") == "original"
+
+
+class TestImageProperties:
+    def test_size_grows_with_state(self, manager):
+        small = make_process(manager)
+        big = manager.create_initial(space_size=16 * 1024)
+        big.space.put("blob", "x" * 8000)
+        assert checkpoint_process(big).size > checkpoint_process(small).size
+
+    def test_image_size_reflects_whole_space(self, manager):
+        """The paper's rfork checkpoints the process 'in its entirety'."""
+        process = make_process(manager)
+        image = checkpoint_process(process)
+        assert image.size >= process.space.size
+
+
+class TestErrors:
+    def test_terminal_process_rejected(self, manager):
+        process = make_process(manager)
+        manager.exit(process)
+        with pytest.raises(CheckpointError):
+            checkpoint_process(process)
+
+    def test_garbage_image_rejected(self):
+        from repro.process.checkpoint import Checkpoint
+
+        with pytest.raises(CheckpointError):
+            restore_process(Checkpoint(b"not-an-image"), PageStore())
+
+    def test_page_size_mismatch_rejected(self, manager):
+        process = make_process(manager)
+        image = checkpoint_process(process)
+        with pytest.raises(CheckpointError):
+            restore_process(image, PageStore(page_size=128))

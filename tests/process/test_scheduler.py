@@ -1,0 +1,154 @@
+"""Tests for the processor-sharing race scheduler."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.process.scheduler import ProcessorSharing
+
+
+class TestBasics:
+    def test_single_job_runs_at_full_rate(self):
+        sched = ProcessorSharing(cpus=1)
+        sched.add("a", arrival=0.0, demand=5.0)
+        completions = sched.run_to_completion()
+        assert completions["a"] == pytest.approx(5.0)
+
+    def test_real_concurrency_no_slowdown(self):
+        sched = ProcessorSharing(cpus=3)
+        for name, demand in [("a", 1.0), ("b", 2.0), ("c", 3.0)]:
+            sched.add(name, arrival=0.0, demand=demand)
+        completions = sched.run_to_completion()
+        assert completions == pytest.approx({"a": 1.0, "b": 2.0, "c": 3.0})
+
+    def test_virtual_concurrency_shares_cpu(self):
+        # Two equal jobs on one CPU each take twice as long.
+        sched = ProcessorSharing(cpus=1)
+        sched.add("a", arrival=0.0, demand=1.0)
+        sched.add("b", arrival=0.0, demand=1.0)
+        completions = sched.run_to_completion()
+        assert completions["a"] == pytest.approx(2.0)
+        assert completions["b"] == pytest.approx(2.0)
+
+    def test_short_job_wins_even_shared(self):
+        sched = ProcessorSharing(cpus=1)
+        sched.add("fast", arrival=0.0, demand=1.0)
+        sched.add("slow", arrival=0.0, demand=10.0)
+        time, winner = sched.step_to_next_completion()
+        assert winner == "fast"
+        # Shared at rate 1/2 until fast finishes: 1.0 demand -> 2.0 elapsed.
+        assert time == pytest.approx(2.0)
+
+    def test_staggered_arrivals(self):
+        sched = ProcessorSharing(cpus=1)
+        sched.add("a", arrival=0.0, demand=2.0)
+        sched.add("b", arrival=1.0, demand=2.0)
+        completions = sched.run_to_completion()
+        # a runs alone for 1s (1 left), then shares: each gets 0.5 rate.
+        assert completions["a"] == pytest.approx(3.0)
+        assert completions["b"] == pytest.approx(4.0)
+
+    def test_zero_demand_completes_at_arrival(self):
+        sched = ProcessorSharing(cpus=1)
+        sched.add("instant", arrival=2.0, demand=0.0)
+        time, winner = sched.step_to_next_completion()
+        assert (time, winner) == (2.0, "instant")
+
+    def test_no_jobs_returns_none(self):
+        assert ProcessorSharing(cpus=1).step_to_next_completion() is None
+
+
+class TestCancellation:
+    def test_cancel_stops_consumption(self):
+        sched = ProcessorSharing(cpus=1)
+        sched.add("win", arrival=0.0, demand=1.0)
+        sched.add("lose", arrival=0.0, demand=100.0)
+        time, winner = sched.step_to_next_completion()
+        assert winner == "win"
+        sched.cancel("lose")
+        sched.run_to_completion()
+        lose = sched.job("lose")
+        assert lose.cancelled_at == pytest.approx(2.0)
+        assert lose.completed_at is None
+        assert lose.consumed == pytest.approx(1.0)  # half of 2s at rate 1/2
+
+    def test_winner_speeds_up_after_cancellation(self):
+        sched = ProcessorSharing(cpus=1)
+        sched.add("a", arrival=0.0, demand=4.0)
+        sched.add("b", arrival=0.0, demand=4.0)
+        # Let them share for a while by stepping a zero-demand marker.
+        sched.add("marker", arrival=1.0, demand=0.0)
+        time, first = sched.step_to_next_completion()
+        assert first == "marker"
+        sched.cancel("b")
+        completions = sched.run_to_completion()
+        # a: 1s shared among a,b at rate 1/2 => 0.5 done; 3.5 left alone.
+        assert completions["a"] == pytest.approx(4.5)
+
+    def test_cancel_finished_job_is_noop(self):
+        sched = ProcessorSharing(cpus=1)
+        sched.add("a", arrival=0.0, demand=1.0)
+        sched.run_to_completion()
+        sched.cancel("a")
+        assert sched.job("a").cancelled_at is None
+
+
+class TestAccounting:
+    def test_wasted_work(self):
+        sched = ProcessorSharing(cpus=2)
+        sched.add("win", arrival=0.0, demand=1.0)
+        sched.add("lose", arrival=0.0, demand=5.0)
+        time, winner = sched.step_to_next_completion()
+        sched.cancel("lose")
+        assert winner == "win"
+        assert sched.wasted_work("win") == pytest.approx(1.0)
+        assert sched.total_consumed() == pytest.approx(2.0)
+
+    def test_duplicate_job_rejected(self):
+        sched = ProcessorSharing(cpus=1)
+        sched.add("a", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            sched.add("a", 0.0, 1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorSharing(cpus=0)
+        sched = ProcessorSharing(cpus=1)
+        with pytest.raises(ValueError):
+            sched.add("x", arrival=-1.0, demand=1.0)
+        with pytest.raises(ValueError):
+            sched.add("y", arrival=0.0, demand=-1.0)
+
+
+demands = st.lists(
+    st.floats(min_value=0.01, max_value=50, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(demands=demands, cpus=st.integers(min_value=1, max_value=8))
+def test_first_completion_bounds(demands, cpus):
+    """Property: with simultaneous arrivals, the first completion happens
+    no earlier than min(demand) (full rate) and no later than
+    min(demand) * M / min(M, cpus) (fair share with M jobs)."""
+    sched = ProcessorSharing(cpus=cpus)
+    for index, demand in enumerate(demands):
+        sched.add(index, arrival=0.0, demand=demand)
+    time, winner = sched.step_to_next_completion()
+    m = len(demands)
+    fastest = min(demands)
+    assert time >= fastest - 1e-9
+    assert time <= fastest * (m / min(m, cpus)) + 1e-6
+    assert demands[winner] == pytest.approx(fastest)
+
+
+@given(demands=demands, cpus=st.integers(min_value=1, max_value=8))
+def test_work_conservation(demands, cpus):
+    """Property: total CPU consumed equals total demand when all run to
+    completion."""
+    sched = ProcessorSharing(cpus=cpus)
+    for index, demand in enumerate(demands):
+        sched.add(index, arrival=0.0, demand=demand)
+    sched.run_to_completion()
+    assert sched.total_consumed() == pytest.approx(sum(demands), rel=1e-6)

@@ -1,0 +1,128 @@
+"""Tests for dynamic predicates: assertz/asserta/retract."""
+
+import pytest
+
+from repro.errors import PrologError, PrologTypeError
+from repro.prolog.engine import Engine
+from repro.prolog.terms import Num
+
+
+@pytest.fixture
+def engine():
+    e = Engine()
+    e.consult("counter(0).")
+    return e
+
+
+class TestAssert:
+    def test_assertz_appends(self, engine):
+        engine.solve_first("assertz(counter(1))")
+        values = [s["X"].value for s in engine.solve("counter(X)")]
+        assert values == [0, 1]
+
+    def test_asserta_prepends(self, engine):
+        engine.solve_first("asserta(counter(-1))")
+        values = [s["X"].value for s in engine.solve("counter(X)")]
+        assert values == [-1, 0]
+
+    def test_assert_alias(self, engine):
+        engine.solve_first("assert(counter(9))")
+        assert engine.count_solutions("counter(9)") == 1
+
+    def test_assert_rule(self):
+        engine = Engine()
+        engine.consult("base(1). base(2).")
+        engine.solve_first("assertz((doubled(X) :- base(Y), X is Y * 2))")
+        values = sorted(s["X"].value for s in engine.solve("doubled(X)"))
+        assert values == [2, 4]
+
+    def test_assert_new_predicate(self):
+        engine = Engine()
+        engine.consult("seed(1).")  # need something to start from
+        engine.solve_first("assertz(brand_new(42))")
+        assert engine.solve_first("brand_new(X)")["X"] == Num(42)
+
+    def test_assert_with_bound_variable(self, engine):
+        engine.solve_first("X is 5 + 5, assertz(counter(X))")
+        assert engine.count_solutions("counter(10)") == 1
+
+    def test_assert_unbound_rejected(self, engine):
+        with pytest.raises(PrologTypeError):
+            engine.solve_first("assertz(X)")
+
+
+class TestRetract:
+    def test_retract_fact(self, engine):
+        engine.solve_first("assertz(counter(1))")
+        assert engine.solve_first("retract(counter(0))") is not None
+        values = [s["X"].value for s in engine.solve("counter(X)")]
+        assert values == [1]
+
+    def test_retract_binds_pattern(self, engine):
+        solution = engine.solve_first("retract(counter(X))")
+        assert solution["X"] == Num(0)
+
+    def test_retract_missing_fails(self, engine):
+        assert engine.solve_first("retract(counter(99))") is None
+
+    def test_retract_unknown_predicate_fails_quietly(self, engine):
+        assert engine.solve_first("retract(never_defined(1))") is None
+
+    def test_retract_is_permanent(self, engine):
+        # Even when the continuation fails and we backtrack through
+        # retract, the clause stays gone.
+        assert engine.solve_first("retract(counter(X)), X > 100") is None
+        assert engine.count_solutions("counter(0)") == 0
+
+    def test_retract_rule_with_variable_body(self):
+        engine = Engine()
+        engine.consult(
+            """
+            rule_here(X) :- X > 0.
+            plain(1).
+            """
+        )
+        assert engine.solve_first("retract((rule_here(X) :- B))") is not None
+        # The predicate stays *known* but empty: calls now fail quietly.
+        assert engine.solve_first("rule_here(5)") is None
+
+    def test_retract_only_facts_for_plain_pattern(self):
+        engine = Engine()
+        engine.consult(
+            """
+            p(1) :- true.
+            p(2).
+            """
+        )
+        # 'retract(p(X))' matches the fact p(2); the p(1) rule has a
+        # non-empty body... which is the single goal 'true', also a fact
+        # shape in our normalization.
+        solution = engine.solve_first("retract(p(X))")
+        assert solution is not None
+
+
+class TestDynamicWorkflows:
+    def test_memoization_pattern(self):
+        engine = Engine()
+        engine.consult(
+            """
+            memo(nothing, nothing).
+            fib(0, 0).
+            fib(1, 1).
+            fib(N, F) :- memo(N, F), number(F), !.
+            fib(N, F) :- N > 1, A is N - 1, B is N - 2,
+                         fib(A, FA), fib(B, FB), F is FA + FB,
+                         assertz(memo(N, F)).
+            """
+        )
+        first = Engine(engine.database)
+        first.solve_first("fib(15, F)")
+        memoized = Engine(engine.database)
+        memoized.solve_first("fib(15, F)")
+        assert memoized.inferences < first.inferences
+
+    def test_counter_update_pattern(self, engine):
+        engine.solve_first(
+            "retract(counter(C)), C1 is C + 1, assertz(counter(C1))"
+        )
+        assert engine.solve_first("counter(X)")["X"] == Num(1)

@@ -1,0 +1,285 @@
+"""Tests for SLD resolution, backtracking, cut, and builtins."""
+
+import pytest
+
+from repro.errors import PrologError, PrologTypeError
+from repro.prolog.database import Database
+from repro.prolog.engine import Engine
+from repro.prolog.terms import Atom, Num
+
+
+FAMILY = """
+parent(tom, bob).
+parent(tom, liz).
+parent(bob, ann).
+parent(bob, pat).
+parent(pat, jim).
+grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+ancestor(X, Y) :- parent(X, Y).
+ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+"""
+
+
+@pytest.fixture
+def engine():
+    e = Engine()
+    e.consult(FAMILY)
+    return e
+
+
+class TestFactsAndRules:
+    def test_ground_fact(self, engine):
+        assert engine.solve_first("parent(tom, bob)") is not None
+
+    def test_false_fact(self, engine):
+        assert engine.solve_first("parent(bob, tom)") is None
+
+    def test_variable_binding(self, engine):
+        solution = engine.solve_first("parent(tom, X)")
+        assert solution["X"] == Atom("bob")
+
+    def test_all_solutions_in_order(self, engine):
+        children = [s["X"] for s in engine.solve("parent(bob, X)")]
+        assert children == [Atom("ann"), Atom("pat")]
+
+    def test_rule_chaining(self, engine):
+        solutions = {s["Z"].name for s in engine.solve("grandparent(tom, Z)")}
+        assert solutions == {"ann", "pat"}
+
+    def test_recursion(self, engine):
+        descendants = {s["Y"].name for s in engine.solve("ancestor(tom, Y)")}
+        assert descendants == {"bob", "liz", "ann", "pat", "jim"}
+
+    def test_conjunction_query(self, engine):
+        solution = engine.solve_first("parent(X, bob), parent(X, liz)")
+        assert solution["X"] == Atom("tom")
+
+    def test_count_solutions(self, engine):
+        assert engine.count_solutions("parent(_, X)") == 5
+
+    def test_limit(self, engine):
+        assert len(list(engine.solve("parent(_, X)", limit=2))) == 2
+
+    def test_unknown_predicate_raises(self, engine):
+        with pytest.raises(PrologError, match="unknown predicate"):
+            engine.solve_first("nonexistent(X)")
+
+
+class TestArithmetic:
+    def test_is(self):
+        engine = Engine()
+        assert engine.solve_first("X is 2 + 3 * 4")["X"] == Num(14)
+
+    def test_integer_division_and_mod(self):
+        engine = Engine()
+        assert engine.solve_first("X is 7 // 2")["X"] == Num(3)
+        assert engine.solve_first("X is 7 mod 2")["X"] == Num(1)
+
+    def test_float_arithmetic(self):
+        engine = Engine()
+        assert engine.solve_first("X is 1 / 2")["X"] == Num(0.5)
+        assert engine.solve_first("X is 4 / 2")["X"] == Num(2)
+
+    def test_comparisons(self):
+        engine = Engine()
+        assert engine.solve_first("3 < 4") is not None
+        assert engine.solve_first("4 < 3") is None
+        assert engine.solve_first("2 + 2 =:= 4") is not None
+        assert engine.solve_first("2 + 2 =\\= 5") is not None
+
+    def test_unbound_arith_raises(self):
+        engine = Engine()
+        with pytest.raises(PrologTypeError):
+            engine.solve_first("X is Y + 1")
+
+    def test_zero_division_raises(self):
+        engine = Engine()
+        with pytest.raises(PrologTypeError):
+            engine.solve_first("X is 1 / 0")
+
+    def test_functions(self):
+        engine = Engine()
+        assert engine.solve_first("X is abs(-5)")["X"] == Num(5)
+        assert engine.solve_first("X is max(2, 9)")["X"] == Num(9)
+        assert engine.solve_first("X is min(2, 9)")["X"] == Num(2)
+
+
+class TestCut:
+    def test_cut_prunes_clause_choices(self):
+        engine = Engine()
+        engine.consult(
+            """
+            first([X|_], X) :- !.
+            first(_, none).
+            """
+        )
+        solutions = [s["X"] for s in engine.solve("first([1,2,3], X)")]
+        assert solutions == [Num(1)]
+
+    def test_cut_prunes_goal_alternatives(self):
+        engine = Engine()
+        engine.consult(
+            """
+            num(1). num(2). num(3).
+            pick(X) :- num(X), !.
+            """
+        )
+        assert [s["X"] for s in engine.solve("pick(X)")] == [Num(1)]
+
+    def test_cut_is_local_to_clause(self):
+        engine = Engine()
+        engine.consult(
+            """
+            inner(X) :- member(X, [1,2]), !.
+            outer(X) :- inner(_), member(X, [a,b]).
+            """
+        )
+        assert engine.count_solutions("outer(X)") == 2
+
+    def test_if_then_else_then_branch(self):
+        engine = Engine()
+        assert engine.solve_first("(1 < 2 -> X = yes ; X = no)")["X"] == Atom("yes")
+
+    def test_if_then_else_else_branch(self):
+        engine = Engine()
+        assert engine.solve_first("(2 < 1 -> X = yes ; X = no)")["X"] == Atom("no")
+
+    def test_if_then_commits_to_first_condition_solution(self):
+        engine = Engine()
+        engine.consult("n(1). n(2).")
+        solutions = [s["X"] for s in engine.solve("(n(Y) -> X = Y ; X = none)")]
+        assert solutions == [Num(1)]
+
+
+class TestNegationAndControl:
+    def test_negation_as_failure(self, engine):
+        assert engine.solve_first("\\+ parent(bob, tom)") is not None
+        assert engine.solve_first("\\+ parent(tom, bob)") is None
+
+    def test_negation_leaves_no_bindings(self, engine):
+        solution = engine.solve_first("\\+ parent(X, nobody), X = free")
+        assert solution["X"] == Atom("free")
+
+    def test_disjunction(self):
+        engine = Engine()
+        values = [s["X"] for s in engine.solve("(X = 1 ; X = 2)")]
+        assert values == [Num(1), Num(2)]
+
+    def test_call(self, engine):
+        assert engine.solve_first("call(parent(tom, bob))") is not None
+
+    def test_true_fail(self):
+        engine = Engine()
+        assert engine.solve_first("true") is not None
+        assert engine.solve_first("fail") is None
+
+
+class TestBuiltins:
+    def test_unify_and_not_unifiable(self):
+        engine = Engine()
+        assert engine.solve_first("f(X) = f(1)")["X"] == Num(1)
+        assert engine.solve_first("f(1) \\= f(2)") is not None
+
+    def test_structural_equality(self):
+        engine = Engine()
+        assert engine.solve_first("f(X) == f(X)") is not None
+        assert engine.solve_first("f(X) == f(Y)") is None
+
+    def test_type_checks(self):
+        engine = Engine()
+        assert engine.solve_first("atom(foo)") is not None
+        assert engine.solve_first("atom(1)") is None
+        assert engine.solve_first("number(1)") is not None
+        assert engine.solve_first("integer(1.5)") is None
+        assert engine.solve_first("var(X)") is not None
+        assert engine.solve_first("X = 1, nonvar(X)") is not None
+
+    def test_between_generates(self):
+        engine = Engine()
+        values = [s["X"].value for s in engine.solve("between(1, 4, X)")]
+        assert values == [1, 2, 3, 4]
+
+    def test_between_checks(self):
+        engine = Engine()
+        assert engine.solve_first("between(1, 4, 3)") is not None
+        assert engine.solve_first("between(1, 4, 9)") is None
+
+    def test_length(self):
+        engine = Engine()
+        assert engine.solve_first("length([a,b,c], N)")["N"] == Num(3)
+        solution = engine.solve_first("length(L, 2)")
+        assert solution is not None
+
+    def test_findall(self, engine):
+        solution = engine.solve_first("findall(X, parent(bob, X), L)")
+        from repro.prolog.terms import to_python
+
+        assert to_python(solution["L"]) == ["ann", "pat"]
+
+    def test_findall_empty(self, engine):
+        solution = engine.solve_first("findall(X, parent(jim, X), L)")
+        assert solution["L"] == Atom("[]")
+
+    def test_write_and_nl(self):
+        engine = Engine()
+        engine.solve_first("write(hello), nl, write(42)")
+        assert engine.output == ["hello", "\n", "42"]
+
+
+class TestLibrary:
+    def test_member(self):
+        engine = Engine()
+        values = [s["X"].value for s in engine.solve("member(X, [1,2,3])")]
+        assert values == [1, 2, 3]
+
+    def test_append_forward(self):
+        engine = Engine()
+        solution = engine.solve_first("append([1,2], [3], L)")
+        from repro.prolog.terms import to_python
+
+        assert to_python(solution["L"]) == [1, 2, 3]
+
+    def test_append_split_mode(self):
+        engine = Engine()
+        splits = engine.count_solutions("append(A, B, [1,2,3])")
+        assert splits == 4
+
+    def test_reverse(self):
+        engine = Engine()
+        from repro.prolog.terms import to_python
+
+        assert to_python(engine.solve_first("reverse([1,2,3], R)")["R"]) == [3, 2, 1]
+
+    def test_sum_and_extrema(self):
+        engine = Engine()
+        assert engine.solve_first("sum_list([1,2,3], S)")["S"] == Num(6)
+        assert engine.solve_first("max_list([3,9,2], M)")["M"] == Num(9)
+        assert engine.solve_first("min_list([3,9,2], M)")["M"] == Num(2)
+
+    def test_nth0_and_last_and_select(self):
+        engine = Engine()
+        assert engine.solve_first("nth0(1, [a,b,c], X)")["X"] == Atom("b")
+        assert engine.solve_first("last([a,b,c], X)")["X"] == Atom("c")
+        assert engine.count_solutions("select(X, [1,2,3], _)") == 3
+
+
+class TestAccounting:
+    def test_inferences_counted(self, engine):
+        before = engine.inferences
+        engine.solve_first("parent(tom, X)")
+        assert engine.inferences > before
+
+    def test_inference_limit_enforced(self):
+        engine = Engine(max_inferences=50)
+        engine.consult("loop :- loop.")
+        with pytest.raises(PrologError, match="inference limit"):
+            engine.solve_first("loop")
+
+    def test_deeper_search_costs_more(self):
+        engine_a = Engine()
+        engine_a.consult(FAMILY)
+        engine_a.solve_first("parent(tom, bob)")
+        engine_b = Engine()
+        engine_b.consult(FAMILY)
+        engine_b.solve_first("ancestor(tom, jim)")
+        assert engine_b.inferences > engine_a.inferences

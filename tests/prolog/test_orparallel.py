@@ -1,0 +1,175 @@
+"""Tests for OR-parallel execution over the alternatives framework."""
+
+import pytest
+
+from repro.errors import AltBlockFailure, PrologError
+from repro.prolog.database import Database
+from repro.prolog.engine import Engine
+from repro.prolog.orparallel import OrParallelEngine
+from repro.prolog.terms import Atom, Num
+from repro.sim.costs import FREE
+
+
+def db(source):
+    database = Database()
+    database.consult(source)
+    return database
+
+
+SKEWED = """
+route(X) :- expensive_path(X).
+route(X) :- cheap_path(X).
+expensive_path(X) :- burn(150), X = far.
+cheap_path(near).
+burn(0).
+burn(N) :- N > 0, M is N - 1, burn(M).
+"""
+
+
+class TestCorrectness:
+    def test_first_solution_matches_sequential_answerset(self):
+        database = db(SKEWED)
+        result = OrParallelEngine(database).solve_first("route(X)")
+        sequential = {
+            s["X"] for s in Engine(database, load_library=False).solve("route(X)")
+        }
+        assert result.solution["X"] in sequential
+
+    def test_fastest_branch_wins(self):
+        database = db(SKEWED)
+        result = OrParallelEngine(database).solve_first("route(X)")
+        # cheap_path answers in a handful of inferences; expensive_path
+        # grinds through between/3 first. Fastest-first picks 'near'.
+        assert result.solution["X"] == Atom("near")
+        assert "clause-2" in result.alt_result.winner.name
+
+    def test_sequential_engine_would_answer_far_first(self):
+        """Depth-first tries the first clause first -- that is exactly the
+        behaviour OR-parallelism improves on."""
+        database = db(SKEWED)
+        first = Engine(database, load_library=False).solve_first("route(X)")
+        assert first["X"] == Atom("far")
+
+    def test_failing_branches_do_not_poison_result(self):
+        database = db(
+            """
+            answer(X) :- fail_branch(X).
+            answer(X) :- ok_branch(X).
+            fail_branch(_) :- fail.
+            ok_branch(42).
+            """
+        )
+        result = OrParallelEngine(database).solve_first("answer(X)")
+        assert result.solution["X"] == Num(42)
+
+    def test_all_branches_fail_raises(self):
+        database = db(
+            """
+            hopeless(_) :- fail.
+            hopeless(_) :- 1 > 2.
+            """
+        )
+        with pytest.raises(AltBlockFailure):
+            OrParallelEngine(database).solve_first("hopeless(X)")
+
+    def test_facts_race_too(self):
+        database = db("color(red). color(green). color(blue).")
+        result = OrParallelEngine(database).solve_first("color(X)")
+        assert result.solution["X"].name in {"red", "green", "blue"}
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(PrologError):
+            OrParallelEngine(db("p(1).")).solve_first("q(X)")
+
+    def test_conjunction_goal_rejected(self):
+        with pytest.raises(PrologError, match="driver predicate"):
+            OrParallelEngine(db("p(1).")).solve_first("p(X), p(Y)")
+
+    def test_head_mismatch_branch_fails_cheaply(self):
+        database = db(
+            """
+            tagged(a, 1).
+            tagged(b, 2).
+            """
+        )
+        result = OrParallelEngine(database).solve_first("tagged(b, X)")
+        assert result.solution["X"] == Num(2)
+        statuses = {o.name: o.status for o in result.alt_result.outcomes}
+        assert any(status == "failed" for status in statuses.values())
+
+
+class TestTiming:
+    def test_speedup_on_skewed_branches(self):
+        """Time-to-first-solution: racing beats depth-first when the first
+        clause is the slow one."""
+        database = db(SKEWED)
+        result = OrParallelEngine(database).solve_first("route(X)")
+        assert result.speedup > 10.0
+        assert result.parallel_time < result.sequential_time
+
+    def test_no_speedup_when_first_clause_is_fast(self):
+        database = db(
+            """
+            pick(X) :- fast(X).
+            pick(X) :- slow(X).
+            fast(1).
+            slow(X) :- slowburn(100), X = 2.
+            slowburn(0).
+            slowburn(N) :- N > 0, M is N - 1, slowburn(M).
+            """
+        )
+        result = OrParallelEngine(database).solve_first("pick(X)")
+        # Sequential depth-first already finds fast(1) immediately; the
+        # race cannot beat it by much (both near-equal inference counts).
+        assert result.speedup == pytest.approx(1.0, abs=0.5)
+
+    def test_inference_time_scales_clock(self):
+        database = db(SKEWED)
+        slow_tick = OrParallelEngine(database, inference_time=1e-2).solve_first(
+            "route(X)"
+        )
+        fast_tick = OrParallelEngine(database, inference_time=1e-4).solve_first(
+            "route(X)"
+        )
+        assert slow_tick.parallel_time > fast_tick.parallel_time
+
+    def test_single_cpu_sharing(self):
+        database = db(SKEWED)
+        shared = OrParallelEngine(database, cpus=1).solve_first("route(X)")
+        parallel = OrParallelEngine(database).solve_first("route(X)")
+        assert shared.parallel_time >= parallel.parallel_time
+
+    def test_overhead_from_cost_model(self):
+        from repro.sim.costs import HP_9000_350
+
+        database = db(SKEWED)
+        free = OrParallelEngine(database, cost_model=FREE).solve_first("route(X)")
+        costly = OrParallelEngine(database, cost_model=HP_9000_350).solve_first(
+            "route(X)"
+        )
+        assert costly.parallel_time > free.parallel_time
+        assert costly.alt_result.overhead.total > 0
+
+
+class TestWorldIsolation:
+    def test_branch_bindings_do_not_leak(self):
+        """Each OR-branch runs in copied bindings: no cross-talk."""
+        database = db(
+            """
+            guess(X) :- X = first.
+            guess(X) :- X = second.
+            """
+        )
+        result = OrParallelEngine(database).solve_first("guess(X)")
+        assert result.solution["X"].name in {"first", "second"}
+        # Both branches produced values; only the winner's is visible.
+        winner_value = result.solution["X"].name
+        losers = [
+            o for o in result.alt_result.outcomes if o.status != "won"
+        ]
+        assert all(o.value is None for o in losers)
+
+    def test_solution_written_through_paged_world(self):
+        database = db("p(1).")
+        result = OrParallelEngine(database).solve_first("p(X)")
+        assert result.alt_result.winner.pages_written > 0

@@ -1,0 +1,138 @@
+"""Tests for descent-to-choice-point OR-parallelism."""
+
+import pytest
+
+from repro.errors import AltBlockFailure, PrologError
+from repro.prolog.database import Database
+from repro.prolog.engine import Engine
+from repro.prolog.orparallel import OrParallelEngine
+from repro.prolog.terms import Atom, Num
+
+
+def db(source):
+    database = Database()
+    database.consult(source)
+    return database
+
+
+WRAPPED = """
+driver(X) :- prepare, choose(X).
+prepare.
+choose(X) :- slow_way(X).
+choose(X) :- fast_way(X).
+slow_way(X) :- burn(120), X = slow.
+fast_way(quick).
+burn(0).
+burn(N) :- N > 0, M is N - 1, burn(M).
+"""
+
+
+class TestDescent:
+    def test_descends_through_single_clause_wrappers(self):
+        engine = OrParallelEngine(db(WRAPPED))
+        result = engine.solve_first("driver(X)", descend=True)
+        # The race happened at choose/1's clauses, not at driver/1.
+        assert "clause-" in result.alt_result.winner.name
+        assert result.solution["X"] == Atom("quick")
+        assert result.prefix_inferences >= 2  # driver + prepare reductions
+
+    def test_without_descent_driver_is_a_single_branch(self):
+        engine = OrParallelEngine(db(WRAPPED))
+        result = engine.solve_first("driver(X)", descend=False)
+        # driver/1 has one clause: a 1-way 'race', no real parallelism.
+        assert len(result.alt_result.outcomes) == 1
+
+    def test_descent_finds_speedup_hidden_under_wrapper(self):
+        engine = OrParallelEngine(db(WRAPPED))
+        flat = engine.solve_first("driver(X)", descend=False)
+        deep = OrParallelEngine(db(WRAPPED)).solve_first("driver(X)", descend=True)
+        assert deep.speedup > 2.0
+        assert deep.parallel_time < flat.parallel_time
+
+    def test_conjunction_query_supported_with_descent(self):
+        engine = OrParallelEngine(db(WRAPPED))
+        result = engine.solve_first("prepare, choose(X)", descend=True)
+        assert result.solution["X"] == Atom("quick")
+
+    def test_continuation_carried_into_branches(self):
+        """Goals after the choice point must still be solved by the
+        winning branch."""
+        database = db(
+            """
+            pair(X, Y) :- pick(X), double(X, Y).
+            pick(1).
+            pick(3).
+            double(X, Y) :- Y is X * 2.
+            """
+        )
+        result = OrParallelEngine(database).solve_first(
+            "pair(X, Y)", descend=True
+        )
+        assert result.solution["Y"].value == result.solution["X"].value * 2
+
+    def test_branch_failing_continuation_loses(self):
+        database = db(
+            """
+            find(X) :- candidate(X), check(X).
+            candidate(bad).
+            candidate(good).
+            check(good).
+            """
+        )
+        result = OrParallelEngine(database).solve_first("find(X)", descend=True)
+        assert result.solution["X"] == Atom("good")
+        statuses = [o.status for o in result.alt_result.outcomes]
+        assert "failed" in statuses  # the 'bad' branch lost its guard
+
+    def test_deterministic_failure_before_choice_point(self):
+        database = db(
+            """
+            doomed(X) :- impossible(X), pick(X).
+            impossible(specific_atom_that_wont_match).
+            pick(1).
+            pick(2).
+            """
+        )
+        with pytest.raises(AltBlockFailure):
+            OrParallelEngine(database).solve_first("doomed(7)", descend=True)
+
+    def test_fully_deterministic_query_runs_as_residue(self):
+        database = db(
+            """
+            a(X) :- b(X).
+            b(done).
+            """
+        )
+        result = OrParallelEngine(database).solve_first("a(X)", descend=True)
+        assert result.solution["X"] == Atom("done")
+
+    def test_descent_stops_at_builtin(self):
+        database = db(
+            """
+            compute(X) :- X is 2 + 3.
+            """
+        )
+        result = OrParallelEngine(database).solve_first(
+            "compute(X)", descend=True
+        )
+        assert result.solution["X"] == Num(5)
+
+    def test_unknown_predicate_during_descent(self):
+        database = db("p(1).")
+        with pytest.raises(PrologError, match="unknown predicate"):
+            OrParallelEngine(database).solve_first("ghost(X)", descend=True)
+
+    def test_answers_agree_with_sequential_engine(self):
+        database = db(WRAPPED)
+        parallel = OrParallelEngine(database).solve_first(
+            "driver(X)", descend=True
+        )
+        sequential_answers = {
+            s["X"] for s in Engine(database, load_library=False).solve("driver(X)")
+        }
+        assert parallel.solution["X"] in sequential_answers
+
+    def test_prefix_counted_in_parallel_time(self):
+        engine = OrParallelEngine(db(WRAPPED), inference_time=1.0)
+        result = engine.solve_first("driver(X)", descend=True)
+        assert result.parallel_time >= result.prefix_inferences * 1.0

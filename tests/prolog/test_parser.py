@@ -1,0 +1,170 @@
+"""Tests for the Prolog reader."""
+
+import pytest
+
+from repro.errors import PrologSyntaxError
+from repro.prolog.parser import parse_program, parse_query, parse_term
+from repro.prolog.terms import Atom, Num, Struct, Var, make_list
+
+
+class TestBasics:
+    def test_atom(self):
+        assert parse_term("foo") == Atom("foo")
+
+    def test_quoted_atom(self):
+        assert parse_term("'hello world'") == Atom("hello world")
+
+    def test_quoted_atom_with_escaped_quote(self):
+        assert parse_term("'it''s'") == Atom("it's")
+
+    def test_variable(self):
+        assert parse_term("X") == Var("X")
+        assert parse_term("_Anon") == Var("_Anon")
+
+    def test_integer_and_float(self):
+        assert parse_term("42") == Num(42)
+        assert parse_term("3.25") == Num(3.25)
+        assert parse_term("1.5e2") == Num(150.0)
+
+    def test_negative_number_literal(self):
+        assert parse_term("-7") == Num(-7)
+
+    def test_struct(self):
+        assert parse_term("f(a, B, 1)") == Struct(
+            "f", (Atom("a"), Var("B"), Num(1))
+        )
+
+    def test_nested_struct(self):
+        assert parse_term("f(g(h(x)))") == Struct(
+            "f", (Struct("g", (Struct("h", (Atom("x"),)),)),)
+        )
+
+
+class TestLists:
+    def test_empty_list(self):
+        assert parse_term("[]") == Atom("[]")
+
+    def test_proper_list(self):
+        assert parse_term("[1, 2, 3]") == make_list([Num(1), Num(2), Num(3)])
+
+    def test_head_tail(self):
+        assert parse_term("[H|T]") == make_list([Var("H")], tail=Var("T"))
+
+    def test_multi_head_tail(self):
+        assert parse_term("[1, 2|T]") == make_list(
+            [Num(1), Num(2)], tail=Var("T")
+        )
+
+    def test_nested_lists(self):
+        assert parse_term("[[1], []]") == make_list(
+            [make_list([Num(1)]), Atom("[]")]
+        )
+
+
+class TestOperators:
+    def test_arith_precedence(self):
+        # 1 + 2 * 3 parses as 1 + (2 * 3)
+        term = parse_term("1 + 2 * 3")
+        assert term == Struct("+", (Num(1), Struct("*", (Num(2), Num(3)))))
+
+    def test_left_associativity(self):
+        # 1 - 2 - 3 parses as (1 - 2) - 3
+        term = parse_term("1 - 2 - 3")
+        assert term == Struct("-", (Struct("-", (Num(1), Num(2))), Num(3)))
+
+    def test_parentheses_override(self):
+        term = parse_term("(1 + 2) * 3")
+        assert term == Struct("*", (Struct("+", (Num(1), Num(2))), Num(3)))
+
+    def test_comparison(self):
+        assert parse_term("X < 3") == Struct("<", (Var("X"), Num(3)))
+
+    def test_is(self):
+        assert parse_term("X is Y + 1") == Struct(
+            "is", (Var("X"), Struct("+", (Var("Y"), Num(1))))
+        )
+
+    def test_conjunction_right_assoc(self):
+        term = parse_term("a, b, c")
+        assert term == Struct(",", (Atom("a"), Struct(",", (Atom("b"), Atom("c")))))
+
+    def test_disjunction_binds_looser_than_conjunction(self):
+        term = parse_term("a, b ; c")
+        assert term.functor == ";"
+
+    def test_clause_operator(self):
+        term = parse_term("head :- body")
+        assert term == Struct(":-", (Atom("head"), Atom("body")))
+
+    def test_negation(self):
+        term = parse_term("\\+ p(X)")
+        assert term == Struct("\\+", (Struct("p", (Var("X"),)),))
+
+    def test_unary_minus_on_var(self):
+        term = parse_term("-X")
+        assert term == Struct("-", (Var("X"),))
+
+    def test_if_then_else(self):
+        term = parse_term("(c -> t ; e)")
+        assert term.functor == ";"
+        assert term.args[0].functor == "->"
+
+    def test_cut(self):
+        term = parse_term("a, !, b")
+        assert term.args[1].args[0] == Atom("!")
+
+
+class TestPrograms:
+    def test_facts_and_rules(self):
+        clauses = parse_program(
+            """
+            parent(tom, bob).
+            parent(bob, ann).
+            grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+            """
+        )
+        assert len(clauses) == 3
+        assert clauses[2].functor == ":-"
+
+    def test_comments_ignored(self):
+        clauses = parse_program(
+            """
+            % a line comment
+            fact(1).  /* block
+                         comment */
+            fact(2).
+            """
+        )
+        assert len(clauses) == 2
+
+    def test_empty_program(self):
+        assert parse_program("   % nothing\n") == []
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_program("fact(1)")
+
+    def test_query_with_or_without_period(self):
+        assert parse_query("p(X).") == parse_query("p(X)")
+
+
+class TestErrors:
+    def test_unterminated_quote(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_term("'open")
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_program("/* forever")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_term("f(a")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_term("a b")
+
+    def test_error_reports_line(self):
+        with pytest.raises(PrologSyntaxError, match="line 2"):
+            parse_program("ok(1).\nbad(")

@@ -1,0 +1,125 @@
+"""Tests for term-inspection builtins: functor/3, arg/3, =.., copy_term."""
+
+import pytest
+
+from repro.errors import PrologTypeError
+from repro.prolog.engine import Engine
+from repro.prolog.terms import Atom, Num, to_python
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestFunctor:
+    def test_decompose_struct(self, engine):
+        solution = engine.solve_first("functor(foo(a, b), F, A)")
+        assert solution["F"] == Atom("foo")
+        assert solution["A"] == Num(2)
+
+    def test_decompose_atom_and_number(self, engine):
+        assert engine.solve_first("functor(bare, F, 0)")["F"] == Atom("bare")
+        assert engine.solve_first("functor(7, F, A)")["F"] == Num(7)
+
+    def test_construct(self, engine):
+        solution = engine.solve_first("functor(T, pair, 2), T = pair(X, Y), X = 1")
+        assert solution is not None
+
+    def test_construct_arity_zero(self, engine):
+        assert engine.solve_first("functor(T, hello, 0)")["T"] == Atom("hello")
+
+    def test_mismatch_fails(self, engine):
+        assert engine.solve_first("functor(foo(a), bar, 1)") is None
+        assert engine.solve_first("functor(foo(a), foo, 2)") is None
+
+    def test_uninstantiated_rejected(self, engine):
+        with pytest.raises(PrologTypeError):
+            engine.solve_first("functor(T, F, A)")
+
+    def test_bad_arity_rejected(self, engine):
+        with pytest.raises(PrologTypeError):
+            engine.solve_first("functor(T, foo, bad)")
+
+
+class TestArg:
+    def test_positional_access(self, engine):
+        assert engine.solve_first("arg(1, trip(a, b, c), X)")["X"] == Atom("a")
+        assert engine.solve_first("arg(3, trip(a, b, c), X)")["X"] == Atom("c")
+
+    def test_out_of_range_fails(self, engine):
+        assert engine.solve_first("arg(4, trip(a, b, c), X)") is None
+        assert engine.solve_first("arg(0, trip(a, b, c), X)") is None
+
+    def test_non_compound_rejected(self, engine):
+        with pytest.raises(PrologTypeError):
+            engine.solve_first("arg(1, atom_only, X)")
+
+
+class TestUniv:
+    def test_decompose(self, engine):
+        solution = engine.solve_first("foo(1, 2) =.. L")
+        assert to_python(solution["L"]) == ["foo", 1, 2]
+
+    def test_decompose_atomic(self, engine):
+        assert to_python(engine.solve_first("abc =.. L")["L"]) == ["abc"]
+        assert to_python(engine.solve_first("5 =.. L")["L"]) == [5]
+
+    def test_construct(self, engine):
+        solution = engine.solve_first("T =.. [point, 3, 4]")
+        assert str(solution["T"]) == "point(3,4)"
+
+    def test_construct_atom(self, engine):
+        assert engine.solve_first("T =.. [lone]")["T"] == Atom("lone")
+
+    def test_round_trip(self, engine):
+        assert engine.solve_first(
+            "f(a, B) =.. L, T =.. L, T == f(a, B)"
+        ) is not None
+
+    def test_empty_list_rejected(self, engine):
+        with pytest.raises(PrologTypeError):
+            engine.solve_first("T =.. []")
+
+    def test_meta_programming_pattern(self, engine):
+        """The classic use: apply a goal built at run time."""
+        engine.consult("double(X, Y) :- Y is X * 2.")
+        solution = engine.solve_first("G =.. [double, 5, R], call(G)")
+        assert solution["R"] == Num(10)
+
+
+class TestCopyTerm:
+    def test_copy_renames_variables(self, engine):
+        solution = engine.solve_first("copy_term(f(X, X, Y), C), C = f(1, A, B)")
+        assert solution["A"] == Num(1)  # shared var stays shared in copy
+        # And the original X is untouched by binding the copy.
+        assert str(solution["X"]) == "X" or solution["X"].name == "X"
+
+    def test_copy_of_ground_term_is_equal(self, engine):
+        assert engine.solve_first("copy_term(f(1, 2), f(1, 2))") is not None
+
+    def test_copies_are_independent(self, engine):
+        solution = engine.solve_first(
+            "copy_term(g(V), C1), copy_term(g(V), C2), "
+            "C1 = g(1), C2 = g(2)"
+        )
+        assert solution is not None  # distinct fresh variables
+
+
+class TestSucc:
+    def test_forward(self, engine):
+        assert engine.solve_first("succ(3, X)")["X"] == Num(4)
+
+    def test_backward(self, engine):
+        assert engine.solve_first("succ(X, 4)")["X"] == Num(3)
+
+    def test_zero_has_no_predecessor(self, engine):
+        assert engine.solve_first("succ(X, 0)") is None
+
+    def test_check_mode(self, engine):
+        assert engine.solve_first("succ(2, 3)") is not None
+        assert engine.solve_first("succ(2, 4)") is None
+
+    def test_unbound_both_rejected(self, engine):
+        with pytest.raises(PrologTypeError):
+            engine.solve_first("succ(X, Y)")

@@ -1,0 +1,117 @@
+"""Tests for term representation and conversion."""
+
+import pytest
+
+from repro.prolog.terms import (
+    Atom,
+    EMPTY_LIST,
+    Num,
+    Struct,
+    Var,
+    cons,
+    from_python,
+    is_cons,
+    list_items,
+    make_list,
+    term_str,
+    to_python,
+    variables_of,
+)
+
+
+class TestConstruction:
+    def test_atoms_equal_by_name(self):
+        assert Atom("foo") == Atom("foo")
+        assert Atom("foo") != Atom("bar")
+
+    def test_vars_distinguished_by_salt(self):
+        assert Var("X") == Var("X")
+        assert Var("X") != Var("X", salt=1)
+
+    def test_struct_requires_args(self):
+        with pytest.raises(ValueError):
+            Struct("f", ())
+
+    def test_struct_indicator(self):
+        term = Struct("f", (Atom("a"), Atom("b")))
+        assert term.indicator == ("f", 2)
+        assert term.arity == 2
+
+    def test_terms_are_hashable(self):
+        terms = {Atom("a"), Num(1), Var("X"), Struct("f", (Atom("a"),))}
+        assert len(terms) == 4
+
+
+class TestLists:
+    def test_make_list_roundtrip(self):
+        term = make_list([Num(1), Num(2), Num(3)])
+        items, tail = list_items(term)
+        assert items == [Num(1), Num(2), Num(3)]
+        assert tail == EMPTY_LIST
+
+    def test_empty_list(self):
+        assert make_list([]) == EMPTY_LIST
+
+    def test_partial_list_tail(self):
+        term = make_list([Num(1)], tail=Var("T"))
+        items, tail = list_items(term)
+        assert items == [Num(1)]
+        assert tail == Var("T")
+
+    def test_is_cons(self):
+        assert is_cons(cons(Num(1), EMPTY_LIST))
+        assert not is_cons(EMPTY_LIST)
+        assert not is_cons(Atom("a"))
+
+
+class TestConversion:
+    def test_from_python(self):
+        assert from_python(3) == Num(3)
+        assert from_python("abc") == Atom("abc")
+        assert from_python([1, 2]) == make_list([Num(1), Num(2)])
+        assert from_python(True) == Atom("true")
+
+    def test_from_python_passthrough(self):
+        term = Struct("f", (Num(1),))
+        assert from_python(term) is term
+
+    def test_from_python_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            from_python(object())
+
+    def test_to_python(self):
+        assert to_python(Num(3.5)) == 3.5
+        assert to_python(Atom("x")) == "x"
+        assert to_python(make_list([Num(1), Atom("a")])) == [1, "a"]
+
+    def test_to_python_partial_list_rejected(self):
+        with pytest.raises(ValueError):
+            to_python(make_list([Num(1)], tail=Var("T")))
+
+
+class TestRendering:
+    def test_list_sugar(self):
+        assert term_str(make_list([Num(1), Num(2)])) == "[1,2]"
+
+    def test_partial_list_sugar(self):
+        assert term_str(make_list([Num(1)], tail=Var("T"))) == "[1|T]"
+
+    def test_operator_sugar(self):
+        term = Struct("+", (Num(1), Num(2)))
+        assert term_str(term) == "1+2"
+
+    def test_plain_struct(self):
+        term = Struct("foo", (Atom("a"), Var("X")))
+        assert term_str(term) == "foo(a,X)"
+
+    def test_renamed_var(self):
+        assert str(Var("X", salt=3)) == "_X3"
+
+
+class TestVariablesOf:
+    def test_first_occurrence_order(self):
+        term = Struct("f", (Var("B"), Struct("g", (Var("A"), Var("B")))))
+        assert variables_of(term) == [Var("B"), Var("A")]
+
+    def test_ground_term_has_none(self):
+        assert variables_of(make_list([Num(1), Atom("a")])) == []

@@ -1,0 +1,195 @@
+"""Tests for query plans and the racing engine."""
+
+import random
+
+import pytest
+
+from repro.errors import ReproError
+from repro.querydb.index import HashIndex, SortedIndex
+from repro.querydb.plans import CostMeter, FullScan, HashProbe, RangeScan, candidate_plans
+from repro.querydb.query import Condition, Query
+from repro.querydb.racing import RacingQueryEngine
+from repro.querydb.table import Table
+from repro.sim.costs import FREE
+
+
+def make_table(rows=1000, seed=0):
+    rng = random.Random(seed)
+    table = Table("orders", ["order_id", "customer", "amount"])
+    for order_id in range(rows):
+        table.insert(
+            (order_id, f"cust-{rng.randrange(rows // 10)}", rng.randrange(1000))
+        )
+    return table
+
+
+@pytest.fixture
+def table():
+    return make_table()
+
+
+def reference_answer(table, query):
+    rows = [r for r in table.scan() if query.matches(table, r)]
+    return sorted(query.project(table, rows))
+
+
+class TestQueryAndConditions:
+    def test_condition_operators(self, table):
+        row = table.rows[0]
+        assert Condition("order_id", "==", row[0]).matches(table, row)
+        assert Condition("order_id", ">=", 0).matches(table, row)
+        assert not Condition("order_id", "<", 0).matches(table, row)
+
+    def test_bad_operator_rejected(self):
+        with pytest.raises(ReproError):
+            Condition("a", "LIKE", "x")
+
+    def test_projection(self, table):
+        query = Query.where(
+            Condition("order_id", "==", 3), projection=("customer",)
+        )
+        rows = [r for r in table.scan() if query.matches(table, r)]
+        projected = query.project(table, rows)
+        assert projected == [(table.rows[3][1],)]
+
+    def test_str_rendering(self):
+        query = Query.where(Condition("a", "<", 5))
+        assert "WHERE a < 5" in str(query)
+
+
+class TestPlanEquivalence:
+    """Every applicable plan must return exactly the same rows."""
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            Query.where(Condition("customer", "==", "cust-7")),
+            Query.where(Condition("amount", "<", 50)),
+            Query.where(Condition("amount", ">=", 990)),
+            Query.where(
+                Condition("customer", "==", "cust-3"),
+                Condition("amount", ">", 500),
+            ),
+            Query.where(Condition("amount", "==", 123)),
+        ],
+        ids=["cust-eq", "amount-lt", "amount-ge", "conj", "amount-eq"],
+    )
+    def test_all_plans_agree(self, table, query):
+        hash_index = HashIndex(table, "customer")
+        sorted_index = SortedIndex(table, "amount")
+        plans = candidate_plans(table, query, [hash_index], [sorted_index])
+        expected = reference_answer(table, query)
+        for plan in plans:
+            rows = plan.execute(query, CostMeter())
+            assert sorted(query.project(table, rows)) == expected, plan.name
+
+    def test_inapplicable_plan_refuses(self, table):
+        hash_index = HashIndex(table, "customer")
+        plan = HashProbe(hash_index)
+        range_query = Query.where(Condition("customer", ">", "cust-5"))
+        assert not plan.applicable(range_query)
+        with pytest.raises(ReproError):
+            plan.execute(range_query, CostMeter())
+
+
+class TestCostAccounting:
+    def test_full_scan_examines_everything(self, table):
+        meter = CostMeter()
+        FullScan(table).execute(
+            Query.where(Condition("order_id", "==", 1)), meter
+        )
+        assert meter.rows_examined == len(table)
+
+    def test_hash_probe_examines_one_bucket(self, table):
+        index = HashIndex(table, "customer")
+        meter = CostMeter()
+        rows = HashProbe(index).execute(
+            Query.where(Condition("customer", "==", "cust-7")), meter
+        )
+        assert meter.probes == 1
+        assert meter.rows_examined == len(rows)
+        assert meter.rows_examined < len(table) / 10
+
+    def test_range_scan_examines_range_only(self, table):
+        index = SortedIndex(table, "amount")
+        meter = CostMeter()
+        RangeScan(index).execute(
+            Query.where(Condition("amount", "<", 10)), meter
+        )
+        assert meter.rows_examined < len(table) / 20
+
+    def test_meter_seconds(self):
+        meter = CostMeter(row_cost=0.5, probe_cost=2.0)
+        meter.charge_rows(4)
+        meter.charge_probe()
+        assert meter.seconds == pytest.approx(4 * 0.5 + 2.0)
+
+
+class TestRacingEngine:
+    def engine(self, table):
+        engine = RacingQueryEngine(table, cost_model=FREE)
+        engine.create_hash_index("customer")
+        engine.create_sorted_index("amount")
+        return engine
+
+    def test_race_returns_correct_rows(self, table):
+        engine = self.engine(table)
+        query = Query.where(Condition("customer", "==", "cust-7"))
+        result = engine.execute_racing(query)
+        assert sorted(result.rows) == reference_answer(table, query)
+
+    def test_selective_query_won_by_index(self, table):
+        engine = self.engine(table)
+        result = engine.execute_racing(
+            Query.where(Condition("customer", "==", "cust-7"))
+        )
+        assert "hash-probe" in result.winning_plan
+
+    def test_range_query_won_by_sorted_index(self, table):
+        engine = self.engine(table)
+        result = engine.execute_racing(
+            Query.where(Condition("amount", "<", 25))
+        )
+        assert "range-scan" in result.winning_plan
+
+    def test_unindexed_query_falls_to_full_scan(self, table):
+        engine = self.engine(table)
+        result = engine.execute_racing(
+            Query.where(Condition("order_id", "==", 17))
+        )
+        assert "full-scan" in result.winning_plan
+        assert result.rows == [table.rows[17]]
+
+    def test_race_beats_static_worst_plan(self, table):
+        engine = self.engine(table)
+        query = Query.where(Condition("customer", "==", "cust-7"))
+        raced = engine.execute_racing(query)
+        full = next(p for p in engine.plans_for(query) if "full-scan" in p.name)
+        _, static_seconds = engine.execute_static(query, full)
+        assert raced.elapsed < static_seconds
+
+    def test_static_and_random_baselines(self, table):
+        engine = self.engine(table)
+        query = Query.where(Condition("customer", "==", "cust-7"))
+        static_rows, static_seconds = engine.execute_static(query)
+        random_rows, random_seconds = engine.execute_random(query)
+        assert sorted(static_rows) == reference_answer(table, query)
+        assert sorted(random_rows) == reference_answer(table, query)
+        assert static_seconds > 0
+        assert random_seconds > 0
+
+    def test_projection_through_race(self, table):
+        engine = self.engine(table)
+        query = Query.where(
+            Condition("customer", "==", "cust-7"), projection=("order_id",)
+        )
+        result = engine.execute_racing(query)
+        assert all(len(row) == 1 for row in result.rows)
+
+    def test_wasted_work_reported(self, table):
+        engine = self.engine(table)
+        result = engine.execute_racing(
+            Query.where(Condition("customer", "==", "cust-7"))
+        )
+        # Losing plans (the full scan at least) burned real work.
+        assert result.alt_result.wasted_work > 0

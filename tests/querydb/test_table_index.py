@@ -1,0 +1,95 @@
+"""Tests for tables and indexes."""
+
+import pytest
+
+from repro.querydb.index import HashIndex, SortedIndex
+from repro.querydb.table import SchemaError, Table
+
+
+@pytest.fixture
+def people():
+    table = Table("people", ["id", "name", "age"])
+    table.insert_many(
+        [
+            (1, "ann", 34),
+            (2, "bob", 28),
+            (3, "cid", 34),
+            (4, "dee", 51),
+            {"id": 5, "name": "eve", "age": 28},
+        ]
+    )
+    return table
+
+
+class TestTable:
+    def test_insert_and_scan(self, people):
+        assert len(people) == 5
+        assert list(people.scan())[0] == (1, "ann", 34)
+
+    def test_dict_insert_orders_columns(self, people):
+        assert people.rows[4] == (5, "eve", 28)
+
+    def test_value_by_column(self, people):
+        assert people.value(people.rows[1], "name") == "bob"
+
+    def test_as_dicts(self, people):
+        rendered = people.as_dicts(people.rows[:1])
+        assert rendered == [{"id": 1, "name": "ann", "age": 34}]
+
+    def test_schema_validation(self):
+        with pytest.raises(SchemaError):
+            Table("t", [])
+        with pytest.raises(SchemaError):
+            Table("t", ["a", "a"])
+        table = Table("t", ["a", "b"])
+        with pytest.raises(SchemaError):
+            table.insert((1,))
+        with pytest.raises(SchemaError):
+            table.insert({"a": 1, "wrong": 2})
+        with pytest.raises(SchemaError):
+            table.column_position("zzz")
+
+
+class TestHashIndex:
+    def test_lookup(self, people):
+        index = HashIndex(people, "age")
+        assert {r[1] for r in index.lookup(34)} == {"ann", "cid"}
+        assert index.lookup(99) == []
+
+    def test_distinct_keys(self, people):
+        assert HashIndex(people, "age").distinct_keys == 3
+
+    def test_refresh_picks_up_new_rows(self, people):
+        index = HashIndex(people, "age")
+        people.insert((6, "fox", 34))
+        assert len(index.lookup(34)) == 2  # stale
+        index.refresh()
+        assert len(index.lookup(34)) == 3
+
+
+class TestSortedIndex:
+    def test_range_inclusive(self, people):
+        index = SortedIndex(people, "age")
+        names = [r[1] for r in index.range(28, 34)]
+        assert set(names) == {"ann", "bob", "cid", "eve"}
+
+    def test_range_exclusive_bounds(self, people):
+        index = SortedIndex(people, "age")
+        rows = index.range(28, 34, include_low=False, include_high=False)
+        assert rows == []
+
+    def test_open_ranges(self, people):
+        index = SortedIndex(people, "age")
+        assert len(index.range(low=35)) == 1  # dee
+        assert len(index.range(high=30)) == 2  # bob, eve
+        assert len(index.range()) == 5
+
+    def test_equal(self, people):
+        index = SortedIndex(people, "age")
+        assert {r[1] for r in index.equal(28)} == {"bob", "eve"}
+        assert index.equal(99) == []
+
+    def test_results_are_actual_rows(self, people):
+        index = SortedIndex(people, "age")
+        for row in index.range(0, 100):
+            assert row in people.rows

@@ -1,0 +1,197 @@
+"""Tests for concurrent (distributed) recovery-block execution."""
+
+import pytest
+
+from repro.consensus.node import ConsensusNode
+from repro.errors import AltBlockFailure, ConsensusUnavailable
+from repro.recovery.block import RecoveryAlternate, RecoveryBlock
+from repro.recovery.concurrent import ConcurrentRecoveryExecutor, SyncMode
+from repro.recovery.control_loop import run_control_loop
+from repro.recovery.faults import accept_if, always_accept, scripted_body
+from repro.recovery.sequential import SequentialRecoveryExecutor
+from repro.sim.costs import FREE, HP_9000_350
+
+
+def two_alternate_block(primary_fails=False, primary_cost=1.0, backup_cost=2.0):
+    def primary(ctx):
+        return -1 if primary_fails else "primary"
+
+    return RecoveryBlock(
+        "rb",
+        [
+            RecoveryAlternate("primary", body=primary, cost=primary_cost),
+            RecoveryAlternate("backup", body=lambda ctx: "backup", cost=backup_cost),
+        ],
+        acceptance=accept_if(lambda value: value != -1),
+    )
+
+
+class TestConcurrentSemantics:
+    def test_fastest_acceptable_wins(self):
+        executor = ConcurrentRecoveryExecutor(cost_model=FREE)
+        outcome = executor.run(two_alternate_block())
+        assert outcome.value == "primary"
+        assert outcome.elapsed == pytest.approx(1.0)
+
+    def test_primary_failure_backup_wins_without_rollback_delay(self):
+        """The Kim/Welch point: under faults, concurrent execution pays
+        the backup's time, not primary-then-backup."""
+        executor = ConcurrentRecoveryExecutor(cost_model=FREE)
+        outcome = executor.run(two_alternate_block(primary_fails=True))
+        assert outcome.value == "backup"
+        assert outcome.elapsed == pytest.approx(2.0)
+        sequential = SequentialRecoveryExecutor()
+        seq_result = sequential.run(two_alternate_block(primary_fails=True))
+        assert seq_result.elapsed == pytest.approx(3.0)  # 1 + 2
+
+    def test_all_fail_raises(self):
+        block = RecoveryBlock(
+            "bad",
+            [RecoveryAlternate("a", body=lambda ctx: 0, cost=1.0)],
+            acceptance=accept_if(lambda value: value > 0),
+        )
+        with pytest.raises(AltBlockFailure):
+            ConcurrentRecoveryExecutor(cost_model=FREE).run(block)
+
+
+class TestSyncModes:
+    def test_local_sync_cheap(self):
+        executor = ConcurrentRecoveryExecutor(
+            cost_model=HP_9000_350, sync_mode=SyncMode.LOCAL
+        )
+        outcome = executor.run(two_alternate_block())
+        assert outcome.sync_mode is SyncMode.LOCAL
+
+    def test_consensus_adds_latency(self):
+        local = ConcurrentRecoveryExecutor(
+            cost_model=HP_9000_350, sync_mode=SyncMode.LOCAL
+        ).run(two_alternate_block())
+        consensus = ConcurrentRecoveryExecutor(
+            cost_model=HP_9000_350, sync_mode=SyncMode.MAJORITY_CONSENSUS
+        ).run(two_alternate_block())
+        assert consensus.elapsed > local.elapsed
+        assert consensus.sync_latency > local.sync_latency
+        assert consensus.consensus_winner == "primary"
+
+    def test_consensus_survives_minority_crash(self):
+        nodes = [ConsensusNode(f"n{i}") for i in range(5)]
+        nodes[0].crash()
+        nodes[1].crash()
+        executor = ConcurrentRecoveryExecutor(
+            cost_model=FREE,
+            sync_mode=SyncMode.MAJORITY_CONSENSUS,
+            consensus_nodes=nodes,
+        )
+        outcome = executor.run(two_alternate_block())
+        assert outcome.value == "primary"
+
+    def test_consensus_majority_crash_raises(self):
+        nodes = [ConsensusNode(f"n{i}") for i in range(3)]
+        for node in nodes[:2]:
+            node.crash()
+        executor = ConcurrentRecoveryExecutor(
+            cost_model=FREE,
+            sync_mode=SyncMode.MAJORITY_CONSENSUS,
+            consensus_nodes=nodes,
+        )
+        with pytest.raises(ConsensusUnavailable):
+            executor.run(two_alternate_block())
+
+    def test_decisions_are_per_block_execution(self):
+        executor = ConcurrentRecoveryExecutor(
+            cost_model=FREE, sync_mode=SyncMode.MAJORITY_CONSENSUS
+        )
+        first = executor.run(two_alternate_block())
+        second = executor.run(two_alternate_block())
+        assert first.value == second.value == "primary"
+
+
+class TestEagerFullCopy:
+    def test_full_copy_charges_whole_image(self):
+        model = HP_9000_350
+        cow = ConcurrentRecoveryExecutor(cost_model=model)
+        eager = ConcurrentRecoveryExecutor(cost_model=model, eager_full_copy=True)
+        cow_out = cow.run(two_alternate_block())
+        eager_out = eager.run(two_alternate_block())
+        pages = 64 * 1024 // model.page_size
+        assert eager_out.elapsed - cow_out.elapsed == pytest.approx(
+            model.page_copy_time(pages), rel=0.05
+        )
+
+    def test_full_copy_with_distribution_cost(self):
+        from repro.sim.distributions import Uniform
+
+        block = RecoveryBlock(
+            "dist",
+            [RecoveryAlternate("a", body=lambda ctx: 1, cost=Uniform(1.0, 1.0))],
+            acceptance=always_accept,
+        )
+        executor = ConcurrentRecoveryExecutor(
+            cost_model=HP_9000_350, eager_full_copy=True
+        )
+        outcome = executor.run(block)
+        assert outcome.value == 1
+        assert outcome.elapsed > 1.0
+
+    def test_full_copy_with_charged_cost(self):
+        block = RecoveryBlock(
+            "charged",
+            [RecoveryAlternate("a", body=lambda ctx: 1, cost=None)],
+            acceptance=always_accept,
+        )
+        executor = ConcurrentRecoveryExecutor(
+            cost_model=HP_9000_350, eager_full_copy=True
+        )
+        outcome = executor.run(block)
+        assert outcome.elapsed > 0.0
+
+
+class TestControlLoop:
+    def make_factory(self, fail_steps=()):
+        primary = scripted_body("cmd", fail_on_calls=[s + 1 for s in fail_steps])
+
+        def factory(step):
+            return RecoveryBlock(
+                "loop",
+                [
+                    RecoveryAlternate("primary", body=primary, cost=0.01),
+                    RecoveryAlternate("backup", body=lambda ctx: "cmd", cost=0.02),
+                ],
+                acceptance=always_accept,
+            )
+
+        return factory
+
+    def test_loop_counts_steps(self):
+        executor = ConcurrentRecoveryExecutor(cost_model=FREE)
+        outcome = run_control_loop(
+            executor, self.make_factory(), steps=10, deadline=1.0
+        )
+        assert outcome.completed_steps == 10
+        assert outcome.missed_deadlines == 0
+        assert outcome.deadline_miss_rate == 0.0
+
+    def test_deadline_misses_detected(self):
+        executor = SequentialRecoveryExecutor()
+        outcome = run_control_loop(
+            executor, self.make_factory(fail_steps=[2, 5]), steps=10, deadline=0.015
+        )
+        # Steps 2 and 5 require the backup after the primary: 0.03 > 0.015.
+        assert outcome.missed_deadlines == 2
+        assert outcome.mean_latency > 0.01
+
+    def test_concurrent_loop_is_fault_transparent(self):
+        """With racing, a primary fault costs only the backup's latency."""
+        executor = ConcurrentRecoveryExecutor(cost_model=FREE)
+        outcome = run_control_loop(
+            executor, self.make_factory(fail_steps=[3]), steps=10, deadline=0.025
+        )
+        assert outcome.missed_deadlines == 0
+        assert outcome.worst_latency == pytest.approx(0.02)
+
+    def test_parameter_validation(self):
+        executor = ConcurrentRecoveryExecutor(cost_model=FREE)
+        with pytest.raises(ValueError):
+            run_control_loop(executor, self.make_factory(), steps=0, deadline=1.0)
+        with pytest.raises(ValueError):
+            run_control_loop(executor, self.make_factory(), steps=1, deadline=0.0)

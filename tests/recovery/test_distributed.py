@@ -1,0 +1,110 @@
+"""Tests for distributed execution of recovery blocks -- §5.1's title."""
+
+import pytest
+
+from repro.errors import AltBlockFailure
+from repro.net.network import Network
+from repro.recovery.block import RecoveryAlternate, RecoveryBlock
+from repro.recovery.concurrent import SyncMode
+from repro.recovery.distributed import DistributedRecoveryExecutor
+from repro.recovery.faults import accept_if
+from repro.sim.costs import CostModel
+
+LAN = CostModel(
+    name="lan",
+    fork_latency=0.001,
+    page_copy_rate=100_000.0,
+    page_size=2048,
+    checkpoint_rate=10_000_000.0,
+    network_bandwidth=10_000_000.0,
+    network_latency=0.002,
+    restore_rate=10_000_000.0,
+)
+
+
+@pytest.fixture
+def net():
+    network = Network(cost_model=LAN)
+    network.add_node("control")
+    for name in ("node-1", "node-2"):
+        network.add_node(name)
+        network.connect("control", name)
+    return network
+
+
+def executor(net, **kwargs):
+    return DistributedRecoveryExecutor(
+        net, home="control", workers=["node-1", "node-2"], **kwargs
+    )
+
+
+def two_version_block(primary_fails=False):
+    def primary(ctx):
+        if primary_fails:
+            return None
+        ctx.put("cmd", "primary")
+        return "primary"
+
+    def backup(ctx):
+        ctx.put("cmd", "backup")
+        return "backup"
+
+    return RecoveryBlock(
+        "distributed-rb",
+        [
+            RecoveryAlternate("primary", body=primary, cost=0.5),
+            RecoveryAlternate("backup", body=backup, cost=1.5),
+        ],
+        acceptance=accept_if(lambda value: value is not None),
+    )
+
+
+class TestDistributedRecovery:
+    def test_primary_wins_fault_free(self, net):
+        outcome = executor(net).run(two_version_block())
+        assert outcome.value == "primary"
+        assert outcome.sync_mode is SyncMode.MAJORITY_CONSENSUS
+
+    def test_backup_covers_primary_fault(self, net):
+        outcome = executor(net).run(two_version_block(primary_fails=True))
+        assert outcome.value == "backup"
+
+    def test_winner_state_lands_on_home_node(self, net):
+        dist = executor(net)
+        parent = dist.new_parent()
+        dist.run(two_version_block(), parent=parent)
+        assert parent.space.get("cmd") == "primary"
+
+    def test_node_failure_does_not_fail_the_block(self, net):
+        """The whole point of §5.1.2: the mechanism must not add failure
+        modes.  Cutting one worker only loses its alternate."""
+        net.partition("control", "node-1")
+        outcome = executor(net).run(two_version_block())
+        assert outcome.value == "backup"  # primary's node was cut off
+
+    def test_all_nodes_down_fails_block(self, net):
+        net.partition("control", "node-1")
+        net.partition("control", "node-2")
+        with pytest.raises(AltBlockFailure):
+            executor(net).run(two_version_block())
+
+    def test_all_versions_failing_fails_block(self, net):
+        block = RecoveryBlock(
+            "doomed",
+            [
+                RecoveryAlternate("v1", body=lambda ctx: None, cost=0.1),
+                RecoveryAlternate("v2", body=lambda ctx: None, cost=0.1),
+            ],
+            acceptance=accept_if(lambda value: value is not None),
+        )
+        with pytest.raises(AltBlockFailure):
+            executor(net).run(block)
+
+    def test_sync_latency_reported(self, net):
+        outcome = executor(net).run(two_version_block())
+        assert outcome.sync_latency > 0
+
+    def test_local_sync_variant(self, net):
+        outcome = executor(net, use_consensus=False).run(two_version_block())
+        assert outcome.sync_mode is SyncMode.LOCAL
+        assert outcome.value == "primary"

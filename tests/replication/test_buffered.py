@@ -1,0 +1,76 @@
+"""Tests for idempotency-by-buffering on source devices."""
+
+import pytest
+
+from repro.errors import SideEffectViolation
+from repro.ipc.devices import SourceDevice
+from repro.replication.buffered import BufferedSource, ReplicaDivergence
+
+
+@pytest.fixture
+def buffered():
+    return BufferedSource(SourceDevice("tape", input_data=["a", "b", "c"]))
+
+
+class TestBufferedReads:
+    def test_first_reader_triggers_real_read(self, buffered):
+        assert buffered.read("r1") == "a"
+        assert buffered.real_reads == 1
+        assert buffered.source.remaining_input == 2
+
+    def test_second_replica_served_from_buffer(self, buffered):
+        buffered.read("r1")
+        assert buffered.read("r2") == "a"
+        assert buffered.real_reads == 1  # no second real read
+
+    def test_replicas_see_identical_sequences(self, buffered):
+        first = [buffered.read("r1") for _ in range(3)]
+        second = [buffered.read("r2") for _ in range(3)]
+        assert first == second == ["a", "b", "c"]
+        assert buffered.real_reads == 3
+
+    def test_interleaved_cursors_are_independent(self, buffered):
+        assert buffered.read("r1") == "a"
+        assert buffered.read("r1") == "b"
+        assert buffered.read("r2") == "a"
+        assert buffered.reads_by("r1") == 2
+        assert buffered.reads_by("r2") == 1
+
+    def test_exhausted_source_raises_for_leading_reader(self, buffered):
+        for _ in range(3):
+            buffered.read("r1")
+        with pytest.raises(SideEffectViolation):
+            buffered.read("r1")
+        # A trailing replica can still drain the buffer.
+        assert [buffered.read("r2") for _ in range(3)] == ["a", "b", "c"]
+
+
+class TestDeduplicatedWrites:
+    def test_first_writer_performs_real_write(self, buffered):
+        assert buffered.write("r1", "out-0") is True
+        assert buffered.source.output == ["out-0"]
+        assert buffered.real_writes == 1
+
+    def test_second_replica_write_is_absorbed(self, buffered):
+        buffered.write("r1", "out-0")
+        assert buffered.write("r2", "out-0") is False
+        assert buffered.source.output == ["out-0"]  # exactly one real write
+
+    def test_divergent_write_detected(self, buffered):
+        buffered.write("r1", "out-0")
+        with pytest.raises(ReplicaDivergence):
+            buffered.write("r2", "DIFFERENT")
+
+    def test_per_position_deduplication(self, buffered):
+        buffered.write("r1", "x")
+        buffered.write("r1", "y")
+        buffered.write("r2", "x")
+        buffered.write("r2", "y")
+        assert buffered.source.output == ["x", "y"]
+
+    def test_lagging_replica_catches_up(self, buffered):
+        for data in ("p", "q", "r"):
+            buffered.write("fast", data)
+        assert buffered.write("slow", "p") is False
+        assert buffered.write("slow", "q") is False
+        assert buffered.real_writes == 3

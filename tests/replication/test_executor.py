@@ -1,0 +1,113 @@
+"""Tests for the replicated executor."""
+
+import pytest
+
+from repro.core.alternative import Alternative
+from repro.errors import AltBlockFailure
+from repro.replication.executor import ReplicaSpec, ReplicatedExecutor
+from repro.sim.costs import FREE
+from repro.sim.distributions import Deterministic, Uniform
+
+
+def executor(replicas=3, crash=0.0, latency=None, seed=0):
+    spec = ReplicaSpec(
+        replicas=replicas,
+        crash_probability=crash,
+        latency=latency if latency is not None else Deterministic(1.0),
+    )
+    return ReplicatedExecutor(spec, cost_model=FREE, seed=seed)
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaSpec(replicas=0)
+        with pytest.raises(ValueError):
+            ReplicaSpec(crash_probability=1.5)
+
+    def test_survival_probability(self):
+        assert executor(replicas=3, crash=0.5).survival_probability() == pytest.approx(
+            1 - 0.125
+        )
+        assert executor(crash=0.0).survival_probability() == 1.0
+
+
+class TestSingleComputation:
+    def test_all_replicas_agree_one_answer(self):
+        result = executor().run(lambda ctx: 42)
+        assert result.value == 42
+        assert result.survived
+        assert result.crashed_replicas == 0
+
+    def test_fastest_replica_wins(self):
+        result = executor(latency=Uniform(1.0, 10.0), seed=3).run(lambda ctx: "v")
+        durations = [o.duration for o in result.alt_result.outcomes]
+        assert result.elapsed == pytest.approx(min(durations))
+
+    def test_crashed_replicas_do_not_block_answer(self):
+        # With crash=0.6 and 5 replicas, some crash (seeded), some live.
+        result = executor(replicas=5, crash=0.6, seed=1).run(lambda ctx: "alive")
+        assert result.value == "alive"
+        assert 1 <= result.crashed_replicas < 5
+
+    def test_total_crash_raises(self):
+        with pytest.raises(AltBlockFailure):
+            executor(replicas=3, crash=1.0).run(lambda ctx: "never")
+
+    def test_determinism(self):
+        first = executor(replicas=4, crash=0.3, latency=Uniform(1, 5), seed=9).run(
+            lambda ctx: 1
+        )
+        second = executor(replicas=4, crash=0.3, latency=Uniform(1, 5), seed=9).run(
+            lambda ctx: 1
+        )
+        assert first.winner_name == second.winner_name
+        assert first.elapsed == second.elapsed
+
+    def test_replica_names(self):
+        result = executor(replicas=2).run(lambda ctx: 1, name="query")
+        names = {o.name for o in result.alt_result.outcomes}
+        assert names == {"query@replica-0", "query@replica-1"}
+
+
+class TestReplicatedAlternatives:
+    def arms(self):
+        return [
+            Alternative("fast", body=lambda ctx: "fast-answer"),
+            Alternative("slow", body=lambda ctx: "slow-answer"),
+        ]
+
+    def test_both_dimensions_race(self):
+        spec = ReplicaSpec(replicas=2, latency=Uniform(1.0, 4.0))
+        result = ReplicatedExecutor(spec, cost_model=FREE, seed=2).run_alternatives(
+            self.arms()
+        )
+        assert result.value in ("fast-answer", "slow-answer")
+        assert len(result.alt_result.outcomes) == 4  # 2 alts x 2 replicas
+
+    def test_alternative_survives_if_any_replica_does(self):
+        # Crash probability 0.5: seeded so at least one copy of some
+        # alternative survives; the block still answers.
+        spec = ReplicaSpec(replicas=3, crash_probability=0.5, latency=Deterministic(1.0))
+        result = ReplicatedExecutor(spec, cost_model=FREE, seed=9).run_alternatives(
+            self.arms()
+        )
+        assert result.survived
+        assert result.crashed_replicas >= 1
+
+    def test_guards_still_apply_per_copy(self):
+        arms = [
+            Alternative(
+                "guarded",
+                body=lambda ctx: -1,
+                guard=lambda ctx, value: value > 0,
+            ),
+            Alternative("plain", body=lambda ctx: 7),
+        ]
+        spec = ReplicaSpec(replicas=2, latency=Deterministic(1.0))
+        result = ReplicatedExecutor(spec, cost_model=FREE).run_alternatives(arms)
+        assert result.value == 7
+
+    def test_empty_alternatives_rejected(self):
+        with pytest.raises(ValueError):
+            executor().run_alternatives([])

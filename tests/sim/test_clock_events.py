@@ -1,0 +1,103 @@
+"""Tests for the clock and the event queue."""
+
+import pytest
+
+from repro.sim.clock import Clock
+from repro.sim.events import EventQueue
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(5.0).now == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Clock(-1.0)
+
+    def test_advance_to(self):
+        clock = Clock()
+        clock.advance_to(3.25)
+        assert clock.now == 3.25
+
+    def test_advance_by(self):
+        clock = Clock(1.0)
+        clock.advance_by(0.5)
+        assert clock.now == 1.5
+
+    def test_cannot_move_backwards(self):
+        clock = Clock(2.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(1.0)
+
+    def test_cannot_advance_by_negative(self):
+        with pytest.raises(ValueError):
+            Clock().advance_by(-0.1)
+
+    def test_advance_to_same_time_is_allowed(self):
+        clock = Clock(2.0)
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("b"))
+        queue.push(1.0, lambda: fired.append("a"))
+        queue.push(3.0, lambda: fired.append("c"))
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            event.action()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_in_scheduling_order(self):
+        queue = EventQueue()
+        order = []
+        for name in "abc":
+            queue.push(1.0, lambda n=name: order.append(n))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == ["a", "b", "c"]
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        fired = []
+        keep = queue.push(1.0, lambda: fired.append("keep"))
+        drop = queue.push(0.5, lambda: fired.append("drop"))
+        drop.cancel()
+        event = queue.pop()
+        event.action()
+        assert fired == ["keep"]
+        assert event is keep
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_bool_and_peek(self):
+        queue = EventQueue()
+        assert not queue
+        assert queue.peek_time() is None
+        queue.push(4.0, lambda: None)
+        assert queue
+        assert queue.peek_time() == 4.0
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None

@@ -1,0 +1,105 @@
+"""Tests for the overhead cost model and its paper-calibrated presets."""
+
+import math
+
+import pytest
+
+from repro.sim.costs import ATT_3B2_310, FREE, HP_9000_350, CostModel
+
+
+class TestPresets:
+    def test_3b2_matches_section_4_4(self):
+        assert ATT_3B2_310.fork_latency == pytest.approx(0.031)
+        assert ATT_3B2_310.page_copy_rate == 326.0
+        assert ATT_3B2_310.page_size == 2048
+
+    def test_hp_matches_section_4_4(self):
+        assert HP_9000_350.fork_latency == pytest.approx(0.012)
+        assert HP_9000_350.page_copy_rate == 1034.0
+        assert HP_9000_350.page_size == 4096
+
+    def test_320k_address_space_pages(self):
+        # The paper's fork benchmark used a 320K address space.
+        assert ATT_3B2_310.pages_for(320 * 1024) == 160
+        assert HP_9000_350.pages_for(320 * 1024) == 80
+
+    def test_rfork_of_70k_lands_near_one_second(self):
+        # Section 4.4: 'An rfork() of a 70K process requires slightly less
+        # than a second'.
+        model = CostModel(
+            name="paper-lan",
+            fork_latency=0.031,
+            page_copy_rate=326.0,
+            page_size=2048,
+            checkpoint_rate=200_000.0,
+            network_bandwidth=500_000.0,
+            network_latency=0.010,
+            restore_rate=400_000.0,
+        )
+        seconds = model.rfork_time(70 * 1024)
+        assert 0.5 < seconds < 1.3
+
+
+class TestCostModel:
+    def test_page_copy_time_is_linear(self):
+        one = ATT_3B2_310.page_copy_time(1)
+        ten = ATT_3B2_310.page_copy_time(10)
+        assert ten == pytest.approx(10 * one)
+        assert one == pytest.approx(1 / 326.0)
+
+    def test_fork_time_adds_copy_cost(self):
+        base = HP_9000_350.fork_time(0)
+        dirty = HP_9000_350.fork_time(50)
+        assert base == pytest.approx(0.012)
+        assert dirty == pytest.approx(0.012 + 50 / 1034.0)
+
+    def test_pages_for_rounds_up(self):
+        assert HP_9000_350.pages_for(1) == 1
+        assert HP_9000_350.pages_for(4096) == 1
+        assert HP_9000_350.pages_for(4097) == 2
+        assert HP_9000_350.pages_for(0) == 0
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            HP_9000_350.pages_for(-1)
+        with pytest.raises(ValueError):
+            HP_9000_350.page_copy_time(-1)
+        with pytest.raises(ValueError):
+            HP_9000_350.elimination_time(-1)
+
+    def test_elimination_grows_with_siblings(self):
+        # Section 4.1: termination instructions 'increase with the number
+        # of alternates'.
+        assert ATT_3B2_310.elimination_time(0) == 0.0
+        assert ATT_3B2_310.elimination_time(4) == pytest.approx(
+            4 * ATT_3B2_310.kill_latency
+        )
+
+    def test_rfork_decomposition(self):
+        model = HP_9000_350
+        nbytes = 70 * 1024
+        assert model.rfork_time(nbytes) == pytest.approx(
+            model.checkpoint_time(nbytes)
+            + model.transfer_time(nbytes)
+            + model.restore_time(nbytes)
+        )
+
+    def test_scaled_slows_everything(self):
+        slow = HP_9000_350.scaled(2.0)
+        assert slow.fork_latency == pytest.approx(0.024)
+        assert slow.page_copy_time(10) == pytest.approx(
+            2 * HP_9000_350.page_copy_time(10)
+        )
+        assert slow.rfork_time(1000) == pytest.approx(
+            2 * HP_9000_350.rfork_time(1000), rel=0.05
+        )
+
+    def test_scale_factor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HP_9000_350.scaled(0.0)
+
+    def test_free_model_is_actually_free(self):
+        assert FREE.fork_time(1000) == 0.0
+        assert FREE.elimination_time(100) == 0.0
+        assert FREE.rfork_time(10**9) == 0.0
+        assert not math.isnan(FREE.page_copy_time(5))

@@ -1,0 +1,138 @@
+"""Tests for the seeded execution-time distributions."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.distributions import (
+    Bimodal,
+    Deterministic,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Uniform,
+)
+
+
+def rng(seed=7):
+    return random.Random(seed)
+
+
+class TestDeterministic:
+    def test_always_returns_value(self):
+        dist = Deterministic(3.5)
+        assert dist.sample(rng()) == 3.5
+        assert dist.mean() == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Deterministic(-1.0)
+
+
+class TestUniform:
+    def test_samples_in_range(self):
+        dist = Uniform(1.0, 2.0)
+        r = rng()
+        for _ in range(200):
+            assert 1.0 <= dist.sample(r) <= 2.0
+
+    def test_mean(self):
+        assert Uniform(1.0, 3.0).mean() == 2.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(2.0, 1.0)
+        with pytest.raises(ValueError):
+            Uniform(-1.0, 1.0)
+
+
+class TestExponential:
+    def test_sample_mean_near_analytic(self):
+        dist = Exponential(2.0)
+        values = dist.sample_many(rng(), 20_000)
+        assert sum(values) / len(values) == pytest.approx(2.0, rel=0.05)
+
+    def test_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            Exponential(0.0)
+
+
+class TestLogNormal:
+    def test_analytic_mean(self):
+        import math
+
+        dist = LogNormal(mu=0.0, sigma=1.0)
+        assert dist.mean() == pytest.approx(math.exp(0.5))
+
+    def test_sample_mean_near_analytic(self):
+        dist = LogNormal(mu=0.0, sigma=0.5)
+        values = dist.sample_many(rng(), 20_000)
+        assert sum(values) / len(values) == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            LogNormal(0.0, -0.5)
+
+
+class TestBimodal:
+    def test_mean_is_mixture(self):
+        dist = Bimodal(Deterministic(1.0), Deterministic(11.0), p_fast=0.9)
+        assert dist.mean() == pytest.approx(0.9 * 1.0 + 0.1 * 11.0)
+
+    def test_samples_come_from_both_modes(self):
+        dist = Bimodal(Deterministic(1.0), Deterministic(11.0), p_fast=0.5)
+        values = set(dist.sample_many(rng(), 200))
+        assert values == {1.0, 11.0}
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            Bimodal(Deterministic(1.0), Deterministic(2.0), p_fast=1.5)
+
+
+class TestEmpirical:
+    def test_of_builds_from_sequence(self):
+        dist = Empirical.of([1, 2, 3])
+        assert dist.mean() == 2.0
+
+    def test_samples_are_observed_values(self):
+        dist = Empirical.of([1.0, 5.0])
+        assert set(dist.sample_many(rng(), 100)) <= {1.0, 5.0}
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Empirical.of([])
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            Empirical.of([1.0, -2.0])
+
+
+class TestSampleMany:
+    def test_count(self):
+        assert len(Deterministic(1.0).sample_many(rng(), 5)) == 5
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Deterministic(1.0).sample_many(rng(), -1)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+def test_same_seed_same_samples(seed):
+    """Determinism: identical seeds produce identical draws."""
+    dist = LogNormal(mu=1.0, sigma=0.7)
+    a = dist.sample_many(random.Random(seed), 10)
+    b = dist.sample_many(random.Random(seed), 10)
+    assert a == b
+
+
+@given(
+    low=st.floats(min_value=0, max_value=100, allow_nan=False),
+    width=st.floats(min_value=0, max_value=100, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_uniform_sample_within_bounds(low, width, seed):
+    dist = Uniform(low, low + width)
+    value = dist.sample(random.Random(seed))
+    assert low <= value <= low + width

@@ -1,0 +1,174 @@
+"""Tests for the discrete-event kernel and coroutine activities."""
+
+import pytest
+
+from repro.sim.kernel import Delay, SimKernel, WaitCondition, run_activities
+
+
+class TestScheduling:
+    def test_schedule_and_run(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule(1.0, lambda: fired.append(kernel.now))
+        kernel.schedule(0.5, lambda: fired.append(kernel.now))
+        end = kernel.run()
+        assert fired == [0.5, 1.0]
+        assert end == 1.0
+
+    def test_schedule_in(self):
+        kernel = SimKernel()
+        times = []
+        kernel.schedule_in(2.0, lambda: times.append(kernel.now))
+        kernel.run()
+        assert times == [2.0]
+
+    def test_cannot_schedule_in_past(self):
+        kernel = SimKernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        with pytest.raises(ValueError):
+            kernel.schedule(0.5, lambda: None)
+
+    def test_run_until_stops_early(self):
+        kernel = SimKernel()
+        fired = []
+        kernel.schedule(1.0, lambda: fired.append("a"))
+        kernel.schedule(5.0, lambda: fired.append("b"))
+        kernel.run(until=2.0)
+        assert fired == ["a"]
+        assert kernel.now == 2.0
+
+    def test_events_can_schedule_more_events(self):
+        kernel = SimKernel()
+        fired = []
+
+        def first():
+            fired.append(("first", kernel.now))
+            kernel.schedule_in(1.0, second)
+
+        def second():
+            fired.append(("second", kernel.now))
+
+        kernel.schedule(1.0, first)
+        kernel.run()
+        assert fired == [("first", 1.0), ("second", 2.0)]
+
+    def test_tracing_records_labelled_events(self):
+        kernel = SimKernel()
+        kernel.enable_tracing()
+        kernel.schedule(1.0, lambda: None, label="tick")
+        kernel.schedule(2.0, lambda: None)  # unlabelled: not traced
+        kernel.record("manual")
+        kernel.run()
+        assert kernel.trace == [(0.0, "manual"), (1.0, "tick")]
+
+
+class TestActivities:
+    def test_delay_sequence(self):
+        log = []
+
+        def activity():
+            log.append(("start", 0.0))
+            yield Delay(1.0)
+            log.append("after-1")
+            yield Delay(2.0)
+            log.append("after-3")
+
+        kernel = SimKernel()
+        kernel.spawn(activity())
+        end = kernel.run()
+        assert end == 3.0
+        assert log[-1] == "after-3"
+
+    def test_two_activities_interleave(self):
+        log = []
+
+        def slow():
+            yield Delay(2.0)
+            log.append("slow")
+
+        def fast():
+            yield Delay(1.0)
+            log.append("fast")
+
+        run_activities([slow(), fast()])
+        assert log == ["fast", "slow"]
+
+    def test_wait_condition_unblocks(self):
+        flag = {"ready": False}
+        log = []
+
+        def setter():
+            yield Delay(1.0)
+            flag["ready"] = True
+
+        def waiter():
+            yield WaitCondition(lambda: flag["ready"])
+            log.append("went")
+
+        kernel = SimKernel()
+        kernel.spawn(waiter())
+        kernel.spawn(setter())
+        kernel.run()
+        assert log == ["went"]
+        assert kernel.now >= 1.0
+
+    def test_wait_condition_already_true_resumes_immediately(self):
+        log = []
+
+        def waiter():
+            yield WaitCondition(lambda: True)
+            log.append("done")
+
+        kernel = SimKernel()
+        kernel.spawn(waiter())
+        kernel.run()
+        assert log == ["done"]
+        assert kernel.now == 0.0
+
+    def test_wait_condition_polls_when_queue_empty(self):
+        state = {"count": 0}
+
+        def waiter():
+            yield WaitCondition(lambda: state["count"] > 2, poll_interval=0.25)
+
+        def bump():
+            state["count"] += 1
+
+        kernel = SimKernel()
+        kernel.spawn(waiter())
+        # The condition only becomes true through polling side effects.
+        original = state
+        kernel.schedule(0.1, bump)
+        kernel.schedule(0.2, bump)
+        kernel.schedule(0.3, bump)
+        kernel.run(until=10.0)
+        assert original["count"] == 3
+        assert kernel.now < 10.0  # drained, did not spin to the horizon
+
+    def test_negative_delay_rejected(self):
+        def activity():
+            yield Delay(-1.0)
+
+        kernel = SimKernel()
+        kernel.spawn(activity())
+        with pytest.raises(ValueError):
+            kernel.run()
+
+    def test_bad_effect_type_rejected(self):
+        def activity():
+            yield "not-an-effect"
+
+        kernel = SimKernel()
+        kernel.spawn(activity())
+        with pytest.raises(TypeError):
+            kernel.run()
+
+    def test_activity_return_value_ends_quietly(self):
+        def activity():
+            yield Delay(0.5)
+            return 42
+
+        kernel = SimKernel()
+        kernel.spawn(activity())
+        assert kernel.run() == 0.5

@@ -1,0 +1,131 @@
+"""Tests for the PEDIT-style parametric file."""
+
+import pytest
+
+from repro.versions.pedit import LineConstraint, ParametricFile, VersionError
+
+
+@pytest.fixture
+def source():
+    """The paper's scenario: one source file, per-SYSTEM variants."""
+    file = ParametricFile("driver.c")
+    file.extend(["#include <stdio.h>", "int main() {"])
+    file.append('    puts("SysV init");', required={"SYSTEM": "UNIX", "VERSION": "SysV"})
+    file.append('    puts("BSD init");', required={"SYSTEM": "UNIX", "VERSION": "BSD"})
+    file.append('    puts("VMS init");', required={"SYSTEM": "VMS"})
+    file.extend(["    return 0;", "}"])
+    return file
+
+
+class TestViews:
+    def test_view_selects_matching_lines(self, source):
+        view = source.view(SYSTEM="UNIX", VERSION="SysV")
+        assert view.lines() == [
+            "#include <stdio.h>",
+            "int main() {",
+            '    puts("SysV init");',
+            "    return 0;",
+            "}",
+        ]
+
+    def test_different_settings_different_version(self, source):
+        bsd = source.view(SYSTEM="UNIX", VERSION="BSD")
+        assert '    puts("BSD init");' in bsd.lines()
+        assert '    puts("SysV init");' not in bsd.lines()
+
+    def test_unset_variables_hide_conditional_lines(self, source):
+        bare = source.view()
+        assert len(bare) == 4  # only the unconditional lines
+
+    def test_most_text_shared(self, source):
+        report = source.sharing_report(
+            [
+                {"SYSTEM": "UNIX", "VERSION": "SysV"},
+                {"SYSTEM": "UNIX", "VERSION": "BSD"},
+                {"SYSTEM": "VMS"},
+            ]
+        )
+        # 7 stored lines serve 3 versions of 5 lines each.
+        assert report["stored_lines"] == 7
+        assert report["lines_per_version"] == 5
+        assert report["sharing_factor"] > 2.0
+
+    def test_text_rendering(self, source):
+        text = source.view(SYSTEM="VMS").text()
+        assert text.startswith("#include")
+        assert "VMS init" in text
+
+
+class TestPredicatedEditing:
+    def test_insert_visible_only_in_this_view(self, source):
+        sysv = source.view(SYSTEM="UNIX", VERSION="SysV")
+        sysv.insert(2, "    /* SysV-only comment */")
+        assert "    /* SysV-only comment */" in sysv.lines()
+        bsd = source.view(SYSTEM="UNIX", VERSION="BSD")
+        assert "    /* SysV-only comment */" not in bsd.lines()
+
+    def test_insert_positions_anchor_correctly(self, source):
+        view = source.view(SYSTEM="VMS")
+        view.insert(0, "/* header */")
+        assert view.lines()[0] == "/* header */"
+        view.append("/* trailer */")
+        assert view.lines()[-1] == "/* trailer */"
+
+    def test_delete_shared_line_excludes_not_removes(self, source):
+        sysv = source.view(SYSTEM="UNIX", VERSION="SysV")
+        sysv.delete(0)  # drop the #include from SysV only
+        assert "#include <stdio.h>" not in sysv.lines()
+        bsd = source.view(SYSTEM="UNIX", VERSION="BSD")
+        assert "#include <stdio.h>" in bsd.lines()
+        assert source.total_lines == 7  # nothing physically removed
+
+    def test_delete_view_private_line_removes(self, source):
+        sysv = source.view(SYSTEM="UNIX", VERSION="SysV")
+        sysv.insert(2, "temp")
+        stored = source.total_lines
+        index = sysv.lines().index("temp")
+        sysv.delete(index)
+        assert source.total_lines == stored - 1
+
+    def test_replace_is_view_local(self, source):
+        sysv = source.view(SYSTEM="UNIX", VERSION="SysV")
+        position = sysv.lines().index('    puts("SysV init");')
+        sysv.replace(position, '    puts("SysV v2 init");')
+        assert '    puts("SysV v2 init");' in sysv.lines()
+        assert '    puts("SysV init");' not in sysv.lines()
+
+    def test_bad_positions_rejected(self, source):
+        view = source.view()
+        with pytest.raises(VersionError):
+            view.insert(99, "x")
+        with pytest.raises(VersionError):
+            view.delete(99)
+
+
+class TestConstraint:
+    def test_required_matching(self):
+        constraint = LineConstraint(required={"A": "1"})
+        assert constraint.visible_under({"A": "1", "B": "2"})
+        assert not constraint.visible_under({"A": "2"})
+        assert not constraint.visible_under({})
+
+    def test_exclusions(self):
+        constraint = LineConstraint(excluded=[{"A": "1"}])
+        assert constraint.visible_under({"A": "2"})
+        assert not constraint.visible_under({"A": "1"})
+
+    def test_copy_is_deep(self):
+        constraint = LineConstraint(required={"A": "1"}, excluded=[{"B": "2"}])
+        clone = constraint.copy()
+        clone.required["A"] = "9"
+        clone.excluded[0]["B"] = "9"
+        assert constraint.required["A"] == "1"
+        assert constraint.excluded[0]["B"] == "2"
+
+    def test_empty_exclusion_ignored(self):
+        constraint = LineConstraint(excluded=[{}])
+        assert constraint.visible_under({})
+
+    def test_sharing_report_validation(self):
+        with pytest.raises(VersionError):
+            ParametricFile().sharing_report([])
