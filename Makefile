@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := $(CURDIR)/src
+
+.PHONY: check test bench-smoke bench
+
+## check: what CI runs -- tier-1 tests plus a ~10s benchmark smoke.
+check: test bench-smoke
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench-smoke:
+	$(PYTHON) benchmarks/bench_parallel_backends.py --quick
+
+## bench: regenerate every paper table/figure (slow).
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

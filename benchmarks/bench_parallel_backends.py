@@ -1,0 +1,236 @@
+"""Experiment B1 -- real racing backends vs deterministic replay.
+
+The same 4-arm heterogeneous alternative block is raced under each
+execution backend (serial / thread / process) and timed at the *real*
+wall clock.  This is the tentpole claim of the backend layer: with true
+concurrency the block concludes when the fastest arm synchronizes, and
+the cooperative termination instruction (section 3.2.1) stops the losers
+long before their standalone cost -- so both the elapsed time and the
+wasted work drop.
+
+Arms sleep cooperatively (``ctx.sleep`` is a cancellation point), so the
+race demonstrates fastest-first even on a single-CPU host: a sleeping arm
+occupies no processor, exactly like an I/O-bound alternative.
+
+Outputs:
+
+- ``benchmarks/results/B1_parallel_backends.txt`` -- human-readable table;
+- ``BENCH_parallel_backends.json`` at the repo root -- machine-readable
+  record (wall-clock, wasted work, COW activity per backend).
+
+Run standalone with ``python benchmarks/bench_parallel_backends.py``
+(add ``--quick`` for the CI smoke variant, which finishes in seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+if __name__ == "__main__":  # standalone: make src/ importable
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.analysis.report import format_table
+from repro.core.alternative import Alternative
+from repro.core.backends import SerialBackend, get_backend
+from repro.core.concurrent import ConcurrentExecutor
+
+JSON_PATH = os.path.join(_REPO_ROOT, "BENCH_parallel_backends.json")
+
+# Heterogeneous standalone costs (seconds): one clear fastest arm, three
+# progressively slower losers.
+FULL_COSTS = {"archive": 0.8, "replica": 0.4, "cache": 0.2, "memory": 0.05}
+QUICK_COSTS = {"archive": 0.2, "replica": 0.1, "cache": 0.05, "memory": 0.0125}
+STEP_SECONDS = 0.005
+REPEATS_FULL = 3
+REPEATS_QUICK = 1
+
+
+def make_arms(costs):
+    """Four cooperative arms that also write state (to exercise COW)."""
+
+    def make_body(name, cost):
+        def body(ctx):
+            steps = max(1, int(round(cost / STEP_SECONDS)))
+            ctx.bulk_put(
+                {f"{name}-attempt": True, f"{name}-budget": cost}
+            )
+            for step in range(steps):
+                ctx.sleep(STEP_SECONDS)
+                ctx.put(f"{name}-progress", step + 1)
+            ctx.put("answer", name)
+            return name
+
+        return body
+
+    return [
+        Alternative(name, body=make_body(name, cost), cost=cost)
+        for name, cost in costs.items()
+    ]
+
+
+def race_once(backend_name, costs):
+    backend = (
+        SerialBackend() if backend_name == "serial" else get_backend(backend_name)
+    )
+    executor = ConcurrentExecutor(backend=backend)
+    parent = executor.new_parent()
+    started = time.perf_counter()
+    result = executor.run(make_arms(costs), parent=parent)
+    wall = time.perf_counter() - started
+    arms = []
+    for outcome in result.outcomes:
+        full_cost = costs[outcome.name]
+        arms.append(
+            {
+                "name": outcome.name,
+                "status": outcome.status,
+                "full_cost_seconds": full_cost,
+                "executed_seconds": (
+                    round(outcome.cpu_consumed, 6) if backend.is_parallel else None
+                ),
+                "pages_written": outcome.pages_written,
+            }
+        )
+    winner_pages = result.winner.pages_written
+    return {
+        "wall_clock_seconds": wall,
+        "winner": result.winner.name,
+        "answer": parent.space.get("answer"),
+        "wasted_work_seconds": round(result.wasted_work, 6),
+        # Every page a freshly forked child dirties is serviced as a COW
+        # copy fault, so the winner's pages_written is its fault count.
+        "cow_faults": winner_pages,
+        "arms": arms,
+    }
+
+
+def run_suite(quick=False):
+    costs = QUICK_COSTS if quick else FULL_COSTS
+    repeats = REPEATS_QUICK if quick else REPEATS_FULL
+    backend_names = ["serial", "thread"]
+    if hasattr(os, "fork"):
+        backend_names.append("process")
+
+    backends = {}
+    for name in backend_names:
+        runs = [race_once(name, costs) for _ in range(repeats)]
+        best = min(runs, key=lambda r: r["wall_clock_seconds"])
+        best["wall_clock_seconds"] = round(
+            min(r["wall_clock_seconds"] for r in runs), 6
+        )
+        backends[name] = best
+
+    serial_wall = backends["serial"]["wall_clock_seconds"]
+    speedups = {
+        name: round(backends[name]["wall_clock_seconds"] / serial_wall, 4)
+        for name in backend_names
+        if name != "serial"
+    }
+    fastest_arm = min(costs.values())
+    payload = {
+        "experiment": "parallel_backends",
+        "quick": quick,
+        "arm_costs_seconds": costs,
+        "backends": backends,
+        "relative_wall_clock_vs_serial": speedups,
+        "criteria": {
+            "parallel_leq_0.6x_serial": any(s <= 0.6 for s in speedups.values()),
+            "losers_record_less_work": all(
+                arm["executed_seconds"] < arm["full_cost_seconds"]
+                for name in speedups
+                for arm in backends[name]["arms"]
+                if arm["status"] == "eliminated"
+                and arm["executed_seconds"] is not None
+            ),
+            "every_backend_same_winner": len(
+                {backends[name]["winner"] for name in backend_names}
+            )
+            == 1,
+        },
+        "fastest_arm_cost_seconds": fastest_arm,
+    }
+    return payload
+
+
+def render_table(payload):
+    rows = []
+    for name, record in payload["backends"].items():
+        rows.append(
+            {
+                "backend": name,
+                "wall clock (s)": round(record["wall_clock_seconds"], 4),
+                "vs serial": payload["relative_wall_clock_vs_serial"].get(
+                    name, 1.0
+                ),
+                "winner": record["winner"],
+                "wasted work (s)": record["wasted_work_seconds"],
+                "COW faults": record["cow_faults"],
+            }
+        )
+    mode = "quick" if payload["quick"] else "full"
+    return format_table(
+        rows,
+        title=(
+            "B1: one 4-arm heterogeneous block, per execution backend "
+            f"({mode} mode)\n"
+            "(serial replays deterministically; thread/process race for "
+            "real and cancel the losers)"
+        ),
+    )
+
+
+def write_json(payload):
+    with open(JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return JSON_PATH
+
+
+def check_criteria(payload):
+    criteria = payload["criteria"]
+    assert criteria["parallel_leq_0.6x_serial"], (
+        "no parallel backend reached 0.6x of serial wall clock: "
+        f"{payload['relative_wall_clock_vs_serial']}"
+    )
+    assert criteria["losers_record_less_work"], (
+        "a cancelled loser ran to its full standalone cost"
+    )
+    assert criteria["every_backend_same_winner"], (
+        "backends disagreed on the winner (transparency violation)"
+    )
+
+
+def bench_b1_parallel_backends(benchmark, emit):
+    payload = benchmark.pedantic(
+        lambda: run_suite(quick=True), rounds=1, iterations=1
+    )
+    emit("B1_parallel_backends", render_table(payload))
+    write_json(payload)
+    check_criteria(payload)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke variant: smaller costs, one repeat (finishes in seconds)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_suite(quick=args.quick)
+    print(render_table(payload))
+    path = write_json(payload)
+    print(f"\nmachine-readable record: {path}")
+    check_criteria(payload)
+    print("acceptance criteria: all satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

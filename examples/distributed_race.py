@@ -44,7 +44,13 @@ def main():
 
     home = network.node("workstation-a")
     worker = home.manager.create_initial(space_size=70 * 1024)
-    worker.space.put("work-queue", [f"item-{i}" for i in range(12)])
+    worker.space.bulk_put(
+        {
+            "work-queue": [f"item-{i}" for i in range(12)],
+            "batch-size": 3,
+            "deadline-ms": 250,
+        }
+    )
     print(f"created worker pid {worker.pid} on workstation-a "
           f"({worker.space.size // 1024}K image)")
     print()

@@ -21,18 +21,26 @@ from repro.core import (
     AltOutcome,
     AltResult,
     Alternative,
+    CancellationToken,
     ConcurrentExecutor,
+    ExecutionBackend,
     GuardPlacement,
     OrderedPolicy,
     OsHost,
     OverheadBreakdown,
     PriorityPolicy,
+    ProcessBackend,
     RandomPolicy,
     SequentialExecutor,
+    SerialBackend,
+    ThreadBackend,
+    default_parallel_backend,
+    get_backend,
 )
 from repro.errors import (
     AltBlockFailure,
     AltTimeout,
+    Eliminated,
     GuardFailure,
     ReproError,
     TooLate,
@@ -50,9 +58,12 @@ __all__ = [
     "AltResult",
     "AltTimeout",
     "Alternative",
+    "CancellationToken",
     "ConcurrentExecutor",
     "CostModel",
+    "Eliminated",
     "EliminationMode",
+    "ExecutionBackend",
     "FREE",
     "GuardFailure",
     "GuardPlacement",
@@ -62,9 +73,14 @@ __all__ = [
     "OsHost",
     "OverheadBreakdown",
     "PriorityPolicy",
+    "ProcessBackend",
     "RandomPolicy",
     "ReproError",
     "SequentialExecutor",
+    "SerialBackend",
+    "ThreadBackend",
     "TooLate",
     "__version__",
+    "default_parallel_backend",
+    "get_backend",
 ]

@@ -12,10 +12,24 @@ This package is the paper's primary contribution:
   speculatively under copy-on-write state management, select fastest-first,
   eliminate the siblings;
 - :class:`~repro.core.oshost.OsHost` runs the same race with real
-  ``os.fork`` processes on the host kernel's copy-on-write memory.
+  ``os.fork`` processes on the host kernel's copy-on-write memory;
+- :mod:`repro.core.backends` makes the executor's concurrency pluggable:
+  :class:`~repro.core.backends.SerialBackend` (deterministic replay),
+  :class:`~repro.core.backends.ThreadBackend` and
+  :class:`~repro.core.backends.ProcessBackend` (real racing with
+  cooperative loser elimination).
 """
 
 from repro.core.alternative import AltContext, Alternative, GuardPlacement
+from repro.core.backends import (
+    CancellationToken,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_parallel_backend,
+    get_backend,
+)
 from repro.core.concurrent import ConcurrentExecutor
 from repro.core.oshost import OsHost, OsRaceOutcome, OsRaceResult
 from repro.core.result import AltOutcome, AltResult, OverheadBreakdown
@@ -32,7 +46,9 @@ __all__ = [
     "AltOutcome",
     "AltResult",
     "Alternative",
+    "CancellationToken",
     "ConcurrentExecutor",
+    "ExecutionBackend",
     "GuardPlacement",
     "OrderedPolicy",
     "OsHost",
@@ -40,7 +56,12 @@ __all__ = [
     "OsRaceResult",
     "OverheadBreakdown",
     "PriorityPolicy",
+    "ProcessBackend",
     "RandomPolicy",
     "SelectionPolicy",
     "SequentialExecutor",
+    "SerialBackend",
+    "ThreadBackend",
+    "default_parallel_backend",
+    "get_backend",
 ]

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import enum
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Union
 
-from repro.errors import GuardFailure
+from repro.errors import Eliminated, GuardFailure
 from repro.pages.address_space import AddressSpace
 from repro.sim.distributions import Distribution
 
@@ -55,6 +56,7 @@ class AltContext:
         alt_index: int = 0,
         name: str = "",
         process: Any = None,
+        token: Any = None,
     ) -> None:
         self.space = space
         self.rng = rng if rng is not None else random.Random(0)
@@ -65,6 +67,11 @@ class AltContext:
         by an executor that has one).  Passing it as ``parent`` to another
         executor sharing the same manager nests alternative blocks, with
         predicates inherited down the tree (section 3.3)."""
+        self.token = token
+        """Cooperative cancellation token (a
+        :class:`~repro.core.backends.CancellationToken`) when this body is
+        racing under a real parallel backend; ``None`` under the
+        deterministic simulator."""
         self._charged = 0.0
 
     def charge(self, seconds: float) -> None:
@@ -86,9 +93,49 @@ class AltContext:
         """Write a shared variable in this world (COW-isolated)."""
         self.space.put(name, value)
 
+    def bulk_put(self, mapping) -> None:
+        """Bind several variables in one directory append."""
+        self.space.bulk_put(mapping)
+
     def fail(self, reason: str = "guard condition not satisfied") -> None:
         """Abort this alternative (it will not synchronize)."""
         raise GuardFailure(reason)
+
+    # ------------------------------------------------------------------
+    # cooperative elimination (section 3.2.1, under real concurrency)
+
+    @property
+    def eliminated(self) -> bool:
+        """True once a sibling won and this arm's kill was delivered."""
+        return self.token is not None and self.token.cancelled
+
+    def check_eliminated(self) -> None:
+        """Cooperative cancellation point.
+
+        Long-running bodies call this inside their loops; once a sibling
+        has synchronized and the termination instruction is delivered,
+        the call raises :class:`~repro.errors.Eliminated`, so the loser
+        stops consuming CPU instead of running to completion.  A no-op
+        under the deterministic simulator (no token attached).
+        """
+        if self.eliminated:
+            raise Eliminated(
+                f"alternative {self.name or self.alt_index} eliminated: "
+                "a sibling already synchronized"
+            )
+
+    def sleep(self, seconds: float) -> None:
+        """Sleep for ``seconds`` of real time, but wake (and raise
+        :class:`~repro.errors.Eliminated`) as soon as elimination is
+        delivered -- the cancellable way for a body to wait on real I/O
+        or model real work."""
+        if seconds < 0:
+            raise ValueError("cannot sleep negative time")
+        if self.token is None:
+            time.sleep(seconds)
+            return
+        self.token.wait(seconds)
+        self.check_eliminated()
 
 
 Body = Callable[[AltContext], Any]

@@ -1,0 +1,78 @@
+"""Pluggable execution backends for alternative blocks.
+
+``ConcurrentExecutor(backend=...)`` selects how spawned arms execute:
+
+- :class:`SerialBackend` (default) -- bodies run one at a time and the
+  race is decided by the deterministic virtual-concurrency timing model;
+  bit-identical results for a fixed seed (the deterministic-replay mode
+  tier-1 tests rely on).
+- :class:`ThreadBackend` -- bodies overlap in real threads; fastest-first
+  is decided at the wall clock and losers receive a cooperative
+  :class:`CancellationToken` the instant the winner synchronizes.
+- :class:`ProcessBackend` -- bodies race in forked OS processes on the
+  kernel's real copy-on-write memory (where ``os.fork`` exists), with
+  SIGTERM-delivered cooperative cancellation and a SIGKILL backstop.
+
+Use :func:`get_backend` to construct one by name (``"serial"``,
+``"thread"``, ``"process"``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.core.backends.base import (
+    ArmReport,
+    ArmTask,
+    BackendRace,
+    CancellationToken,
+    ExecutionBackend,
+)
+from repro.core.backends.serial import SerialBackend
+from repro.core.backends.thread import ThreadBackend
+from repro.core.backends.process import ProcessBackend
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def get_backend(name: str, **kwargs) -> ExecutionBackend:
+    """Construct an execution backend by name.
+
+    ``"process"`` requires ``os.fork``; on platforms without it a
+    :class:`RuntimeError` explains the situation (callers wanting a
+    portable parallel backend should catch it and fall back to
+    ``"thread"``).
+    """
+    normalized = name.strip().lower()
+    if normalized == "serial":
+        return SerialBackend(**kwargs)
+    if normalized == "thread":
+        return ThreadBackend(**kwargs)
+    if normalized == "process":
+        return ProcessBackend(**kwargs)
+    raise ValueError(
+        f"unknown backend {name!r}; expected one of {', '.join(BACKENDS)}"
+    )
+
+
+def default_parallel_backend() -> ExecutionBackend:
+    """The best truly-parallel backend this host supports."""
+    if hasattr(os, "fork"):
+        return ProcessBackend()
+    return ThreadBackend()  # pragma: no cover - non-UNIX host
+
+
+__all__ = [
+    "ArmReport",
+    "ArmTask",
+    "BACKENDS",
+    "BackendRace",
+    "CancellationToken",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "default_parallel_backend",
+    "get_backend",
+]

@@ -1,0 +1,150 @@
+"""Execution-backend contract for alternative blocks.
+
+The paper's ``alt_spawn(n)`` forks alternatives that *race*; which kind of
+concurrency backs the race is an implementation choice the construct must
+not leak (section 3.1's transparency requirement).  A backend receives one
+:class:`ArmTask` per spawned arm and runs the bodies under its own notion
+of concurrency:
+
+- :class:`~repro.core.backends.serial.SerialBackend` runs them one at a
+  time -- the deterministic default the simulator's timing model races
+  *afterwards* under virtual concurrency;
+- :class:`~repro.core.backends.thread.ThreadBackend` and
+  :class:`~repro.core.backends.process.ProcessBackend` run them
+  concurrently for real and implement fastest-first at the wall clock:
+  the first arm whose guard holds wins the rendezvous and every other arm
+  receives a cooperative :class:`CancellationToken` (the section 3.2.1
+  termination instruction), checked inside
+  :meth:`~repro.core.alternative.AltContext.check_eliminated`.
+"""
+
+from __future__ import annotations
+
+import threading
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class CancellationToken:
+    """Delivery vehicle for one arm's termination instruction.
+
+    Thread-safe and idempotent: :meth:`cancel` may be called by the
+    backend (at winner selection), by the kernel's elimination drain, or
+    by a signal handler in a forked child -- the first call wins and the
+    rest are no-ops.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Deliver the termination instruction."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once elimination has been delivered."""
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until cancelled or ``timeout`` elapses; True if cancelled."""
+        return self._event.wait(timeout)
+
+
+@dataclass
+class ArmTask:
+    """One spawned alternative, ready for a backend to execute.
+
+    ``run`` executes the arm's body against its private COW context and
+    returns ``(succeeded, value, detail)``; it raises
+    :class:`~repro.errors.Eliminated` if cancellation lands at one of the
+    body's cooperative checkpoints.
+    """
+
+    index: int
+    name: str
+    run: Callable[[], Tuple[bool, Any, str]]
+    context: Any = None
+    """The arm's :class:`~repro.core.alternative.AltContext` (carries the
+    cancellation token and the COW address space)."""
+
+
+@dataclass
+class ArmReport:
+    """What one arm's execution looked like, in real time."""
+
+    index: int
+    name: str
+    succeeded: bool = False
+    value: Any = None
+    detail: str = ""
+    cancelled: bool = False
+    """True when the arm stopped at a cooperative cancellation point (or
+    was forcibly terminated) instead of running to completion."""
+
+    started_at: float = 0.0
+    """Seconds since the race started when the body began."""
+
+    finished_at: float = 0.0
+    """Seconds since the race started when the body stopped (completion,
+    failure, or cancellation)."""
+
+    work_seconds: float = 0.0
+    """Wall seconds this arm actually executed -- for a cancelled loser,
+    strictly less than its full-run cost; the measurable §3.2 saving."""
+
+    dirty_pages: Optional[Dict[int, bytes]] = None
+    """Winning child's dirty page images, shipped back by backends whose
+    children run in another OS process (``None`` when the arm's writes
+    are already visible in this process's simulated store)."""
+
+    cow_faults: int = 0
+    pages_written: int = 0
+
+
+@dataclass
+class BackendRace:
+    """The outcome of one backend-run race."""
+
+    backend: str
+    reports: List[ArmReport]
+    winner_index: Optional[int]
+    """Index of the first arm whose guard held, ``None`` when every arm
+    failed (or the deadline expired first)."""
+
+    elapsed: float
+    """Seconds from race start to the winner's synchronization (to the
+    last completion when there is no winner)."""
+
+    total_seconds: float
+    """Seconds from race start until every arm was accounted for
+    (includes cooperative-cancellation latency of the losers)."""
+
+    timed_out: bool = False
+    events: List[Tuple[float, str]] = field(default_factory=list)
+    """Timeline events (relative seconds, label) for Figure-2 rendering."""
+
+    def report(self, index: int) -> ArmReport:
+        for candidate in self.reports:
+            if candidate.index == index:
+                return candidate
+        raise KeyError(f"no report for arm {index}")
+
+
+class ExecutionBackend(ABC):
+    """How the bodies of one alternative block actually execute."""
+
+    name: str = "abstract"
+    is_parallel: bool = False
+    """True when arms genuinely overlap in real time; the executor then
+    selects fastest-first at the wall clock instead of simulating the
+    race."""
+
+    @abstractmethod
+    def run_arms(
+        self, tasks: List[ArmTask], timeout: Optional[float] = None
+    ) -> BackendRace:
+        """Execute every task; return per-arm reports and the winner."""

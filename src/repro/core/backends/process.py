@@ -1,0 +1,287 @@
+"""The process execution backend: real ``os.fork`` racing with COW.
+
+One forked child per arm.  Each child runs its body against its private
+simulated address space (the whole simulated store is duplicated by the
+OS fork's own copy-on-write, so siblings are isolated twice over), and
+reports its outcome over a shared pipe as a length-prefixed pickle
+record.  The first success record the parent reads wins the rendezvous --
+fastest-first at the wall clock -- and the winner's record carries its
+dirty page images so the parent can replay them into the simulated child
+space before the ``alt_wait`` page-pointer swap.
+
+Elimination is two-stage, matching the paper's cooperative-then-forcible
+reality: losers first receive ``SIGTERM``, whose handler cancels the
+arm's :class:`~repro.core.backends.base.CancellationToken` so the body
+stops at its next cooperative checkpoint and reports how much work it
+actually did; any child still alive after ``kill_grace`` seconds is
+``SIGKILL``-ed (the asynchronous hard kill of section 3.2.1) and its
+report is synthesized.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import pickle
+import select
+import signal
+import struct
+import time
+from typing import Dict, List, Optional
+
+from repro.core.backends.base import (
+    ArmReport,
+    ArmTask,
+    BackendRace,
+    ExecutionBackend,
+)
+from repro.errors import Eliminated
+
+_HEADER = struct.Struct("!I")
+
+
+def _write_record(fd: int, payload: dict) -> None:
+    try:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        payload = {
+            key: value
+            for key, value in payload.items()
+            if key not in ("value", "dirty_pages")
+        }
+        payload["ok"] = False
+        payload["detail"] = "result not picklable across the fork boundary"
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    os.write(fd, _HEADER.pack(len(blob)) + blob)
+
+
+class _RecordReader:
+    """Incremental length-prefixed record parser over a pipe."""
+
+    def __init__(self) -> None:
+        self._buffer = b""
+
+    def feed(self, data: bytes) -> List[dict]:
+        self._buffer += data
+        records = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return records
+            (length,) = _HEADER.unpack(self._buffer[:_HEADER.size])
+            if len(self._buffer) < _HEADER.size + length:
+                return records
+            blob = self._buffer[_HEADER.size:_HEADER.size + length]
+            self._buffer = self._buffer[_HEADER.size + length:]
+            records.append(pickle.loads(blob))
+
+
+class ProcessBackend(ExecutionBackend):
+    """Race arms in forked OS processes; first holding guard wins."""
+
+    name = "process"
+    is_parallel = True
+
+    def __init__(self, kill_grace: float = 2.0) -> None:
+        if not hasattr(os, "fork"):
+            raise RuntimeError(
+                "ProcessBackend requires os.fork; use ThreadBackend instead"
+            )
+        if kill_grace < 0:
+            raise ValueError("kill_grace cannot be negative")
+        self.kill_grace = kill_grace
+
+    # ------------------------------------------------------------------
+
+    def run_arms(
+        self, tasks: List[ArmTask], timeout: Optional[float] = None
+    ) -> BackendRace:
+        start = time.perf_counter()
+        read_fd, write_fd = os.pipe()
+        pids: Dict[int, int] = {}
+        for task in tasks:
+            pid = os.fork()
+            if pid == 0:
+                os.close(read_fd)
+                self._child_main(task, write_fd, start)
+                os._exit(0)  # pragma: no cover - child exits in _child_main
+            pids[task.index] = pid
+        os.close(write_fd)
+        try:
+            return self._collect(tasks, pids, read_fd, start, timeout)
+        finally:
+            os.close(read_fd)
+            self._reap(pids)
+
+    # ------------------------------------------------------------------
+    # child side
+
+    @staticmethod
+    def _child_main(task: ArmTask, write_fd: int, start: float) -> None:
+        token = getattr(task.context, "token", None)
+        if token is not None:
+            signal.signal(signal.SIGTERM, lambda signum, frame: token.cancel())
+        began = time.perf_counter() - start
+        try:
+            succeeded, value, detail = task.run()
+            cancelled = False
+        except Eliminated as exc:
+            succeeded, value, detail, cancelled = False, None, str(exc), True
+        except BaseException as exc:
+            succeeded, value, detail, cancelled = False, None, repr(exc), False
+        finished = time.perf_counter() - start
+        record = {
+            "index": task.index,
+            "ok": succeeded,
+            "cancelled": cancelled,
+            "detail": detail,
+            "started": began,
+            "finished": finished,
+        }
+        if succeeded:
+            record["value"] = value
+            space = getattr(task.context, "space", None)
+            if space is not None:
+                record["dirty_pages"] = {
+                    vpn: space.table.read_page(vpn)
+                    for vpn in space.table.dirty_pages
+                }
+                record["cow_faults"] = space.cow_faults
+                record["pages_written"] = space.pages_written
+        try:
+            _write_record(write_fd, record)
+        except BaseException:  # pragma: no cover - parent went away
+            os._exit(1)
+        os._exit(0)
+
+    # ------------------------------------------------------------------
+    # parent side
+
+    def _collect(self, tasks, pids, read_fd, start, timeout) -> BackendRace:
+        reader = _RecordReader()
+        reports = {
+            task.index: ArmReport(index=task.index, name=task.name)
+            for task in tasks
+        }
+        events: List[tuple] = []
+        seen: set = set()
+        winner_index: Optional[int] = None
+        timed_out = False
+        deadline = None if timeout is None else start + timeout
+        grace_deadline: Optional[float] = None
+
+        def signal_losers(sig: int) -> None:
+            for index, pid in pids.items():
+                if index == winner_index or index in seen:
+                    continue
+                try:
+                    os.kill(pid, sig)
+                except ProcessLookupError:
+                    pass
+
+        while len(seen) < len(tasks):
+            now = time.perf_counter()
+            wait = None
+            if grace_deadline is not None:
+                wait = max(0.0, grace_deadline - now)
+            elif deadline is not None:
+                wait = max(0.0, deadline - now)
+            try:
+                ready, _, _ = select.select([read_fd], [], [], wait)
+            except OSError as exc:  # pragma: no cover - platform dependent
+                if exc.errno == errno.EINTR:
+                    continue
+                raise
+            if not ready:
+                if grace_deadline is not None:
+                    # Cooperative window over: hard-kill the stragglers.
+                    signal_losers(signal.SIGKILL)
+                    break
+                # The block deadline expired with no winner: deliver the
+                # termination instruction to everyone, then give the
+                # cooperative window before SIGKILL.
+                timed_out = True
+                signal_losers(signal.SIGTERM)
+                grace_deadline = time.perf_counter() + self.kill_grace
+                continue
+            data = os.read(read_fd, 65536)
+            if not data:
+                break  # every writer exited
+            for record in reader.feed(data):
+                index = record["index"]
+                seen.add(index)
+                report = reports[index]
+                report.started_at = record["started"]
+                report.finished_at = record["finished"]
+                report.work_seconds = record["finished"] - record["started"]
+                report.detail = record["detail"]
+                report.cancelled = record["cancelled"]
+                if record["ok"]:
+                    if winner_index is None and not timed_out:
+                        winner_index = index
+                        report.succeeded = True
+                        report.value = record["value"]
+                        report.dirty_pages = record.get("dirty_pages")
+                        report.cow_faults = record.get("cow_faults", 0)
+                        report.pages_written = record.get("pages_written", 0)
+                        events.append(
+                            (report.finished_at, f"{report.name} synchronizes")
+                        )
+                        # Winner chosen: cooperative kill for the rest.
+                        signal_losers(signal.SIGTERM)
+                        grace_deadline = (
+                            time.perf_counter() + self.kill_grace
+                        )
+                    else:
+                        report.cancelled = True
+                        report.detail = (
+                            "synchronized too late; sibling already won"
+                        )
+                        events.append(
+                            (report.finished_at, f"{report.name} too late")
+                        )
+                elif record["cancelled"]:
+                    events.append((report.finished_at, f"kill {report.name}"))
+                else:
+                    events.append(
+                        (
+                            report.finished_at,
+                            f"{report.name} aborts: {report.detail}",
+                        )
+                    )
+
+        total = time.perf_counter() - start
+        for task in tasks:
+            if task.index in seen:
+                continue
+            # SIGKILLed without a record: synthesize its elimination.
+            report = reports[task.index]
+            report.cancelled = True
+            report.detail = "hard-killed after grace period"
+            report.finished_at = total
+            report.work_seconds = total
+            events.append((total, f"kill {report.name} (forced)"))
+
+        if winner_index is not None:
+            elapsed = reports[winner_index].finished_at
+        elif timed_out and timeout is not None:
+            elapsed = timeout
+        else:
+            elapsed = total
+        events.sort(key=lambda event: event[0])
+        return BackendRace(
+            backend=self.name,
+            reports=[reports[task.index] for task in tasks],
+            winner_index=winner_index,
+            elapsed=elapsed,
+            total_seconds=total,
+            timed_out=timed_out,
+            events=events,
+        )
+
+    @staticmethod
+    def _reap(pids: Dict[int, int]) -> None:
+        for pid in pids.values():
+            try:
+                os.waitpid(pid, 0)
+            except ChildProcessError:  # pragma: no cover - already reaped
+                pass

@@ -1,0 +1,78 @@
+"""The serial (deterministic) execution backend.
+
+Runs every arm's body to completion, one at a time, in spawn order --
+exactly the execution discipline the simulator's virtual-concurrency race
+assumes, and therefore the default: with a fixed seed, results are
+bit-identical run to run.  The "race" is decided afterwards by the
+executor's deterministic timing model, not by the wall clock, so this
+backend never cancels anything.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.core.backends.base import (
+    ArmReport,
+    ArmTask,
+    BackendRace,
+    ExecutionBackend,
+)
+from repro.errors import Eliminated
+
+
+class SerialBackend(ExecutionBackend):
+    """Run arms sequentially; deterministic replay mode."""
+
+    name = "serial"
+    is_parallel = False
+
+    def run_arms(
+        self, tasks: List[ArmTask], timeout: Optional[float] = None
+    ) -> BackendRace:
+        start = time.perf_counter()
+        reports: List[ArmReport] = []
+        events = []
+        winner_index: Optional[int] = None
+        winner_finish: Optional[float] = None
+        for task in tasks:
+            began = time.perf_counter() - start
+            try:
+                succeeded, value, detail = task.run()
+                cancelled = False
+            except Eliminated as exc:  # pragma: no cover - no kills here
+                succeeded, value, detail, cancelled = False, None, str(exc), True
+            finished = time.perf_counter() - start
+            reports.append(
+                ArmReport(
+                    index=task.index,
+                    name=task.name,
+                    succeeded=succeeded,
+                    value=value,
+                    detail=detail,
+                    cancelled=cancelled,
+                    started_at=began,
+                    finished_at=finished,
+                    work_seconds=finished - began,
+                )
+            )
+            events.append(
+                (
+                    finished,
+                    f"{task.name} "
+                    + ("synchronizes" if succeeded else f"aborts: {detail}"),
+                )
+            )
+            if succeeded and winner_index is None:
+                winner_index = task.index
+                winner_finish = finished
+        total = time.perf_counter() - start
+        return BackendRace(
+            backend=self.name,
+            reports=reports,
+            winner_index=winner_index,
+            elapsed=winner_finish if winner_finish is not None else total,
+            total_seconds=total,
+            events=events,
+        )

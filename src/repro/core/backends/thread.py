@@ -1,0 +1,155 @@
+"""The thread execution backend: real concurrent racing in one process.
+
+One thread per arm; all bodies overlap for real.  Fastest-first is decided
+at the wall clock: the first arm to report a holding guard claims the
+rendezvous under the backend's lock (the at-most-once arbitration), and
+every other arm's :class:`~repro.core.backends.base.CancellationToken` is
+cancelled on the spot -- the section 3.2.1 termination instruction,
+delivered while the losers are still running.  Losers observe it at their
+next cooperative checkpoint (``ctx.check_eliminated()`` / ``ctx.sleep``)
+and stop burning CPU; their measured ``work_seconds`` is the wasted-work
+figure the paper's throughput analysis prices.
+
+A successful arm that arrives after the winner is told "too late"
+(reported as cancelled, its writes discarded), mirroring
+:class:`~repro.errors.TooLate` in the simulated kernel.
+
+State safety: each arm writes only its own COW page table; the shared
+:class:`~repro.pages.store.PageStore` refcounts are lock-protected.  The
+backend joins every thread before returning, so the parent's commit swap
+runs strictly after all children have stopped -- a non-cooperative body
+(one that never checks) delays return until it finishes, which is the
+price of its opacity.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from repro.core.backends.base import (
+    ArmReport,
+    ArmTask,
+    BackendRace,
+    ExecutionBackend,
+)
+from repro.errors import Eliminated
+
+
+class ThreadBackend(ExecutionBackend):
+    """Race arms in real threads; first holding guard wins."""
+
+    name = "thread"
+    is_parallel = True
+
+    def run_arms(
+        self, tasks: List[ArmTask], timeout: Optional[float] = None
+    ) -> BackendRace:
+        start = time.perf_counter()
+        lock = threading.Lock()
+        all_done = threading.Event()
+        state = {"winner": None, "timed_out": False, "remaining": len(tasks)}
+        reports = {
+            task.index: ArmReport(index=task.index, name=task.name)
+            for task in tasks
+        }
+        events: List[tuple] = []
+
+        def cancel_all_except(keep: Optional[int]) -> None:
+            for task in tasks:
+                if task.index == keep:
+                    continue
+                token = getattr(task.context, "token", None)
+                if token is not None:
+                    token.cancel()
+
+        def arm_main(task: ArmTask) -> None:
+            report = reports[task.index]
+            report.started_at = time.perf_counter() - start
+            try:
+                succeeded, value, detail = task.run()
+                cancelled = False
+            except Eliminated as exc:
+                succeeded, value, detail, cancelled = False, None, str(exc), True
+            except BaseException as exc:
+                # A raising body cannot propagate out of its thread; it
+                # becomes a failed arm, like in the forked-process backend.
+                succeeded, value, detail, cancelled = False, None, repr(exc), False
+            report.finished_at = time.perf_counter() - start
+            report.work_seconds = report.finished_at - report.started_at
+            with lock:
+                report.succeeded = succeeded
+                report.value = value
+                report.detail = detail
+                report.cancelled = cancelled
+                if succeeded:
+                    if state["winner"] is None and not state["timed_out"]:
+                        state["winner"] = task.index
+                        events.append(
+                            (report.finished_at, f"{task.name} synchronizes")
+                        )
+                        cancel_all_except(task.index)
+                    else:
+                        # Too late: a sibling already won the rendezvous.
+                        report.succeeded = False
+                        report.cancelled = True
+                        report.value = None
+                        report.detail = (
+                            "synchronized too late; sibling already won"
+                        )
+                        events.append(
+                            (report.finished_at, f"{task.name} too late")
+                        )
+                elif cancelled:
+                    events.append((report.finished_at, f"kill {task.name}"))
+                else:
+                    events.append(
+                        (report.finished_at, f"{task.name} aborts: {detail}")
+                    )
+                state["remaining"] -= 1
+                if state["remaining"] == 0:
+                    all_done.set()
+
+        threads = [
+            threading.Thread(
+                target=arm_main,
+                args=(task,),
+                name=f"alt-{task.name}",
+                daemon=True,
+            )
+            for task in tasks
+        ]
+        for thread in threads:
+            thread.start()
+
+        timed_out = False
+        if timeout is not None and not all_done.wait(timeout):
+            with lock:
+                if state["winner"] is None:
+                    state["timed_out"] = True
+                    timed_out = True
+            if timed_out:
+                cancel_all_except(None)
+        for thread in threads:
+            thread.join()
+
+        total = time.perf_counter() - start
+        winner_index = state["winner"]
+        if winner_index is not None:
+            elapsed = reports[winner_index].finished_at
+        elif timed_out and timeout is not None:
+            elapsed = timeout
+        else:
+            elapsed = total
+        ordered = [reports[task.index] for task in tasks]
+        events.sort(key=lambda event: event[0])
+        return BackendRace(
+            backend=self.name,
+            reports=ordered,
+            winner_index=winner_index,
+            elapsed=elapsed,
+            total_seconds=total,
+            timed_out=timed_out,
+            events=events,
+        )

@@ -28,10 +28,18 @@ provably never reach the parent.
 from __future__ import annotations
 
 import random
+import time as _time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.alternative import AltContext, Alternative, GuardPlacement
+from repro.core.backends import (
+    ArmTask,
+    BackendRace,
+    CancellationToken,
+    ExecutionBackend,
+    SerialBackend,
+)
 from repro.core.result import AltOutcome, AltResult, OverheadBreakdown
 from repro.core.sequential import _run_body
 from repro.errors import AltBlockFailure, AltTimeout
@@ -71,6 +79,7 @@ class ConcurrentExecutor:
         seed: int = 0,
         manager: Optional[ProcessManager] = None,
         space_size: int = 64 * 1024,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         self.cost_model = cost_model
         self.cpus = cpus
@@ -84,6 +93,7 @@ class ConcurrentExecutor:
             else ProcessManager(PageStore(page_size=cost_model.page_size))
         )
         self.space_size = space_size
+        self.backend = backend if backend is not None else SerialBackend()
 
     def new_parent(self) -> SimProcess:
         """A fresh root process whose space callers may preload."""
@@ -121,6 +131,10 @@ class ConcurrentExecutor:
             error.elapsed = 0.0
             raise error
 
+        if self.backend.is_parallel:
+            return self._run_real(
+                alternatives, spawnable, parent, outcomes, timeline
+            )
         runs = self._spawn_and_execute(
             alternatives, spawnable, parent, outcomes, timeline, rng
         )
@@ -151,36 +165,62 @@ class ConcurrentExecutor:
     # ------------------------------------------------------------------
     # phase 2: spawn children and execute bodies for real
 
-    def _spawn_and_execute(
-        self, alternatives, spawnable, parent, outcomes, timeline, rng
-    ) -> List[_ChildRun]:
-        children = self.manager.alt_spawn(parent, len(spawnable))
-        runs: List[_ChildRun] = []
-        fork = self.cost_model.fork_latency
+    def _build_tasks(
+        self, alternatives, spawnable, children, with_tokens: bool
+    ) -> Tuple[List[ArmTask], Dict[int, AltContext]]:
+        """One :class:`ArmTask` per spawned arm, against its COW child."""
         skip_pre_guard = self.guard_placement is GuardPlacement.BEFORE_SPAWN
-        for spawn_slot, (index, child) in enumerate(zip(spawnable, children)):
+        tasks: List[ArmTask] = []
+        contexts: Dict[int, AltContext] = {}
+        for index, child in zip(spawnable, children):
             arm = alternatives[index]
-            arrival = (spawn_slot + 1) * fork
             context = AltContext(
                 child.space,
                 rng=random.Random(self.seed * 1000003 + index),
                 alt_index=index + 1,
                 name=arm.name,
                 process=child,
+                token=CancellationToken() if with_tokens else None,
             )
+            contexts[index] = context
             if skip_pre_guard and arm.pre_guard is not None:
                 # Guard already passed in the parent; do not re-run it.
-                trimmed = Alternative(
+                to_run = Alternative(
                     name=arm.name,
                     body=arm.body,
                     guard=arm.guard,
                     cost=arm.cost,
                     guard_cost=arm.guard_cost,
                 )
-                succeeded, value, detail = _run_body(trimmed, context)
             else:
-                succeeded, value, detail = _run_body(arm, context)
-            duration = arm.sample_cost(rng, context)
+                to_run = arm
+            tasks.append(
+                ArmTask(
+                    index=index,
+                    name=arm.name,
+                    run=lambda a=to_run, c=context: _run_body(a, c),
+                    context=context,
+                )
+            )
+        return tasks, contexts
+
+    def _spawn_and_execute(
+        self, alternatives, spawnable, parent, outcomes, timeline, rng
+    ) -> List[_ChildRun]:
+        children = self.manager.alt_spawn(parent, len(spawnable))
+        tasks, contexts = self._build_tasks(
+            alternatives, spawnable, children, with_tokens=False
+        )
+        # Bodies run through the serial backend (the deterministic replay
+        # discipline); the race below is then decided by the timing model.
+        race = SerialBackend().run_arms(tasks)
+        runs: List[_ChildRun] = []
+        fork = self.cost_model.fork_latency
+        for spawn_slot, (index, child) in enumerate(zip(spawnable, children)):
+            arm = alternatives[index]
+            report = race.report(index)
+            arrival = (spawn_slot + 1) * fork
+            duration = arm.sample_cost(rng, contexts[index])
             if self.guard_placement is GuardPlacement.IN_CHILD:
                 # The child evaluates its own guard as part of its run.
                 duration += arm.guard_cost
@@ -197,9 +237,9 @@ class ConcurrentExecutor:
                     index=index,
                     alternative=arm,
                     child=child,
-                    succeeded=succeeded,
-                    value=value,
-                    detail=detail,
+                    succeeded=report.succeeded,
+                    value=report.value,
+                    detail=report.detail,
                     duration=duration,
                     pages_written=pages,
                     arrival=arrival,
@@ -207,6 +247,157 @@ class ConcurrentExecutor:
                 )
             )
         return runs
+
+    # ------------------------------------------------------------------
+    # phase 2': the real race (parallel backends)
+
+    def _run_real(
+        self, alternatives, spawnable, parent, outcomes, timeline
+    ) -> AltResult:
+        """Race the arms under genuine concurrency, fastest-first.
+
+        The backend decides the winner at the wall clock; this method
+        drives the simulated kernel to the same conclusion (``alt_sync``
+        for the winner, ``fail`` for aborted arms, ``alt_wait`` with
+        elimination for the cancelled losers) so the state semantics --
+        losers' writes never reach the parent -- are enforced by the same
+        mechanism as the deterministic path.
+        """
+        spawn_start = _time.perf_counter()
+        children = self.manager.alt_spawn(parent, len(spawnable))
+        tasks, contexts = self._build_tasks(
+            alternatives, spawnable, children, with_tokens=True
+        )
+        by_index = dict(zip(spawnable, children))
+        for index, child in by_index.items():
+            # The kernel's termination instruction lands on the arm's
+            # cancellation token (section 3.2.1, delivered for real).
+            self.manager.attach_elimination_hook(
+                child.pid, contexts[index].token.cancel
+            )
+        spawn_done = _time.perf_counter() - spawn_start
+        for index, child in by_index.items():
+            outcomes[index].pid = child.pid
+            timeline.append(
+                (
+                    spawn_done,
+                    f"spawn {alternatives[index].name} (pid {child.pid})",
+                )
+            )
+
+        race = self.backend.run_arms(tasks, timeout=self.timeout)
+        try:
+            return self._conclude_real(
+                race, by_index, parent, outcomes, timeline, spawn_done
+            )
+        finally:
+            for child in children:
+                self.manager.detach_elimination_hook(child.pid)
+
+    def _conclude_real(
+        self,
+        race: BackendRace,
+        by_index: Dict[int, SimProcess],
+        parent: SimProcess,
+        outcomes: List[AltOutcome],
+        timeline: List[Tuple[float, str]],
+        spawn_done: float,
+    ) -> AltResult:
+        winner_index = race.winner_index
+        for when, label in race.events:
+            timeline.append((spawn_done + when, label))
+
+        # Per-arm bookkeeping, read *before* alt_wait releases loser spaces.
+        wasted = 0.0
+        for index, child in by_index.items():
+            report = race.report(index)
+            outcome = outcomes[index]
+            outcome.duration = report.work_seconds
+            outcome.started_at = spawn_done + report.started_at
+            outcome.finished_at = spawn_done + report.finished_at
+            outcome.cpu_consumed = report.work_seconds
+            if report.dirty_pages is None:
+                outcome.pages_written = child.space.pages_written
+            else:
+                outcome.pages_written = report.pages_written
+            if index != winner_index:
+                wasted += report.work_seconds
+            if report.succeeded:
+                continue
+            if report.cancelled and winner_index is not None:
+                # Eliminated loser: alt_wait terminates it below.
+                outcome.status = "eliminated"
+                outcome.detail = report.detail
+            else:
+                self.manager.fail(child)
+                outcome.status = "eliminated" if report.cancelled else "failed"
+                outcome.detail = report.detail
+
+        if winner_index is None:
+            elapsed = spawn_done + race.total_seconds
+            if race.timed_out:
+                timeline.append((elapsed, "alt_wait TIMEOUT"))
+                try:
+                    self.manager.alt_wait(parent, timed_out=True)
+                except (AltTimeout, AltBlockFailure):
+                    pass
+                error: Exception = AltTimeout(
+                    f"no alternative succeeded within {self.timeout} seconds"
+                )
+            else:
+                timeline.append((elapsed, "block FAILED"))
+                try:
+                    self.manager.alt_wait(parent)
+                except AltBlockFailure:
+                    pass
+                error = AltBlockFailure(
+                    f"all {len(by_index)} spawned alternatives failed"
+                )
+            error.outcomes = outcomes
+            error.elapsed = elapsed
+            error.timeline = timeline
+            raise error
+
+        winner_report = race.report(winner_index)
+        winner_child = by_index[winner_index]
+        if winner_report.dirty_pages:
+            # The winner ran in another OS process: replay its page images
+            # into the simulated child space before the commit swap.
+            winner_child.space.apply_pages(winner_report.dirty_pages)
+        won = self.manager.alt_sync(winner_child, guard_ok=True)
+        assert won, "first successful completion must win the rendezvous"
+        self.manager.alt_wait(parent, elimination=self.elimination)
+        if self.elimination is EliminationMode.ASYNCHRONOUS:
+            self.manager.drain_eliminations(winner_child.group_id)
+
+        win_time = spawn_done + race.elapsed
+        if self.elimination is EliminationMode.SYNCHRONOUS:
+            # The parent resumes only once every sibling is accounted for.
+            resume_at = spawn_done + race.total_seconds
+        else:
+            resume_at = win_time
+        winner_outcome = outcomes[winner_index]
+        winner_outcome.status = "won"
+        winner_outcome.value = winner_report.value
+        winner_outcome.finished_at = win_time
+        timeline.append((resume_at, "parent resumes"))
+        timeline.sort(key=lambda event: event[0])
+        overhead = OverheadBreakdown(
+            setup=spawn_done,
+            runtime=self.cost_model.page_copy_time(
+                winner_outcome.pages_written
+            ),
+            selection=max(0.0, resume_at - win_time),
+        )
+        return AltResult(
+            value=winner_report.value,
+            winner=winner_outcome,
+            outcomes=outcomes,
+            elapsed=resume_at,
+            overhead=overhead,
+            wasted_work=wasted,
+            timeline=timeline,
+        )
 
     # ------------------------------------------------------------------
     # phase 3: the timing race + at-most-once selection

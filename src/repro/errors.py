@@ -40,6 +40,13 @@ class AltTimeout(ReproError):
     """``alt_wait(TIMEOUT)`` expired before any alternative synchronized."""
 
 
+class Eliminated(ReproError):
+    """Raised inside an alternative's body at a cooperative cancellation
+    point after the sibling termination instruction (section 3.2.1) has
+    been delivered: a sibling won the rendezvous, so this loser should
+    stop burning CPU instead of running to completion."""
+
+
 class PageFault(ReproError):
     """An access touched an address outside the mapped address space."""
 

@@ -7,12 +7,21 @@ named-variable layer (:meth:`put` / :meth:`get`) so application code --
 recovery-block alternates, Prolog worlds -- can treat the space as a
 key-value store while every byte still lives in pages and every update
 still goes through the COW machinery.
+
+The variable directory is *incremental*: bindings are appended to a
+length-prefixed record log inside the first pages of the space, so the
+k-th ``put`` dirties only the header page and the pages its own record
+lands on.  (The previous design re-pickled the whole directory on every
+``put``, which rewrote all earlier variables' bytes -- O(total variable
+bytes) per call -- re-dirtied the prefix pages, and triggered spurious COW
+faults in every forked child that touched a variable.)  The log is
+compacted in place only when an append would overflow the space.
 """
 
 from __future__ import annotations
 
 import pickle
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.errors import PageFault
 from repro.pages.store import PageStore
@@ -38,6 +47,7 @@ class AddressSpace:
         # The variable directory is itself serialized into the first pages
         # of the space, so forked children inherit it through the pages.
         self._vars_cache: Optional[Dict[str, Any]] = None
+        self._log_tail: Optional[int] = None
 
     @property
     def num_pages(self) -> int:
@@ -54,16 +64,28 @@ class AddressSpace:
             )
 
     def read(self, offset: int, length: int) -> bytes:
-        """Read ``length`` bytes starting at ``offset``."""
+        """Read ``length`` bytes starting at ``offset``.
+
+        Reads are served through frame ``memoryview`` slices, so a read
+        performs exactly one copy (assembling the result) no matter how
+        many pages it crosses.
+        """
         self._check_range(offset, length)
+        if length == 0:
+            return b""
+        vpn, page_offset = divmod(offset, self.page_size)
+        if page_offset + length <= self.page_size:
+            # Single-page fast path: one slice, one copy.
+            view = self.table.read_page_view(vpn)
+            return bytes(view[page_offset:page_offset + length])
         chunks = []
         remaining = length
         position = offset
         while remaining > 0:
             vpn, page_offset = divmod(position, self.page_size)
             take = min(remaining, self.page_size - page_offset)
-            page = self.table.read_page(vpn)
-            chunks.append(page[page_offset:page_offset + take])
+            view = self.table.read_page_view(vpn)
+            chunks.append(view[page_offset:page_offset + take])
             position += take
             remaining -= take
         return b"".join(chunks)
@@ -79,41 +101,119 @@ class AddressSpace:
             self.table.write_page(vpn, data[start:start + take], page_offset)
             position += take
             start += take
+        self._invalidate_vars()
+
+    def _invalidate_vars(self) -> None:
         self._vars_cache = None
+        self._log_tail = None
 
     # ------------------------------------------------------------------
-    # named-variable layer
+    # named-variable layer: an incremental record log
+    #
+    # byte 0..8   big-endian log length L (bytes of records after the header)
+    # then L bytes of records, each: 4-byte big-endian record length,
+    # followed by pickle((name, value)) for a binding or pickle((name,))
+    # for a tombstone.  A zeroed header reads as an empty directory.
 
     _DIRECTORY_HEADER = 8  # length prefix, big-endian
+    _RECORD_HEADER = 4
 
-    def _load_vars(self) -> Dict[str, Any]:
-        if self._vars_cache is not None:
-            return self._vars_cache
+    def _encode_records(self, records: Iterable[Tuple]) -> bytes:
+        parts = []
+        for record in records:
+            blob = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+            parts.append(len(blob).to_bytes(self._RECORD_HEADER, "big"))
+            parts.append(blob)
+        return b"".join(parts)
+
+    @staticmethod
+    def _apply_records(variables: Dict[str, Any], records: Iterable[Tuple]) -> None:
+        for record in records:
+            if len(record) == 1:
+                variables.pop(record[0], None)
+            else:
+                variables[record[0]] = record[1]
+
+    def _replay_log(self) -> Tuple[Dict[str, Any], int]:
+        """Rebuild the directory dict from the on-page log."""
         header = self.read(0, self._DIRECTORY_HEADER)
         length = int.from_bytes(header, "big")
+        end = self._DIRECTORY_HEADER + length
         if length == 0:
-            self._vars_cache = {}
-        else:
-            blob = self.read(self._DIRECTORY_HEADER, length)
-            self._vars_cache = pickle.loads(blob)
+            return {}, end
+        log = self.read(self._DIRECTORY_HEADER, length)
+        variables: Dict[str, Any] = {}
+        offset = 0
+        while offset < length:
+            record_len = int.from_bytes(
+                log[offset:offset + self._RECORD_HEADER], "big"
+            )
+            offset += self._RECORD_HEADER
+            record = pickle.loads(log[offset:offset + record_len])
+            offset += record_len
+            self._apply_records(variables, [record])
+        return variables, end
+
+    def _load_vars(self) -> Dict[str, Any]:
+        if self._vars_cache is None:
+            self._vars_cache, self._log_tail = self._replay_log()
         return self._vars_cache
 
-    def _store_vars(self, variables: Dict[str, Any]) -> None:
-        blob = pickle.dumps(variables, protocol=pickle.HIGHEST_PROTOCOL)
-        needed = self._DIRECTORY_HEADER + len(blob)
+    def _write_compacted(self, variables: Dict[str, Any]) -> None:
+        """Rewrite the log as one live record per binding (may shrink)."""
+        payload = self._encode_records(
+            (name, value) for name, value in variables.items()
+        )
+        needed = self._DIRECTORY_HEADER + len(payload)
         if needed > self.size:
             raise PageFault(
                 f"variable directory of {needed} bytes exceeds "
                 f"address space of {self.size} bytes"
             )
-        self.write(0, len(blob).to_bytes(self._DIRECTORY_HEADER, "big") + blob)
+        self.write(
+            0, len(payload).to_bytes(self._DIRECTORY_HEADER, "big") + payload
+        )
         self._vars_cache = dict(variables)
+        self._log_tail = needed
+
+    def _append_records(self, records) -> None:
+        """Append ``records`` to the log; compact (once) when out of room."""
+        variables = dict(self._load_vars())
+        tail = self._log_tail
+        assert tail is not None
+        payload = self._encode_records(records)
+        if tail + len(payload) > self.size:
+            self._apply_records(variables, records)
+            self._write_compacted(variables)
+            return
+        self._apply_records(variables, records)
+        # Records first, header last: a reader that observes the old
+        # header simply ignores the bytes past the old tail.
+        self.write(tail, payload)
+        new_tail = tail + len(payload)
+        log_length = new_tail - self._DIRECTORY_HEADER
+        self.write(0, log_length.to_bytes(self._DIRECTORY_HEADER, "big"))
+        self._vars_cache = variables
+        self._log_tail = new_tail
 
     def put(self, name: str, value: Any) -> None:
-        """Bind ``name`` to ``value`` in the space's variable directory."""
-        variables = dict(self._load_vars())
-        variables[name] = value
-        self._store_vars(variables)
+        """Bind ``name`` to ``value`` in the space's variable directory.
+
+        Appends one record: earlier variables' bytes are left untouched,
+        so only the header page and the record's own pages are dirtied.
+        """
+        self._append_records([(name, value)])
+
+    def bulk_put(self, variables: Mapping[str, Any]) -> None:
+        """Bind every ``name: value`` in one append.
+
+        All records are written in a single pass with a single header
+        update -- the cheap way to preload a space, versus a loop of
+        :meth:`put` paying one header rewrite per variable.
+        """
+        if not variables:
+            return
+        self._append_records([(name, value) for name, value in variables.items()])
 
     def get(self, name: str, default: Any = None) -> Any:
         """Look up ``name`` (``default`` when absent)."""
@@ -121,9 +221,9 @@ class AddressSpace:
 
     def delete(self, name: str) -> None:
         """Remove ``name`` from the directory (KeyError when absent)."""
-        variables = dict(self._load_vars())
-        del variables[name]
-        self._store_vars(variables)
+        if name not in self._load_vars():
+            raise KeyError(name)
+        self._append_records([(name,)])
 
     def names(self) -> list:
         """Sorted variable names currently bound."""
@@ -142,6 +242,7 @@ class AddressSpace:
         child.page_size = self.page_size
         child.table = child_table
         child._vars_cache = None
+        child._log_tail = None
         return child
 
     def adopt(self, child: "AddressSpace") -> None:
@@ -149,12 +250,23 @@ class AddressSpace:
         if child.size != self.size:
             raise ValueError("cannot adopt a space of a different size")
         self.table.adopt(child.table)
-        self._vars_cache = None
+        self._invalidate_vars()
+
+    def apply_pages(self, pages: Mapping[int, bytes]) -> None:
+        """Write whole-page images into this space (COW rules apply).
+
+        This is how a fork-based execution backend ships a winning child's
+        dirty pages back into the simulated address space before the
+        parent's commit swap.
+        """
+        for vpn in sorted(pages):
+            self.table.write_page(vpn, pages[vpn], 0)
+        self._invalidate_vars()
 
     def release(self) -> None:
         """Release every page (process exit)."""
         self.table.release()
-        self._vars_cache = None
+        self._invalidate_vars()
 
     @property
     def pages_written(self) -> int:

@@ -4,11 +4,19 @@ The store plays the role of physical memory plus backing store: a single
 pool of immutable frames shared by every page table in a simulated machine.
 Reference counting tells us when a frame is shared (so a write must copy)
 and when it can be reclaimed.
+
+The store is safe under concurrent children: the parallel execution
+backends (``repro.core.backends``) run alternative bodies in real threads,
+so every refcount mutation happens under a per-store lock.  Frames stay
+immutable ``bytes``, which makes *reads* safe without the lock, and
+:meth:`view` serves them as ``memoryview`` so hot-path readers never copy
+a frame just to slice it.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import threading
+from typing import Dict, Optional
 
 from repro.pages.page import DEFAULT_PAGE_SIZE, zero_page
 
@@ -23,6 +31,8 @@ class PageStore:
         self._frames: Dict[int, bytes] = {}
         self._refcounts: Dict[int, int] = {}
         self._next_frame = 0
+        self._lock = threading.RLock()
+        self._zero_frame: Optional[int] = None
         self.total_allocations = 0
         """Cumulative frames ever allocated (for overhead accounting)."""
 
@@ -39,12 +49,36 @@ class PageStore:
             )
         if len(data) < self.page_size:
             data = data + zero_page(self.page_size)[len(data):]
-        frame_id = self._next_frame
-        self._next_frame += 1
-        self._frames[frame_id] = data
-        self._refcounts[frame_id] = 1
-        self.total_allocations += 1
+        with self._lock:
+            frame_id = self._next_frame
+            self._next_frame += 1
+            self._frames[frame_id] = data
+            self._refcounts[frame_id] = 1
+            self.total_allocations += 1
         return frame_id
+
+    def acquire_zero_frame(self, count: int = 1) -> int:
+        """Take ``count`` references on the store's shared all-zero frame.
+
+        Every caller building a fresh address space needs its unmapped
+        pages backed by zeros; instead of allocating one zero frame per
+        space, the store keeps a single canonical zero frame alive for as
+        long as anyone references it and hands out shared references in
+        bulk.  Returns the frame id carrying ``count`` new references owned
+        by the caller.
+        """
+        if count < 1:
+            raise ValueError("must acquire at least one reference")
+        with self._lock:
+            frame_id = self._zero_frame
+            if frame_id is not None and frame_id in self._refcounts:
+                self._refcounts[frame_id] += count
+                return frame_id
+            frame_id = self.allocate(zero_page(self.page_size))
+            if count > 1:
+                self._refcounts[frame_id] += count - 1
+            self._zero_frame = frame_id
+            return frame_id
 
     def read(self, frame_id: int) -> bytes:
         """Return the immutable contents of a frame."""
@@ -53,22 +87,36 @@ class PageStore:
         except KeyError:
             raise KeyError(f"no such frame: {frame_id}") from None
 
-    def incref(self, frame_id: int) -> None:
-        """Add a reference (a page-table entry now points at the frame)."""
-        if frame_id not in self._refcounts:
-            raise KeyError(f"no such frame: {frame_id}")
-        self._refcounts[frame_id] += 1
+    def view(self, frame_id: int) -> memoryview:
+        """A zero-copy view of a frame's contents.
+
+        Frames are immutable, so the view stays valid for as long as the
+        caller holds a reference on the frame.
+        """
+        return memoryview(self.read(frame_id))
+
+    def incref(self, frame_id: int, count: int = 1) -> None:
+        """Add ``count`` references (page-table entries now point here)."""
+        if count < 1:
+            raise ValueError("must add at least one reference")
+        with self._lock:
+            if frame_id not in self._refcounts:
+                raise KeyError(f"no such frame: {frame_id}")
+            self._refcounts[frame_id] += count
 
     def decref(self, frame_id: int) -> None:
         """Drop a reference, reclaiming the frame at zero."""
-        count = self._refcounts.get(frame_id)
-        if count is None:
-            raise KeyError(f"no such frame: {frame_id}")
-        if count == 1:
-            del self._refcounts[frame_id]
-            del self._frames[frame_id]
-        else:
-            self._refcounts[frame_id] = count - 1
+        with self._lock:
+            count = self._refcounts.get(frame_id)
+            if count is None:
+                raise KeyError(f"no such frame: {frame_id}")
+            if count == 1:
+                del self._refcounts[frame_id]
+                del self._frames[frame_id]
+                if self._zero_frame == frame_id:
+                    self._zero_frame = None
+            else:
+                self._refcounts[frame_id] = count - 1
 
     def refcount(self, frame_id: int) -> int:
         """Current reference count (0 if the frame was reclaimed)."""

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Dict, Iterator
 
 from repro.errors import PageFault
-from repro.pages.page import patch_page, zero_page
+from repro.pages.page import patch_page
 from repro.pages.store import PageStore
 
 
@@ -36,12 +36,19 @@ class PageTable:
     # mapping management
 
     def map_page(self, vpn: int, data: bytes = b"") -> None:
-        """Map virtual page ``vpn`` to a fresh frame holding ``data``."""
+        """Map virtual page ``vpn`` to a fresh frame holding ``data``.
+
+        The new frame is allocated *before* the old frame's reference is
+        dropped: decref-first could reclaim the old frame and let an
+        id-recycling allocator hand the same id straight back, an ABA
+        hazard for anyone holding the old frame id across the remap.
+        """
         if vpn < 0:
             raise ValueError("virtual page numbers are non-negative")
-        if vpn in self._entries:
-            self.store.decref(self._entries[vpn])
+        old_frame = self._entries.get(vpn)
         self._entries[vpn] = self.store.allocate(data)
+        if old_frame is not None:
+            self.store.decref(old_frame)
         self._dirty.add(vpn)
 
     def unmap_page(self, vpn: int) -> None:
@@ -76,6 +83,15 @@ class PageTable:
     def read_page(self, vpn: int) -> bytes:
         """The contents of virtual page ``vpn``."""
         return self.store.read(self.frame_of(vpn))
+
+    def read_page_view(self, vpn: int) -> memoryview:
+        """A zero-copy ``memoryview`` of virtual page ``vpn``.
+
+        Valid for as long as this table keeps its reference on the
+        backing frame (frames are immutable, so concurrent readers are
+        safe by construction).
+        """
+        return self.store.view(self.frame_of(vpn))
 
     def write_page(self, vpn: int, data: bytes, offset: int = 0) -> None:
         """Write ``data`` into page ``vpn`` at ``offset``, copying on demand.
@@ -168,14 +184,14 @@ class PageTable:
         """Map any unmapped page in ``vpns`` to a shared zero frame.
 
         Used to build address spaces of a given size without allocating a
-        private frame per page up front.
+        private frame per page up front.  The references are acquired in
+        one batch on the store's canonical zero frame, so fresh spaces on
+        the same store share a single zero frame between them instead of
+        allocating one per space.
         """
-        zero = None
-        for vpn in vpns:
-            if vpn in self._entries:
-                continue
-            if zero is None:
-                zero = self.store.allocate(zero_page(self.store.page_size))
-            else:
-                self.store.incref(zero)
+        missing = [vpn for vpn in vpns if vpn not in self._entries]
+        if not missing:
+            return
+        zero = self.store.acquire_zero_frame(count=len(missing))
+        for vpn in missing:
             self._entries[vpn] = zero

@@ -83,6 +83,7 @@ class ProcessManager:
         self.processes: Dict[int, SimProcess] = {}
         self.groups: Dict[int, AltGroup] = {}
         self._listeners: List[StatusListener] = []
+        self._elimination_hooks: Dict[int, Callable[[], None]] = {}
         # Overhead counters (inputs to the cost model).
         self.forks_performed = 0
         self.kills_issued = 0
@@ -120,6 +121,26 @@ class ProcessManager:
     def on_status_change(self, listener: StatusListener) -> None:
         """Register for final-status notifications (predicate resolution)."""
         self._listeners.append(listener)
+
+    def attach_elimination_hook(self, pid: int, hook: Callable[[], None]) -> None:
+        """Deliver the termination instruction for ``pid`` through ``hook``.
+
+        The concurrent executor registers each racing child's cancellation
+        token here; when the kernel actually eliminates the child (the
+        section 3.2.1 kill, synchronous or asynchronous), the hook fires
+        so a body still running under a real parallel backend stops at its
+        next cooperative checkpoint instead of burning CPU to completion.
+        """
+        self._elimination_hooks[pid] = hook
+
+    def detach_elimination_hook(self, pid: int) -> None:
+        """Drop a hook that will never fire (e.g. the winner's)."""
+        self._elimination_hooks.pop(pid, None)
+
+    def _deliver_elimination(self, pid: int) -> None:
+        hook = self._elimination_hooks.pop(pid, None)
+        if hook is not None:
+            hook()
 
     def _notify(self, pid: int, completed: bool) -> None:
         for listener in self._listeners:
@@ -299,6 +320,7 @@ class ProcessManager:
         drained = 0
         for pid in group.pending_elimination:
             process = self.processes[pid]
+            self._deliver_elimination(pid)
             if process.is_terminal:
                 continue
             process.transition(ProcessState.ELIMINATED)

@@ -1,0 +1,256 @@
+"""Paged-store hot-path behavior: incremental directory, bulk_put,
+frame-remap ordering, shared zero frames, zero-copy reads.
+
+The optimization contract this file pins:
+
+- ``put`` of the k-th variable appends to the directory log; it no longer
+  rewrites every previously bound variable (O(1) pages dirtied, not O(k));
+- ``bulk_put`` binds a whole mapping in one directory append;
+- ``map_page`` allocates the replacement frame *before* releasing the old
+  one, so an id-recycling allocator can never hand the same frame id back
+  (the ABA remap hazard);
+- fresh address spaces on one store share a single canonical zero frame.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PageFault
+from repro.pages.address_space import AddressSpace
+from repro.pages.page import zero_page
+from repro.pages.store import PageStore
+from repro.pages.table import PageTable
+
+
+class RecyclingStore(PageStore):
+    """A store whose allocator reuses freed frame ids immediately --
+    the allocator model under which decref-before-allocate remapping
+    becomes an ABA bug."""
+
+    def __init__(self, page_size: int = 64) -> None:
+        super().__init__(page_size=page_size)
+        self._free: list = []
+
+    def allocate(self, data: bytes = b"") -> int:
+        with self._lock:
+            if self._free:
+                if len(data) < self.page_size:
+                    data = data + zero_page(self.page_size)[len(data):]
+                frame_id = self._free.pop()
+                self._frames[frame_id] = data
+                self._refcounts[frame_id] = 1
+                self.total_allocations += 1
+                return frame_id
+            return super().allocate(data)
+
+    def decref(self, frame_id: int) -> None:
+        with self._lock:
+            reclaimed = self._refcounts.get(frame_id) == 1
+            super().decref(frame_id)
+            if reclaimed:
+                self._free.append(frame_id)
+
+
+# ----------------------------------------------------------------------
+# map_page remap ordering (the ABA regression)
+
+
+class TestMapPageRemapOrdering:
+    def test_remap_never_reuses_the_old_frame_id(self):
+        store = RecyclingStore()
+        table = PageTable(store)
+        table.map_page(0, b"old-contents")
+        old_frame = table.frame_of(0)
+        table.map_page(0, b"new-contents")
+        new_frame = table.frame_of(0)
+        # Allocate-before-decref: the old frame is still referenced while
+        # the replacement is allocated, so a recycler cannot hand its id
+        # straight back.
+        assert new_frame != old_frame
+        assert table.read_page(0).startswith(b"new-contents")
+        # The old frame was still reclaimed (no leak).
+        assert store.refcount(old_frame) == 0
+
+    def test_remap_frees_old_frame_for_later_allocations(self):
+        store = RecyclingStore()
+        table = PageTable(store)
+        table.map_page(0, b"first")
+        old_frame = table.frame_of(0)
+        table.map_page(0, b"second")
+        # A *subsequent* allocation may reuse the reclaimed id.
+        reused = store.allocate(b"unrelated")
+        assert reused == old_frame
+
+
+# ----------------------------------------------------------------------
+# incremental variable directory
+
+
+class TestIncrementalPut:
+    def _space(self, pages: int = 64, page_size: int = 64) -> AddressSpace:
+        store = PageStore(page_size=page_size)
+        return AddressSpace(store, size=pages * page_size)
+
+    def test_put_of_kth_variable_dirties_o1_pages(self):
+        """The acceptance criterion: binding one more variable must not
+        rewrite the previously bound ones."""
+        space = self._space()
+        for i in range(30):
+            space.put(f"var{i:02d}", i)
+        space.table.clear_dirty()
+        space.put("one_more", "appended")
+        # Only the directory header page and the log-tail page(s) get
+        # touched, never the pages holding the earlier 30 records.
+        assert space.table.pages_written <= 3
+        assert space.get("one_more") == "appended"
+        assert space.get("var07") == 7
+
+    def test_put_dirty_pages_do_not_grow_with_directory_size(self):
+        space = self._space()
+        costs = []
+        for i in range(40):
+            space.table.clear_dirty()
+            space.put(f"k{i:03d}", i * 1.5)
+            costs.append(space.table.pages_written)
+        # Early and late puts dirty the same (tiny) number of pages.
+        assert max(costs) <= 3
+        assert all(space.get(f"k{i:03d}") == i * 1.5 for i in range(40))
+
+    def test_delete_appends_a_tombstone(self):
+        space = self._space()
+        for i in range(20):
+            space.put(f"var{i}", i)
+        space.table.clear_dirty()
+        space.delete("var3")
+        assert space.table.pages_written <= 3
+        assert "var3" not in space.names()
+        assert space.get("var3") is None
+        with pytest.raises(KeyError):
+            space.delete("var3")
+
+    def test_rebind_returns_latest_value(self):
+        space = self._space()
+        space.put("x", "first")
+        space.put("x", "second")
+        space.put("x", "third")
+        assert space.get("x") == "third"
+        assert space.names() == ["x"]
+
+    def test_log_compacts_instead_of_overflowing(self):
+        """Rebinding the same name forever must not exhaust the space:
+        the log compacts away superseded records on overflow."""
+        space = self._space(pages=4, page_size=64)
+        for i in range(200):
+            space.put("only", i)
+        assert space.get("only") == 199
+        assert space.names() == ["only"]
+
+    def test_true_overflow_still_faults(self):
+        space = self._space(pages=1, page_size=64)
+        with pytest.raises(PageFault):
+            space.put("big", "x" * 1000)
+
+    def test_directory_survives_fork_and_adopt(self):
+        space = self._space()
+        space.put("inherited", 1)
+        child = space.fork()
+        child.put("child_only", 2)
+        assert "child_only" not in space.names()
+        space.adopt(child)
+        assert space.get("inherited") == 1
+        assert space.get("child_only") == 2
+
+
+class TestBulkPut:
+    def _space(self) -> AddressSpace:
+        return AddressSpace(PageStore(page_size=64), size=64 * 64)
+
+    def test_bulk_put_binds_everything(self):
+        space = self._space()
+        space.bulk_put({f"v{i}": i * i for i in range(25)})
+        assert space.get("v0") == 0
+        assert space.get("v24") == 576
+        assert len(space.names()) == 25
+
+    def test_bulk_put_is_one_append(self):
+        space = self._space()
+        space.put("existing", "x")
+        space.table.clear_dirty()
+        space.bulk_put({f"n{i}": i for i in range(10)})
+        one_shot = space.table.pages_written
+
+        other = self._space()
+        other.put("existing", "x")
+        other.table.clear_dirty()
+        for i in range(10):
+            other.put(f"n{i}", i)
+        assert space.names() == other.names()
+        # The batch dirties no more pages than the put-loop.
+        assert one_shot <= other.table.pages_written
+
+    def test_bulk_put_empty_mapping_is_a_noop(self):
+        space = self._space()
+        space.table.clear_dirty()
+        space.bulk_put({})
+        assert space.table.pages_written == 0
+        assert space.names() == []
+
+    def test_bulk_put_overflow_faults(self):
+        space = AddressSpace(PageStore(page_size=64), size=64)
+        with pytest.raises(PageFault):
+            space.bulk_put({"big": "x" * 1000})
+
+
+# ----------------------------------------------------------------------
+# shared zero frames
+
+
+class TestSharedZeroFrame:
+    def test_fresh_spaces_share_one_zero_frame(self):
+        store = PageStore(page_size=64)
+        spaces = [AddressSpace(store, size=64 * 32) for _ in range(8)]
+        # 8 spaces x 32 pages all resolve to the single canonical zero
+        # frame: one live frame, not 256.
+        assert store.live_frames == 1
+        for space in spaces:
+            space.release()
+        assert store.live_frames == 0
+
+    def test_zero_frame_reallocated_after_reclaim(self):
+        store = PageStore(page_size=64)
+        first = store.acquire_zero_frame()
+        store.decref(first)
+        assert store.live_frames == 0
+        second = store.acquire_zero_frame(count=3)
+        assert store.refcount(second) == 3
+        assert store.read(second) == zero_page(64)
+
+    def test_writes_still_isolated_between_spaces(self):
+        store = PageStore(page_size=64)
+        a = AddressSpace(store, size=64 * 8)
+        b = AddressSpace(store, size=64 * 8)
+        a.put("mine", "a")
+        assert b.names() == []
+        assert a.get("mine") == "a"
+
+
+# ----------------------------------------------------------------------
+# zero-copy reads
+
+
+class TestViews:
+    def test_read_page_view_matches_read_page(self):
+        store = PageStore(page_size=64)
+        table = PageTable(store)
+        table.map_page(0, b"some-bytes")
+        view = table.read_page_view(0)
+        assert isinstance(view, memoryview)
+        assert bytes(view) == table.read_page(0)
+        assert view.readonly or bytes(view) == table.read_page(0)
+
+    def test_space_read_spanning_pages(self):
+        space = AddressSpace(PageStore(page_size=16), size=16 * 8)
+        payload = bytes(range(48))
+        space.write(8, payload)  # spans pages 0..3
+        assert space.read(8, 48) == payload
