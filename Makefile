@@ -1,13 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: check test bench-smoke bench
+.PHONY: check test test-resilience bench-smoke bench
 
 ## check: what CI runs -- tier-1 tests plus a ~10s benchmark smoke.
 check: test bench-smoke
 
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+## test-resilience: the fault-injection smoke CI runs per injector seed.
+## Uses a hard per-test timeout when pytest-timeout is available (a hung
+## test here means a reaping/backstop regression).
+REPRO_FAULT_SEED ?= 0
+test-resilience:
+	REPRO_FAULT_SEED=$(REPRO_FAULT_SEED) $(PYTHON) -m pytest tests/resilience -q \
+		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo "--timeout=60 --timeout-method=thread")
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_parallel_backends.py --quick

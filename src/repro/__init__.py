@@ -41,11 +41,20 @@ from repro.errors import (
     AltBlockFailure,
     AltTimeout,
     Eliminated,
+    FaultInjected,
     GuardFailure,
+    PageApplyError,
     ReproError,
     TooLate,
 )
 from repro.process.primitives import EliminationMode
+from repro.resilience import (
+    FaultInjector,
+    FaultRule,
+    RaceAutopsy,
+    Supervisor,
+    injected,
+)
 from repro.sim.costs import ATT_3B2_310, FREE, HP_9000_350, MODERN_COMMODITY, CostModel
 
 __version__ = "1.0.0"
@@ -65,6 +74,9 @@ __all__ = [
     "EliminationMode",
     "ExecutionBackend",
     "FREE",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultRule",
     "GuardFailure",
     "GuardPlacement",
     "HP_9000_350",
@@ -72,15 +84,19 @@ __all__ = [
     "OrderedPolicy",
     "OsHost",
     "OverheadBreakdown",
+    "PageApplyError",
     "PriorityPolicy",
     "ProcessBackend",
+    "RaceAutopsy",
     "RandomPolicy",
     "ReproError",
     "SequentialExecutor",
     "SerialBackend",
+    "Supervisor",
     "ThreadBackend",
     "TooLate",
     "__version__",
     "default_parallel_backend",
     "get_backend",
+    "injected",
 ]

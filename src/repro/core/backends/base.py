@@ -104,6 +104,17 @@ class ArmReport:
     cow_faults: int = 0
     pages_written: int = 0
 
+    abnormal: bool = False
+    """True when the arm *died* rather than failed: an unexpected
+    exception, a signal, a hang, a truncated or corrupt result record.
+    Semantic failures (guard not satisfied, acceptance test rejected)
+    stay ``False`` -- only abnormal deaths are retryable under a
+    :class:`~repro.resilience.Supervisor`."""
+
+    exit_signal: Optional[int] = None
+    """Signal number that terminated the arm's OS process, when the
+    backend ran it in one and could observe the wait status."""
+
 
 @dataclass
 class BackendRace:
@@ -148,3 +159,15 @@ class ExecutionBackend(ABC):
         self, tasks: List[ArmTask], timeout: Optional[float] = None
     ) -> BackendRace:
         """Execute every task; return per-arm reports and the winner."""
+
+    def terminate_arm(self, index: int, hard: bool = False) -> bool:
+        """Deliver a termination instruction to one still-racing arm.
+
+        The supervisor's watchdog calls this from another thread while
+        :meth:`run_arms` blocks: ``hard=False`` is the cooperative kill
+        (cancellation token / SIGTERM), ``hard=True`` the forcible one
+        (SIGKILL where the backend commands an OS process).  Returns True
+        when a delivery was attempted; the base implementation knows no
+        arms and returns False.  Idempotent and safe on finished arms.
+        """
+        return False

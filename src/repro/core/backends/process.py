@@ -1,13 +1,13 @@
 """The process execution backend: real ``os.fork`` racing with COW.
 
-One forked child per arm.  Each child runs its body against its private
-simulated address space (the whole simulated store is duplicated by the
-OS fork's own copy-on-write, so siblings are isolated twice over), and
-reports its outcome over a shared pipe as a length-prefixed pickle
-record.  The first success record the parent reads wins the rendezvous --
-fastest-first at the wall clock -- and the winner's record carries its
-dirty page images so the parent can replay them into the simulated child
-space before the ``alt_wait`` page-pointer swap.
+One forked child per arm, one result pipe per child.  Each child runs its
+body against its private simulated address space (the whole simulated
+store is duplicated by the OS fork's own copy-on-write, so siblings are
+isolated twice over) and ships its outcome back as a checksum-framed
+pickle record; a successful record carries the child's dirty page images
+so the parent can replay them into the simulated child space before the
+``alt_wait`` page-pointer swap.  The first arm whose *intact* success
+record arrives wins the rendezvous -- fastest-first at the wall clock.
 
 Elimination is two-stage, matching the paper's cooperative-then-forcible
 reality: losers first receive ``SIGTERM``, whose handler cancels the
@@ -16,6 +16,24 @@ stops at its next cooperative checkpoint and reports how much work it
 actually did; any child still alive after ``kill_grace`` seconds is
 ``SIGKILL``-ed (the asynchronous hard kill of section 3.2.1) and its
 report is synthesized.
+
+Hardening beyond the paper's happy path:
+
+- every record is framed ``magic | length | crc32``; a corrupt record is
+  detected and demotes its arm to an abnormal failure instead of
+  poisoning the race;
+- a child that dies mid-shipback leaves a truncated frame on its private
+  pipe; the parent detects the dangling bytes at EOF, marks the arm dead,
+  and the next intact finisher is promoted -- a winner's death during
+  shipback never fails the block while a sibling can still win;
+- reaping is EINTR-safe, force-kills wedged children as a last resort,
+  records each child's wait status on its report (``exit_signal``), and a
+  module-level orphan sweep reclaims children leaked by a race that died
+  before its own reap;
+- the :mod:`repro.resilience` fault injector is consulted at the
+  ``arm-raise`` / ``arm-hang`` / ``arm-sigkill`` / ``pipe-truncate`` /
+  ``record-corrupt`` points, so every one of these failure modes is
+  reproducible in tests.
 """
 
 from __future__ import annotations
@@ -26,8 +44,10 @@ import pickle
 import select
 import signal
 import struct
+import threading
 import time
-from typing import Dict, List, Optional
+import zlib
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.backends.base import (
     ArmReport,
@@ -35,48 +55,207 @@ from repro.core.backends.base import (
     BackendRace,
     ExecutionBackend,
 )
-from repro.errors import Eliminated
+from repro.errors import Eliminated, FaultInjected
+from repro.resilience.injector import active as _active_injector
 
-_HEADER = struct.Struct("!I")
+_MAGIC = b"Rr"
+_FRAME = struct.Struct("!2sII")  # magic, payload length, crc32(payload)
+_MAX_RECORD = 1 << 30
+
+# Child exit codes the parent can interpret when no intact record arrived.
+_EXIT_OK = 0
+_EXIT_UNPICKLABLE = 81  # fallback record shipped; real value was unpicklable
+_EXIT_SHIP_FAILED = 82  # record could not be written at all
+_EXIT_TRUNCATED = 83  # injected mid-shipback death
+_EXIT_HANG = 84  # injected hang ran its full stall
+
+# ----------------------------------------------------------------------
+# orphan registry: pids forked by any ProcessBackend in this process that
+# have not been reaped yet.  A race that dies before its own reap leaves
+# its children here; the next race (or an explicit sweep) reclaims them.
+
+_orphan_lock = threading.Lock()
+_orphan_pids: Set[int] = set()
 
 
-def _write_record(fd: int, payload: dict) -> None:
+def _register_orphan(pid: int) -> None:
+    with _orphan_lock:
+        _orphan_pids.add(pid)
+
+
+def _forget_orphan(pid: int) -> None:
+    with _orphan_lock:
+        _orphan_pids.discard(pid)
+
+
+def sweep_orphans() -> int:
+    """Force-kill and reap children leaked by a previous race.
+
+    Returns the number of processes reclaimed.  Safe to call any time;
+    every ``run_arms`` calls it on entry so no child is ever left
+    unreaped across races, even after a parent-side crash.
+    """
+    with _orphan_lock:
+        leaked = list(_orphan_pids)
+    swept = 0
+    for pid in leaked:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+        if _waitpid_blocking(pid) is not None:
+            swept += 1
+        _forget_orphan(pid)
+    return swept
+
+
+def _waitpid_nohang(pid: int) -> Tuple[bool, Optional[int]]:
+    """Non-blocking reap: ``(reaped, status)``; EINTR-safe."""
+    while True:
+        try:
+            done, status = os.waitpid(pid, os.WNOHANG)
+        except InterruptedError:  # pragma: no cover - EINTR, retried
+            continue
+        except ChildProcessError:
+            return True, None  # already reaped elsewhere
+        if done == 0:
+            return False, None
+        return True, status
+
+
+def _waitpid_blocking(pid: int) -> Optional[int]:
+    """Blocking reap; EINTR-safe; ``None`` when already reaped."""
+    while True:
+        try:
+            _, status = os.waitpid(pid, 0)
+        except InterruptedError:  # pragma: no cover - EINTR, retried
+            continue
+        except ChildProcessError:
+            return None
+        return status
+
+
+# ----------------------------------------------------------------------
+# record framing
+
+def _frame_record(payload: dict) -> Tuple[bytes, int]:
+    """Frame ``payload`` as ``magic|len|crc32|pickle``.
+
+    Returns ``(frame, exit_code)``: an unpicklable result is replaced by
+    a failure record that *names* the serialization error (it must not
+    vanish), and the child's exit code is set to ``_EXIT_UNPICKLABLE`` so
+    the status surfaces it too.
+    """
+    exit_code = _EXIT_OK
     try:
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception:
-        payload = {
+    except Exception as exc:
+        stripped = {
             key: value
             for key, value in payload.items()
             if key not in ("value", "dirty_pages")
         }
-        payload["ok"] = False
-        payload["detail"] = "result not picklable across the fork boundary"
-        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    os.write(fd, _HEADER.pack(len(blob)) + blob)
+        stripped["ok"] = False
+        stripped["abnormal"] = True
+        stripped["detail"] = (
+            f"result not picklable across the fork boundary: {exc!r}"
+        )
+        blob = pickle.dumps(stripped, protocol=pickle.HIGHEST_PROTOCOL)
+        exit_code = _EXIT_UNPICKLABLE
+    frame = _FRAME.pack(_MAGIC, len(blob), zlib.crc32(blob) & 0xFFFFFFFF)
+    return frame + blob, exit_code
+
+
+def _write_all(fd: int, data: bytes) -> bool:
+    """Write every byte; EINTR-safe.  EPIPE (the parent is gone, nobody
+    will ever read this record) returns False; any other OS error -- a
+    real shipback failure -- propagates so the child can surface it in
+    its exit status instead of silently dropping the result."""
+    view = memoryview(data)
+    while view:
+        try:
+            written = os.write(fd, view)
+        except InterruptedError:  # pragma: no cover - EINTR, retried
+            continue
+        except OSError as exc:
+            if exc.errno == errno.EPIPE:
+                return False
+            raise
+        view = view[written:]
+    return True
+
+
+def _write_record(fd: int, payload: dict, ship_fault: Optional[str] = None) -> int:
+    """Frame and ship one record; returns the child exit code to use.
+
+    ``ship_fault`` is the parent-drawn injector decision ('truncate' or
+    'corrupt') -- decided *before* the fork so counters and the firing
+    log live in the parent, where the autopsy reads them.
+    """
+    frame, exit_code = _frame_record(payload)
+    if ship_fault == "truncate":
+        # Die mid-shipback: leave a dangling partial frame.
+        _write_all(fd, frame[: max(_FRAME.size + 1, len(frame) // 2)])
+        return _EXIT_TRUNCATED
+    if ship_fault == "corrupt":
+        body = bytearray(frame)
+        for position in range(_FRAME.size, len(body), 7):
+            body[position] ^= 0xFF
+        frame = bytes(body)
+    _write_all(fd, frame)
+    return exit_code
 
 
 class _RecordReader:
-    """Incremental length-prefixed record parser over a pipe."""
+    """Incremental checksum-framed record parser over one child's pipe."""
 
     def __init__(self) -> None:
         self._buffer = b""
+        self.corrupt = False
+        self.corrupt_detail = ""
+
+    @property
+    def pending(self) -> bool:
+        """Bytes of an incomplete frame are sitting in the buffer."""
+        return bool(self._buffer)
+
+    def _mark_corrupt(self, detail: str) -> None:
+        self.corrupt = True
+        self.corrupt_detail = detail
+        self._buffer = b""
 
     def feed(self, data: bytes) -> List[dict]:
+        if self.corrupt:
+            return []
         self._buffer += data
-        records = []
+        records: List[dict] = []
         while True:
-            if len(self._buffer) < _HEADER.size:
+            if len(self._buffer) < _FRAME.size:
                 return records
-            (length,) = _HEADER.unpack(self._buffer[:_HEADER.size])
-            if len(self._buffer) < _HEADER.size + length:
+            magic, length, crc = _FRAME.unpack_from(self._buffer)
+            if magic != _MAGIC or length > _MAX_RECORD:
+                self._mark_corrupt("corrupt result record: bad frame header")
                 return records
-            blob = self._buffer[_HEADER.size:_HEADER.size + length]
-            self._buffer = self._buffer[_HEADER.size + length:]
-            records.append(pickle.loads(blob))
+            if len(self._buffer) < _FRAME.size + length:
+                return records
+            blob = self._buffer[_FRAME.size:_FRAME.size + length]
+            self._buffer = self._buffer[_FRAME.size + length:]
+            if zlib.crc32(blob) & 0xFFFFFFFF != crc:
+                self._mark_corrupt(
+                    "corrupt result record: checksum mismatch"
+                )
+                return records
+            try:
+                records.append(pickle.loads(blob))
+            except Exception as exc:
+                self._mark_corrupt(
+                    f"corrupt result record: undecodable payload ({exc!r})"
+                )
+                return records
 
 
 class ProcessBackend(ExecutionBackend):
-    """Race arms in forked OS processes; first holding guard wins."""
+    """Race arms in forked OS processes; first intact success wins."""
 
     name = "process"
     is_parallel = True
@@ -89,50 +268,149 @@ class ProcessBackend(ExecutionBackend):
         if kill_grace < 0:
             raise ValueError("kill_grace cannot be negative")
         self.kill_grace = kill_grace
+        self._race_pids: Dict[int, int] = {}
+        self._race_seen: Set[int] = set()
 
     # ------------------------------------------------------------------
 
     def run_arms(
         self, tasks: List[ArmTask], timeout: Optional[float] = None
     ) -> BackendRace:
+        sweep_orphans()
         start = time.perf_counter()
-        read_fd, write_fd = os.pipe()
         pids: Dict[int, int] = {}
-        for task in tasks:
-            pid = os.fork()
-            if pid == 0:
-                os.close(read_fd)
-                self._child_main(task, write_fd, start)
-                os._exit(0)  # pragma: no cover - child exits in _child_main
-            pids[task.index] = pid
-        os.close(write_fd)
+        pipes: Dict[int, int] = {}
+        seen: Set[int] = set()
+        self._race_pids = pids
+        self._race_seen = seen
         try:
-            return self._collect(tasks, pids, read_fd, start, timeout)
+            for task in tasks:
+                pre_fault, ship_fault = self._draw_faults(task.index)
+                read_fd, write_fd = os.pipe()
+                pid = os.fork()
+                if pid == 0:
+                    # Child: drop every parent-side read end we inherited.
+                    try:
+                        os.close(read_fd)
+                        for sibling_fd in pipes.values():
+                            os.close(sibling_fd)
+                        self._child_main(
+                            task, write_fd, start, pre_fault, ship_fault
+                        )
+                    finally:  # pragma: no cover - _child_main never returns
+                        os._exit(_EXIT_SHIP_FAILED)
+                os.close(write_fd)
+                pids[task.index] = pid
+                pipes[task.index] = read_fd
+                _register_orphan(pid)
+            race = self._collect(tasks, pids, pipes, start, timeout, seen)
         finally:
-            os.close(read_fd)
-            self._reap(pids)
+            for fd in pipes.values():
+                try:
+                    os.close(fd)
+                except OSError:  # pragma: no cover - defensive
+                    pass
+            statuses = self._reap(pids)
+            self._race_pids = {}
+            self._race_seen = set()
+        self._annotate_exit_statuses(race, seen, statuses)
+        return race
+
+    def terminate_arm(self, index: int, hard: bool = False) -> bool:
+        """Signal one still-racing child (the watchdog's entry point)."""
+        pid = self._race_pids.get(index)
+        if pid is None or index in self._race_seen:
+            return False
+        try:
+            os.kill(pid, signal.SIGKILL if hard else signal.SIGTERM)
+        except (ProcessLookupError, PermissionError):
+            return False
+        return True
 
     # ------------------------------------------------------------------
     # child side
 
     @staticmethod
-    def _child_main(task: ArmTask, write_fd: int, start: float) -> None:
+    def _draw_faults(index: int) -> Tuple[Optional[Tuple], Optional[str]]:
+        """Consult the injector for one arm, in the parent, pre-fork.
+
+        Drawing here (instead of in the child) keeps fault counters and
+        the firing log in the parent process: ``times=`` budgets span
+        supervised retries correctly, and the autopsy can report what
+        fired.  Returns ``(pre_fault, ship_fault)`` for the child to act
+        on: ``pre_fault`` is ``('sigkill'|'hang'|'raise', duration,
+        detail)`` or ``None``; ``ship_fault`` is ``'truncate'``,
+        ``'corrupt'``, or ``None``.
+        """
+        injector = _active_injector()
+        if injector is None:
+            return None, None
+        pre_fault: Optional[Tuple] = None
+        if injector.draw("arm-sigkill", index) is not None:
+            pre_fault = ("sigkill", 0.0, "")
+        else:
+            hang = injector.draw("arm-hang", index)
+            if hang is not None:
+                pre_fault = ("hang", hang.duration, "")
+            else:
+                raised = injector.draw("arm-raise", index)
+                if raised is not None:
+                    pre_fault = (
+                        "raise",
+                        0.0,
+                        raised.detail
+                        or f"injected fault at arm-raise (arm {index})",
+                    )
+        ship_fault: Optional[str] = None
+        if pre_fault is None or pre_fault[0] == "raise":
+            # Only arms that will actually ship a record draw ship faults.
+            if injector.draw("pipe-truncate", index) is not None:
+                ship_fault = "truncate"
+            elif injector.draw("record-corrupt", index) is not None:
+                ship_fault = "corrupt"
+        return pre_fault, ship_fault
+
+    @staticmethod
+    def _child_main(
+        task: ArmTask,
+        write_fd: int,
+        start: float,
+        pre_fault: Optional[Tuple] = None,
+        ship_fault: Optional[str] = None,
+    ) -> None:
         token = getattr(task.context, "token", None)
         if token is not None:
             signal.signal(signal.SIGTERM, lambda signum, frame: token.cancel())
         began = time.perf_counter() - start
+        abnormal = False
         try:
+            if pre_fault is not None:
+                kind, duration, fault_detail = pre_fault
+                if kind == "sigkill":
+                    # Die abruptly, exactly as a crashed arm would.
+                    os.kill(os.getpid(), signal.SIGKILL)
+                elif kind == "hang":
+                    # Wedge: ignore the cooperative kill and stall.  Only
+                    # the SIGKILL backstop (grace escalation, watchdog, or
+                    # reap) gets rid of this child.
+                    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+                    time.sleep(duration)
+                    os._exit(_EXIT_HANG)
+                elif kind == "raise":
+                    raise FaultInjected(fault_detail)
             succeeded, value, detail = task.run()
             cancelled = False
         except Eliminated as exc:
             succeeded, value, detail, cancelled = False, None, str(exc), True
         except BaseException as exc:
             succeeded, value, detail, cancelled = False, None, repr(exc), False
+            abnormal = True
         finished = time.perf_counter() - start
         record = {
             "index": task.index,
             "ok": succeeded,
             "cancelled": cancelled,
+            "abnormal": abnormal,
             "detail": detail,
             "started": began,
             "finished": finished,
@@ -148,28 +426,34 @@ class ProcessBackend(ExecutionBackend):
                 record["cow_faults"] = space.cow_faults
                 record["pages_written"] = space.pages_written
         try:
-            _write_record(write_fd, record)
-        except BaseException:  # pragma: no cover - parent went away
-            os._exit(1)
-        os._exit(0)
+            exit_code = _write_record(write_fd, record, ship_fault)
+        except BaseException:
+            # A real shipback failure (not EPIPE): surface it in the exit
+            # status instead of vanishing.
+            os._exit(_EXIT_SHIP_FAILED)
+        os._exit(exit_code)
 
     # ------------------------------------------------------------------
     # parent side
 
-    def _collect(self, tasks, pids, read_fd, start, timeout) -> BackendRace:
-        reader = _RecordReader()
+    def _collect(
+        self, tasks, pids, pipes, start, timeout, seen
+    ) -> BackendRace:
+        readers = {index: _RecordReader() for index in pipes}
+        fd_to_index = {fd: index for index, fd in pipes.items()}
+        open_fds = set(pipes.values())
         reports = {
             task.index: ArmReport(index=task.index, name=task.name)
             for task in tasks
         }
         events: List[tuple] = []
-        seen: set = set()
         winner_index: Optional[int] = None
         timed_out = False
         deadline = None if timeout is None else start + timeout
         grace_deadline: Optional[float] = None
+        bail_deadline: Optional[float] = None
 
-        def signal_losers(sig: int) -> None:
+        def signal_racing(sig: int) -> None:
             for index, pid in pids.items():
                 if index == winner_index or index in seen:
                     continue
@@ -178,85 +462,93 @@ class ProcessBackend(ExecutionBackend):
                 except ProcessLookupError:
                     pass
 
-        while len(seen) < len(tasks):
+        def conclude_abnormal(index: int, detail: str) -> None:
+            """An arm died without an intact record: demote it."""
+            report = reports[index]
+            now = time.perf_counter() - start
+            report.cancelled = True
+            report.abnormal = True
+            report.detail = detail
+            if not report.finished_at:
+                report.finished_at = now
+                report.work_seconds = now
+            seen.add(index)
+            events.append((now, f"{report.name} dies: {detail}"))
+
+        while open_fds:
             now = time.perf_counter()
-            wait = None
-            if grace_deadline is not None:
-                wait = max(0.0, grace_deadline - now)
-            elif deadline is not None:
-                wait = max(0.0, deadline - now)
+            waits = [
+                candidate - now
+                for candidate in (bail_deadline, grace_deadline, deadline)
+                if candidate is not None
+            ]
+            wait = max(0.0, min(waits)) if waits else None
             try:
-                ready, _, _ = select.select([read_fd], [], [], wait)
+                ready, _, _ = select.select(list(open_fds), [], [], wait)
             except OSError as exc:  # pragma: no cover - platform dependent
                 if exc.errno == errno.EINTR:
                     continue
                 raise
             if not ready:
-                if grace_deadline is not None:
-                    # Cooperative window over: hard-kill the stragglers.
-                    signal_losers(signal.SIGKILL)
+                now = time.perf_counter()
+                if bail_deadline is not None and now >= bail_deadline:
+                    # SIGKILLed stragglers still have not EOFed; the reap
+                    # below will force the issue.  Do not spin forever.
                     break
-                # The block deadline expired with no winner: deliver the
-                # termination instruction to everyone, then give the
-                # cooperative window before SIGKILL.
-                timed_out = True
-                signal_losers(signal.SIGTERM)
-                grace_deadline = time.perf_counter() + self.kill_grace
+                if grace_deadline is not None and now >= grace_deadline:
+                    # Cooperative window over: hard-kill the stragglers.
+                    signal_racing(signal.SIGKILL)
+                    grace_deadline = None
+                    bail_deadline = time.perf_counter() + 5.0
+                    continue
+                if deadline is not None and now >= deadline and not timed_out:
+                    # The block deadline expired with no winner: deliver
+                    # the termination instruction to everyone, then give
+                    # the cooperative window before SIGKILL.
+                    timed_out = True
+                    signal_racing(signal.SIGTERM)
+                    grace_deadline = time.perf_counter() + self.kill_grace
+                    deadline = None
                 continue
-            data = os.read(read_fd, 65536)
-            if not data:
-                break  # every writer exited
-            for record in reader.feed(data):
-                index = record["index"]
-                seen.add(index)
-                report = reports[index]
-                report.started_at = record["started"]
-                report.finished_at = record["finished"]
-                report.work_seconds = record["finished"] - record["started"]
-                report.detail = record["detail"]
-                report.cancelled = record["cancelled"]
-                if record["ok"]:
-                    if winner_index is None and not timed_out:
-                        winner_index = index
-                        report.succeeded = True
-                        report.value = record["value"]
-                        report.dirty_pages = record.get("dirty_pages")
-                        report.cow_faults = record.get("cow_faults", 0)
-                        report.pages_written = record.get("pages_written", 0)
-                        events.append(
-                            (report.finished_at, f"{report.name} synchronizes")
-                        )
-                        # Winner chosen: cooperative kill for the rest.
-                        signal_losers(signal.SIGTERM)
-                        grace_deadline = (
-                            time.perf_counter() + self.kill_grace
-                        )
-                    else:
-                        report.cancelled = True
-                        report.detail = (
-                            "synchronized too late; sibling already won"
-                        )
-                        events.append(
-                            (report.finished_at, f"{report.name} too late")
-                        )
-                elif record["cancelled"]:
-                    events.append((report.finished_at, f"kill {report.name}"))
-                else:
-                    events.append(
-                        (
-                            report.finished_at,
-                            f"{report.name} aborts: {report.detail}",
-                        )
+            for fd in ready:
+                index = fd_to_index[fd]
+                reader = readers[index]
+                try:
+                    data = os.read(fd, 65536)
+                except InterruptedError:  # pragma: no cover - EINTR
+                    continue
+                if not data:
+                    open_fds.discard(fd)
+                    if index not in seen:
+                        if reader.corrupt:
+                            conclude_abnormal(index, reader.corrupt_detail)
+                        elif reader.pending:
+                            conclude_abnormal(
+                                index,
+                                "truncated result record "
+                                "(child died mid-shipback)",
+                            )
+                        # else: no record at all -- synthesized after the
+                        # loop, refined by the wait status.
+                    continue
+                for record in reader.feed(data):
+                    winner_index, grace_deadline = self._absorb_record(
+                        record, index, reports, seen, events,
+                        winner_index, timed_out, grace_deadline,
+                        signal_racing,
                     )
+                if reader.corrupt and index not in seen:
+                    conclude_abnormal(index, reader.corrupt_detail)
 
         total = time.perf_counter() - start
         for task in tasks:
             if task.index in seen:
                 continue
-            # SIGKILLed without a record: synthesize its elimination.
+            # Exited (or was SIGKILLed) without any record: synthesize.
             report = reports[task.index]
             report.cancelled = True
-            report.detail = "hard-killed after grace period"
+            report.abnormal = True
+            report.detail = "exited without a result record"
             report.finished_at = total
             report.work_seconds = total
             events.append((total, f"kill {report.name} (forced)"))
@@ -278,10 +570,97 @@ class ProcessBackend(ExecutionBackend):
             events=events,
         )
 
+    def _absorb_record(
+        self, record, index, reports, seen, events,
+        winner_index, timed_out, grace_deadline, signal_racing,
+    ):
+        """Fold one intact record into the race state."""
+        seen.add(index)
+        report = reports[index]
+        report.started_at = record["started"]
+        report.finished_at = record["finished"]
+        report.work_seconds = record["finished"] - record["started"]
+        report.detail = record["detail"]
+        report.cancelled = record["cancelled"]
+        report.abnormal = record.get("abnormal", False)
+        if record["ok"]:
+            if winner_index is None and not timed_out:
+                winner_index = index
+                report.succeeded = True
+                report.value = record["value"]
+                report.dirty_pages = record.get("dirty_pages")
+                report.cow_faults = record.get("cow_faults", 0)
+                report.pages_written = record.get("pages_written", 0)
+                events.append(
+                    (report.finished_at, f"{report.name} synchronizes")
+                )
+                # Winner chosen: cooperative kill for the rest.
+                signal_racing(signal.SIGTERM)
+                grace_deadline = time.perf_counter() + self.kill_grace
+            else:
+                report.cancelled = True
+                report.detail = "synchronized too late; sibling already won"
+                events.append(
+                    (report.finished_at, f"{report.name} too late")
+                )
+        elif record["cancelled"]:
+            events.append((report.finished_at, f"kill {report.name}"))
+        else:
+            events.append(
+                (
+                    report.finished_at,
+                    f"{report.name} aborts: {report.detail}",
+                )
+            )
+        return winner_index, grace_deadline
+
+    # ------------------------------------------------------------------
+    # reaping
+
+    def _reap(self, pids: Dict[int, int]) -> Dict[int, Optional[int]]:
+        """Reap every child; force-kill anything still alive.
+
+        Returns each arm's wait status (``None`` when the child was
+        already reaped elsewhere).  Never blocks indefinitely: a child
+        that has not exited gets SIGKILL before the blocking wait.
+        """
+        statuses: Dict[int, Optional[int]] = {}
+        for index, pid in pids.items():
+            reaped, status = _waitpid_nohang(pid)
+            if not reaped:
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass
+                status = _waitpid_blocking(pid)
+            statuses[index] = status
+            _forget_orphan(pid)
+        return statuses
+
     @staticmethod
-    def _reap(pids: Dict[int, int]) -> None:
-        for pid in pids.values():
-            try:
-                os.waitpid(pid, 0)
-            except ChildProcessError:  # pragma: no cover - already reaped
-                pass
+    def _annotate_exit_statuses(race, seen, statuses) -> None:
+        """Refine reports with what ``waitpid`` learned."""
+        for report in race.reports:
+            status = statuses.get(report.index)
+            if status is None:
+                continue
+            if os.WIFSIGNALED(status):
+                report.exit_signal = os.WTERMSIG(status)
+                if report.index not in seen:
+                    report.detail = (
+                        f"killed by signal {report.exit_signal} "
+                        "without a result record"
+                    )
+            elif os.WIFEXITED(status) and report.index not in seen:
+                code = os.WEXITSTATUS(status)
+                if code == _EXIT_SHIP_FAILED:
+                    report.detail = (
+                        "result shipback failed in the child "
+                        "(serialization or pipe error)"
+                    )
+                elif code == _EXIT_HANG:
+                    report.detail = "hung arm outlived the race"
+                elif code != _EXIT_OK:
+                    report.detail = (
+                        f"exited with status {code} without a result record"
+                    )

@@ -19,7 +19,8 @@ from repro.core.backends.base import (
     BackendRace,
     ExecutionBackend,
 )
-from repro.errors import Eliminated
+from repro.errors import Eliminated, FaultInjected
+from repro.resilience.injector import active as _active_injector
 
 
 class SerialBackend(ExecutionBackend):
@@ -38,11 +39,32 @@ class SerialBackend(ExecutionBackend):
         winner_finish: Optional[float] = None
         for task in tasks:
             began = time.perf_counter() - start
+            abnormal = False
             try:
+                injector = _active_injector()
+                if injector is not None:
+                    # Process-only faults manifest as in-line crashes here
+                    # (there is no process to kill or pipe to truncate).
+                    if injector.draw("arm-sigkill", task.index) is not None:
+                        raise FaultInjected(
+                            "simulated abrupt death (arm-sigkill, serial)"
+                        )
+                    hang = injector.draw("arm-hang", task.index)
+                    if hang is not None:
+                        time.sleep(hang.duration)
+                        raise FaultInjected(
+                            "hung arm woke after its injected stall"
+                        )
+                    injector.fire_or_raise("arm-raise", task.index)
                 succeeded, value, detail = task.run()
                 cancelled = False
             except Eliminated as exc:  # pragma: no cover - no kills here
                 succeeded, value, detail, cancelled = False, None, str(exc), True
+            except Exception as exc:
+                # A crashing body fails its arm instead of unwinding the
+                # whole block -- the degraded serial replay depends on it.
+                succeeded, value, detail, cancelled = False, None, repr(exc), False
+                abnormal = True
             finished = time.perf_counter() - start
             reports.append(
                 ArmReport(
@@ -52,6 +74,7 @@ class SerialBackend(ExecutionBackend):
                     value=value,
                     detail=detail,
                     cancelled=cancelled,
+                    abnormal=abnormal,
                     started_at=began,
                     finished_at=finished,
                     work_seconds=finished - began,

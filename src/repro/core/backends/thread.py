@@ -15,11 +15,18 @@ A successful arm that arrives after the winner is told "too late"
 :class:`~repro.errors.TooLate` in the simulated kernel.
 
 State safety: each arm writes only its own COW page table; the shared
-:class:`~repro.pages.store.PageStore` refcounts are lock-protected.  The
-backend joins every thread before returning, so the parent's commit swap
-runs strictly after all children have stopped -- a non-cooperative body
-(one that never checks) delays return until it finishes, which is the
-price of its opacity.
+:class:`~repro.pages.store.PageStore` refcounts are lock-protected.
+
+Threads cannot be killed, so a wedged arm is *abandoned* rather than
+destroyed: once the race is decided (winner, failure of every other arm,
+or timeout), stragglers get ``join_grace`` seconds to come home; past
+that, the daemon thread is left behind, the arm's report is synthesized
+as an abnormal death, and the backend returns.  ``join_grace=None``
+restores the old block-until-everyone-finishes behaviour.  The
+:mod:`repro.resilience` fault points ``arm-raise`` / ``arm-hang`` /
+``arm-sigkill`` are consulted per arm (``arm-sigkill`` manifests as an
+abrupt in-thread crash, the closest analogue available without a process
+boundary).
 """
 
 from __future__ import annotations
@@ -34,7 +41,8 @@ from repro.core.backends.base import (
     BackendRace,
     ExecutionBackend,
 )
-from repro.errors import Eliminated
+from repro.errors import Eliminated, FaultInjected
+from repro.resilience.injector import active as _active_injector
 
 
 class ThreadBackend(ExecutionBackend):
@@ -43,18 +51,38 @@ class ThreadBackend(ExecutionBackend):
     name = "thread"
     is_parallel = True
 
+    def __init__(self, join_grace: Optional[float] = 10.0) -> None:
+        if join_grace is not None and join_grace < 0:
+            raise ValueError("join_grace cannot be negative")
+        self.join_grace = join_grace
+        self._race_tasks: List[ArmTask] = []
+
+    def terminate_arm(self, index: int, hard: bool = False) -> bool:
+        """Cancel one arm's token (threads have no forcible kill)."""
+        for task in self._race_tasks:
+            if task.index != index:
+                continue
+            token = getattr(task.context, "token", None)
+            if token is not None:
+                token.cancel()
+                return True
+        return False
+
     def run_arms(
         self, tasks: List[ArmTask], timeout: Optional[float] = None
     ) -> BackendRace:
         start = time.perf_counter()
         lock = threading.Lock()
         all_done = threading.Event()
+        decided = threading.Event()
         state = {"winner": None, "timed_out": False, "remaining": len(tasks)}
         reports = {
             task.index: ArmReport(index=task.index, name=task.name)
             for task in tasks
         }
+        abandoned: set = set()
         events: List[tuple] = []
+        self._race_tasks = tasks
 
         def cancel_all_except(keep: Optional[int]) -> None:
             for task in tasks:
@@ -67,22 +95,46 @@ class ThreadBackend(ExecutionBackend):
         def arm_main(task: ArmTask) -> None:
             report = reports[task.index]
             report.started_at = time.perf_counter() - start
+            abnormal = False
             try:
+                injector = _active_injector()
+                if injector is not None:
+                    if injector.draw("arm-sigkill", task.index) is not None:
+                        raise FaultInjected(
+                            "simulated abrupt death (arm-sigkill in-thread)"
+                        )
+                    hang = injector.draw("arm-hang", task.index)
+                    if hang is not None:
+                        # Non-cooperative stall: ignores the token.
+                        time.sleep(hang.duration)
+                        raise FaultInjected(
+                            "hung arm woke after its injected stall"
+                        )
+                    injector.fire_or_raise("arm-raise", task.index)
                 succeeded, value, detail = task.run()
                 cancelled = False
             except Eliminated as exc:
                 succeeded, value, detail, cancelled = False, None, str(exc), True
             except BaseException as exc:
                 # A raising body cannot propagate out of its thread; it
-                # becomes a failed arm, like in the forked-process backend.
+                # becomes a failed (abnormal) arm, like a crashed child in
+                # the forked-process backend.
                 succeeded, value, detail, cancelled = False, None, repr(exc), False
-            report.finished_at = time.perf_counter() - start
-            report.work_seconds = report.finished_at - report.started_at
+                abnormal = True
+            finished = time.perf_counter() - start
             with lock:
+                if task.index in abandoned:
+                    # The backend already returned this arm as hung; its
+                    # late report must not rewrite history.
+                    state["remaining"] -= 1
+                    return
+                report.finished_at = finished
+                report.work_seconds = report.finished_at - report.started_at
                 report.succeeded = succeeded
                 report.value = value
                 report.detail = detail
                 report.cancelled = cancelled
+                report.abnormal = abnormal
                 if succeeded:
                     if state["winner"] is None and not state["timed_out"]:
                         state["winner"] = task.index
@@ -90,6 +142,7 @@ class ThreadBackend(ExecutionBackend):
                             (report.finished_at, f"{task.name} synchronizes")
                         )
                         cancel_all_except(task.index)
+                        decided.set()
                     else:
                         # Too late: a sibling already won the rendezvous.
                         report.succeeded = False
@@ -110,40 +163,73 @@ class ThreadBackend(ExecutionBackend):
                 state["remaining"] -= 1
                 if state["remaining"] == 0:
                     all_done.set()
+                    decided.set()
 
-        threads = [
-            threading.Thread(
+        threads = {
+            task.index: threading.Thread(
                 target=arm_main,
                 args=(task,),
                 name=f"alt-{task.name}",
                 daemon=True,
             )
             for task in tasks
-        ]
-        for thread in threads:
+        }
+        for thread in threads.values():
             thread.start()
 
         timed_out = False
-        if timeout is not None and not all_done.wait(timeout):
+        if timeout is not None:
+            if not decided.wait(timeout):
+                with lock:
+                    if state["winner"] is None:
+                        state["timed_out"] = True
+                        timed_out = True
+                if timed_out:
+                    cancel_all_except(None)
+        else:
+            decided.wait()
+
+        # Drain: give stragglers join_grace seconds, then abandon them.
+        grace_deadline = (
+            None
+            if self.join_grace is None
+            else time.perf_counter() + self.join_grace
+        )
+        for index, thread in threads.items():
+            remaining = None
+            if grace_deadline is not None:
+                remaining = max(0.0, grace_deadline - time.perf_counter())
+            thread.join(remaining)
+            if not thread.is_alive():
+                continue
+            now = time.perf_counter() - start
             with lock:
-                if state["winner"] is None:
-                    state["timed_out"] = True
-                    timed_out = True
-            if timed_out:
-                cancel_all_except(None)
-        for thread in threads:
-            thread.join()
+                if reports[index].succeeded or index in abandoned:
+                    continue
+                abandoned.add(index)
+                report = reports[index]
+                report.cancelled = True
+                report.abnormal = True
+                report.detail = (
+                    f"unresponsive arm abandoned after "
+                    f"{self.join_grace:.3g}s grace (thread left behind)"
+                )
+                report.finished_at = now
+                report.work_seconds = now - report.started_at
+                events.append((now, f"abandon {report.name} (hung)"))
 
         total = time.perf_counter() - start
-        winner_index = state["winner"]
+        self._race_tasks = []
+        with lock:
+            winner_index = state["winner"]
+            ordered = [reports[task.index] for task in tasks]
+            events_sorted = sorted(events, key=lambda event: event[0])
         if winner_index is not None:
             elapsed = reports[winner_index].finished_at
         elif timed_out and timeout is not None:
             elapsed = timeout
         else:
             elapsed = total
-        ordered = [reports[task.index] for task in tasks]
-        events.sort(key=lambda event: event[0])
         return BackendRace(
             backend=self.name,
             reports=ordered,
@@ -151,5 +237,5 @@ class ThreadBackend(ExecutionBackend):
             elapsed=elapsed,
             total_seconds=total,
             timed_out=timed_out,
-            events=events,
+            events=events_sorted,
         )

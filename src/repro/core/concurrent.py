@@ -42,11 +42,25 @@ from repro.core.backends import (
 )
 from repro.core.result import AltOutcome, AltResult, OverheadBreakdown
 from repro.core.sequential import _run_body
-from repro.errors import AltBlockFailure, AltTimeout
+from repro.errors import (
+    AltBlockFailure,
+    AltTimeout,
+    PageApplyError,
+    ProcessStateError,
+)
 from repro.pages.store import PageStore
 from repro.process.primitives import EliminationMode, ProcessManager
 from repro.process.process import SimProcess
 from repro.process.scheduler import ProcessorSharing
+from repro.resilience import injector as _fault_registry
+from repro.resilience.supervisor import (
+    ArmAutopsy,
+    AttemptAutopsy,
+    RaceAutopsy,
+    Supervisor,
+    Watchdog,
+    classify_outcome,
+)
 from repro.sim.costs import CostModel, MODERN_COMMODITY
 
 
@@ -80,6 +94,7 @@ class ConcurrentExecutor:
         manager: Optional[ProcessManager] = None,
         space_size: int = 64 * 1024,
         backend: Optional[ExecutionBackend] = None,
+        supervisor: Optional[Supervisor] = None,
     ) -> None:
         self.cost_model = cost_model
         self.cpus = cpus
@@ -94,6 +109,13 @@ class ConcurrentExecutor:
         )
         self.space_size = space_size
         self.backend = backend if backend is not None else SerialBackend()
+        self.supervisor = supervisor
+        """Optional :class:`~repro.resilience.Supervisor` policy: watchdog
+        deadlines, retries with fresh COW worlds, and degradation to a
+        serial replay for races on parallel backends.  Supervised runs
+        attach a :class:`~repro.resilience.RaceAutopsy` to the result (and
+        to any raised error)."""
+        self._last_race: Optional[BackendRace] = None
 
     def new_parent(self) -> SimProcess:
         """A fresh root process whose space callers may preload."""
@@ -132,6 +154,10 @@ class ConcurrentExecutor:
             raise error
 
         if self.backend.is_parallel:
+            if self.supervisor is not None:
+                return self._run_supervised(
+                    alternatives, spawnable, parent, outcomes, timeline
+                )
             return self._run_real(
                 alternatives, spawnable, parent, outcomes, timeline
             )
@@ -252,7 +278,8 @@ class ConcurrentExecutor:
     # phase 2': the real race (parallel backends)
 
     def _run_real(
-        self, alternatives, spawnable, parent, outcomes, timeline
+        self, alternatives, spawnable, parent, outcomes, timeline,
+        backend: Optional[ExecutionBackend] = None,
     ) -> AltResult:
         """Race the arms under genuine concurrency, fastest-first.
 
@@ -262,7 +289,15 @@ class ConcurrentExecutor:
         elimination for the cancelled losers) so the state semantics --
         losers' writes never reach the parent -- are enforced by the same
         mechanism as the deterministic path.
+
+        ``backend`` overrides ``self.backend`` (the supervisor's degraded
+        serial replay runs the same machinery on a ``SerialBackend``).
+        When a supervisor with an ``arm_deadline`` is configured, a
+        :class:`~repro.resilience.Watchdog` delivers the termination
+        instruction to every arm still racing at the deadline and
+        escalates to a forcible kill after its grace period.
         """
+        backend = backend if backend is not None else self.backend
         spawn_start = _time.perf_counter()
         children = self.manager.alt_spawn(parent, len(spawnable))
         tasks, contexts = self._build_tasks(
@@ -285,7 +320,41 @@ class ConcurrentExecutor:
                 )
             )
 
-        race = self.backend.run_arms(tasks, timeout=self.timeout)
+        watchdog = None
+        if (
+            self.supervisor is not None
+            and self.supervisor.arm_deadline is not None
+            and backend.is_parallel
+        ):
+            indexes = list(by_index)
+
+            def _terminate(hard: bool) -> None:
+                for index in indexes:
+                    delivered = backend.terminate_arm(index, hard=hard)
+                    if not delivered and not hard:
+                        token = contexts[index].token
+                        if token is not None:
+                            token.cancel()
+
+            watchdog = Watchdog(
+                self.supervisor.arm_deadline,
+                self.supervisor.kill_grace,
+                _terminate,
+            ).start()
+        try:
+            race = backend.run_arms(tasks, timeout=self.timeout)
+        finally:
+            if watchdog is not None:
+                watchdog.stop()
+                if watchdog.fired_soft:
+                    timeline.append(
+                        (
+                            spawn_done + self.supervisor.arm_deadline,
+                            "watchdog: arm deadline expired"
+                            + (" (hard kill)" if watchdog.fired_hard else ""),
+                        )
+                    )
+        self._last_race = race
         try:
             return self._conclude_real(
                 race, by_index, parent, outcomes, timeline, spawn_done
@@ -323,6 +392,11 @@ class ConcurrentExecutor:
             if index != winner_index:
                 wasted += report.work_seconds
             if report.succeeded:
+                if index != winner_index:
+                    # A serial replay runs every arm to completion; later
+                    # successes lose the rendezvous like any too-late arm.
+                    outcome.status = "eliminated"
+                    outcome.detail = "synchronized too late; sibling already won"
                 continue
             if report.cancelled and winner_index is not None:
                 # Eliminated loser: alt_wait terminates it below.
@@ -344,6 +418,22 @@ class ConcurrentExecutor:
                 error: Exception = AltTimeout(
                     f"no alternative succeeded within {self.timeout} seconds"
                 )
+                error.partial_reports = tuple(
+                    {
+                        "index": report.index,
+                        "name": report.name,
+                        "state": classify_outcome(
+                            report.succeeded,
+                            report.cancelled,
+                            report.abnormal,
+                            report.detail,
+                            report.exit_signal,
+                            winner_exists=False,
+                        ),
+                        "elapsed": report.work_seconds,
+                    }
+                    for report in race.reports
+                )
             else:
                 timeline.append((elapsed, "block FAILED"))
                 try:
@@ -363,7 +453,16 @@ class ConcurrentExecutor:
         if winner_report.dirty_pages:
             # The winner ran in another OS process: replay its page images
             # into the simulated child space before the commit swap.
-            winner_child.space.apply_pages(winner_report.dirty_pages)
+            try:
+                winner_child.space.apply_pages(winner_report.dirty_pages)
+            except PageApplyError as exc:
+                # The shipment is unusable: demote the "winner" to an
+                # abnormal failure (the parent's space is untouched) and
+                # let the block fail -- the supervisor may retry it.
+                self._demote_winner(
+                    race, winner_index, by_index, parent, outcomes,
+                    timeline, spawn_done, exc,
+                )
         won = self.manager.alt_sync(winner_child, guard_ok=True)
         assert won, "first successful completion must win the rendezvous"
         self.manager.alt_wait(parent, elimination=self.elimination)
@@ -535,7 +634,255 @@ class ConcurrentExecutor:
         error = AltTimeout(
             f"no alternative succeeded within {self.timeout} seconds"
         )
+        error.partial_reports = tuple(
+            {
+                "index": outcome.index,
+                "name": outcome.name,
+                "state": outcome.status,
+                "elapsed": outcome.cpu_consumed,
+            }
+            for outcome in outcomes
+        )
         error.outcomes = outcomes
         error.elapsed = self.timeout
         error.timeline = timeline
         raise error
+
+    # ------------------------------------------------------------------
+    # supervision: retries, degradation, autopsies
+
+    def _demote_winner(
+        self, race, winner_index, by_index, parent, outcomes, timeline,
+        spawn_done, exc,
+    ) -> None:
+        """A winner whose page shipment was rejected did not really win.
+
+        The parent's space is untouched (``apply_pages`` validates before
+        writing); every child is failed through the kernel so the block
+        concludes as an :class:`AltBlockFailure` with the rejection
+        recorded on the would-be winner's report.
+        """
+        report = race.report(winner_index)
+        report.succeeded = False
+        report.abnormal = True
+        report.detail = f"winner shipback rejected: {exc}"
+        race.winner_index = None
+        outcome = outcomes[winner_index]
+        outcome.status = "failed"
+        outcome.detail = report.detail
+        elapsed = spawn_done + race.total_seconds
+        timeline.append((elapsed, f"{report.name} shipback rejected"))
+        for child in by_index.values():
+            try:
+                self.manager.fail(child)
+            except ProcessStateError:
+                pass  # already failed or eliminated above
+        try:
+            self.manager.alt_wait(parent)
+        except AltBlockFailure:
+            pass
+        timeline.append((elapsed, "block FAILED"))
+        error = AltBlockFailure(
+            f"winning alternative's page shipment was rejected: {exc}"
+        )
+        error.outcomes = outcomes
+        error.elapsed = elapsed
+        error.timeline = timeline
+        raise error
+
+    def _reset_outcomes(self, alternatives, spawnable, outcomes) -> None:
+        """Fresh 'untried' outcome slots for a retry / degraded attempt."""
+        for index in spawnable:
+            outcomes[index] = AltOutcome(
+                index=index,
+                name=alternatives[index].name,
+                status="untried",
+            )
+
+    def _attempt_autopsy(
+        self,
+        number: int,
+        race: Optional[BackendRace],
+        degraded: bool = False,
+        backoff_before: float = 0.0,
+    ) -> AttemptAutopsy:
+        """Fold one backend race into an :class:`AttemptAutopsy`."""
+        backend_name = "serial" if degraded else self.backend.name
+        if race is None:
+            return AttemptAutopsy(
+                number=number,
+                backend=backend_name,
+                winner_index=None,
+                timed_out=False,
+                elapsed=0.0,
+                degraded=degraded,
+                backoff_before=backoff_before,
+            )
+        attempt = AttemptAutopsy(
+            number=number,
+            backend=race.backend,
+            winner_index=race.winner_index,
+            timed_out=race.timed_out,
+            elapsed=race.total_seconds,
+            degraded=degraded,
+            backoff_before=backoff_before,
+        )
+        for report in race.reports:
+            outcome = classify_outcome(
+                report.succeeded,
+                report.cancelled,
+                report.abnormal,
+                report.detail,
+                report.exit_signal,
+                winner_exists=race.winner_index is not None,
+            )
+            if outcome == "won" and report.index != race.winner_index:
+                outcome = "eliminated"  # succeeded, but a sibling won first
+            attempt.arms.append(
+                ArmAutopsy(
+                    index=report.index,
+                    name=report.name,
+                    outcome=outcome,
+                    detail=report.detail,
+                    signal=report.exit_signal,
+                    elapsed=report.work_seconds,
+                    abnormal=report.abnormal,
+                )
+            )
+        return attempt
+
+    def _finish_autopsy(self, autopsy: RaceAutopsy, started: float) -> None:
+        autopsy.total_elapsed = _time.perf_counter() - started
+        injector = _fault_registry.active()
+        if injector is not None:
+            autopsy.faults_fired = list(injector.log)
+
+    def _run_supervised(
+        self, alternatives, spawnable, parent, outcomes, timeline
+    ) -> AltResult:
+        """The supervised race loop: retry, degrade, always report.
+
+        Each attempt is a full :meth:`_run_real` race against *fresh* COW
+        children (a failed ``alt_wait`` restores the parent to RUNNABLE,
+        so retries re-spawn from the parent's untouched world).  Abnormal
+        deaths are retried with exponential backoff; when the final real
+        attempt shows every arm dying abnormally, the block is replayed
+        once on a :class:`SerialBackend` (with the fault injector
+        suppressed when ``clean_replay``) before the FAIL arm is taken.
+        A :class:`RaceAutopsy` is attached to whatever comes out --
+        ``result.autopsy`` on success, ``error.autopsy`` on failure.
+        """
+        sup = self.supervisor
+        autopsy = RaceAutopsy()
+        started = _time.perf_counter()
+        retries_used = 0
+        backoff_before = 0.0
+        attempt_number = 0
+        last_error: Optional[Exception] = None
+
+        while True:
+            attempt_number += 1
+            if attempt_number > 1:
+                self._reset_outcomes(alternatives, spawnable, outcomes)
+            self._last_race = None
+            try:
+                result = self._run_real(
+                    alternatives, spawnable, parent, outcomes, timeline
+                )
+            except AltTimeout as exc:
+                autopsy.attempts.append(
+                    self._attempt_autopsy(
+                        attempt_number, self._last_race,
+                        backoff_before=backoff_before,
+                    )
+                )
+                last_error = exc
+                autopsy.outcome = "timeout"
+                break  # a block-level deadline is final: no retry budget
+            except AltBlockFailure as exc:
+                attempt = self._attempt_autopsy(
+                    attempt_number, self._last_race,
+                    backoff_before=backoff_before,
+                )
+                autopsy.attempts.append(attempt)
+                last_error = exc
+                if attempt.any_retryable and retries_used < sup.max_retries:
+                    retries_used += 1
+                    backoff_before = sup.backoff(retries_used)
+                    timeline.append(
+                        (
+                            _time.perf_counter() - started,
+                            f"supervisor: retry {retries_used}/"
+                            f"{sup.max_retries} after "
+                            f"{backoff_before:.3f}s backoff",
+                        )
+                    )
+                    _time.sleep(backoff_before)
+                    continue
+                autopsy.outcome = "failed"
+                break
+            else:
+                attempt = self._attempt_autopsy(
+                    attempt_number, self._last_race,
+                    backoff_before=backoff_before,
+                )
+                autopsy.attempts.append(attempt)
+                autopsy.outcome = "won"
+                autopsy.winner_index = attempt.winner_index
+                self._finish_autopsy(autopsy, started)
+                result.autopsy = autopsy
+                return result
+
+        # Graceful degradation: every real arm died abnormally, so give
+        # the block one clean, ordered chance before the FAIL arm.
+        if (
+            sup.degrade_to_serial
+            and isinstance(last_error, AltBlockFailure)
+            and autopsy.attempts
+            and autopsy.attempts[-1].all_abnormal
+        ):
+            attempt_number += 1
+            self._reset_outcomes(alternatives, spawnable, outcomes)
+            self._last_race = None
+            timeline.append(
+                (
+                    _time.perf_counter() - started,
+                    "supervisor: degrading to serial replay",
+                )
+            )
+            try:
+                if sup.clean_replay:
+                    with _fault_registry.suppressed():
+                        result = self._run_real(
+                            alternatives, spawnable, parent, outcomes,
+                            timeline, backend=SerialBackend(),
+                        )
+                else:
+                    result = self._run_real(
+                        alternatives, spawnable, parent, outcomes,
+                        timeline, backend=SerialBackend(),
+                    )
+            except (AltTimeout, AltBlockFailure) as exc:
+                autopsy.attempts.append(
+                    self._attempt_autopsy(
+                        attempt_number, self._last_race, degraded=True
+                    )
+                )
+                last_error = exc
+                autopsy.outcome = (
+                    "timeout" if isinstance(exc, AltTimeout) else "failed"
+                )
+            else:
+                attempt = self._attempt_autopsy(
+                    attempt_number, self._last_race, degraded=True
+                )
+                autopsy.attempts.append(attempt)
+                autopsy.outcome = "degraded"
+                autopsy.winner_index = attempt.winner_index
+                self._finish_autopsy(autopsy, started)
+                result.autopsy = autopsy
+                return result
+
+        self._finish_autopsy(autopsy, started)
+        last_error.autopsy = autopsy
+        raise last_error

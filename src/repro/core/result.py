@@ -84,6 +84,10 @@ class AltResult:
     timeline: List[Tuple[float, str]] = field(default_factory=list)
     """Labelled events for rendering the Figure 2 execution diagram."""
 
+    autopsy: Any = None
+    """A :class:`~repro.resilience.RaceAutopsy` when the block ran under a
+    :class:`~repro.resilience.Supervisor`; ``None`` otherwise."""
+
     @property
     def durations(self) -> List[float]:
         """Standalone execution times of all alternatives that ran."""

@@ -23,6 +23,8 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
+import time as _time
+
 from repro.core.alternative import AltContext, Alternative
 from repro.core.result import AltOutcome, AltResult, OverheadBreakdown
 from repro.core.selection import RandomPolicy, SelectionPolicy
@@ -30,6 +32,7 @@ from repro.errors import AltBlockFailure, GuardFailure
 from repro.pages.store import PageStore
 from repro.process.primitives import ProcessManager
 from repro.process.process import SimProcess
+from repro.resilience.injector import active as _active_injector
 
 
 class SequentialExecutor:
@@ -130,9 +133,26 @@ class SequentialExecutor:
         raise error
 
 
+def _stall_guard(context: AltContext) -> None:
+    """The ``slow-guard`` fault point: stall guard evaluation.
+
+    A wedged guard is indistinguishable from a wedged body to the caller;
+    the injected stall lets tests drive ``alt_wait(timeout)`` and watchdog
+    behaviour against a guard that simply never comes back in time.
+    """
+    injector = _active_injector()
+    if injector is None:
+        return
+    arm = context.alt_index - 1 if context.alt_index else None
+    rule = injector.draw("slow-guard", arm)
+    if rule is not None:
+        _time.sleep(rule.duration)
+
+
 def _run_body(alternative: Alternative, context: AltContext):
     """Run body + guards; return (succeeded, value, detail)."""
     if alternative.pre_guard is not None:
+        _stall_guard(context)
         try:
             if not alternative.pre_guard(context):
                 return False, None, "pre-guard not satisfied"
@@ -143,6 +163,7 @@ def _run_body(alternative: Alternative, context: AltContext):
     except GuardFailure as exc:
         return False, None, str(exc)
     if alternative.guard is not None:
+        _stall_guard(context)
         try:
             if not alternative.guard(context, value):
                 return False, None, "acceptance test failed"

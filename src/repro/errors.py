@@ -37,7 +37,15 @@ class TooLate(SynchronizationError):
 
 
 class AltTimeout(ReproError):
-    """``alt_wait(TIMEOUT)`` expired before any alternative synchronized."""
+    """``alt_wait(TIMEOUT)`` expired before any alternative synchronized.
+
+    Executors attach ``partial_reports`` -- a list of per-arm snapshots
+    ``{"index", "name", "state", "elapsed"}`` describing what the race was
+    doing when the deadline expired -- so callers can log the block's
+    final state instead of a bare timeout.
+    """
+
+    partial_reports: tuple = ()
 
 
 class Eliminated(ReproError):
@@ -47,8 +55,20 @@ class Eliminated(ReproError):
     stop burning CPU instead of running to completion."""
 
 
+class FaultInjected(ReproError):
+    """An armed :class:`~repro.resilience.FaultInjector` rule fired at a
+    named fault point -- a deterministic stand-in for an arm crashing,
+    wedging, or corrupting its result in production."""
+
+
 class PageFault(ReproError):
     """An access touched an address outside the mapped address space."""
+
+
+class PageApplyError(ReproError):
+    """Replaying shipped page images into an address space failed (a
+    malformed image, or an injected ``page-apply-fail`` fault); the
+    target space is left untouched."""
 
 
 class ProcessStateError(ReproError):

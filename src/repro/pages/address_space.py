@@ -23,9 +23,10 @@ from __future__ import annotations
 import pickle
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
-from repro.errors import PageFault
+from repro.errors import PageApplyError, PageFault
 from repro.pages.store import PageStore
 from repro.pages.table import PageTable
+from repro.resilience.injector import active as _active_injector
 
 
 class AddressSpace:
@@ -257,9 +258,30 @@ class AddressSpace:
 
         This is how a fork-based execution backend ships a winning child's
         dirty pages back into the simulated address space before the
-        parent's commit swap.
+        parent's commit swap.  The images are validated *before* any of
+        them is written -- a malformed shipment (or an injected
+        ``page-apply-fail`` fault) raises
+        :class:`~repro.errors.PageApplyError` and leaves the space
+        untouched, so a failed shipback can never half-apply a winner.
         """
-        for vpn in sorted(pages):
+        injector = _active_injector()
+        if injector is not None and injector.draw("page-apply-fail") is not None:
+            raise PageApplyError(
+                "injected page-apply failure; space left untouched"
+            )
+        ordered = sorted(pages)
+        for vpn in ordered:
+            image = pages[vpn]
+            if vpn < 0 or vpn >= self.num_pages:
+                raise PageApplyError(
+                    f"shipped page {vpn} outside space of {self.num_pages} pages"
+                )
+            if len(image) != self.page_size:
+                raise PageApplyError(
+                    f"shipped page {vpn} is {len(image)} bytes; "
+                    f"expected a whole {self.page_size}-byte frame"
+                )
+        for vpn in ordered:
             self.table.write_page(vpn, pages[vpn], 0)
         self._invalidate_vars()
 

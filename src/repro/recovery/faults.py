@@ -2,12 +2,20 @@
 
 The paper's recovery-block discussion (and the Kim/Welch experiments it
 cites) hinges on alternates that sometimes fail their acceptance test.
-These helpers build bodies with controlled failure behaviour:
+These helpers build bodies with controlled failure behaviour, as thin
+adapters over :mod:`repro.resilience`: the schedule/probability lives in
+a :class:`~repro.resilience.FaultRule` (one validation path for the
+whole codebase), while the *manifestation* stays semantic -- a
+``ctx.fail`` guard failure, never an abnormal death, so the recovery
+machinery (not the supervisor) handles it.
 
 - :func:`flaky_body` fails with a fixed probability per execution, drawn
-  from the alternative's own seeded RNG (so runs are reproducible);
+  from the alternative's own seeded RNG (so runs are reproducible per
+  executor seed -- the keyed injector RNG would instead vary with the
+  call number across block re-executions);
 - :func:`scripted_body` fails on an explicit set of invocation numbers,
-  for deterministic tests of rollback chains.
+  decided by a private :class:`~repro.resilience.FaultInjector`, for
+  deterministic tests of rollback chains.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import itertools
 from typing import Any, Callable, Iterable, Optional
 
 from repro.core.alternative import AltContext
+from repro.resilience.injector import FaultInjector, FaultRule
 
 
 def flaky_body(
@@ -30,13 +39,14 @@ def flaky_body(
     ``side_effect`` runs before the failure decision, modelling versions
     that dirty state before their acceptance test rejects them.
     """
-    if not 0.0 <= failure_prob <= 1.0:
-        raise ValueError("failure probability must be in [0, 1]")
+    # The rule carries (and validates) the probability; the decision uses
+    # the context's executor-seeded RNG to keep per-run reproducibility.
+    rule = FaultRule(point="arm-raise", probability=failure_prob, times=None)
 
     def body(context: AltContext) -> Any:
         if side_effect is not None:
             side_effect(context)
-        if context.rng.random() < failure_prob:
+        if context.rng.random() < rule.probability:
             context.fail("injected fault")
         return value
 
@@ -49,16 +59,24 @@ def scripted_body(
 ) -> Callable[[AltContext], Any]:
     """A body that fails on the given 1-based invocation numbers.
 
-    Shared across block executions (the counter lives in the closure), so
-    a control loop can make, say, the primary fail on exactly its 3rd and
-    7th iterations.
+    Shared across block executions (the counter lives in a private
+    :class:`~repro.resilience.FaultInjector`), so a control loop can
+    make, say, the primary fail on exactly its 3rd and 7th iterations.
     """
-    failures = frozenset(fail_on_calls)
+    schedule = FaultInjector(
+        rules=[
+            FaultRule(
+                point="arm-raise",
+                times=None,
+                on_calls=frozenset(fail_on_calls),
+            )
+        ]
+    )
     counter = itertools.count(1)
 
     def body(context: AltContext) -> Any:
         call = next(counter)
-        if call in failures:
+        if schedule.draw("arm-raise") is not None:
             context.fail(f"scripted fault on call {call}")
         return value
 

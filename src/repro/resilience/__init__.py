@@ -1,0 +1,51 @@
+"""Fault injection and race supervision for the real backends.
+
+Two halves:
+
+- :mod:`repro.resilience.injector` -- a seedable :class:`FaultInjector`
+  with named fault points (``arm-raise``, ``arm-hang``, ``arm-sigkill``,
+  ``pipe-truncate``, ``record-corrupt``, ``slow-guard``,
+  ``page-apply-fail``) consulted by the backends,
+  ``AddressSpace.apply_pages``, and guard evaluation through a
+  lightweight module registry, so every failure mode is reproducible;
+- :mod:`repro.resilience.supervisor` -- the :class:`Supervisor` policy
+  (per-arm watchdog deadlines, retry with exponential backoff and seeded
+  jitter, graceful degradation to a serial replay) and the structured
+  :class:`RaceAutopsy` every supervised race returns.
+"""
+
+from repro.resilience.injector import (
+    FAULT_POINTS,
+    FaultInjector,
+    FaultRule,
+    active,
+    injected,
+    install,
+    suppressed,
+    uninstall,
+)
+from repro.resilience.supervisor import (
+    ArmAutopsy,
+    AttemptAutopsy,
+    RaceAutopsy,
+    Supervisor,
+    Watchdog,
+    classify_outcome,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "ArmAutopsy",
+    "AttemptAutopsy",
+    "FaultInjector",
+    "FaultRule",
+    "RaceAutopsy",
+    "Supervisor",
+    "Watchdog",
+    "active",
+    "classify_outcome",
+    "injected",
+    "install",
+    "suppressed",
+    "uninstall",
+]

@@ -1,0 +1,235 @@
+"""Deterministic fault injection for the real execution backends.
+
+A racing arm can die in ways the paper's happy-path race (section 3.2)
+never discusses: the body raises, the child wedges and ignores the
+termination instruction, the OS kills it outright, the result record is
+truncated or corrupted on the pipe, a guard hangs, the page shipback
+fails.  Each of those failure modes gets a *named fault point*; a
+seedable :class:`FaultInjector` decides -- reproducibly -- whether the
+fault fires at each consultation, so every failure mode has a
+deterministic test.
+
+Consulting sites (backends, ``_run_body``, ``AddressSpace.apply_pages``)
+ask the module-level registry via :func:`active`; when no injector is
+installed (the overwhelmingly common case) that is a single attribute
+read.  Forked children inherit the installed injector through ``os.fork``
+and consult their own per-arm counters, so parent/child divergence never
+changes a decision: every draw is keyed on ``(point, arm, call#)`` and a
+per-key RNG derived from the seed.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import FaultInjected
+
+#: Every named fault point a consulting site may draw.
+FAULT_POINTS = (
+    "arm-raise",        # the arm's body raises an unexpected exception
+    "arm-hang",         # the arm wedges, ignoring the termination instruction
+    "arm-sigkill",      # the arm dies abruptly (SIGKILL in a forked child)
+    "pipe-truncate",    # the child dies mid-shipback: a truncated record
+    "record-corrupt",   # the result record's bytes are flipped on the wire
+    "slow-guard",       # guard evaluation stalls
+    "page-apply-fail",  # replaying shipped page images into the space fails
+)
+
+
+@dataclass
+class FaultRule:
+    """One armed fault: where it fires, how often, and how hard.
+
+    ``arms=None`` matches every arm; ``times=None`` never exhausts;
+    ``on_calls`` restricts firing to specific 1-based consultations of the
+    same ``(point, arm)`` key (so a rule can hit only the first attempt of
+    a supervised retry loop, for example).
+    """
+
+    point: str
+    arms: Optional[frozenset] = None
+    probability: float = 1.0
+    times: Optional[int] = 1
+    on_calls: Optional[frozenset] = None
+    duration: float = 3600.0
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r}; "
+                f"expected one of {', '.join(FAULT_POINTS)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("fault probability must be in [0, 1]")
+        if self.arms is not None:
+            self.arms = frozenset(self.arms)
+        if self.on_calls is not None:
+            self.on_calls = frozenset(self.on_calls)
+
+    def matches_arm(self, arm: Optional[int]) -> bool:
+        return self.arms is None or arm in self.arms
+
+
+class FaultInjector:
+    """Seeded, reproducible fault decisions over named fault points.
+
+    >>> injector = FaultInjector(seed=7).arm_sigkill(arms=[0, 1])
+    >>> injector.draw("arm-sigkill", arm=0) is not None
+    True
+    >>> injector.draw("arm-sigkill", arm=0) is None  # times=1 exhausted
+    True
+    """
+
+    def __init__(self, seed: int = 0, rules: Iterator[FaultRule] = ()) -> None:
+        self.seed = seed
+        self.rules: List[FaultRule] = list(rules)
+        self._lock = threading.Lock()
+        self._calls: Dict[Tuple[str, Optional[int]], int] = {}
+        self._fired_count: Dict[int, Dict[Optional[int], int]] = {}
+        self.log: List[Tuple[str, Optional[int], int]] = []
+        """Every firing, as ``(point, arm, call#)`` -- the autopsy's input."""
+
+    # ------------------------------------------------------------------
+    # rule construction (chainable)
+
+    def add(self, point: str, **kwargs) -> "FaultInjector":
+        """Arm a :class:`FaultRule`; returns ``self`` for chaining."""
+        self.rules.append(FaultRule(point=point, **kwargs))
+        return self
+
+    def arm_raise(self, **kw) -> "FaultInjector":
+        return self.add("arm-raise", **kw)
+
+    def arm_hang(self, **kw) -> "FaultInjector":
+        return self.add("arm-hang", **kw)
+
+    def arm_sigkill(self, **kw) -> "FaultInjector":
+        return self.add("arm-sigkill", **kw)
+
+    def pipe_truncate(self, **kw) -> "FaultInjector":
+        return self.add("pipe-truncate", **kw)
+
+    def record_corrupt(self, **kw) -> "FaultInjector":
+        return self.add("record-corrupt", **kw)
+
+    def slow_guard(self, **kw) -> "FaultInjector":
+        return self.add("slow-guard", **kw)
+
+    def page_apply_fail(self, **kw) -> "FaultInjector":
+        return self.add("page-apply-fail", **kw)
+
+    # ------------------------------------------------------------------
+    # drawing
+
+    def _rng_for(self, point: str, arm: Optional[int], call: int) -> random.Random:
+        # Keyed RNG: the decision depends only on (seed, point, arm, call),
+        # never on draw order across arms/threads/processes.
+        key = f"{self.seed}:{point}:{arm}:{call}"
+        return random.Random(key)
+
+    def draw(self, point: str, arm: Optional[int] = None) -> Optional[FaultRule]:
+        """Consult the injector at ``point`` for ``arm``.
+
+        Returns the matching :class:`FaultRule` when the fault fires this
+        call, ``None`` otherwise.  Thread-safe; counters are per
+        ``(point, arm)``.
+        """
+        if point not in FAULT_POINTS:
+            raise ValueError(f"unknown fault point {point!r}")
+        with self._lock:
+            key = (point, arm)
+            call = self._calls.get(key, 0) + 1
+            self._calls[key] = call
+            for rule_id, rule in enumerate(self.rules):
+                if rule.point != point or not rule.matches_arm(arm):
+                    continue
+                fired = self._fired_count.setdefault(rule_id, {})
+                if rule.times is not None and fired.get(arm, 0) >= rule.times:
+                    continue
+                if rule.on_calls is not None and call not in rule.on_calls:
+                    continue
+                if rule.probability < 1.0:
+                    if self._rng_for(point, arm, call).random() >= rule.probability:
+                        continue
+                fired[arm] = fired.get(arm, 0) + 1
+                self.log.append((point, arm, call))
+                return rule
+        return None
+
+    def fire_or_raise(self, point: str, arm: Optional[int] = None) -> None:
+        """Draw ``point``; raise :class:`~repro.errors.FaultInjected` on fire."""
+        rule = self.draw(point, arm)
+        if rule is not None:
+            raise FaultInjected(
+                rule.detail or f"injected fault at {point} (arm {arm})"
+            )
+
+    def reset(self) -> None:
+        """Forget all counters and the firing log (rules stay armed)."""
+        with self._lock:
+            self._calls.clear()
+            self._fired_count.clear()
+            del self.log[:]
+
+    def __repr__(self) -> str:
+        points = sorted({rule.point for rule in self.rules})
+        return f"FaultInjector(seed={self.seed}, points={points})"
+
+
+# ----------------------------------------------------------------------
+# the module registry: what consulting sites actually poll
+
+_registry_lock = threading.Lock()
+_active: Optional[FaultInjector] = None
+_suppressed = 0
+
+
+def install(injector: FaultInjector) -> None:
+    """Make ``injector`` the process-wide active injector."""
+    global _active
+    with _registry_lock:
+        _active = injector
+
+
+def uninstall() -> None:
+    """Remove the active injector (consulting sites see ``None`` again)."""
+    global _active
+    with _registry_lock:
+        _active = None
+
+
+def active() -> Optional[FaultInjector]:
+    """The installed injector, or ``None`` when absent or suppressed."""
+    if _suppressed:
+        return None
+    return _active
+
+
+@contextmanager
+def injected(injector: FaultInjector):
+    """Install ``injector`` for the duration of the ``with`` block."""
+    previous = _active
+    install(injector)
+    try:
+        yield injector
+    finally:
+        with _registry_lock:
+            globals()["_active"] = previous
+
+
+@contextmanager
+def suppressed():
+    """Silence the active injector (the supervisor's clean serial replay)."""
+    global _suppressed
+    with _registry_lock:
+        _suppressed += 1
+    try:
+        yield
+    finally:
+        with _registry_lock:
+            _suppressed -= 1

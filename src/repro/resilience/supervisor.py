@@ -1,0 +1,277 @@
+"""Race supervision policy: deadlines, retries, degradation, autopsies.
+
+The paper's race assumes arms either synchronize or fail their guard.  A
+production executor must also survive arms that *die* -- crash, hang, or
+corrupt their result on the way back -- without losing the parent's
+world.  :class:`Supervisor` is the policy object
+:class:`~repro.core.concurrent.ConcurrentExecutor` consults when a real
+(parallel) backend races:
+
+- a :class:`Watchdog` enforces a per-arm deadline, first delivering the
+  cooperative termination instruction and then escalating to a forcible
+  kill after a grace period;
+- *retryable* failures (abnormal deaths: signals, corruption, hangs --
+  never semantic guard failures) are retried with exponential backoff
+  plus seeded jitter, each retry spawned as a fresh copy-on-write world
+  so the block's mutual-exclusion semantics hold across attempts;
+- when every real-backend arm died abnormally, the executor degrades to
+  a :class:`~repro.core.backends.serial.SerialBackend` replay before
+  conceding to the FAIL arm.
+
+Whatever happens, the caller receives a structured :class:`RaceAutopsy`
+-- per-arm outcome, delivered signal, retries, elapsed time, attempt by
+attempt -- attached to the result on success and to the raised error on
+failure, instead of a bare exception.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass
+class ArmAutopsy:
+    """How one arm ended, in one attempt of a supervised race."""
+
+    index: int
+    name: str
+    outcome: str
+    """One of 'won', 'failed', 'eliminated', 'crashed', 'killed', 'hung',
+    'corrupt', 'timeout'."""
+
+    detail: str = ""
+    signal: Optional[int] = None
+    """The OS signal that terminated the arm's process, when one did."""
+
+    elapsed: float = 0.0
+    abnormal: bool = False
+    """True when the arm died rather than failed: these are the retryable
+    outcomes."""
+
+
+@dataclass
+class AttemptAutopsy:
+    """One attempt (initial race, retry, or degraded replay)."""
+
+    number: int
+    backend: str
+    winner_index: Optional[int]
+    timed_out: bool
+    elapsed: float
+    arms: List[ArmAutopsy] = field(default_factory=list)
+    degraded: bool = False
+    """True for the serial-replay attempt after every real arm died."""
+
+    backoff_before: float = 0.0
+    """Seconds the supervisor slept before launching this attempt."""
+
+    @property
+    def all_abnormal(self) -> bool:
+        """Every arm of this attempt died abnormally (nothing semantic)."""
+        return bool(self.arms) and all(arm.abnormal for arm in self.arms)
+
+    @property
+    def any_retryable(self) -> bool:
+        return any(arm.abnormal for arm in self.arms)
+
+
+@dataclass
+class RaceAutopsy:
+    """The full post-mortem of one supervised alternative block."""
+
+    attempts: List[AttemptAutopsy] = field(default_factory=list)
+    outcome: str = "unresolved"
+    """'won' | 'degraded' (serial replay rescued the block) | 'failed' |
+    'timeout'."""
+
+    winner_index: Optional[int] = None
+    total_elapsed: float = 0.0
+    faults_fired: List[tuple] = field(default_factory=list)
+    """``(point, arm, call#)`` firings copied from the active injector."""
+
+    @property
+    def degraded(self) -> bool:
+        return any(attempt.degraded for attempt in self.attempts)
+
+    @property
+    def total_retries(self) -> int:
+        """Attempts beyond the first, excluding the degraded replay."""
+        return max(
+            0, len([a for a in self.attempts if not a.degraded]) - 1
+        )
+
+    def arm_history(self, index: int) -> List[ArmAutopsy]:
+        """Every attempt's record for arm ``index``, in attempt order."""
+        return [
+            arm
+            for attempt in self.attempts
+            for arm in attempt.arms
+            if arm.index == index
+        ]
+
+    def summary(self) -> str:
+        """A human-readable post-mortem, one line per attempt."""
+        lines = [
+            f"RaceAutopsy: outcome={self.outcome} "
+            f"attempts={len(self.attempts)} retries={self.total_retries} "
+            f"elapsed={self.total_elapsed:.3f}s"
+        ]
+        for attempt in self.attempts:
+            kind = "replay" if attempt.degraded else f"attempt {attempt.number}"
+            arms = ", ".join(
+                f"{arm.name}={arm.outcome}"
+                + (f"(sig{arm.signal})" if arm.signal else "")
+                for arm in attempt.arms
+            )
+            lines.append(
+                f"  {kind} [{attempt.backend}]"
+                + (f" +{attempt.backoff_before:.3f}s backoff"
+                   if attempt.backoff_before else "")
+                + f": {arms or 'no arms ran'}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class Supervisor:
+    """Supervision policy for races on real (parallel) backends."""
+
+    arm_deadline: Optional[float] = None
+    """Wall seconds each arm gets before the watchdog intervenes
+    (``None`` disables the watchdog)."""
+
+    kill_grace: float = 1.0
+    """Seconds between the watchdog's cooperative termination and its
+    forcible kill."""
+
+    max_retries: int = 1
+    """Extra full-race attempts granted when an arm died abnormally."""
+
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    jitter: float = 0.5
+    """Fraction of the backoff randomized (0 = deterministic delays)."""
+
+    degrade_to_serial: bool = True
+    """After the last retry, replay the block on a ``SerialBackend`` when
+    every real arm died abnormally (the generalized-recovery-block move:
+    give the arms one clean, ordered chance before the FAIL arm)."""
+
+    clean_replay: bool = True
+    """Suppress the active fault injector during the degraded replay."""
+
+    seed: int = 0
+    """Seeds the jitter RNG, keeping supervised schedules reproducible."""
+
+    def __post_init__(self) -> None:
+        if self.arm_deadline is not None and self.arm_deadline <= 0:
+            raise ValueError("arm_deadline must be positive")
+        if self.kill_grace < 0:
+            raise ValueError("kill_grace cannot be negative")
+        if self.max_retries < 0:
+            raise ValueError("max_retries cannot be negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def backoff(self, retry_number: int) -> float:
+        """Delay before retry ``retry_number`` (1-based): capped
+        exponential with seeded jitter."""
+        if retry_number < 1:
+            raise ValueError("retry numbers are 1-based")
+        base = min(
+            self.backoff_cap,
+            self.backoff_base * (self.backoff_factor ** (retry_number - 1)),
+        )
+        if not self.jitter:
+            return base
+        spread = base * self.jitter
+        return base - spread + self._rng.random() * 2.0 * spread
+
+
+class Watchdog:
+    """Per-arm deadline enforcement alongside a blocking backend race.
+
+    ``terminate(hard)`` is the executor-supplied callback that delivers
+    the termination instruction to every still-racing arm (``hard=False``
+    -> cooperative: token cancel / SIGTERM; ``hard=True`` -> forcible:
+    SIGKILL where the backend can).  The watchdog fires it at
+    ``deadline`` and again, hard, at ``deadline + grace``; :meth:`stop`
+    cancels any firing still pending.
+    """
+
+    def __init__(
+        self,
+        deadline: float,
+        grace: float,
+        terminate: Callable[[bool], None],
+    ) -> None:
+        if deadline <= 0:
+            raise ValueError("watchdog deadline must be positive")
+        self.deadline = deadline
+        self.grace = grace
+        self._terminate = terminate
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="race-watchdog", daemon=True
+        )
+        self.fired_soft = False
+        self.fired_hard = False
+
+    def start(self) -> "Watchdog":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        if self._stop.wait(self.deadline):
+            return
+        self.fired_soft = True
+        try:
+            self._terminate(False)
+        except Exception:  # pragma: no cover - backend already torn down
+            return
+        if self._stop.wait(self.grace):
+            return
+        self.fired_hard = True
+        try:
+            self._terminate(True)
+        except Exception:  # pragma: no cover - backend already torn down
+            pass
+
+    def stop(self) -> None:
+        """Cancel pending firings and reclaim the thread."""
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# report classification (shared by the executor and the tests)
+
+
+def classify_outcome(
+    succeeded: bool,
+    cancelled: bool,
+    abnormal: bool,
+    detail: str,
+    signal: Optional[int] = None,
+    winner_exists: bool = False,
+) -> str:
+    """Map one arm report onto an :class:`ArmAutopsy` outcome label."""
+    if succeeded:
+        return "won"
+    lowered = detail.lower()
+    if abnormal:
+        if "corrupt" in lowered or "truncat" in lowered:
+            return "corrupt"
+        if "hung" in lowered or "abandon" in lowered or "hang" in lowered:
+            return "hung"
+        if signal is not None or "kill" in lowered:
+            return "killed"
+        return "crashed"
+    if cancelled:
+        return "eliminated" if winner_exists else "timeout"
+    return "failed"

@@ -1,0 +1,27 @@
+"""Shared fixtures for the resilience suite.
+
+``REPRO_FAULT_SEED`` parameterizes the injector seed so CI can smoke the
+same tests under several seeds; every assertion here must hold for *any*
+seed (deterministic rules fire regardless; probabilistic tests only
+assert reproducibility, never specific draws).
+"""
+
+import os
+
+import pytest
+
+from repro.resilience import injector as registry
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+@pytest.fixture
+def fault_seed():
+    return FAULT_SEED
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """No test may leak an installed injector into its neighbours."""
+    yield
+    registry.uninstall()

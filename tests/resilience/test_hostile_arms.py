@@ -1,0 +1,123 @@
+"""Hostile arms under the real backends: crashes, wedges, hung guards.
+
+Every scenario is parametrized across :class:`ThreadBackend` and
+:class:`ProcessBackend`: the same injected fault must leave the executor
+standing on both, even though the mechanics (abandoned daemon thread vs.
+SIGKILL backstop) differ.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.alternative import Alternative
+from repro.core.backends import ProcessBackend, ThreadBackend
+from repro.core.concurrent import ConcurrentExecutor
+from repro.errors import AltBlockFailure, AltTimeout
+from repro.resilience import FaultInjector, injected
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="requires os.fork"
+)
+
+
+def make_backend(kind):
+    if kind == "thread":
+        return ThreadBackend(join_grace=0.5)
+    return ProcessBackend(kill_grace=0.5)
+
+
+BACKEND_KINDS = ["thread", "process"]
+
+
+def survivor_block():
+    """Arm 0 is the fault target; arm 1 survives.
+
+    The survivor takes a deliberate head start (0.25s) so the victim has
+    reached its injected fault -- wedged, raised, or died -- before the
+    winner's cooperative SIGTERM goes out; otherwise a fast winner can
+    terminate a still-starting victim child before the fault manifests.
+    """
+    return [
+        Alternative("victim", body=lambda ctx: ctx.sleep(0.05) or "victim"),
+        Alternative("healthy", body=lambda ctx: ctx.sleep(0.25) or "healthy"),
+    ]
+
+
+@pytest.mark.parametrize("kind", BACKEND_KINDS)
+class TestHostileArms:
+    def test_sigkilled_child_mid_body(self, kind, fault_seed):
+        """An arm dying abruptly mid-body loses; the sibling still wins."""
+        injector = FaultInjector(seed=fault_seed).arm_sigkill(arms=[0])
+        executor = ConcurrentExecutor(backend=make_backend(kind))
+        with injected(injector):
+            result = executor.run(survivor_block())
+        assert result.value == "healthy"
+        victim = result.outcome("victim")
+        assert victim.status != "won"
+        assert injector.log and injector.log[0][0] == "arm-sigkill"
+
+    def test_all_arms_sigkilled_fails_cleanly(self, kind, fault_seed):
+        injector = FaultInjector(seed=fault_seed).arm_sigkill(times=None)
+        executor = ConcurrentExecutor(backend=make_backend(kind))
+        with injected(injector), pytest.raises(AltBlockFailure):
+            executor.run(survivor_block())
+
+    def test_sigterm_ignorer_hits_the_backstop(self, kind, fault_seed):
+        """A wedged arm that ignores the cooperative kill is forcibly
+        disposed of (SIGKILL in a child; abandonment for a thread) and the
+        block returns promptly with the healthy winner."""
+        injector = FaultInjector(seed=fault_seed).arm_hang(
+            arms=[0], duration=30.0
+        )
+        executor = ConcurrentExecutor(backend=make_backend(kind))
+        started = time.perf_counter()
+        with injected(injector):
+            result = executor.run(survivor_block())
+        wall = time.perf_counter() - started
+        assert result.value == "healthy"
+        assert wall < 10.0  # nowhere near the 30s wedge
+        victim = result.outcome("victim")
+        assert victim.status in ("eliminated", "failed")
+        if kind == "process":
+            report = executor._last_race.report(0)
+            assert report.exit_signal == signal.SIGKILL
+            assert report.abnormal
+
+    def test_hung_guard_under_alt_wait_timeout(self, kind, fault_seed):
+        """A guard that never comes back trips ``alt_wait(timeout)``; the
+        timeout carries per-arm partial reports instead of a bare error."""
+        injector = FaultInjector(seed=fault_seed).slow_guard(
+            arms=[0], duration=30.0
+        )
+        arms = [
+            Alternative(
+                "stuck",
+                body=lambda ctx: "never-accepted",
+                guard=lambda ctx, value: True,
+            ),
+        ]
+        executor = ConcurrentExecutor(
+            backend=make_backend(kind), timeout=0.4
+        )
+        with injected(injector), pytest.raises(AltTimeout) as info:
+            executor.run(arms)
+        reports = info.value.partial_reports
+        assert len(reports) == 1
+        (snapshot,) = reports
+        assert snapshot["index"] == 0
+        assert snapshot["name"] == "stuck"
+        assert snapshot["state"] in ("timeout", "hung", "killed", "crashed")
+        assert snapshot["elapsed"] >= 0.0
+
+    def test_raising_body_becomes_failed_arm(self, kind, fault_seed):
+        injector = FaultInjector(seed=fault_seed).arm_raise(
+            arms=[0], detail="synthetic explosion"
+        )
+        executor = ConcurrentExecutor(backend=make_backend(kind))
+        with injected(injector):
+            result = executor.run(survivor_block())
+        assert result.value == "healthy"
+        assert "synthetic explosion" in result.outcome("victim").detail

@@ -1,0 +1,160 @@
+"""The fault injector itself: rules, determinism, the registry."""
+
+import threading
+
+import pytest
+
+from repro.errors import FaultInjected
+from repro.resilience import (
+    FAULT_POINTS,
+    FaultInjector,
+    FaultRule,
+    active,
+    injected,
+    install,
+    suppressed,
+    uninstall,
+)
+
+
+class TestFaultRule:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(point="no-such-point")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRule(point="arm-raise", probability=1.5)
+
+    def test_arm_matching(self):
+        rule = FaultRule(point="arm-raise", arms=[1, 3])
+        assert rule.matches_arm(1)
+        assert not rule.matches_arm(2)
+        assert FaultRule(point="arm-raise").matches_arm(None)
+
+
+class TestDraw:
+    def test_deterministic_rule_fires_once_per_arm(self, fault_seed):
+        injector = FaultInjector(seed=fault_seed).arm_sigkill(arms=[0])
+        assert injector.draw("arm-sigkill", 0) is not None
+        assert injector.draw("arm-sigkill", 0) is None  # times=1 exhausted
+        assert injector.draw("arm-sigkill", 1) is None  # wrong arm
+
+    def test_times_counts_per_arm(self, fault_seed):
+        injector = FaultInjector(seed=fault_seed).arm_raise(times=1)
+        assert injector.draw("arm-raise", 0) is not None
+        assert injector.draw("arm-raise", 1) is not None
+        assert injector.draw("arm-raise", 0) is None
+
+    def test_on_calls_restricts_firing(self, fault_seed):
+        injector = FaultInjector(seed=fault_seed).arm_hang(
+            times=None, on_calls=[2]
+        )
+        assert injector.draw("arm-hang", 0) is None  # call 1
+        assert injector.draw("arm-hang", 0) is not None  # call 2
+        assert injector.draw("arm-hang", 0) is None  # call 3
+
+    def test_probability_is_keyed_not_sequential(self, fault_seed):
+        """The decision at (point, arm, call#) never depends on what other
+        arms drew first -- fork/thread divergence cannot change it."""
+        def draws(order):
+            injector = FaultInjector(seed=fault_seed).arm_raise(
+                probability=0.5, times=None
+            )
+            return {
+                arm: injector.draw("arm-raise", arm) is not None
+                for arm in order
+            }
+
+        assert draws([0, 1, 2, 3]) == draws([3, 2, 1, 0])
+
+    def test_same_seed_same_decisions(self, fault_seed):
+        first = FaultInjector(seed=fault_seed).arm_raise(
+            probability=0.4, times=None
+        )
+        second = FaultInjector(seed=fault_seed).arm_raise(
+            probability=0.4, times=None
+        )
+        for call in range(20):
+            assert (first.draw("arm-raise", 0) is None) == (
+                second.draw("arm-raise", 0) is None
+            )
+
+    def test_unknown_point_draw_rejected(self, fault_seed):
+        with pytest.raises(ValueError):
+            FaultInjector(seed=fault_seed).draw("bogus")
+
+    def test_fire_or_raise(self, fault_seed):
+        injector = FaultInjector(seed=fault_seed).arm_raise(
+            arms=[2], detail="boom"
+        )
+        injector.fire_or_raise("arm-raise", 0)  # no match: silent
+        with pytest.raises(FaultInjected, match="boom"):
+            injector.fire_or_raise("arm-raise", 2)
+
+    def test_log_records_firings(self, fault_seed):
+        injector = FaultInjector(seed=fault_seed).pipe_truncate(arms=[1])
+        injector.draw("pipe-truncate", 0)
+        injector.draw("pipe-truncate", 1)
+        assert injector.log == [("pipe-truncate", 1, 1)]
+
+    def test_reset_clears_counters_and_log(self, fault_seed):
+        injector = FaultInjector(seed=fault_seed).arm_sigkill()
+        assert injector.draw("arm-sigkill", 0) is not None
+        assert injector.draw("arm-sigkill", 0) is None
+        injector.reset()
+        assert injector.draw("arm-sigkill", 0) is not None
+        assert len(injector.log) == 1
+
+    def test_thread_safe_counters(self, fault_seed):
+        injector = FaultInjector(seed=fault_seed).arm_raise(
+            times=None, on_calls=range(1, 101)
+        )
+        fired = []
+
+        def worker():
+            for _ in range(25):
+                if injector.draw("arm-raise", 0) is not None:
+                    fired.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(fired) == 100
+
+    def test_every_named_point_is_drawable(self, fault_seed):
+        injector = FaultInjector(seed=fault_seed)
+        for point in FAULT_POINTS:
+            injector.add(point, times=None)
+        for point in FAULT_POINTS:
+            assert injector.draw(point, 0) is not None
+
+
+class TestRegistry:
+    def test_install_active_uninstall(self, fault_seed):
+        injector = FaultInjector(seed=fault_seed)
+        assert active() is None
+        install(injector)
+        assert active() is injector
+        uninstall()
+        assert active() is None
+
+    def test_injected_restores_previous(self, fault_seed):
+        outer = FaultInjector(seed=fault_seed)
+        inner = FaultInjector(seed=fault_seed + 1)
+        install(outer)
+        with injected(inner) as seen:
+            assert seen is inner
+            assert active() is inner
+        assert active() is outer
+
+    def test_suppressed_hides_the_injector(self, fault_seed):
+        with injected(FaultInjector(seed=fault_seed)) as injector:
+            with suppressed():
+                assert active() is None
+                with suppressed():
+                    assert active() is None  # nests by counting
+                assert active() is None
+            assert active() is injector
