@@ -1,13 +1,26 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: check test test-resilience bench-smoke bench
+.PHONY: check test test-fast test-resilience coverage bench-smoke bench
 
 ## check: what CI runs -- tier-1 tests plus a ~10s benchmark smoke.
 check: test bench-smoke
 
+## test: the full lane -- every test, including slow/subprocess ones.
 test:
 	$(PYTHON) -m pytest tests/ -q
+
+## test-fast: the fast CI lane -- skips tests marked `slow` (the
+## cross-backend equivalence matrix, fault-injection races, and other
+## fork-heavy suites); finishes in a few seconds.
+test-fast:
+	$(PYTHON) -m pytest tests/ -q -m "not slow"
+
+## coverage: line coverage over src/repro, gated at 80% on the obs
+## subsystem (requires pytest-cov; CI installs it).
+coverage:
+	$(PYTHON) -m pytest tests/ -q --cov=repro --cov-report=term-missing
+	$(PYTHON) -m coverage report --include="*/repro/obs/*" --fail-under=80
 
 ## test-resilience: the fault-injection smoke CI runs per injector seed.
 ## Uses a hard per-test timeout when pytest-timeout is available (a hung

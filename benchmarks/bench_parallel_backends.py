@@ -39,6 +39,7 @@ from repro.analysis.report import format_table
 from repro.core.alternative import Alternative
 from repro.core.backends import SerialBackend, get_backend
 from repro.core.concurrent import ConcurrentExecutor
+from repro.obs import Tracer, tracing
 
 JSON_PATH = os.path.join(_REPO_ROOT, "BENCH_parallel_backends.json")
 
@@ -46,9 +47,13 @@ JSON_PATH = os.path.join(_REPO_ROOT, "BENCH_parallel_backends.json")
 # progressively slower losers.
 FULL_COSTS = {"archive": 0.8, "replica": 0.4, "cache": 0.2, "memory": 0.05}
 QUICK_COSTS = {"archive": 0.2, "replica": 0.1, "cache": 0.05, "memory": 0.0125}
+# A sleep-dominated block for the tracer-overhead comparison: long enough
+# (fastest arm 0.1 s) that scheduling noise stays well under the 5% bar.
+OVERHEAD_COSTS = {"w": 0.3, "x": 0.2, "y": 0.15, "z": 0.1}
 STEP_SECONDS = 0.005
 REPEATS_FULL = 3
 REPEATS_QUICK = 1
+OVERHEAD_REPEATS = 3
 
 
 def make_arms(costs):
@@ -74,11 +79,11 @@ def make_arms(costs):
     ]
 
 
-def race_once(backend_name, costs):
+def race_once(backend_name, costs, seed=0):
     backend = (
         SerialBackend() if backend_name == "serial" else get_backend(backend_name)
     )
-    executor = ConcurrentExecutor(backend=backend)
+    executor = ConcurrentExecutor(backend=backend, seed=seed)
     parent = executor.new_parent()
     started = time.perf_counter()
     result = executor.run(make_arms(costs), parent=parent)
@@ -110,7 +115,35 @@ def race_once(backend_name, costs):
     }
 
 
-def run_suite(quick=False):
+def measure_tracer_overhead(seed=0):
+    """Race the same thread-backend block untraced and traced.
+
+    Min-of-N wall clocks (min is robust to scheduler spikes) on a
+    sleep-dominated block: the difference is the cost of emitting the
+    ~15 lifecycle events, which must stay under 5% of the race.
+    """
+    untraced = min(
+        race_once("thread", OVERHEAD_COSTS, seed)["wall_clock_seconds"]
+        for _ in range(OVERHEAD_REPEATS)
+    )
+    traced_walls = []
+    for _ in range(OVERHEAD_REPEATS):
+        with tracing(Tracer()):
+            traced_walls.append(
+                race_once("thread", OVERHEAD_COSTS, seed)["wall_clock_seconds"]
+            )
+    traced = min(traced_walls)
+    overhead = traced / untraced - 1.0
+    return {
+        "backend": "thread",
+        "arm_costs_seconds": OVERHEAD_COSTS,
+        "untraced_wall_seconds": round(untraced, 6),
+        "traced_wall_seconds": round(traced, 6),
+        "overhead_fraction": round(overhead, 6),
+    }
+
+
+def run_suite(quick=False, seed=0):
     costs = QUICK_COSTS if quick else FULL_COSTS
     repeats = REPEATS_QUICK if quick else REPEATS_FULL
     backend_names = ["serial", "thread"]
@@ -119,7 +152,7 @@ def run_suite(quick=False):
 
     backends = {}
     for name in backend_names:
-        runs = [race_once(name, costs) for _ in range(repeats)]
+        runs = [race_once(name, costs, seed) for _ in range(repeats)]
         best = min(runs, key=lambda r: r["wall_clock_seconds"])
         best["wall_clock_seconds"] = round(
             min(r["wall_clock_seconds"] for r in runs), 6
@@ -133,10 +166,13 @@ def run_suite(quick=False):
         if name != "serial"
     }
     fastest_arm = min(costs.values())
+    overhead = measure_tracer_overhead(seed)
     payload = {
         "experiment": "parallel_backends",
         "quick": quick,
+        "seed": seed,
         "arm_costs_seconds": costs,
+        "tracer_overhead": overhead,
         "backends": backends,
         "relative_wall_clock_vs_serial": speedups,
         "criteria": {
@@ -152,6 +188,7 @@ def run_suite(quick=False):
                 {backends[name]["winner"] for name in backend_names}
             )
             == 1,
+            "tracer_overhead_lt_5pct": overhead["overhead_fraction"] < 0.05,
         },
         "fastest_arm_cost_seconds": fastest_arm,
     }
@@ -204,6 +241,10 @@ def check_criteria(payload):
     assert criteria["every_backend_same_winner"], (
         "backends disagreed on the winner (transparency violation)"
     )
+    assert criteria["tracer_overhead_lt_5pct"], (
+        "enabling the tracer cost more than 5% of the race wall clock: "
+        f"{payload['tracer_overhead']}"
+    )
 
 
 def bench_b1_parallel_backends(benchmark, emit):
@@ -222,11 +263,25 @@ def main(argv=None):
         action="store_true",
         help="CI smoke variant: smaller costs, one repeat (finishes in seconds)",
     )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the executors' deterministic scheduling (recorded "
+        "in the JSON payload so a run can be reproduced exactly)",
+    )
     args = parser.parse_args(argv)
-    payload = run_suite(quick=args.quick)
+    payload = run_suite(quick=args.quick, seed=args.seed)
     print(render_table(payload))
+    overhead = payload["tracer_overhead"]
+    print(
+        "tracer overhead (thread backend): "
+        f"{overhead['overhead_fraction'] * 100:+.2f}% "
+        f"({overhead['untraced_wall_seconds']:.4f}s untraced vs "
+        f"{overhead['traced_wall_seconds']:.4f}s traced)"
+    )
     path = write_json(payload)
-    print(f"\nmachine-readable record: {path}")
+    print(f"machine-readable record: {path}")
     check_criteria(payload)
     print("acceptance criteria: all satisfied")
     return 0

@@ -47,6 +47,13 @@ from repro.errors import (
     ReproError,
     TooLate,
 )
+from repro.obs import (
+    BlockTrace,
+    MetricsRegistry,
+    TraceEvent,
+    Tracer,
+    tracing,
+)
 from repro.process.primitives import EliminationMode
 from repro.resilience import (
     FaultInjector,
@@ -67,9 +74,11 @@ __all__ = [
     "AltResult",
     "AltTimeout",
     "Alternative",
+    "BlockTrace",
     "CancellationToken",
     "ConcurrentExecutor",
     "CostModel",
+    "MetricsRegistry",
     "Eliminated",
     "EliminationMode",
     "ExecutionBackend",
@@ -95,8 +104,11 @@ __all__ = [
     "Supervisor",
     "ThreadBackend",
     "TooLate",
+    "TraceEvent",
+    "Tracer",
     "__version__",
     "default_parallel_backend",
     "get_backend",
     "injected",
+    "tracing",
 ]

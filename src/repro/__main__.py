@@ -2,7 +2,9 @@
 
 Prints the paper's section 4.2 table recomputed by the library, runs one
 illustrative race on the HP 9000/350 cost model, and points at the
-examples and benchmarks.
+examples and benchmarks.  ``python -m repro trace <block>`` instead races
+one canonical block under a tracer and exports the trace (see
+:mod:`repro.obs.cli`).
 """
 
 from __future__ import annotations
@@ -15,6 +17,11 @@ from repro.analysis.report import format_table, format_timeline
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import trace_main
+
+        return trace_main(argv[1:])
     print(
         f"repro {__version__} -- Smith & Maguire, 'Transparent Concurrent "
         "Execution of Mutually Exclusive Alternatives' (ICDCS 1989)"
@@ -45,6 +52,7 @@ def main(argv=None) -> int:
     print()
     print("next steps:")
     print("  python examples/quickstart.py")
+    print("  python -m repro trace --list          # traced canonical races")
     print("  pytest tests/")
     print("  pytest benchmarks/ --benchmark-only   # regenerate the paper")
     return 0

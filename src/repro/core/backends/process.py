@@ -56,6 +56,8 @@ from repro.core.backends.base import (
     ExecutionBackend,
 )
 from repro.errors import Eliminated, FaultInjected
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
 from repro.resilience.injector import active as _active_injector
 
 _MAGIC = b"Rr"
@@ -153,7 +155,7 @@ def _frame_record(payload: dict) -> Tuple[bytes, int]:
         stripped = {
             key: value
             for key, value in payload.items()
-            if key not in ("value", "dirty_pages")
+            if key not in ("value", "dirty_pages", "trace")
         }
         stripped["ok"] = False
         stripped["abnormal"] = True
@@ -381,6 +383,11 @@ class ProcessBackend(ExecutionBackend):
         token = getattr(task.context, "token", None)
         if token is not None:
             signal.signal(signal.SIGTERM, lambda signum, frame: token.cancel())
+        # The forked child inherits the parent's tracer (same epoch, same
+        # monotonic clock): record where its event log stands so only the
+        # child's own events are shipped back with the result.
+        tracer = _active_tracer()
+        trace_mark = tracer.mark()
         began = time.perf_counter() - start
         abnormal = False
         try:
@@ -415,6 +422,8 @@ class ProcessBackend(ExecutionBackend):
             "started": began,
             "finished": finished,
         }
+        if tracer.enabled:
+            record["trace"] = tracer.events_since(trace_mark)
         if succeeded:
             record["value"] = value
             space = getattr(task.context, "space", None)
@@ -446,6 +455,27 @@ class ProcessBackend(ExecutionBackend):
             task.index: ArmReport(index=task.index, name=task.name)
             for task in tasks
         }
+        blocks = {
+            task.index: getattr(task.context, "trace_block", None)
+            for task in tasks
+        }
+
+        def trace_finish(report: ArmReport) -> None:
+            tracer = _active_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.ARM_FINISH,
+                    block=blocks.get(report.index),
+                    arm=report.index,
+                    name=report.name,
+                    backend=self.name,
+                    succeeded=report.succeeded,
+                    cancelled=report.cancelled,
+                    abnormal=report.abnormal,
+                    work_seconds=report.work_seconds,
+                    detail=report.detail,
+                )
+
         events: List[tuple] = []
         winner_index: Optional[int] = None
         timed_out = False
@@ -474,6 +504,7 @@ class ProcessBackend(ExecutionBackend):
                 report.work_seconds = now
             seen.add(index)
             events.append((now, f"{report.name} dies: {detail}"))
+            trace_finish(report)
 
         while open_fds:
             now = time.perf_counter()
@@ -535,7 +566,7 @@ class ProcessBackend(ExecutionBackend):
                     winner_index, grace_deadline = self._absorb_record(
                         record, index, reports, seen, events,
                         winner_index, timed_out, grace_deadline,
-                        signal_racing,
+                        signal_racing, trace_finish,
                     )
                 if reader.corrupt and index not in seen:
                     conclude_abnormal(index, reader.corrupt_detail)
@@ -552,6 +583,7 @@ class ProcessBackend(ExecutionBackend):
             report.finished_at = total
             report.work_seconds = total
             events.append((total, f"kill {report.name} (forced)"))
+            trace_finish(report)
 
         if winner_index is not None:
             elapsed = reports[winner_index].finished_at
@@ -573,9 +605,15 @@ class ProcessBackend(ExecutionBackend):
     def _absorb_record(
         self, record, index, reports, seen, events,
         winner_index, timed_out, grace_deadline, signal_racing,
+        trace_finish,
     ):
         """Fold one intact record into the race state."""
         seen.add(index)
+        shipped_trace = record.get("trace")
+        if shipped_trace:
+            # Events the child emitted (guard evaluations, nested blocks)
+            # ride home with the result; same clock, same timeline.
+            _active_tracer().absorb(shipped_trace)
         report = reports[index]
         report.started_at = record["started"]
         report.finished_at = record["finished"]
@@ -612,6 +650,7 @@ class ProcessBackend(ExecutionBackend):
                     f"{report.name} aborts: {report.detail}",
                 )
             )
+        trace_finish(report)
         return winner_index, grace_deadline
 
     # ------------------------------------------------------------------

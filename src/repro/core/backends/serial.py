@@ -20,6 +20,8 @@ from repro.core.backends.base import (
     ExecutionBackend,
 )
 from repro.errors import Eliminated, FaultInjected
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
 from repro.resilience.injector import active as _active_injector
 
 
@@ -80,6 +82,20 @@ class SerialBackend(ExecutionBackend):
                     work_seconds=finished - began,
                 )
             )
+            tracer = _active_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.ARM_FINISH,
+                    block=getattr(task.context, "trace_block", None),
+                    arm=task.index,
+                    name=task.name,
+                    backend=self.name,
+                    succeeded=succeeded,
+                    cancelled=cancelled,
+                    abnormal=abnormal,
+                    work_seconds=finished - began,
+                    detail=detail,
+                )
             events.append(
                 (
                     finished,

@@ -42,6 +42,8 @@ from repro.core.backends.base import (
     ExecutionBackend,
 )
 from repro.errors import Eliminated, FaultInjected
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
 from repro.resilience.injector import active as _active_injector
 
 
@@ -83,6 +85,26 @@ class ThreadBackend(ExecutionBackend):
         abandoned: set = set()
         events: List[tuple] = []
         self._race_tasks = tasks
+        blocks = {
+            task.index: getattr(task.context, "trace_block", None)
+            for task in tasks
+        }
+
+        def trace_finish(report: ArmReport) -> None:
+            tracer = _active_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.ARM_FINISH,
+                    block=blocks.get(report.index),
+                    arm=report.index,
+                    name=report.name,
+                    backend=self.name,
+                    succeeded=report.succeeded,
+                    cancelled=report.cancelled,
+                    abnormal=report.abnormal,
+                    work_seconds=report.work_seconds,
+                    detail=report.detail,
+                )
 
         def cancel_all_except(keep: Optional[int]) -> None:
             for task in tasks:
@@ -160,6 +182,7 @@ class ThreadBackend(ExecutionBackend):
                     events.append(
                         (report.finished_at, f"{task.name} aborts: {detail}")
                     )
+                trace_finish(report)
                 state["remaining"] -= 1
                 if state["remaining"] == 0:
                     all_done.set()
@@ -217,6 +240,7 @@ class ThreadBackend(ExecutionBackend):
                 report.finished_at = now
                 report.work_seconds = now - report.started_at
                 events.append((now, f"abandon {report.name} (hung)"))
+                trace_finish(report)
 
         total = time.perf_counter() - start
         self._race_tasks = []

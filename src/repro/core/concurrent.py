@@ -41,13 +41,16 @@ from repro.core.backends import (
     SerialBackend,
 )
 from repro.core.result import AltOutcome, AltResult, OverheadBreakdown
-from repro.core.sequential import _run_body
+from repro.core.sequential import _run_body, _trace_guard_eval
 from repro.errors import (
     AltBlockFailure,
     AltTimeout,
     PageApplyError,
     ProcessStateError,
 )
+from repro.obs import events as _ev
+from repro.obs.export import BlockTrace
+from repro.obs.tracer import active as _active_tracer
 from repro.pages.store import PageStore
 from repro.process.primitives import EliminationMode, ProcessManager
 from repro.process.process import SimProcess
@@ -116,6 +119,7 @@ class ConcurrentExecutor:
         attach a :class:`~repro.resilience.RaceAutopsy` to the result (and
         to any raised error)."""
         self._last_race: Optional[BackendRace] = None
+        self._trace_block: Optional[int] = None
 
     def new_parent(self) -> SimProcess:
         """A fresh root process whose space callers may preload."""
@@ -133,9 +137,66 @@ class ConcurrentExecutor:
         Raises :class:`AltBlockFailure` when every alternative fails and
         :class:`AltTimeout` when no alternative succeeds inside
         ``timeout`` simulated seconds.
+
+        When a :class:`~repro.obs.Tracer` is installed, the whole race
+        lifecycle is recorded and the block's slice of the trace is
+        attached as ``result.trace`` (a :class:`~repro.obs.BlockTrace`)
+        on success, and as ``error.trace`` on failure; a supervised run's
+        :class:`~repro.resilience.RaceAutopsy` carries the same trace.
         """
         if not alternatives:
             raise ValueError("an alternative block needs at least one arm")
+        tracer = _active_tracer()
+        block = tracer.next_block() if tracer.enabled else None
+        self._trace_block = block
+        if tracer.enabled:
+            tracer.emit(
+                _ev.BLOCK_BEGIN,
+                block=block,
+                name=f"alt-block#{block} [{self.backend.name}]",
+                backend=self.backend.name,
+                arms=len(alternatives),
+                supervised=self.supervisor is not None,
+            )
+        try:
+            result = self._dispatch(alternatives, parent)
+        except (AltBlockFailure, AltTimeout) as exc:
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.BLOCK_END,
+                    block=block,
+                    outcome=type(exc).__name__,
+                    elapsed_seconds=float(getattr(exc, "elapsed", 0.0) or 0.0),
+                )
+                trace = BlockTrace(block, tracer.block_events(block))
+                exc.trace = trace
+                autopsy = getattr(exc, "autopsy", None)
+                if autopsy is not None:
+                    autopsy.trace = trace
+            raise
+        if tracer.enabled:
+            serial_sum = sum(
+                outcome.cpu_consumed or 0.0 for outcome in result.outcomes
+            )
+            tracer.emit(
+                _ev.BLOCK_END,
+                block=block,
+                outcome="won",
+                winner=result.winner.name,
+                elapsed_seconds=result.elapsed,
+                serial_sum_seconds=serial_sum,
+            )
+            trace = BlockTrace(block, tracer.block_events(block))
+            result.trace = trace
+            if result.autopsy is not None:
+                result.autopsy.trace = trace
+        return result
+
+    def _dispatch(
+        self,
+        alternatives: Sequence[Alternative],
+        parent: Optional[SimProcess],
+    ) -> AltResult:
         rng = random.Random(self.seed)
         parent = parent if parent is not None else self.new_parent()
         timeline: List[Tuple[float, str]] = [(0.0, "block entered")]
@@ -180,7 +241,10 @@ class ConcurrentExecutor:
                 open_arms.append(index)
                 continue
             probe = AltContext(parent.space, alt_index=index + 1, name=arm.name)
-            if arm.pre_guard(probe):
+            probe.trace_block = self._trace_block
+            held = bool(arm.pre_guard(probe))
+            _trace_guard_eval(probe, "before-spawn", held)
+            if held:
                 open_arms.append(index)
             else:
                 outcomes[index].status = "not_spawned"
@@ -208,6 +272,7 @@ class ConcurrentExecutor:
                 process=child,
                 token=CancellationToken() if with_tokens else None,
             )
+            context.trace_block = self._trace_block
             contexts[index] = context
             if skip_pre_guard and arm.pre_guard is not None:
                 # Guard already passed in the parent; do not re-run it.
@@ -237,6 +302,16 @@ class ConcurrentExecutor:
         tasks, contexts = self._build_tasks(
             alternatives, spawnable, children, with_tokens=False
         )
+        tracer = _active_tracer()
+        if tracer.enabled:
+            for index, child in zip(spawnable, children):
+                tracer.emit(
+                    _ev.ARM_SPAWN,
+                    block=self._trace_block,
+                    arm=index,
+                    name=alternatives[index].name,
+                    sim_pid=child.pid,
+                )
         # Bodies run through the serial backend (the deterministic replay
         # discipline); the race below is then decided by the timing model.
         race = SerialBackend().run_arms(tasks)
@@ -311,6 +386,7 @@ class ConcurrentExecutor:
                 child.pid, contexts[index].token.cancel
             )
         spawn_done = _time.perf_counter() - spawn_start
+        tracer = _active_tracer()
         for index, child in by_index.items():
             outcomes[index].pid = child.pid
             timeline.append(
@@ -319,6 +395,15 @@ class ConcurrentExecutor:
                     f"spawn {alternatives[index].name} (pid {child.pid})",
                 )
             )
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.ARM_SPAWN,
+                    block=self._trace_block,
+                    arm=index,
+                    name=alternatives[index].name,
+                    sim_pid=child.pid,
+                    backend=backend.name,
+                )
 
         watchdog = None
         if (
@@ -340,6 +425,7 @@ class ConcurrentExecutor:
                 self.supervisor.arm_deadline,
                 self.supervisor.kill_grace,
                 _terminate,
+                trace_block=self._trace_block,
             ).start()
         try:
             race = backend.run_arms(tasks, timeout=self.timeout)
@@ -407,7 +493,20 @@ class ConcurrentExecutor:
                 outcome.status = "eliminated" if report.cancelled else "failed"
                 outcome.detail = report.detail
 
+        tracer = _active_tracer()
         if winner_index is None:
+            if tracer.enabled:
+                for index in by_index:
+                    if outcomes[index].status == "eliminated":
+                        report = race.report(index)
+                        tracer.emit(
+                            _ev.LOSER_ELIMINATE,
+                            block=self._trace_block,
+                            arm=index,
+                            name=report.name,
+                            latency_seconds=0.0,
+                            detail=report.detail or "timeout",
+                        )
             elapsed = spawn_done + race.total_seconds
             if race.timed_out:
                 timeline.append((elapsed, "alt_wait TIMEOUT"))
@@ -450,6 +549,7 @@ class ConcurrentExecutor:
 
         winner_report = race.report(winner_index)
         winner_child = by_index[winner_index]
+        winner_child.space.trace_block = self._trace_block
         if winner_report.dirty_pages:
             # The winner ran in another OS process: replay its page images
             # into the simulated child space before the commit swap.
@@ -465,9 +565,35 @@ class ConcurrentExecutor:
                 )
         won = self.manager.alt_sync(winner_child, guard_ok=True)
         assert won, "first successful completion must win the rendezvous"
+        if tracer.enabled:
+            tracer.emit(
+                _ev.WINNER_COMMIT,
+                block=self._trace_block,
+                arm=winner_index,
+                name=winner_report.name,
+                pages=outcomes[winner_index].pages_written,
+                work_seconds=winner_report.work_seconds,
+            )
         self.manager.alt_wait(parent, elimination=self.elimination)
         if self.elimination is EliminationMode.ASYNCHRONOUS:
             self.manager.drain_eliminations(winner_child.group_id)
+        if tracer.enabled:
+            for index in by_index:
+                if index == winner_index:
+                    continue
+                if outcomes[index].status == "eliminated":
+                    report = race.report(index)
+                    tracer.emit(
+                        _ev.LOSER_ELIMINATE,
+                        block=self._trace_block,
+                        arm=index,
+                        name=report.name,
+                        latency_seconds=max(
+                            0.0,
+                            report.finished_at - winner_report.finished_at,
+                        ),
+                        detail=report.detail,
+                    )
 
         win_time = spawn_done + race.elapsed
         if self.elimination is EliminationMode.SYNCHRONOUS:
@@ -553,6 +679,16 @@ class ConcurrentExecutor:
         assert win_time is not None
         won = self.manager.alt_sync(winner_run.child, guard_ok=True)
         assert won, "first successful completion must win the rendezvous"
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                _ev.WINNER_COMMIT,
+                block=self._trace_block,
+                arm=winner_run.index,
+                name=winner_run.alternative.name,
+                pages=winner_run.pages_written,
+                sim_time=win_time,
+            )
 
         losers = [run for run in runs if run is not winner_run
                   and not sched.job(run.index).finished]
@@ -574,6 +710,15 @@ class ConcurrentExecutor:
             timeline.append(
                 (kill_times[run.index], f"kill {run.alternative.name}")
             )
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.LOSER_ELIMINATE,
+                    block=self._trace_block,
+                    arm=run.index,
+                    name=run.alternative.name,
+                    latency_seconds=kill_times[run.index] - win_time,
+                    sim_time=kill_times[run.index],
+                )
         last_kill = max(kill_times.values(), default=sync_done)
 
         if self.elimination is EliminationMode.SYNCHRONOUS:
@@ -618,6 +763,7 @@ class ConcurrentExecutor:
         # that *revealed* the timeout over-ran it); never move backwards.
         if sched.now < self.timeout:
             sched.advance_to(self.timeout)
+        tracer = _active_tracer()
         for run in runs:
             job = sched.job(run.index)
             if not job.finished:
@@ -626,6 +772,16 @@ class ConcurrentExecutor:
             if outcomes[run.index].status == "untried":
                 outcomes[run.index].status = "eliminated"
                 outcomes[run.index].detail = "timeout"
+                if tracer.enabled:
+                    tracer.emit(
+                        _ev.LOSER_ELIMINATE,
+                        block=self._trace_block,
+                        arm=run.index,
+                        name=run.alternative.name,
+                        latency_seconds=0.0,
+                        detail="timeout",
+                        sim_time=self.timeout,
+                    )
         timeline.append((self.timeout, "alt_wait TIMEOUT"))
         try:
             self.manager.alt_wait(parent, timed_out=True)
@@ -817,7 +973,22 @@ class ConcurrentExecutor:
                             f"{backoff_before:.3f}s backoff",
                         )
                     )
+                    tracer = _active_tracer()
+                    if tracer.enabled:
+                        tracer.emit(
+                            _ev.BACKOFF,
+                            block=self._trace_block,
+                            seconds=backoff_before,
+                            retry=retries_used,
+                        )
                     _time.sleep(backoff_before)
+                    if tracer.enabled:
+                        tracer.emit(
+                            _ev.RETRY,
+                            block=self._trace_block,
+                            retry=retries_used,
+                            max_retries=sup.max_retries,
+                        )
                     continue
                 autopsy.outcome = "failed"
                 break
@@ -850,6 +1021,14 @@ class ConcurrentExecutor:
                     "supervisor: degrading to serial replay",
                 )
             )
+            tracer = _active_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.DEGRADE,
+                    block=self._trace_block,
+                    reason="all arms died abnormally",
+                    clean_replay=sup.clean_replay,
+                )
             try:
                 if sup.clean_replay:
                     with _fault_registry.suppressed():

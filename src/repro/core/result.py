@@ -88,6 +88,11 @@ class AltResult:
     """A :class:`~repro.resilience.RaceAutopsy` when the block ran under a
     :class:`~repro.resilience.Supervisor`; ``None`` otherwise."""
 
+    trace: Any = None
+    """A :class:`~repro.obs.BlockTrace` (this block's slice of the
+    installed tracer's event stream) when tracing was on; ``None``
+    otherwise."""
+
     @property
     def durations(self) -> List[float]:
         """Standalone execution times of all alternatives that ran."""

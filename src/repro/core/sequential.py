@@ -29,6 +29,8 @@ from repro.core.alternative import AltContext, Alternative
 from repro.core.result import AltOutcome, AltResult, OverheadBreakdown
 from repro.core.selection import RandomPolicy, SelectionPolicy
 from repro.errors import AltBlockFailure, GuardFailure
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
 from repro.pages.store import PageStore
 from repro.process.primitives import ProcessManager
 from repro.process.process import SimProcess
@@ -149,15 +151,32 @@ def _stall_guard(context: AltContext) -> None:
         _time.sleep(rule.duration)
 
 
+def _trace_guard_eval(context: AltContext, which: str, held: bool) -> None:
+    """Witness one guard evaluation (a no-op when tracing is disabled)."""
+    tracer = _active_tracer()
+    if tracer.enabled:
+        tracer.emit(
+            _ev.GUARD_EVAL,
+            block=getattr(context, "trace_block", None),
+            arm=context.alt_index - 1 if context.alt_index else None,
+            name=context.name,
+            guard=which,
+            held=held,
+        )
+
+
 def _run_body(alternative: Alternative, context: AltContext):
     """Run body + guards; return (succeeded, value, detail)."""
     if alternative.pre_guard is not None:
         _stall_guard(context)
         try:
-            if not alternative.pre_guard(context):
-                return False, None, "pre-guard not satisfied"
+            held = bool(alternative.pre_guard(context))
         except GuardFailure as exc:
+            _trace_guard_eval(context, "pre", False)
             return False, None, str(exc)
+        _trace_guard_eval(context, "pre", held)
+        if not held:
+            return False, None, "pre-guard not satisfied"
     try:
         value = alternative.body(context)
     except GuardFailure as exc:
@@ -165,8 +184,11 @@ def _run_body(alternative: Alternative, context: AltContext):
     if alternative.guard is not None:
         _stall_guard(context)
         try:
-            if not alternative.guard(context, value):
-                return False, None, "acceptance test failed"
+            held = bool(alternative.guard(context, value))
         except GuardFailure as exc:
+            _trace_guard_eval(context, "acceptance", False)
             return False, None, str(exc)
+        _trace_guard_eval(context, "acceptance", held)
+        if not held:
+            return False, None, "acceptance test failed"
     return True, value, ""

@@ -20,6 +20,8 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.errors import ReproError
 from repro.ipc.channel import Channel
 from repro.ipc.message import Message
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
 from repro.predicates.predicate import Predicate
 from repro.predicates.world import WorldSet
 
@@ -77,6 +79,14 @@ class MessageRouter:
             data=data,
             predicate=predicate if predicate is not None else Predicate.empty(),
         )
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                _ev.PREDICATE_SEND,
+                sender=sender,
+                dest=dest,
+                predicated=not message.predicate.is_empty,
+            )
         return self._channel(sender, dest).send(message)
 
     def deliver_one(self, sender: int, dest: int) -> Optional[Message]:
@@ -112,11 +122,19 @@ class MessageRouter:
         # Fold already-known outcomes into the message predicate: 'we can
         # update the value of these elements as processes change status'.
         predicate = message.predicate
+        tracer = _active_tracer()
         sender_status = self._known_status.get(message.sender)
         if sender_status is False:
             # The sender is known to have failed; accepting would require
             # assuming complete(sender), which is known false.
             self.dropped += 1
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.PREDICATE_IGNORE,
+                    sender=message.sender,
+                    dest=message.dest,
+                    reason="sender known failed",
+                )
             return
         for pid in list(predicate.must | predicate.cannot):
             status = self._known_status.get(pid)
@@ -128,6 +146,13 @@ class MessageRouter:
                 # The sender's assumptions are already contradicted: the
                 # message belongs to a dead timeline.
                 self.dropped += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        _ev.PREDICATE_IGNORE,
+                        sender=message.sender,
+                        dest=message.dest,
+                        reason="assumptions already contradicted",
+                    )
                 return
         worlds = self._endpoints[message.dest]
         if sender_status is True:

@@ -1,0 +1,71 @@
+"""repro.obs: race observability -- structured tracing and metrics.
+
+The paper's transparency claim (sections 3-4) is only demonstrable if a
+race can be *seen*: which arm spawned when, who won the rendezvous, when
+each loser's termination instruction landed, how many dirty pages the
+winner shipped back.  This package provides:
+
+- :class:`Tracer` / :func:`tracing` -- typed span/event records from the
+  whole race lifecycle (executor, all execution backends, the supervisor,
+  page shipback, the IPC router, and the multiple-worlds machinery);
+- :class:`MetricsRegistry` -- counters, gauges, and fixed-bucket
+  histograms aggregating per-block and process-wide statistics;
+- :mod:`repro.obs.export` -- JSONL and Chrome ``chrome://tracing``
+  exporters, plus the :class:`BlockTrace` attachment carried by
+  ``AltResult.trace`` and ``RaceAutopsy.trace``;
+- ``python -m repro trace <example>`` -- run a canonical block under any
+  backend and dump its trace (see :mod:`repro.obs.blocks`).
+
+When no tracer is installed the :data:`NULL_TRACER` is active and every
+instrumentation point reduces to one global read plus an ``enabled``
+check, keeping the disabled overhead near zero.
+"""
+
+from repro.obs import events
+from repro.obs.events import EVENT_KINDS, TraceEvent
+from repro.obs.export import (
+    BlockTrace,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    active,
+    install,
+    tracing,
+    uninstall,
+)
+
+__all__ = [
+    "BlockTrace",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EVENT_KINDS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "active",
+    "events",
+    "install",
+    "to_chrome_trace",
+    "to_jsonl",
+    "tracing",
+    "uninstall",
+    "write_chrome_trace",
+    "write_jsonl",
+]

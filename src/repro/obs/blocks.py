@@ -1,0 +1,303 @@
+"""Canonical alternative blocks: the cross-backend equivalence corpus.
+
+Each :class:`CanonicalBlock` describes one alternative block whose
+*observable* outcome -- the returned value, the winning arm, the raised
+error, and the bytes of the parent's address space after the block -- must
+be identical no matter which execution backend races it.  The corpus
+covers the interesting shapes: a pure fastest-first winner, guard vetoes
+(pre-spawn, in-child, and at the acceptance test), the all-arms-fail FAIL
+case, a crashing (hostile) arm, a block-level timeout, nested blocks, and
+loser-write discard.
+
+The same corpus backs two consumers:
+
+- ``tests/obs/test_equivalence_matrix.py`` runs every block under the
+  serial, thread, and process backends and asserts the outcomes agree
+  byte for byte, using the attached :class:`~repro.obs.BlockTrace` to
+  explain any divergence;
+- ``python -m repro trace <block>`` runs one block under a tracer and
+  exports the trace (JSONL or Chrome trace-event JSON).
+
+Determinism across backends requires that an arm's *simulated* cost equal
+its *wall-clock* sleep: the serial backend decides the race on the timing
+model while the parallel backends decide it at the wall clock, so both
+clocks must rank the arms identically.  Sleeps are spaced >= 0.2 s apart
+to keep OS scheduling noise from reordering real races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.alternative import Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.errors import AltBlockFailure, AltTimeout
+
+# A raw-byte write offset far from the variable directory's first pages:
+# exercises shipback of pages the directory machinery never re-dirties.
+RAW_OFFSET = 8192
+FAST, MID, SLOW = 0.05, 0.3, 0.55
+
+
+def _arm(
+    name: str,
+    seconds: float,
+    value: Any = None,
+    var: Optional[str] = None,
+    guard: Optional[Callable] = None,
+    pre_guard: Optional[Callable] = None,
+    fail: bool = False,
+    crash: bool = False,
+    raw: Optional[bytes] = None,
+) -> Alternative:
+    """One sleeping arm whose simulated cost equals its wall sleep."""
+
+    def body(ctx):
+        ctx.sleep(seconds)
+        if crash:
+            raise RuntimeError(f"{name} crashed (hostile arm)")
+        if fail:
+            ctx.fail(f"{name} refuses")
+        if raw is not None:
+            ctx.space.write(RAW_OFFSET, raw)
+        if var is not None:
+            ctx.put(var, value)
+        return value
+
+    return Alternative(
+        name=name,
+        body=body,
+        guard=guard,
+        pre_guard=pre_guard,
+        cost=seconds,
+    )
+
+
+@dataclass
+class BlockOutcome:
+    """What one backend observed running one canonical block."""
+
+    value: Any = None
+    winner: Optional[str] = None
+    error: Optional[str] = None  # class name of the raised block error
+    space_bytes: bytes = b""
+    variables: Dict[str, Any] = field(default_factory=dict)
+    trace: Any = None  # BlockTrace when a tracer was installed
+
+    @property
+    def key(self) -> tuple:
+        """The cross-backend equivalence key."""
+        return (self.value, self.winner, self.error, self.space_bytes)
+
+
+@dataclass
+class CanonicalBlock:
+    """One entry of the equivalence corpus."""
+
+    name: str
+    description: str
+    build: Callable[[ConcurrentExecutor], List[Alternative]]
+    timeout: Optional[float] = None
+    expect_winner: Optional[str] = None
+    expect_value: Any = None
+    expect_error: Optional[type] = None
+    expect_vars: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self, backend, **executor_kwargs) -> BlockOutcome:
+        """Race this block on ``backend``; capture the observable outcome."""
+        executor = ConcurrentExecutor(
+            backend=backend, timeout=self.timeout, **executor_kwargs
+        )
+        parent = executor.new_parent()
+        outcome = BlockOutcome()
+        try:
+            result = executor.run(self.build(executor), parent=parent)
+        except (AltBlockFailure, AltTimeout) as exc:
+            outcome.error = type(exc).__name__
+            outcome.trace = getattr(exc, "trace", None)
+        else:
+            outcome.value = result.value
+            outcome.winner = result.winner.name
+            outcome.trace = result.trace
+        outcome.space_bytes = parent.space.read(0, parent.space.size)
+        outcome.variables = {
+            name: parent.space.get(name) for name in parent.space.names()
+        }
+        return outcome
+
+
+def _nested_build(executor: ConcurrentExecutor) -> List[Alternative]:
+    """An arm that writes, runs an inner block, then writes again.
+
+    The raw write *before* the inner block lands on a page the inner
+    commit never touches -- if the commit swap's dirty accounting replaced
+    (rather than unioned) the dirty set, a fork-based backend would ship
+    the inner pages but silently drop this one, and the matrix catches
+    the divergence.
+    """
+
+    def compound(ctx):
+        ctx.sleep(FAST)
+        ctx.space.write(RAW_OFFSET, b"outer-pre")
+        inner = ConcurrentExecutor(manager=executor.manager)
+        result = inner.run(
+            [
+                _arm("deep-fast", 0.0, value="deep", var="deep"),
+                _arm("deep-failing", 0.0, fail=True),
+            ],
+            parent=ctx.process,
+        )
+        ctx.put("after", "outer-post")
+        return result.value
+
+    return [
+        Alternative(name="compound", body=compound, cost=FAST),
+        _arm("flat-slow", SLOW, value="flat", var="who"),
+    ]
+
+
+CANONICAL_BLOCKS: List[CanonicalBlock] = [
+    CanonicalBlock(
+        name="pure-winner",
+        description="three healthy arms; strictly the fastest wins",
+        build=lambda ex: [
+            _arm("fast", FAST, value="F", var="who"),
+            _arm("mid", MID, value="M", var="who"),
+            _arm("slow", SLOW, value="S", var="who"),
+        ],
+        expect_winner="fast",
+        expect_value="F",
+        expect_vars={"who": "F"},
+    ),
+    CanonicalBlock(
+        name="four-arm-spread",
+        description="four healthy arms with spread costs; the fastest wins",
+        build=lambda ex: [
+            _arm("a-fast", FAST, value="A", var="who"),
+            _arm("b-mid", MID, value="B", var="who"),
+            _arm("c-slow", SLOW, value="C", var="who"),
+            _arm("d-slowest", 0.8, value="D", var="who"),
+        ],
+        expect_winner="a-fast",
+        expect_value="A",
+        expect_vars={"who": "A"},
+    ),
+    CanonicalBlock(
+        name="acceptance-vetoes-fastest",
+        description="fastest arm's acceptance test rejects; next-best wins",
+        build=lambda ex: [
+            _arm(
+                "fast-wrong",
+                FAST,
+                value="bogus",
+                var="who",
+                guard=lambda ctx, value: False,
+            ),
+            _arm("mid-right", MID, value="M", var="who"),
+        ],
+        expect_winner="mid-right",
+        expect_value="M",
+        expect_vars={"who": "M"},
+    ),
+    CanonicalBlock(
+        name="pre-guard-closed",
+        description="fastest arm's enabling condition is closed",
+        build=lambda ex: [
+            _arm(
+                "fast-closed",
+                FAST,
+                value="never",
+                var="who",
+                pre_guard=lambda ctx: False,
+            ),
+            _arm("mid-open", MID, value="M", var="who"),
+        ],
+        expect_winner="mid-open",
+        expect_value="M",
+        expect_vars={"who": "M"},
+    ),
+    CanonicalBlock(
+        name="single-arm",
+        description="a one-arm block degenerates to plain execution",
+        build=lambda ex: [_arm("only", FAST, value=42, var="who")],
+        expect_winner="only",
+        expect_value=42,
+        expect_vars={"who": 42},
+    ),
+    CanonicalBlock(
+        name="fail-arm",
+        description="every arm fails its guard: the block takes the FAIL arm",
+        build=lambda ex: [
+            _arm("no-1", FAST, fail=True),
+            _arm("no-2", MID, fail=True),
+            _arm("no-3", 0.1, fail=True),
+        ],
+        expect_error=AltBlockFailure,
+    ),
+    CanonicalBlock(
+        name="hostile-arm",
+        description="the fastest arm crashes; a healthy sibling still wins",
+        build=lambda ex: [
+            _arm("hostile", FAST, crash=True),
+            _arm("healthy", MID, value="ok", var="who"),
+        ],
+        expect_winner="healthy",
+        expect_value="ok",
+        expect_vars={"who": "ok"},
+    ),
+    CanonicalBlock(
+        name="timeout",
+        description="no arm beats the block deadline: AltTimeout",
+        build=lambda ex: [
+            _arm("too-slow-1", 0.4, value=1, var="who"),
+            _arm("too-slow-2", 0.5, value=2, var="who"),
+        ],
+        timeout=0.15,
+        expect_error=AltTimeout,
+    ),
+    CanonicalBlock(
+        name="nested-block",
+        description="the winning arm runs an inner alternative block",
+        build=_nested_build,
+        expect_winner="compound",
+        expect_value="deep",
+        expect_vars={"deep": "deep", "after": "outer-post"},
+    ),
+    CanonicalBlock(
+        name="late-success",
+        description="two succeeding arms; the slower one is too late",
+        build=lambda ex: [
+            _arm("early", FAST, value="early", var="who"),
+            _arm("late", MID, value="late", var="who"),
+        ],
+        expect_winner="early",
+        expect_value="early",
+        expect_vars={"who": "early"},
+    ),
+    CanonicalBlock(
+        name="loser-writes-discarded",
+        description="each arm writes different state; only the winner's lands",
+        build=lambda ex: [
+            _arm("keeper", FAST, value="kept", var="kept", raw=b"winner-bytes"),
+            _arm("discard", MID, value="dropped", var="dropped"),
+        ],
+        expect_winner="keeper",
+        expect_value="kept",
+        expect_vars={"kept": "kept"},
+    ),
+]
+
+
+BLOCKS_BY_NAME: Dict[str, CanonicalBlock] = {
+    block.name: block for block in CANONICAL_BLOCKS
+}
+
+
+def get_block(name: str) -> CanonicalBlock:
+    """Look up a canonical block (raises ``KeyError`` with the roster)."""
+    try:
+        return BLOCKS_BY_NAME[name]
+    except KeyError:
+        roster = ", ".join(sorted(BLOCKS_BY_NAME))
+        raise KeyError(f"no canonical block {name!r}; have: {roster}") from None

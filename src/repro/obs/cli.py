@@ -1,0 +1,119 @@
+"""``python -m repro trace``: race a canonical block and dump its trace.
+
+Runs one block from the :mod:`repro.obs.blocks` corpus under an installed
+:class:`~repro.obs.Tracer` and writes the trace in Chrome trace-event
+JSON (loadable in ``chrome://tracing`` / Perfetto) or JSONL, plus a
+metrics summary.  ``--supervised`` wraps the race in a
+:class:`~repro.resilience.Supervisor` so the exported trace also shows
+watchdog / retry / degrade events when they occur.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.backends import BACKENDS, get_backend
+from repro.obs.blocks import BLOCKS_BY_NAME, CANONICAL_BLOCKS, get_block
+from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.obs.tracer import Tracer, tracing
+from repro.resilience.supervisor import Supervisor
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="race one canonical alternative block under a tracer",
+    )
+    parser.add_argument(
+        "block",
+        nargs="?",
+        default="pure-winner",
+        help="canonical block name (see --list); default: pure-winner",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list canonical blocks and exit"
+    )
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=BACKENDS,
+        help="execution backend to race on (default: serial)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="chrome",
+        choices=("chrome", "jsonl"),
+        help="trace export format (default: chrome trace-event JSON)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: trace-<block>-<backend>.<ext>)",
+    )
+    parser.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run under a Supervisor (watchdog + retries + autopsy)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry summary after the race",
+    )
+    return parser
+
+
+def _list_blocks() -> int:
+    width = max(len(block.name) for block in CANONICAL_BLOCKS)
+    for block in CANONICAL_BLOCKS:
+        print(f"  {block.name:<{width}}  {block.description}")
+    return 0
+
+
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``trace`` subcommand."""
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        return _list_blocks()
+    try:
+        spec = get_block(args.block)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    backend = get_backend(args.backend)
+    kwargs = {}
+    if args.supervised and backend.is_parallel:
+        kwargs["supervisor"] = Supervisor(arm_deadline=5.0, max_retries=1)
+
+    tracer = Tracer()
+    with tracing(tracer):
+        outcome = spec.run(backend, **kwargs)
+
+    if outcome.error is not None:
+        print(f"block {spec.name!r} on {args.backend}: raised {outcome.error}")
+    else:
+        print(
+            f"block {spec.name!r} on {args.backend}: "
+            f"winner={outcome.winner!r} value={outcome.value!r}"
+        )
+
+    extension = "json" if args.fmt == "chrome" else "jsonl"
+    path = args.out or f"trace-{spec.name}-{args.backend}.{extension}"
+    if args.fmt == "chrome":
+        write_chrome_trace(tracer.events, path)
+    else:
+        write_jsonl(tracer.events, path)
+    print(f"{len(tracer.events)} events -> {path}")
+
+    if args.metrics:
+        print()
+        for line in tracer.metrics.summary_lines():
+            print(line)
+    return 0
+
+
+__all__ = ["trace_main"]

@@ -1,0 +1,115 @@
+"""Typed trace events for the race lifecycle.
+
+Every observable step of an alternative block's concurrent execution --
+from ``alt_spawn`` to the losers' elimination, and the predicated-message
+machinery around it -- is witnessed by one :class:`TraceEvent`.  The kind
+vocabulary is closed (see the ``EVENT_KINDS`` tuple) so exporters and the
+test matrix can reason about it; ``attrs`` carries the kind-specific
+payload (dirty-page counts, work seconds, backoff delays, ...).
+
+Events are plain picklable dataclasses: the fork-based execution backend
+ships the events a child emitted back to the parent inside its result
+record, alongside the dirty pages.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+# -- block lifecycle ---------------------------------------------------
+BLOCK_BEGIN = "block-begin"
+BLOCK_END = "block-end"
+
+# -- per-arm lifecycle -------------------------------------------------
+ARM_SPAWN = "arm-spawn"
+GUARD_EVAL = "guard-eval"
+ARM_FINISH = "arm-finish"
+WINNER_COMMIT = "winner-commit"
+LOSER_ELIMINATE = "loser-eliminate"
+
+# -- supervision -------------------------------------------------------
+RETRY = "retry"
+BACKOFF = "backoff"
+WATCHDOG_SOFT = "watchdog-soft"
+WATCHDOG_HARD = "watchdog-hard"
+DEGRADE = "degrade"
+
+# -- state shipment ----------------------------------------------------
+PAGE_SHIPBACK = "page-shipback"
+
+# -- predicated messages / multiple worlds (section 3.4.2) -------------
+WORLD_SPLIT = "world-split"
+WORLD_ELIMINATE = "world-eliminate"
+PREDICATE_SEND = "predicate-send"
+PREDICATE_ACCEPT = "predicate-accept"
+PREDICATE_IGNORE = "predicate-ignore"
+
+EVENT_KINDS = (
+    BLOCK_BEGIN,
+    BLOCK_END,
+    ARM_SPAWN,
+    GUARD_EVAL,
+    ARM_FINISH,
+    WINNER_COMMIT,
+    LOSER_ELIMINATE,
+    RETRY,
+    BACKOFF,
+    WATCHDOG_SOFT,
+    WATCHDOG_HARD,
+    DEGRADE,
+    PAGE_SHIPBACK,
+    WORLD_SPLIT,
+    WORLD_ELIMINATE,
+    PREDICATE_SEND,
+    PREDICATE_ACCEPT,
+    PREDICATE_IGNORE,
+)
+
+#: Kinds that terminate one arm's span (exactly one ``ARM_FINISH`` per
+#: spawned arm; ``LOSER_ELIMINATE`` additionally marks eliminated losers).
+ARM_TERMINAL_KINDS = (ARM_FINISH, LOSER_ELIMINATE)
+
+
+@dataclass
+class TraceEvent:
+    """One observed step of a race (or of the world machinery around it)."""
+
+    kind: str
+    ts: float
+    """Seconds since the emitting tracer's epoch (``perf_counter``-based,
+    so timestamps from a forked child remain comparable to the parent's)."""
+
+    block: Optional[int] = None
+    """The alternative block this event belongs to (``None`` for events
+    outside any block, e.g. router deliveries)."""
+
+    arm: Optional[int] = None
+    """Arm index within the block, when the event concerns one arm."""
+
+    name: str = ""
+    """Human label: arm name, block label, message description."""
+
+    pid: int = field(default_factory=os.getpid)
+    """OS process id that emitted the event (children differ from the
+    parent under the fork backend)."""
+
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready flat representation (the JSONL exporter's row)."""
+        row: Dict[str, Any] = {
+            "kind": self.kind,
+            "ts": round(self.ts, 9),
+            "pid": self.pid,
+        }
+        if self.block is not None:
+            row["block"] = self.block
+        if self.arm is not None:
+            row["arm"] = self.arm
+        if self.name:
+            row["name"] = self.name
+        if self.attrs:
+            row["attrs"] = self.attrs
+        return row

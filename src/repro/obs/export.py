@@ -1,0 +1,192 @@
+"""Trace exporters: JSONL and Chrome ``chrome://tracing`` trace-event JSON.
+
+The Chrome exporter renders each alternative block as one trace "process"
+(so blocks -- including nested ones -- group separately in the viewer),
+each arm as one "thread" row carrying a single complete ``X`` span from
+its spawn to its terminal event, and every other lifecycle event as an
+instant.  The output is plain trace-event JSON, loadable in
+``chrome://tracing`` and Perfetto alike.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs import events as ev
+from repro.obs.events import TraceEvent
+
+_US = 1_000_000  # trace-event timestamps are microseconds
+
+
+# ----------------------------------------------------------------------
+# JSONL
+
+def to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """One JSON object per line, in emission order."""
+    return "\n".join(
+        json.dumps(event.to_dict(), sort_keys=True, default=repr)
+        for event in events
+    )
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: str) -> str:
+    payload = to_jsonl(events)
+    with open(path, "w") as handle:
+        handle.write(payload)
+        if payload:
+            handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+
+def _instant(event: TraceEvent, pid: int, tid: int) -> Dict[str, Any]:
+    return {
+        "name": event.kind + (f" {event.name}" if event.name else ""),
+        "cat": event.kind,
+        "ph": "i",
+        "s": "t",
+        "ts": event.ts * _US,
+        "pid": pid,
+        "tid": tid,
+        "args": dict(event.attrs),
+    }
+
+
+def to_chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
+    """Render events as a trace-event JSON document (a dict)."""
+    ordered = sorted(events, key=lambda e: e.ts)
+    rows: List[Dict[str, Any]] = []
+    spans: Dict[tuple, Dict[str, Any]] = {}  # (block, arm) -> span state
+    block_names: Dict[int, str] = {}
+    arm_names: Dict[tuple, str] = {}
+
+    for event in ordered:
+        pid = event.block if event.block is not None else 0
+        tid = event.arm + 1 if event.arm is not None else 0
+        key = (pid, event.arm)
+        if event.kind == ev.BLOCK_BEGIN:
+            block_names[pid] = event.name or f"block {pid}"
+        if event.arm is not None and event.name:
+            arm_names.setdefault((pid, tid), event.name)
+        if event.kind == ev.ARM_SPAWN:
+            spans[key] = {
+                "begin": event.ts,
+                "end": None,
+                "name": event.name or f"arm {event.arm}",
+                "args": dict(event.attrs),
+            }
+        elif event.kind in ev.ARM_TERMINAL_KINDS and key in spans:
+            span = spans[key]
+            # The latest terminal observation closes the span (an
+            # eliminated loser may report both a finish and its kill).
+            span["end"] = max(span["end"] or 0.0, event.ts)
+            span["args"].update(event.attrs)
+            span["args"]["terminal"] = event.kind
+        rows.append(_instant(event, pid, tid))
+
+    for (pid, arm), span in spans.items():
+        end = span["end"] if span["end"] is not None else span["begin"]
+        rows.append(
+            {
+                "name": span["name"],
+                "cat": "arm",
+                "ph": "X",
+                "ts": span["begin"] * _US,
+                "dur": max(0.0, end - span["begin"]) * _US,
+                "pid": pid,
+                "tid": arm + 1 if arm is not None else 0,
+                "args": span["args"],
+            }
+        )
+
+    # Metadata rows so the viewer shows block/arm labels, not bare ids.
+    for pid, label in block_names.items():
+        rows.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    for (pid, tid), label in arm_names.items():
+        rows.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+    return {"traceEvents": rows, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: str) -> str:
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(events), handle, indent=1, default=repr)
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# per-block attachment
+
+@dataclass
+class BlockTrace:
+    """The slice of the trace belonging to one alternative block.
+
+    Attached to :class:`~repro.core.result.AltResult` (``result.trace``),
+    to raised block errors, and to the supervised race's
+    :class:`~repro.resilience.RaceAutopsy` when tracing is active.
+    """
+
+    block: int
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def arm_events(self, arm: int) -> List[TraceEvent]:
+        return [event for event in self.events if event.arm == arm]
+
+    @property
+    def winner_commits(self) -> List[TraceEvent]:
+        return self.of_kind(ev.WINNER_COMMIT)
+
+    @property
+    def eliminations(self) -> List[TraceEvent]:
+        return self.of_kind(ev.LOSER_ELIMINATE)
+
+    def chrome(self) -> Dict[str, Any]:
+        """This block as a Chrome trace-event document."""
+        return to_chrome_trace(self.events)
+
+    def jsonl(self) -> str:
+        return to_jsonl(self.events)
+
+    def write_chrome(self, path: str) -> str:
+        return write_chrome_trace(self.events, path)
+
+    def write_jsonl(self, path: str) -> str:
+        return write_jsonl(self.events, path)
+
+    def summary(self) -> str:
+        """One line per event -- the divergence-explainer test helper."""
+        lines = []
+        for event in self.events:
+            where = "" if event.arm is None else f" arm={event.arm}"
+            label = f" {event.name}" if event.name else ""
+            extra = f" {event.attrs}" if event.attrs else ""
+            lines.append(
+                f"[{event.ts:12.6f}] {event.kind}{where}{label}{extra}"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

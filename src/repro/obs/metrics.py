@@ -1,0 +1,244 @@
+"""Counters, gauges, and fixed-bucket histograms for race statistics.
+
+A :class:`MetricsRegistry` aggregates per-block and process-wide numbers
+out of the trace stream: arm wall-clock, speedup versus the serial sum of
+the arms, elimination latency, pages shipped, worlds split.  The tracer
+feeds every emitted :class:`~repro.obs.events.TraceEvent` through
+:meth:`MetricsRegistry.record`, so for every event kind the counter
+``events.<kind>`` equals the number of events of that kind -- the
+invariant the randomized property tests assert.
+
+Histogram bucket boundaries are *fixed at construction* (never rebucketed)
+so counts from different runs, backends, and processes are directly
+addable, the way a production metrics pipeline needs them to be.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs import events as ev
+
+#: Default bucket upper bounds in seconds (an implicit +Inf bucket is
+#: always appended).  Spans race wall-clocks from sub-millisecond arms to
+#: multi-second supervised retries.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Cumulative-style histogram with fixed bucket boundaries."""
+
+    __slots__ = ("name", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> None:
+        ordered = tuple(sorted(buckets))
+        if not ordered:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if len(set(ordered)) != len(ordered):
+            raise ValueError("bucket bounds must be distinct")
+        self.name = name
+        self.buckets = ordered
+        self._counts = [0] * (len(ordered) + 1)  # trailing +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        slot = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[slot] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Total observations (equals the sum of all bucket counts)."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket counts; the last slot is the +Inf overflow bucket."""
+        with self._lock:
+            return list(self._counts)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Approximate ``q``-quantile from the bucket upper bounds."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return None
+            target = q * self._count
+            running = 0
+            for bound, bucket in zip(self.buckets, self._counts):
+                running += bucket
+                if running >= target:
+                    return bound
+            return float("inf")
+
+
+class MetricsRegistry:
+    """Create-on-demand registry of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, buckets)
+            return metric
+
+    # ------------------------------------------------------------------
+    # the tracer hook
+
+    def record(self, event) -> None:
+        """Fold one trace event into the aggregates.
+
+        Guaranteed: ``events.<kind>`` counts exactly one per event of that
+        kind, and every ``ARM_FINISH`` / ``LOSER_ELIMINATE`` /
+        ``BLOCK_END`` contributes exactly one histogram observation.
+        """
+        self.counter("events." + event.kind).inc()
+        kind = event.kind
+        attrs = event.attrs
+        if kind == ev.ARM_FINISH:
+            self.histogram("arm_wall_seconds").observe(
+                attrs.get("work_seconds", 0.0)
+            )
+        elif kind == ev.LOSER_ELIMINATE:
+            self.counter("eliminations_total").inc()
+            self.histogram("elimination_latency_seconds").observe(
+                max(0.0, attrs.get("latency_seconds", 0.0))
+            )
+        elif kind == ev.WINNER_COMMIT:
+            self.counter("wins_total").inc()
+        elif kind == ev.PAGE_SHIPBACK:
+            self.counter("pages_shipped_total").inc(attrs.get("pages", 0))
+        elif kind == ev.WORLD_SPLIT:
+            self.counter("worlds_split_total").inc()
+        elif kind == ev.WORLD_ELIMINATE:
+            self.counter("worlds_eliminated_total").inc()
+        elif kind == ev.RETRY:
+            self.counter("retries_total").inc()
+        elif kind == ev.BLOCK_BEGIN:
+            self.counter("blocks_total").inc()
+        elif kind == ev.BLOCK_END:
+            elapsed = attrs.get("elapsed_seconds", 0.0) or 0.0
+            self.histogram("block_elapsed_seconds").observe(elapsed)
+            serial_sum = attrs.get("serial_sum_seconds")
+            if serial_sum and elapsed > 0:
+                # Speedup versus running every arm back to back -- the
+                # paper's sequential Scheme A cost for the same block.
+                self.gauge("last_block_speedup").set(serial_sum / elapsed)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A JSON-ready dump of every metric's current state."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: metric.value for name, metric in sorted(counters.items())
+            },
+            "gauges": {
+                name: metric.value for name, metric in sorted(gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "buckets": list(metric.buckets),
+                    "counts": metric.bucket_counts,
+                    "count": metric.count,
+                    "sum": metric.sum,
+                }
+                for name, metric in sorted(histograms.items())
+            },
+        }
+
+    def summary_lines(self) -> Iterable[str]:
+        """Terse human-readable dump (the CLI's metrics footer)."""
+        snap = self.snapshot()
+        for name, value in snap["counters"].items():
+            yield f"{name} = {value:g}"
+        for name, value in snap["gauges"].items():
+            yield f"{name} = {value:g}"
+        for name, data in snap["histograms"].items():
+            yield (
+                f"{name}: count={data['count']} sum={data['sum']:.6g}s"
+            )

@@ -1,0 +1,207 @@
+"""The tracer: an always-on, low-overhead race event recorder.
+
+One process-wide tracer is *installed* (the same registry pattern as the
+:mod:`repro.resilience` fault injector); instrumented code asks for the
+active tracer and emits through it.  When nothing is installed the
+:data:`NULL_TRACER` is active: ``enabled`` is ``False`` and ``emit`` is a
+no-argument-processing no-op, so every instrumentation site can guard its
+attribute packing with ``if tracer.enabled:`` and the disabled path costs
+one global read and one attribute check.
+
+Timestamps are seconds since the tracer's epoch, measured with
+``perf_counter`` -- a monotonic clock shared across ``os.fork``, so
+events recorded in a forked child (and shipped back in its result record)
+land on the same timeline as the parent's.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator, List, Optional
+
+from repro.obs.events import TraceEvent
+from repro.obs.metrics import MetricsRegistry
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a cheap no-op."""
+
+    enabled = False
+    metrics: Optional[MetricsRegistry] = None
+
+    def emit(self, kind, **_ignored) -> None:
+        return None
+
+    def now(self) -> float:
+        return 0.0
+
+    def next_block(self) -> int:
+        return 0
+
+    def mark(self) -> int:
+        return 0
+
+    def events_since(self, mark: int) -> List[TraceEvent]:
+        return []
+
+    def absorb(self, events) -> None:
+        return None
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def block_events(self, block: int) -> List[TraceEvent]:
+        return []
+
+
+#: The process-wide disabled tracer (a singleton; identity-comparable).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records and feeds the metrics."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        clock=time.perf_counter,
+    ) -> None:
+        self._clock = clock
+        self.epoch = clock()
+        self._events: List[TraceEvent] = []
+        self._lock = threading.Lock()
+        self._block_ids = itertools.count(1)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since this tracer's epoch."""
+        return self._clock() - self.epoch
+
+    def next_block(self) -> int:
+        """Allocate the next block id (nested blocks get their own)."""
+        return next(self._block_ids)
+
+    def emit(
+        self,
+        kind: str,
+        block: Optional[int] = None,
+        arm: Optional[int] = None,
+        name: str = "",
+        ts: Optional[float] = None,
+        **attrs,
+    ) -> TraceEvent:
+        """Record one event (thread-safe); returns the stored event.
+
+        ``ts`` overrides the timestamp for events whose true time is known
+        more precisely than the emission moment (e.g. per-arm finish times
+        reported by a backend after the race concluded) -- it must be in
+        this tracer's epoch-relative seconds.
+        """
+        event = TraceEvent(
+            kind=kind,
+            ts=self.now() if ts is None else ts,
+            block=block,
+            arm=arm,
+            name=name,
+            attrs=attrs,
+        )
+        with self._lock:
+            self._events.append(event)
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.record(event)
+        return event
+
+    def absorb(self, events: Iterable[TraceEvent]) -> None:
+        """Merge events recorded elsewhere (a forked child's shipment).
+
+        The events keep their own timestamps and pids; they are folded
+        into this tracer's metrics exactly as if emitted locally.
+        """
+        incoming = list(events)
+        if not incoming:
+            return
+        with self._lock:
+            self._events.extend(incoming)
+        metrics = self.metrics
+        if metrics is not None:
+            for event in incoming:
+                metrics.record(event)
+
+    # ------------------------------------------------------------------
+    # reading
+
+    def mark(self) -> int:
+        """An opaque position; pair with :meth:`events_since`."""
+        with self._lock:
+            return len(self._events)
+
+    def events_since(self, mark: int) -> List[TraceEvent]:
+        """Events recorded after ``mark`` (a child ships these back)."""
+        with self._lock:
+            return list(self._events[mark:])
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """A snapshot of every recorded event, in emission order."""
+        with self._lock:
+            return list(self._events)
+
+    def block_events(self, block: int) -> List[TraceEvent]:
+        """Every event belonging to one block, sorted by timestamp."""
+        with self._lock:
+            picked = [e for e in self._events if e.block == block]
+        picked.sort(key=lambda e: e.ts)
+        return picked
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events = []
+
+
+# ----------------------------------------------------------------------
+# process-wide registry
+
+_active: "Tracer | NullTracer" = NULL_TRACER
+
+
+def install(tracer: Tracer) -> None:
+    """Make ``tracer`` the process-wide active tracer."""
+    global _active
+    _active = tracer
+
+
+def uninstall() -> None:
+    """Disable tracing (restores the null tracer)."""
+    global _active
+    _active = NULL_TRACER
+
+
+def active() -> "Tracer | NullTracer":
+    """The active tracer; never ``None`` (the null tracer when disabled)."""
+    return _active
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Install a tracer for the duration of a ``with`` block.
+
+    >>> from repro.obs import tracing
+    >>> with tracing() as tracer:
+    ...     pass  # races run here are recorded on ``tracer``
+    """
+    installed = tracer if tracer is not None else Tracer()
+    previous = _active
+    install(installed)
+    try:
+        yield installed
+    finally:
+        install(previous)  # type: ignore[arg-type]

@@ -24,6 +24,8 @@ import pickle
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.errors import PageApplyError, PageFault
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
 from repro.pages.store import PageStore
 from repro.pages.table import PageTable
 from repro.resilience.injector import active as _active_injector
@@ -284,6 +286,14 @@ class AddressSpace:
         for vpn in ordered:
             self.table.write_page(vpn, pages[vpn], 0)
         self._invalidate_vars()
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                _ev.PAGE_SHIPBACK,
+                block=getattr(self, "trace_block", None),
+                pages=len(ordered),
+                bytes=len(ordered) * self.page_size,
+            )
 
     def release(self) -> None:
         """Release every page (process exit)."""

@@ -170,13 +170,18 @@ class PageTable:
         process absorbs the state changes made by its child by atomically
         replacing its page pointer with that of the child'.  ``other`` is
         consumed (left empty).
+
+        Dirty accounting is the *union* of both tables' dirty sets: pages
+        this table dirtied before the adoption are still dirty afterwards
+        (a nested block's commit must not launder the outer arm's earlier
+        writes out of its shipback set).
         """
         if other.store is not self.store:
             raise ValueError("cannot adopt a table from a different store")
         for frame in self._entries.values():
             self.store.decref(frame)
         self._entries = other._entries
-        self._dirty = set(other._dirty)
+        self._dirty = self._dirty | other._dirty
         other._entries = {}
         other._dirty = set()
 

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from repro.errors import PredicateConflict, SideEffectViolation
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
 from repro.predicates.predicate import Predicate
 
 CloneFn = Callable[[Any], Any]
@@ -135,17 +137,33 @@ class WorldSet:
         and have been discharged before delivery.
         """
         accepted: List[World] = []
+        tracer = _active_tracer()
         if not effective.is_consistent():
             # The message's own assumptions are self-contradictory (e.g.
             # a sender predicted not to complete itself): it belongs to a
             # logically impossible timeline and every world ignores it.
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.PREDICATE_IGNORE,
+                    reason="inconsistent message predicate",
+                )
             return accepted
         for world in list(self.live_worlds()):
             if world.predicate.conflicts_with(effective):
+                if tracer.enabled:
+                    tracer.emit(
+                        _ev.PREDICATE_IGNORE,
+                        world=world.world_id,
+                        reason="assumptions cannot co-hold",
+                    )
                 continue  # ignore: assumptions cannot co-hold
             if world.predicate.implies(effective):
                 world.inbox.append(message)
                 accepted.append(world)
+                if tracer.enabled:
+                    tracer.emit(
+                        _ev.PREDICATE_ACCEPT, world=world.world_id
+                    )
                 continue
             # Split: one copy takes on all the message's assumptions; the
             # other negates a single pivot assumption (footnote 3: negating
@@ -176,6 +194,17 @@ class WorldSet:
             self.worlds.extend([yes_world, no_world])
             self.splits += 1
             accepted.append(yes_world)
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.WORLD_SPLIT,
+                    world=world.world_id,
+                    yes_world=yes_world.world_id,
+                    no_world=no_world.world_id,
+                    pivot=pivot,
+                )
+                tracer.emit(
+                    _ev.PREDICATE_ACCEPT, world=yes_world.world_id
+                )
         return accepted
 
     # ------------------------------------------------------------------
@@ -190,12 +219,20 @@ class WorldSet:
         by worlds that became unconditional.
         """
         released: List[Any] = []
+        tracer = _active_tracer()
         for world in self.live_worlds():
             try:
                 world.predicate = world.predicate.resolve(pid, completed)
             except PredicateConflict:
                 world.alive = False
                 self.eliminated += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        _ev.WORLD_ELIMINATE,
+                        world=world.world_id,
+                        pid=pid,
+                        completed=completed,
+                    )
                 continue
             if world.unconditional and world.deferred_effects:
                 released.extend(world.deferred_effects)

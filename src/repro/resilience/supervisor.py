@@ -31,6 +31,9 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
+
 
 @dataclass
 class ArmAutopsy:
@@ -91,6 +94,10 @@ class RaceAutopsy:
     total_elapsed: float = 0.0
     faults_fired: List[tuple] = field(default_factory=list)
     """``(point, arm, call#)`` firings copied from the active injector."""
+
+    trace: object = None
+    """A :class:`~repro.obs.BlockTrace` for the supervised block when
+    tracing was on; ``None`` otherwise."""
 
     @property
     def degraded(self) -> bool:
@@ -209,12 +216,14 @@ class Watchdog:
         deadline: float,
         grace: float,
         terminate: Callable[[bool], None],
+        trace_block: Optional[int] = None,
     ) -> None:
         if deadline <= 0:
             raise ValueError("watchdog deadline must be positive")
         self.deadline = deadline
         self.grace = grace
         self._terminate = terminate
+        self.trace_block = trace_block
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name="race-watchdog", daemon=True
@@ -230,6 +239,13 @@ class Watchdog:
         if self._stop.wait(self.deadline):
             return
         self.fired_soft = True
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                _ev.WATCHDOG_SOFT,
+                block=self.trace_block,
+                deadline_seconds=self.deadline,
+            )
         try:
             self._terminate(False)
         except Exception:  # pragma: no cover - backend already torn down
@@ -237,6 +253,12 @@ class Watchdog:
         if self._stop.wait(self.grace):
             return
         self.fired_hard = True
+        if tracer.enabled:
+            tracer.emit(
+                _ev.WATCHDOG_HARD,
+                block=self.trace_block,
+                grace_seconds=self.grace,
+            )
         try:
             self._terminate(True)
         except Exception:  # pragma: no cover - backend already torn down

@@ -1,0 +1,121 @@
+"""The cross-backend equivalence matrix (the paper's transparency claim).
+
+Every canonical block from :mod:`repro.obs.blocks` is raced under the
+serial, thread, and process backends; the observable outcome -- returned
+value, winning arm, raised error class, and the *bytes* of the parent's
+address space after the block -- must be identical everywhere.  Each run
+is traced, and on divergence the assertion message carries both traces so
+the failure explains *where* the executions parted ways.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.core.backends import BACKENDS, get_backend
+from repro.obs import events as ev
+from repro.obs.blocks import CANONICAL_BLOCKS, get_block
+from repro.obs.tracer import tracing
+
+pytestmark = pytest.mark.slow
+
+REFERENCE = "serial"
+
+
+@lru_cache(maxsize=None)
+def run_traced(block_name: str, backend_name: str):
+    """Race one canonical block once per backend (cached across tests)."""
+    with tracing():
+        return get_block(block_name).run(get_backend(backend_name))
+
+
+def _trace_summary(outcome) -> str:
+    if outcome.trace is None:
+        return "<no trace captured>"
+    return outcome.trace.summary()
+
+
+def _explain(block_name, backend_name, reference, outcome) -> str:
+    return (
+        f"block {block_name!r} diverges between {REFERENCE} and "
+        f"{backend_name}\n"
+        f"--- {REFERENCE}: value={reference.value!r} "
+        f"winner={reference.winner!r} error={reference.error!r}\n"
+        f"{_trace_summary(reference)}\n"
+        f"--- {backend_name}: value={outcome.value!r} "
+        f"winner={outcome.winner!r} error={outcome.error!r}\n"
+        f"{_trace_summary(outcome)}"
+    )
+
+
+def _matrix_params():
+    for spec in CANONICAL_BLOCKS:
+        for backend_name in BACKENDS:
+            marks = (
+                [pytest.mark.subprocess] if backend_name == "process" else []
+            )
+            yield pytest.param(
+                spec.name,
+                backend_name,
+                id=f"{spec.name}-{backend_name}",
+                marks=marks,
+            )
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("block_name,backend_name", _matrix_params())
+    def test_backend_agrees_with_reference(self, block_name, backend_name):
+        reference = run_traced(block_name, REFERENCE)
+        outcome = run_traced(block_name, backend_name)
+        message = _explain(block_name, backend_name, reference, outcome)
+        assert outcome.value == reference.value, message
+        assert outcome.winner == reference.winner, message
+        assert outcome.error == reference.error, message
+        assert outcome.variables == reference.variables, message
+        assert outcome.space_bytes == reference.space_bytes, (
+            f"parent address spaces differ byte-for-byte\n{message}"
+        )
+
+    @pytest.mark.parametrize("block_name,backend_name", _matrix_params())
+    def test_winner_commit_is_valid(self, block_name, backend_name):
+        """A won block has exactly one winner-commit, for a guard-valid arm."""
+        spec = get_block(block_name)
+        outcome = run_traced(block_name, backend_name)
+        trace = outcome.trace
+        assert trace is not None
+        if spec.expect_error is not None:
+            assert outcome.error == spec.expect_error.__name__
+            assert trace.winner_commits == [], _trace_summary(outcome)
+            return
+        assert outcome.winner == spec.expect_winner
+        assert outcome.value == spec.expect_value
+        for name, value in spec.expect_vars.items():
+            assert outcome.variables.get(name) == value
+        commits = trace.winner_commits
+        assert len(commits) == 1, _trace_summary(outcome)
+        (commit,) = commits
+        assert commit.name == spec.expect_winner
+        # The committed arm never failed a guard: no guard-eval of its own
+        # reported held=False.
+        for event in trace.arm_events(commit.arm):
+            if event.kind == ev.GUARD_EVAL:
+                assert event.attrs.get("held"), (
+                    f"winner {commit.name!r} committed with a failed guard\n"
+                    + _trace_summary(outcome)
+                )
+        # And no elimination was delivered to the winner.
+        assert all(e.arm != commit.arm for e in trace.eliminations)
+
+    @pytest.mark.parametrize("block_name,backend_name", _matrix_params())
+    def test_every_spawned_arm_reaches_a_terminal_event(
+        self, block_name, backend_name
+    ):
+        outcome = run_traced(block_name, backend_name)
+        trace = outcome.trace
+        assert trace is not None
+        spawned = {e.arm for e in trace.of_kind(ev.ARM_SPAWN)}
+        finished = {e.arm for e in trace.of_kind(ev.ARM_FINISH)}
+        assert spawned <= finished, (
+            f"arms {sorted(spawned - finished)} spawned but never finished\n"
+            + _trace_summary(outcome)
+        )

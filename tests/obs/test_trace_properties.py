@@ -1,0 +1,131 @@
+"""Trace invariants over seeded random arm graphs.
+
+Each seed generates a random alternative block -- arm count, per-arm wall
+time, and per-arm fate (succeed / guard-fail / crash) -- which is raced
+under a tracer.  Whatever the race outcome, the trace must satisfy the
+lifecycle invariants:
+
+1. a block that returns a result carries exactly one ``winner-commit``;
+   a block that raises carries none;
+2. every ``arm-spawn`` has a matching terminal ``arm-finish``;
+3. an arm that committed is never also eliminated (eliminations never
+   follow the commit of the same arm);
+4. the metrics registry's ``events.<kind>`` counters and its histogram
+   observation counts equal the corresponding event counts in the stream.
+
+The seeds are fixed so failures reproduce exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.core.alternative import Alternative
+from repro.core.concurrent import ConcurrentExecutor
+from repro.core.backends import get_backend
+from repro.errors import AltBlockFailure
+from repro.obs import Tracer, events as ev, tracing
+
+SEEDS = list(range(8))
+FATES = ("ok", "ok", "fail", "crash")
+
+
+def random_arms(seed: int):
+    """A reproducible random arm graph for one block."""
+    rng = random.Random(seed)
+    count = rng.randint(1, 5)
+    arms = []
+    for index in range(count):
+        seconds = rng.uniform(0.005, 0.06)
+        fate = rng.choice(FATES)
+
+        def body(ctx, seconds=seconds, fate=fate):
+            ctx.sleep(seconds)
+            if fate == "fail":
+                ctx.fail("random guard failure")
+            if fate == "crash":
+                raise RuntimeError("random hostile arm")
+            ctx.put("who", ctx.name)
+            return ctx.name
+
+        arms.append(Alternative(f"arm-{index}-{fate}", body=body, cost=seconds))
+    return arms
+
+
+def race(seed: int, backend_name: str):
+    """Run one random block traced; return (tracer, block_id, won)."""
+    tracer = Tracer()
+    with tracing(tracer):
+        executor = ConcurrentExecutor(backend=get_backend(backend_name))
+        try:
+            result = executor.run(random_arms(seed))
+        except AltBlockFailure:
+            result = None
+    block = next(
+        e.block for e in tracer.events if e.kind == ev.BLOCK_BEGIN
+    )
+    return tracer, block, result is not None
+
+
+def backend_params():
+    for backend_name in ("serial", "thread"):
+        for seed in SEEDS:
+            yield pytest.param(seed, backend_name, id=f"s{seed}-{backend_name}")
+    for seed in SEEDS[:3]:
+        yield pytest.param(
+            seed,
+            "process",
+            id=f"s{seed}-process",
+            marks=[pytest.mark.slow, pytest.mark.subprocess],
+        )
+
+
+@pytest.mark.parametrize("seed,backend_name", list(backend_params()))
+class TestTraceProperties:
+    def test_winner_commit_multiplicity(self, seed, backend_name):
+        tracer, block, won = race(seed, backend_name)
+        commits = [
+            e for e in tracer.block_events(block)
+            if e.kind == ev.WINNER_COMMIT
+        ]
+        assert len(commits) == (1 if won else 0)
+
+    def test_every_spawn_has_a_terminal_event(self, seed, backend_name):
+        tracer, block, _ = race(seed, backend_name)
+        events = tracer.block_events(block)
+        spawned = {e.arm for e in events if e.kind == ev.ARM_SPAWN}
+        terminal = {
+            e.arm for e in events if e.kind in ev.ARM_TERMINAL_KINDS
+        }
+        assert spawned <= terminal
+
+    def test_committed_arm_is_never_eliminated(self, seed, backend_name):
+        tracer, block, _ = race(seed, backend_name)
+        events = tracer.block_events(block)
+        committed = {e.arm for e in events if e.kind == ev.WINNER_COMMIT}
+        eliminated = {e.arm for e in events if e.kind == ev.LOSER_ELIMINATE}
+        assert not (committed & eliminated)
+
+    def test_metrics_agree_with_the_event_stream(self, seed, backend_name):
+        tracer, _, _ = race(seed, backend_name)
+        events = tracer.events
+        by_kind = {}
+        for event in events:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        for kind in ev.EVENT_KINDS:
+            assert (
+                tracer.metrics.counter("events." + kind).value
+                == by_kind.get(kind, 0)
+            ), f"counter events.{kind} diverges from the stream"
+        assert (
+            tracer.metrics.histogram("arm_wall_seconds").count
+            == by_kind.get(ev.ARM_FINISH, 0)
+        )
+        assert (
+            tracer.metrics.histogram("elimination_latency_seconds").count
+            == by_kind.get(ev.LOSER_ELIMINATE, 0)
+        )
+        assert (
+            tracer.metrics.counter("wins_total").value
+            == by_kind.get(ev.WINNER_COMMIT, 0)
+        )

@@ -1,0 +1,353 @@
+"""Unit tests for the observability core: tracer, metrics, exporters.
+
+These cover the mechanics (installation registry, event recording, metric
+aggregation, export formats) directly; the integration behaviour -- that
+real races emit the right events -- lives in the equivalence matrix and
+the trace property tests.
+"""
+
+import json
+
+import pytest
+
+from repro import Alternative, ConcurrentExecutor
+from repro.core.backends import ThreadBackend
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    NULL_TRACER,
+    BlockTrace,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TraceEvent,
+    Tracer,
+    active,
+    events as ev,
+    install,
+    to_chrome_trace,
+    to_jsonl,
+    tracing,
+    uninstall,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class TestRegistry:
+    def test_null_tracer_is_active_by_default(self):
+        assert active() is NULL_TRACER
+        assert not active().enabled
+
+    def test_null_tracer_operations_are_noops(self):
+        assert NULL_TRACER.emit(ev.ARM_SPAWN, anything=1) is None
+        assert NULL_TRACER.events == []
+        assert NULL_TRACER.block_events(1) == []
+        assert NULL_TRACER.events_since(NULL_TRACER.mark()) == []
+        assert NULL_TRACER.next_block() == 0
+        NULL_TRACER.absorb([TraceEvent(kind="x", ts=0.0)])
+        assert NULL_TRACER.events == []
+
+    def test_install_uninstall(self):
+        tracer = Tracer()
+        install(tracer)
+        try:
+            assert active() is tracer
+        finally:
+            uninstall()
+        assert active() is NULL_TRACER
+
+    def test_tracing_context_restores_previous(self):
+        outer = Tracer()
+        install(outer)
+        try:
+            with tracing() as inner:
+                assert active() is inner
+                assert inner is not outer
+            assert active() is outer
+        finally:
+            uninstall()
+
+    def test_tracing_accepts_an_existing_tracer(self):
+        mine = Tracer()
+        with tracing(mine) as got:
+            assert got is mine
+            assert active() is mine
+        assert active() is NULL_TRACER
+
+
+class TestTracer:
+    def test_emit_records_and_timestamps(self):
+        tracer = Tracer()
+        event = tracer.emit(ev.ARM_SPAWN, block=1, arm=0, name="a", extra=7)
+        assert tracer.events == [event]
+        assert event.kind == ev.ARM_SPAWN
+        assert event.attrs == {"extra": 7}
+        assert event.ts >= 0.0
+
+    def test_explicit_timestamp_override(self):
+        tracer = Tracer()
+        event = tracer.emit(ev.ARM_FINISH, ts=1.25)
+        assert event.ts == 1.25
+
+    def test_block_ids_are_monotone(self):
+        tracer = Tracer()
+        assert tracer.next_block() == 1
+        assert tracer.next_block() == 2
+
+    def test_block_events_filters_and_sorts(self):
+        tracer = Tracer()
+        tracer.emit(ev.ARM_FINISH, block=1, ts=2.0)
+        tracer.emit(ev.ARM_SPAWN, block=1, ts=1.0)
+        tracer.emit(ev.ARM_SPAWN, block=2, ts=0.5)
+        picked = tracer.block_events(1)
+        assert [e.kind for e in picked] == [ev.ARM_SPAWN, ev.ARM_FINISH]
+
+    def test_mark_and_events_since(self):
+        tracer = Tracer()
+        tracer.emit(ev.BLOCK_BEGIN, block=1)
+        mark = tracer.mark()
+        tracer.emit(ev.BLOCK_END, block=1)
+        shipped = tracer.events_since(mark)
+        assert [e.kind for e in shipped] == [ev.BLOCK_END]
+
+    def test_absorb_merges_and_feeds_metrics(self):
+        tracer = Tracer()
+        foreign = [
+            TraceEvent(kind=ev.GUARD_EVAL, ts=0.5, block=1, arm=0),
+            TraceEvent(kind=ev.ARM_FINISH, ts=0.6, block=1, arm=0),
+        ]
+        tracer.absorb(foreign)
+        assert len(tracer.events) == 2
+        assert tracer.metrics.counter("events." + ev.ARM_FINISH).value == 1
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.emit(ev.ARM_SPAWN)
+        tracer.clear()
+        assert tracer.events == []
+
+    def test_event_to_dict_is_json_ready(self):
+        event = TraceEvent(
+            kind=ev.PAGE_SHIPBACK, ts=1.0, block=3, arm=2, name="n",
+            attrs={"pages": 4},
+        )
+        row = json.loads(json.dumps(event.to_dict()))
+        assert row["kind"] == ev.PAGE_SHIPBACK
+        assert row["block"] == 3
+        assert row["arm"] == 2
+        assert row["attrs"] == {"pages": 4}
+
+
+class TestMetrics:
+    def test_counter_monotone(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+    def test_histogram_buckets_and_quantile(self):
+        histogram = Histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(56.05)
+        assert histogram.bucket_counts == [1, 2, 1, 1]
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(1.0) == float("inf")
+        assert Histogram("e").quantile(0.5) is None
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+    def test_default_buckets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_record_counts_every_kind(self):
+        registry = MetricsRegistry()
+        for kind in ev.EVENT_KINDS:
+            registry.record(TraceEvent(kind=kind, ts=0.0))
+        for kind in ev.EVENT_KINDS:
+            assert registry.counter("events." + kind).value == 1
+
+    def test_record_special_aggregates(self):
+        registry = MetricsRegistry()
+        registry.record(
+            TraceEvent(kind=ev.ARM_FINISH, ts=0, attrs={"work_seconds": 0.2})
+        )
+        registry.record(
+            TraceEvent(
+                kind=ev.LOSER_ELIMINATE, ts=0, attrs={"latency_seconds": 0.1}
+            )
+        )
+        registry.record(TraceEvent(kind=ev.WINNER_COMMIT, ts=0))
+        registry.record(
+            TraceEvent(kind=ev.PAGE_SHIPBACK, ts=0, attrs={"pages": 7})
+        )
+        registry.record(
+            TraceEvent(
+                kind=ev.BLOCK_END,
+                ts=0,
+                attrs={"elapsed_seconds": 1.0, "serial_sum_seconds": 3.0},
+            )
+        )
+        assert registry.histogram("arm_wall_seconds").count == 1
+        assert registry.counter("eliminations_total").value == 1
+        assert registry.counter("wins_total").value == 1
+        assert registry.counter("pages_shipped_total").value == 7
+        assert registry.gauge("last_block_speedup").value == pytest.approx(3.0)
+
+    def test_snapshot_and_summary(self):
+        registry = MetricsRegistry()
+        registry.record(TraceEvent(kind=ev.BLOCK_BEGIN, ts=0))
+        snap = registry.snapshot()
+        assert snap["counters"]["blocks_total"] == 1
+        lines = list(registry.summary_lines())
+        assert any("blocks_total" in line for line in lines)
+
+
+class TestExporters:
+    def _sample_events(self):
+        return [
+            TraceEvent(
+                kind=ev.BLOCK_BEGIN, ts=0.0, block=1, name="alt-block#1"
+            ),
+            TraceEvent(kind=ev.ARM_SPAWN, ts=0.1, block=1, arm=0, name="a"),
+            TraceEvent(
+                kind=ev.ARM_FINISH, ts=0.4, block=1, arm=0, name="a",
+                attrs={"succeeded": True},
+            ),
+            TraceEvent(kind=ev.WINNER_COMMIT, ts=0.5, block=1, arm=0),
+            TraceEvent(kind=ev.BLOCK_END, ts=0.6, block=1),
+        ]
+
+    def test_jsonl_one_object_per_line(self):
+        payload = to_jsonl(self._sample_events())
+        rows = [json.loads(line) for line in payload.splitlines()]
+        assert len(rows) == 5
+        assert rows[0]["kind"] == ev.BLOCK_BEGIN
+
+    def test_write_jsonl(self, tmp_path):
+        path = write_jsonl(self._sample_events(), str(tmp_path / "t.jsonl"))
+        lines = open(path).read().splitlines()
+        assert len(lines) == 5
+
+    def test_chrome_trace_structure(self):
+        doc = to_chrome_trace(self._sample_events())
+        rows = doc["traceEvents"]
+        spans = [r for r in rows if r["ph"] == "X"]
+        assert len(spans) == 1
+        (span,) = spans
+        assert span["name"] == "a"
+        assert span["ts"] == pytest.approx(0.1e6)
+        assert span["dur"] == pytest.approx(0.3e6)
+        assert span["pid"] == 1 and span["tid"] == 1
+        assert span["args"]["terminal"] == ev.ARM_FINISH
+        metadata = [r for r in rows if r["ph"] == "M"]
+        names = {r["name"]: r["args"]["name"] for r in metadata}
+        assert names["process_name"] == "alt-block#1"
+        assert names["thread_name"] == "a"
+        instants = [r for r in rows if r["ph"] == "i"]
+        assert len(instants) == 5
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        path = write_chrome_trace(
+            self._sample_events(), str(tmp_path / "t.json")
+        )
+        doc = json.load(open(path))
+        assert "traceEvents" in doc
+
+    def test_block_trace_helpers(self):
+        trace = BlockTrace(1, self._sample_events())
+        assert len(trace) == 5
+        assert [e.kind for e in trace.of_kind(ev.ARM_SPAWN)] == [ev.ARM_SPAWN]
+        assert len(trace.arm_events(0)) == 3
+        assert len(trace.winner_commits) == 1
+        assert trace.eliminations == []
+        assert "winner-commit" in trace.summary()
+        assert "traceEvents" in trace.chrome()
+        assert len(trace.jsonl().splitlines()) == 5
+
+
+class TestResultAttachment:
+    def test_result_trace_attached_when_tracing(self):
+        arms = [
+            Alternative("a", body=lambda ctx: 1, cost=1.0),
+            Alternative("b", body=lambda ctx: 2, cost=5.0),
+        ]
+        with tracing():
+            result = ConcurrentExecutor().run(arms)
+        assert result.trace is not None
+        assert len(result.trace.winner_commits) == 1
+        assert result.trace.winner_commits[0].name == "a"
+        assert len(result.trace.eliminations) == 1
+
+    def test_no_trace_without_tracer(self):
+        arms = [Alternative("a", body=lambda ctx: 1, cost=1.0)]
+        result = ConcurrentExecutor().run(arms)
+        assert result.trace is None
+
+    def test_error_trace_attached_on_failure(self):
+        from repro.errors import AltBlockFailure
+
+        arms = [
+            Alternative("bad", body=lambda ctx: ctx.fail("no"), cost=1.0)
+        ]
+        with tracing():
+            with pytest.raises(AltBlockFailure) as excinfo:
+                ConcurrentExecutor().run(arms)
+        assert excinfo.value.trace is not None
+        assert excinfo.value.trace.winner_commits == []
+
+    def test_nested_blocks_get_distinct_block_ids(self):
+        with tracing() as tracer:
+            outer = ConcurrentExecutor()
+
+            def with_inner(ctx):
+                inner = ConcurrentExecutor(manager=outer.manager)
+                return inner.run(
+                    [Alternative("deep", body=lambda c: "d", cost=1.0)],
+                    parent=ctx.process,
+                ).value
+
+            result = outer.run(
+                [Alternative("compound", body=with_inner, cost=1.0)]
+            )
+        assert result.value == "d"
+        begins = [
+            e for e in tracer.events if e.kind == ev.BLOCK_BEGIN
+        ]
+        assert sorted(e.block for e in begins) == [1, 2]
+
+    def test_thread_backend_race_traces_eliminations(self):
+        def sleeper(seconds, value):
+            def body(ctx):
+                ctx.sleep(seconds)
+                return value
+
+            return body
+
+        arms = [
+            Alternative("quick", body=sleeper(0.01, "q"), cost=0.01),
+            Alternative("slow", body=sleeper(0.5, "s"), cost=0.5),
+        ]
+        with tracing() as tracer:
+            result = ConcurrentExecutor(backend=ThreadBackend()).run(arms)
+        assert result.winner.name == "quick"
+        trace = result.trace
+        assert len(trace.of_kind(ev.ARM_SPAWN)) == 2
+        assert len(trace.winner_commits) == 1
+        assert len(trace.eliminations) == 1
+        assert trace.eliminations[0].name == "slow"
+        assert tracer.metrics.counter("wins_total").value == 1

@@ -18,9 +18,11 @@ from repro.core.concurrent import ConcurrentExecutor
 from repro.errors import AltBlockFailure, AltTimeout
 from repro.resilience import FaultInjector, injected
 
-pytestmark = pytest.mark.skipif(
-    not hasattr(os, "fork"), reason="requires os.fork"
-)
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.subprocess,
+    pytest.mark.skipif(not hasattr(os, "fork"), reason="requires os.fork"),
+]
 
 
 def make_backend(kind):

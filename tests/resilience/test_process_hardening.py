@@ -21,9 +21,11 @@ from repro.core.concurrent import ConcurrentExecutor
 from repro.errors import AltBlockFailure
 from repro.resilience import FaultInjector, injected
 
-pytestmark = pytest.mark.skipif(
-    not hasattr(os, "fork"), reason="requires os.fork"
-)
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.subprocess,
+    pytest.mark.skipif(not hasattr(os, "fork"), reason="requires os.fork"),
+]
 
 
 def assert_no_unreaped_children():

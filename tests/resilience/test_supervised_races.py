@@ -16,9 +16,11 @@ from repro.resilience import (
     injected,
 )
 
-pytestmark = pytest.mark.skipif(
-    not hasattr(os, "fork"), reason="requires os.fork"
-)
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.subprocess,
+    pytest.mark.skipif(not hasattr(os, "fork"), reason="requires os.fork"),
+]
 
 
 def quick_supervisor(**overrides):
