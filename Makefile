@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: check test test-fast test-resilience coverage bench-smoke bench
+.PHONY: check test test-fast test-resilience test-chaos coverage bench-smoke bench
 
 ## check: what CI runs -- tier-1 tests plus a ~10s benchmark smoke.
 check: test bench-smoke
@@ -29,6 +29,16 @@ REPRO_FAULT_SEED ?= 0
 test-resilience:
 	REPRO_FAULT_SEED=$(REPRO_FAULT_SEED) $(PYTHON) -m pytest tests/resilience -q \
 		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo "--timeout=60 --timeout-method=thread")
+
+## test-chaos: the distributed chaos soak CI runs per seed -- faulty
+## links, leases, journal recovery, and the serial-equivalence matrix
+## over every scenario in CHAOS_SCENARIOS.
+REPRO_CHAOS_SEED ?= 0
+test-chaos:
+	REPRO_CHAOS_SEED=$(REPRO_CHAOS_SEED) $(PYTHON) -m pytest \
+		tests/net/test_chaos.py tests/ipc/test_reliable_channel.py \
+		tests/ipc/test_journal.py -q \
+		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo "--timeout=120 --timeout-method=thread")
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_parallel_backends.py --quick

@@ -1,0 +1,262 @@
+"""Experiment C1 -- what chaos costs a distributed race.
+
+The same 3-arm block is raced on the simulated distributed substrate
+three ways:
+
+- over a *clean* network (the PR-0 baseline);
+- over a wire losing 5% of messages (``NetFaultPlan(loss=0.05)``), with
+  a :class:`RaceWarden` supervising leases;
+- with the fastest arm's worker force-crashed, to measure the
+  *lease-failover latency*: the simulated delay between the warden
+  declaring the incarnation dead (lease expiry) and re-granting the arm
+  on a healthy node.
+
+The headline claims: chaos never changes the block's observable outcome
+(same winner, same value), it only costs simulated time; and every lease
+ends settled (no leaked workers).
+
+Outputs:
+
+- ``benchmarks/results/C1_distributed_chaos.txt`` -- human-readable table;
+- ``BENCH_distributed_chaos.json`` at the repo root -- machine-readable
+  record (elapsed per condition, failover latency, chaos counters, seed).
+
+Run standalone with ``python benchmarks/bench_distributed_chaos.py``
+(``--quick`` is accepted for harness symmetry; the substrate is
+simulated, so both modes finish in well under a second).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+if __name__ == "__main__":  # standalone: make src/ importable
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.analysis.report import format_table
+from repro.core.alternative import Alternative
+from repro.net.distributed import DistributedAltExecutor
+from repro.net.lease import RaceWarden
+from repro.net.network import Network
+from repro.resilience.chaos import NetFaultPlan
+from repro.resilience.injector import FaultInjector, injected
+from repro.sim.costs import CostModel
+
+JSON_PATH = os.path.join(_REPO_ROOT, "BENCH_distributed_chaos.json")
+
+LAN = CostModel(
+    name="fast LAN",
+    fork_latency=0.001,
+    page_copy_rate=100_000.0,
+    page_size=2048,
+    checkpoint_rate=50_000_000.0,
+    network_bandwidth=10_000_000.0,
+    network_latency=0.001,
+    restore_rate=50_000_000.0,
+)
+
+ARM_COSTS = {"archive": 0.8, "replica": 0.45, "cache": 0.25}
+LOSS_RATE = 0.05
+
+
+def make_net():
+    network = Network(cost_model=LAN)
+    network.add_node("home")
+    for name in ("w1", "w2", "w3"):
+        network.add_node(name)
+        network.connect("home", name)
+    return network
+
+
+def make_arms():
+    def make_body(name):
+        def body(ctx):
+            ctx.put("answer", name)
+            return name
+
+        return body
+
+    return [
+        Alternative(name, body=make_body(name), cost=cost)
+        for name, cost in ARM_COSTS.items()
+    ]
+
+
+def race(seed, injector=None, warden=None):
+    net = make_net()
+    dist = DistributedAltExecutor(
+        net, home="home", workers=["w1", "w2", "w3"],
+        seed=seed, warden=warden,
+    )
+    if injector is not None:
+        with injected(injector):
+            result = dist.run(make_arms())
+    else:
+        result = dist.run(make_arms())
+    return result, net
+
+
+def measure_failover(seed):
+    """Crash the fastest arm's first incarnation; time the re-grant."""
+    warden = RaceWarden()
+    injector = FaultInjector(seed=seed).worker_crash(
+        arms=[2], duration=0.05  # arm 2 = "cache", the would-be winner
+    )
+    result, _ = race(seed, injector=injector, warden=warden)
+    crashed = [l for l in warden.table.leases if l.arm == 2 and l.epoch == 1]
+    respawned = [l for l in warden.table.leases if l.arm == 2 and l.epoch == 2]
+    assert crashed and crashed[0].state == "expired", "crash never fired"
+    assert respawned, "no respawn was granted"
+    latency = respawned[0].granted_at - crashed[0].ended_at
+    return {
+        "winner": result.winner.name,
+        "elapsed_sim_seconds": round(result.elapsed, 6),
+        "lease_expiry_sim_time": round(crashed[0].ended_at, 6),
+        "respawn_grant_sim_time": round(respawned[0].granted_at, 6),
+        "failover_latency_sim_seconds": round(latency, 6),
+        "all_leases_settled": warden.table.all_settled,
+    }
+
+
+def run_suite(quick=False, seed=0):
+    clean, _ = race(seed, warden=RaceWarden())
+    lossy_warden = RaceWarden()
+    lossy, lossy_net = race(
+        seed,
+        injector=NetFaultPlan(loss=LOSS_RATE).injector(seed=seed),
+        warden=lossy_warden,
+    )
+    failover = measure_failover(seed)
+    slowdown = lossy.elapsed / clean.elapsed
+    payload = {
+        "experiment": "distributed_chaos",
+        "quick": quick,
+        "seed": seed,
+        "arm_costs_seconds": ARM_COSTS,
+        "loss_rate": LOSS_RATE,
+        "clean": {
+            "winner": clean.winner.name,
+            "elapsed_sim_seconds": round(clean.elapsed, 6),
+            "wasted_work_sim_seconds": round(clean.wasted_work, 6),
+        },
+        "lossy": {
+            "winner": lossy.winner.name,
+            "elapsed_sim_seconds": round(lossy.elapsed, 6),
+            "wasted_work_sim_seconds": round(lossy.wasted_work, 6),
+            "messages_dropped": lossy_net.drops,
+            "all_leases_settled": lossy_warden.table.all_settled,
+        },
+        "lossy_vs_clean_elapsed": round(slowdown, 4),
+        "failover": failover,
+        "criteria": {
+            "same_winner_under_loss": clean.winner.name == lossy.winner.name,
+            "loss_costs_time_not_correctness": lossy.elapsed >= clean.elapsed,
+            "failover_recovers_the_winner": failover["winner"] == "cache",
+            "failover_latency_positive": (
+                failover["failover_latency_sim_seconds"] > 0
+            ),
+            "no_leaked_leases": (
+                lossy_warden.table.all_settled
+                and failover["all_leases_settled"]
+            ),
+        },
+    }
+    return payload
+
+
+def render_table(payload):
+    rows = [
+        {
+            "condition": "clean network",
+            "winner": payload["clean"]["winner"],
+            "elapsed (sim s)": payload["clean"]["elapsed_sim_seconds"],
+            "drops": 0,
+            "failover (sim s)": "-",
+        },
+        {
+            "condition": f"{int(payload['loss_rate'] * 100)}% message loss",
+            "winner": payload["lossy"]["winner"],
+            "elapsed (sim s)": payload["lossy"]["elapsed_sim_seconds"],
+            "drops": payload["lossy"]["messages_dropped"],
+            "failover (sim s)": "-",
+        },
+        {
+            "condition": "winner's worker crashed",
+            "winner": payload["failover"]["winner"],
+            "elapsed (sim s)": payload["failover"]["elapsed_sim_seconds"],
+            "drops": 0,
+            "failover (sim s)": payload["failover"][
+                "failover_latency_sim_seconds"
+            ],
+        },
+    ]
+    return format_table(
+        rows,
+        title=(
+            "C1: one 3-arm block on the distributed substrate, per chaos "
+            "condition\n"
+            "(chaos costs simulated time, never the outcome; every lease "
+            "settles)"
+        ),
+    )
+
+
+def write_json(payload):
+    with open(JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return JSON_PATH
+
+
+def check_criteria(payload):
+    for name, held in payload["criteria"].items():
+        assert held, f"acceptance criterion failed: {name}"
+
+
+def bench_c1_distributed_chaos(benchmark, emit):
+    payload = benchmark.pedantic(
+        lambda: run_suite(quick=True), rounds=1, iterations=1
+    )
+    emit("C1_distributed_chaos", render_table(payload))
+    write_json(payload)
+    check_criteria(payload)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="accepted for harness symmetry (the run is simulated and fast)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the chaos injector and the executors (recorded in "
+        "the JSON payload so a run can be reproduced exactly)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_suite(quick=args.quick, seed=args.seed)
+    print(render_table(payload))
+    print(
+        f"5% loss cost {payload['lossy_vs_clean_elapsed']:.2f}x the clean "
+        "elapsed simulated time; "
+        "failover re-granted the crashed arm after "
+        f"{payload['failover']['failover_latency_sim_seconds']:.4f} "
+        "simulated seconds"
+    )
+    path = write_json(payload)
+    print(f"machine-readable record: {path}")
+    check_criteria(payload)
+    print("acceptance criteria: all satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -94,6 +94,11 @@ class NetworkError(ReproError):
     """A simulated network operation failed (unknown node, partition)."""
 
 
+class ChannelError(ReproError):
+    """An at-least-once channel gave up: a message exhausted its
+    retransmission budget without being acknowledged."""
+
+
 class CheckpointError(ReproError):
     """Checkpoint or restart of a simulated process failed."""
 

@@ -9,18 +9,25 @@ accept/ignore/split rule of section 3.4.2 through the
 Devices model the source/sink division of section 3.1: sink state
 (page-backed, idempotent) can be buffered and hidden; source state
 (a teletype) cannot be retried, so predicated processes are barred from it.
+
+Channels are reliable by fiat in the default mode and by
+acknowledgement/retransmission in ``at_least_once`` mode; the
+:class:`RouterJournal` makes the router itself recoverable.
 """
 
 from repro.ipc.channel import Channel
 from repro.ipc.devices import SinkDevice, SourceDevice
+from repro.ipc.journal import JournalRecord, RouterJournal
 from repro.ipc.message import Message
 from repro.ipc.router import MessageRouter
 from repro.ipc.timed import TimedRouter
 
 __all__ = [
     "Channel",
+    "JournalRecord",
     "Message",
     "MessageRouter",
+    "RouterJournal",
     "SinkDevice",
     "SourceDevice",
     "TimedRouter",

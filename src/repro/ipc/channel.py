@@ -1,65 +1,239 @@
-"""Reliable FIFO channels.
+"""Reliable FIFO channels -- and how to build them from a lossy wire.
 
 Section 3.1 assumes IPC 'behaves reliably (no lost or duplicated messages)
 and FIFO (no out of order messages)'.  :class:`Channel` provides exactly
 that contract between one ordered pair of processes, with counters the
 benchmarks use for accounting.
+
+The default mode simply *assumes* the reliable wire.  With
+``at_least_once=True`` the channel instead *earns* the contract over a
+faulty wire: every send is buffered until acknowledged, the wire may drop,
+duplicate, or reorder copies (decided by the seeded
+:class:`~repro.resilience.FaultInjector` at the ``net-*`` points, draw
+keys ``ch:<sender>-><dest>`` for data and ``ack:<sender>-><dest>`` for
+acknowledgements), unacknowledged messages are retransmitted with a
+capped exponential backoff, and the receiver suppresses re-deliveries
+through a sliding dedup window.  A message that exhausts its
+retransmission budget raises :class:`~repro.errors.ChannelError`.
+
+Every message additionally carries a stable ``uid`` in its control
+information, so layers above the channel (the
+:class:`~repro.predicates.WorldSet`) can make duplicate delivery
+idempotent even when it bypasses this channel's window.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional, Set
 
+from repro.errors import ChannelError
 from repro.ipc.message import Message
+from repro.resilience.injector import active as _active_injector
 
 
 class Channel:
-    """An ordered, loss-free, duplication-free message queue."""
+    """An ordered message queue; loss-free by fiat or by retransmission."""
 
-    def __init__(self, sender: int, dest: int) -> None:
+    def __init__(
+        self,
+        sender: int,
+        dest: int,
+        at_least_once: bool = False,
+        dedup_window: int = 64,
+        max_attempts: int = 16,
+        backoff_base: float = 0.001,
+        backoff_factor: float = 2.0,
+        backoff_cap: float = 0.05,
+    ) -> None:
+        if dedup_window < 1:
+            raise ValueError("dedup_window must be at least 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
         self.sender = sender
         self.dest = dest
+        self.at_least_once = at_least_once
+        self.dedup_window = dedup_window
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_cap = backoff_cap
         self._queue: Deque[Message] = deque()
         self._next_seq = 0
         self._last_delivered_seq: Optional[int] = None
+        # -- at-least-once machinery ----------------------------------
+        self._unacked: Dict[int, Message] = {}
+        self._attempts: Dict[int, int] = {}
+        self._seen: Set[int] = set()
+        self._window: Deque[int] = deque()
+        self._dedup_floor = -1
+        """Sequence numbers at or below this are known-delivered even
+        after their entry leaves the sliding window."""
+        # -- counters --------------------------------------------------
         self.sent = 0
         self.delivered = 0
+        self.wire_drops = 0
+        self.wire_dups = 0
+        self.retransmissions = 0
+        self.duplicates_suppressed = 0
+        self.acks_sent = 0
+        self.acks_lost = 0
+        self.backoff_accrued = 0.0
+        """Simulated seconds of retransmission backoff paid so far."""
+
+    # ------------------------------------------------------------------
+    # the wire
+
+    def _wire_key(self, kind: str) -> str:
+        return f"{kind}:{self.sender}->{self.dest}"
+
+    def _transmit(self, message: Message) -> None:
+        """Put one copy of ``message`` on the wire (lossy when armed)."""
+        if not self.at_least_once:
+            self._queue.append(message)
+            return
+        injector = _active_injector()
+        if injector is not None and injector.draw(
+            "net-drop", self._wire_key("ch")
+        ) is not None:
+            self.wire_drops += 1
+            return  # lost in flight; only the missing ack tells
+        if injector is not None and injector.draw(
+            "net-reorder", self._wire_key("ch")
+        ) is not None:
+            self._queue.appendleft(message)  # jumped the queue
+        else:
+            self._queue.append(message)
+        if injector is not None and injector.draw(
+            "net-dup", self._wire_key("ch")
+        ) is not None:
+            self.wire_dups += 1
+            self._queue.append(message)
+
+    def _ack(self, seq: int) -> None:
+        """The receiver acknowledges ``seq`` (the ack may itself drop)."""
+        self.acks_sent += 1
+        injector = _active_injector()
+        if injector is not None and injector.draw(
+            "net-drop", self._wire_key("ack")
+        ) is not None:
+            self.acks_lost += 1
+            return  # sender will retransmit; receiver window dedups
+        self._unacked.pop(seq, None)
+        self._attempts.pop(seq, None)
+
+    # ------------------------------------------------------------------
+    # sending / receiving
 
     def send(self, message: Message) -> Message:
-        """Enqueue ``message``, stamping the channel sequence number."""
+        """Enqueue ``message``, stamping sequence number and uid."""
         if message.sender != self.sender or message.dest != self.dest:
             raise ValueError(
                 f"message {message.sender}->{message.dest} does not belong "
                 f"on channel {self.sender}->{self.dest}"
             )
+        seq = self._next_seq
+        control = dict(message.control)
+        control.setdefault("uid", f"{self.sender}->{self.dest}#{seq}")
         stamped = Message(
             sender=message.sender,
             dest=message.dest,
             data=message.data,
             predicate=message.predicate,
-            seq=self._next_seq,
-            control=dict(message.control),
+            seq=seq,
+            control=control,
         )
         self._next_seq += 1
-        self._queue.append(stamped)
         self.sent += 1
+        if self.at_least_once:
+            self._unacked[seq] = stamped
+            self._attempts[seq] = 1
+        self._transmit(stamped)
         return stamped
 
     def receive(self) -> Optional[Message]:
-        """Dequeue the next message in FIFO order (``None`` when empty)."""
-        if not self._queue:
-            return None
-        message = self._queue.popleft()
-        if self._last_delivered_seq is not None:
-            if message.seq != self._last_delivered_seq + 1:
-                raise AssertionError(
-                    "FIFO invariant violated: "
-                    f"{message.seq} after {self._last_delivered_seq}"
+        """The next *fresh* message (``None`` when nothing new pending).
+
+        In at-least-once mode re-delivered copies are acknowledged and
+        suppressed here, never surfaced to the caller.
+        """
+        while self._queue:
+            message = self._queue.popleft()
+            if not self.at_least_once:
+                if self._last_delivered_seq is not None:
+                    if message.seq != self._last_delivered_seq + 1:
+                        raise AssertionError(
+                            "FIFO invariant violated: "
+                            f"{message.seq} after {self._last_delivered_seq}"
+                        )
+                self._last_delivered_seq = message.seq
+                self.delivered += 1
+                return message
+            if message.seq in self._seen or message.seq <= self._dedup_floor:
+                self.duplicates_suppressed += 1
+                self._ack(message.seq)  # re-ack so the sender stops
+                continue
+            self._remember(message.seq)
+            self._ack(message.seq)
+            self.delivered += 1
+            return message
+        return None
+
+    def _remember(self, seq: int) -> None:
+        self._seen.add(seq)
+        self._window.append(seq)
+        while len(self._window) > self.dedup_window:
+            evicted = self._window.popleft()
+            self._seen.discard(evicted)
+            if evicted > self._dedup_floor:
+                self._dedup_floor = evicted
+
+    def retransmit(self) -> int:
+        """Re-send every unacknowledged message; return how many.
+
+        Each retransmission pays one step of capped exponential backoff
+        (simulated, accrued on :attr:`backoff_accrued`); a message past
+        ``max_attempts`` raises :class:`ChannelError`.
+        """
+        if not self.at_least_once:
+            return 0
+        count = 0
+        for seq in sorted(self._unacked):
+            attempts = self._attempts.get(seq, 1)
+            if attempts >= self.max_attempts:
+                raise ChannelError(
+                    f"message #{seq} on {self.sender}->{self.dest} "
+                    f"unacknowledged after {attempts} attempts"
                 )
-        self._last_delivered_seq = message.seq
-        self.delivered += 1
-        return message
+            self._attempts[seq] = attempts + 1
+            self.backoff_accrued += min(
+                self.backoff_cap,
+                self.backoff_base * self.backoff_factor ** (attempts - 1),
+            )
+            self.retransmissions += 1
+            self._transmit(self._unacked[seq])
+            count += 1
+        return count
+
+    def pump(self, max_rounds: int = 64) -> List[Message]:
+        """Drive the channel to quiescence; return the fresh deliveries.
+
+        Alternates receiving (which acks) with retransmitting whatever is
+        still unacknowledged, until nothing is pending or unacked.
+        Propagates :class:`ChannelError` when a message exhausts its
+        retransmission budget.
+        """
+        fresh: List[Message] = []
+        for _ in range(max_rounds):
+            while (message := self.receive()) is not None:
+                fresh.append(message)
+            if not self._unacked:
+                return fresh
+            self.retransmit()
+        raise ChannelError(
+            f"channel {self.sender}->{self.dest} did not quiesce "
+            f"after {max_rounds} pump rounds"
+        )
 
     def drain(self) -> List[Message]:
         """Dequeue everything currently pending."""
@@ -70,8 +244,17 @@ class Channel:
 
     @property
     def pending(self) -> int:
-        """Messages sent but not yet delivered."""
+        """Copies on the wire, not yet received."""
         return len(self._queue)
 
+    @property
+    def unacked(self) -> int:
+        """Messages sent but not yet acknowledged (at-least-once mode)."""
+        return len(self._unacked)
+
     def __repr__(self) -> str:
-        return f"Channel({self.sender}->{self.dest}, pending={self.pending})"
+        mode = ", at-least-once" if self.at_least_once else ""
+        return (
+            f"Channel({self.sender}->{self.dest}, "
+            f"pending={self.pending}{mode})"
+        )

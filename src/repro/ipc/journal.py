@@ -1,0 +1,144 @@
+"""A write-ahead journal for the message router.
+
+Section 3.4.2's message layer is stateful: channel sequence numbers,
+world-set splits, known process statuses, deferred side effects.  If the
+node hosting the router crashes, that state is gone -- but the paper's
+semantics must survive: the rebuilt router has to agree with the old one
+on which worlds are live, and a side effect released before the crash
+must *never* run again.
+
+:class:`RouterJournal` records every state transition write-ahead:
+
+- ``register`` / ``send`` / ``deliver`` rows capture the inputs that
+  drive world evolution (replaying sends through fresh channels
+  reproduces the same sequence numbers, hence the same message uids);
+- status resolution is journaled as a ``status`` row *before* effects
+  run and a ``status-done`` row after.  On replay, a paired row means
+  the released effects already executed pre-crash, so they are collected
+  but not re-invoked; an unpaired ``status`` row marks the operation the
+  crash interrupted, which replay completes exactly once.
+
+:meth:`RouterJournal.replay` rebuilds a :class:`~repro.ipc.MessageRouter`
+from the log and emits one ``journal-replay`` trace event summarizing
+what it reconstructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Tuple
+
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One durable row: an operation name and its positional arguments."""
+
+    op: str
+    args: Tuple[Any, ...]
+
+    def __repr__(self) -> str:
+        return f"JournalRecord({self.op}, {self.args!r})"
+
+
+class RouterJournal:
+    """An append-only log of one router's state transitions."""
+
+    #: Row vocabulary (closed, like the trace-event vocabulary).
+    OPS = ("register", "send", "deliver", "status", "status-done")
+
+    def __init__(self) -> None:
+        self.records: List[JournalRecord] = []
+        self.replays = 0
+
+    def append(self, op: str, *args: Any) -> JournalRecord:
+        """Durably record one operation before it takes effect."""
+        if op not in self.OPS:
+            raise ValueError(
+                f"unknown journal op {op!r}; expected one of {self.OPS}"
+            )
+        record = JournalRecord(op=op, args=tuple(args))
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+
+    def replay(
+        self,
+        worldset_factory: Callable[[int], Any],
+        journal: "RouterJournal | None" = None,
+    ):
+        """Rebuild a router by re-running the log against fresh state.
+
+        ``worldset_factory(pid)`` must build the same initial
+        :class:`~repro.predicates.WorldSet` a pid was registered with
+        originally (same initial predicate and state constructor);
+        everything downstream -- splits, eliminations, live-world
+        predicates, buffered effects -- is reproduced by the log itself.
+
+        ``journal`` (default: a fresh one) becomes the rebuilt router's
+        own journal, so the survivor keeps journaling from where the
+        crashed incarnation stopped.
+        """
+        from repro.ipc.router import MessageRouter
+
+        router = MessageRouter(
+            journal=journal if journal is not None else RouterJournal()
+        )
+        counts = {op: 0 for op in self.OPS}
+        executed = 0
+        for position, record in enumerate(self.records):
+            counts[record.op] += 1
+            if record.op == "register":
+                (pid,) = record.args
+                router.register(pid, worldset_factory(pid))
+            elif record.op == "send":
+                sender, dest, data, predicate = record.args
+                router.send(sender, dest, data, predicate)
+            elif record.op == "deliver":
+                sender, dest = record.args
+                router.deliver_one(sender, dest)
+            elif record.op == "status":
+                pid, completed = record.args
+                # Scan forward for the paired row: rows an *effect* wrote
+                # while executing (a released send, say) land between the
+                # pair, and the loop replays those on its own.
+                done = False
+                for later in self.records[position + 1:]:
+                    if later.op == "status":
+                        break
+                    if (
+                        later.op == "status-done"
+                        and later.args[:2] == (pid, completed)
+                    ):
+                        done = True
+                        break
+                # A paired row means the old incarnation finished running
+                # the released effects before it crashed: re-running them
+                # would double a side effect the world already caused.
+                # An unpaired row is the interrupted operation -- replay
+                # completes it exactly once.
+                router.report_status(pid, completed, execute=not done)
+                if not done:
+                    executed += 1
+            # "status-done" rows carry no action of their own.
+        self.replays += 1
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                _ev.JOURNAL_REPLAY,
+                records=len(self.records),
+                registered=counts["register"],
+                sends=counts["send"],
+                deliveries=counts["deliver"],
+                interrupted_completed=executed,
+            )
+        return router
+
+    def __repr__(self) -> str:
+        return f"RouterJournal({len(self.records)} records)"

@@ -11,6 +11,13 @@ that link:
   :class:`~repro.process.ProcessManager` or reported directly) resolve
   predicates everywhere, eliminate contradicted worlds, and release the
   deferred side effects of worlds that became unconditional.
+
+With a :class:`~repro.ipc.journal.RouterJournal` attached, every state
+transition is journaled write-ahead, so a crashed router can be rebuilt
+by :meth:`RouterJournal.replay` to the same live-world set without ever
+double-releasing a deferred side effect.  With ``at_least_once=True``
+the router's channels earn their reliability over a lossy wire through
+acks and retransmission instead of assuming it.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.ipc.channel import Channel
+from repro.ipc.journal import RouterJournal
 from repro.ipc.message import Message
 from repro.obs import events as _ev
 from repro.obs.tracer import active as _active_tracer
@@ -29,10 +37,16 @@ from repro.predicates.world import WorldSet
 class MessageRouter:
     """Predicated message delivery between logical processes."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        journal: Optional[RouterJournal] = None,
+        at_least_once: bool = False,
+    ) -> None:
         self._endpoints: Dict[int, WorldSet] = {}
         self._channels: Dict[Tuple[int, int], Channel] = {}
         self._known_status: Dict[int, bool] = {}
+        self.journal = journal
+        self.at_least_once = at_least_once
         self.dropped = 0
         """Messages discarded because the sender was already known failed."""
 
@@ -43,6 +57,8 @@ class MessageRouter:
         """Attach a logical process's world set to the router."""
         if pid in self._endpoints:
             raise ReproError(f"pid {pid} already registered")
+        if self.journal is not None:
+            self.journal.append("register", pid)
         self._endpoints[pid] = worlds
 
     def worlds_of(self, pid: int) -> WorldSet:
@@ -57,7 +73,9 @@ class MessageRouter:
     def _channel(self, sender: int, dest: int) -> Channel:
         key = (sender, dest)
         if key not in self._channels:
-            self._channels[key] = Channel(sender, dest)
+            self._channels[key] = Channel(
+                sender, dest, at_least_once=self.at_least_once
+            )
         return self._channels[key]
 
     # ------------------------------------------------------------------
@@ -79,6 +97,9 @@ class MessageRouter:
             data=data,
             predicate=predicate if predicate is not None else Predicate.empty(),
         )
+        if self.journal is not None:
+            # Write-ahead: the row goes down before the channel mutates.
+            self.journal.append("send", sender, dest, data, message.predicate)
         tracer = _active_tracer()
         if tracer.enabled:
             tracer.emit(
@@ -95,11 +116,7 @@ class MessageRouter:
         Returns the message if one was processed (whether any world
         accepted it or not), ``None`` when the channel is empty.
         """
-        message = self._channel(sender, dest).receive()
-        if message is None:
-            return None
-        self._process_delivery(message)
-        return message
+        return self._deliver_from(self._channel(sender, dest))
 
     def deliver_all(self) -> int:
         """Deliver every pending message on every channel, FIFO per pair.
@@ -111,12 +128,20 @@ class MessageRouter:
         while progressed:
             progressed = False
             for channel in list(self._channels.values()):
-                message = channel.receive()
-                if message is not None:
-                    self._process_delivery(message)
+                if self._deliver_from(channel) is not None:
                     count += 1
                     progressed = True
         return count
+
+    def _deliver_from(self, channel: Channel) -> Optional[Message]:
+        """Dequeue and process one message, journaling the delivery."""
+        message = channel.receive()
+        if message is None:
+            return None
+        if self.journal is not None:
+            self.journal.append("deliver", channel.sender, channel.dest)
+        self._process_delivery(message)
+        return message
 
     def _process_delivery(self, message: Message) -> None:
         # Fold already-known outcomes into the message predicate: 'we can
@@ -165,19 +190,28 @@ class MessageRouter:
     # ------------------------------------------------------------------
     # status resolution
 
-    def report_status(self, pid: int, completed: bool) -> List[Any]:
+    def report_status(
+        self, pid: int, completed: bool, execute: bool = True
+    ) -> List[Any]:
         """Record a final status and resolve predicates everywhere.
 
         Returns the deferred side effects released by worlds that became
-        unconditional; the effects have already been executed if callable.
+        unconditional; the effects have already been executed if callable
+        (unless ``execute=False``, the journal-replay path for a status
+        whose effects already ran before the crash).
         """
+        if self.journal is not None:
+            self.journal.append("status", pid, completed)
         self._known_status[pid] = completed
         released: List[Any] = []
         for worlds in self._endpoints.values():
             for effect in worlds.resolve(pid, completed):
-                if callable(effect):
+                if execute and callable(effect):
                     effect()
                 released.append(effect)
+        if self.journal is not None:
+            # The paired row: effects are down; replay must not re-run them.
+            self.journal.append("status-done", pid, completed, len(released))
         return released
 
     def known_status(self, pid: int) -> Optional[bool]:

@@ -2,20 +2,53 @@
 
 Each :class:`NetNode` owns its own page store and process manager (memory
 is not shared across the network -- 'in the distributed case we must
-actually copy state for a remote child').  :class:`Network` provides
-loss-free FIFO links with latency and bandwidth, and supports partitions
-for failure experiments.
+actually copy state for a remote child').  :class:`Network` joins nodes
+with :class:`FaultyLink` objects: loss-free FIFO by default, but every
+message-level :meth:`Network.transmit` consults the seeded
+:class:`~repro.resilience.FaultInjector` registry at the ``net-*`` fault
+points, so an armed :class:`~repro.resilience.NetFaultPlan` turns the
+wire hostile -- message loss, duplication, reordering, latency spikes,
+and timed partitions -- while staying keyed-RNG deterministic.
+
+Two transfer APIs coexist:
+
+- :meth:`Network.transfer` is the PR-0 bulk API (cost accounting only);
+  it still raises :class:`~repro.errors.NetworkError` on a partition.
+- :meth:`Network.transmit` is message-grained: a partitioned or dropped
+  message is silently lost (the realistic semantics -- the sender only
+  learns from missing acks or lapsed leases), duplication yields two
+  :class:`Delivery` records, and every chaos decision is traced
+  (``net-drop`` / ``net-dup`` / ``net-partition``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Set
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Optional, Set
 
 from repro.errors import NetworkError
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
 from repro.pages.store import PageStore
 from repro.process.primitives import ProcessManager
+from repro.resilience.chaos import NetFaultPlan  # re-exported convenience
+from repro.resilience.injector import active as _active_injector
 from repro.sim.costs import CostModel, MODERN_COMMODITY
+
+__all__ = [
+    "Delivery",
+    "FaultyLink",
+    "Link",
+    "NetFaultPlan",
+    "NetNode",
+    "Network",
+    "link_key",
+]
+
+
+def link_key(a: str, b: str) -> str:
+    """The canonical draw key of the link between two nodes."""
+    return "|".join(sorted((a, b)))
 
 
 @dataclass
@@ -30,6 +63,45 @@ class Link:
         if nbytes < 0:
             raise ValueError("byte count cannot be negative")
         return self.latency + nbytes / self.bandwidth
+
+
+@dataclass
+class FaultyLink(Link):
+    """A link whose deliveries consult the fault-injector registry.
+
+    With no injector installed (the common case) every consultation is a
+    single registry read returning ``None`` -- the link behaves exactly
+    like the loss-free :class:`Link` it replaced.
+    """
+
+    key: str = ""
+    """The injector draw key (``"a|b"``); chaos plans may restrict their
+    rules to specific links through it."""
+
+    def draw(self, point: str):
+        """Consult the installed injector at ``point`` for this link."""
+        injector = _active_injector()
+        if injector is None:
+            return None
+        return injector.draw(point, self.key)
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """One copy of a transmitted message that actually arrives."""
+
+    src: str
+    dst: str
+    payload: Any
+    nbytes: int
+    sent_at: float
+    arrive_at: float
+    duplicate: bool = False
+    """True for the extra copy an injected ``net-dup`` produced."""
+
+    @property
+    def latency(self) -> float:
+        return self.arrive_at - self.sent_at
 
 
 class NetNode:
@@ -47,15 +119,22 @@ class NetNode:
 
 
 class Network:
-    """Named nodes joined by configurable links."""
+    """Named nodes joined by configurable (faultable) links."""
 
     def __init__(self, cost_model: CostModel = MODERN_COMMODITY) -> None:
         self.cost_model = cost_model
         self.nodes: Dict[str, NetNode] = {}
-        self._links: Dict[FrozenSet[str], Link] = {}
+        self._links: Dict[FrozenSet[str], FaultyLink] = {}
         self._partitions: Set[FrozenSet[str]] = set()
+        self._timed_partitions: Dict[FrozenSet[str], float] = {}
         self.transfers = 0
         self.bytes_transferred = 0
+        # chaos accounting (message-level transmit only)
+        self.drops = 0
+        self.dups = 0
+        self.reorders = 0
+        self.delays = 0
+        self.partitions_opened = 0
 
     # ------------------------------------------------------------------
     # topology
@@ -84,24 +163,25 @@ class Network:
         b: str,
         latency: Optional[float] = None,
         bandwidth: Optional[float] = None,
-    ) -> Link:
+    ) -> FaultyLink:
         """Join two nodes; defaults come from the cost model."""
         self.node(a)
         self.node(b)
         if a == b:
             raise NetworkError("cannot link a node to itself")
-        link = Link(
+        link = FaultyLink(
             latency=latency if latency is not None else self.cost_model.network_latency,
             bandwidth=(
                 bandwidth
                 if bandwidth is not None
                 else self.cost_model.network_bandwidth
             ),
+            key=link_key(a, b),
         )
         self._links[frozenset((a, b))] = link
         return link
 
-    def link(self, a: str, b: str) -> Link:
+    def link(self, a: str, b: str) -> FaultyLink:
         """The link between two nodes (raises when absent)."""
         key = frozenset((a, b))
         try:
@@ -112,19 +192,48 @@ class Network:
     # ------------------------------------------------------------------
     # partitions
 
-    def partition(self, a: str, b: str) -> None:
-        """Cut communication between two nodes."""
+    def partition(self, a: str, b: str, until: Optional[float] = None) -> None:
+        """Cut communication between two nodes.
+
+        ``until`` makes the partition *timed*: it heals by itself at that
+        simulated instant (queries must pass their clock via
+        ``reachable(..., at=now)`` to observe the healing).
+        """
         self.link(a, b)  # must exist
-        self._partitions.add(frozenset((a, b)))
+        key = frozenset((a, b))
+        if until is None:
+            self._partitions.add(key)
+        else:
+            self._timed_partitions[key] = max(
+                until, self._timed_partitions.get(key, 0.0)
+            )
 
     def heal(self, a: str, b: str) -> None:
         """Restore communication between two nodes."""
-        self._partitions.discard(frozenset((a, b)))
-
-    def reachable(self, a: str, b: str) -> bool:
-        """True when a direct, unpartitioned link exists."""
         key = frozenset((a, b))
-        return key in self._links and key not in self._partitions
+        self._partitions.discard(key)
+        self._timed_partitions.pop(key, None)
+
+    def reachable(self, a: str, b: str, at: Optional[float] = None) -> bool:
+        """True when a direct, unpartitioned link exists.
+
+        Timed partitions block until their expiry instant; callers that
+        track simulated time pass it as ``at`` (``None`` treats any open
+        timed partition as still in force).
+        """
+        key = frozenset((a, b))
+        if key not in self._links or key in self._partitions:
+            return False
+        until = self._timed_partitions.get(key)
+        if until is not None:
+            if at is None or at < until:
+                return False
+            del self._timed_partitions[key]  # healed on its own
+        return True
+
+    def partition_heals_at(self, a: str, b: str) -> Optional[float]:
+        """When the timed partition on a link lapses (``None`` if none)."""
+        return self._timed_partitions.get(frozenset((a, b)))
 
     # ------------------------------------------------------------------
     # transfers
@@ -143,8 +252,90 @@ class Network:
         self.bytes_transferred += nbytes
         return elapsed
 
+    def transmit(
+        self,
+        src: str,
+        dst: str,
+        payload: Any = None,
+        nbytes: int = 0,
+        at: float = 0.0,
+    ) -> List[Delivery]:
+        """Send one message at simulated instant ``at``.
+
+        Returns the :class:`Delivery` copies that actually arrive: empty
+        on loss or partition, one normally, two under an injected
+        duplication.  Never raises on a partition -- a cut link silently
+        eats traffic, and the sender finds out the way real senders do
+        (missing acknowledgements, lapsed leases).
+        """
+        link = self.link(src, dst)
+        key = frozenset((src, dst))
+        tracer = _active_tracer()
+
+        # A transmit may be the unlucky one during which a timed
+        # partition opens; the triggering message is the first casualty.
+        rule = link.draw("net-partition")
+        if rule is not None:
+            self.partition(src, dst, until=at + rule.duration)
+            self.partitions_opened += 1
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.NET_PARTITION,
+                    name=link.key,
+                    at=at,
+                    heals_at=at + rule.duration,
+                )
+        if not self.reachable(src, dst, at=at):
+            self.drops += 1
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.NET_DROP, name=link.key, at=at, reason="partitioned"
+                )
+            return []
+        if link.draw("net-drop") is not None:
+            self.drops += 1
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.NET_DROP, name=link.key, at=at, reason="lost"
+                )
+            return []
+
+        latency = link.transfer_time(nbytes)
+        delay_rule = link.draw("net-delay")
+        if delay_rule is not None:
+            latency += delay_rule.duration
+            self.delays += 1
+        if link.draw("net-reorder") is not None:
+            # Push the arrival past a few link-latencies of later traffic.
+            latency += 3.0 * link.latency
+            self.reorders += 1
+
+        deliveries = [
+            Delivery(
+                src=src, dst=dst, payload=payload, nbytes=nbytes,
+                sent_at=at, arrive_at=at + latency,
+            )
+        ]
+        if link.draw("net-dup") is not None:
+            self.dups += 1
+            if tracer.enabled:
+                tracer.emit(_ev.NET_DUP, name=link.key, at=at)
+            deliveries.append(
+                Delivery(
+                    src=src, dst=dst, payload=payload, nbytes=nbytes,
+                    sent_at=at, arrive_at=at + latency + link.latency,
+                    duplicate=True,
+                )
+            )
+        for copy in deliveries:
+            self.node(src).bytes_sent += nbytes
+            self.node(dst).bytes_received += nbytes
+            self.transfers += 1
+            self.bytes_transferred += nbytes
+        return deliveries
+
     def __repr__(self) -> str:
         return (
             f"Network(nodes={sorted(self.nodes)}, links={len(self._links)}, "
-            f"partitions={len(self._partitions)})"
+            f"partitions={len(self._partitions) + len(self._timed_partitions)})"
         )

@@ -46,6 +46,19 @@ PREDICATE_SEND = "predicate-send"
 PREDICATE_ACCEPT = "predicate-accept"
 PREDICATE_IGNORE = "predicate-ignore"
 
+# -- chaos on the wire (section 4.1 distributed case) ------------------
+NET_DROP = "net-drop"
+NET_DUP = "net-dup"
+NET_PARTITION = "net-partition"
+
+# -- leases / remote supervision ---------------------------------------
+LEASE_RENEW = "lease-renew"
+LEASE_EXPIRE = "lease-expire"
+WORKER_RESPAWN = "worker-respawn"
+
+# -- router recovery ---------------------------------------------------
+JOURNAL_REPLAY = "journal-replay"
+
 EVENT_KINDS = (
     BLOCK_BEGIN,
     BLOCK_END,
@@ -65,6 +78,13 @@ EVENT_KINDS = (
     PREDICATE_SEND,
     PREDICATE_ACCEPT,
     PREDICATE_IGNORE,
+    NET_DROP,
+    NET_DUP,
+    NET_PARTITION,
+    LEASE_RENEW,
+    LEASE_EXPIRE,
+    WORKER_RESPAWN,
+    JOURNAL_REPLAY,
 )
 
 #: Kinds that terminate one arm's span (exactly one ``ARM_FINISH`` per

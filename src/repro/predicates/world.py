@@ -87,6 +87,9 @@ class WorldSet:
         """Number of receiver splits performed (overhead accounting)."""
         self.eliminated = 0
         """Worlds eliminated by predicate resolution."""
+        self.duplicates_ignored = 0
+        """Re-deliveries suppressed by message uid (at-least-once wire)."""
+        self._seen_uids: set = set()
 
     # ------------------------------------------------------------------
 
@@ -138,6 +141,23 @@ class WorldSet:
         """
         accepted: List[World] = []
         tracer = _active_tracer()
+        # At-least-once delivery makes re-receipt possible; processing a
+        # re-delivered split-inducing message again would fork a third
+        # world out of thin air.  Messages stamped with a uid (every
+        # channel-carried message) are therefore idempotent here.
+        control = getattr(message, "control", None)
+        uid = control.get("uid") if isinstance(control, dict) else None
+        if uid is not None:
+            if uid in self._seen_uids:
+                self.duplicates_ignored += 1
+                if tracer.enabled:
+                    tracer.emit(
+                        _ev.PREDICATE_IGNORE,
+                        reason="duplicate delivery",
+                        uid=uid,
+                    )
+                return accepted
+            self._seen_uids.add(uid)
         if not effective.is_consistent():
             # The message's own assumptions are self-contradictory (e.g.
             # a sender predicted not to complete itself): it belongs to a

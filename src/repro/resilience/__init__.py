@@ -12,8 +12,20 @@ Two halves:
   (per-arm watchdog deadlines, retry with exponential backoff and seeded
   jitter, graceful degradation to a serial replay) and the structured
   :class:`RaceAutopsy` every supervised race returns.
+
+:mod:`repro.resilience.chaos` adds declarative :class:`NetFaultPlan`
+scenarios over the ``net-*`` fault points (message loss, duplication,
+reordering, latency spikes, timed partitions, worker crashes), compiled
+into the same injector machinery; :data:`CHAOS_SCENARIOS` is the closed
+matrix the chaos suite and CI soak.
 """
 
+from repro.resilience.chaos import (
+    CHAOS_SCENARIOS,
+    NetFaultPlan,
+    chaos_injector,
+    scenario_names,
+)
 from repro.resilience.injector import (
     FAULT_POINTS,
     FaultInjector,
@@ -34,18 +46,22 @@ from repro.resilience.supervisor import (
 )
 
 __all__ = [
+    "CHAOS_SCENARIOS",
     "FAULT_POINTS",
     "ArmAutopsy",
     "AttemptAutopsy",
     "FaultInjector",
     "FaultRule",
+    "NetFaultPlan",
     "RaceAutopsy",
     "Supervisor",
     "Watchdog",
     "active",
+    "chaos_injector",
     "classify_outcome",
     "injected",
     "install",
+    "scenario_names",
     "suppressed",
     "uninstall",
 ]

@@ -1,0 +1,137 @@
+"""Declarative chaos scenarios for the simulated network.
+
+A :class:`NetFaultPlan` names, in one plain dataclass, how hostile the
+wire should be: per-transmit loss/duplication/reordering probabilities, a
+latency-spike rate, timed partitions, and remote worker crashes.  The
+plan compiles into ordinary :class:`~repro.resilience.FaultRule` rows
+over the ``net-*`` fault points, so every chaos decision flows through
+the same seeded, keyed-RNG :class:`~repro.resilience.FaultInjector` the
+backends already consult -- a chaos run is exactly as replayable as a
+PR 2 fault-injection run.
+
+:data:`CHAOS_SCENARIOS` is the closed scenario vocabulary the CI
+``chaos-matrix`` job and the distributed soak test iterate: each named
+scenario must leave a distributed alternative block observably
+equivalent to a serial replay of the same block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.resilience.injector import FaultInjector, FaultRule
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """One declarative chaos scenario over the network's links.
+
+    Probabilities are per consultation (per transmitted message for the
+    wire faults, per spawned remote arm for ``worker_crash``).  ``links``
+    restricts the wire faults to specific link keys (``"a|b"``, endpoint
+    names sorted); ``None`` afflicts every link.
+    """
+
+    loss: float = 0.0
+    """Per-message drop probability (``net-drop``)."""
+
+    duplication: float = 0.0
+    """Per-message duplicate-delivery probability (``net-dup``)."""
+
+    reorder: float = 0.0
+    """Per-message probability of being delayed past later traffic."""
+
+    delay: float = 0.0
+    """Per-message latency-spike probability (``net-delay``)."""
+
+    delay_seconds: float = 0.05
+    """Extra one-way latency a spiked delivery pays."""
+
+    partition: float = 0.0
+    """Per-transmit probability that a timed partition opens."""
+
+    partition_seconds: float = 0.25
+    """How long an injected partition lasts (simulated seconds)."""
+
+    partition_times: Optional[int] = 1
+    """How many partitions one link may suffer (``None`` = unlimited)."""
+
+    worker_crash: float = 0.0
+    """Per-arm probability that the remote worker dies mid-body."""
+
+    crash_after_seconds: float = 0.01
+    """How long after its arm starts a crashed worker survives."""
+
+    links: Optional[FrozenSet[str]] = None
+
+    def rules(self) -> List[FaultRule]:
+        """Compile the plan into injector rules (``times=None`` wire
+        faults: chaos does not exhaust)."""
+        out: List[FaultRule] = []
+        if self.loss:
+            out.append(FaultRule(
+                "net-drop", arms=self.links, probability=self.loss,
+                times=None, detail="chaos: message lost",
+            ))
+        if self.duplication:
+            out.append(FaultRule(
+                "net-dup", arms=self.links, probability=self.duplication,
+                times=None, detail="chaos: message duplicated",
+            ))
+        if self.reorder:
+            out.append(FaultRule(
+                "net-reorder", arms=self.links, probability=self.reorder,
+                times=None, detail="chaos: message reordered",
+            ))
+        if self.delay:
+            out.append(FaultRule(
+                "net-delay", arms=self.links, probability=self.delay,
+                times=None, duration=self.delay_seconds,
+                detail="chaos: latency spike",
+            ))
+        if self.partition:
+            out.append(FaultRule(
+                "net-partition", arms=self.links, probability=self.partition,
+                times=self.partition_times, duration=self.partition_seconds,
+                detail="chaos: timed partition",
+            ))
+        if self.worker_crash:
+            out.append(FaultRule(
+                "worker-crash", probability=self.worker_crash, times=1,
+                duration=self.crash_after_seconds,
+                detail="chaos: worker died mid-arm",
+            ))
+        return out
+
+    def injector(self, seed: int = 0) -> FaultInjector:
+        """A fresh seeded injector armed with this plan's rules."""
+        return FaultInjector(seed=seed, rules=self.rules())
+
+
+#: The canonical chaos matrix: every scenario the CI job soaks.  Rates
+#: are deliberately violent (well above production loss rates) so every
+#: recovery path fires within a short simulated run.
+CHAOS_SCENARIOS: Dict[str, NetFaultPlan] = {
+    "loss": NetFaultPlan(loss=0.25),
+    "dup": NetFaultPlan(duplication=0.35, loss=0.05),
+    "partition": NetFaultPlan(partition=0.5, partition_seconds=0.3),
+    "worker-crash": NetFaultPlan(worker_crash=0.9, crash_after_seconds=0.02),
+}
+
+
+def chaos_injector(scenario: str, seed: int = 0) -> FaultInjector:
+    """The injector for one named scenario of :data:`CHAOS_SCENARIOS`."""
+    try:
+        plan = CHAOS_SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos scenario {scenario!r}; "
+            f"expected one of {', '.join(sorted(CHAOS_SCENARIOS))}"
+        ) from None
+    return plan.injector(seed=seed)
+
+
+def scenario_names() -> Iterable[str]:
+    """Stable iteration order for parametrized suites."""
+    return tuple(CHAOS_SCENARIOS)

@@ -37,6 +37,13 @@ FAULT_POINTS = (
     "record-corrupt",   # the result record's bytes are flipped on the wire
     "slow-guard",       # guard evaluation stalls
     "page-apply-fail",  # replaying shipped page images into the space fails
+    # -- the wire (section 4.1's distributed case under chaos) ---------
+    "net-drop",         # a message is lost in flight
+    "net-dup",          # a message is delivered more than once
+    "net-reorder",      # a message is delayed past later traffic
+    "net-delay",        # a latency spike on one delivery
+    "net-partition",    # a timed partition opens on the link
+    "worker-crash",     # a remote worker node dies mid-arm
 )
 
 
@@ -52,6 +59,10 @@ class FaultRule:
 
     point: str
     arms: Optional[frozenset] = None
+    """Arm keys this rule matches: integer arm indexes at the backend
+    fault points, link keys (``"a|b"``) at the ``net-*`` points, channel
+    keys at the IPC points.  ``None`` matches every key."""
+
     probability: float = 1.0
     times: Optional[int] = 1
     on_calls: Optional[frozenset] = None
@@ -71,7 +82,7 @@ class FaultRule:
         if self.on_calls is not None:
             self.on_calls = frozenset(self.on_calls)
 
-    def matches_arm(self, arm: Optional[int]) -> bool:
+    def matches_arm(self, arm) -> bool:
         return self.arms is None or arm in self.arms
 
 
@@ -123,18 +134,38 @@ class FaultInjector:
     def page_apply_fail(self, **kw) -> "FaultInjector":
         return self.add("page-apply-fail", **kw)
 
+    def net_drop(self, **kw) -> "FaultInjector":
+        return self.add("net-drop", **kw)
+
+    def net_dup(self, **kw) -> "FaultInjector":
+        return self.add("net-dup", **kw)
+
+    def net_reorder(self, **kw) -> "FaultInjector":
+        return self.add("net-reorder", **kw)
+
+    def net_delay(self, **kw) -> "FaultInjector":
+        return self.add("net-delay", **kw)
+
+    def net_partition(self, **kw) -> "FaultInjector":
+        return self.add("net-partition", **kw)
+
+    def worker_crash(self, **kw) -> "FaultInjector":
+        return self.add("worker-crash", **kw)
+
     # ------------------------------------------------------------------
     # drawing
 
-    def _rng_for(self, point: str, arm: Optional[int], call: int) -> random.Random:
+    def _rng_for(self, point: str, arm, call: int) -> random.Random:
         # Keyed RNG: the decision depends only on (seed, point, arm, call),
         # never on draw order across arms/threads/processes.
         key = f"{self.seed}:{point}:{arm}:{call}"
         return random.Random(key)
 
-    def draw(self, point: str, arm: Optional[int] = None) -> Optional[FaultRule]:
+    def draw(self, point: str, arm=None) -> Optional[FaultRule]:
         """Consult the injector at ``point`` for ``arm``.
 
+        ``arm`` is any hashable draw key: an integer arm index at the
+        backend points, a link or channel key at the ``net-*`` points.
         Returns the matching :class:`FaultRule` when the fault fires this
         call, ``None`` otherwise.  Thread-safe; counters are per
         ``(point, arm)``.
@@ -161,7 +192,7 @@ class FaultInjector:
                 return rule
         return None
 
-    def fire_or_raise(self, point: str, arm: Optional[int] = None) -> None:
+    def fire_or_raise(self, point: str, arm=None) -> None:
         """Draw ``point``; raise :class:`~repro.errors.FaultInjected` on fire."""
         rule = self.draw(point, arm)
         if rule is not None:

@@ -1,0 +1,170 @@
+"""Router journal: crash-recovery for the message layer.
+
+A journaled router can be rebuilt by replaying its write-ahead log: the
+survivor must agree with the crashed incarnation on the live-world set,
+and side effects released before the crash must never run twice.
+"""
+
+import pytest
+
+from repro.ipc.journal import JournalRecord, RouterJournal
+from repro.ipc.router import MessageRouter
+from repro.obs import events as _ev
+from repro.obs.tracer import tracing
+from repro.predicates.predicate import Predicate
+from repro.predicates.world import WorldSet
+
+
+class FakeState:
+    def __init__(self, value=0):
+        self.value = value
+
+    def fork(self):
+        return FakeState(self.value)
+
+
+def live_shape(router, pid):
+    """The observable shape of one endpoint's live worlds."""
+    return sorted(
+        (tuple(sorted(w.predicate.must)), tuple(sorted(w.predicate.cannot)),
+         [m.data for m in w.inbox])
+        for w in router.worlds_of(pid).live_worlds()
+    )
+
+
+class TestJournalBasics:
+    def test_unknown_op_rejected(self):
+        journal = RouterJournal()
+        with pytest.raises(ValueError, match="unknown journal op"):
+            journal.append("compact")
+
+    def test_rows_record_in_order(self):
+        journal = RouterJournal()
+        router = MessageRouter(journal=journal)
+        router.register(1, WorldSet(FakeState()))
+        router.register(2, WorldSet(FakeState()))
+        router.send(1, 2, "hello")
+        router.deliver_all()
+        ops = [r.op for r in journal.records]
+        assert ops == ["register", "register", "send", "deliver"]
+
+    def test_status_rows_are_paired(self):
+        journal = RouterJournal()
+        router = MessageRouter(journal=journal)
+        router.register(1, WorldSet(FakeState()))
+        router.report_status(9, True)
+        assert [r.op for r in journal.records[-2:]] == ["status", "status-done"]
+        assert journal.records[-1].args[:2] == (9, True)
+
+
+class TestReplayEquivalence:
+    def build_and_crash(self):
+        """A router that split a receiver, resolved a status, and then
+        'crashed' (we keep only its journal)."""
+        journal = RouterJournal()
+        router = MessageRouter(journal=journal)
+        router.register(1, WorldSet(FakeState()))
+        router.register(2, WorldSet(FakeState()))
+        router.register(3, WorldSet(FakeState()))
+        router.send(1, 2, "split-me")          # splits pid 2's world
+        router.send(3, 2, "and-again")         # splits the survivors
+        router.deliver_all()
+        router.report_status(1, True)          # collapses one split
+        return router, journal
+
+    def test_replay_rebuilds_the_same_live_world_set(self):
+        crashed, journal = self.build_and_crash()
+        rebuilt = journal.replay(lambda pid: WorldSet(FakeState()))
+        for pid in (1, 2, 3):
+            assert live_shape(rebuilt, pid) == live_shape(crashed, pid)
+        assert rebuilt.known_status(1) is True
+        assert rebuilt.worlds_of(2).splits == crashed.worlds_of(2).splits
+
+    def test_replay_reproduces_message_uids(self):
+        crashed, journal = self.build_and_crash()
+        rebuilt = journal.replay(lambda pid: WorldSet(FakeState()))
+        crashed_uids = [
+            m.control["uid"]
+            for w in crashed.worlds_of(2).live_worlds()
+            for m in w.inbox
+        ]
+        rebuilt_uids = [
+            m.control["uid"]
+            for w in rebuilt.worlds_of(2).live_worlds()
+            for m in w.inbox
+        ]
+        assert sorted(rebuilt_uids) == sorted(crashed_uids)
+
+    def test_replay_emits_one_trace_event(self):
+        _, journal = self.build_and_crash()
+        with tracing() as tracer:
+            journal.replay(lambda pid: WorldSet(FakeState()))
+        replays = [e for e in tracer.events if e.kind == _ev.JOURNAL_REPLAY]
+        assert len(replays) == 1
+        assert replays[0].attrs["sends"] == 2
+        assert replays[0].attrs["registered"] == 3
+
+    def test_rebuilt_router_keeps_journaling(self):
+        _, journal = self.build_and_crash()
+        rebuilt = journal.replay(lambda pid: WorldSet(FakeState()))
+        before = len(rebuilt.journal)
+        rebuilt.send(1, 3, "post-recovery")
+        assert len(rebuilt.journal) == before + 1
+        assert rebuilt.journal is not journal
+
+
+class TestEffectReleaseExactlyOnce:
+    def journaled_router_with_effect(self, calls):
+        journal = RouterJournal()
+        router = MessageRouter(journal=journal)
+        worlds = WorldSet(FakeState(), predicate=Predicate.of(must=[3]))
+        worlds.sole_world().defer_effect(lambda: calls.append("fired"))
+        router.register(2, worlds)
+        return router, journal
+
+    def factory_with_effect(self, calls):
+        def factory(pid):
+            worlds = WorldSet(FakeState(), predicate=Predicate.of(must=[3]))
+            worlds.sole_world().defer_effect(lambda: calls.append("fired"))
+            return worlds
+
+        return factory
+
+    def test_completed_release_is_not_rerun_on_replay(self):
+        calls = []
+        router, journal = self.journaled_router_with_effect(calls)
+        released = router.report_status(3, True)
+        assert calls == ["fired"]           # released and executed once
+        assert len(released) == 1
+        rebuilt = journal.replay(self.factory_with_effect(calls))
+        assert calls == ["fired"]           # replay re-buffers, never re-runs
+        # ...but the rebuilt world still released it (no longer deferred)
+        assert rebuilt.worlds_of(2).sole_world().deferred_effects == []
+        assert rebuilt.worlds_of(2).sole_world().unconditional
+
+    def test_interrupted_release_is_completed_exactly_once(self):
+        calls = []
+        router, journal = self.journaled_router_with_effect(calls)
+        router.report_status(3, True)
+        # Simulate the crash landing between effect execution's start and
+        # the paired row: the status-done record never made it down.
+        dropped = journal.records.pop()
+        assert dropped.op == "status-done"
+        replay_calls = []
+        journal.replay(self.factory_with_effect(replay_calls))
+        assert replay_calls == ["fired"]    # completed once, not skipped
+
+    def test_replay_of_replay_is_stable(self):
+        calls = []
+        _, journal = self.journaled_router_with_effect(calls)
+        rebuilt = journal.replay(self.factory_with_effect(calls))
+        again = rebuilt.journal.replay(self.factory_with_effect(calls))
+        assert live_shape(again, 2) == live_shape(rebuilt, 2)
+
+
+class TestRecordShape:
+    def test_records_are_frozen_and_reprable(self):
+        record = JournalRecord(op="status", args=(1, True))
+        assert "status" in repr(record)
+        with pytest.raises(Exception):
+            record.op = "send"

@@ -1,0 +1,168 @@
+"""At-least-once channel delivery over a faulty wire.
+
+The default channel *assumes* section 3.1's reliable FIFO wire; the
+``at_least_once`` mode earns the same contract from a wire that drops,
+duplicates, and reorders -- via acks, capped-backoff retransmission, and
+a receiver-side dedup window.
+"""
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.ipc.channel import Channel
+from repro.ipc.message import Message
+from repro.resilience.injector import FaultInjector, injected
+
+
+def msg(data, sender=1, dest=2):
+    return Message(sender=sender, dest=dest, data=data)
+
+
+def channel(**kw):
+    kw.setdefault("at_least_once", True)
+    return Channel(1, 2, **kw)
+
+
+class TestCleanWire:
+    def test_delivery_acks_and_prunes_unacked(self):
+        ch = channel()
+        ch.send(msg("a"))
+        ch.send(msg("b"))
+        assert ch.unacked == 2
+        assert [m.data for m in ch.drain()] == ["a", "b"]
+        assert ch.unacked == 0
+        assert ch.delivered == 2
+
+    def test_every_message_carries_a_stable_uid(self):
+        ch = channel()
+        first = ch.send(msg("a"))
+        second = ch.send(msg("b"))
+        assert first.control["uid"] == "1->2#0"
+        assert second.control["uid"] == "1->2#1"
+        # the default (reliable) mode stamps uids too
+        plain = Channel(3, 4).send(Message(sender=3, dest=4, data="x"))
+        assert plain.control["uid"] == "3->4#0"
+
+    def test_retransmit_is_noop_in_reliable_mode(self):
+        ch = Channel(1, 2)
+        ch.send(msg("a"))
+        assert ch.retransmit() == 0
+
+
+class TestLossyWire:
+    def wire_drop_injector(self, probability=1.0, **kw):
+        return FaultInjector(seed=0).net_drop(
+            arms=["ch:1->2"], probability=probability, **kw
+        )
+
+    def test_dropped_message_redelivered_by_retransmit(self):
+        ch = channel()
+        with injected(self.wire_drop_injector(times=1)):
+            ch.send(msg("fragile"))
+            assert ch.pending == 0  # lost in flight
+            assert ch.wire_drops == 1
+            assert ch.receive() is None
+            assert ch.unacked == 1  # only the missing ack tells
+            fresh = ch.pump()
+        assert [m.data for m in fresh] == ["fragile"]
+        assert ch.retransmissions >= 1
+        assert ch.unacked == 0
+
+    def test_heavy_loss_still_delivers_every_message_once(self):
+        ch = channel()
+        with injected(self.wire_drop_injector(probability=0.6, times=None)):
+            for i in range(20):
+                ch.send(msg(i))
+            fresh = ch.pump()
+        assert sorted(m.data for m in fresh) == list(range(20))
+        assert ch.delivered == 20
+        assert ch.retransmissions > 0
+
+    def test_total_loss_exhausts_budget(self):
+        ch = channel(max_attempts=4)
+        with injected(self.wire_drop_injector(times=None)):
+            ch.send(msg("doomed"))
+            with pytest.raises(ChannelError, match="unacknowledged"):
+                ch.pump()
+
+    def test_backoff_accrues_and_caps(self):
+        ch = channel(
+            max_attempts=8, backoff_base=0.001,
+            backoff_factor=2.0, backoff_cap=0.004,
+        )
+        with injected(self.wire_drop_injector(times=None)):
+            ch.send(msg("x"))
+            with pytest.raises(ChannelError):
+                ch.pump()
+        # attempts 1..7 retransmitted: 0.001+0.002+0.004*5 (capped)
+        assert ch.backoff_accrued == pytest.approx(0.001 + 0.002 + 0.004 * 5)
+
+
+class TestDuplicationAndReordering:
+    def test_wire_duplicate_suppressed_at_receiver(self):
+        ch = channel()
+        with injected(FaultInjector(seed=0).net_dup(
+            arms=["ch:1->2"], times=1
+        )):
+            ch.send(msg("twin"))
+        assert ch.pending == 2
+        assert [m.data for m in ch.drain()] == ["twin"]
+        assert ch.wire_dups == 1
+        assert ch.duplicates_suppressed == 1
+        assert ch.delivered == 1
+
+    def test_lost_ack_forces_duplicate_then_dedup(self):
+        ch = channel()
+        with injected(FaultInjector(seed=0).net_drop(
+            arms=["ack:1->2"], times=1
+        )):
+            ch.send(msg("once"))
+            fresh = ch.pump()
+        assert [m.data for m in fresh] == ["once"]
+        assert ch.acks_lost == 1
+        assert ch.retransmissions >= 1  # sender never saw the first ack
+        assert ch.duplicates_suppressed >= 1
+        assert ch.delivered == 1
+
+    def test_reordered_wire_still_delivers_everything(self):
+        ch = channel()
+        with injected(FaultInjector(seed=0).net_reorder(
+            arms=["ch:1->2"], probability=0.5, times=None
+        )):
+            for i in range(10):
+                ch.send(msg(i))
+            fresh = ch.pump()
+        # order may differ; the set may not (no FIFO assertion here)
+        assert sorted(m.data for m in fresh) == list(range(10))
+
+    def test_dedup_floor_outlives_the_window(self):
+        """Sequences evicted from the sliding window stay deduplicated
+        through the floor."""
+        ch = channel(dedup_window=2)
+        with injected(FaultInjector(seed=0).net_drop(
+            arms=["ack:1->2"], times=None
+        )):
+            for i in range(5):
+                ch.send(msg(i))
+            assert len(ch.drain()) == 5  # first pass: all fresh
+            ch.retransmit()  # every ack was lost; all five come again
+            assert ch.drain() == []
+        assert ch.duplicates_suppressed == 5
+        assert ch.delivered == 5
+
+
+class TestReliableModeUnchanged:
+    def test_fifo_assertion_still_enforced(self):
+        ch = Channel(1, 2)
+        ch.send(msg("a"))
+        ch.send(msg("b"))
+        ch._queue.rotate(1)  # corrupt the wire behind the channel's back
+        ch.receive()
+        with pytest.raises(AssertionError, match="FIFO"):
+            ch.receive()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Channel(1, 2, dedup_window=0)
+        with pytest.raises(ValueError):
+            Channel(1, 2, max_attempts=0)

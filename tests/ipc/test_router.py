@@ -185,3 +185,73 @@ class TestChainedCommunication:
         # When 1 fails, every timeline that believed in it dies everywhere.
         router.report_status(1, completed=False)
         assert [w for w in router.worlds_of(3).live_worlds() if w.inbox] == []
+
+
+class TestDroppedAccounting:
+    """`MessageRouter.dropped` must count every discarded message, once,
+    and only genuinely dead-timeline messages."""
+
+    def test_each_dead_message_counted_once(self):
+        router = router_with(1, 2)
+        router.report_status(1, completed=False)
+        for i in range(3):
+            router.send(1, 2, f"msg-{i}")
+        processed = router.deliver_all()
+        assert processed == 3  # processed (and discarded), not lost
+        assert router.dropped == 3
+        assert router.worlds_of(2).sole_world().inbox == []
+
+    def test_mixed_senders_count_only_the_failed_one(self):
+        router = router_with(1, 2, 3)
+        router.report_status(1, completed=False)
+        router.send(1, 2, "dead")
+        router.send(3, 2, "alive")
+        router.deliver_all()
+        assert router.dropped == 1
+        accepted = [
+            m.data
+            for w in router.worlds_of(2).live_worlds()
+            for m in w.inbox
+        ]
+        assert accepted == ["alive"]
+
+    def test_contradicted_assumptions_add_to_the_same_counter(self):
+        router = router_with(1, 2)
+        router.report_status(7, completed=False)
+        router.send(1, 2, "assumes-7", predicate=Predicate.of(must=[7]))
+        router.send(1, 2, "assumes-nothing")
+        router.deliver_all()
+        assert router.dropped == 1
+
+    def test_accepted_messages_never_counted(self):
+        router = router_with(1, 2)
+        router.send(1, 2, "fine")
+        router.deliver_all()
+        assert router.dropped == 0
+
+
+class TestAtLeastOnceRouter:
+    def test_router_channels_inherit_the_mode(self):
+        router = MessageRouter(at_least_once=True)
+        router.register(1, WorldSet(FakeState()))
+        router.register(2, WorldSet(FakeState()))
+        router.send(1, 2, "hello")
+        channel = router._channel(1, 2)
+        assert channel.at_least_once
+        router.deliver_all()
+        assert channel.unacked == 0  # delivery acked it
+
+    def test_wire_duplicate_does_not_fork_a_third_world(self):
+        """A duplicated wire copy is suppressed before the world set ever
+        sees it: the receiver stays exactly two-world split."""
+        from repro.resilience.injector import FaultInjector, injected
+
+        router = MessageRouter(at_least_once=True)
+        router.register(1, WorldSet(FakeState()))
+        router.register(2, WorldSet(FakeState()))
+        with injected(FaultInjector(seed=0).net_dup(arms=["ch:1->2"], times=1)):
+            router.send(1, 2, "split-me")
+            router.deliver_all()
+        assert len(router.worlds_of(2)) == 2  # one split, not two
+        assert router.worlds_of(2).splits == 1
+        assert router._channel(1, 2).duplicates_suppressed == 1

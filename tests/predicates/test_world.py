@@ -176,3 +176,69 @@ class TestInconsistentMessages:
             "bad", Predicate(frozenset([7]), frozenset([7]))
         )
         assert accepted == []
+
+
+class TestDuplicateDelivery:
+    """At-least-once wires can re-deliver; a uid-stamped message must be
+    idempotent at the world set -- a re-delivered split-inducing message
+    must not fork a third world."""
+
+    def stamped(self, uid, data="payload"):
+        from repro.ipc.message import Message
+
+        return Message(
+            sender=4, dest=9, data=data, control={"uid": uid}
+        )
+
+    def test_redelivered_split_does_not_fork_again(self):
+        worlds = WorldSet(FakeState())
+        message = self.stamped("4->9#0")
+        first = worlds.receive(message, 4, Predicate.empty())
+        assert len(first) == 1
+        assert len(worlds) == 2  # the yes/no split
+        again = worlds.receive(message, 4, Predicate.empty())
+        assert again == []
+        assert len(worlds) == 2  # live-world count unchanged
+        assert worlds.splits == 1
+        assert worlds.duplicates_ignored == 1
+
+    def test_duplicate_not_enqueued_anywhere(self):
+        worlds = WorldSet(FakeState())
+        message = self.stamped("4->9#0")
+        worlds.receive(message, 4, Predicate.empty())
+        worlds.receive(message, 4, Predicate.empty())
+        inboxes = [len(w.inbox) for w in worlds.live_worlds()]
+        assert sorted(inboxes) == [0, 1]  # accepted exactly once
+
+    def test_distinct_uids_still_processed(self):
+        worlds = WorldSet(FakeState())
+        worlds.receive(self.stamped("4->9#0", "a"), 4, Predicate.empty())
+        worlds.receive(self.stamped("4->9#1", "b"), 4, Predicate.empty())
+        # fresh uids keep full semantics: the accepting world holds both
+        assert worlds.duplicates_ignored == 0
+        inboxes = sorted(len(w.inbox) for w in worlds.live_worlds())
+        assert inboxes == [0, 2]
+
+    def test_unstamped_messages_keep_old_behavior(self):
+        worlds = WorldSet(FakeState())
+        worlds.receive("bare", 4, Predicate.empty())
+        worlds.receive("bare", 4, Predicate.empty())
+        # no uid, no dedup: the second receipt is processed again
+        assert worlds.duplicates_ignored == 0
+
+    def test_duplicate_emits_ignore_trace(self):
+        from repro.obs import events as _ev
+        from repro.obs.tracer import tracing
+
+        worlds = WorldSet(FakeState())
+        message = self.stamped("4->9#0")
+        with tracing() as tracer:
+            worlds.receive(message, 4, Predicate.empty())
+            worlds.receive(message, 4, Predicate.empty())
+        ignores = [
+            e for e in tracer.events
+            if e.kind == _ev.PREDICATE_IGNORE
+            and e.attrs.get("reason") == "duplicate delivery"
+        ]
+        assert len(ignores) == 1
+        assert ignores[0].attrs["uid"] == "4->9#0"
