@@ -12,9 +12,16 @@ duplicate, or reorder copies (decided by the seeded
 :class:`~repro.resilience.FaultInjector` at the ``net-*`` points, draw
 keys ``ch:<sender>-><dest>`` for data and ``ack:<sender>-><dest>`` for
 acknowledgements), unacknowledged messages are retransmitted with a
-capped exponential backoff, and the receiver suppresses re-deliveries
-through a sliding dedup window.  A message that exhausts its
-retransmission budget raises :class:`~repro.errors.ChannelError`.
+capped exponential backoff, and the receiver runs a sliding-window
+reassembly protocol: sequence numbers at or below the *delivered floor*
+are duplicates, numbers inside the window are acked and held until the
+gap below them fills, and numbers beyond the window are left unacked for
+a later retransmission.  Because the floor only ever advances across
+messages actually surfaced to the caller, a retransmission can never be
+misclassified as a duplicate, and :meth:`Channel.receive` delivers in
+strict sequence order -- loss-free, duplicate-free, FIFO.  A message
+that exhausts its retransmission budget raises
+:class:`~repro.errors.ChannelError`.
 
 Every message additionally carries a stable ``uid`` in its control
 information, so layers above the channel (the
@@ -25,7 +32,7 @@ idempotent even when it bypasses this channel's window.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set
+from typing import Deque, Dict, List, Optional
 
 from repro.errors import ChannelError
 from repro.ipc.message import Message
@@ -64,11 +71,13 @@ class Channel:
         # -- at-least-once machinery ----------------------------------
         self._unacked: Dict[int, Message] = {}
         self._attempts: Dict[int, int] = {}
-        self._seen: Set[int] = set()
-        self._window: Deque[int] = deque()
-        self._dedup_floor = -1
-        """Sequence numbers at or below this are known-delivered even
-        after their entry leaves the sliding window."""
+        self._reorder: Dict[int, Message] = {}
+        """Acked arrivals above the floor, held until the gap fills."""
+        self._delivered_floor = -1
+        """Every sequence number at or below this has been surfaced to
+        the caller; anything at or below it is by construction a
+        duplicate.  Advances only across contiguous deliveries, so a
+        dropped message can never slip under it."""
         # -- counters --------------------------------------------------
         self.sent = 0
         self.delivered = 0
@@ -76,6 +85,9 @@ class Channel:
         self.wire_dups = 0
         self.retransmissions = 0
         self.duplicates_suppressed = 0
+        self.window_rejects = 0
+        """Arrivals too far ahead of the delivered floor to buffer; left
+        unacked so a later retransmission re-offers them."""
         self.acks_sent = 0
         self.acks_lost = 0
         self.backoff_accrued = 0.0
@@ -152,41 +164,48 @@ class Channel:
         return stamped
 
     def receive(self) -> Optional[Message]:
-        """The next *fresh* message (``None`` when nothing new pending).
+        """The next message in sequence order (``None`` when none ready).
 
         In at-least-once mode re-delivered copies are acknowledged and
-        suppressed here, never surfaced to the caller.
+        suppressed here, never surfaced to the caller, and an
+        out-of-order arrival is held back until the sequence numbers
+        below it have all been delivered (FIFO reassembly).
         """
-        while self._queue:
+        if not self.at_least_once:
+            if not self._queue:
+                return None
             message = self._queue.popleft()
-            if not self.at_least_once:
-                if self._last_delivered_seq is not None:
-                    if message.seq != self._last_delivered_seq + 1:
-                        raise AssertionError(
-                            "FIFO invariant violated: "
-                            f"{message.seq} after {self._last_delivered_seq}"
-                        )
-                self._last_delivered_seq = message.seq
-                self.delivered += 1
-                return message
-            if message.seq in self._seen or message.seq <= self._dedup_floor:
-                self.duplicates_suppressed += 1
-                self._ack(message.seq)  # re-ack so the sender stops
-                continue
-            self._remember(message.seq)
-            self._ack(message.seq)
+            if self._last_delivered_seq is not None:
+                if message.seq != self._last_delivered_seq + 1:
+                    raise AssertionError(
+                        "FIFO invariant violated: "
+                        f"{message.seq} after {self._last_delivered_seq}"
+                    )
+            self._last_delivered_seq = message.seq
             self.delivered += 1
             return message
-        return None
-
-    def _remember(self, seq: int) -> None:
-        self._seen.add(seq)
-        self._window.append(seq)
-        while len(self._window) > self.dedup_window:
-            evicted = self._window.popleft()
-            self._seen.discard(evicted)
-            if evicted > self._dedup_floor:
-                self._dedup_floor = evicted
+        while True:
+            ready = self._delivered_floor + 1
+            if ready in self._reorder:
+                self._delivered_floor = ready
+                self.delivered += 1
+                return self._reorder.pop(ready)
+            if not self._queue:
+                return None
+            message = self._queue.popleft()
+            if (
+                message.seq <= self._delivered_floor
+                or message.seq in self._reorder
+            ):
+                self.duplicates_suppressed += 1
+                self._ack(message.seq)  # re-ack so the sender stops
+            elif message.seq > self._delivered_floor + self.dedup_window:
+                # Too far ahead to buffer: stay silent so the sender
+                # retransmits once the window has slid forward.
+                self.window_rejects += 1
+            else:
+                self._ack(message.seq)
+                self._reorder[message.seq] = message
 
     def retransmit(self) -> int:
         """Re-send every unacknowledged message; return how many.
@@ -246,6 +265,11 @@ class Channel:
     def pending(self) -> int:
         """Copies on the wire, not yet received."""
         return len(self._queue)
+
+    @property
+    def held(self) -> int:
+        """Acked arrivals waiting for an earlier sequence gap to fill."""
+        return len(self._reorder)
 
     @property
     def unacked(self) -> int:

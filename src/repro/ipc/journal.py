@@ -13,10 +13,23 @@ must *never* run again.
   drive world evolution (replaying sends through fresh channels
   reproduces the same sequence numbers, hence the same message uids);
 - status resolution is journaled as a ``status`` row *before* effects
-  run and a ``status-done`` row after.  On replay, a paired row means
-  the released effects already executed pre-crash, so they are collected
-  but not re-invoked; an unpaired ``status`` row marks the operation the
-  crash interrupted, which replay completes exactly once.
+  run and a ``status-done`` row after, paired by a unique status id so
+  the pairing survives nested ``report_status`` calls made from inside
+  an effect;
+- each released effect gets its own ``effect-done`` row the moment it
+  has executed, and every row an effect journals *while running* (a
+  released ``send``, say) is tagged with the effect's provenance
+  ``(status id, effect index)``.
+
+On replay a ``status`` row whose id is paired means the old incarnation
+finished the whole release before crashing: the effects are collected
+but not re-invoked, and the rows they journaled are replayed as plain
+state transitions.  An unpaired ``status`` row is the interrupted
+operation.  Replay completes it exactly once at per-effect granularity:
+effects with an ``effect-done`` marker are skipped (already down), the
+rest are re-executed -- and the provenance tags let replay drop the
+partial rows those re-executed effects journaled pre-crash, so nothing
+is applied twice.
 
 :meth:`RouterJournal.replay` rebuilds a :class:`~repro.ipc.MessageRouter`
 from the log and emits one ``journal-replay`` trace event summarizing
@@ -25,8 +38,9 @@ what it reconstructed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
 
 from repro.obs import events as _ev
 from repro.obs.tracer import active as _active_tracer
@@ -34,12 +48,24 @@ from repro.obs.tracer import active as _active_tracer
 
 @dataclass(frozen=True)
 class JournalRecord:
-    """One durable row: an operation name and its positional arguments."""
+    """One durable row: an operation name and its positional arguments.
+
+    ``provenance`` is set on rows journaled from inside a released
+    effect: the ``(status id, effect index)`` of the effect that caused
+    them.  Replay uses it to skip rows whose effect it is about to
+    re-execute.
+    """
 
     op: str
     args: Tuple[Any, ...]
+    provenance: Optional[Tuple[int, int]] = field(default=None)
 
     def __repr__(self) -> str:
+        if self.provenance is not None:
+            return (
+                f"JournalRecord({self.op}, {self.args!r}, "
+                f"via={self.provenance})"
+            )
         return f"JournalRecord({self.op}, {self.args!r})"
 
 
@@ -47,11 +73,14 @@ class RouterJournal:
     """An append-only log of one router's state transitions."""
 
     #: Row vocabulary (closed, like the trace-event vocabulary).
-    OPS = ("register", "send", "deliver", "status", "status-done")
+    OPS = ("register", "send", "deliver", "status", "effect-done",
+           "status-done")
 
     def __init__(self) -> None:
         self.records: List[JournalRecord] = []
         self.replays = 0
+        self._next_status_id = 0
+        self._effect_stack: List[Tuple[int, int]] = []
 
     def append(self, op: str, *args: Any) -> JournalRecord:
         """Durably record one operation before it takes effect."""
@@ -59,9 +88,31 @@ class RouterJournal:
             raise ValueError(
                 f"unknown journal op {op!r}; expected one of {self.OPS}"
             )
-        record = JournalRecord(op=op, args=tuple(args))
+        record = JournalRecord(
+            op=op,
+            args=tuple(args),
+            provenance=self._effect_stack[-1] if self._effect_stack else None,
+        )
         self.records.append(record)
         return record
+
+    def next_status_id(self) -> int:
+        """A unique, monotonically increasing id for one status row.
+
+        Ids are assigned in ``report_status`` call order; replay triggers
+        the same calls in the same order, so the rebuilt journal's ids
+        line up with the crashed incarnation's.
+        """
+        sid = self._next_status_id
+        self._next_status_id += 1
+        return sid
+
+    def begin_effect(self, sid: int, idx: int) -> None:
+        """Rows appended until :meth:`end_effect` carry this provenance."""
+        self._effect_stack.append((sid, idx))
+
+    def end_effect(self) -> None:
+        self._effect_stack.pop()
 
     def __len__(self) -> int:
         return len(self.records)
@@ -90,10 +141,35 @@ class RouterJournal:
         router = MessageRouter(
             journal=journal if journal is not None else RouterJournal()
         )
+        # Pair status rows by id (robust against nested report_status
+        # rows) and collect the per-effect completion markers.
+        paired: Set[int] = set()
+        effect_done: Dict[int, Set[int]] = {}
+        for record in self.records:
+            if record.op == "status-done":
+                paired.add(record.args[3])
+            elif record.op == "effect-done":
+                sid, idx = record.args
+                effect_done.setdefault(sid, set()).add(idx)
+
+        def will_rerun(provenance: Tuple[int, int]) -> bool:
+            """Will replay re-execute the effect that wrote this row?"""
+            sid, idx = provenance
+            return sid not in paired and idx not in effect_done.get(sid, ())
+
+        # report_status looks effects up here (by deterministic status
+        # id) so an interrupted status skips the effects that already
+        # ran, even when reached through a nested call.
+        router._inherited_effect_done = effect_done
         counts = {op: 0 for op in self.OPS}
         executed = 0
-        for position, record in enumerate(self.records):
+        for record in self.records:
             counts[record.op] += 1
+            if record.provenance is not None and will_rerun(record.provenance):
+                # The effect that journaled this row is about to be
+                # re-executed; replaying the row too would apply its
+                # transition twice.
+                continue
             if record.op == "register":
                 (pid,) = record.args
                 router.register(pid, worldset_factory(pid))
@@ -104,29 +180,19 @@ class RouterJournal:
                 sender, dest = record.args
                 router.deliver_one(sender, dest)
             elif record.op == "status":
-                pid, completed = record.args
-                # Scan forward for the paired row: rows an *effect* wrote
-                # while executing (a released send, say) land between the
-                # pair, and the loop replays those on its own.
-                done = False
-                for later in self.records[position + 1:]:
-                    if later.op == "status":
-                        break
-                    if (
-                        later.op == "status-done"
-                        and later.args[:2] == (pid, completed)
-                    ):
-                        done = True
-                        break
+                pid, completed, sid = record.args
+                done = sid in paired
                 # A paired row means the old incarnation finished running
                 # the released effects before it crashed: re-running them
                 # would double a side effect the world already caused.
                 # An unpaired row is the interrupted operation -- replay
-                # completes it exactly once.
+                # completes it, re-executing only the effects without an
+                # effect-done marker.
                 router.report_status(pid, completed, execute=not done)
                 if not done:
                     executed += 1
-            # "status-done" rows carry no action of their own.
+            # "effect-done" / "status-done" rows carry no action.
+        router._inherited_effect_done = {}
         self.replays += 1
         tracer = _active_tracer()
         if tracer.enabled:

@@ -47,6 +47,10 @@ class MessageRouter:
         self._known_status: Dict[int, bool] = {}
         self.journal = journal
         self.at_least_once = at_least_once
+        self._inherited_effect_done: Dict[int, set] = {}
+        """During journal replay: status id -> indices of released
+        effects the crashed incarnation already executed (set by
+        :meth:`RouterJournal.replay`, empty otherwise)."""
         self.dropped = 0
         """Messages discarded because the sender was already known failed."""
 
@@ -199,19 +203,46 @@ class MessageRouter:
         unconditional; the effects have already been executed if callable
         (unless ``execute=False``, the journal-replay path for a status
         whose effects already ran before the crash).
+
+        With a journal attached every released effect is bracketed: rows
+        the effect journals while running carry its provenance, and an
+        ``effect-done`` row lands the moment its action is durable --
+        so a crash anywhere inside the release is recoverable at
+        per-effect granularity.
         """
+        sid: Any = None
         if self.journal is not None:
-            self.journal.append("status", pid, completed)
+            sid = self.journal.next_status_id()
+            self.journal.append("status", pid, completed, sid)
         self._known_status[pid] = completed
+        already_done = (
+            self._inherited_effect_done.get(sid, set())
+            if sid is not None
+            else set()
+        )
         released: List[Any] = []
         for worlds in self._endpoints.values():
             for effect in worlds.resolve(pid, completed):
-                if execute and callable(effect):
-                    effect()
+                idx = len(released)
                 released.append(effect)
+                if execute and callable(effect) and idx not in already_done:
+                    if self.journal is not None:
+                        self.journal.begin_effect(sid, idx)
+                        try:
+                            effect()
+                        finally:
+                            self.journal.end_effect()
+                    else:
+                        effect()
+                if self.journal is not None:
+                    # The effect's action is down (just executed, already
+                    # executed pre-crash, or not executable): replay must
+                    # never run it again.
+                    self.journal.append("effect-done", sid, idx)
         if self.journal is not None:
-            # The paired row: effects are down; replay must not re-run them.
-            self.journal.append("status-done", pid, completed, len(released))
+            # The paired row: the whole release is down.
+            self.journal.append("status-done", pid, completed,
+                                len(released), sid)
         return released
 
     def known_status(self, pid: int) -> Optional[bool]:

@@ -14,8 +14,9 @@ owns all the live worlds of one logical process and implements:
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import PredicateConflict, SideEffectViolation
 from repro.obs import events as _ev
@@ -69,6 +70,9 @@ class World:
 class WorldSet:
     """All live worlds of one logical process."""
 
+    UID_WINDOW = 1024
+    """How many non-channel-shaped uids the fallback dedup window holds."""
+
     def __init__(
         self,
         initial_state: Any = None,
@@ -89,7 +93,15 @@ class WorldSet:
         """Worlds eliminated by predicate resolution."""
         self.duplicates_ignored = 0
         """Re-deliveries suppressed by message uid (at-least-once wire)."""
-        self._seen_uids: set = set()
+        # Uid memory is bounded: channel-stamped uids ("<src>-><dst>#<seq>")
+        # collapse into one contiguous floor per channel prefix plus the
+        # (small, transient) set of seqs seen ahead of it; uids with no
+        # parseable seq fall back to a sliding window of the most recent
+        # UID_WINDOW values.
+        self._uid_floors: Dict[str, int] = {}
+        self._uid_ahead: Dict[str, set] = {}
+        self._uid_window: Deque[str] = deque()
+        self._uid_window_set: set = set()
 
     # ------------------------------------------------------------------
 
@@ -113,6 +125,49 @@ class WorldSet:
                 f"expected exactly one live world, have {len(live)}"
             )
         return live[0]
+
+    # ------------------------------------------------------------------
+    # uid memory (bounded)
+
+    @staticmethod
+    def _parse_uid(uid: str) -> Optional[Tuple[str, int]]:
+        """Split a channel-stamped uid into (channel prefix, seq)."""
+        prefix, sep, tail = uid.rpartition("#")
+        if sep and tail.isdigit():
+            return prefix, int(tail)
+        return None
+
+    def _remember_uid(self, uid: str) -> bool:
+        """Record ``uid``; return True when it was already delivered.
+
+        Channel-stamped uids carry the per-channel sequence number, so
+        the memory for them is one contiguous floor per channel plus any
+        seqs seen ahead of a gap -- the channels deliver FIFO, so the
+        ahead-set is transiently small.  Unstructured uids use a bounded
+        sliding window instead (callers that mint their own uids and
+        live longer than :attr:`UID_WINDOW` deliveries must dedup
+        upstream).
+        """
+        parsed = self._parse_uid(uid)
+        if parsed is not None:
+            prefix, seq = parsed
+            floor = self._uid_floors.get(prefix, -1)
+            ahead = self._uid_ahead.setdefault(prefix, set())
+            if seq <= floor or seq in ahead:
+                return True
+            ahead.add(seq)
+            while floor + 1 in ahead:
+                floor += 1
+                ahead.discard(floor)
+            self._uid_floors[prefix] = floor
+            return False
+        if uid in self._uid_window_set:
+            return True
+        self._uid_window_set.add(uid)
+        self._uid_window.append(uid)
+        while len(self._uid_window) > self.UID_WINDOW:
+            self._uid_window_set.discard(self._uid_window.popleft())
+        return False
 
     # ------------------------------------------------------------------
     # the receive rule
@@ -148,7 +203,7 @@ class WorldSet:
         control = getattr(message, "control", None)
         uid = control.get("uid") if isinstance(control, dict) else None
         if uid is not None:
-            if uid in self._seen_uids:
+            if self._remember_uid(uid):
                 self.duplicates_ignored += 1
                 if tracer.enabled:
                     tracer.emit(
@@ -157,7 +212,6 @@ class WorldSet:
                         uid=uid,
                     )
                 return accepted
-            self._seen_uids.add(uid)
         if not effective.is_consistent():
             # The message's own assumptions are self-contradictory (e.g.
             # a sender predicted not to complete itself): it belongs to a

@@ -146,13 +146,151 @@ class TestEffectReleaseExactlyOnce:
         calls = []
         router, journal = self.journaled_router_with_effect(calls)
         router.report_status(3, True)
-        # Simulate the crash landing between effect execution's start and
-        # the paired row: the status-done record never made it down.
+        # Simulate the crash landing while the effect was still running:
+        # neither its effect-done marker nor the paired row made it down.
         dropped = journal.records.pop()
         assert dropped.op == "status-done"
+        dropped = journal.records.pop()
+        assert dropped.op == "effect-done"
         replay_calls = []
         journal.replay(self.factory_with_effect(replay_calls))
         assert replay_calls == ["fired"]    # completed once, not skipped
+
+    def test_crash_after_effect_done_does_not_rerun_the_effect(self):
+        """The crack the reviewer found: the crash lands *between* the
+        effect completing and the status-done row.  The per-effect
+        marker proves the effect ran; replay must not run it again."""
+        calls = []
+        router, journal = self.journaled_router_with_effect(calls)
+        router.report_status(3, True)
+        dropped = journal.records.pop()
+        assert dropped.op == "status-done"
+        assert journal.records[-1].op == "effect-done"
+        replay_calls = []
+        rebuilt = journal.replay(self.factory_with_effect(replay_calls))
+        assert replay_calls == []           # already down pre-crash
+        # ...and the rebuilt world still shows the release happened
+        assert rebuilt.worlds_of(2).sole_world().deferred_effects == []
+        assert rebuilt.worlds_of(2).sole_world().unconditional
+
+    def test_effect_send_rows_are_not_double_applied(self, monkeypatch):
+        """An effect that performs a router.send journals that send; if
+        the crash lands after the effect completed but before the
+        status-done row, replay must apply the send exactly once (the
+        journaled row replays; the effect is not re-run)."""
+        cell = {}
+        orig_init = MessageRouter.__init__
+
+        def tracking_init(self, *args, **kwargs):
+            orig_init(self, *args, **kwargs)
+            cell["router"] = self
+
+        monkeypatch.setattr(MessageRouter, "__init__", tracking_init)
+
+        def factory(pid):
+            worlds = (
+                WorldSet(FakeState(), predicate=Predicate.of(must=[3]))
+                if pid == 2
+                else WorldSet(FakeState())
+            )
+            if pid == 2:
+                worlds.sole_world().defer_effect(
+                    lambda: cell["router"].send(2, 9, "released")
+                )
+            return worlds
+
+        journal = RouterJournal()
+        router = MessageRouter(journal=journal)
+        router.register(2, factory(2))
+        router.register(9, factory(9))
+        router.report_status(3, True)
+        assert router._channel(2, 9).sent == 1
+        dropped = journal.records.pop()
+        assert dropped.op == "status-done"
+        rebuilt = journal.replay(factory)
+        # one send total: the replayed row, not the row plus a re-run
+        assert rebuilt._channel(2, 9).sent == 1
+
+    def test_rerun_effect_partial_rows_are_skipped(self, monkeypatch):
+        """The mirror case: the crash lands *inside* the effect, after
+        its send row went down but before its effect-done marker.
+        Replay re-executes the effect (which re-sends) and must drop the
+        pre-crash partial row, again ending at exactly one send."""
+        cell = {}
+        orig_init = MessageRouter.__init__
+
+        def tracking_init(self, *args, **kwargs):
+            orig_init(self, *args, **kwargs)
+            cell["router"] = self
+
+        monkeypatch.setattr(MessageRouter, "__init__", tracking_init)
+
+        def factory(pid):
+            worlds = (
+                WorldSet(FakeState(), predicate=Predicate.of(must=[3]))
+                if pid == 2
+                else WorldSet(FakeState())
+            )
+            if pid == 2:
+                worlds.sole_world().defer_effect(
+                    lambda: cell["router"].send(2, 9, "released")
+                )
+            return worlds
+
+        journal = RouterJournal()
+        router = MessageRouter(journal=journal)
+        router.register(2, factory(2))
+        router.register(9, factory(9))
+        router.report_status(3, True)
+        assert journal.records.pop().op == "status-done"
+        assert journal.records.pop().op == "effect-done"
+        assert journal.records[-1].op == "send"      # the partial row
+        rebuilt = journal.replay(factory)
+        assert rebuilt._channel(2, 9).sent == 1
+
+    def test_nested_status_pairing_survives_replay(self, monkeypatch):
+        """A released effect may itself report a status.  Pairing is by
+        unique status id, so the nested rows cannot shadow the outer
+        pair, and a nested release that completed pre-crash is not
+        re-executed when the interrupted outer effect re-runs."""
+        cell = {}
+        inner_fired = []
+        orig_init = MessageRouter.__init__
+
+        def tracking_init(self, *args, **kwargs):
+            orig_init(self, *args, **kwargs)
+            cell["router"] = self
+
+        monkeypatch.setattr(MessageRouter, "__init__", tracking_init)
+
+        def factory(pid):
+            if pid == 2:
+                worlds = WorldSet(FakeState(), predicate=Predicate.of(must=[3]))
+                worlds.sole_world().defer_effect(
+                    lambda: cell["router"].report_status(5, True)
+                )
+            else:
+                worlds = WorldSet(FakeState(), predicate=Predicate.of(must=[5]))
+                worlds.sole_world().defer_effect(
+                    lambda: inner_fired.append("inner")
+                )
+            return worlds
+
+        journal = RouterJournal()
+        router = MessageRouter(journal=journal)
+        router.register(2, factory(2))
+        router.register(7, factory(7))
+        router.report_status(3, True)
+        assert inner_fired == ["inner"]
+        # Crash before the *outer* effect-done/status-done rows land;
+        # the nested pair (and its effect-done) are already durable.
+        assert journal.records.pop().op == "status-done"
+        assert journal.records.pop().op == "effect-done"
+        rebuilt = journal.replay(factory)
+        # the nested release completed pre-crash: exactly once, ever
+        assert inner_fired == ["inner"]
+        assert rebuilt.known_status(5) is True
+        assert rebuilt.worlds_of(7).sole_world().unconditional
 
     def test_replay_of_replay_is_stable(self):
         calls = []

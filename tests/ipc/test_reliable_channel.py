@@ -3,7 +3,9 @@
 The default channel *assumes* section 3.1's reliable FIFO wire; the
 ``at_least_once`` mode earns the same contract from a wire that drops,
 duplicates, and reorders -- via acks, capped-backoff retransmission, and
-a receiver-side dedup window.
+receiver-side sliding-window reassembly (duplicates suppressed below a
+contiguous delivered floor, out-of-order arrivals held until the gap
+fills, far-ahead arrivals left unacked for a later retransmission).
 """
 
 import pytest
@@ -85,6 +87,23 @@ class TestLossyWire:
             with pytest.raises(ChannelError, match="unacknowledged"):
                 ch.pump()
 
+    def test_late_retransmission_is_never_mistaken_for_a_duplicate(self):
+        """Regression: seq 0's first copy drops and far more than
+        ``dedup_window`` fresher messages arrive before its
+        retransmission.  The old eviction-based dedup floor classified
+        the retransmission as a duplicate, acked it, and lost the
+        message forever; the delivered floor cannot, because it only
+        advances across messages actually surfaced."""
+        ch = channel()          # default window (64) << 100 messages
+        with injected(self.wire_drop_injector(times=1)):
+            for i in range(100):
+                ch.send(msg(i))
+            fresh = ch.pump()
+        assert [m.data for m in fresh] == list(range(100))
+        assert ch.delivered == 100
+        assert ch.unacked == 0
+        assert ch.held == 0
+
     def test_backoff_accrues_and_caps(self):
         ch = channel(
             max_attempts=8, backoff_base=0.001,
@@ -124,7 +143,7 @@ class TestDuplicationAndReordering:
         assert ch.duplicates_suppressed >= 1
         assert ch.delivered == 1
 
-    def test_reordered_wire_still_delivers_everything(self):
+    def test_reordered_wire_still_delivers_in_fifo_order(self):
         ch = channel()
         with injected(FaultInjector(seed=0).net_reorder(
             arms=["ch:1->2"], probability=0.5, times=None
@@ -132,12 +151,13 @@ class TestDuplicationAndReordering:
             for i in range(10):
                 ch.send(msg(i))
             fresh = ch.pump()
-        # order may differ; the set may not (no FIFO assertion here)
-        assert sorted(m.data for m in fresh) == list(range(10))
+        # reassembly holds out-of-order arrivals back: strict FIFO
+        assert [m.data for m in fresh] == list(range(10))
 
     def test_dedup_floor_outlives_the_window(self):
-        """Sequences evicted from the sliding window stay deduplicated
-        through the floor."""
+        """Re-deliveries of long-since-delivered sequences are still
+        recognized, however small the window: the delivered floor never
+        forgets."""
         ch = channel(dedup_window=2)
         with injected(FaultInjector(seed=0).net_drop(
             arms=["ack:1->2"], times=None

@@ -219,6 +219,38 @@ class TestDuplicateDelivery:
         inboxes = sorted(len(w.inbox) for w in worlds.live_worlds())
         assert inboxes == [0, 2]
 
+    def test_uid_memory_is_bounded_per_channel(self):
+        """Channel-stamped uids collapse into one contiguous floor per
+        channel prefix instead of an ever-growing set, while duplicates
+        of long-ago deliveries are still recognized."""
+        worlds = WorldSet(FakeState())
+        for i in range(2000):
+            worlds.receive(self.stamped(f"4->9#{i}", i), 4, Predicate.empty())
+        assert worlds._uid_floors["4->9"] == 1999
+        assert worlds._uid_ahead["4->9"] == set()
+        worlds.receive(self.stamped("4->9#0"), 4, Predicate.empty())
+        assert worlds.duplicates_ignored == 1
+
+    def test_out_of_order_uids_still_dedup_across_the_gap(self):
+        worlds = WorldSet(FakeState())
+        worlds.receive(self.stamped("4->9#5", "late"), 4, Predicate.empty())
+        worlds.receive(self.stamped("4->9#5", "late"), 4, Predicate.empty())
+        assert worlds.duplicates_ignored == 1
+        worlds.receive(self.stamped("4->9#0", "early"), 4, Predicate.empty())
+        assert worlds.duplicates_ignored == 1  # the gap-filler is fresh
+
+    def test_opaque_uids_use_a_bounded_window(self):
+        worlds = WorldSet(FakeState())
+        for i in range(WorldSet.UID_WINDOW + 10):
+            worlds.receive(self.stamped(f"opaque-{i}"), 4, Predicate.empty())
+        assert len(worlds._uid_window_set) == WorldSet.UID_WINDOW
+        worlds.receive(
+            self.stamped(f"opaque-{WorldSet.UID_WINDOW + 9}"),
+            4,
+            Predicate.empty(),
+        )
+        assert worlds.duplicates_ignored == 1
+
     def test_unstamped_messages_keep_old_behavior(self):
         worlds = WorldSet(FakeState())
         worlds.receive("bare", 4, Predicate.empty())
