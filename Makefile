@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: check test test-fast test-resilience test-chaos coverage bench-smoke bench
+.PHONY: check test test-fast test-resilience test-chaos test-check coverage bench-smoke bench
 
 ## check: what CI runs -- tier-1 tests plus a ~10s benchmark smoke.
 check: test bench-smoke
@@ -16,11 +16,12 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -q -m "not slow"
 
-## coverage: line coverage over src/repro, gated at 80% on the obs
-## subsystem (requires pytest-cov; CI installs it).
+## coverage: line coverage over src/repro, gated at 80% on the obs and
+## check subsystems (requires pytest-cov; CI installs it).
 coverage:
 	$(PYTHON) -m pytest tests/ -q --cov=repro --cov-report=term-missing
 	$(PYTHON) -m coverage report --include="*/repro/obs/*" --fail-under=80
+	$(PYTHON) -m coverage report --include="*/repro/check/*" --fail-under=80
 
 ## test-resilience: the fault-injection smoke CI runs per injector seed.
 ## Uses a hard per-test timeout when pytest-timeout is available (a hung
@@ -39,6 +40,20 @@ test-chaos:
 		tests/net/test_chaos.py tests/ipc/test_reliable_channel.py \
 		tests/ipc/test_journal.py -q \
 		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo "--timeout=120 --timeout-method=thread")
+
+## test-check: the schedule-exploration harness -- the checker's own
+## suite, then an explore pass over every canonical block (CI fans this
+## out as a strategy x seed matrix).  Uses a hard per-test timeout when
+## pytest-timeout is available (a hang here means a lost handoff in the
+## cooperative scheduler).
+CHECK_STRATEGY ?= random
+CHECK_SEED ?= 0
+CHECK_SCHEDULES ?= 50
+test-check:
+	$(PYTHON) -m pytest tests/check -q \
+		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo "--timeout=300 --timeout-method=thread")
+	$(PYTHON) -m repro check --all --strategy $(CHECK_STRATEGY) \
+		--seed $(CHECK_SEED) --schedules $(CHECK_SCHEDULES)
 
 bench-smoke:
 	$(PYTHON) benchmarks/bench_parallel_backends.py --quick

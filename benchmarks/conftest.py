@@ -9,11 +9,53 @@ survives pytest's capture.
 
 from __future__ import annotations
 
+import glob
+import json
 import os
 
 import pytest
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: The seed every pytest-driven bench records (the CLI entrypoints accept
+#: ``--seed`` and write it into the JSON; the pytest entries always use
+#: the default).
+PYTEST_BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def guard_against_stale_bench_seeds():
+    """Fail -- never skip -- when a committed ``BENCH_*.json`` was
+    recorded under a different ``--seed`` than this run will use.
+
+    The pytest bench entries overwrite the root-level JSON records in
+    place; silently clobbering a record someone produced with an explicit
+    ``--seed`` would replace their measurement with an incomparable one.
+    Make the mismatch loud instead and let the operator decide.
+    """
+    stale = []
+    for path in sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))):
+        try:
+            with open(path) as handle:
+                recorded = json.load(handle).get("seed")
+        except (OSError, ValueError) as exc:
+            pytest.fail(
+                f"unreadable benchmark record {os.path.basename(path)}: "
+                f"{exc} -- delete or regenerate it before benching",
+                pytrace=False,
+            )
+        if recorded is not None and recorded != PYTEST_BENCH_SEED:
+            stale.append(f"{os.path.basename(path)} (seed {recorded})")
+    if stale:
+        pytest.fail(
+            f"benchmark records {', '.join(stale)} were produced with a "
+            f"different --seed than this run's {PYTEST_BENCH_SEED}; "
+            "rerunning would overwrite them with incomparable numbers. "
+            "Regenerate them via the bench CLIs (or set REPRO_BENCH_SEED) "
+            "first.",
+            pytrace=False,
+        )
 
 
 @pytest.fixture(scope="session")

@@ -4,7 +4,8 @@ Prints the paper's section 4.2 table recomputed by the library, runs one
 illustrative race on the HP 9000/350 cost model, and points at the
 examples and benchmarks.  ``python -m repro trace <block>`` instead races
 one canonical block under a tracer and exports the trace (see
-:mod:`repro.obs.cli`).
+:mod:`repro.obs.cli`); ``python -m repro check <block>`` explores its
+schedule space under the model checker (see :mod:`repro.check.cli`).
 """
 
 from __future__ import annotations
@@ -22,6 +23,10 @@ def main(argv=None) -> int:
         from repro.obs.cli import trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "check":
+        from repro.check.cli import check_main
+
+        return check_main(argv[1:])
     print(
         f"repro {__version__} -- Smith & Maguire, 'Transparent Concurrent "
         "Execution of Mutually Exclusive Alternatives' (ICDCS 1989)"

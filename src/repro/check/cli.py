@@ -1,0 +1,193 @@
+"""``python -m repro check``: explore, replay, and shrink schedules.
+
+Examples::
+
+    python -m repro check --list
+    python -m repro check pure-winner --strategy pct --schedules 5000
+    python -m repro check nested-block --strategy dfs --schedules 2000
+    python -m repro check nested-block --replay witness.json
+    python -m repro check --chaos --seed 1
+    python -m repro check --all --strategy random --schedules 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.check.strategies import STRATEGIES
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro check",
+        description=(
+            "Schedule-exploring model checker: race one canonical block "
+            "on the virtual-time sim backend under a controlled "
+            "scheduler, judging every interleaving against the serial "
+            "reference and the trace invariants."
+        ),
+    )
+    parser.add_argument(
+        "block",
+        nargs="?",
+        help="canonical block name (see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the canonical blocks"
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        help="explore every canonical block instead of naming one",
+    )
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="random",
+        help="exploration strategy (default: random)",
+    )
+    parser.add_argument(
+        "--schedules",
+        type=int,
+        default=200,
+        help="schedule budget per block (default: 200)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="strategy seed (default: 0)"
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="replay a recorded schedule (JSON) instead of exploring",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the failing (shrunk) schedule as JSON here",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="keep the raw failing schedule (skip delta debugging)",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the PR 4 chaos scenario matrix in virtual time instead",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.obs.blocks import CANONICAL_BLOCKS
+
+    for block in CANONICAL_BLOCKS:
+        print(f"{block.name:28s} {block.description}")
+    return 0
+
+
+def _cmd_chaos(seed: int) -> int:
+    from repro.check.chaos import run_matrix
+
+    failures = 0
+    for run in run_matrix(seed=seed):
+        verdict = "FAIL" if run.failed else "ok"
+        print(
+            f"{run.scenario:20s} seed={run.seed} winner={run.winner!r} "
+            f"faults={len(run.schedule.faults)} {verdict}"
+        )
+        for problem in run.problems:
+            failures += 1
+            print(f"    {problem}")
+    return 1 if failures else 0
+
+
+def _cmd_replay(block: str, path: str) -> int:
+    from repro.check.explorer import replay
+    from repro.check.schedule import Schedule
+
+    with open(path, "r", encoding="utf-8") as handle:
+        schedule = Schedule.loads(handle.read())
+    result = replay(block, schedule)
+    print(
+        f"replayed {len(schedule)} decisions + {len(schedule.faults)} fault "
+        f"draws on {block!r}: winner={result.outcome.winner!r} "
+        f"error={result.outcome.error!r} steps={result.steps} "
+        f"clock={result.clock:.3f}"
+    )
+    if result.failed:
+        print("oracle problems:")
+        for problem in result.problems:
+            print(f"    {problem}")
+        return 1
+    print("oracle: schedule passes")
+    return 0
+
+
+def _explore_one(block: str, args) -> int:
+    from repro.check.explorer import explore
+
+    report = explore(
+        block,
+        strategy=args.strategy,
+        schedules=args.schedules,
+        seed=args.seed,
+        shrink_failures=not args.no_shrink,
+    )
+    status = (
+        "exhausted"
+        if report.exhausted
+        else ("failure found" if report.found_failure else "all passed")
+    )
+    print(
+        f"{block:28s} strategy={report.strategy} "
+        f"schedules={report.schedules_run} steps={report.steps_total} "
+        f"-> {status}"
+    )
+    if report.found_failure:
+        for problem in report.failure.problems:
+            print(f"    {problem}")
+        witness = report.shrunk or report.failure.schedule
+        print(
+            f"    witness: {len(witness)} decisions "
+            f"(raw {len(report.failure.schedule)})"
+        )
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(witness.dumps())
+            print(f"    schedule written to {args.out}")
+        return 1
+    return 0
+
+
+def check_main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        return _cmd_list()
+    if args.chaos:
+        return _cmd_chaos(args.seed)
+    if args.replay:
+        if not args.block:
+            print("--replay requires a block name", file=sys.stderr)
+            return 2
+        return _cmd_replay(args.block, args.replay)
+    if args.all:
+        from repro.obs.blocks import CANONICAL_BLOCKS
+
+        worst = 0
+        for block in CANONICAL_BLOCKS:
+            worst = max(worst, _explore_one(block.name, args))
+        return worst
+    if not args.block:
+        print(
+            "name a block (see --list), or pass --all / --chaos",
+            file=sys.stderr,
+        )
+        return 2
+    return _explore_one(args.block, args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(check_main())

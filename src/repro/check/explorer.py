@@ -1,0 +1,235 @@
+"""The exploration driver: run schedules, judge them, replay failures.
+
+One *run* = one race of a canonical block on :class:`SimBackend` under a
+fresh :class:`~repro.check.runtime.CheckController`, traced, recorded,
+and judged by the oracle.  :func:`explore` repeats runs under a strategy
+until a failure is found, the budget is spent, or (for DFS) the schedule
+space is exhausted; :func:`replay` re-executes a recorded schedule,
+forcing both the scheduling decisions and the fault-injector outcomes.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.check.oracle import normalize_events, verify_outcome
+from repro.check.runtime import CheckController, Scheduler, checking_session
+from repro.check.schedule import (
+    Schedule,
+    ScheduleDivergence,
+    ScheduleRecorder,
+)
+from repro.check.strategies import get_strategy
+
+
+class ReplayScheduler(Scheduler):
+    """Re-plays a recorded decision vector.
+
+    In strict mode any mismatch between the recorded enabled set (or
+    chosen activity) and the live one raises
+    :class:`~repro.check.schedule.ScheduleDivergence`; otherwise the
+    replay degrades to the deterministic first-enabled choice past the
+    point of divergence (that is what shrinking relies on: a *prefix* of
+    a recording plus a deterministic tail is still a complete schedule).
+    """
+
+    name = "replay"
+
+    def __init__(self, schedule: Schedule, strict: bool = True) -> None:
+        self.schedule = schedule
+        self.strict = strict
+        self.diverged_at: Optional[int] = None
+
+    def choose(self, step, clock, enabled, pending):
+        decisions = self.schedule.decisions
+        if step < len(decisions):
+            decision = decisions[step]
+            if decision.chosen in enabled:
+                if (
+                    self.strict
+                    and tuple(sorted(enabled)) != decision.enabled
+                ):
+                    raise ScheduleDivergence(
+                        f"step {step}: enabled set {sorted(enabled)} does "
+                        f"not match recording {list(decision.enabled)}"
+                    )
+                return decision.chosen
+            if self.strict:
+                raise ScheduleDivergence(
+                    f"step {step}: recorded choice {decision.chosen} not in "
+                    f"enabled set {sorted(enabled)}"
+                )
+        if self.diverged_at is None and step < len(decisions):
+            self.diverged_at = step
+        return enabled[0]
+
+
+@dataclass
+class RunResult:
+    """Everything observed about one checked run."""
+
+    outcome: Any
+    schedule: Schedule
+    problems: List[str] = field(default_factory=list)
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    steps: int = 0
+    clock: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.problems)
+
+    @property
+    def normalized_trace(self):
+        return normalize_events(self.outcome.trace)
+
+
+def run_block_once(
+    block_name: str,
+    scheduler: Optional[Scheduler] = None,
+    schedule: Optional[Schedule] = None,
+    strict: bool = False,
+    injector: Any = None,
+    verify: bool = True,
+) -> RunResult:
+    """Race ``block_name`` once on the sim backend under full control.
+
+    Pass ``scheduler`` to explore, or ``schedule`` to replay a recording
+    (its fault decisions are forced too).  The run is always recorded, so
+    the returned :class:`RunResult` carries a complete witness schedule
+    either way.
+    """
+    from repro.core.backends.sim import SimBackend
+    from repro.obs.blocks import get_block
+    from repro.obs.tracer import tracing
+    from repro.resilience.injector import injected
+
+    block = get_block(block_name)
+    forced_faults = None
+    if schedule is not None:
+        if scheduler is not None:
+            raise ValueError("pass either scheduler or schedule, not both")
+        scheduler = ReplayScheduler(schedule, strict=strict)
+        forced_faults = {
+            (f.point, f.key, f.call): f.rule for f in schedule.faults
+        }
+    recorder = ScheduleRecorder()
+    controller = CheckController(
+        scheduler=scheduler,
+        recorder=recorder,
+        forced_faults=forced_faults,
+        fault_strict=False,
+    )
+    backend = SimBackend()
+    fault_context = injected(injector) if injector is not None else nullcontext()
+    with checking_session(controller):
+        with fault_context:
+            with tracing():
+                outcome = block.run(backend)
+    recorded = recorder.snapshot(
+        block=block_name,
+        strategy=getattr(controller.scheduler, "name", "?"),
+        winner=outcome.winner,
+        error=outcome.error,
+    )
+    problems = (
+        verify_outcome(block_name, outcome, backend.last_violations)
+        if verify
+        else []
+    )
+    return RunResult(
+        outcome=outcome,
+        schedule=recorded,
+        problems=problems,
+        violations=list(backend.last_violations),
+        steps=controller.steps,
+        clock=controller.clock,
+    )
+
+
+def replay(
+    block_name: str,
+    schedule: Schedule,
+    strict: bool = False,
+    injector: Any = None,
+) -> RunResult:
+    """Re-execute a recorded schedule (see :class:`ReplayScheduler`)."""
+    return run_block_once(
+        block_name, schedule=schedule, strict=strict, injector=injector
+    )
+
+
+@dataclass
+class ExploreReport:
+    """The outcome of one exploration campaign."""
+
+    block: str
+    strategy: str
+    schedules_run: int = 0
+    steps_total: int = 0
+    exhausted: bool = False
+    failure: Optional[RunResult] = None
+    shrunk: Optional[Schedule] = None
+
+    @property
+    def found_failure(self) -> bool:
+        return self.failure is not None
+
+
+def explore(
+    block_name: str,
+    strategy: Any = "random",
+    schedules: int = 1000,
+    seed: int = 0,
+    injector_factory: Optional[Callable[[], Any]] = None,
+    stop_on_failure: bool = True,
+    shrink_failures: bool = True,
+    progress: Optional[Callable[[int, RunResult], None]] = None,
+) -> ExploreReport:
+    """Explore up to ``schedules`` interleavings of one canonical block.
+
+    ``strategy`` is a name (``random`` / ``pct`` / ``dfs``) or a
+    ready-made :class:`~repro.check.runtime.Scheduler`.  A fresh
+    injector is built per run via ``injector_factory`` when given (fault
+    decisions are recorded either way).  On failure the witness schedule
+    is delta-debugged to its shortest still-failing prefix unless
+    ``shrink_failures`` is off.
+    """
+    scheduler = (
+        get_strategy(strategy, seed=seed)
+        if isinstance(strategy, str)
+        else strategy
+    )
+    report = ExploreReport(block=block_name, strategy=scheduler.name)
+    for index in range(schedules):
+        injector = injector_factory() if injector_factory is not None else None
+        result = run_block_once(block_name, scheduler=scheduler, injector=injector)
+        report.schedules_run += 1
+        report.steps_total += result.steps
+        if progress is not None:
+            progress(index, result)
+        if result.failed and report.failure is None:
+            report.failure = result
+            if shrink_failures:
+                from repro.check.shrink import shrink
+
+                report.shrunk = shrink(
+                    result.schedule,
+                    lambda candidate: replay(
+                        block_name,
+                        candidate,
+                        injector=(
+                            injector_factory()
+                            if injector_factory is not None
+                            else None
+                        ),
+                    ).failed,
+                )
+            if stop_on_failure:
+                break
+        if not scheduler.end_run():
+            report.exhausted = getattr(scheduler, "exhausted", True)
+            break
+    return report

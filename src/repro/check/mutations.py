@@ -1,0 +1,40 @@
+"""Test-only mutations: deliberately re-introduced, historically real bugs.
+
+A model checker that has never caught anything proves nothing.  Each
+entry here re-arms one bug this repository actually shipped and fixed,
+behind a flag no production configuration sets; the mutation test suite
+asserts the explorer finds a failing schedule within a bounded budget.
+
+Current roster:
+
+- ``adopt-replace-dirty`` -- the PR 3 :meth:`PageTable.adopt` bug: the
+  commit swap *replaced* the parent table's dirty set with the child's
+  instead of unioning, so a nested block's commit laundered the outer
+  arm's earlier writes out of its shipback set.  Byte-invisible
+  in-process; detected by the sim backend's dirty-coverage invariant.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.check.schedule import CheckError
+
+MUTATIONS = ("adopt-replace-dirty",)
+
+
+@contextmanager
+def mutation(name: str) -> Iterator[None]:
+    """Arm one known mutation for the duration of the ``with`` block."""
+    if name not in MUTATIONS:
+        raise CheckError(
+            f"unknown mutation {name!r}; have: {', '.join(MUTATIONS)}"
+        )
+    from repro.pages import table as _table
+
+    _table._TEST_MUTATIONS.add(name)
+    try:
+        yield
+    finally:
+        _table._TEST_MUTATIONS.discard(name)

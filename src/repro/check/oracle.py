@@ -1,0 +1,147 @@
+"""The oracle: what makes an explored schedule *pass*.
+
+Re-uses PR 3's equivalence machinery.  Every schedule of a canonical
+block must match the serial reference on value / winner / error /
+variables and byte-identical parent space, and its trace must satisfy
+the invariants the cross-backend matrix enforces:
+
+- a won block has exactly one winner-commit, for an arm that never
+  failed a guard and never received an elimination;
+- a failed or timed-out block has no winner-commit at all;
+- every spawned arm reaches a terminal event;
+- no arm emits events after its elimination was delivered;
+- (from the sim backend) every page whose bytes changed is covered by
+  the dirty set -- the invariant page-bookkeeping bugs violate.
+
+Journal replay convergence -- the remaining invariant from the issue --
+only applies to distributed runs that own a router journal; it is
+checked by :mod:`repro.check.chaos` where one exists.
+
+The serial reference actually sleeps its arms on the wall clock, so it
+is computed once per block and cached for the whole exploration.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.obs import events as _ev
+
+#: TraceEvent attribute keys that are wall-clock noise even under the
+#: virtual-time backend (the event's own ``ts``/``pid`` fields likewise).
+VOLATILE_ATTRS = frozenset({"elapsed_seconds", "latency_seconds"})
+
+
+def normalize_events(trace: Any) -> Tuple[Tuple, ...]:
+    """A trace reduced to its deterministic skeleton.
+
+    Drops per-event wall timestamps and pids; keeps kind, block, arm,
+    name, and all attributes except the wall-clock ones.  Under the sim
+    backend two runs of the same schedule must produce *identical*
+    normalized sequences -- the replay-determinism acceptance criterion.
+    """
+    if trace is None:
+        return ()
+    normalized = []
+    for event in trace.events:
+        attrs = tuple(
+            sorted(
+                (key, repr(value))
+                for key, value in event.attrs.items()
+                if key not in VOLATILE_ATTRS
+            )
+        )
+        normalized.append((event.kind, event.block, event.arm, event.name, attrs))
+    return tuple(normalized)
+
+
+@lru_cache(maxsize=None)
+def serial_reference(block_name: str):
+    """The cached serial :class:`~repro.obs.blocks.BlockOutcome`."""
+    from repro.core.backends import get_backend
+    from repro.obs.blocks import get_block
+    from repro.obs.tracer import tracing
+
+    with tracing():
+        return get_block(block_name).run(get_backend("serial"))
+
+
+def _trace_invariant_problems(block: Any, outcome: Any) -> List[str]:
+    problems: List[str] = []
+    trace = outcome.trace
+    if trace is None:
+        return ["no trace captured (oracle requires a traced run)"]
+    commits = trace.winner_commits
+    if outcome.error is not None:
+        if commits:
+            problems.append(
+                f"block errored with {outcome.error} yet emitted "
+                f"{len(commits)} winner-commit event(s)"
+            )
+    else:
+        if len(commits) != 1:
+            problems.append(
+                f"expected exactly one winner-commit, saw {len(commits)}"
+            )
+        for commit in commits:
+            for event in trace.arm_events(commit.arm):
+                if event.kind == _ev.GUARD_EVAL and not event.attrs.get("held"):
+                    problems.append(
+                        f"winner {commit.name!r} committed after a failed "
+                        f"guard evaluation"
+                    )
+            if any(e.arm == commit.arm for e in trace.eliminations):
+                problems.append(
+                    f"winner {commit.name!r} received an elimination"
+                )
+    spawned = {e.arm for e in trace.of_kind(_ev.ARM_SPAWN)}
+    finished = {e.arm for e in trace.of_kind(_ev.ARM_FINISH)}
+    if not spawned <= finished:
+        problems.append(
+            f"arms {sorted(spawned - finished)} spawned but never finished"
+        )
+    # No events on an arm's behalf after its elimination was delivered.
+    eliminated: set = set()
+    for event in trace.events:
+        if event.arm is not None and event.arm in eliminated:
+            problems.append(
+                f"arm {event.arm} emitted {event.kind!r} after its "
+                "elimination was delivered"
+            )
+        if event.kind == _ev.LOSER_ELIMINATE and event.arm is not None:
+            eliminated.add(event.arm)
+    return problems
+
+
+def verify_outcome(
+    block_name: str,
+    outcome: Any,
+    violations: Iterable[Dict[str, Any]] = (),
+) -> List[str]:
+    """Every way this run deviates from the transparency contract.
+
+    Returns a list of human-readable problems; an empty list means the
+    schedule passed.  ``violations`` are backend-detected invariant
+    violations (the sim backend's dirty-coverage check).
+    """
+    from repro.obs.blocks import get_block
+
+    block = get_block(block_name)
+    reference = serial_reference(block_name)
+    problems: List[str] = []
+    for field in ("value", "winner", "error"):
+        got, want = getattr(outcome, field), getattr(reference, field)
+        if got != want:
+            problems.append(f"{field} diverges: {got!r} != serial {want!r}")
+    if outcome.variables != reference.variables:
+        problems.append(
+            f"variables diverge: {outcome.variables!r} != "
+            f"serial {reference.variables!r}"
+        )
+    if outcome.space_bytes != reference.space_bytes:
+        problems.append("parent address-space bytes diverge from serial")
+    problems.extend(_trace_invariant_problems(block, outcome))
+    for violation in violations:
+        problems.append(violation.get("detail") or repr(violation))
+    return problems

@@ -1,0 +1,425 @@
+"""The cooperative scheduling runtime behind :class:`SimBackend`.
+
+A :class:`CheckController` runs arm bodies in real threads but enforces a
+*strict handoff*: at any instant at most one activity thread is
+unblocked, and control returns to the controller at every yield point.
+Determinism then follows from the single-runner invariant -- given the
+same scheduler decisions and the same fault-injector answers, a run is
+bit-identical.
+
+Yield points throughout the library call the module-level helpers
+:func:`checkpoint` and :func:`virtual_sleep`.  When no controller is
+installed -- the overwhelmingly common case -- they are a single
+attribute read plus a ``None`` check, so instrumenting the hot paths
+costs effectively nothing.  When a controller *is* installed but the
+calling thread is not a registered activity (e.g. the executor's own
+thread performing page shipback), they are also no-ops: only arm
+threads park.
+
+Fault-injector draws are routed through :meth:`CheckController.on_fault_draw`
+via the observer hook in :mod:`repro.resilience.injector`; the controller
+records each draw's outcome and, during replay, forces the recorded
+outcome regardless of RNG state.  This is how the PR 4 chaos scenarios
+become schedule decisions: a run under the checker is fully described by
+its :class:`~repro.check.schedule.Schedule`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.check.schedule import CheckError, ScheduleRecorder
+
+Signature = Tuple[str, Optional[str]]
+
+FINISH: Signature = ("finish", None)
+"""Access marker for a segment that ends in arm termination.
+
+Termination decides the race (winner selection, token cancellation), so
+it conservatively conflicts with every other segment.
+"""
+
+START: Signature = ("start", None)
+
+_HANDOFF_TIMEOUT = 30.0
+"""Real-time guard: a handoff that takes this long means an activity
+blocked on something the virtual clock cannot see (a real lock, real
+I/O).  Raising beats hanging the whole exploration."""
+
+
+class _Activity:
+    """One arm body running as a cooperative activity."""
+
+    __slots__ = (
+        "index",
+        "name",
+        "thread",
+        "go",
+        "state",
+        "wake_at",
+        "token",
+        "pending",
+        "access",
+        "succeeded",
+        "error",
+    )
+
+    def __init__(self, index: int, name: str, token: Any = None) -> None:
+        self.index = index
+        self.name = name
+        self.thread: Optional[threading.Thread] = None
+        self.go = threading.Event()
+        self.state = "new"  # new -> runnable | sleeping -> finished
+        self.wake_at = 0.0
+        self.token = token
+        self.pending: Signature = START
+        self.access: Tuple[Signature, ...] = ()
+        self.succeeded = False
+        self.error: Optional[BaseException] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state == "finished"
+
+    def cancelled(self) -> bool:
+        token = self.token
+        return bool(token is not None and token.cancelled)
+
+
+class Scheduler:
+    """Strategy interface: pick which enabled activity runs next."""
+
+    name = "scheduler"
+
+    def begin_run(self) -> None:
+        """Called before each schedule; reset per-run state."""
+
+    def choose(
+        self,
+        step: int,
+        clock: float,
+        enabled: List[int],
+        pending: Dict[int, Signature],
+    ) -> int:
+        """Return the index (from ``enabled``) of the activity to run."""
+        raise NotImplementedError
+
+    def observe(self, step: int, chosen: int, access: Tuple[Signature, ...]) -> None:
+        """Called after the chosen segment executed, with its access set."""
+
+    def end_run(self) -> bool:
+        """Called after the run; return True when more schedules remain."""
+        return False
+
+
+class FirstEnabledScheduler(Scheduler):
+    """Deterministic default: always run the lowest-index enabled activity."""
+
+    name = "first"
+
+    def choose(self, step, clock, enabled, pending):
+        return enabled[0]
+
+
+class CheckController:
+    """Owns the virtual clock and the strict activity handoff."""
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        recorder: Optional[ScheduleRecorder] = None,
+        forced_faults: Optional[Dict[Tuple[str, str, int], Optional[int]]] = None,
+        fault_strict: bool = False,
+    ) -> None:
+        self.scheduler = scheduler if scheduler is not None else FirstEnabledScheduler()
+        self.recorder = recorder
+        self.clock = 0.0
+        self.steps = 0
+        self.timed_out = False
+        self.winner_index: Optional[int] = None
+        self._activities: Dict[int, _Activity] = {}
+        self._by_thread: Dict[int, _Activity] = {}
+        self._turn = threading.Event()
+        self._forced_faults = dict(forced_faults or {})
+        self._fault_strict = fault_strict
+        self._fault_mismatches: List[Tuple[str, str, int]] = []
+
+    # ------------------------------------------------------------------
+    # activity lifecycle
+
+    def spawn(
+        self,
+        index: int,
+        name: str,
+        runner: Callable[[], bool],
+        token: Any = None,
+    ) -> _Activity:
+        """Register and start (parked) an activity running ``runner``.
+
+        ``runner`` must be fully self-contained: catch every exception,
+        produce its own report, and return whether the arm succeeded.
+        """
+        act = _Activity(index, name, token=token)
+        thread = threading.Thread(
+            target=self._arm_main,
+            args=(act, runner),
+            name=f"check-arm-{index}",
+            daemon=True,
+        )
+        act.thread = thread
+        act.state = "runnable"
+        self._activities[index] = act
+        thread.start()
+        self._by_thread[thread.ident] = act
+        return act
+
+    def _arm_main(self, act: _Activity, runner: Callable[[], bool]) -> None:
+        act.go.wait()
+        act.go.clear()
+        try:
+            act.succeeded = bool(runner())
+        except BaseException as exc:  # runner contract violated; surface it
+            act.error = exc
+            act.succeeded = False
+        finally:
+            act.access = (act.pending, FINISH)
+            act.state = "finished"
+            self._turn.set()
+
+    # ------------------------------------------------------------------
+    # yield points (called from activity threads)
+
+    def _current(self) -> Optional[_Activity]:
+        return self._by_thread.get(threading.get_ident())
+
+    def _park(self, act: _Activity, state: str, wake_at: float, pending: Signature) -> None:
+        act.access = (act.pending,)
+        act.pending = pending
+        act.state = state
+        act.wake_at = wake_at
+        self._turn.set()
+        act.go.wait()
+        act.go.clear()
+
+    def checkpoint(self, kind: str, key: Optional[str] = None) -> bool:
+        """Yield at a named point; returns True when a handoff happened."""
+        act = self._current()
+        if act is None or act.finished:
+            return False
+        self._park(act, "runnable", self.clock, (kind, key))
+        return True
+
+    def sleep_for(self, seconds: float) -> bool:
+        """Virtual sleep; returns True when handled (always, for activities)."""
+        act = self._current()
+        if act is None or act.finished:
+            return False
+        self._park(act, "sleeping", self.clock + max(0.0, seconds), ("sleep", None))
+        return True
+
+    # ------------------------------------------------------------------
+    # fault decisions (called from any thread via the injector observer)
+
+    def on_fault_draw(
+        self, point: str, key: str, call: int, natural: Optional[int]
+    ) -> Optional[int]:
+        """Record one injector draw; force the recorded outcome on replay."""
+        coordinate = (point, key, call)
+        if coordinate in self._forced_faults:
+            effective = self._forced_faults[coordinate]
+            if effective != natural:
+                self._fault_mismatches.append(coordinate)
+                if self._fault_strict:
+                    from repro.check.schedule import ScheduleDivergence
+
+                    raise ScheduleDivergence(
+                        f"fault draw {coordinate} resolved to rule {natural!r} "
+                        f"but the schedule recorded {effective!r}"
+                    )
+        else:
+            effective = natural
+        if self.recorder is not None:
+            self.recorder.record_fault(point, key, call, effective)
+        return effective
+
+    # ------------------------------------------------------------------
+    # the drive loop (called from the backend thread)
+
+    def _enabled(self) -> List[int]:
+        enabled = []
+        for index in sorted(self._activities):
+            act = self._activities[index]
+            if act.finished:
+                continue
+            if act.state == "runnable":
+                enabled.append(index)
+            elif act.state == "sleeping":
+                if act.wake_at <= self.clock or act.cancelled():
+                    enabled.append(index)
+        return enabled
+
+    def _unfinished(self) -> List[_Activity]:
+        return [a for a in self._activities.values() if not a.finished]
+
+    def _resume(self, act: _Activity) -> None:
+        self._turn.clear()
+        act.go.set()
+        if not self._turn.wait(_HANDOFF_TIMEOUT):
+            raise CheckError(
+                f"activity {act.index} ({act.name}) failed to hand control "
+                f"back within {_HANDOFF_TIMEOUT}s -- it is blocked on "
+                "something the virtual clock cannot see"
+            )
+
+    def cancel_all(self, except_index: Optional[int] = None) -> None:
+        for act in self._activities.values():
+            if act.index == except_index:
+                continue
+            if act.token is not None:
+                act.token.cancel()
+
+    def run(self, timeout: Optional[float] = None) -> None:
+        """Drive every activity to completion under the scheduler.
+
+        Winner selection mirrors the real backends: the first activity to
+        finish successfully (in virtual time, before the virtual timeout)
+        becomes the winner and every other activity's cancellation token
+        is cancelled -- cancelled sleepers wake immediately, exactly like
+        ``token.wait`` returning early on the wall-clock backends.
+        """
+        while self._unfinished():
+            enabled = self._enabled()
+            if not enabled:
+                sleepers = [
+                    a for a in self._unfinished() if a.state == "sleeping"
+                ]
+                if not sleepers:
+                    stuck = ", ".join(
+                        f"{a.index}:{a.state}" for a in self._unfinished()
+                    )
+                    raise CheckError(f"scheduling deadlock; activities: {stuck}")
+                next_wake = min(a.wake_at for a in sleepers)
+                if (
+                    timeout is not None
+                    and self.winner_index is None
+                    and not self.timed_out
+                    and next_wake > timeout
+                ):
+                    # Nothing can finish before the deadline: the race
+                    # times out *now* in virtual time.
+                    self.timed_out = True
+                    self.clock = max(self.clock, timeout)
+                    self.cancel_all()
+                    continue
+                self.clock = max(self.clock, next_wake)
+                continue
+            pending = {
+                i: self._activities[i].pending for i in enabled
+            }
+            chosen = self.scheduler.choose(self.steps, self.clock, enabled, pending)
+            if chosen not in enabled:
+                raise CheckError(
+                    f"scheduler chose {chosen} outside enabled set {enabled}"
+                )
+            if self.recorder is not None:
+                self.recorder.record_step(self.clock, enabled, chosen)
+            self.steps += 1
+            act = self._activities[chosen]
+            self._resume(act)
+            self.scheduler.observe(self.steps - 1, chosen, act.access)
+            if (
+                act.finished
+                and act.succeeded
+                and self.winner_index is None
+                and not self.timed_out
+            ):
+                self.winner_index = act.index
+                self.cancel_all(except_index=act.index)
+        for act in self._activities.values():
+            if act.thread is not None:
+                act.thread.join(timeout=_HANDOFF_TIMEOUT)
+            if act.error is not None:
+                raise CheckError(
+                    f"activity {act.index} runner leaked an exception"
+                ) from act.error
+
+
+# ----------------------------------------------------------------------
+# module registry: the installed controller + instrumentation helpers
+
+_lock = threading.Lock()
+_controller: Optional[CheckController] = None
+
+
+def install(controller: CheckController) -> None:
+    """Make ``controller`` the process-wide active controller."""
+    global _controller
+    from repro.resilience import injector as _injector
+
+    with _lock:
+        if _controller is not None:
+            raise CheckError("a CheckController is already installed")
+        _controller = controller
+        _injector.set_draw_observer(controller.on_fault_draw)
+
+
+def uninstall(controller: Optional[CheckController] = None) -> None:
+    """Remove the active controller (idempotent)."""
+    global _controller
+    from repro.resilience import injector as _injector
+
+    with _lock:
+        if controller is not None and _controller is not controller:
+            return
+        _controller = None
+        _injector.set_draw_observer(None)
+
+
+def active() -> Optional[CheckController]:
+    """The installed controller, if any."""
+    return _controller
+
+
+def checking() -> bool:
+    """True when a controller is installed."""
+    return _controller is not None
+
+
+class checking_session:
+    """Context manager installing/uninstalling a controller."""
+
+    def __init__(self, controller: CheckController) -> None:
+        self.controller = controller
+
+    def __enter__(self) -> CheckController:
+        install(self.controller)
+        return self.controller
+
+    def __exit__(self, *exc_info: Any) -> None:
+        uninstall(self.controller)
+
+
+def checkpoint(kind: str, key: Optional[str] = None) -> bool:
+    """Site helper: yield to the controller if this thread is an activity.
+
+    Returns True when a handoff actually happened.  No-op (False) when no
+    controller is installed or the calling thread is not a registered
+    activity -- so library code may call it unconditionally.
+    """
+    controller = _controller
+    if controller is None:
+        return False
+    return controller.checkpoint(kind, key)
+
+
+def virtual_sleep(seconds: float) -> bool:
+    """Site helper: absorb a sleep into virtual time when checking.
+
+    Returns True when the sleep was handled virtually; callers fall back
+    to their wall-clock path on False.
+    """
+    controller = _controller
+    if controller is None:
+        return False
+    return controller.sleep_for(seconds)

@@ -1,0 +1,192 @@
+"""Schedules: the recorded decision vector of one checked run.
+
+A checked run makes two kinds of decisions:
+
+- **scheduling decisions** -- at every yield point exactly one runnable
+  activity is picked to continue (:class:`Decision`);
+- **fault decisions** -- every :meth:`FaultInjector.draw` consultation
+  either fires a rule or not (:class:`FaultDecision`).
+
+Recording both is sufficient to replay a run bit-identically: arm bodies
+are deterministic given their per-arm RNG seed, the virtual clock, the
+scheduler's choices, and the injector's answers.  A :class:`Schedule` is
+therefore a complete, serialisable witness for a failure -- small enough
+to paste into a bug report and replay with ``python -m repro check
+<block> --replay witness.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class CheckError(Exception):
+    """Base class for model-checker errors."""
+
+
+class ScheduleDivergence(CheckError):
+    """A replayed run's enabled set no longer matches the recording.
+
+    Raised when a schedule is replayed in *strict* mode against a program
+    whose behaviour changed (different code, different mutation flags,
+    different fault rules).  Non-strict replay degrades to a deterministic
+    fallback choice instead.
+    """
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One scheduling decision: which activity ran at a yield point.
+
+    ``enabled`` is the sorted tuple of runnable activity indices at the
+    moment of the decision; recording it lets replay detect divergence
+    instead of silently exploring a different interleaving.
+    """
+
+    step: int
+    clock: float
+    enabled: Tuple[int, ...]
+    chosen: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "step": self.step,
+            "clock": self.clock,
+            "enabled": list(self.enabled),
+            "chosen": self.chosen,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Decision":
+        return cls(
+            step=int(data["step"]),
+            clock=float(data["clock"]),
+            enabled=tuple(int(x) for x in data["enabled"]),
+            chosen=int(data["chosen"]),
+        )
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One fault-injector consultation and its outcome.
+
+    ``rule`` is the index of the rule that fired within the injector's
+    rule list, or ``None`` when no rule fired.  Keyed by the injector's
+    own ``(point, key, call#)`` coordinates so replay can *force* the same
+    outcome regardless of RNG state.
+    """
+
+    point: str
+    key: str
+    call: int
+    rule: Optional[int]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "point": self.point,
+            "key": self.key,
+            "call": self.call,
+            "rule": self.rule,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "FaultDecision":
+        rule = data.get("rule")
+        return cls(
+            point=str(data["point"]),
+            key=str(data["key"]),
+            call=int(data["call"]),
+            rule=None if rule is None else int(rule),
+        )
+
+
+@dataclass
+class Schedule:
+    """A complete recorded run: scheduling + fault decision vectors."""
+
+    decisions: List[Decision] = field(default_factory=list)
+    faults: List[FaultDecision] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    def prefix(self, length: int) -> "Schedule":
+        """The schedule truncated to its first ``length`` decisions.
+
+        Fault decisions are kept in full: they are keyed by call number,
+        so extra entries simply never match, while dropping them would
+        change fault behaviour independently of the scheduling prefix.
+        """
+        return Schedule(
+            decisions=list(self.decisions[:length]),
+            faults=list(self.faults),
+            meta=dict(self.meta),
+        )
+
+    # -- serialisation -------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "version": 1,
+            "meta": dict(self.meta),
+            "decisions": [d.to_json() for d in self.decisions],
+            "faults": [f.to_json() for f in self.faults],
+        }
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Schedule":
+        return cls(
+            decisions=[Decision.from_json(d) for d in data.get("decisions", [])],
+            faults=[FaultDecision.from_json(f) for f in data.get("faults", [])],
+            meta=dict(data.get("meta", {})),
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "Schedule":
+        return cls.from_json(json.loads(text))
+
+    # -- equality of the decision vectors (meta excluded) --------------
+
+    def same_decisions(self, other: "Schedule") -> bool:
+        return self.decisions == other.decisions and self.faults == other.faults
+
+
+class ScheduleRecorder:
+    """Accumulates the decision vector of the run in progress."""
+
+    def __init__(self) -> None:
+        self.decisions: List[Decision] = []
+        self.faults: List[FaultDecision] = []
+
+    def record_step(
+        self, clock: float, enabled: Sequence[int], chosen: int
+    ) -> None:
+        self.decisions.append(
+            Decision(
+                step=len(self.decisions),
+                clock=clock,
+                enabled=tuple(sorted(enabled)),
+                chosen=chosen,
+            )
+        )
+
+    def record_fault(
+        self, point: str, key: str, call: int, rule: Optional[int]
+    ) -> None:
+        self.faults.append(
+            FaultDecision(point=point, key=key, call=call, rule=rule)
+        )
+
+    def snapshot(self, **meta: Any) -> Schedule:
+        """Freeze the recording into an immutable-ish :class:`Schedule`."""
+        return Schedule(
+            decisions=list(self.decisions),
+            faults=list(self.faults),
+            meta=dict(meta),
+        )

@@ -1,0 +1,59 @@
+"""Delta-debugging a failing schedule to its shortest failing prefix.
+
+A replayed *prefix* of a recording plus the deterministic first-enabled
+tail is itself a complete schedule (see
+:class:`~repro.check.explorer.ReplayScheduler`), so minimisation over
+prefix length is sound: the search finds the shortest prefix whose
+deterministic completion still fails the oracle.  Failure is usually --
+but not provably -- monotone in prefix length, so a binary search result
+is verified and the search falls back to a bounded linear scan from the
+short end when monotonicity is violated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.check.schedule import Schedule
+
+Fails = Callable[[Schedule], bool]
+
+
+def shrink(schedule: Schedule, fails: Fails, budget: int = 200) -> Schedule:
+    """The shortest still-failing prefix of ``schedule``.
+
+    ``fails(candidate)`` replays a candidate schedule and reports whether
+    the failure reproduces; it is called at most ``budget`` times.  When
+    the full schedule does not reproduce (flaky failure), it is returned
+    unshrunk -- a witness that does not replay is a bug in itself and the
+    caller's determinism tests will say so louder.
+    """
+    evaluations = 0
+
+    def check(length: int) -> bool:
+        nonlocal evaluations
+        evaluations += 1
+        return bool(fails(schedule.prefix(length)))
+
+    total = len(schedule)
+    if total == 0 or not check(total):
+        return schedule
+    if check(0):
+        return schedule.prefix(0)
+    # Invariant: prefix(hi) fails, prefix(lo) passes.
+    lo, hi = 0, total
+    while lo + 1 < hi and evaluations < budget:
+        mid = (lo + hi) // 2
+        if check(mid):
+            hi = mid
+        else:
+            lo = mid
+    # Verify, then patch up non-monotone cases with a short linear scan.
+    if evaluations < budget and not check(hi):  # pragma: no cover - flaky
+        for length in range(total):
+            if evaluations >= budget:
+                break
+            if check(length):
+                return schedule.prefix(length)
+        return schedule
+    return schedule.prefix(hi)

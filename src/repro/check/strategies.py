@@ -1,0 +1,232 @@
+"""Exploration strategies: how the checker walks the schedule space.
+
+Three strategies, in increasing order of systematicness:
+
+- :class:`RandomWalkScheduler` -- uniform seeded choice at every yield
+  point.  Cheap, surprisingly effective, trivially parallelisable by
+  seed.
+- :class:`PCTScheduler` -- probabilistic concurrency testing (Burckhardt
+  et al.): random distinct priorities plus ``d - 1`` priority change
+  points gives a provable probability of hitting any bug of depth ``d``.
+- :class:`DFSScheduler` -- bounded-exhaustive depth-first enumeration of
+  schedules with a *sleep-set-lite* reduction: after a branch is fully
+  explored, its first step is put to sleep in sibling subtrees and only
+  woken by a conflicting segment.  Conflicts are judged on recorded
+  segment access signatures -- two yield points conflict when they name
+  the same ``(kind, key)`` resource or when either segment terminates an
+  arm (termination decides the race, so it conservatively conflicts with
+  everything).  Arms are COW-isolated by construction, which is what
+  makes this lightweight signature-level independence sound enough for a
+  test oracle; it is deliberately conservative in the FINISH direction
+  and deliberately approximate elsewhere, hence the "-lite".
+
+All strategies speak the :class:`~repro.check.runtime.Scheduler`
+interface and are deterministic given their seed, so any run they
+produce can be replayed from its recorded schedule alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.check.schedule import CheckError
+from repro.check.runtime import FINISH, Scheduler, Signature
+
+
+class RandomWalkScheduler(Scheduler):
+    """Uniform random choice among enabled activities, seeded."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._runs = 0
+        self._rng = random.Random(seed)
+
+    def begin_run(self) -> None:
+        # One independent, reproducible stream per run.
+        self._rng = random.Random(f"{self.seed}:{self._runs}")
+
+    def choose(self, step, clock, enabled, pending):
+        return self._rng.choice(enabled)
+
+    def end_run(self) -> bool:
+        self._runs += 1
+        return True
+
+
+class PCTScheduler(Scheduler):
+    """PCT-style priority scheduling with ``depth - 1`` change points.
+
+    Each run assigns every activity a random distinct priority and picks
+    ``depth - 1`` change points among the (estimated) run length; the
+    highest-priority enabled activity always runs, and at a change point
+    the running activity's priority drops below everyone else's.
+    """
+
+    name = "pct"
+
+    def __init__(self, seed: int = 0, depth: int = 3, horizon: int = 64) -> None:
+        if depth < 1:
+            raise CheckError("PCT depth must be >= 1")
+        self.seed = seed
+        self.depth = depth
+        self.horizon = max(1, horizon)
+        self._runs = 0
+        self._rng = random.Random(seed)
+        self._priorities: Dict[int, float] = {}
+        self._change_points: Set[int] = set()
+        self._floor = 0.0
+        self._longest = 0
+
+    def begin_run(self) -> None:
+        self._rng = random.Random(f"{self.seed}:{self._runs}")
+        self._priorities = {}
+        self._floor = 0.0
+        horizon = max(self.horizon, self._longest)
+        self._change_points = set(
+            self._rng.sample(range(horizon), min(self.depth - 1, horizon))
+        )
+
+    def _priority(self, index: int) -> float:
+        if index not in self._priorities:
+            # Random distinct base priorities; the index tiebreak keeps
+            # them distinct without a rejection loop.
+            self._priorities[index] = self._rng.random() + index * 1e-9
+        return self._priorities[index]
+
+    def choose(self, step, clock, enabled, pending):
+        chosen = max(enabled, key=self._priority)
+        if step in self._change_points:
+            self._floor -= 1.0
+            self._priorities[chosen] = self._floor
+        self._longest = max(self._longest, step + 1)
+        return chosen
+
+    def end_run(self) -> bool:
+        self._runs += 1
+        return True
+
+
+def _conflicts(sig: Signature, access: Tuple[Signature, ...]) -> bool:
+    """Does a pending operation conflict with an executed segment?"""
+    if FINISH in access:
+        return True
+    return any(sig == a and sig[1] is not None for a in access)
+
+
+class _Node:
+    """One decision point in the DFS schedule tree."""
+
+    __slots__ = ("tried", "children")
+
+    def __init__(self) -> None:
+        self.tried: Set[int] = set()
+        self.children: Dict[int, "_Node"] = {}
+
+    def child(self, choice: int) -> "_Node":
+        node = self.children.get(choice)
+        if node is None:
+            node = self.children[choice] = _Node()
+        return node
+
+
+class DFSScheduler(Scheduler):
+    """Bounded-exhaustive DFS over schedules with sleep-set-lite pruning.
+
+    The schedule tree persists across runs; each run replays the forced
+    prefix to the deepest node with an untried candidate, takes it, then
+    follows first-candidate choices to completion.  ``exhausted`` flips
+    once every reachable (non-slept) branch has been taken.
+    """
+
+    name = "dfs"
+
+    def __init__(self, max_depth: int = 256) -> None:
+        self.max_depth = max_depth
+        self.exhausted = False
+        self.runs = 0
+        self._root = _Node()
+        self._force: List[int] = []
+        # per-run state
+        self._cursor = self._root
+        self._sleep: Dict[int, Signature] = {}
+        self._trail: List[Tuple[_Node, List[int]]] = []
+        self._choices: List[int] = []
+
+    def begin_run(self) -> None:
+        self._cursor = self._root
+        self._sleep = {}
+        self._trail = []
+        self._choices = []
+
+    def choose(self, step, clock, enabled, pending):
+        node = self._cursor
+        candidates = [i for i in enabled if i not in self._sleep]
+        if not candidates:
+            # Sleep-set blocked: every enabled first-step is provably
+            # equivalent to an explored sibling.  The run must still
+            # complete for the oracle, so continue deterministically
+            # without opening a branch.
+            candidates = [enabled[0]]
+        if step < len(self._force):
+            choice = self._force[step]
+            if choice not in enabled:
+                raise CheckError(
+                    f"DFS prefix replay diverged at step {step}: forced "
+                    f"{choice}, enabled {enabled}"
+                )
+        else:
+            untried = [c for c in candidates if c not in node.tried]
+            choice = untried[0] if untried else candidates[0]
+        node.tried.add(choice)
+        if step >= self.max_depth:
+            raise CheckError(
+                f"DFS exceeded max_depth={self.max_depth}; raise the bound "
+                "or shrink the block"
+            )
+        # Fully-explored earlier siblings go to sleep in this subtree.
+        for sibling in candidates:
+            if sibling != choice and sibling in node.tried and sibling not in self._sleep:
+                self._sleep[sibling] = pending[sibling]
+        self._trail.append((node, candidates))
+        self._choices.append(choice)
+        self._cursor = node.child(choice)
+        return choice
+
+    def observe(self, step, chosen, access):
+        if self._sleep:
+            self._sleep = {
+                i: sig
+                for i, sig in self._sleep.items()
+                if not _conflicts(sig, access)
+            }
+
+    def end_run(self) -> bool:
+        self.runs += 1
+        # Find the deepest node along this run with an untried candidate.
+        for depth in range(len(self._trail) - 1, -1, -1):
+            node, candidates = self._trail[depth]
+            if any(c not in node.tried for c in candidates):
+                self._force = self._choices[:depth]
+                return True
+        self.exhausted = True
+        return False
+
+
+STRATEGIES = ("random", "pct", "dfs")
+
+
+def get_strategy(name: str, seed: int = 0, **kwargs) -> Scheduler:
+    """Build a scheduler by name (``random`` / ``pct`` / ``dfs``)."""
+    if name == "random":
+        return RandomWalkScheduler(seed=seed, **kwargs)
+    if name == "pct":
+        return PCTScheduler(seed=seed, **kwargs)
+    if name == "dfs":
+        kwargs.pop("seed", None)
+        return DFSScheduler(**kwargs)
+    raise CheckError(
+        f"unknown strategy {name!r}; expected one of {', '.join(STRATEGIES)}"
+    )

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Union
 
+from repro.check.runtime import virtual_sleep as _virtual_sleep
 from repro.errors import Eliminated, GuardFailure
 from repro.pages.address_space import AddressSpace
 from repro.sim.distributions import Distribution
@@ -128,9 +129,16 @@ class AltContext:
         """Sleep for ``seconds`` of real time, but wake (and raise
         :class:`~repro.errors.Eliminated`) as soon as elimination is
         delivered -- the cancellable way for a body to wait on real I/O
-        or model real work."""
+        or model real work.
+
+        Under the model checker the sleep is absorbed into virtual time
+        instead (and elimination delivery still wakes the arm early, via
+        the controller making cancelled sleepers immediately runnable)."""
         if seconds < 0:
             raise ValueError("cannot sleep negative time")
+        if _virtual_sleep(seconds):
+            self.check_eliminated()
+            return
         if self.token is None:
             time.sleep(seconds)
             return

@@ -12,9 +12,14 @@
 - :class:`ProcessBackend` -- bodies race in forked OS processes on the
   kernel's real copy-on-write memory (where ``os.fork`` exists), with
   SIGTERM-delivered cooperative cancellation and a SIGKILL backstop.
+- :class:`~repro.core.backends.sim.SimBackend` -- bodies run as
+  cooperative activities on a deterministic virtual clock under a
+  pluggable schedule (the ``repro.check`` model checker's backend);
+  same fastest-first semantics as the real parallel backends, but every
+  interleaving decision is recorded and replayable.
 
 Use :func:`get_backend` to construct one by name (``"serial"``,
-``"thread"``, ``"process"``).
+``"thread"``, ``"process"``, ``"sim"``).
 """
 
 from __future__ import annotations
@@ -33,7 +38,7 @@ from repro.core.backends.serial import SerialBackend
 from repro.core.backends.thread import ThreadBackend
 from repro.core.backends.process import ProcessBackend
 
-BACKENDS = ("serial", "thread", "process")
+BACKENDS = ("serial", "thread", "process", "sim")
 
 
 def get_backend(name: str, **kwargs) -> ExecutionBackend:
@@ -51,6 +56,12 @@ def get_backend(name: str, **kwargs) -> ExecutionBackend:
         return ThreadBackend(**kwargs)
     if normalized == "process":
         return ProcessBackend(**kwargs)
+    if normalized == "sim":
+        # Imported lazily: the checker's runtime is only needed when the
+        # simulated backend is actually requested.
+        from repro.core.backends.sim import SimBackend
+
+        return SimBackend(**kwargs)
     raise ValueError(
         f"unknown backend {name!r}; expected one of {', '.join(BACKENDS)}"
     )

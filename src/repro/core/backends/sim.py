@@ -1,0 +1,237 @@
+"""The simulated (schedule-controlled) execution backend.
+
+Runs every arm body as a cooperative activity on a
+:class:`~repro.check.runtime.CheckController`: real threads, but with a
+strict handoff so at most one is ever unblocked, every ``ctx.sleep``
+absorbed into virtual time, and every yield point routed through the
+controller's pluggable scheduler.  The race semantics mirror the real
+parallel backends exactly -- first success (in virtual time, before the
+virtual deadline) wins and every loser's cancellation token is cancelled
+-- which is why ``is_parallel`` is True and the executor drives it down
+the same fastest-first path as threads and processes.
+
+Determinism: given the same scheduler decisions and fault-injector
+answers, a race is bit-identical, including every trace event's virtual
+timings.  That is the property ``repro.check`` explores and replays.
+
+The backend also checks a *dirty-coverage* invariant the wall-clock
+backends cannot observe cheaply: at arm finish, every page whose bytes
+changed since spawn must be present in the arm space's dirty set.  Page
+bookkeeping bugs (like the PR 3 ``PageTable.adopt`` union bug) corrupt
+the dirty set without corrupting bytes in-process, so this is the
+checker's detection channel for them; violations are collected on
+:attr:`SimBackend.last_violations`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.core.backends.base import (
+    ArmReport,
+    ArmTask,
+    BackendRace,
+    ExecutionBackend,
+)
+from repro.errors import Eliminated, FaultInjected
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
+from repro.resilience.injector import active as _active_injector
+
+
+def _space_of(task: ArmTask) -> Optional[Any]:
+    context = task.context
+    return getattr(context, "space", None) if context is not None else None
+
+
+def _snapshot_pages(space: Any) -> Optional[List[bytes]]:
+    try:
+        num_pages = space.num_pages
+        page_size = space.page_size
+        return [
+            bytes(space.read(vpn * page_size, page_size))
+            for vpn in range(num_pages)
+        ]
+    except Exception:
+        return None
+
+
+class SimBackend(ExecutionBackend):
+    """Race arms under a deterministic, schedule-controlled virtual clock."""
+
+    name = "sim"
+    is_parallel = True
+
+    def __init__(self, scheduler: Any = None, recorder: Any = None) -> None:
+        self.scheduler = scheduler
+        self.recorder = recorder
+        self.last_controller: Any = None
+        self.last_violations: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+
+    def terminate_arm(self, index: int, hard: bool = False) -> bool:
+        controller = self.last_controller
+        if controller is None:
+            return False
+        act = controller._activities.get(index)
+        if act is None or act.token is None:
+            return False
+        act.token.cancel()
+        return True
+
+    # ------------------------------------------------------------------
+
+    def _check_dirty_coverage(
+        self, task: ArmTask, before: Optional[List[bytes]]
+    ) -> None:
+        """Changed-bytes-are-tracked invariant for one finishing arm."""
+        space = _space_of(task)
+        if space is None or before is None:
+            return
+        try:
+            dirty = set(space.table.dirty_pages)
+            page_size = space.page_size
+            missing = []
+            for vpn, old in enumerate(before):
+                new = bytes(space.read(vpn * page_size, page_size))
+                if new != old and vpn not in dirty:
+                    missing.append(vpn)
+        except Exception:
+            return
+        if missing:
+            self.last_violations.append(
+                {
+                    "invariant": "dirty-coverage",
+                    "arm": task.index,
+                    "name": task.name,
+                    "pages": missing,
+                    "detail": (
+                        f"arm {task.index} ({task.name}) changed pages "
+                        f"{missing} whose vpns are absent from the dirty "
+                        "set -- a winner merge would lose these writes"
+                    ),
+                }
+            )
+
+    def _make_runner(self, task: ArmTask, controller, reports, events):
+        from repro.check import runtime as _rt
+
+        space = _space_of(task)
+        before = _snapshot_pages(space) if space is not None else None
+
+        def runner() -> bool:
+            began = controller.clock
+            abnormal = False
+            try:
+                injector = _active_injector()
+                if injector is not None:
+                    if injector.draw("arm-sigkill", task.index) is not None:
+                        raise FaultInjected(
+                            "simulated abrupt death (arm-sigkill, sim)"
+                        )
+                    hang = injector.draw("arm-hang", task.index)
+                    if hang is not None:
+                        if not _rt.virtual_sleep(hang.duration):
+                            time.sleep(hang.duration)  # pragma: no cover
+                        raise FaultInjected(
+                            "hung arm woke after its injected stall"
+                        )
+                    injector.fire_or_raise("arm-raise", task.index)
+                succeeded, value, detail = task.run()
+                cancelled = False
+            except Eliminated as exc:
+                succeeded, value, detail, cancelled = False, None, str(exc), True
+            except Exception as exc:
+                succeeded, value, detail, cancelled = False, None, repr(exc), False
+                abnormal = True
+            finished = controller.clock
+            self._check_dirty_coverage(task, before)
+            reports[task.index] = ArmReport(
+                index=task.index,
+                name=task.name,
+                succeeded=succeeded,
+                value=value,
+                detail=detail,
+                cancelled=cancelled,
+                abnormal=abnormal,
+                started_at=began,
+                finished_at=finished,
+                work_seconds=finished - began,
+            )
+            tracer = _active_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.ARM_FINISH,
+                    block=getattr(task.context, "trace_block", None),
+                    arm=task.index,
+                    name=task.name,
+                    backend=self.name,
+                    succeeded=succeeded,
+                    cancelled=cancelled,
+                    abnormal=abnormal,
+                    work_seconds=finished - began,
+                    detail=detail,
+                )
+            events.append(
+                (
+                    finished,
+                    f"{task.name} "
+                    + ("synchronizes" if succeeded else f"aborts: {detail}"),
+                )
+            )
+            return succeeded
+
+        return runner
+
+    # ------------------------------------------------------------------
+
+    def run_arms(
+        self, tasks: List[ArmTask], timeout: Optional[float] = None
+    ) -> BackendRace:
+        from repro.check import runtime as _rt
+
+        controller = _rt.active()
+        owns_controller = controller is None
+        if owns_controller:
+            controller = _rt.CheckController(
+                scheduler=self.scheduler, recorder=self.recorder
+            )
+            _rt.install(controller)
+        self.last_controller = controller
+        self.last_violations = []
+        reports: Dict[int, ArmReport] = {}
+        events: List[Any] = []
+        try:
+            controller.scheduler.begin_run()
+            for task in tasks:
+                token = getattr(task.context, "token", None)
+                controller.spawn(
+                    task.index,
+                    task.name,
+                    self._make_runner(task, controller, reports, events),
+                    token=token,
+                )
+            controller.run(timeout=timeout)
+        finally:
+            if owns_controller:
+                _rt.uninstall(controller)
+        winner_index = controller.winner_index
+        report_list = [reports[t.index] for t in tasks if t.index in reports]
+        winner_finish = (
+            reports[winner_index].finished_at
+            if winner_index is not None and winner_index in reports
+            else None
+        )
+        return BackendRace(
+            backend=self.name,
+            reports=report_list,
+            winner_index=winner_index,
+            elapsed=(
+                winner_finish if winner_finish is not None else controller.clock
+            ),
+            total_seconds=controller.clock,
+            timed_out=controller.timed_out and winner_index is None,
+            events=sorted(events, key=lambda pair: pair[0]),
+        )

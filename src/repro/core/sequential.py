@@ -25,6 +25,10 @@ from typing import List, Optional, Sequence
 
 import time as _time
 
+from repro.check.runtime import (
+    checkpoint as _checkpoint,
+    virtual_sleep as _virtual_sleep,
+)
 from repro.core.alternative import AltContext, Alternative
 from repro.core.result import AltOutcome, AltResult, OverheadBreakdown
 from repro.core.selection import RandomPolicy, SelectionPolicy
@@ -148,6 +152,8 @@ def _stall_guard(context: AltContext) -> None:
     arm = context.alt_index - 1 if context.alt_index else None
     rule = injector.draw("slow-guard", arm)
     if rule is not None:
+        if _virtual_sleep(rule.duration):
+            return
         _time.sleep(rule.duration)
 
 
@@ -167,7 +173,9 @@ def _trace_guard_eval(context: AltContext, which: str, held: bool) -> None:
 
 def _run_body(alternative: Alternative, context: AltContext):
     """Run body + guards; return (succeeded, value, detail)."""
+    arm_key = str(context.alt_index - 1 if context.alt_index else None)
     if alternative.pre_guard is not None:
+        _checkpoint("guard-eval", arm_key)
         _stall_guard(context)
         try:
             held = bool(alternative.pre_guard(context))
@@ -182,6 +190,7 @@ def _run_body(alternative: Alternative, context: AltContext):
     except GuardFailure as exc:
         return False, None, str(exc)
     if alternative.guard is not None:
+        _checkpoint("guard-eval", arm_key)
         _stall_guard(context)
         try:
             held = bool(alternative.guard(context, value))

@@ -34,6 +34,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
+from repro.check.runtime import checkpoint as _checkpoint
 from repro.errors import ChannelError
 from repro.ipc.message import Message
 from repro.resilience.injector import active as _active_injector
@@ -144,6 +145,7 @@ class Channel:
                 f"message {message.sender}->{message.dest} does not belong "
                 f"on channel {self.sender}->{self.dest}"
             )
+        _checkpoint("chan-send", f"{self.sender}->{self.dest}")
         seq = self._next_seq
         control = dict(message.control)
         control.setdefault("uid", f"{self.sender}->{self.dest}#{seq}")
@@ -171,6 +173,7 @@ class Channel:
         out-of-order arrival is held back until the sequence numbers
         below it have all been delivered (FIFO reassembly).
         """
+        _checkpoint("chan-recv", f"{self.sender}->{self.dest}")
         if not self.at_least_once:
             if not self._queue:
                 return None

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.check.runtime import checkpoint as _checkpoint
 from repro.obs import events as _ev
 from repro.obs.tracer import active as _active_tracer
 
@@ -81,6 +82,7 @@ class Lease:
 
     def renew(self, at: float) -> None:
         """A heartbeat arrived at simulated instant ``at``."""
+        _checkpoint("lease-renew", f"{self.worker}:{self.arm}")
         self._require_active("renew")
         if at > self.last_renewal:
             self.last_renewal = at

@@ -23,6 +23,7 @@ from __future__ import annotations
 import pickle
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
+from repro.check.runtime import checkpoint as _check_checkpoint
 from repro.errors import PageApplyError, PageFault
 from repro.obs import events as _ev
 from repro.obs.tracer import active as _active_tracer
@@ -266,6 +267,7 @@ class AddressSpace:
         :class:`~repro.errors.PageApplyError` and leaves the space
         untouched, so a failed shipback can never half-apply a winner.
         """
+        _check_checkpoint("page-shipback", None)
         injector = _active_injector()
         if injector is not None and injector.draw("page-apply-fail") is not None:
             raise PageApplyError(

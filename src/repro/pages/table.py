@@ -21,6 +21,11 @@ from repro.errors import PageFault
 from repro.pages.page import patch_page
 from repro.pages.store import PageStore
 
+_TEST_MUTATIONS: set = set()
+"""Names of deliberately re-introduced bugs, armed only by the model
+checker's mutation harness (:mod:`repro.check.mutations`).  Empty in any
+production configuration."""
+
 
 class PageTable:
     """A virtual-to-physical page map with COW semantics."""
@@ -181,7 +186,14 @@ class PageTable:
         for frame in self._entries.values():
             self.store.decref(frame)
         self._entries = other._entries
-        self._dirty = self._dirty | other._dirty
+        if "adopt-replace-dirty" in _TEST_MUTATIONS:
+            # Test-only regression seed: the pre-fix behaviour that
+            # *replaced* the dirty set, laundering the outer arm's earlier
+            # writes out of its shipback set.  Enabled solely by the model
+            # checker's mutation harness to prove it detects this bug.
+            self._dirty = set(other._dirty)
+        else:
+            self._dirty = self._dirty | other._dirty
         other._entries = {}
         other._dirty = set()
 

@@ -18,6 +18,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.check.runtime import checkpoint as _check_checkpoint
 from repro.errors import PredicateConflict, SideEffectViolation
 from repro.obs import events as _ev
 from repro.obs.tracer import active as _active_tracer
@@ -196,12 +197,13 @@ class WorldSet:
         """
         accepted: List[World] = []
         tracer = _active_tracer()
+        control = getattr(message, "control", None)
+        uid = control.get("uid") if isinstance(control, dict) else None
+        _check_checkpoint("world-receive", uid)
         # At-least-once delivery makes re-receipt possible; processing a
         # re-delivered split-inducing message again would fork a third
         # world out of thin air.  Messages stamped with a uid (every
         # channel-carried message) are therefore idempotent here.
-        control = getattr(message, "control", None)
-        uid = control.get("uid") if isinstance(control, dict) else None
         if uid is not None:
             if self._remember_uid(uid):
                 self.duplicates_ignored += 1

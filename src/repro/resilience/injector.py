@@ -169,6 +169,12 @@ class FaultInjector:
         Returns the matching :class:`FaultRule` when the fault fires this
         call, ``None`` otherwise.  Thread-safe; counters are per
         ``(point, arm)``.
+
+        When a draw observer is installed (the model checker's recording
+        and replay hook, see :func:`set_draw_observer`), the naturally
+        selected rule index is reported to it and the observer's answer
+        becomes the effective outcome -- this is how a recorded schedule
+        forces the same fault decisions regardless of RNG state.
         """
         if point not in FAULT_POINTS:
             raise ValueError(f"unknown fault point {point!r}")
@@ -176,6 +182,7 @@ class FaultInjector:
             key = (point, arm)
             call = self._calls.get(key, 0) + 1
             self._calls[key] = call
+            natural: Optional[int] = None
             for rule_id, rule in enumerate(self.rules):
                 if rule.point != point or not rule.matches_arm(arm):
                     continue
@@ -187,10 +194,21 @@ class FaultInjector:
                 if rule.probability < 1.0:
                     if self._rng_for(point, arm, call).random() >= rule.probability:
                         continue
-                fired[arm] = fired.get(arm, 0) + 1
-                self.log.append((point, arm, call))
-                return rule
-        return None
+                natural = rule_id
+                break
+            effective = natural
+            observer = _draw_observer
+            if observer is not None:
+                effective = observer(point, str(arm), call, natural)
+                if effective is not None and not 0 <= effective < len(self.rules):
+                    effective = natural
+            if effective is None:
+                return None
+            chosen = self.rules[effective]
+            fired = self._fired_count.setdefault(effective, {})
+            fired[arm] = fired.get(arm, 0) + 1
+            self.log.append((point, arm, call))
+            return chosen
 
     def fire_or_raise(self, point: str, arm=None) -> None:
         """Draw ``point``; raise :class:`~repro.errors.FaultInjected` on fire."""
@@ -218,6 +236,23 @@ class FaultInjector:
 _registry_lock = threading.Lock()
 _active: Optional[FaultInjector] = None
 _suppressed = 0
+_draw_observer = None
+
+
+def set_draw_observer(observer) -> None:
+    """Install (or clear, with ``None``) the process-wide draw observer.
+
+    The observer is called as ``observer(point, key, call, natural)``
+    under the injector's lock, where ``natural`` is the rule index that
+    would fire this draw (``None`` for a clean draw); its return value
+    replaces ``natural`` as the effective outcome.  Used by
+    ``repro.check`` to record every fault decision and to force recorded
+    decisions during replay.  Must be fast and must not re-enter the
+    injector.
+    """
+    global _draw_observer
+    with _registry_lock:
+        _draw_observer = observer
 
 
 def install(injector: FaultInjector) -> None:

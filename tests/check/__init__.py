@@ -1,0 +1,1 @@
+"""Tests for the schedule-exploring model checker (``repro.check``)."""

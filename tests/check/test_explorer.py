@@ -1,0 +1,155 @@
+"""Exploration, replay determinism (the acceptance gate), and shrinking."""
+
+import pytest
+
+from repro.check.explorer import ExploreReport, explore, replay, run_block_once
+from repro.check.schedule import (
+    Decision,
+    Schedule,
+    ScheduleDivergence,
+)
+from repro.check.shrink import shrink
+from repro.check.strategies import RandomWalkScheduler
+
+
+class TestReplayDeterminism:
+    """Acceptance criterion: a recorded schedule replays bit-identically."""
+
+    def test_recorded_random_walk_replays_identically(self):
+        recorded = run_block_once(
+            "nested-block", scheduler=RandomWalkScheduler(seed=11)
+        )
+        first = replay("nested-block", recorded.schedule, strict=True)
+        second = replay("nested-block", recorded.schedule, strict=True)
+        assert first.schedule.same_decisions(recorded.schedule)
+        assert second.schedule.same_decisions(recorded.schedule)
+        assert first.normalized_trace == second.normalized_trace
+        assert first.normalized_trace == recorded.normalized_trace
+        assert first.outcome.space_bytes == recorded.outcome.space_bytes
+        assert first.outcome.key == recorded.outcome.key
+
+    def test_replay_round_trips_through_json(self):
+        recorded = run_block_once(
+            "pure-winner", scheduler=RandomWalkScheduler(seed=3)
+        )
+        wire = Schedule.loads(recorded.schedule.dumps())
+        again = replay("pure-winner", wire, strict=True)
+        assert again.outcome.winner == recorded.outcome.winner
+        assert again.schedule.same_decisions(recorded.schedule)
+
+    def test_strict_replay_detects_tampering(self):
+        recorded = run_block_once(
+            "pure-winner", scheduler=RandomWalkScheduler(seed=3)
+        )
+        bent = Schedule(
+            decisions=[
+                Decision(
+                    step=d.step,
+                    clock=d.clock,
+                    enabled=d.enabled + (99,),  # an activity that never was
+                    chosen=d.chosen,
+                )
+                for d in recorded.schedule.decisions
+            ],
+            faults=list(recorded.schedule.faults),
+        )
+        with pytest.raises(ScheduleDivergence):
+            replay("pure-winner", bent, strict=True)
+
+    def test_lax_replay_degrades_to_deterministic_tail(self):
+        recorded = run_block_once(
+            "pure-winner", scheduler=RandomWalkScheduler(seed=3)
+        )
+        # A prefix is not a full recording; the lax tail must still
+        # complete the run and pass the oracle.
+        result = replay(
+            "pure-winner", recorded.schedule.prefix(2), strict=False
+        )
+        assert not result.failed
+        assert result.outcome.winner == "fast"
+
+
+class TestRunOnce:
+    def test_scheduler_and_schedule_are_exclusive(self):
+        recorded = run_block_once("pure-winner")
+        with pytest.raises(ValueError):
+            run_block_once(
+                "pure-winner",
+                scheduler=RandomWalkScheduler(),
+                schedule=recorded.schedule,
+            )
+
+    def test_oracle_can_be_skipped(self):
+        result = run_block_once("pure-winner", verify=False)
+        assert result.problems == []
+        assert result.outcome.winner == "fast"
+
+
+class TestExplore:
+    def test_random_campaign_passes_the_corpus_block(self):
+        report = explore("pure-winner", strategy="random", schedules=5, seed=1)
+        assert isinstance(report, ExploreReport)
+        assert report.schedules_run == 5
+        assert not report.found_failure
+        assert report.steps_total > 0
+
+    def test_dfs_exhausts_a_small_block(self):
+        report = explore("pure-winner", strategy="dfs", schedules=500)
+        assert report.exhausted
+        assert not report.found_failure
+        assert 1 < report.schedules_run < 500
+
+    def test_progress_callback_sees_every_run(self):
+        seen = []
+        explore(
+            "single-arm",
+            strategy="random",
+            schedules=3,
+            progress=lambda index, result: seen.append(index),
+        )
+        assert seen == [0, 1, 2]
+
+
+class FakeFails:
+    """A predicate over schedules: fails iff len >= threshold."""
+
+    def __init__(self, threshold):
+        self.threshold = threshold
+        self.calls = 0
+
+    def __call__(self, schedule):
+        self.calls += 1
+        return len(schedule) >= self.threshold
+
+
+def make_long_schedule(length):
+    return Schedule(
+        decisions=[
+            Decision(step=i, clock=0.0, enabled=(0, 1), chosen=0)
+            for i in range(length)
+        ]
+    )
+
+
+class TestShrink:
+    def test_finds_the_minimal_failing_prefix(self):
+        full = make_long_schedule(64)
+        fails = FakeFails(threshold=17)
+        small = shrink(full, fails)
+        assert len(small) == 17
+        assert fails(small)
+        assert not fails(small.prefix(16))
+
+    def test_budget_is_respected(self):
+        fails = FakeFails(threshold=40)
+        shrink(make_long_schedule(256), fails, budget=10)
+        assert fails.calls <= 11  # budget draws + the final verification
+
+    def test_non_reproducing_failure_returns_unshrunk(self):
+        full = make_long_schedule(8)
+        small = shrink(full, lambda s: False)
+        assert len(small) == len(full)
+
+    def test_empty_prefix_failure_shrinks_to_nothing(self):
+        small = shrink(make_long_schedule(8), lambda s: True)
+        assert len(small) == 0

@@ -1,0 +1,63 @@
+"""Mutation adequacy: the checker must re-find a real, shipped-and-fixed bug.
+
+The ``adopt-replace-dirty`` mutation re-introduces the PR 3
+:meth:`PageTable.adopt` bug (dirty-set replace instead of union).  The
+acceptance gate from ISSUE.md: bounded DFS finds a failing schedule
+within 5000 schedules and the shrunk witness is at most 25 decisions.
+"""
+
+import pytest
+
+from repro.check.explorer import explore, replay
+from repro.check.mutations import MUTATIONS, mutation
+from repro.check.schedule import CheckError
+
+
+def test_unknown_mutation_is_rejected():
+    with pytest.raises(CheckError, match="unknown mutation"):
+        with mutation("definitely-not-a-bug"):
+            pass
+
+
+def test_mutation_flag_is_scoped_to_the_context():
+    from repro.pages import table
+
+    assert "adopt-replace-dirty" not in table._TEST_MUTATIONS
+    with mutation("adopt-replace-dirty"):
+        assert "adopt-replace-dirty" in table._TEST_MUTATIONS
+    assert "adopt-replace-dirty" not in table._TEST_MUTATIONS
+
+
+class TestAdoptReplaceDirty:
+    def test_dfs_finds_the_bug_within_budget(self):
+        assert "adopt-replace-dirty" in MUTATIONS
+        with mutation("adopt-replace-dirty"):
+            report = explore(
+                "nested-block", strategy="dfs", schedules=5000
+            )
+        assert report.found_failure, "DFS never caught the adopt bug"
+        assert report.schedules_run <= 5000
+        # The failure channel is the sim backend's dirty-coverage
+        # invariant: the outer arm's pre-block raw write vanished from
+        # the shipback set.
+        assert any("dirty" in p for p in report.failure.problems)
+        assert report.shrunk is not None
+        assert len(report.shrunk) <= 25
+
+    def test_shrunk_witness_replays_the_failure(self):
+        with mutation("adopt-replace-dirty"):
+            report = explore(
+                "nested-block", strategy="dfs", schedules=5000
+            )
+            assert report.shrunk is not None
+            again = replay("nested-block", report.shrunk)
+        assert again.failed
+
+    def test_witness_passes_once_the_bug_is_fixed(self):
+        with mutation("adopt-replace-dirty"):
+            report = explore(
+                "nested-block", strategy="dfs", schedules=5000
+            )
+        witness = report.shrunk or report.failure.schedule
+        clean = replay("nested-block", witness)
+        assert not clean.failed

@@ -1,0 +1,102 @@
+"""Schedules: recording, truncation, and JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.check.schedule import (
+    CheckError,
+    Decision,
+    FaultDecision,
+    Schedule,
+    ScheduleDivergence,
+    ScheduleRecorder,
+)
+
+
+def make_schedule():
+    recorder = ScheduleRecorder()
+    recorder.record_step(0.0, [2, 0, 1], 1)
+    recorder.record_step(0.05, [0, 2], 2)
+    recorder.record_step(0.05, [0], 0)
+    recorder.record_fault("arm-raise", "1", 1, 0)
+    recorder.record_fault("net-drop", "ch:1->2", 3, None)
+    return recorder.snapshot(block="pure-winner", strategy="random")
+
+
+class TestRecorder:
+    def test_steps_are_numbered_and_enabled_sorted(self):
+        schedule = make_schedule()
+        assert [d.step for d in schedule.decisions] == [0, 1, 2]
+        assert schedule.decisions[0].enabled == (0, 1, 2)
+        assert schedule.decisions[0].chosen == 1
+
+    def test_snapshot_is_detached_from_recorder(self):
+        recorder = ScheduleRecorder()
+        recorder.record_step(0.0, [0, 1], 0)
+        first = recorder.snapshot()
+        recorder.record_step(0.1, [1], 1)
+        assert len(first) == 1
+        assert len(recorder.snapshot()) == 2
+
+    def test_snapshot_meta(self):
+        schedule = make_schedule()
+        assert schedule.meta["block"] == "pure-winner"
+        assert schedule.meta["strategy"] == "random"
+
+
+class TestSerialisation:
+    def test_round_trip_is_identical(self):
+        schedule = make_schedule()
+        back = Schedule.loads(schedule.dumps())
+        assert back.same_decisions(schedule)
+        assert back.meta == schedule.meta
+
+    def test_json_shape_is_versioned(self):
+        data = json.loads(make_schedule().dumps())
+        assert data["version"] == 1
+        assert {"meta", "decisions", "faults"} <= set(data)
+
+    def test_fault_rule_none_survives(self):
+        back = Schedule.loads(make_schedule().dumps())
+        assert back.faults[1].rule is None
+        assert back.faults[0].rule == 0
+
+    def test_decision_round_trip(self):
+        d = Decision(step=3, clock=1.5, enabled=(0, 2), chosen=2)
+        assert Decision.from_json(d.to_json()) == d
+
+    def test_fault_decision_round_trip(self):
+        f = FaultDecision(point="net-dup", key="ack:2->1", call=9, rule=2)
+        assert FaultDecision.from_json(f.to_json()) == f
+
+
+class TestPrefix:
+    def test_prefix_truncates_decisions_only(self):
+        schedule = make_schedule()
+        short = schedule.prefix(1)
+        assert len(short) == 1
+        assert short.decisions == schedule.decisions[:1]
+        # fault decisions are keyed by call number; extras never match,
+        # while dropping them would change fault behaviour out from under
+        # the scheduling prefix being bisected.
+        assert short.faults == schedule.faults
+
+    def test_prefix_zero_keeps_faults(self):
+        short = make_schedule().prefix(0)
+        assert len(short) == 0
+        assert len(short.faults) == 2
+
+    def test_same_decisions_ignores_meta(self):
+        a = make_schedule()
+        b = make_schedule()
+        b.meta["strategy"] = "pct"
+        assert a.same_decisions(b)
+        b.decisions.pop()
+        assert not a.same_decisions(b)
+
+
+def test_divergence_is_a_check_error():
+    assert issubclass(ScheduleDivergence, CheckError)
+    with pytest.raises(CheckError):
+        raise ScheduleDivergence("drifted")

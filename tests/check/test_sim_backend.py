@@ -1,0 +1,73 @@
+"""The sim backend: virtual time, determinism, and dirty-page coverage."""
+
+import pytest
+
+from repro.check.explorer import run_block_once
+from repro.check.runtime import CheckController, checking_session
+from repro.core.backends import get_backend
+from repro.core.backends.sim import SimBackend
+from repro.obs.blocks import get_block
+
+
+def test_registered_with_the_backend_registry():
+    backend = get_backend("sim")
+    assert backend.name == "sim"
+    assert backend.is_parallel  # races all arms, like thread/process
+
+
+def test_virtual_clock_never_touches_wall_time():
+    import time
+
+    run_block_once("four-arm-spread")  # warm the (wall-clock) serial oracle
+    start = time.monotonic()
+    result = run_block_once("four-arm-spread")
+    wall = time.monotonic() - start
+    # The block's arms sleep ~1.7s of simulated work combined; in virtual
+    # time the whole race must finish in a small fraction of that.
+    assert result.clock > 0.0
+    assert wall < 0.5
+
+
+def test_timeout_block_times_out_at_the_virtual_deadline():
+    result = run_block_once("timeout")
+    assert result.outcome.error == "AltTimeout"
+    assert result.clock == pytest.approx(0.150)
+    assert not result.failed
+
+
+def test_default_schedule_is_deterministic():
+    a = run_block_once("nested-block")
+    b = run_block_once("nested-block")
+    assert a.schedule.same_decisions(b.schedule)
+    assert a.normalized_trace == b.normalized_trace
+    assert a.outcome.space_bytes == b.outcome.space_bytes
+    assert a.outcome.key == b.outcome.key
+
+
+def test_winner_matches_serial_semantics_for_the_corpus_smoke():
+    # The full 11-block corpus runs in the cross-backend equivalence
+    # matrix (tests/obs); here just the shapes that stress the sim
+    # backend's special paths: nesting, failure, hostility.
+    for name in ("pure-winner", "fail-arm", "hostile-arm", "nested-block"):
+        result = run_block_once(name)
+        assert not result.failed, (name, result.problems)
+
+
+def test_clean_runs_have_no_dirty_coverage_violations():
+    backend = SimBackend()
+    with checking_session(CheckController()):
+        get_block("nested-block").run(backend)
+    assert backend.last_violations == []
+
+
+def test_backend_owns_its_controller_when_none_installed():
+    # Outside a checking session the backend installs (and removes) its
+    # own controller, so plain `get_backend("sim")` usage just works.
+    backend = SimBackend()
+    outcome = get_block("pure-winner").run(backend)
+    assert outcome.winner == "fast"
+    assert backend.last_controller is not None
+
+    from repro.check.runtime import active
+
+    assert active() is None  # uninstalled on the way out

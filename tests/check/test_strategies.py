@@ -1,0 +1,172 @@
+"""Exploration strategies: determinism, exhaustion, conflict judgement."""
+
+import pytest
+
+from repro.check.runtime import FINISH
+from repro.check.schedule import CheckError
+from repro.check.strategies import (
+    DFSScheduler,
+    PCTScheduler,
+    RandomWalkScheduler,
+    STRATEGIES,
+    _conflicts,
+    get_strategy,
+)
+
+
+def drive(scheduler, runs, enabled_sets):
+    """Feed each run the same synthetic enabled sets; collect choices."""
+    out = []
+    for _ in range(runs):
+        scheduler.begin_run()
+        choices = []
+        for step, enabled in enumerate(enabled_sets):
+            pending = {i: ("guard-eval", str(i)) for i in enabled}
+            choice = scheduler.choose(step, 0.0, list(enabled), pending)
+            choices.append(choice)
+            scheduler.observe(step, choice, (pending[choice],))
+        out.append(tuple(choices))
+        if not scheduler.end_run():
+            break
+    return out
+
+
+class TestGetStrategy:
+    def test_names(self):
+        assert STRATEGIES == ("random", "pct", "dfs")
+        for name in STRATEGIES:
+            assert get_strategy(name, seed=1).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CheckError, match="unknown strategy"):
+            get_strategy("bogus")
+
+
+class TestRandomWalk:
+    def test_same_seed_same_walk(self):
+        sets = [(0, 1, 2), (0, 2), (1, 2), (2,)] * 3
+        a = drive(RandomWalkScheduler(seed=7), 4, sets)
+        b = drive(RandomWalkScheduler(seed=7), 4, sets)
+        assert a == b
+
+    def test_different_seeds_diverge(self):
+        sets = [(0, 1, 2, 3)] * 16
+        a = drive(RandomWalkScheduler(seed=0), 1, sets)
+        b = drive(RandomWalkScheduler(seed=1), 1, sets)
+        assert a != b
+
+    def test_choice_is_always_enabled(self):
+        scheduler = RandomWalkScheduler(seed=3)
+        scheduler.begin_run()
+        for step in range(32):
+            enabled = [step % 3, 3 + step % 2]
+            assert scheduler.choose(step, 0.0, enabled, {}) in enabled
+
+
+class TestPCT:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(CheckError):
+            PCTScheduler(depth=0)
+
+    def test_same_seed_same_priorities(self):
+        sets = [(0, 1, 2)] * 8
+        assert drive(PCTScheduler(seed=5), 3, sets) == drive(
+            PCTScheduler(seed=5), 3, sets
+        )
+
+    def test_runs_vary_across_the_campaign(self):
+        # Each run reseeds from (seed, run#): a campaign must not re-race
+        # the same priority assignment forever.
+        sets = [(0, 1, 2, 3)] * 8
+        walks = drive(PCTScheduler(seed=2), 8, sets)
+        assert len(set(walks)) > 1
+
+    def test_highest_priority_runs_until_demoted(self):
+        scheduler = PCTScheduler(seed=0, depth=1)  # depth 1: no change points
+        scheduler.begin_run()
+        first = scheduler.choose(0, 0.0, [0, 1, 2], {})
+        # With no change points the same activity keeps winning while
+        # enabled.
+        assert scheduler.choose(1, 0.0, [0, 1, 2], {}) == first
+
+
+class TestConflicts:
+    def test_finish_conflicts_with_everything(self):
+        assert _conflicts(("guard-eval", "1"), (FINISH,))
+        assert _conflicts(("chan-send", None), (("start", None), FINISH))
+
+    def test_same_keyed_resource_conflicts(self):
+        sig = ("chan-recv", "1->2")
+        assert _conflicts(sig, (("guard-eval", "0"), sig))
+
+    def test_keyless_signatures_do_not_conflict(self):
+        sig = ("page-shipback", None)
+        assert not _conflicts(sig, (sig,))
+
+    def test_disjoint_resources_do_not_conflict(self):
+        assert not _conflicts(
+            ("chan-send", "1->2"), (("chan-send", "2->1"),)
+        )
+
+
+class TestDFS:
+    def test_enumerates_a_tiny_tree_exactly_once(self):
+        # Two steps, two candidates each, fully conflicting (keyed on the
+        # same resource): plain DFS must enumerate all 4 paths then stop.
+        scheduler = DFSScheduler()
+        sets = [(0, 1), (0, 1)]
+        seen = []
+        for _ in range(16):
+            scheduler.begin_run()
+            choices = []
+            for step, enabled in enumerate(sets):
+                pending = {i: ("lock", "shared") for i in enabled}
+                choice = scheduler.choose(step, 0.0, list(enabled), pending)
+                choices.append(choice)
+                scheduler.observe(step, choice, (pending[choice], FINISH))
+            seen.append(tuple(choices))
+            if not scheduler.end_run():
+                break
+        assert scheduler.exhausted
+        assert sorted(seen) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_sleep_sets_prune_independent_interleavings(self):
+        # Candidates touch *different* keyed resources: after exploring
+        # one order, the commuted order is provably equivalent and the
+        # sibling sleeps, so fewer than 4 paths run.
+        scheduler = DFSScheduler()
+        sets = [(0, 1), (0, 1)]
+        runs = 0
+        for _ in range(16):
+            scheduler.begin_run()
+            for step, enabled in enumerate(sets):
+                pending = {i: ("var", str(i)) for i in enabled}
+                choice = scheduler.choose(step, 0.0, list(enabled), pending)
+                scheduler.observe(step, choice, (pending[choice],))
+            runs += 1
+            if not scheduler.end_run():
+                break
+        assert scheduler.exhausted
+        assert runs < 4
+
+    def test_max_depth_guard(self):
+        scheduler = DFSScheduler(max_depth=2)
+        scheduler.begin_run()
+        with pytest.raises(CheckError, match="max_depth"):
+            for step in range(4):
+                scheduler.choose(step, 0.0, [0, 1], {0: FINISH, 1: FINISH})
+
+    def test_forced_prefix_divergence_is_loud(self):
+        scheduler = DFSScheduler()
+        pending = {0: ("lock", "x"), 1: ("lock", "x")}
+        scheduler.begin_run()
+        for step in range(2):
+            choice = scheduler.choose(step, 0.0, [0, 1], pending)
+            scheduler.observe(step, choice, (("lock", "x"), FINISH))
+        assert scheduler.end_run()
+        # The next run must replay the forced prefix (step 0's choice) to
+        # reach the deepest untried branch; if the program changed and
+        # that choice is no longer enabled, the checker says so loudly.
+        scheduler.begin_run()
+        with pytest.raises(CheckError, match="diverged"):
+            scheduler.choose(0, 0.0, [1], {1: ("lock", "x")})

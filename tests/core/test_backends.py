@@ -72,12 +72,17 @@ def cooperative_arm(name, steps, value, step_seconds=0.01, record=True):
 
 class TestFactory:
     def test_backends_tuple(self):
-        assert BACKENDS == ("serial", "thread", "process")
+        assert BACKENDS == ("serial", "thread", "process", "sim")
 
     def test_get_backend_by_name(self):
         assert isinstance(get_backend("serial"), SerialBackend)
         assert isinstance(get_backend("thread"), ThreadBackend)
         assert get_backend("THREAD").name == "thread"
+
+    def test_get_backend_sim(self):
+        backend = get_backend("sim")
+        assert backend.name == "sim"
+        assert backend.is_parallel
 
     @needs_fork
     def test_get_backend_process(self):

@@ -429,27 +429,70 @@ def serial_reference(seed):
     return result, parent
 
 
+def soak_once(scenario, seed):
+    """One wall-clock soak run, judged against the serial reference."""
+    ref, ref_parent = serial_reference(seed)
+
+    net = make_net()
+    warden = RaceWarden()
+    dist = executor(net, warden=warden, seed=seed)
+    parent = dist.new_parent()
+    with injected(chaos_injector(scenario, seed=seed)):
+        result = dist.run(one_success_block(), parent=parent)
+
+    assert result.winner.name == ref.winner.name == "the-answer"
+    assert result.value == ref.value == 42
+    assert parent.space.get("result") == ref_parent.space.get("result")
+    assert parent.space.read(0, parent.space.size) == ref_parent.space.read(
+        0, ref_parent.space.size
+    )
+    # zero leaked workers: every lease committed/eliminated/expired
+    assert warden.table.all_settled
+    for lease in warden.table.leases:
+        assert lease.state in ("committed", "eliminated", "expired")
+
+
+class TestChaosSoakSmoke:
+    """The one wall-clock seed the fast lane keeps: proof the real
+    (uncontrolled) execution path still converges.  The full matrix
+    lives in the slow lane; its virtual-time twin below covers every
+    scenario on every run."""
+
+    def test_loss_scenario_wall_clock(self):
+        soak_once("loss", CHAOS_SEED)
+
+
 @pytest.mark.slow
 class TestChaosSoak:
     @pytest.mark.parametrize("scenario", sorted(CHAOS_SCENARIOS))
     def test_chaos_converges_to_serial_semantics(self, scenario):
-        seed = CHAOS_SEED
-        ref, ref_parent = serial_reference(seed)
+        soak_once(scenario, CHAOS_SEED)
 
-        net = make_net()
-        warden = RaceWarden()
-        dist = executor(net, warden=warden, seed=seed)
-        parent = dist.new_parent()
-        with injected(chaos_injector(scenario, seed=seed)):
-            result = dist.run(one_success_block(), parent=parent)
 
-        assert result.winner.name == ref.winner.name == "the-answer"
-        assert result.value == ref.value == 42
-        assert parent.space.get("result") == ref_parent.space.get("result")
-        assert parent.space.read(0, parent.space.size) == ref_parent.space.read(
-            0, ref_parent.space.size
+class TestVirtualChaosSoak:
+    """The soak matrix under ``repro.check``: same scenarios, same
+    serial-equivalence gate, but every fault draw is recorded and the
+    whole matrix runs in checked virtual time -- cheap enough to keep
+    out of the slow lane entirely."""
+
+    @pytest.mark.parametrize("scenario", sorted(CHAOS_SCENARIOS))
+    def test_checked_scenario_converges(self, scenario):
+        from repro.check.chaos import run_scenario
+
+        run = run_scenario(scenario, seed=CHAOS_SEED)
+        assert not run.failed, run.problems
+        assert run.winner == "the-answer"
+        assert run.value == 42
+
+    def test_recorded_faults_replay_without_the_rng(self):
+        from repro.check.chaos import run_scenario
+
+        first = run_scenario("partition", seed=CHAOS_SEED)
+        again = run_scenario(
+            "partition",
+            seed=CHAOS_SEED,
+            schedule=first.schedule,
+            injector_seed=CHAOS_SEED + 4242,
         )
-        # zero leaked workers: every lease committed/eliminated/expired
-        assert warden.table.all_settled
-        for lease in warden.table.leases:
-            assert lease.state in ("committed", "eliminated", "expired")
+        assert not again.failed, again.problems
+        assert again.schedule.faults == first.schedule.faults

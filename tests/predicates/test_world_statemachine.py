@@ -1,0 +1,97 @@
+"""Property test: the bounded uid memory behaves like an unbounded set.
+
+The :class:`WorldSet` dedups at-least-once re-deliveries with bounded
+memory -- one contiguous floor plus a transient ahead-set per channel
+prefix for channel-stamped uids, a sliding window for opaque ones.  The
+state machine drives deliveries, re-deliveries, gaps, and interleaved
+channels, and checks the bounded structure against the obvious
+unbounded model (the set of every uid ever delivered) after every step.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.predicates.world import WorldSet
+
+CHANNELS = ("1->2", "2->1", "7->9")
+
+
+class UidMemoryMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.worlds = WorldSet(None)
+        self.delivered = {prefix: set() for prefix in CHANNELS}
+        self.opaque = set()
+
+    # -- rules ---------------------------------------------------------
+
+    @rule(prefix=st.sampled_from(CHANNELS), slot=st.integers(0, 4))
+    def deliver_near_the_frontier(self, prefix, slot):
+        """Deliver one of the next few undelivered seqs (FIFO-ish with
+        bounded reordering, which is what the channels actually produce)."""
+        seen = self.delivered[prefix]
+        frontier = [s for s in range(len(seen) + 5) if s not in seen][: slot + 1]
+        seq = frontier[-1]
+        duplicate = self.worlds._remember_uid(f"{prefix}#{seq}")
+        assert not duplicate
+        seen.add(seq)
+
+    @rule(prefix=st.sampled_from(CHANNELS), pick=st.integers(0, 10**6))
+    def redeliver(self, prefix, pick):
+        """Anything delivered before -- however long ago -- is a duplicate."""
+        seen = sorted(self.delivered[prefix])
+        if not seen:
+            return
+        seq = seen[pick % len(seen)]
+        assert self.worlds._remember_uid(f"{prefix}#{seq}")
+        # dedup must not perturb the memory
+        assert self.delivered[prefix] == set(seen)
+
+    @rule(tag=st.integers(0, 30))
+    def deliver_opaque(self, tag):
+        """Uids with no parseable seq fall back to the sliding window."""
+        uid = f"opaque-{tag}"
+        assert self.worlds._remember_uid(uid) == (uid in self.opaque)
+        self.opaque.add(uid)
+
+    # -- invariants ----------------------------------------------------
+
+    @invariant()
+    def floor_and_ahead_reconstruct_the_model(self):
+        for prefix, seen in self.delivered.items():
+            floor = -1
+            while floor + 1 in seen:
+                floor += 1
+            assert self.worlds._uid_floors.get(prefix, -1) == floor
+            assert self.worlds._uid_ahead.get(prefix, set()) == {
+                s for s in seen if s > floor
+            }
+
+    @invariant()
+    def memory_stays_bounded(self):
+        # The ahead-set never outgrows the seqs still above a gap (so a
+        # FIFO channel keeps it transient), and the opaque window never
+        # outgrows its cap.
+        for prefix, ahead in self.worlds._uid_ahead.items():
+            floor = self.worlds._uid_floors.get(prefix, -1)
+            assert len(ahead) <= len(
+                {s for s in self.delivered[prefix] if s > floor}
+            )
+        assert len(self.worlds._uid_window_set) <= WorldSet.UID_WINDOW
+
+
+TestUidMemory = UidMemoryMachine.TestCase
+TestUidMemory.settings = settings(max_examples=60, stateful_step_count=40)
+
+
+def test_window_eviction_forgets_the_oldest_opaque_uid(monkeypatch):
+    """The documented bound: opaque uids older than UID_WINDOW fresh
+    deliveries are forgotten (callers outliving the window must dedup
+    upstream)."""
+    monkeypatch.setattr(WorldSet, "UID_WINDOW", 4)
+    worlds = WorldSet(None)
+    for i in range(5):
+        assert not worlds._remember_uid(f"u{i}")
+    assert worlds._remember_uid("u4")  # still inside the window
+    assert not worlds._remember_uid("u0")  # evicted, treated as fresh
