@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: check test test-fast test-resilience test-chaos test-check coverage bench-smoke bench
+.PHONY: check test test-fast test-resilience test-chaos test-check test-matrix-pooled coverage bench-smoke bench-commit bench
 
 ## check: what CI runs -- tier-1 tests plus a ~10s benchmark smoke.
 check: test bench-smoke
@@ -55,8 +55,22 @@ test-check:
 	$(PYTHON) -m repro check --all --strategy $(CHECK_STRATEGY) \
 		--seed $(CHECK_SEED) --schedules $(CHECK_SCHEDULES)
 
+## test-matrix-pooled: the cross-backend equivalence matrix with the
+## pre-warmed world pool enabled -- the pooled process backend (and the
+## pool-oblivious SimBackend) must still agree with the serial oracle.
+test-matrix-pooled:
+	REPRO_WORLD_POOL=1 $(PYTHON) -m pytest \
+		tests/obs/test_equivalence_matrix.py tests/process/test_world_pool.py -q
+
 bench-smoke:
 	$(PYTHON) benchmarks/bench_parallel_backends.py --quick
+
+## bench-commit: the commit-latency sweep (pipe pickling vs the
+## shared-memory pointer-swap commit, 1..4096 dirty pages); --quick in
+## CI, full sweep locally regenerates BENCH_commit_latency.json.
+BENCH_SEED ?= 0
+bench-commit:
+	$(PYTHON) benchmarks/bench_commit_latency.py --seed $(BENCH_SEED)
 
 ## bench: regenerate every paper table/figure (slow).
 bench:

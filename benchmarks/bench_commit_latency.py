@@ -1,0 +1,280 @@
+"""Experiment B2 -- winner-commit latency: pipe-pickle vs shm pointer swap.
+
+The fork backend has two ways to land a winning child's dirty pages in
+the parent (the paper's 'swap page pointers' commit, section 3.2):
+
+- **pipe-pickle** (the historical path): the child pickles every dirty
+  page image into its result record, the frame crosses a pipe, the
+  parent unpickles it and ``apply_pages`` copies each image into a fresh
+  frame -- three-plus full copies of every page;
+- **shm pointer swap**: the child writes each image once into its
+  shared-memory slab slot, the record carries only ``(page, slot)``
+  pairs, and ``apply_shm_pages`` adopts the slots as external frames --
+  the parent-side commit moves pointers, never bytes.
+
+This bench walks dirty-page counts 1 -> 4096 through the *actual*
+transport code paths (``wire`` framing, ``RecordReader``,
+``apply_pages`` / ``apply_shm_pages``) in one process, so the numbers
+isolate transport cost from scheduler noise.  The headline claim: the
+shm parent-side commit grows with the page *count* (pointer moves) while
+the pipe commit grows with the page *bytes*, so the shm path's growth
+factor across the sweep must stay well below the pipe path's, and the
+total shm shipback (publish + commit) must beat pipe at every size.
+
+Outputs:
+
+- ``benchmarks/results/B2_commit_latency.txt`` -- human-readable table;
+- ``BENCH_commit_latency.json`` at the repo root (seed-pinned).
+
+Run standalone with ``python benchmarks/bench_commit_latency.py`` (add
+``--quick`` for the CI smoke variant).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+if __name__ == "__main__":  # standalone: make src/ importable
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.analysis.report import format_table
+from repro.core.backends import wire
+from repro.pages.address_space import AddressSpace
+from repro.pages.shm import ShmShipment, ShmSlab, shm_available
+from repro.pages.store import PageStore
+
+JSON_PATH = os.path.join(_REPO_ROOT, "BENCH_commit_latency.json")
+
+PAGE_SIZE = 4096
+FULL_SIZES = [1, 4, 16, 64, 256, 1024, 4096]
+QUICK_SIZES = [1, 4, 16, 64, 256]
+REPEATS_FULL = 5
+REPEATS_QUICK = 3
+
+
+def _dirty_images(pages, seed):
+    """Deterministic page images (seed-pinned, so runs are comparable)."""
+    rng = random.Random(seed * 7919 + pages)
+    return {vpn: rng.randbytes(PAGE_SIZE) for vpn in range(pages)}
+
+
+def _fresh_space(pages):
+    store = PageStore(page_size=PAGE_SIZE)
+    return AddressSpace(store, pages * PAGE_SIZE)
+
+
+def measure_pipe(images, repeats):
+    """Pickle-record shipback: frame, parse, apply -- every byte copied."""
+    pages = len(images)
+    ship_best = commit_best = float("inf")
+    for _ in range(repeats):
+        space = _fresh_space(pages)
+        started = time.perf_counter()
+        frame, _ = wire.frame_record({"ok": True, "dirty_pages": images})
+        reader = wire.RecordReader()
+        (record,) = reader.feed(frame)
+        shipped = time.perf_counter()
+        space.apply_pages(record["dirty_pages"])
+        committed = time.perf_counter()
+        ship_best = min(ship_best, shipped - started)
+        commit_best = min(commit_best, committed - shipped)
+        space.release()
+    return ship_best, commit_best
+
+
+def measure_shm(images, repeats):
+    """Slab shipback: one publish copy, then a pointer-swap commit."""
+    pages = len(images)
+    publish_best = commit_best = float("inf")
+    for _ in range(repeats):
+        space = _fresh_space(pages)
+        slab = ShmSlab.create(slots=pages, slot_size=PAGE_SIZE)
+        started = time.perf_counter()
+        pairs = []
+        for slot, (vpn, data) in enumerate(images.items()):
+            slab.write_slot(slot, data)
+            pairs.append((vpn, slot))
+        frame, _ = wire.frame_record({"ok": True, "shm_pages": pairs})
+        reader = wire.RecordReader()
+        (record,) = reader.feed(frame)
+        published = time.perf_counter()
+        space.apply_shm_pages(
+            ShmShipment(slab=slab, pairs=record["shm_pages"])
+        )
+        committed = time.perf_counter()
+        publish_best = min(publish_best, published - started)
+        commit_best = min(commit_best, committed - published)
+        space.release()  # drops the adopted frames' slab references
+        slab.dispose()
+    return publish_best, commit_best
+
+
+def run_suite(quick=False, seed=0):
+    if not shm_available():  # pragma: no cover - host without /dev/shm
+        raise SystemExit(
+            "POSIX shared memory is unavailable on this host; "
+            "the shm side of this bench cannot run"
+        )
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    repeats = REPEATS_QUICK if quick else REPEATS_FULL
+    points = []
+    for pages in sizes:
+        images = _dirty_images(pages, seed)
+        pipe_ship, pipe_commit = measure_pipe(images, repeats)
+        shm_publish, shm_commit = measure_shm(images, repeats)
+        points.append(
+            {
+                "pages": pages,
+                "bytes": pages * PAGE_SIZE,
+                "pipe_ship_seconds": round(pipe_ship, 9),
+                "pipe_commit_seconds": round(pipe_commit, 9),
+                "pipe_total_seconds": round(pipe_ship + pipe_commit, 9),
+                "shm_publish_seconds": round(shm_publish, 9),
+                "shm_commit_seconds": round(shm_commit, 9),
+                "shm_total_seconds": round(shm_publish + shm_commit, 9),
+            }
+        )
+    first, last = points[0], points[-1]
+    span = last["pages"] / first["pages"]
+    pipe_commit_growth = (
+        last["pipe_commit_seconds"] / first["pipe_commit_seconds"]
+    )
+    shm_commit_growth = (
+        last["shm_commit_seconds"] / first["shm_commit_seconds"]
+    )
+    payload = {
+        "experiment": "commit_latency",
+        "quick": quick,
+        "seed": seed,
+        "page_size": PAGE_SIZE,
+        "page_span": span,
+        "points": points,
+        "pipe_commit_growth": round(pipe_commit_growth, 4),
+        "shm_commit_growth": round(shm_commit_growth, 4),
+        "criteria": {
+            # The pointer-swap commit must grow strictly slower than the
+            # byte-copying commit across the sweep (sub-linear relative
+            # to pipe: growth factor at most half of pipe's).
+            "shm_commit_scales_sublinearly_vs_pipe": (
+                shm_commit_growth <= 0.5 * pipe_commit_growth
+            ),
+            "shm_total_faster_at_max_pages": (
+                last["shm_total_seconds"] < last["pipe_total_seconds"]
+            ),
+            "shm_commit_faster_at_max_pages": (
+                last["shm_commit_seconds"] < last["pipe_commit_seconds"]
+            ),
+        },
+    }
+    return payload
+
+
+def render_table(payload):
+    rows = []
+    for point in payload["points"]:
+        rows.append(
+            {
+                "dirty pages": point["pages"],
+                "pipe ship (ms)": round(point["pipe_ship_seconds"] * 1e3, 3),
+                "pipe commit (ms)": round(
+                    point["pipe_commit_seconds"] * 1e3, 3
+                ),
+                "shm publish (ms)": round(
+                    point["shm_publish_seconds"] * 1e3, 3
+                ),
+                "shm commit (ms)": round(point["shm_commit_seconds"] * 1e3, 3),
+                "total speedup": round(
+                    point["pipe_total_seconds"] / point["shm_total_seconds"],
+                    2,
+                ),
+            }
+        )
+    mode = "quick" if payload["quick"] else "full"
+    return format_table(
+        rows,
+        title=(
+            f"B2: winner-commit latency by dirty-page count ({mode} mode)\n"
+            "(pipe = pickled page images + apply_pages copies; "
+            "shm = slab publish + pointer-swap commit)"
+        ),
+    )
+
+
+def write_json(payload):
+    with open(JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return JSON_PATH
+
+
+def check_criteria(payload):
+    criteria = payload["criteria"]
+    assert criteria["shm_commit_scales_sublinearly_vs_pipe"], (
+        "shm commit growth "
+        f"{payload['shm_commit_growth']}x did not stay under half of the "
+        f"pipe commit growth {payload['pipe_commit_growth']}x"
+    )
+    assert criteria["shm_total_faster_at_max_pages"], (
+        "shm shipback (publish+commit) lost to pipe at the largest sweep "
+        "point"
+    )
+    assert criteria["shm_commit_faster_at_max_pages"], (
+        "the pointer-swap commit lost to the byte-copying commit at the "
+        "largest sweep point"
+    )
+
+
+def bench_b2_commit_latency(benchmark, emit):
+    payload = benchmark.pedantic(
+        lambda: run_suite(quick=True), rounds=1, iterations=1
+    )
+    emit("B2_commit_latency", render_table(payload))
+    write_json(payload)
+    check_criteria(payload)
+
+
+def main(argv=None):
+    global JSON_PATH
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke variant: smaller sweep, fewer repeats",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic page images (recorded in the "
+        "JSON payload so a run can be reproduced exactly)",
+    )
+    parser.add_argument(
+        "--out",
+        default=JSON_PATH,
+        help="where to write the machine-readable record",
+    )
+    args = parser.parse_args(argv)
+    payload = run_suite(quick=args.quick, seed=args.seed)
+    print(render_table(payload))
+    print(
+        f"commit growth across a {payload['page_span']:.0f}x page sweep: "
+        f"pipe {payload['pipe_commit_growth']}x vs "
+        f"shm {payload['shm_commit_growth']}x"
+    )
+    JSON_PATH = args.out
+    path = write_json(payload)
+    print(f"machine-readable record: {path}")
+    check_criteria(payload)
+    print("acceptance criteria: all satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,6 +55,17 @@ def get_backend(name: str, **kwargs) -> ExecutionBackend:
     if normalized == "thread":
         return ThreadBackend(**kwargs)
     if normalized == "process":
+        if (
+            "pool" not in kwargs
+            and os.environ.get("REPRO_WORLD_POOL", "").lower()
+            in ("1", "true", "yes", "on")
+        ):
+            # Opt-in pre-warmed worker pool: arms lease parked workers
+            # instead of forking fresh ones.  Explicit ``pool=`` (even
+            # ``pool=None``) always wins over the environment.
+            from repro.process.pool import default_pool
+
+            kwargs["pool"] = default_pool()
         return ProcessBackend(**kwargs)
     if normalized == "sim":
         # Imported lazily: the checker's runtime is only needed when the

@@ -71,6 +71,17 @@ class ArmTask:
     """The arm's :class:`~repro.core.alternative.AltContext` (carries the
     cancellation token and the COW address space)."""
 
+    alternative: Any = None
+    """The :class:`~repro.core.alternative.Alternative` behind ``run``,
+    when the executor can expose it.  A pre-warmed world pool ships this
+    (by value, when picklable) to a parked worker instead of forking; a
+    ``None`` or unpicklable alternative makes the arm fall back to a
+    direct fork."""
+
+    rng_seed: Optional[int] = None
+    """Seed of the context's deterministic RNG, so a pooled worker can
+    rebuild an equivalent context in another process."""
+
 
 @dataclass
 class ArmReport:
@@ -99,7 +110,21 @@ class ArmReport:
     dirty_pages: Optional[Dict[int, bytes]] = None
     """Winning child's dirty page images, shipped back by backends whose
     children run in another OS process (``None`` when the arm's writes
-    are already visible in this process's simulated store)."""
+    are already visible in this process's simulated store, or when the
+    shipment travelled through shared memory instead -- see
+    :attr:`shm_shipment`)."""
+
+    shm_shipment: Any = None
+    """Winning child's dirty pages as a
+    :class:`~repro.pages.shm.ShmShipment` of ``(page, slot)`` pointers
+    into a shared-memory slab -- the zero-copy alternative to
+    :attr:`dirty_pages`.  Whoever commits (or abandons) the race must
+    ``dispose()`` the shipment's slab."""
+
+    page_transport: Optional[str] = None
+    """How this arm's dirty pages travelled home: ``"shm"`` (slab slot
+    pointers), ``"pipe"`` (pickled images), or ``None`` when the arm ran
+    in-process or shipped nothing."""
 
     cow_faults: int = 0
     pages_written: int = 0
@@ -137,6 +162,10 @@ class BackendRace:
     timed_out: bool = False
     events: List[Tuple[float, str]] = field(default_factory=list)
     """Timeline events (relative seconds, label) for Figure-2 rendering."""
+
+    page_transport: Optional[str] = None
+    """The page-shipback transport this race resolved to (``"shm"`` or
+    ``"pipe"`` for the fork backend, ``None`` for in-process backends)."""
 
     def report(self, index: int) -> ArmReport:
         for candidate in self.reports:

@@ -4,10 +4,31 @@ One forked child per arm, one result pipe per child.  Each child runs its
 body against its private simulated address space (the whole simulated
 store is duplicated by the OS fork's own copy-on-write, so siblings are
 isolated twice over) and ships its outcome back as a checksum-framed
-pickle record; a successful record carries the child's dirty page images
-so the parent can replay them into the simulated child space before the
-``alt_wait`` page-pointer swap.  The first arm whose *intact* success
-record arrives wins the rendezvous -- fastest-first at the wall clock.
+pickle record.  The first arm whose *intact* success record arrives wins
+the rendezvous -- fastest-first at the wall clock.
+
+Dirty-state shipback has two transports:
+
+- **shm** (default where POSIX shared memory works): the parent maps one
+  :class:`~repro.pages.shm.ShmSlab` per arm before forking; the child
+  writes its dirty page images straight into slab slots (the mapping is
+  fork-inherited) and the pipe record carries only ``(page, slot)``
+  pairs.  Winner commit in the parent becomes a pointer swap
+  (``AddressSpace.apply_shm_pages``): slots are adopted as external
+  frames, no page image is ever pickled or copied.
+- **pipe**: the historical path -- dirty page images ride inside the
+  pickled record.  Used when shared memory is unavailable, when slab
+  creation fails, when an arm ships nothing page-sized, or when the
+  ``shm-attach-fail`` fault is injected; the fallback is per-arm and
+  byte-equivalent.
+
+A :class:`~repro.process.pool.WorldPool` may be attached (``pool=`` or
+the ``REPRO_WORLD_POOL`` environment flag via ``get_backend``): arms
+whose alternatives pickle are then *leased* to pre-warmed parked workers
+over persistent pipes instead of being forked per race, amortizing the
+paper's per-block setup cost.  Pooled workers speak the identical wire
+format, honor the same SIGTERM-cancel / SIGKILL escalation, and fall
+back to a direct fork per arm whenever leasing is impossible.
 
 Elimination is two-stage, matching the paper's cooperative-then-forcible
 reality: losers first receive ``SIGTERM``, whose handler cancels the
@@ -30,51 +51,58 @@ Hardening beyond the paper's happy path:
   records each child's wait status on its report (``exit_signal``), and a
   module-level orphan sweep reclaims children leaked by a race that died
   before its own reap;
+- slabs are refcounted with ``atexit`` unlinking, so even a parent crash
+  mid-race leaks no ``/dev/shm`` segment;
 - the :mod:`repro.resilience` fault injector is consulted at the
   ``arm-raise`` / ``arm-hang`` / ``arm-sigkill`` / ``pipe-truncate`` /
-  ``record-corrupt`` points, so every one of these failure modes is
-  reproducible in tests.
+  ``record-corrupt`` / ``shm-attach-fail`` points, so every one of these
+  failure modes is reproducible in tests.
 """
 
 from __future__ import annotations
 
 import errno
 import os
-import pickle
 import select
 import signal
-import struct
 import threading
 import time
-import zlib
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.core.backends import wire
 from repro.core.backends.base import (
     ArmReport,
     ArmTask,
     BackendRace,
     ExecutionBackend,
 )
+from repro.core.backends.wire import (
+    EXIT_HANG as _EXIT_HANG,
+    EXIT_OK as _EXIT_OK,
+    EXIT_SHIP_FAILED as _EXIT_SHIP_FAILED,
+    EXIT_TRUNCATED as _EXIT_TRUNCATED,
+    EXIT_UNPICKLABLE as _EXIT_UNPICKLABLE,
+    FRAME as _FRAME,
+    MAGIC as _MAGIC,
+    RecordReader as _RecordReader,
+    frame_record as _frame_record,
+    write_all as _write_all,
+    write_record as _write_record,
+)
 from repro.errors import Eliminated, FaultInjected
 from repro.obs import events as _ev
 from repro.obs.tracer import active as _active_tracer
+from repro.pages.shm import ShmShipment, ShmSlab, shm_available
 from repro.resilience.injector import active as _active_injector
 
-_MAGIC = b"Rr"
-_FRAME = struct.Struct("!2sII")  # magic, payload length, crc32(payload)
-_MAX_RECORD = 1 << 30
-
-# Child exit codes the parent can interpret when no intact record arrived.
-_EXIT_OK = 0
-_EXIT_UNPICKLABLE = 81  # fallback record shipped; real value was unpicklable
-_EXIT_SHIP_FAILED = 82  # record could not be written at all
-_EXIT_TRUNCATED = 83  # injected mid-shipback death
-_EXIT_HANG = 84  # injected hang ran its full stall
+__all__ = ["ProcessBackend", "sweep_orphans"]
 
 # ----------------------------------------------------------------------
 # orphan registry: pids forked by any ProcessBackend in this process that
 # have not been reaped yet.  A race that dies before its own reap leaves
 # its children here; the next race (or an explicit sweep) reclaims them.
+# Pool workers are deliberately *not* registered: their lifetime belongs
+# to the WorldPool, which has its own shutdown and atexit discipline.
 
 _orphan_lock = threading.Lock()
 _orphan_pids: Set[int] = set()
@@ -138,122 +166,62 @@ def _waitpid_blocking(pid: int) -> Optional[int]:
 
 
 # ----------------------------------------------------------------------
-# record framing
+# child-side shipment assembly, shared by fork children and pool workers
 
-def _frame_record(payload: dict) -> Tuple[bytes, int]:
-    """Frame ``payload`` as ``magic|len|crc32|pickle``.
 
-    Returns ``(frame, exit_code)``: an unpicklable result is replaced by
-    a failure record that *names* the serialization error (it must not
-    vanish), and the child's exit code is set to ``_EXIT_UNPICKLABLE`` so
-    the status surfaces it too.
+def build_result_record(
+    task_index: int,
+    space,
+    succeeded: bool,
+    value,
+    detail: str,
+    cancelled: bool,
+    abnormal: bool,
+    began: float,
+    finished: float,
+    slab: Optional[ShmSlab] = None,
+) -> dict:
+    """Assemble one result record, shipping dirty pages the cheap way.
+
+    With a writable ``slab``, dirty page images are written in place into
+    slab slots and the record carries ``(page, slot)`` pairs -- the
+    zero-copy transport.  Otherwise (no slab, slab too small, or a write
+    failure) the images are inlined under ``dirty_pages``, which is the
+    byte-equivalent pipe fallback.
     """
-    exit_code = _EXIT_OK
-    try:
-        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-    except Exception as exc:
-        stripped = {
-            key: value
-            for key, value in payload.items()
-            if key not in ("value", "dirty_pages", "trace")
-        }
-        stripped["ok"] = False
-        stripped["abnormal"] = True
-        stripped["detail"] = (
-            f"result not picklable across the fork boundary: {exc!r}"
-        )
-        blob = pickle.dumps(stripped, protocol=pickle.HIGHEST_PROTOCOL)
-        exit_code = _EXIT_UNPICKLABLE
-    frame = _FRAME.pack(_MAGIC, len(blob), zlib.crc32(blob) & 0xFFFFFFFF)
-    return frame + blob, exit_code
-
-
-def _write_all(fd: int, data: bytes) -> bool:
-    """Write every byte; EINTR-safe.  EPIPE (the parent is gone, nobody
-    will ever read this record) returns False; any other OS error -- a
-    real shipback failure -- propagates so the child can surface it in
-    its exit status instead of silently dropping the result."""
-    view = memoryview(data)
-    while view:
+    record = {
+        "index": task_index,
+        "ok": succeeded,
+        "cancelled": cancelled,
+        "abnormal": abnormal,
+        "detail": detail,
+        "started": began,
+        "finished": finished,
+    }
+    if not succeeded:
+        return record
+    record["value"] = value
+    if space is None:
+        return record
+    dirty = sorted(space.table.dirty_pages)
+    record["cow_faults"] = space.cow_faults
+    record["pages_written"] = space.pages_written
+    if slab is not None and 0 < len(dirty) <= slab.slots:
         try:
-            written = os.write(fd, view)
-        except InterruptedError:  # pragma: no cover - EINTR, retried
-            continue
-        except OSError as exc:
-            if exc.errno == errno.EPIPE:
-                return False
-            raise
-        view = view[written:]
-    return True
-
-
-def _write_record(fd: int, payload: dict, ship_fault: Optional[str] = None) -> int:
-    """Frame and ship one record; returns the child exit code to use.
-
-    ``ship_fault`` is the parent-drawn injector decision ('truncate' or
-    'corrupt') -- decided *before* the fork so counters and the firing
-    log live in the parent, where the autopsy reads them.
-    """
-    frame, exit_code = _frame_record(payload)
-    if ship_fault == "truncate":
-        # Die mid-shipback: leave a dangling partial frame.
-        _write_all(fd, frame[: max(_FRAME.size + 1, len(frame) // 2)])
-        return _EXIT_TRUNCATED
-    if ship_fault == "corrupt":
-        body = bytearray(frame)
-        for position in range(_FRAME.size, len(body), 7):
-            body[position] ^= 0xFF
-        frame = bytes(body)
-    _write_all(fd, frame)
-    return exit_code
-
-
-class _RecordReader:
-    """Incremental checksum-framed record parser over one child's pipe."""
-
-    def __init__(self) -> None:
-        self._buffer = b""
-        self.corrupt = False
-        self.corrupt_detail = ""
-
-    @property
-    def pending(self) -> bool:
-        """Bytes of an incomplete frame are sitting in the buffer."""
-        return bool(self._buffer)
-
-    def _mark_corrupt(self, detail: str) -> None:
-        self.corrupt = True
-        self.corrupt_detail = detail
-        self._buffer = b""
-
-    def feed(self, data: bytes) -> List[dict]:
-        if self.corrupt:
-            return []
-        self._buffer += data
-        records: List[dict] = []
-        while True:
-            if len(self._buffer) < _FRAME.size:
-                return records
-            magic, length, crc = _FRAME.unpack_from(self._buffer)
-            if magic != _MAGIC or length > _MAX_RECORD:
-                self._mark_corrupt("corrupt result record: bad frame header")
-                return records
-            if len(self._buffer) < _FRAME.size + length:
-                return records
-            blob = self._buffer[_FRAME.size:_FRAME.size + length]
-            self._buffer = self._buffer[_FRAME.size + length:]
-            if zlib.crc32(blob) & 0xFFFFFFFF != crc:
-                self._mark_corrupt(
-                    "corrupt result record: checksum mismatch"
-                )
-                return records
-            try:
-                records.append(pickle.loads(blob))
-            except Exception as exc:
-                self._mark_corrupt(
-                    f"corrupt result record: undecodable payload ({exc!r})"
-                )
-                return records
+            pairs = []
+            for slot, vpn in enumerate(dirty):
+                slab.write_slot(slot, space.table.read_page_view(vpn))
+                pairs.append((vpn, slot))
+        except Exception:  # pragma: no cover - slab write failure
+            pass
+        else:
+            record["shm_pages"] = pairs
+            record["shm_slab"] = slab.name
+            record["page_transport"] = "shm"
+            return record
+    record["dirty_pages"] = {vpn: space.table.read_page(vpn) for vpn in dirty}
+    record["page_transport"] = "pipe"
+    return record
 
 
 class ProcessBackend(ExecutionBackend):
@@ -262,16 +230,38 @@ class ProcessBackend(ExecutionBackend):
     name = "process"
     is_parallel = True
 
-    def __init__(self, kill_grace: float = 2.0) -> None:
+    def __init__(
+        self,
+        kill_grace: float = 2.0,
+        pool=None,
+        page_transport: str = "auto",
+    ) -> None:
         if not hasattr(os, "fork"):
             raise RuntimeError(
                 "ProcessBackend requires os.fork; use ThreadBackend instead"
             )
         if kill_grace < 0:
             raise ValueError("kill_grace cannot be negative")
+        if page_transport not in ("auto", "shm", "pipe"):
+            raise ValueError(
+                f"page_transport must be 'auto', 'shm', or 'pipe', "
+                f"not {page_transport!r}"
+            )
         self.kill_grace = kill_grace
+        self.pool = pool
+        """An attached :class:`~repro.process.pool.WorldPool` (or ``None``
+        to fork every arm fresh)."""
+
+        self.page_transport = page_transport
         self._race_pids: Dict[int, int] = {}
         self._race_seen: Set[int] = set()
+
+    def resolved_transport(self) -> str:
+        """The transport this backend will actually use: shm when asked
+        for (or probing ``auto`` finds) working shared memory, else pipe."""
+        if self.page_transport == "pipe":
+            return "pipe"
+        return "shm" if shm_available() else "pipe"
 
     # ------------------------------------------------------------------
 
@@ -282,12 +272,49 @@ class ProcessBackend(ExecutionBackend):
         start = time.perf_counter()
         pids: Dict[int, int] = {}
         pipes: Dict[int, int] = {}
+        persistent: Set[int] = set()  # pool-owned fds: watched, never closed
+        leases: Dict[int, object] = {}
+        slabs: Dict[int, ShmSlab] = {}
         seen: Set[int] = set()
+        clean_leases: Set[int] = set()
         self._race_pids = pids
         self._race_seen = seen
+        use_shm = self.resolved_transport() == "shm"
+        tracer = _active_tracer()
+        race: Optional[BackendRace] = None
         try:
             for task in tasks:
-                pre_fault, ship_fault = self._draw_faults(task.index)
+                pre_fault, ship_fault, shm_fault = self._draw_faults(task.index)
+                slab: Optional[ShmSlab] = None
+                if use_shm and not shm_fault:
+                    slab = self._create_slab(task)
+                if slab is not None:
+                    slabs[task.index] = slab
+                    if tracer.enabled:
+                        tracer.emit(
+                            _ev.SHM_MAP,
+                            block=getattr(task.context, "trace_block", None),
+                            arm=task.index,
+                            name=task.name,
+                            slab=slab.name,
+                            slots=slab.slots,
+                            bytes=slab.size,
+                        )
+                lease = None
+                if self.pool is not None:
+                    lease = self.pool.lease(
+                        task,
+                        start,
+                        pre_fault=pre_fault,
+                        ship_fault=ship_fault,
+                        slab=slab,
+                    )
+                if lease is not None:
+                    leases[task.index] = lease
+                    pids[task.index] = lease.pid
+                    pipes[task.index] = lease.result_fd
+                    persistent.add(lease.result_fd)
+                    continue
                 read_fd, write_fd = os.pipe()
                 pid = os.fork()
                 if pid == 0:
@@ -297,7 +324,8 @@ class ProcessBackend(ExecutionBackend):
                         for sibling_fd in pipes.values():
                             os.close(sibling_fd)
                         self._child_main(
-                            task, write_fd, start, pre_fault, ship_fault
+                            task, write_fd, start, pre_fault, ship_fault,
+                            slab,
                         )
                     finally:  # pragma: no cover - _child_main never returns
                         os._exit(_EXIT_SHIP_FAILED)
@@ -305,16 +333,36 @@ class ProcessBackend(ExecutionBackend):
                 pids[task.index] = pid
                 pipes[task.index] = read_fd
                 _register_orphan(pid)
-            race = self._collect(tasks, pids, pipes, start, timeout, seen)
+            race = self._collect(
+                tasks, pids, pipes, start, timeout, seen, slabs,
+                persistent, leases, clean_leases,
+            )
         finally:
             for fd in pipes.values():
+                if fd in persistent:
+                    continue  # the pool owns its result pipes
                 try:
                     os.close(fd)
                 except OSError:  # pragma: no cover - defensive
                     pass
-            statuses = self._reap(pids)
+            forked = {
+                index: pid for index, pid in pids.items() if index not in leases
+            }
+            statuses = self._reap(forked)
+            if self.pool is not None and leases:
+                statuses.update(self.pool.finish(leases, clean_leases))
+            winner = race.winner_index if race is not None else None
+            for index, slab in slabs.items():
+                if race is not None and index == winner:
+                    report = race.report(index)
+                    if report.shm_shipment is not None:
+                        # Ownership moved to the shipment: whoever commits
+                        # (or abandons) the race disposes it.
+                        continue
+                slab.dispose()
             self._race_pids = {}
             self._race_seen = set()
+        race.page_transport = "shm" if use_shm else "pipe"
         self._annotate_exit_statuses(race, seen, statuses)
         return race
 
@@ -333,20 +381,41 @@ class ProcessBackend(ExecutionBackend):
     # child side
 
     @staticmethod
-    def _draw_faults(index: int) -> Tuple[Optional[Tuple], Optional[str]]:
+    def _create_slab(task: ArmTask) -> Optional[ShmSlab]:
+        """One page-aligned slab sized to the arm's space (or ``None``).
+
+        Any failure -- no space on the context, ``/dev/shm`` full,
+        platform refusal -- degrades silently to the pipe transport.
+        """
+        space = getattr(task.context, "space", None)
+        if space is None or space.num_pages < 1:
+            return None
+        try:
+            return ShmSlab.create(
+                slots=space.num_pages, slot_size=space.page_size
+            )
+        except Exception:
+            return None
+
+    @staticmethod
+    def _draw_faults(
+        index: int,
+    ) -> Tuple[Optional[Tuple], Optional[Tuple], bool]:
         """Consult the injector for one arm, in the parent, pre-fork.
 
         Drawing here (instead of in the child) keeps fault counters and
         the firing log in the parent process: ``times=`` budgets span
         supervised retries correctly, and the autopsy can report what
-        fired.  Returns ``(pre_fault, ship_fault)`` for the child to act
-        on: ``pre_fault`` is ``('sigkill'|'hang'|'raise', duration,
-        detail)`` or ``None``; ``ship_fault`` is ``'truncate'``,
-        ``'corrupt'``, or ``None``.
+        fired.  Returns ``(pre_fault, ship_fault, shm_fault)``:
+        ``pre_fault`` is ``('sigkill'|'hang'|'raise', duration, detail)``
+        or ``None``; ``ship_fault`` is ``('truncate', offset)``,
+        ``('corrupt', None)``, or ``None``; ``shm_fault`` is True when
+        the arm's slab mapping is injected to fail (the arm then ships
+        over the pipe, exactly like a host without shared memory).
         """
         injector = _active_injector()
         if injector is None:
-            return None, None
+            return None, None, False
         pre_fault: Optional[Tuple] = None
         if injector.draw("arm-sigkill", index) is not None:
             pre_fault = ("sigkill", 0.0, "")
@@ -363,14 +432,18 @@ class ProcessBackend(ExecutionBackend):
                         raised.detail
                         or f"injected fault at arm-raise (arm {index})",
                     )
-        ship_fault: Optional[str] = None
+        ship_fault: Optional[Tuple] = None
         if pre_fault is None or pre_fault[0] == "raise":
             # Only arms that will actually ship a record draw ship faults.
-            if injector.draw("pipe-truncate", index) is not None:
-                ship_fault = "truncate"
+            truncated = injector.draw("pipe-truncate", index)
+            if truncated is not None:
+                ship_fault = (
+                    "truncate", wire.truncate_offset(truncated.detail)
+                )
             elif injector.draw("record-corrupt", index) is not None:
-                ship_fault = "corrupt"
-        return pre_fault, ship_fault
+                ship_fault = ("corrupt", None)
+        shm_fault = injector.draw("shm-attach-fail", index) is not None
+        return pre_fault, ship_fault, shm_fault
 
     @staticmethod
     def _child_main(
@@ -378,7 +451,8 @@ class ProcessBackend(ExecutionBackend):
         write_fd: int,
         start: float,
         pre_fault: Optional[Tuple] = None,
-        ship_fault: Optional[str] = None,
+        ship_fault: Optional[Tuple] = None,
+        slab: Optional[ShmSlab] = None,
     ) -> None:
         token = getattr(task.context, "token", None)
         if token is not None:
@@ -413,27 +487,20 @@ class ProcessBackend(ExecutionBackend):
             succeeded, value, detail, cancelled = False, None, repr(exc), False
             abnormal = True
         finished = time.perf_counter() - start
-        record = {
-            "index": task.index,
-            "ok": succeeded,
-            "cancelled": cancelled,
-            "abnormal": abnormal,
-            "detail": detail,
-            "started": began,
-            "finished": finished,
-        }
+        record = build_result_record(
+            task.index,
+            getattr(task.context, "space", None),
+            succeeded,
+            value,
+            detail,
+            cancelled,
+            abnormal,
+            began,
+            finished,
+            slab=slab,
+        )
         if tracer.enabled:
             record["trace"] = tracer.events_since(trace_mark)
-        if succeeded:
-            record["value"] = value
-            space = getattr(task.context, "space", None)
-            if space is not None:
-                record["dirty_pages"] = {
-                    vpn: space.table.read_page(vpn)
-                    for vpn in space.table.dirty_pages
-                }
-                record["cow_faults"] = space.cow_faults
-                record["pages_written"] = space.pages_written
         try:
             exit_code = _write_record(write_fd, record, ship_fault)
         except BaseException:
@@ -446,7 +513,8 @@ class ProcessBackend(ExecutionBackend):
     # parent side
 
     def _collect(
-        self, tasks, pids, pipes, start, timeout, seen
+        self, tasks, pids, pipes, start, timeout, seen, slabs,
+        persistent, leases, clean_leases,
     ) -> BackendRace:
         readers = {index: _RecordReader() for index in pipes}
         fd_to_index = {fd: index for index, fd in pipes.items()}
@@ -549,7 +617,10 @@ class ProcessBackend(ExecutionBackend):
                 except InterruptedError:  # pragma: no cover - EINTR
                     continue
                 if not data:
+                    # EOF: a forked child exited -- or a pooled worker
+                    # died mid-lease (its pipe outlives leases otherwise).
                     open_fds.discard(fd)
+                    clean_leases.discard(index)
                     if index not in seen:
                         if reader.corrupt:
                             conclude_abnormal(index, reader.corrupt_detail)
@@ -563,13 +634,25 @@ class ProcessBackend(ExecutionBackend):
                         # loop, refined by the wait status.
                     continue
                 for record in reader.feed(data):
+                    if index in leases and not self._lease_record_valid(
+                        record, leases[index]
+                    ):
+                        reader._mark_corrupt(
+                            "stale pooled record (epoch mismatch)"
+                        )
+                        break
                     winner_index, grace_deadline = self._absorb_record(
                         record, index, reports, seen, events,
                         winner_index, timed_out, grace_deadline,
-                        signal_racing, trace_finish,
+                        signal_racing, trace_finish, slabs,
                     )
                 if reader.corrupt and index not in seen:
                     conclude_abnormal(index, reader.corrupt_detail)
+                if fd in persistent and index in seen:
+                    # The pooled arm is accounted for; its worker parks.
+                    open_fds.discard(fd)
+                    if not reader.corrupt and not reader.pending:
+                        clean_leases.add(index)
 
         total = time.perf_counter() - start
         for task in tasks:
@@ -602,10 +685,22 @@ class ProcessBackend(ExecutionBackend):
             events=events,
         )
 
+    @staticmethod
+    def _lease_record_valid(record: dict, lease) -> bool:
+        """A pooled record must echo its lease's snapshot epoch.
+
+        A mismatch means the bytes on the persistent pipe belong to some
+        earlier lease (a stale world): the record is discarded and the
+        worker's stream treated as poisoned, so the arm concludes
+        abnormally and the pool respawns the worker.
+        """
+        epoch = getattr(lease, "epoch", None)
+        return epoch is None or record.get("pool_epoch") == epoch
+
     def _absorb_record(
         self, record, index, reports, seen, events,
         winner_index, timed_out, grace_deadline, signal_racing,
-        trace_finish,
+        trace_finish, slabs=None,
     ):
         """Fold one intact record into the race state."""
         seen.add(index)
@@ -622,11 +717,36 @@ class ProcessBackend(ExecutionBackend):
         report.cancelled = record["cancelled"]
         report.abnormal = record.get("abnormal", False)
         if record["ok"]:
+            shipment = None
+            shm_pages = record.get("shm_pages")
+            if shm_pages is not None:
+                slab = (slabs or {}).get(index)
+                if slab is None or record.get("shm_slab") != slab.name:
+                    # The record points into a slab this race does not
+                    # own: an unusable shipment.  Demote the arm so a
+                    # sibling can still win.
+                    report.abnormal = True
+                    report.detail = (
+                        "shm shipment names an unknown slab "
+                        f"({record.get('shm_slab')!r})"
+                    )
+                    events.append(
+                        (report.finished_at,
+                         f"{report.name} aborts: {report.detail}")
+                    )
+                    trace_finish(report)
+                    return winner_index, grace_deadline
+                shipment = ShmShipment(
+                    slab=slab,
+                    pairs=[tuple(pair) for pair in shm_pages],
+                )
             if winner_index is None and not timed_out:
                 winner_index = index
                 report.succeeded = True
                 report.value = record["value"]
                 report.dirty_pages = record.get("dirty_pages")
+                report.shm_shipment = shipment
+                report.page_transport = record.get("page_transport")
                 report.cow_faults = record.get("cow_faults", 0)
                 report.pages_written = record.get("pages_written", 0)
                 events.append(
@@ -657,11 +777,13 @@ class ProcessBackend(ExecutionBackend):
     # reaping
 
     def _reap(self, pids: Dict[int, int]) -> Dict[int, Optional[int]]:
-        """Reap every child; force-kill anything still alive.
+        """Reap every forked child; force-kill anything still alive.
 
         Returns each arm's wait status (``None`` when the child was
         already reaped elsewhere).  Never blocks indefinitely: a child
         that has not exited gets SIGKILL before the blocking wait.
+        Pooled workers are excluded -- the pool reaps (and respawns) its
+        own dead.
         """
         statuses: Dict[int, Optional[int]] = {}
         for index, pid in pids.items():

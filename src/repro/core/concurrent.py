@@ -291,6 +291,11 @@ class ConcurrentExecutor:
                     name=arm.name,
                     run=lambda a=to_run, c=context: _run_body(a, c),
                     context=context,
+                    # A world pool ships the alternative by value to a
+                    # parked worker; the seed lets the worker rebuild an
+                    # RNG identical to this context's.
+                    alternative=to_run,
+                    rng_seed=self.seed * 1000003 + index,
                 )
             )
         return tasks, contexts
@@ -471,7 +476,7 @@ class ConcurrentExecutor:
             outcome.started_at = spawn_done + report.started_at
             outcome.finished_at = spawn_done + report.finished_at
             outcome.cpu_consumed = report.work_seconds
-            if report.dirty_pages is None:
+            if report.page_transport is None and report.dirty_pages is None:
                 outcome.pages_written = child.space.pages_written
             else:
                 outcome.pages_written = report.pages_written
@@ -550,7 +555,22 @@ class ConcurrentExecutor:
         winner_report = race.report(winner_index)
         winner_child = by_index[winner_index]
         winner_child.space.trace_block = self._trace_block
-        if winner_report.dirty_pages:
+        if winner_report.shm_shipment is not None:
+            # The winner's dirty pages already sit in a shared-memory
+            # slab: commit is a pointer swap, no page image is copied.
+            shipment = winner_report.shm_shipment
+            try:
+                winner_child.space.apply_shm_pages(shipment)
+            except PageApplyError as exc:
+                self._demote_winner(
+                    race, winner_index, by_index, parent, outcomes,
+                    timeline, spawn_done, exc,
+                )
+            finally:
+                # Adopted frames hold their own slab references now; the
+                # shipment's creation reference is done either way.
+                shipment.slab.dispose()
+        elif winner_report.dirty_pages:
             # The winner ran in another OS process: replay its page images
             # into the simulated child space before the commit swap.
             try:
@@ -622,6 +642,8 @@ class ConcurrentExecutor:
             overhead=overhead,
             wasted_work=wasted,
             timeline=timeline,
+            page_transport=winner_report.page_transport
+            or race.page_transport,
         )
 
     # ------------------------------------------------------------------

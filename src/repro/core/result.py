@@ -93,6 +93,12 @@ class AltResult:
     installed tracer's event stream) when tracing was on; ``None``
     otherwise."""
 
+    page_transport: Optional[str] = None
+    """How the winner's dirty pages reached the parent: ``"shm"``
+    (pointer swap through a shared-memory slab), ``"pipe"`` (pickled
+    images over the result pipe), or ``None`` when the winner ran in
+    the parent process."""
+
     @property
     def durations(self) -> List[float]:
         """Standalone execution times of all alternatives that ran."""

@@ -40,6 +40,38 @@ RAW_OFFSET = 8192
 FAST, MID, SLOW = 0.05, 0.3, 0.55
 
 
+@dataclass(frozen=True)
+class _ArmBody:
+    """One sleeping arm's body as a picklable value (not a closure).
+
+    A pre-warmed world pool ships an arm's alternative to a parked
+    worker process by value; a closure would force every canonical block
+    back onto the fork-per-arm path.  Arms carrying guard *callables*
+    (lambdas) still do -- deliberately, so the matrix keeps exercising
+    the fallback.
+    """
+
+    name: str
+    seconds: float
+    value: Any = None
+    var: Optional[str] = None
+    fail: bool = False
+    crash: bool = False
+    raw: Optional[bytes] = None
+
+    def __call__(self, ctx):
+        ctx.sleep(self.seconds)
+        if self.crash:
+            raise RuntimeError(f"{self.name} crashed (hostile arm)")
+        if self.fail:
+            ctx.fail(f"{self.name} refuses")
+        if self.raw is not None:
+            ctx.space.write(RAW_OFFSET, self.raw)
+        if self.var is not None:
+            ctx.put(self.var, self.value)
+        return self.value
+
+
 def _arm(
     name: str,
     seconds: float,
@@ -52,22 +84,17 @@ def _arm(
     raw: Optional[bytes] = None,
 ) -> Alternative:
     """One sleeping arm whose simulated cost equals its wall sleep."""
-
-    def body(ctx):
-        ctx.sleep(seconds)
-        if crash:
-            raise RuntimeError(f"{name} crashed (hostile arm)")
-        if fail:
-            ctx.fail(f"{name} refuses")
-        if raw is not None:
-            ctx.space.write(RAW_OFFSET, raw)
-        if var is not None:
-            ctx.put(var, value)
-        return value
-
     return Alternative(
         name=name,
-        body=body,
+        body=_ArmBody(
+            name=name,
+            seconds=seconds,
+            value=value,
+            var=var,
+            fail=fail,
+            crash=crash,
+            raw=raw,
+        ),
         guard=guard,
         pre_guard=pre_guard,
         cost=seconds,

@@ -38,6 +38,11 @@ DEGRADE = "degrade"
 
 # -- state shipment ----------------------------------------------------
 PAGE_SHIPBACK = "page-shipback"
+SHM_MAP = "shm-map"
+POINTER_COMMIT = "pointer-commit"
+
+# -- the pre-warmed world pool ------------------------------------------
+POOL_LEASE = "pool-lease"
 
 # -- predicated messages / multiple worlds (section 3.4.2) -------------
 WORLD_SPLIT = "world-split"
@@ -73,6 +78,9 @@ EVENT_KINDS = (
     WATCHDOG_HARD,
     DEGRADE,
     PAGE_SHIPBACK,
+    SHM_MAP,
+    POINTER_COMMIT,
+    POOL_LEASE,
     WORLD_SPLIT,
     WORLD_ELIMINATE,
     PREDICATE_SEND,

@@ -297,6 +297,71 @@ class AddressSpace:
                 bytes=len(ordered) * self.page_size,
             )
 
+    def apply_shm_pages(self, shipment) -> None:
+        """Swap shared-memory slab slots into this space (zero-copy commit).
+
+        The shm counterpart of :meth:`apply_pages`: instead of copying
+        page images, each shipped ``(vpn, slot)`` pair adopts the slab
+        slot as an external frame and repoints the page-table entry at it
+        -- the paper's 'swap page pointers' commit.  The whole shipment
+        is validated (and the ``page-apply-fail`` fault consulted) before
+        any pointer moves, so a malformed shipment raises
+        :class:`~repro.errors.PageApplyError` with the space untouched.
+        Each adopted frame retains the slab; the slab is unlinked only
+        when the last adopted frame's refcount drains.
+        """
+        _check_checkpoint("page-shipback", None)
+        injector = _active_injector()
+        if injector is not None and injector.draw("page-apply-fail") is not None:
+            raise PageApplyError(
+                "injected page-apply failure; space left untouched"
+            )
+        slab = shipment.slab
+        if slab.slot_size != self.page_size:
+            raise PageApplyError(
+                f"slab slot size {slab.slot_size} does not match "
+                f"page size {self.page_size}"
+            )
+        pairs = sorted(shipment.pairs)
+        seen_vpns = set()
+        for vpn, slot in pairs:
+            if vpn < 0 or vpn >= self.num_pages:
+                raise PageApplyError(
+                    f"shipped page {vpn} outside space of {self.num_pages} pages"
+                )
+            if vpn in seen_vpns:
+                raise PageApplyError(f"page {vpn} shipped twice in one commit")
+            seen_vpns.add(vpn)
+            if not 0 <= slot < slab.slots:
+                raise PageApplyError(
+                    f"shipped slot {slot} outside slab of {slab.slots} slots"
+                )
+        # Validated: move the pointers.  Everything below is batched --
+        # one slab retain, one store adoption, one table swap pass -- so
+        # an N-page commit costs N pointer moves, not 3N lock round-trips.
+        slab.retain(len(pairs))
+        try:
+            frames = self.store.adopt_external_many(
+                [slab.slot_view(slot) for _, slot in pairs],
+                on_release=slab.release,
+            )
+        except BaseException:  # pragma: no cover - adoption cannot 1/2-fail
+            slab.release_many(len(pairs))
+            raise
+        self.table.set_frames(
+            (vpn, frame) for (vpn, _), frame in zip(pairs, frames)
+        )
+        self._invalidate_vars()
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                _ev.POINTER_COMMIT,
+                block=getattr(self, "trace_block", None),
+                pages=len(pairs),
+                slab=slab.name,
+                bytes=len(pairs) * self.page_size,
+            )
+
     def release(self) -> None:
         """Release every page (process exit)."""
         self.table.release()

@@ -12,6 +12,49 @@ from functools import lru_cache
 DEFAULT_PAGE_SIZE = 4096
 """Default page size in bytes (the HP 9000/350 used 4K pages)."""
 
+_COMPARE_CHUNK = 1 << 16
+"""Bytes compared per memoryview chunk in :func:`buffers_equal`."""
+
+try:  # pragma: no cover - probed, never required
+    import numpy as _np
+except ImportError:
+    _np = None  # type: ignore[assignment]
+
+
+def numpy_available() -> bool:
+    """True when the optional ``numpy`` fast path is importable."""
+    return _np is not None
+
+
+def buffers_equal(a, b) -> bool:
+    """Whole-buffer equality over any two byte buffers, without copies.
+
+    Accepts ``bytes`` or ``memoryview`` (so page-table frame views and
+    shared-memory slab slots compare without materializing).  Unequal
+    lengths are simply unequal.  Large buffers are compared in
+    ``memoryview`` chunks -- each chunk is one C-speed ``memcmp`` -- with
+    an optional ``numpy`` vectorized path behind a feature probe; for
+    page-sized inputs both collapse to a single compare.
+    """
+    if len(a) != len(b):
+        return False
+    if len(a) <= _COMPARE_CHUNK:
+        va = a if isinstance(a, (bytes, memoryview)) else memoryview(a)
+        vb = b if isinstance(b, (bytes, memoryview)) else memoryview(b)
+        return va == vb
+    va, vb = memoryview(a), memoryview(b)
+    if _np is not None:
+        return bool(
+            _np.array_equal(
+                _np.frombuffer(va, dtype=_np.uint8),
+                _np.frombuffer(vb, dtype=_np.uint8),
+            )
+        )
+    for start in range(0, len(va), _COMPARE_CHUNK):
+        if va[start:start + _COMPARE_CHUNK] != vb[start:start + _COMPARE_CHUNK]:
+            return False
+    return True
+
 
 @lru_cache(maxsize=8)
 def zero_page(page_size: int = DEFAULT_PAGE_SIZE) -> bytes:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.pages.address_space import AddressSpace
+from repro.pages.page import buffers_equal
 from repro.pages.table import PageTable
 
 
@@ -20,6 +21,12 @@ def diff_pages(parent: PageTable, child: PageTable) -> Dict[int, bytes]:
     Pages mapped in only one of the two tables are included (missing pages
     compare as absent, and the child's contents -- or ``b''`` for an unmap
     -- are reported).
+
+    Byte-identical pages are skipped even when they live in different
+    frames (a page rewritten with its prior contents must not ship).
+    Contents are compared through frame ``memoryview``s -- one C-level
+    compare per page, no intermediate copies -- and only genuinely
+    changed pages are materialized as ``bytes``.
     """
     changed: Dict[int, bytes] = {}
     parent_vpns = set(parent.mapped_pages())
@@ -32,10 +39,11 @@ def diff_pages(parent: PageTable, child: PageTable) -> Dict[int, bytes]:
             child_frame = child.frame_of(vpn)
             if parent_frame == child_frame:
                 continue  # still physically shared, provably identical
-            parent_page = parent.read_page(vpn)
-            child_page = child.read_page(vpn)
-            if parent_page != child_page:
-                changed[vpn] = child_page
+            if buffers_equal(
+                parent.read_page_view(vpn), child.read_page_view(vpn)
+            ):
+                continue
+            changed[vpn] = child.read_page(vpn)
         elif in_child:
             changed[vpn] = child.read_page(vpn)
         else:

@@ -16,20 +16,28 @@ a frame just to slice it.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.pages.page import DEFAULT_PAGE_SIZE, zero_page
 
 
 class PageStore:
-    """A pool of immutable, reference-counted page frames."""
+    """A pool of immutable, reference-counted page frames.
+
+    Frames normally hold ``bytes``.  A frame may instead be *adopted*
+    from an external page-sized buffer (a shared-memory slab slot, see
+    :meth:`adopt_external`); such a frame serves reads through the
+    external buffer with zero copies and runs a release callback when its
+    refcount drains, so the buffer's owner knows the store is done.
+    """
 
     def __init__(self, page_size: int = DEFAULT_PAGE_SIZE) -> None:
         if page_size <= 0:
             raise ValueError("page size must be positive")
         self.page_size = page_size
-        self._frames: Dict[int, bytes] = {}
+        self._frames: Dict[int, object] = {}
         self._refcounts: Dict[int, int] = {}
+        self._external: Dict[int, Optional[Callable[[], None]]] = {}
         self._next_frame = 0
         self._lock = threading.RLock()
         self._zero_frame: Optional[int] = None
@@ -80,8 +88,64 @@ class PageStore:
             self._zero_frame = frame_id
             return frame_id
 
-    def read(self, frame_id: int) -> bytes:
-        """Return the immutable contents of a frame."""
+    def adopt_external(
+        self,
+        data,
+        on_release: Optional[Callable[[], None]] = None,
+    ) -> int:
+        """Adopt an external page-sized buffer as a frame (zero-copy).
+
+        ``data`` is any read-only buffer of exactly ``page_size`` bytes --
+        in practice a shared-memory slab slot view -- and is served to
+        readers as-is, never copied into the store.  The caller promises
+        the buffer's contents stay frozen while the frame lives.  When
+        the frame's refcount drains, the buffer is released and
+        ``on_release`` runs (outside the store lock), letting the
+        buffer's owner drop its pin.  This is the receiving half of the
+        winner-commit pointer swap.
+        """
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"external frame of {len(data)} bytes; "
+                f"expected exactly page size {self.page_size}"
+            )
+        with self._lock:
+            frame_id = self._next_frame
+            self._next_frame += 1
+            self._frames[frame_id] = data
+            self._refcounts[frame_id] = 1
+            self._external[frame_id] = on_release
+            self.total_allocations += 1
+        return frame_id
+
+    def adopt_external_many(self, buffers, on_release=None) -> list:
+        """Adopt many page-sized buffers under one lock acquisition.
+
+        The batched form of :meth:`adopt_external` for multi-page
+        commits: per-frame lock round-trips are what dominates a
+        pointer-swap commit once the page images themselves stop being
+        copied.  ``on_release`` (shared by every frame) runs once per
+        frame as each drains.
+        """
+        for data in buffers:
+            if len(data) != self.page_size:
+                raise ValueError(
+                    f"external frame of {len(data)} bytes; "
+                    f"expected exactly page size {self.page_size}"
+                )
+        with self._lock:
+            first = self._next_frame
+            frame_ids = list(range(first, first + len(buffers)))
+            self._next_frame = first + len(buffers)
+            for frame_id, data in zip(frame_ids, buffers):
+                self._frames[frame_id] = data
+                self._refcounts[frame_id] = 1
+                self._external[frame_id] = on_release
+            self.total_allocations += len(buffers)
+        return frame_ids
+
+    def read(self, frame_id: int):
+        """The contents of a frame: ``bytes``, or an external buffer."""
         try:
             return self._frames[frame_id]
         except KeyError:
@@ -106,17 +170,55 @@ class PageStore:
 
     def decref(self, frame_id: int) -> None:
         """Drop a reference, reclaiming the frame at zero."""
+        on_release = None
         with self._lock:
             count = self._refcounts.get(frame_id)
             if count is None:
                 raise KeyError(f"no such frame: {frame_id}")
             if count == 1:
                 del self._refcounts[frame_id]
-                del self._frames[frame_id]
+                data = self._frames.pop(frame_id)
                 if self._zero_frame == frame_id:
                     self._zero_frame = None
+                if frame_id in self._external:
+                    on_release = self._external.pop(frame_id)
+                    if isinstance(data, memoryview):
+                        data.release()
             else:
                 self._refcounts[frame_id] = count - 1
+        if on_release is not None:
+            # Outside the lock: the callback may release a slab, which
+            # must not re-enter the store under our lock.
+            on_release()
+
+    def decref_many(self, frame_ids) -> None:
+        """Drop one reference from each frame under one lock acquisition.
+
+        The batched form of :meth:`decref` for multi-page pointer swaps;
+        release callbacks of reclaimed external frames run after the
+        lock is dropped, in frame order.
+        """
+        callbacks = []
+        with self._lock:
+            for frame_id in frame_ids:
+                count = self._refcounts.get(frame_id)
+                if count is None:
+                    raise KeyError(f"no such frame: {frame_id}")
+                if count == 1:
+                    del self._refcounts[frame_id]
+                    data = self._frames.pop(frame_id)
+                    if self._zero_frame == frame_id:
+                        self._zero_frame = None
+                    if frame_id in self._external:
+                        on_release = self._external.pop(frame_id)
+                        if isinstance(data, memoryview):
+                            data.release()
+                        if on_release is not None:
+                            callbacks.append(on_release)
+                else:
+                    self._refcounts[frame_id] = count - 1
+        for on_release in callbacks:
+            on_release()
 
     def refcount(self, frame_id: int) -> int:
         """Current reference count (0 if the frame was reclaimed)."""
@@ -125,6 +227,19 @@ class PageStore:
     def is_shared(self, frame_id: int) -> bool:
         """True when more than one page-table entry points at the frame."""
         return self.refcount(frame_id) > 1
+
+    def is_external(self, frame_id: int) -> bool:
+        """True when the frame serves an adopted external buffer."""
+        return frame_id in self._external
+
+    @property
+    def zero_frame_id(self) -> Optional[int]:
+        """The canonical all-zero frame's id (``None`` when not live).
+
+        Snapshot builders compare page-table entries against this to skip
+        never-written pages without touching their bytes.
+        """
+        return self._zero_frame
 
     @property
     def live_frames(self) -> int:

@@ -86,8 +86,15 @@ class PageTable:
     # reads and writes
 
     def read_page(self, vpn: int) -> bytes:
-        """The contents of virtual page ``vpn``."""
-        return self.store.read(self.frame_of(vpn))
+        """The contents of virtual page ``vpn`` as immutable ``bytes``.
+
+        Frames adopted from shared-memory slabs serve reads through an
+        external buffer; this accessor materializes them so callers can
+        pickle or slice the result freely.  Use :meth:`read_page_view`
+        for the zero-copy path.
+        """
+        data = self.store.read(self.frame_of(vpn))
+        return data if isinstance(data, bytes) else bytes(data)
 
     def read_page_view(self, vpn: int) -> memoryview:
         """A zero-copy ``memoryview`` of virtual page ``vpn``.
@@ -103,21 +110,72 @@ class PageTable:
 
         If the backing frame is shared with another table, a COW fault is
         serviced first: the frame contents are copied into a private frame.
+
+        A write whose bytes match the page's current contents is a no-op:
+        no fault is serviced, no frame is allocated, and the page is not
+        marked dirty.  (A page rewritten with its prior contents used to
+        ship as dirty anyway -- a spurious copy at fork *and* a spurious
+        page in every shipback.)  The comparison is a single buffer
+        compare against the live frame view, so the skip costs less than
+        the allocation it avoids.
         """
         frame = self.frame_of(vpn)
         old = self.store.read(frame)
+        if offset < 0 or offset + len(data) > len(old):
+            raise ValueError(
+                f"write of {len(data)} bytes at offset {offset} "
+                f"does not fit in a {len(old)}-byte page"
+            )
+        if old[offset:offset + len(data)] == data:
+            return
+        if not isinstance(old, bytes):
+            old = bytes(old)
         new = patch_page(old, offset, data)
         if self.store.is_shared(frame):
             self.cow_faults += 1
-            self._entries[vpn] = self.store.allocate(new)
-            self.store.decref(frame)
-        elif new != old:
-            # Private frame: replace contents in place (frames are
-            # immutable bytes, so "in place" means swap the frame's data by
-            # reallocating under the same refcount of one).
-            self._entries[vpn] = self.store.allocate(new)
-            self.store.decref(frame)
+        self._entries[vpn] = self.store.allocate(new)
+        self.store.decref(frame)
         self._dirty.add(vpn)
+
+    def set_frame(self, vpn: int, frame_id: int) -> None:
+        """Point ``vpn`` at ``frame_id``, consuming one reference on it.
+
+        This is the zero-copy commit primitive: the shared-memory
+        shipback path adopts a slab slot as a frame and swaps the page's
+        pointer here instead of copying bytes through :meth:`write_page`.
+        The page is marked dirty (the new frame's contents are the
+        child's, by construction different from what the parent held).
+        """
+        if vpn < 0:
+            raise ValueError("virtual page numbers are non-negative")
+        old_frame = self._entries.get(vpn)
+        self._entries[vpn] = frame_id
+        if old_frame is not None:
+            self.store.decref(old_frame)
+        self._dirty.add(vpn)
+
+    def set_frames(self, assignments) -> None:
+        """Batched :meth:`set_frame`: swap many page pointers at once.
+
+        ``assignments`` is an iterable of ``(vpn, frame_id)``.  Old
+        frames are released in one store pass, so an N-page commit pays
+        one lock acquisition instead of N -- the difference between the
+        pointer-swap commit scaling with page count and scaling with
+        lock traffic.
+        """
+        entries = self._entries
+        dirty = self._dirty
+        released = []
+        for vpn, frame_id in assignments:
+            if vpn < 0:
+                raise ValueError("virtual page numbers are non-negative")
+            old_frame = entries.get(vpn)
+            entries[vpn] = frame_id
+            if old_frame is not None:
+                released.append(old_frame)
+            dirty.add(vpn)
+        if released:
+            self.store.decref_many(released)
 
     # ------------------------------------------------------------------
     # fork / dirty accounting

@@ -1,0 +1,553 @@
+"""A pre-warmed world pool: parked worker processes that race arms on demand.
+
+``alt_spawn`` pays a per-block *setup* cost (section 4.1 item 1): the
+fork-based backend forks one fresh child per arm per race, and the fork
+itself -- duplicating the parent, re-importing nothing but still paying
+the OS -- dominates commit latency for small blocks.  A
+:class:`WorldPool` amortizes it: N blank workers are forked **once** and
+parked on a control pipe; each race *leases* a parked worker instead of
+forking, hands it the arm (by value) plus a snapshot of the racing
+world, and recycles the worker afterwards.
+
+A lease travels over the worker's control pipe as a length-prefixed
+pickle; the result comes back over the worker's *persistent* result pipe
+in the exact wire format a freshly forked child would use
+(:mod:`repro.core.backends.wire`), so the collecting loop cannot tell a
+pooled arm from a forked one.  Dirty pages ride the same zero-copy
+shared-memory slab fabric (:mod:`repro.pages.shm`) when available: the
+parent writes the snapshot's non-zero pages into the arm's slab, the
+worker rebuilds its private world from those slots, runs the body, and
+overwrites the slots with its dirty pages -- page images cross the
+control pipe only when shared memory is off.
+
+Failure discipline matches direct forks exactly:
+
+- ``SIGTERM`` on a leased worker cancels the arm's token (cooperative
+  elimination); on a parked worker it is a no-op;
+- ``SIGKILL`` (watchdog escalation, grace expiry) kills the worker; the
+  parent sees EOF on the persistent pipe, concludes the arm abnormally,
+  and the pool respawns a fresh worker at :meth:`finish`;
+- a lease whose record never fully arrived leaves the worker's stream
+  suspect: the worker is killed and respawned, never re-parked;
+- every record echoes its lease's ``epoch``; a mismatched echo (a stale
+  world's leftovers) poisons the worker instead of corrupting the race;
+- the ``pool-worker-stale`` fault point injects exactly that staleness,
+  and an injected or real lease failure falls back to a direct fork --
+  pooling is a pure optimization, never a semantic dependency.
+
+Workers are *not* in the backend's orphan registry: their lifetime
+belongs to the pool, which kills and reaps every worker at
+:meth:`shutdown` (``atexit``-registered).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import random
+import signal
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.backends.base import CancellationToken
+from repro.core.backends import wire
+from repro.errors import Eliminated, FaultInjected
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
+from repro.pages.address_space import AddressSpace
+from repro.pages.shm import ShmSlab
+from repro.pages.store import PageStore
+from repro.resilience.injector import active as _active_injector
+
+__all__ = ["Lease", "WorldPool", "default_pool", "shutdown_default_pool"]
+
+_LEN = struct.Struct("!I")
+"""Control-pipe framing: 4-byte length prefix, then a pickled message."""
+
+DEFAULT_POOL_SIZE = 2
+
+
+def _read_exact(fd: int, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on EOF (parent died)."""
+    chunks = []
+    while count:
+        try:
+            chunk = os.read(fd, count)
+        except InterruptedError:  # pragma: no cover - EINTR, retried
+            continue
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+@dataclass
+class Lease:
+    """One arm handed to a parked worker (what ``run_arms`` tracks)."""
+
+    index: int
+    pid: int
+    result_fd: int
+    epoch: int
+
+
+class _Worker:
+    """Parent-side handle on one pooled process."""
+
+    __slots__ = ("pid", "ctrl_fd", "result_fd", "busy")
+
+    def __init__(self, pid: int, ctrl_fd: int, result_fd: int) -> None:
+        self.pid = pid
+        self.ctrl_fd = ctrl_fd
+        self.result_fd = result_fd
+        self.busy = False
+
+
+class WorldPool:
+    """N pre-forked workers, parked until a race leases them."""
+
+    def __init__(self, size: int = DEFAULT_POOL_SIZE) -> None:
+        if size < 1:
+            raise ValueError("a world pool needs at least one worker")
+        if not hasattr(os, "fork"):
+            raise RuntimeError("WorldPool requires os.fork")
+        self.size = size
+        self._workers: List[_Worker] = []
+        self._epoch = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        self.leases_granted = 0
+        self.fallbacks = 0
+        """Lease attempts that fell back to a direct fork (diagnostics)."""
+
+        self.respawns = 0
+        for _ in range(size):
+            self._workers.append(self._spawn())
+        atexit.register(self.shutdown)
+
+    # ------------------------------------------------------------------
+    # parent side
+
+    def _spawn(self) -> _Worker:
+        ctrl_read, ctrl_write = os.pipe()
+        result_read, result_write = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            try:
+                os.close(ctrl_write)
+                os.close(result_read)
+                # Sibling workers' parent-end fds leak through the fork;
+                # drop them so a dead sibling's pipes actually EOF.
+                for sibling in self._workers:
+                    for fd in (sibling.ctrl_fd, sibling.result_fd):
+                        try:
+                            os.close(fd)
+                        except OSError:
+                            pass
+                _worker_main(ctrl_read, result_write)
+            finally:  # pragma: no cover - _worker_main never returns
+                os._exit(wire.EXIT_SHIP_FAILED)
+        os.close(ctrl_read)
+        os.close(result_write)
+        return _Worker(pid, ctrl_write, result_read)
+
+    def _discard(self, worker: _Worker) -> Optional[int]:
+        """Kill, reap, and forget one worker; returns its wait status."""
+        try:
+            os.kill(worker.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+        while True:
+            try:
+                _, status = os.waitpid(worker.pid, 0)
+                break
+            except InterruptedError:  # pragma: no cover - EINTR
+                continue
+            except ChildProcessError:
+                status = None
+                break
+        for fd in (worker.ctrl_fd, worker.result_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        with self._lock:
+            if worker in self._workers:
+                self._workers.remove(worker)
+        return status
+
+    def _replace(self, worker: _Worker) -> Optional[int]:
+        status = self._discard(worker)
+        if not self._closed:
+            fresh = self._spawn()
+            with self._lock:
+                self._workers.append(fresh)
+            self.respawns += 1
+        return status
+
+    def lease(
+        self,
+        task,
+        start: float,
+        pre_fault: Optional[Tuple] = None,
+        ship_fault: Optional[Tuple] = None,
+        slab: Optional[ShmSlab] = None,
+    ) -> Optional[Lease]:
+        """Hand one arm to a parked worker; ``None`` means fork instead.
+
+        Falls back (returning ``None``) whenever pooling cannot be
+        transparent: no free worker, an alternative that does not pickle,
+        a context without a space, or an injected ``pool-worker-stale``
+        fault.  The caller loses nothing but the amortization.
+        """
+        if self._closed:
+            return None
+        space = getattr(task.context, "space", None)
+        if task.alternative is None or space is None:
+            self.fallbacks += 1
+            return None
+        with self._lock:
+            worker = next((w for w in self._workers if not w.busy), None)
+            if worker is None:
+                self.fallbacks += 1
+                return None
+            worker.busy = True
+        injector = _active_injector()
+        if (
+            injector is not None
+            and injector.draw("pool-worker-stale", task.index) is not None
+        ):
+            # The injected stale world: this worker's state is declared
+            # unusable, so it is recycled and the arm forks directly.
+            self._replace(worker)
+            self.fallbacks += 1
+            return None
+        with self._lock:
+            self._epoch += 1
+            epoch = self._epoch
+        snapshot_pairs: List[Tuple[int, int]] = []
+        snapshot_inline: Dict[int, bytes] = {}
+        zero_frame = space.store.zero_frame_id
+        nonzero = [
+            vpn
+            for vpn in range(space.num_pages)
+            if space.table.frame_of(vpn) != zero_frame
+        ]
+        if slab is not None and len(nonzero) <= slab.slots:
+            # The arm's response slab doubles as the snapshot carrier:
+            # the worker reads its world out of these slots, then
+            # overwrites them with its dirty pages on the way back.
+            for slot, vpn in enumerate(nonzero):
+                slab.write_slot(slot, space.table.read_page_view(vpn))
+                snapshot_pairs.append((vpn, slot))
+        else:
+            for vpn in nonzero:
+                snapshot_inline[vpn] = space.table.read_page(vpn)
+        message = {
+            "kind": "lease",
+            "epoch": epoch,
+            "index": task.index,
+            "name": task.name,
+            "alternative": task.alternative,
+            "rng_seed": task.rng_seed,
+            "space_size": space.size,
+            "page_size": space.page_size,
+            "snapshot_pairs": snapshot_pairs,
+            "snapshot_inline": snapshot_inline,
+            "slab_name": None if slab is None else slab.name,
+            "slab_slots": None if slab is None else slab.slots,
+            "slab_slot_size": None if slab is None else slab.slot_size,
+            "start": start,
+            "pre_fault": pre_fault,
+            "ship_fault": ship_fault,
+            "trace_block": getattr(task.context, "trace_block", None),
+        }
+        try:
+            blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            # Closures, local classes, live fds: not portable by value.
+            with self._lock:
+                worker.busy = False
+            self.fallbacks += 1
+            return None
+        try:
+            if not wire.write_all(worker.ctrl_fd, _LEN.pack(len(blob)) + blob):
+                raise BrokenPipeError("pool worker hung up")
+        except OSError:
+            self._replace(worker)
+            self.fallbacks += 1
+            return None
+        self.leases_granted += 1
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                _ev.POOL_LEASE,
+                block=getattr(task.context, "trace_block", None),
+                arm=task.index,
+                name=task.name,
+                worker_pid=worker.pid,
+                epoch=epoch,
+                snapshot_pages=len(nonzero),
+                transport="shm" if slab is not None else "pipe",
+            )
+        return Lease(
+            index=task.index,
+            pid=worker.pid,
+            result_fd=worker.result_fd,
+            epoch=epoch,
+        )
+
+    def finish(
+        self, leases: Dict[int, Lease], clean: Set[int]
+    ) -> Dict[int, Optional[int]]:
+        """Settle every lease after a race: park, or kill-and-respawn.
+
+        ``clean`` holds the arm indexes whose records were fully absorbed
+        (the worker's stream is positively known to be drained); any
+        other leased worker is recycled, because bytes may still be in
+        flight on its persistent pipe.  Returns wait statuses for workers
+        that died, keyed by arm index, for exit-status annotation.
+        """
+        statuses: Dict[int, Optional[int]] = {}
+        by_pid = {worker.pid: worker for worker in list(self._workers)}
+        for index, lease in leases.items():
+            worker = by_pid.get(lease.pid)
+            if worker is None:  # pragma: no cover - already recycled
+                continue
+            alive = True
+            try:
+                done, status = os.waitpid(worker.pid, os.WNOHANG)
+                if done != 0:
+                    alive = False
+                    statuses[index] = status
+            except ChildProcessError:  # pragma: no cover - reaped elsewhere
+                alive = False
+                statuses[index] = None
+            if not alive:
+                for fd in (worker.ctrl_fd, worker.result_fd):
+                    try:
+                        os.close(fd)
+                    except OSError:
+                        pass
+                with self._lock:
+                    if worker in self._workers:
+                        self._workers.remove(worker)
+                if not self._closed:
+                    fresh = self._spawn()
+                    with self._lock:
+                        self._workers.append(fresh)
+                    self.respawns += 1
+                continue
+            if index in clean:
+                with self._lock:
+                    worker.busy = False
+            else:
+                statuses.setdefault(index, self._replace(worker))
+        return statuses
+
+    @property
+    def parked(self) -> int:
+        """Workers currently free to take a lease."""
+        with self._lock:
+            return sum(1 for worker in self._workers if not worker.busy)
+
+    def worker_pids(self) -> List[int]:
+        with self._lock:
+            return [worker.pid for worker in self._workers]
+
+    def shutdown(self) -> None:
+        """Stop every worker (idempotent; also runs at interpreter exit)."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            workers = list(self._workers)
+            self._workers = []
+        goodbye = pickle.dumps({"kind": "exit"})
+        for worker in workers:
+            try:
+                wire.write_all(worker.ctrl_fd, _LEN.pack(len(goodbye)) + goodbye)
+            except OSError:
+                pass
+        deadline = time.monotonic() + 2.0
+        pending = {worker.pid: worker for worker in workers}
+        while pending and time.monotonic() < deadline:
+            for pid in list(pending):
+                try:
+                    done, _ = os.waitpid(pid, os.WNOHANG)
+                except ChildProcessError:
+                    done = pid
+                if done != 0:
+                    del pending[pid]
+            if pending:
+                time.sleep(0.01)
+        for pid, worker in pending.items():
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+            try:
+                os.waitpid(pid, 0)
+            except (ChildProcessError, InterruptedError):
+                pass
+        for worker in workers:
+            for fd in (worker.ctrl_fd, worker.result_fd):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+
+    def __repr__(self) -> str:
+        return (
+            f"WorldPool(size={self.size}, parked={self.parked}, "
+            f"leases={self.leases_granted}, respawns={self.respawns})"
+        )
+
+
+# ----------------------------------------------------------------------
+# worker side (runs in the forked pool process; exits via os._exit only)
+
+
+def _worker_main(ctrl_fd: int, result_fd: int) -> None:
+    current: Dict[str, Optional[CancellationToken]] = {"token": None}
+
+    def on_sigterm(signum, frame):
+        token = current["token"]
+        if token is not None:
+            token.cancel()
+
+    signal.signal(signal.SIGTERM, on_sigterm)
+    while True:
+        header = _read_exact(ctrl_fd, _LEN.size)
+        if header is None:
+            os._exit(0)  # parent is gone; nothing left to serve
+        blob = _read_exact(ctrl_fd, _LEN.unpack(header)[0])
+        if blob is None:
+            os._exit(0)
+        try:
+            message = pickle.loads(blob)
+        except Exception:  # pragma: no cover - garbled control stream
+            os._exit(wire.EXIT_SHIP_FAILED)
+        if message.get("kind") == "exit":
+            os._exit(0)
+        _serve_lease(message, result_fd, current)
+
+
+def _serve_lease(
+    message: dict, result_fd: int, current: dict
+) -> None:
+    """Run one leased arm and ship its record; may never return (faults)."""
+    from repro.core.alternative import AltContext
+    from repro.core.backends.process import build_result_record
+    from repro.core.sequential import _run_body
+
+    index = message["index"]
+    epoch = message["epoch"]
+    start = message["start"]
+    pre_fault = message["pre_fault"]
+    ship_fault = message["ship_fault"]
+    tracer = _active_tracer()
+    trace_mark = tracer.mark()
+    began = time.perf_counter() - start
+    abnormal = False
+    space = None
+    slab: Optional[ShmSlab] = None
+    try:
+        if pre_fault is not None:
+            kind, duration, fault_detail = pre_fault
+            if kind == "sigkill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif kind == "hang":
+                # A wedged world: ignore the cooperative kill, stall, and
+                # die -- the parent's escalation (or this exit) ends it.
+                signal.signal(signal.SIGTERM, signal.SIG_IGN)
+                time.sleep(duration)
+                os._exit(wire.EXIT_HANG)
+            elif kind == "raise":
+                raise FaultInjected(fault_detail)
+        # Rebuild the racing world from the lease's snapshot: a fresh
+        # store, the snapshot's non-zero pages, and a clean dirty set so
+        # shipback carries exactly what the body writes.
+        store = PageStore(page_size=message["page_size"])
+        space = AddressSpace(store, message["space_size"])
+        if message["slab_name"] is not None:
+            slab = ShmSlab.attach(
+                message["slab_name"],
+                message["slab_slots"],
+                message["slab_slot_size"],
+            )
+        for vpn, slot in message["snapshot_pairs"]:
+            space.table.map_page(vpn, slab.read_slot(slot))
+        for vpn, data in message["snapshot_inline"].items():
+            space.table.map_page(vpn, data)
+        space.table.clear_dirty()
+        token = CancellationToken()
+        current["token"] = token
+        context = AltContext(
+            space,
+            rng=random.Random(message["rng_seed"]),
+            alt_index=index + 1,
+            name=message["name"],
+            process=None,
+            token=token,
+        )
+        context.trace_block = message["trace_block"]
+        succeeded, value, detail = _run_body(message["alternative"], context)
+        cancelled = False
+    except Eliminated as exc:
+        succeeded, value, detail, cancelled = False, None, str(exc), True
+    except BaseException as exc:
+        succeeded, value, detail, cancelled = False, None, repr(exc), False
+        abnormal = True
+    finally:
+        current["token"] = None
+    finished = time.perf_counter() - start
+    record = build_result_record(
+        index, space, succeeded, value, detail, cancelled, abnormal,
+        began, finished, slab=slab,
+    )
+    record["pool_epoch"] = epoch
+    if tracer.enabled:
+        record["trace"] = tracer.events_since(trace_mark)
+    try:
+        exit_code = wire.write_record(result_fd, record, ship_fault)
+    except BaseException:
+        os._exit(wire.EXIT_SHIP_FAILED)
+    if ship_fault is not None or exit_code == wire.EXIT_TRUNCATED:
+        # A ship fault leaves this worker's persistent stream unusable
+        # (dangling or mangled bytes): die like a forked child would and
+        # let the pool respawn a clean replacement.
+        os._exit(exit_code)
+    if slab is not None:
+        slab.dispose()
+
+
+# ----------------------------------------------------------------------
+# the process-wide default pool (the REPRO_WORLD_POOL=1 path)
+
+_default_pool: Optional[WorldPool] = None
+_default_lock = threading.Lock()
+
+
+def default_pool(size: int = DEFAULT_POOL_SIZE) -> WorldPool:
+    """The lazily created process-wide pool (one per interpreter)."""
+    global _default_pool
+    with _default_lock:
+        if _default_pool is None or _default_pool._closed:
+            _default_pool = WorldPool(size)
+        return _default_pool
+
+
+def shutdown_default_pool() -> None:
+    """Tear down the process-wide pool (tests call this to leave no
+    children behind)."""
+    global _default_pool
+    with _default_lock:
+        pool, _default_pool = _default_pool, None
+    if pool is not None:
+        pool.shutdown()

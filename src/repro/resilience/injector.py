@@ -37,6 +37,8 @@ FAULT_POINTS = (
     "record-corrupt",   # the result record's bytes are flipped on the wire
     "slow-guard",       # guard evaluation stalls
     "page-apply-fail",  # replaying shipped page images into the space fails
+    "shm-attach-fail",  # a shared-memory slab cannot be mapped for an arm
+    "pool-worker-stale",  # a pooled world's snapshot epoch is out of date
     # -- the wire (section 4.1's distributed case under chaos) ---------
     "net-drop",         # a message is lost in flight
     "net-dup",          # a message is delivered more than once
@@ -133,6 +135,12 @@ class FaultInjector:
 
     def page_apply_fail(self, **kw) -> "FaultInjector":
         return self.add("page-apply-fail", **kw)
+
+    def shm_attach_fail(self, **kw) -> "FaultInjector":
+        return self.add("shm-attach-fail", **kw)
+
+    def pool_worker_stale(self, **kw) -> "FaultInjector":
+        return self.add("pool-worker-stale", **kw)
 
     def net_drop(self, **kw) -> "FaultInjector":
         return self.add("net-drop", **kw)

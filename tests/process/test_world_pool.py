@@ -1,0 +1,223 @@
+"""The pre-warmed world pool: transparency, recycling, and crash discipline.
+
+Pooling is a pure optimization: every test here pins some facet of
+'a pooled race is indistinguishable from a forked race' -- identical
+outcomes across the canonical corpus, identical failure handling under
+injected worker deaths, and clean fallback to direct forks whenever a
+lease cannot be transparent.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.core.alternative import Alternative
+from repro.core.backends import ProcessBackend, get_backend
+from repro.core.concurrent import ConcurrentExecutor
+from repro.obs.blocks import CANONICAL_BLOCKS, get_block
+from repro.pages.shm import orphaned_segments, shm_available
+from repro.process import pool as pool_module
+from repro.process.pool import WorldPool, shutdown_default_pool
+from repro.resilience import FaultInjector, injected
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.subprocess,
+    pytest.mark.skipif(not hasattr(os, "fork"), reason="requires os.fork"),
+]
+
+REFERENCE = "serial"
+
+
+class _Sleeper:
+    """A picklable arm body (a closure would force the fork fallback)."""
+
+    def __init__(self, name, seconds, value):
+        self.name = name
+        self.seconds = seconds
+        self.value = value
+
+    def __call__(self, ctx):
+        ctx.sleep(self.seconds)
+        ctx.put("winner-name", self.name)
+        return self.value
+
+
+def sleeper_block():
+    return [
+        Alternative("quick", body=_Sleeper("quick", 0.01, "Q")),
+        Alternative("slow", body=_Sleeper("slow", 0.3, "S")),
+    ]
+
+
+@pytest.fixture
+def pool():
+    pool = WorldPool(size=2)
+    yield pool
+    pool.shutdown()
+
+
+@pytest.fixture(autouse=True)
+def _no_fault_leaks():
+    from repro.resilience import injector as registry
+
+    yield
+    registry.uninstall()
+
+
+class TestPooledEquivalenceMatrix:
+    """Satellite: the full canonical corpus, pooled vs the serial oracle."""
+
+    @pytest.mark.parametrize(
+        "block_name", [spec.name for spec in CANONICAL_BLOCKS]
+    )
+    def test_pooled_process_agrees_with_reference(self, block_name, pool):
+        spec = get_block(block_name)
+        reference = spec.run(get_backend(REFERENCE))
+        pooled = spec.run(ProcessBackend(kill_grace=0.5, pool=pool))
+        assert pooled.value == reference.value
+        assert pooled.winner == reference.winner
+        assert pooled.error == reference.error
+        assert pooled.variables == reference.variables
+        assert pooled.space_bytes == reference.space_bytes
+
+    def test_leases_are_actually_granted(self, pool):
+        outcome = get_block("pure-winner").run(
+            ProcessBackend(kill_grace=0.5, pool=pool)
+        )
+        assert outcome.winner == "fast"
+        assert pool.leases_granted > 0
+        assert pool.parked == pool.size  # every worker re-parked cleanly
+
+
+class TestPoolFallbacks:
+    def test_closure_bodies_fall_back_to_forks(self, pool):
+        payload = object()  # captured: the alternative cannot pickle
+
+        def body(ctx):
+            return type(payload).__name__
+
+        executor = ConcurrentExecutor(
+            backend=ProcessBackend(kill_grace=0.5, pool=pool)
+        )
+        result = executor.run([Alternative("closure", body=body)])
+        assert result.value == "object"
+        assert pool.leases_granted == 0
+        assert pool.fallbacks >= 1
+
+    def test_stale_worker_fault_recycles_and_forks(self, pool):
+        executor = ConcurrentExecutor(
+            backend=ProcessBackend(kill_grace=0.5, pool=pool)
+        )
+        injector = FaultInjector(seed=0).pool_worker_stale(arms=[0], times=1)
+        with injected(injector):
+            result = executor.run(sleeper_block())
+        assert result.value == "Q"
+        assert result.winner.name == "quick"
+        assert pool.fallbacks >= 1  # the stale arm forked directly
+        assert pool.respawns >= 1  # and the suspect worker was replaced
+        assert pool.parked == pool.size
+
+    @pytest.mark.skipif(not shm_available(), reason="no shared memory")
+    def test_shm_attach_fault_degrades_to_pipe_transport(self, pool):
+        executor = ConcurrentExecutor(
+            backend=ProcessBackend(kill_grace=0.5, pool=pool)
+        )
+        injector = FaultInjector(seed=0).shm_attach_fail(times=None)
+        with injected(injector):
+            result = executor.run(sleeper_block())
+        assert result.value == "Q"
+        assert result.page_transport == "pipe"
+
+    def test_exhausted_pool_forks_the_overflow_arms(self):
+        pool = WorldPool(size=1)
+        try:
+            executor = ConcurrentExecutor(
+                backend=ProcessBackend(kill_grace=0.5, pool=pool)
+            )
+            result = executor.run(sleeper_block())
+            assert result.value == "Q"
+            assert pool.leases_granted == 1
+            assert pool.fallbacks >= 1
+        finally:
+            pool.shutdown()
+
+
+class TestPoolCrashDiscipline:
+    def test_sigkilled_worker_respawns_and_leaks_no_segments(self, pool):
+        """Satellite: a SIGKILLed pooled worker leaves /dev/shm clean."""
+        before = set(orphaned_segments())
+        executor = ConcurrentExecutor(
+            backend=ProcessBackend(kill_grace=0.5, pool=pool)
+        )
+        parent = executor.new_parent()
+        injector = FaultInjector(seed=0).arm_sigkill(arms=[0], times=1)
+        with injected(injector):
+            result = executor.run(sleeper_block(), parent=parent)
+        # The surviving arm won; the dead worker's slab was disposed.
+        assert result.value == "S"
+        assert result.winner.name == "slow"
+        assert pool.respawns >= 1
+        assert pool.parked == pool.size
+        # The pool still serves leases after the respawn.
+        second_parent = executor.new_parent()
+        second = executor.run(sleeper_block(), parent=second_parent)
+        assert second.value == "Q"
+        # Releasing the parent spaces drops the last pins on any slab the
+        # winners committed from; nothing may remain in /dev/shm.
+        parent.space.release()
+        second_parent.space.release()
+        assert set(orphaned_segments()) == before
+
+    def test_shutdown_terminates_every_worker(self):
+        pool = WorldPool(size=3)
+        pids = pool.worker_pids()
+        assert len(pids) == 3
+        pool.shutdown()
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+        pool.shutdown()  # idempotent
+
+    def test_parked_workers_ignore_sigterm(self, pool):
+        for pid in pool.worker_pids():
+            os.kill(pid, signal.SIGTERM)
+        executor = ConcurrentExecutor(
+            backend=ProcessBackend(kill_grace=0.5, pool=pool)
+        )
+        result = executor.run(sleeper_block())
+        assert result.value == "Q"
+        assert pool.leases_granted > 0
+
+
+class TestEnvironmentOptIn:
+    def test_env_flag_attaches_the_default_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORLD_POOL", "1")
+        try:
+            backend = get_backend("process")
+            assert backend.pool is not None
+            executor = ConcurrentExecutor(backend=backend)
+            result = executor.run(sleeper_block())
+            assert result.value == "Q"
+            assert backend.pool.leases_granted > 0
+        finally:
+            shutdown_default_pool()
+
+    def test_explicit_pool_none_beats_the_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORLD_POOL", "1")
+        backend = get_backend("process", pool=None)
+        assert backend.pool is None
+        assert pool_module._default_pool is None  # never even constructed
+
+    def test_sim_backend_is_oblivious_to_pooling(self, monkeypatch):
+        """Satellite: SimBackend schedules ignore the pool entirely."""
+        spec = get_block("four-arm-spread")
+        baseline = spec.run(get_backend("sim"))
+        monkeypatch.setenv("REPRO_WORLD_POOL", "1")
+        pooled_env = spec.run(get_backend("sim"))
+        assert pool_module._default_pool is None  # sim never builds a pool
+        assert pooled_env.value == baseline.value
+        assert pooled_env.winner == baseline.winner
+        assert pooled_env.variables == baseline.variables
+        assert pooled_env.space_bytes == baseline.space_bytes

@@ -36,6 +36,17 @@ def block(n=2):
     ]
 
 
+class _PooledScratchBody:
+    """A picklable writing body, so the arm can lease a pooled worker."""
+
+    def __init__(self, index):
+        self.index = index
+
+    def __call__(self, ctx):
+        ctx.put(f"scratch-{self.index}", list(range(50)))
+        return f"v{self.index}"
+
+
 class TestSupervisorPolicy:
     def test_backoff_is_capped_exponential(self):
         sup = Supervisor(
@@ -275,3 +286,51 @@ class TestAcceptanceKillEveryArm:
         assert parent.space.get("scratch-0") == list(range(50))
         assert parent.space.get("scratch-1") is None
         assert parent.space.get("precious") == "untouched"
+
+    def test_pooled_storm_leaves_no_children_and_no_shm_segments(
+        self, fault_seed
+    ):
+        """The same SIGKILL/corrupt/truncate storm, through the world pool.
+
+        The hostile arms ride pre-warmed pooled workers (picklable bodies,
+        unlike :meth:`writing_block`'s closures) over the shared-memory
+        slab fabric; after the storm and the pool's shutdown there must be
+        no surviving child process and not one orphaned ``/dev/shm``
+        segment beyond what was pinned before the test.
+        """
+        from repro.core.backends.process import _orphan_pids
+        from repro.pages.shm import orphaned_segments
+        from repro.process.pool import WorldPool
+
+        before = set(orphaned_segments())
+        pool = WorldPool(size=4)
+        arms = [
+            Alternative(f"arm{i}", body=_PooledScratchBody(i))
+            for i in range(4)
+        ]
+        executor = ConcurrentExecutor(
+            backend=ProcessBackend(kill_grace=0.3, pool=pool),
+            supervisor=quick_supervisor(degrade_to_serial=False),
+        )
+        parent = executor.new_parent()
+        parent.space.put("precious", "untouched")
+        snapshot = parent.space.read(0, parent.space.size)
+        try:
+            with injected(self.hostile_injector(fault_seed)):
+                with pytest.raises(AltBlockFailure) as info:
+                    executor.run(arms, parent=parent)
+        finally:
+            pool.shutdown()
+        autopsy = info.value.autopsy
+        assert autopsy.outcome == "failed"
+        for attempt in autopsy.attempts:
+            assert attempt.all_abnormal
+        # Every storm casualty was a pooled worker or a clean fork: the
+        # parent's world is untouched and nothing leaked.
+        assert parent.space.read(0, parent.space.size) == snapshot
+        assert parent.space.get("precious") == "untouched"
+        assert not _orphan_pids
+        with pytest.raises(ChildProcessError):
+            os.waitpid(-1, os.WNOHANG)
+        parent.space.release()
+        assert set(orphaned_segments()) == before
