@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: check test test-fast test-resilience test-chaos test-check test-matrix-pooled coverage bench-smoke bench-commit bench
+.PHONY: check test test-fast test-resilience test-chaos test-check test-cluster test-matrix-pooled coverage bench-smoke bench-commit bench
 
 ## check: what CI runs -- tier-1 tests plus a ~10s benchmark smoke.
 check: test bench-smoke
@@ -40,6 +40,16 @@ test-chaos:
 		tests/net/test_chaos.py tests/ipc/test_reliable_channel.py \
 		tests/ipc/test_journal.py -q \
 		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo "--timeout=120 --timeout-method=thread")
+
+## test-cluster: the real-wire cluster runtime -- TCP worker daemons,
+## the impairment-proxy chaos matrix, zombie epoch fencing, journal
+## torn-write recovery, and the subprocess acceptance tests (real
+## SIGKILL mid-race, router kill-and-replay).  Per-test timeout when
+## pytest-timeout is available (a hang here means a lost daemon).
+test-cluster:
+	REPRO_CHAOS_SEED=$(REPRO_CHAOS_SEED) $(PYTHON) -m pytest \
+		tests/cluster tests/ipc/test_journal_durable.py -q \
+		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo "--timeout=180 --timeout-method=thread")
 
 ## test-check: the schedule-exploration harness -- the checker's own
 ## suite, then an explore pass over every canonical block (CI fans this

@@ -11,9 +11,16 @@ three ways:
   declaring the incarnation dead (lease expiry) and re-granting the arm
   on a healthy node.
 
+The same three conditions are then repeated on the *real wire*: three
+in-process worker daemons reached over genuine localhost TCP, the lossy
+condition routed through the frame-dropping
+:class:`~repro.cluster.proxy.ImpairmentProxy`, and failover measured
+wall-clock from lease expiry to the respawn grant after the winning
+arm's worker crashes mid-race.
+
 The headline claims: chaos never changes the block's observable outcome
-(same winner, same value), it only costs simulated time; and every lease
-ends settled (no leaked workers).
+(same winner, same value), it only costs (simulated or wall-clock) time;
+and every lease ends settled (no leaked workers).
 
 Outputs:
 
@@ -101,6 +108,158 @@ def race(seed, injector=None, warden=None):
     return result, net
 
 
+# ----------------------------------------------------------------------
+# the real-wire mirror: in-process daemons, genuine localhost TCP
+
+# Real sleeps per arm, chosen so the race finishes fast but the loser
+# arms are genuinely running when the winner commits.
+WIRE_ARM_SLEEPS = {"archive": 0.30, "replica": 0.18, "cache": 0.06}
+
+
+def _wire_body_archive(ctx):
+    return _wire_run(ctx, "archive")
+
+
+def _wire_body_replica(ctx):
+    return _wire_run(ctx, "replica")
+
+
+def _wire_body_cache(ctx):
+    return _wire_run(ctx, "cache")
+
+
+def _wire_run(ctx, name):
+    import time as _time
+
+    deadline = _time.monotonic() + WIRE_ARM_SLEEPS[name]
+    while _time.monotonic() < deadline:
+        if ctx.token is not None and ctx.token.cancelled:
+            return None
+        _time.sleep(0.01)
+    ctx.put("answer", name)
+    return name
+
+
+_WIRE_BODIES = {
+    "archive": _wire_body_archive,
+    "replica": _wire_body_replica,
+    "cache": _wire_body_cache,
+}
+
+
+def make_wire_arms():
+    return [
+        Alternative(name, _WIRE_BODIES[name]) for name in ARM_COSTS
+    ]
+
+
+def _wire_race(seed, loss_plan=None, crash_arm=None):
+    """One real-socket race; returns (result, warden, wire_counters)."""
+    import time as _time
+
+    from repro.cluster.daemon import WorkerDaemon
+    from repro.cluster.executor import ClusterExecutor, WorkerEndpoint
+    from repro.cluster.proxy import ImpairmentProxy
+
+    daemons = [WorkerDaemon(f"w{i}") for i in range(1, 4)]
+    proxies = []
+    endpoints = []
+    impair = loss_plan.wire(seed=seed) if loss_plan is not None else None
+    try:
+        for daemon in daemons:
+            upstream = daemon.start()
+            if impair is not None:
+                proxy = ImpairmentProxy(
+                    upstream, impair=impair, link=f"home|{daemon.node_id}"
+                )
+                host, port = proxy.start()
+                proxies.append(proxy)
+            else:
+                host, port = upstream
+            endpoints.append(WorkerEndpoint(daemon.node_id, host, port))
+        warden = RaceWarden(
+            lease_interval=0.05, lease_timeout=0.8, max_respawns=4
+        )
+        executor = ClusterExecutor(endpoints, seed=seed, warden=warden)
+        parent = executor.new_parent()
+        injector = (
+            FaultInjector(seed=seed).worker_crash(
+                arms=[crash_arm], duration=0.02
+            )
+            if crash_arm is not None
+            else None
+        )
+        started = _time.monotonic()
+        if injector is not None:
+            with injected(injector):
+                result = executor.run(make_wire_arms(), parent=parent)
+        else:
+            result = executor.run(make_wire_arms(), parent=parent)
+        wall = _time.monotonic() - started
+        parent.space.release()
+        counters = {
+            "frames_dropped": impair.drops if impair is not None else 0,
+            "frames_duplicated": impair.dups if impair is not None else 0,
+        }
+        return result, warden, wall, counters
+    finally:
+        for proxy in proxies:
+            proxy.stop()
+        for daemon in daemons:
+            daemon.stop()
+
+
+def measure_wire_failover(seed):
+    """Crash the winning arm's first incarnation on the real wire and
+    time lease-expiry -> respawn-grant on the wall clock."""
+    result, warden, wall, _ = _wire_race(seed, crash_arm=2)
+    crashed = [l for l in warden.table.leases if l.arm == 2 and l.epoch == 1]
+    respawned = [l for l in warden.table.leases if l.arm == 2 and l.epoch == 2]
+    assert crashed and crashed[0].state in ("expired",), "crash never fired"
+    assert respawned, "no respawn was granted"
+    latency = respawned[0].granted_at - crashed[0].ended_at
+    return {
+        "winner": result.winner.name,
+        "elapsed_wall_seconds": round(wall, 4),
+        "failover_latency_wall_seconds": round(latency, 4),
+        "all_leases_settled": warden.table.all_settled,
+    }
+
+
+def run_wire_suite(seed):
+    clean, clean_warden, clean_wall, _ = _wire_race(seed)
+    lossy, lossy_warden, lossy_wall, counters = _wire_race(
+        seed, loss_plan=NetFaultPlan(loss=LOSS_RATE)
+    )
+    failover = measure_wire_failover(seed)
+    return {
+        "transport": "tcp-localhost",
+        "clean": {
+            "winner": clean.winner.name,
+            "elapsed_wall_seconds": round(clean_wall, 4),
+        },
+        "lossy": {
+            "winner": lossy.winner.name,
+            "elapsed_wall_seconds": round(lossy_wall, 4),
+            "frames_dropped": counters["frames_dropped"],
+            "all_leases_settled": lossy_warden.table.all_settled,
+        },
+        "failover": failover,
+        "criteria": {
+            "same_winner_under_loss": clean.winner.name == lossy.winner.name,
+            "failover_recovers_a_winner": bool(failover["winner"]),
+            "failover_latency_positive": (
+                failover["failover_latency_wall_seconds"] > 0
+            ),
+            "no_leaked_leases": (
+                clean_warden.table.all_settled
+                and lossy_warden.table.all_settled
+                and failover["all_leases_settled"]
+            ),
+        },
+    }
+
+
 def measure_failover(seed):
     """Crash the fastest arm's first incarnation; time the re-grant."""
     warden = RaceWarden()
@@ -132,6 +291,7 @@ def run_suite(quick=False, seed=0):
         warden=lossy_warden,
     )
     failover = measure_failover(seed)
+    real_wire = run_wire_suite(seed)
     slowdown = lossy.elapsed / clean.elapsed
     payload = {
         "experiment": "distributed_chaos",
@@ -153,7 +313,12 @@ def run_suite(quick=False, seed=0):
         },
         "lossy_vs_clean_elapsed": round(slowdown, 4),
         "failover": failover,
+        "real_wire": real_wire,
         "criteria": {
+            "real_wire_" + name: held
+            for name, held in real_wire["criteria"].items()
+        }
+        | {
             "same_winner_under_loss": clean.winner.name == lossy.winner.name,
             "loss_costs_time_not_correctness": lossy.elapsed >= clean.elapsed,
             "failover_recovers_the_winner": failover["winner"] == "cache",
@@ -195,7 +360,35 @@ def render_table(payload):
             ],
         },
     ]
-    return format_table(
+    wire = payload["real_wire"]
+    wire_rows = [
+        {
+            "condition": "real wire, clean",
+            "winner": wire["clean"]["winner"],
+            "elapsed (wall s)": wire["clean"]["elapsed_wall_seconds"],
+            "drops": 0,
+            "failover (wall s)": "-",
+        },
+        {
+            "condition": (
+                f"real wire, {int(payload['loss_rate'] * 100)}% frame loss"
+            ),
+            "winner": wire["lossy"]["winner"],
+            "elapsed (wall s)": wire["lossy"]["elapsed_wall_seconds"],
+            "drops": wire["lossy"]["frames_dropped"],
+            "failover (wall s)": "-",
+        },
+        {
+            "condition": "real wire, winner's worker crashed",
+            "winner": wire["failover"]["winner"],
+            "elapsed (wall s)": wire["failover"]["elapsed_wall_seconds"],
+            "drops": 0,
+            "failover (wall s)": wire["failover"][
+                "failover_latency_wall_seconds"
+            ],
+        },
+    ]
+    simulated = format_table(
         rows,
         title=(
             "C1: one 3-arm block on the distributed substrate, per chaos "
@@ -204,6 +397,14 @@ def render_table(payload):
             "settles)"
         ),
     )
+    real = format_table(
+        wire_rows,
+        title=(
+            "C1b: the same block on real localhost TCP daemons\n"
+            "(wall-clock elapsed; loss via the frame-dropping proxy)"
+        ),
+    )
+    return simulated + "\n\n" + real
 
 
 def write_json(payload):

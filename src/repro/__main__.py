@@ -5,7 +5,9 @@ illustrative race on the HP 9000/350 cost model, and points at the
 examples and benchmarks.  ``python -m repro trace <block>`` instead races
 one canonical block under a tracer and exports the trace (see
 :mod:`repro.obs.cli`); ``python -m repro check <block>`` explores its
-schedule space under the model checker (see :mod:`repro.check.cli`).
+schedule space under the model checker (see :mod:`repro.check.cli`);
+``python -m repro cluster {worker,router,demo}`` runs the real-wire
+cluster daemons (see :mod:`repro.cluster.cli`).
 """
 
 from __future__ import annotations
@@ -27,6 +29,10 @@ def main(argv=None) -> int:
         from repro.check.cli import check_main
 
         return check_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        from repro.cluster.cli import cluster_main
+
+        return cluster_main(argv[1:])
     print(
         f"repro {__version__} -- Smith & Maguire, 'Transparent Concurrent "
         "Execution of Mutually Exclusive Alternatives' (ICDCS 1989)"

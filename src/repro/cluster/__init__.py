@@ -1,0 +1,64 @@
+"""Real-wire HA cluster runtime (localhost-first, multi-host-capable).
+
+Everything the chaos-hardened distributed race does on the simulated
+substrate -- arm shipment, heartbeat leases, incarnation-epoch fencing,
+majority-consensus synchronization, router journal replay -- runs here on
+*real* TCP sockets between *real* OS processes:
+
+- :mod:`repro.cluster.stream` frames records over sockets with the exact
+  ``core/backends/wire.py`` format the fork children and pool workers
+  already speak (a torn shipment is detected, never half-parsed);
+- :mod:`repro.cluster.daemon` is the worker daemon: it accepts arm
+  shipments, executes them in COW worlds of the shipped parent image,
+  heartbeats while the body runs, ships dirty pages home, answers
+  majority-consensus vote requests, and survives SIGTERM/EINTR without
+  leaking sockets or shared-memory segments;
+- :mod:`repro.cluster.proxy` replays the seeded ``CHAOS_SCENARIOS`` on
+  the real wire: a frame-aware impairment proxy drops, duplicates,
+  reorders, delays, and partitions framed traffic deterministically;
+- :mod:`repro.cluster.executor` is the home-node race driver (the socket
+  transport of :class:`~repro.net.distributed.DistributedAltExecutor`):
+  leases over real heartbeat connections, SIGKILLed daemons detected by
+  connection drop or lease expiry and re-spawned under a fresh epoch,
+  healed-partition zombies fenced at winner-commit, degradation to a
+  home-node serial replay when the cluster cannot answer;
+- :mod:`repro.cluster.semaphore` runs the Thomas-1979 majority-consensus
+  0-1 semaphore (paper section 3.4) across the worker daemons' voter
+  endpoints instead of in-process node objects;
+- :mod:`repro.cluster.router_service` makes `RouterJournal`-backed crash
+  restart a live service: the router daemon journals write-ahead to disk
+  and a SIGKILLed incarnation is rebuilt by replay on restart.
+
+``python -m repro cluster {worker,router,demo}`` is the operational
+surface (see :mod:`repro.cluster.cli`).
+"""
+
+from repro.cluster.daemon import WorkerDaemon
+from repro.cluster.executor import ClusterExecutor, WorkerEndpoint
+from repro.cluster.proxy import ImpairmentProxy
+from repro.cluster.router_service import RouterClient, RouterDaemon
+from repro.cluster.semaphore import ClusterMajoritySemaphore
+from repro.cluster.spawn import (
+    DaemonHandle,
+    respawn_worker,
+    spawn_router,
+    spawn_worker,
+)
+from repro.cluster.stream import RecordStream, StreamClosed, connect
+
+__all__ = [
+    "ClusterExecutor",
+    "ClusterMajoritySemaphore",
+    "DaemonHandle",
+    "ImpairmentProxy",
+    "RecordStream",
+    "RouterClient",
+    "RouterDaemon",
+    "StreamClosed",
+    "WorkerDaemon",
+    "WorkerEndpoint",
+    "connect",
+    "respawn_worker",
+    "spawn_router",
+    "spawn_worker",
+]

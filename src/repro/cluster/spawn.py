@@ -1,0 +1,170 @@
+"""Spawning real daemon processes (and killing them on purpose).
+
+The in-thread daemons of :mod:`repro.cluster.daemon` exercise every
+protocol path over real sockets, but some failures only exist between
+OS processes: SIGKILL with no goodbye, SIGTERM racing a shutdown hook,
+a kernel resetting the dead process's connections.  The helpers here
+launch ``python -m repro cluster worker|router`` as genuine child
+processes and hand back a :class:`DaemonHandle` the tests can murder.
+
+The port handshake is a file: the child binds port 0, writes
+``host:port`` to ``--port-file``, and the parent polls for it -- no
+stdout parsing, no fixed ports, no collisions between parallel test
+runs.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import List, Optional, Tuple
+
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
+
+#: How long to wait for a child daemon to write its port file.
+_SPAWN_TIMEOUT = 10.0
+
+
+class DaemonHandle:
+    """One live daemon child process and its bound address."""
+
+    def __init__(
+        self,
+        process: subprocess.Popen,
+        host: str,
+        port: int,
+        name: str,
+        port_file: str,
+    ) -> None:
+        self.process = process
+        self.host = host
+        self.port = port
+        self.name = name
+        self._port_file = port_file
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.host, self.port
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL: no goodbye, no cleanup -- the failure under test."""
+        if self.alive:
+            self.process.kill()
+        self.process.wait(timeout=5.0)
+
+    def terminate(self) -> None:
+        """SIGTERM: the polite shutdown the daemon's handler drains."""
+        if self.alive:
+            self.process.terminate()
+
+    def stop(self, timeout: float = 5.0) -> int:
+        """Terminate, wait, escalate to SIGKILL if the grace expires."""
+        self.terminate()
+        try:
+            return self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:  # pragma: no cover - stuck child
+            self.process.kill()
+            return self.process.wait(timeout=5.0)
+
+    def cleanup(self) -> None:
+        try:
+            os.unlink(self._port_file)
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return (
+            f"DaemonHandle({self.name!r}, pid={self.pid}, "
+            f"{self.host}:{self.port}, {state})"
+        )
+
+
+def _spawn(args: List[str], name: str) -> DaemonHandle:
+    fd, port_file = tempfile.mkstemp(prefix=f"repro-{name}-", suffix=".port")
+    os.close(fd)
+    os.unlink(port_file)  # the child creates it; its absence is the gate
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)
+    )))
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_root] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep)
+                      if p]
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "cluster"] + args
+        + ["--port-file", port_file],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    deadline = time.monotonic() + _SPAWN_TIMEOUT
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"daemon {name!r} died during startup "
+                f"(exit {process.returncode})"
+            )
+        try:
+            with open(port_file) as handle:
+                text = handle.read().strip()
+        except OSError:
+            text = ""
+        if text:
+            host, port = text.rsplit(":", 1)
+            return DaemonHandle(process, host, int(port), name, port_file)
+        time.sleep(0.02)
+    process.kill()
+    raise RuntimeError(f"daemon {name!r} never wrote its port file")
+
+
+def spawn_worker(
+    node_id: str = "worker",
+    hard_crash: bool = True,
+) -> DaemonHandle:
+    """Launch one worker daemon child; returns once it is dialable.
+
+    ``hard_crash=True`` arms the genuine-SIGKILL response to injected
+    ``crash_after`` shipments -- the whole point of paying the process
+    spawn cost.
+    """
+    args = ["worker", "--node-id", node_id, "--port", "0"]
+    if hard_crash:
+        args.append("--hard-crash")
+    return _spawn(args, node_id)
+
+
+def respawn_worker(dead: DaemonHandle) -> DaemonHandle:
+    """A fresh daemon process replacing a killed one (same node id)."""
+    handle = spawn_worker(node_id=dead.name, hard_crash=True)
+    tracer = _active_tracer()
+    if tracer.enabled:
+        tracer.emit(
+            _ev.DAEMON_RESPAWN,
+            name=dead.name,
+            pid=handle.pid,
+            peer=f"{handle.host}:{handle.port}",
+        )
+    return handle
+
+
+def spawn_router(journal_path: str) -> DaemonHandle:
+    """Launch one router daemon child journaling to ``journal_path``."""
+    return _spawn(
+        ["router", "--journal", journal_path, "--port", "0"], "router"
+    )

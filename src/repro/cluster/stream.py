@@ -1,0 +1,189 @@
+"""Checksum-framed record streams over real TCP sockets.
+
+One :class:`RecordStream` wraps one connected socket and speaks the exact
+``magic | length | crc32 | pickle`` framing of
+:mod:`repro.core.backends.wire` -- a cluster worker's record is
+indistinguishable from a freshly forked child's, just travelling over a
+socket instead of a pipe.  The hardening mirrors the pipe path:
+
+- a peer that dies mid-frame leaves a *torn* shipment; the incremental
+  :class:`~repro.core.backends.wire.RecordReader` never parses a record
+  out of the fragment and the stream surfaces :class:`StreamClosed` with
+  ``torn=True`` so the caller can promote the next finisher;
+- corruption (a bad magic, a checksum mismatch) poisons the stream the
+  same way -- one bad frame ends the conversation, it never resyncs onto
+  garbage;
+- sends into a half-open connection (the peer is gone but the kernel has
+  not noticed) surface as a ``False`` return instead of an exception, the
+  socket analogue of :func:`~repro.core.backends.wire.write_all`'s EPIPE
+  contract;
+- EINTR is retried by the interpreter (PEP 475); handlers installed by
+  the daemons only set flags, so blocking calls resume instead of dying.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional, Tuple
+
+from repro.core.backends import wire
+from repro.errors import ReproError
+
+#: recv() chunk size; frames are typically far smaller than this.
+_CHUNK = 65536
+
+
+class StreamClosed(ReproError):
+    """The peer is gone (EOF, reset, or a poisoned frame).
+
+    ``torn`` distinguishes a clean goodbye (the peer finished a frame and
+    closed) from a mid-frame death or corruption -- the socket analogue of
+    a dangling partial frame on a child's pipe.
+    """
+
+    def __init__(self, detail: str, torn: bool = False) -> None:
+        super().__init__(detail)
+        self.detail = detail
+        self.torn = torn
+
+
+class RecordStream:
+    """One bidirectional framed-record conversation over a socket."""
+
+    def __init__(self, sock: socket.socket, name: str = "") -> None:
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - e.g. a unix socketpair
+            pass
+        self._sock = sock
+        self._reader = wire.RecordReader()
+        self._ready: list = []
+        self._send_lock = threading.Lock()
+        """``sendall`` can interleave partial writes across threads; one
+        frame must hit the wire contiguously or the peer sees garbage."""
+        self.name = name
+        self.closed = False
+        self.sent = 0
+        self.received = 0
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    @property
+    def peer(self) -> str:
+        try:
+            host, port = self._sock.getpeername()[:2]
+            return f"{host}:{port}"
+        except OSError:
+            return "<disconnected>"
+
+    # ------------------------------------------------------------------
+
+    def send(self, payload: dict) -> bool:
+        """Frame and ship one record; ``False`` when the peer is gone.
+
+        Any connection-level failure (EPIPE on a half-open socket, a
+        reset, a send into a closed stream) means nobody will ever read
+        this record -- the caller treats the peer as dead, it never
+        retries the same bytes.
+        """
+        if self.closed:
+            return False
+        frame, _ = wire.frame_record(payload)
+        try:
+            with self._send_lock:
+                self._sock.sendall(frame)
+        except (BrokenPipeError, ConnectionError, OSError):
+            return False
+        self.sent += 1
+        return True
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[dict]:
+        """The next record, or ``None`` when ``timeout`` elapses first.
+
+        Raises :class:`StreamClosed` on EOF (``torn=True`` when the peer
+        died mid-frame) and on a corrupt frame (always torn: the stream
+        cannot be trusted past the first bad byte).
+        """
+        if self._ready:
+            self.received += 1
+            return self._ready.pop(0)
+        if self.closed:
+            raise StreamClosed("stream already closed", torn=False)
+        try:
+            self._sock.settimeout(timeout)
+        except OSError:
+            # close() raced us from another thread; same as a dead peer.
+            raise StreamClosed("stream closed concurrently", torn=False) from None
+        while not self._ready:
+            try:
+                data = self._sock.recv(_CHUNK)
+            except socket.timeout:
+                return None
+            except (ConnectionError, OSError) as exc:
+                raise StreamClosed(
+                    f"connection lost: {exc}", torn=self._reader.pending
+                ) from None
+            if not data:
+                raise StreamClosed(
+                    "peer closed the connection"
+                    + (" mid-frame" if self._reader.pending else ""),
+                    torn=self._reader.pending,
+                )
+            self._ready.extend(self._reader.feed(data))
+            if self._reader.corrupt:
+                raise StreamClosed(self._reader.corrupt_detail, torn=True)
+        self.received += 1
+        return self._ready.pop(0)
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+    def __enter__(self) -> "RecordStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else f"open->{self.peer}"
+        return f"RecordStream({self.name or self.peer!r}, {state})"
+
+
+def connect(
+    host: str, port: int, timeout: float = 2.0, name: str = ""
+) -> RecordStream:
+    """Dial ``host:port`` and wrap the connection in a stream.
+
+    Raises ``OSError`` when the endpoint is unreachable; the caller's
+    rotation logic treats that exactly like a dead node.
+    """
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return RecordStream(sock, name=name or f"{host}:{port}")
+
+
+def listener(host: str = "127.0.0.1", port: int = 0) -> Tuple[socket.socket, str, int]:
+    """A listening socket plus the address it actually bound.
+
+    ``port=0`` asks the kernel for an ephemeral port -- the way every
+    daemon here binds, so test clusters never collide.
+    """
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(64)
+    bound_host, bound_port = sock.getsockname()[:2]
+    return sock, bound_host, bound_port

@@ -17,7 +17,12 @@ acknowledgement/retransmission in ``at_least_once`` mode; the
 
 from repro.ipc.channel import Channel
 from repro.ipc.devices import SinkDevice, SourceDevice
-from repro.ipc.journal import JournalRecord, RouterJournal
+from repro.ipc.journal import (
+    JournalRecord,
+    JournalSink,
+    RouterJournal,
+    load_journal,
+)
 from repro.ipc.message import Message
 from repro.ipc.router import MessageRouter
 from repro.ipc.timed import TimedRouter
@@ -25,10 +30,12 @@ from repro.ipc.timed import TimedRouter
 __all__ = [
     "Channel",
     "JournalRecord",
+    "JournalSink",
     "Message",
     "MessageRouter",
     "RouterJournal",
     "SinkDevice",
     "SourceDevice",
     "TimedRouter",
+    "load_journal",
 ]

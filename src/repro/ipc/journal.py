@@ -38,10 +38,12 @@ what it reconstructed.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 
+from repro.core.backends import wire
 from repro.obs import events as _ev
 from repro.obs.tracer import active as _active_tracer
 
@@ -69,6 +71,85 @@ class JournalRecord:
         return f"JournalRecord({self.op}, {self.args!r})"
 
 
+class JournalSink:
+    """Durably appends journal rows to a file, one framed record each.
+
+    Rows travel in the same ``magic | length | crc32 | pickle`` framing
+    as every other record in the system (:mod:`repro.core.backends.wire`),
+    which is what makes the log *torn-write tolerant*: a crash mid-append
+    leaves a trailing fragment that fails the frame walk, and
+    :func:`load_journal` stops cleanly at the last complete row instead
+    of trusting half a write.  ``fsync=True`` additionally forces each
+    row to stable storage before ``append`` returns (write-ahead in the
+    durability sense, not just the ordering sense).
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+        self._file = open(path, "ab")
+        self.rows = 0
+
+    def write(self, record: "JournalRecord") -> None:
+        frame, _ = wire.frame_record({
+            "op": record.op,
+            "args": record.args,
+            "provenance": record.provenance,
+        })
+        self._file.write(frame)
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self.rows += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "JournalSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"JournalSink({self.path!r}, rows={self.rows})"
+
+
+def load_journal(path: str) -> "RouterJournal":
+    """Rebuild an in-memory journal from a (possibly torn) log file.
+
+    Walks the framed rows and stops cleanly at the first incomplete or
+    corrupt frame -- the unfinished append of a crashed incarnation.
+    Everything before the tear is intact (each row carries its own
+    checksum), so the returned journal holds exactly the rows the old
+    router durably finished writing, ready for :meth:`RouterJournal.replay`.
+    """
+    journal = RouterJournal()
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return journal
+    reader = wire.RecordReader()
+    rows = reader.feed(data)
+    # A corrupt or pending tail is precisely a torn final append: the
+    # rows before it are trustworthy, nothing after it is.
+    for row in rows:
+        try:
+            record = JournalRecord(
+                op=row["op"],
+                args=tuple(row["args"]),
+                provenance=row.get("provenance"),
+            )
+        except (KeyError, TypeError):
+            break  # a decodable frame that is not a journal row: stop
+        if record.op not in RouterJournal.OPS:
+            break
+        journal.records.append(record)
+    return journal
+
+
 class RouterJournal:
     """An append-only log of one router's state transitions."""
 
@@ -76,9 +157,13 @@ class RouterJournal:
     OPS = ("register", "send", "deliver", "status", "effect-done",
            "status-done")
 
-    def __init__(self) -> None:
+    def __init__(self, sink: Optional[JournalSink] = None) -> None:
         self.records: List[JournalRecord] = []
         self.replays = 0
+        self.sink = sink
+        """Optional durable sink; when set, every appended row is framed
+        to disk before :meth:`append` returns (write-ahead for real)."""
+
         self._next_status_id = 0
         self._effect_stack: List[Tuple[int, int]] = []
 
@@ -93,6 +178,8 @@ class RouterJournal:
             args=tuple(args),
             provenance=self._effect_stack[-1] if self._effect_stack else None,
         )
+        if self.sink is not None:
+            self.sink.write(record)
         self.records.append(record)
         return record
 

@@ -115,6 +115,38 @@ class DistributedAltExecutor:
             space_size=space_size
         )
 
+    @staticmethod
+    def over_sockets(
+        endpoints,
+        seed: int = 0,
+        warden: Optional[RaceWarden] = None,
+        use_consensus: bool = False,
+        **kwargs,
+    ):
+        """The same executor semantics over real TCP worker daemons.
+
+        ``endpoints`` is a sequence of
+        :class:`~repro.cluster.executor.WorkerEndpoint` (or
+        ``(name, host, port)`` tuples) naming live
+        :class:`~repro.cluster.daemon.WorkerDaemon` processes.  The
+        returned :class:`~repro.cluster.executor.ClusterExecutor` keeps
+        this class's contract -- shipped parent images, dirty-page
+        commit, leases with epoch fencing, degrade-to-serial -- with the
+        simulated wire swapped for sockets and the simulated clock for a
+        wall clock.
+        """
+        from repro.cluster.executor import ClusterExecutor, WorkerEndpoint
+
+        resolved = [
+            endpoint if isinstance(endpoint, WorkerEndpoint)
+            else WorkerEndpoint(*endpoint)
+            for endpoint in endpoints
+        ]
+        return ClusterExecutor(
+            resolved, seed=seed, warden=warden,
+            use_consensus=use_consensus, **kwargs,
+        )
+
     # ------------------------------------------------------------------
     # keyed randomness (the FaultInjector convention)
 

@@ -64,6 +64,11 @@ WORKER_RESPAWN = "worker-respawn"
 # -- router recovery ---------------------------------------------------
 JOURNAL_REPLAY = "journal-replay"
 
+# -- real-wire cluster runtime -----------------------------------------
+CONN_OPEN = "conn-open"
+CONN_DROP = "conn-drop"
+DAEMON_RESPAWN = "daemon-respawn"
+
 EVENT_KINDS = (
     BLOCK_BEGIN,
     BLOCK_END,
@@ -93,6 +98,9 @@ EVENT_KINDS = (
     LEASE_EXPIRE,
     WORKER_RESPAWN,
     JOURNAL_REPLAY,
+    CONN_OPEN,
+    CONN_DROP,
+    DAEMON_RESPAWN,
 )
 
 #: Kinds that terminate one arm's span (exactly one ``ARM_FINISH`` per

@@ -23,6 +23,8 @@ matrix the chaos suite and CI soak.
 from repro.resilience.chaos import (
     CHAOS_SCENARIOS,
     NetFaultPlan,
+    WireDecision,
+    WireImpairments,
     chaos_injector,
     scenario_names,
 )
@@ -56,6 +58,8 @@ __all__ = [
     "RaceAutopsy",
     "Supervisor",
     "Watchdog",
+    "WireDecision",
+    "WireImpairments",
     "active",
     "chaos_injector",
     "classify_outcome",

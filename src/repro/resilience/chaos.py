@@ -17,7 +17,10 @@ equivalent to a serial replay of the same block.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+import threading
+import time
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional
 
 from repro.resilience.injector import FaultInjector, FaultRule
@@ -107,6 +110,132 @@ class NetFaultPlan:
     def injector(self, seed: int = 0) -> FaultInjector:
         """A fresh seeded injector armed with this plan's rules."""
         return FaultInjector(seed=seed, rules=self.rules())
+
+    def wire(self, seed: int = 0) -> "WireImpairments":
+        """Compile the plan for the *real* wire.
+
+        The returned :class:`WireImpairments` makes one decision per
+        framed record an impairment proxy forwards, with the same keyed
+        derivation -- ``Random(f"{seed}:{point}:{link}:{call#}")`` -- the
+        simulated :class:`~repro.net.network.FaultyLink` consults, so a
+        chaos scenario replays the same drop/dup/delay pattern whether
+        the frames cross a simulated link or a localhost socket.
+        """
+        return WireImpairments(self, seed=seed)
+
+
+@dataclass
+class WireDecision:
+    """What one framed record suffers on its way through the proxy."""
+
+    drop: bool = False
+    duplicate: bool = False
+    delay: float = 0.0
+    """Extra seconds the proxy stalls before forwarding this frame."""
+
+    hold: bool = False
+    """Reorder: hold this frame and release it after the next one."""
+
+
+class WireImpairments:
+    """A :class:`NetFaultPlan` compiled into per-frame wire decisions.
+
+    The impairment proxy consults :meth:`decide` once per complete frame
+    it is about to forward on one link.  Decisions are drawn from keyed
+    RNGs -- ``Random(f"{seed}:{point}:{link}:{n}")`` with ``n`` the
+    per-``(point, link)`` consultation counter -- so a scenario's
+    drop/dup/delay pattern is a pure function of the frame *ordinals* on
+    each link, independent of wall-clock interleaving across links.
+
+    Partitions are windows in real time: when the partition draw fires,
+    the link goes dark for ``partition_seconds`` and every frame in the
+    window (both directions) is silently dropped, exactly the simulated
+    wire's "partitioned transmit is silent loss" semantics.  Counters
+    (``drops``/``dups``/``delays``/``holds``/``partitions_opened``) are
+    the proxy-side chaos accounting the tests assert against.
+    """
+
+    def __init__(
+        self,
+        plan: NetFaultPlan,
+        seed: int = 0,
+        clock=time.monotonic,
+    ) -> None:
+        self.plan = plan
+        self.seed = seed
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._calls: Dict[tuple, int] = {}
+        self._partition_until: Dict[str, float] = {}
+        self._partitions_used: Dict[str, int] = {}
+        self.drops = 0
+        self.dups = 0
+        self.delays = 0
+        self.holds = 0
+        self.partitions_opened = 0
+
+    def _afflicts(self, link: str) -> bool:
+        return self.plan.links is None or link in self.plan.links
+
+    def _fires(self, point: str, link: str, probability: float) -> bool:
+        """One keyed draw for ``point`` on ``link`` (counter advances
+        even for misses, like the injector's call numbering)."""
+        if probability <= 0.0:
+            return False
+        key = (point, link)
+        n = self._calls.get(key, 0)
+        self._calls[key] = n + 1
+        if probability >= 1.0:
+            return True
+        rng = random.Random(f"{self.seed}:{point}:{link}:{n}")
+        return rng.random() < probability
+
+    def partitioned(self, link: str, now: Optional[float] = None) -> bool:
+        """Is ``link`` inside an open partition window right now?"""
+        with self._lock:
+            until = self._partition_until.get(link, 0.0)
+        return (now if now is not None else self._clock()) < until
+
+    def decide(self, link: str) -> WireDecision:
+        """The fate of the next frame crossing ``link``."""
+        now = self._clock()
+        with self._lock:
+            if not self._afflicts(link):
+                return WireDecision()
+            # An open partition swallows everything, both directions.
+            if now < self._partition_until.get(link, 0.0):
+                self.drops += 1
+                return WireDecision(drop=True)
+            if self.plan.partition and self._fires("net-partition", link,
+                                                   self.plan.partition):
+                used = self._partitions_used.get(link, 0)
+                if (self.plan.partition_times is None
+                        or used < self.plan.partition_times):
+                    self._partitions_used[link] = used + 1
+                    self._partition_until[link] = (
+                        now + self.plan.partition_seconds
+                    )
+                    self.partitions_opened += 1
+                    self.drops += 1  # this frame is the first casualty
+                    return WireDecision(drop=True)
+            if self.plan.loss and self._fires("net-drop", link,
+                                              self.plan.loss):
+                self.drops += 1
+                return WireDecision(drop=True)
+            decision = WireDecision()
+            if self.plan.duplication and self._fires(
+                    "net-dup", link, self.plan.duplication):
+                self.dups += 1
+                decision.duplicate = True
+            if self.plan.reorder and self._fires(
+                    "net-reorder", link, self.plan.reorder):
+                self.holds += 1
+                decision.hold = True
+            if self.plan.delay and self._fires(
+                    "net-delay", link, self.plan.delay):
+                self.delays += 1
+                decision.delay = self.plan.delay_seconds
+            return decision
 
 
 #: The canonical chaos matrix: every scenario the CI job soaks.  Rates

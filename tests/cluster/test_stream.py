@@ -1,0 +1,212 @@
+"""Framed record streams over real sockets: torn, corrupt, half-open.
+
+The socket analogue of the pipe-truncation sweep: wherever a peer dies
+mid-frame, the surviving side must detect a *torn* conversation, never
+parse a record out of the fragment, and never hang.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.cluster.stream import RecordStream, StreamClosed, connect, listener
+from repro.core.backends import wire
+
+
+def sample_record():
+    return {
+        "kind": "result",
+        "arm": 1,
+        "value": ["a", "payload", 42],
+        "dirty_pages": {3: b"\x07" * 64},
+    }
+
+
+def pair():
+    """Two connected streams over a real localhost TCP connection."""
+    server, host, port = listener()
+    client_sock = socket.create_connection((host, port))
+    conn, _ = server.accept()
+    server.close()
+    return RecordStream(client_sock, "client"), RecordStream(conn, "server")
+
+
+class TestRoundTrip:
+    def test_record_survives_the_wire(self):
+        a, b = pair()
+        try:
+            assert a.send(sample_record())
+            assert b.recv(timeout=2.0) == sample_record()
+            assert a.sent == 1 and b.received == 1
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_records_arrive_in_order(self):
+        a, b = pair()
+        try:
+            for n in range(50):
+                assert a.send({"n": n})
+            got = [b.recv(timeout=2.0)["n"] for _ in range(50)]
+            assert got == list(range(50))
+        finally:
+            a.close()
+            b.close()
+
+    def test_recv_timeout_returns_none(self):
+        a, b = pair()
+        try:
+            assert b.recv(timeout=0.05) is None
+        finally:
+            a.close()
+            b.close()
+
+    def test_connect_helper_dials_a_listener(self):
+        server, host, port = listener()
+        stream = connect(host, port)
+        conn, _ = server.accept()
+        peer = RecordStream(conn)
+        try:
+            assert stream.send({"hello": True})
+            assert peer.recv(timeout=2.0) == {"hello": True}
+        finally:
+            stream.close()
+            peer.close()
+            server.close()
+
+    def test_connect_to_dead_port_raises_oserror(self):
+        server, host, port = listener()
+        server.close()
+        with pytest.raises(OSError):
+            connect(host, port, timeout=0.5)
+
+
+class TestTornShipments:
+    def test_clean_goodbye_is_not_torn(self):
+        a, b = pair()
+        a.close()
+        with pytest.raises(StreamClosed) as err:
+            b.recv(timeout=2.0)
+        assert not err.value.torn
+        b.close()
+
+    @pytest.mark.parametrize("step", [1, 3, 7])
+    def test_every_cut_offset_is_detectably_torn(self, step):
+        """A peer that dies after shipping N bytes of a frame leaves a
+        torn conversation at every N past zero, and no prefix ever
+        parses as a record."""
+        frame, _ = wire.frame_record(sample_record())
+        for offset in range(1, len(frame), step):
+            a, b = pair()
+            raw = a._sock
+            raw.sendall(frame[:offset])
+            a.close()
+            with pytest.raises(StreamClosed) as err:
+                while True:
+                    if b.recv(timeout=2.0) is not None:
+                        pytest.fail(
+                            f"offset {offset} parsed a record from a torn "
+                            "frame"
+                        )
+            assert err.value.torn, f"offset {offset} not flagged torn"
+            b.close()
+
+    def test_full_frame_then_cut_yields_record_then_clean_close(self):
+        frame, _ = wire.frame_record(sample_record())
+        a, b = pair()
+        a._sock.sendall(frame)
+        a.close()
+        assert b.recv(timeout=2.0) == sample_record()
+        with pytest.raises(StreamClosed) as err:
+            b.recv(timeout=2.0)
+        assert not err.value.torn
+        b.close()
+
+    def test_corrupt_magic_poisons_the_stream(self):
+        a, b = pair()
+        a._sock.sendall(b"XX" + b"\x00" * 32)
+        with pytest.raises(StreamClosed) as err:
+            b.recv(timeout=2.0)
+        assert err.value.torn
+        a.close()
+        b.close()
+
+    def test_flipped_payload_byte_fails_the_checksum(self):
+        frame, _ = wire.frame_record(sample_record())
+        bad = bytearray(frame)
+        bad[wire.FRAME.size + 4] ^= 0xFF
+        a, b = pair()
+        a._sock.sendall(bytes(bad))
+        with pytest.raises(StreamClosed) as err:
+            b.recv(timeout=2.0)
+        assert err.value.torn
+        a.close()
+        b.close()
+
+
+class TestHalfOpen:
+    def test_send_after_peer_vanishes_returns_false(self):
+        a, b = pair()
+        b.close()
+        # The first send may land in the kernel buffer; keep pushing
+        # until the RST surfaces.  It must surface as False, never raise.
+        for _ in range(50):
+            if not a.send({"probe": True}):
+                break
+        else:
+            pytest.fail("send never noticed the dead peer")
+        a.close()
+
+    def test_send_on_closed_stream_returns_false(self):
+        a, b = pair()
+        a.close()
+        assert a.send({"probe": True}) is False
+        b.close()
+
+    def test_recv_on_closed_stream_raises(self):
+        a, b = pair()
+        a.close()
+        with pytest.raises(StreamClosed):
+            a.recv(timeout=0.1)
+        b.close()
+
+    def test_close_is_idempotent(self):
+        a, b = pair()
+        a.close()
+        a.close()
+        b.close()
+        b.close()
+
+    def test_concurrent_send_and_recv_do_not_interleave_frames(self):
+        a, b = pair()
+        errors = []
+
+        def blast(stream, tag):
+            try:
+                for n in range(200):
+                    if not stream.send({"tag": tag, "n": n}):
+                        errors.append(f"{tag} send failed at {n}")
+                        return
+            except Exception as exc:  # noqa: BLE001
+                errors.append(repr(exc))
+
+        threads = [
+            threading.Thread(target=blast, args=(a, "x"), daemon=True),
+            threading.Thread(target=blast, args=(a, "y"), daemon=True),
+        ]
+        for t in threads:
+            t.start()
+        got = []
+        for _ in range(400):
+            msg = b.recv(timeout=2.0)
+            assert msg is not None
+            got.append(msg)
+        for t in threads:
+            t.join()
+        assert not errors
+        for tag in ("x", "y"):
+            seq = [m["n"] for m in got if m["tag"] == tag]
+            assert seq == list(range(200))
+        a.close()
+        b.close()

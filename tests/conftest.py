@@ -1,5 +1,9 @@
 """Suite-wide test configuration."""
 
+import gc
+
+import pytest
+
 from hypothesis import HealthCheck, settings
 
 # Property tests exercise real simulations; wall-clock deadlines only add
@@ -11,3 +15,29 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shm_leak_audit():
+    """Fail the whole suite if any test run leaked a /dev/shm segment.
+
+    The same audit every worker daemon runs at shutdown
+    (:func:`repro.pages.shm.orphaned_segments`), promoted to a
+    session-wide gate.  Segments predating the session are someone
+    else's corpse and only reported; slabs the process still owns are
+    reclaimed first (exactly what the ``atexit`` hook would do moments
+    later), so anything left carrying our prefix afterwards has no
+    owner and would outlive the suite -- a genuine leak.
+    """
+    from repro.pages.shm import cleanup_all_slabs, orphaned_segments
+
+    baseline = set(orphaned_segments())
+    yield
+    gc.collect()
+    cleanup_all_slabs()
+    leaked = sorted(set(orphaned_segments()) - baseline)
+    if leaked:
+        pytest.fail(
+            "test run leaked /dev/shm segments: " + ", ".join(leaked),
+            pytrace=False,
+        )
