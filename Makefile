@@ -16,12 +16,14 @@ test:
 test-fast:
 	$(PYTHON) -m pytest tests/ -q -m "not slow"
 
-## coverage: line coverage over src/repro, gated at 80% on the obs and
-## check subsystems (requires pytest-cov; CI installs it).
+## coverage: line coverage over src/repro, gated at 80% on the obs,
+## check, and independence subsystems (requires pytest-cov; CI
+## installs it).
 coverage:
 	$(PYTHON) -m pytest tests/ -q --cov=repro --cov-report=term-missing
 	$(PYTHON) -m coverage report --include="*/repro/obs/*" --fail-under=80
 	$(PYTHON) -m coverage report --include="*/repro/check/*" --fail-under=80
+	$(PYTHON) -m coverage report --include="*/repro/independence/*" --fail-under=80
 
 ## test-resilience: the fault-injection smoke CI runs per injector seed.
 ## Uses a hard per-test timeout when pytest-timeout is available (a hung
@@ -63,7 +65,7 @@ test-check:
 	$(PYTHON) -m pytest tests/check -q \
 		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo "--timeout=300 --timeout-method=thread")
 	$(PYTHON) -m repro check --all --strategy $(CHECK_STRATEGY) \
-		--seed $(CHECK_SEED) --schedules $(CHECK_SCHEDULES)
+		--seed $(CHECK_SEED) --schedules $(CHECK_SCHEDULES) --stats
 
 ## test-matrix-pooled: the cross-backend equivalence matrix with the
 ## pre-warmed world pool enabled -- the pooled process backend (and the

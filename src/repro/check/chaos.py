@@ -125,23 +125,28 @@ def run_scenario(
     seed: int = 0,
     schedule: Optional[Schedule] = None,
     injector_seed: Optional[int] = None,
+    forced_faults: Optional[Dict[Tuple[str, Any, int], Any]] = None,
 ) -> ChaosRunResult:
     """Run one chaos scenario under the checker; judge it against serial.
 
     ``schedule`` replays a previous run's fault decisions (forced through
     the injector observer); ``injector_seed`` lets a replay deliberately
     mis-seed the injector to prove the recorded decisions -- not the RNG
-    -- are authoritative.
+    -- are authoritative.  ``forced_faults`` forces individual draws
+    directly (``(point, key, call) -> rule-or-None``) -- the exploration
+    driver's way of suppressing one fired fault at a time.
     """
     from repro.net.distributed import DistributedAltExecutor
     from repro.net.lease import RaceWarden
     from repro.resilience.chaos import chaos_injector
     from repro.resilience.injector import injected
 
+    if schedule is not None and forced_faults is not None:
+        raise ValueError("pass either schedule or forced_faults, not both")
     forced = (
         {(f.point, f.key, f.call): f.rule for f in schedule.faults}
         if schedule is not None
-        else None
+        else forced_faults
     )
     recorder = ScheduleRecorder()
     controller = CheckController(recorder=recorder, forced_faults=forced)
@@ -199,3 +204,88 @@ def run_scenario(
 def run_matrix(seed: int = 0) -> List[ChaosRunResult]:
     """Every chaos scenario once, checked; the virtual-time soak."""
     return [run_scenario(name, seed=seed) for name in scenario_names()]
+
+
+# ----------------------------------------------------------------------
+# bounded-exhaustive fault-tree exploration
+
+
+@dataclass
+class ChaosExploreReport:
+    """The outcome of exhausting one scenario's fault-suppression tree."""
+
+    scenario: str
+    seed: int
+    runs: int = 0
+    exhausted: bool = False
+    """True when the whole suppression tree was enumerated inside the
+    budget -- the bounded-exhaustive guarantee."""
+
+    distinct_outcomes: int = 0
+    failure: Optional[ChaosRunResult] = None
+
+    @property
+    def found_failure(self) -> bool:
+        return self.failure is not None
+
+
+def explore_scenario(
+    scenario: str,
+    seed: int = 0,
+    max_runs: int = 256,
+    max_draws: int = 16,
+) -> ChaosExploreReport:
+    """Bounded-exhaustive exploration of one scenario's fault decisions.
+
+    A chaos run makes *no* scheduling decisions (the distributed stack is
+    fully virtual-time deterministic), so its only nondeterminism is
+    which injector draws fire.  The frontier therefore enumerates
+    *suppression subsets*: the natural run executes first, then every
+    draw that fired (up to ``max_draws`` per run) branches a child run in
+    which that draw -- on top of the parent's suppressions -- is forced
+    to ``None``.  Deduplicated by suppression set; the tree drains to
+    ``exhausted=True`` unless ``max_runs`` is spent first or a failing
+    run is found.
+    """
+    report = ChaosExploreReport(scenario=scenario, seed=seed)
+    frontier: List[Dict[Tuple[str, Any, int], Any]] = [{}]
+    visited = set()
+    outcomes = set()
+    drained = False
+    while True:
+        if not frontier:
+            drained = True
+            break
+        if report.runs >= max_runs:
+            break
+        suppression = frontier.pop(0)
+        key = frozenset(suppression)
+        if key in visited:
+            continue
+        visited.add(key)
+        result = run_scenario(
+            scenario,
+            seed=seed,
+            forced_faults=dict(suppression) if suppression else None,
+        )
+        report.runs += 1
+        outcomes.add(
+            (result.winner, result.value, result.error, result.space_bytes)
+        )
+        if result.failed:
+            report.failure = result
+            break
+        fired = [
+            (fault.point, fault.key, fault.call)
+            for fault in result.schedule.faults
+            if fault.rule is not None
+            and (fault.point, fault.key, fault.call) not in suppression
+        ]
+        for coordinate in fired[:max_draws]:
+            child = dict(suppression)
+            child[coordinate] = None
+            if frozenset(child) not in visited:
+                frontier.append(child)
+    report.exhausted = drained and report.failure is None
+    report.distinct_outcomes = len(outcomes)
+    return report

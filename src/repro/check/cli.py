@@ -77,6 +77,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the PR 4 chaos scenario matrix in virtual time instead",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "print the strategy's exploration counters (explored / "
+            "DPOR-pruned / sleep-blocked); with --out, a .stats.json "
+            "file lands next to the witness"
+        ),
+    )
     return parser
 
 
@@ -146,6 +155,39 @@ def _explore_one(block: str, args) -> int:
         f"schedules={report.schedules_run} steps={report.steps_total} "
         f"-> {status}"
     )
+    if args.stats and report.stats is not None:
+        print(
+            "    stats: explored={explored} dpor_pruned={dpor_pruned} "
+            "sleep_blocked={sleep_blocked} "
+            "backtrack_points={backtrack_points}".format(
+                **{
+                    key: report.stats.get(key, 0)
+                    for key in (
+                        "explored",
+                        "dpor_pruned",
+                        "sleep_blocked",
+                        "backtrack_points",
+                    )
+                }
+            )
+        )
+        if args.out:
+            import json
+
+            stats_path = args.out + ".stats.json"
+            with open(stats_path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {
+                        "block": block,
+                        "strategy": report.strategy,
+                        **report.stats,
+                    },
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+            print(f"    stats written to {stats_path}")
     if report.found_failure:
         for problem in report.failure.problems:
             print(f"    {problem}")

@@ -172,6 +172,9 @@ class ExploreReport:
     exhausted: bool = False
     failure: Optional[RunResult] = None
     shrunk: Optional[Schedule] = None
+    stats: Optional[Dict[str, int]] = None
+    """Strategy-level counters (explored / dpor_pruned / sleep_blocked /
+    backtrack_points) when the scheduler exposes a ``stats()`` method."""
 
     @property
     def found_failure(self) -> bool:
@@ -232,4 +235,7 @@ def explore(
         if not scheduler.end_run():
             report.exhausted = getattr(scheduler, "exhausted", True)
             break
+    stats = getattr(scheduler, "stats", None)
+    if callable(stats):
+        report.stats = dict(stats())
     return report

@@ -12,6 +12,16 @@ Current roster:
   instead of unioning, so a nested block's commit laundered the outer
   arm's earlier writes out of its shipback set.  Byte-invisible
   in-process; detected by the sim backend's dirty-coverage invariant.
+- ``indep-drop-page`` -- the independence engine's dirty-page summary
+  silently drops the highest page, so a maximal step grafts one page too
+  few from every secondary committer (and the DPOR conflict relation
+  goes blind on that page).  Detected because the committed bytes
+  diverge from the serial reference on ``disjoint-arms``.
+- ``indep-false-disjoint`` -- the engine's disjointness judgement
+  always answers "disjoint", so overlapping write-sets are planned,
+  validated, and grafted as if independent; the last graft wins the
+  contested page.  Detected because ``overlap-arms``'s bytes diverge
+  from the clean classic race.
 """
 
 from __future__ import annotations
@@ -21,7 +31,17 @@ from typing import Iterator
 
 from repro.check.schedule import CheckError
 
-MUTATIONS = ("adopt-replace-dirty",)
+MUTATIONS = (
+    "adopt-replace-dirty",
+    "indep-drop-page",
+    "indep-false-disjoint",
+)
+
+#: Mutations hosted by the independence engine (the rest live in the
+#: page-table layer).
+_ENGINE_MUTATIONS = frozenset(
+    {"indep-drop-page", "indep-false-disjoint"}
+)
 
 
 @contextmanager
@@ -31,10 +51,13 @@ def mutation(name: str) -> Iterator[None]:
         raise CheckError(
             f"unknown mutation {name!r}; have: {', '.join(MUTATIONS)}"
         )
-    from repro.pages import table as _table
+    if name in _ENGINE_MUTATIONS:
+        from repro.independence import engine as _host
+    else:
+        from repro.pages import table as _host
 
-    _table._TEST_MUTATIONS.add(name)
+    _host._TEST_MUTATIONS.add(name)
     try:
         yield
     finally:
-        _table._TEST_MUTATIONS.discard(name)
+        _host._TEST_MUTATIONS.discard(name)

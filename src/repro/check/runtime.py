@@ -27,20 +27,15 @@ its :class:`~repro.check.schedule.Schedule`.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.check.schedule import CheckError, ScheduleRecorder
-
-Signature = Tuple[str, Optional[str]]
-
-FINISH: Signature = ("finish", None)
-"""Access marker for a segment that ends in arm termination.
-
-Termination decides the race (winner selection, token cancellation), so
-it conservatively conflicts with every other segment.
-"""
-
-START: Signature = ("start", None)
+from repro.independence.signature import (  # noqa: F401  (re-exported)
+    FINISH,
+    START,
+    Signature,
+    quiet_finish,
+)
 
 _HANDOFF_TIMEOUT = 30.0
 """Real-time guard: a handoff that takes this long means an activity
@@ -61,6 +56,7 @@ class _Activity:
         "token",
         "pending",
         "access",
+        "extra",
         "succeeded",
         "error",
     )
@@ -75,6 +71,7 @@ class _Activity:
         self.token = token
         self.pending: Signature = START
         self.access: Tuple[Signature, ...] = ()
+        self.extra: Tuple[Signature, ...] = ()
         self.succeeded = False
         self.error: Optional[BaseException] = None
 
@@ -134,6 +131,12 @@ class CheckController:
     ) -> None:
         self.scheduler = scheduler if scheduler is not None else FirstEnabledScheduler()
         self.recorder = recorder
+        self.cancel_on_win = True
+        """Classic race semantics: the first successful finish is decisive
+        (it selects the winner and cancels every sibling).  The sim
+        backend clears this for collect (maximal-step) runs, where the
+        committed winner is the lowest index and finish order decides
+        nothing -- finishes then carry quiet, per-arm signatures."""
         self.clock = 0.0
         self.steps = 0
         self.timed_out = False
@@ -183,7 +186,11 @@ class CheckController:
             act.error = exc
             act.succeeded = False
         finally:
-            act.access = (act.pending, FINISH)
+            if act.succeeded and self.cancel_on_win:
+                finish: Signature = FINISH
+            else:
+                finish = quiet_finish(act.index)
+            act.access = (act.pending, finish) + tuple(act.extra)
             act.state = "finished"
             self._turn.set()
 
@@ -209,6 +216,17 @@ class CheckController:
             return False
         self._park(act, "runnable", self.clock, (kind, key))
         return True
+
+    def annotate_finish(self, index: int, signatures: Iterable[Signature]) -> None:
+        """Attach extra signatures (dirty pages) to an arm's finish access.
+
+        Called by the arm's own runner just before it returns, so the
+        pages it wrote become part of the finish segment's access set --
+        the precise raw material the DPOR strategy judges conflicts on.
+        """
+        act = self._activities.get(index)
+        if act is not None:
+            act.extra = tuple(signatures)
 
     def sleep_for(self, seconds: float) -> bool:
         """Virtual sleep; returns True when handled (always, for activities)."""
@@ -335,7 +353,8 @@ class CheckController:
                 and not self.timed_out
             ):
                 self.winner_index = act.index
-                self.cancel_all(except_index=act.index)
+                if self.cancel_on_win:
+                    self.cancel_all(except_index=act.index)
         for act in self._activities.values():
             if act.thread is not None:
                 act.thread.join(timeout=_HANDOFF_TIMEOUT)

@@ -1,6 +1,6 @@
 """Exploration strategies: how the checker walks the schedule space.
 
-Three strategies, in increasing order of systematicness:
+Strategies, in increasing order of systematicness:
 
 - :class:`RandomWalkScheduler` -- uniform seeded choice at every yield
   point.  Cheap, surprisingly effective, trivially parallelisable by
@@ -9,16 +9,28 @@ Three strategies, in increasing order of systematicness:
   et al.): random distinct priorities plus ``d - 1`` priority change
   points gives a provable probability of hitting any bug of depth ``d``.
 - :class:`DFSScheduler` -- bounded-exhaustive depth-first enumeration of
-  schedules with a *sleep-set-lite* reduction: after a branch is fully
-  explored, its first step is put to sleep in sibling subtrees and only
-  woken by a conflicting segment.  Conflicts are judged on recorded
-  segment access signatures -- two yield points conflict when they name
-  the same ``(kind, key)`` resource or when either segment terminates an
-  arm (termination decides the race, so it conservatively conflicts with
-  everything).  Arms are COW-isolated by construction, which is what
-  makes this lightweight signature-level independence sound enough for a
-  test oracle; it is deliberately conservative in the FINISH direction
-  and deliberately approximate elsewhere, hence the "-lite".
+  schedules.  Two modes share the tree machinery:
+
+  * ``dfs`` / ``dfs-dpor`` (the default): real dynamic partial-order
+    reduction (Flanagan & Godefroid).  Every executed step is tracked
+    under vector-clock happens-before
+    (:class:`repro.independence.dpor.HappensBefore`); when a step races
+    with an earlier unordered conflicting step, a *backtrack point* is
+    planted at that earlier node, and new runs branch only at backtrack
+    points -- transitions that can actually reverse a conflict.
+    Conflicts are the precise signature relation from
+    :mod:`repro.independence.signature`: a decisive FINISH conflicts
+    with everything (it cancels the siblings), but a failed or
+    collect-mode finish is quiet and conflicts only through the dirty
+    pages and channels it actually touched.
+  * ``dfs-lite``: the earlier sleep-set-lite baseline -- branch at every
+    node, prune only with sleep sets over a conservative conflict
+    judgement where *any* finish conflicts with everything.  Kept as the
+    regression baseline the DPOR reduction is pinned against.
+
+  Both modes retain sleep sets: after a branch is fully explored, its
+  first step sleeps in sibling subtrees until a conflicting segment
+  wakes it.
 
 All strategies speak the :class:`~repro.check.runtime.Scheduler`
 interface and are deterministic given their seed, so any run they
@@ -32,6 +44,10 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.check.schedule import CheckError
 from repro.check.runtime import FINISH, Scheduler, Signature
+from repro.independence.dpor import HappensBefore
+from repro.independence.signature import signature_conflicts_segment
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
 
 
 class RandomWalkScheduler(Scheduler):
@@ -110,8 +126,13 @@ class PCTScheduler(Scheduler):
 
 
 def _conflicts(sig: Signature, access: Tuple[Signature, ...]) -> bool:
-    """Does a pending operation conflict with an executed segment?"""
-    if FINISH in access:
+    """The conservative (sleep-set-lite) conflict judgement.
+
+    Any finish -- decisive or quiet -- conflicts with everything; keyed
+    signatures conflict on exact match.  The DPOR mode uses the precise
+    relation from :mod:`repro.independence.signature` instead.
+    """
+    if any(a[0] == "finish" for a in access):
         return True
     return any(sig == a and sig[1] is not None for a in access)
 
@@ -119,11 +140,13 @@ def _conflicts(sig: Signature, access: Tuple[Signature, ...]) -> bool:
 class _Node:
     """One decision point in the DFS schedule tree."""
 
-    __slots__ = ("tried", "children")
+    __slots__ = ("tried", "children", "backtrack", "enabled_seen")
 
     def __init__(self) -> None:
         self.tried: Set[int] = set()
         self.children: Dict[int, "_Node"] = {}
+        self.backtrack: Set[int] = set()
+        self.enabled_seen: Optional[Tuple[int, ...]] = None
 
     def child(self, choice: int) -> "_Node":
         node = self.children.get(choice)
@@ -132,21 +155,44 @@ class _Node:
         return node
 
 
+class _StepRecord:
+    """Per-run bookkeeping for one executed scheduling step."""
+
+    __slots__ = ("node", "enabled", "chosen")
+
+    def __init__(self, node: _Node, enabled: Tuple[int, ...], chosen: int) -> None:
+        self.node = node
+        self.enabled = enabled
+        self.chosen = chosen
+
+
 class DFSScheduler(Scheduler):
-    """Bounded-exhaustive DFS over schedules with sleep-set-lite pruning.
+    """Bounded-exhaustive DFS over schedules, with DPOR or sleep-set-lite.
 
     The schedule tree persists across runs; each run replays the forced
-    prefix to the deepest node with an untried candidate, takes it, then
-    follows first-candidate choices to completion.  ``exhausted`` flips
-    once every reachable (non-slept) branch has been taken.
+    prefix to the deepest node with an untried branch, takes it, then
+    follows default choices to completion.  In DPOR mode (the default) a
+    node's branches are its *backtrack set* -- seeded with one enabled
+    activity and grown only by observed races -- so commuting
+    interleavings are never enumerated.  ``exhausted`` flips once every
+    reachable branch has been taken.
     """
 
     name = "dfs"
 
-    def __init__(self, max_depth: int = 256) -> None:
+    def __init__(
+        self,
+        max_depth: int = 256,
+        dpor: bool = True,
+        name: Optional[str] = None,
+    ) -> None:
         self.max_depth = max_depth
+        self.dpor = dpor
+        self.name = name if name is not None else ("dfs" if dpor else "dfs-lite")
         self.exhausted = False
         self.runs = 0
+        self.sleep_blocked = 0
+        self.backtrack_points = 0
         self._root = _Node()
         self._force: List[int] = []
         # per-run state
@@ -154,15 +200,21 @@ class DFSScheduler(Scheduler):
         self._sleep: Dict[int, Signature] = {}
         self._trail: List[Tuple[_Node, List[int]]] = []
         self._choices: List[int] = []
+        self._records: List[_StepRecord] = []
+        self._hb = HappensBefore()
 
     def begin_run(self) -> None:
         self._cursor = self._root
         self._sleep = {}
         self._trail = []
         self._choices = []
+        self._records = []
+        self._hb = HappensBefore()
 
     def choose(self, step, clock, enabled, pending):
         node = self._cursor
+        if node.enabled_seen is None:
+            node.enabled_seen = tuple(sorted(enabled))
         candidates = [i for i in enabled if i not in self._sleep]
         if not candidates:
             # Sleep-set blocked: every enabled first-step is provably
@@ -170,6 +222,7 @@ class DFSScheduler(Scheduler):
             # complete for the oracle, so continue deterministically
             # without opening a branch.
             candidates = [enabled[0]]
+            self.sleep_blocked += 1
         if step < len(self._force):
             choice = self._force[step]
             if choice not in enabled:
@@ -177,6 +230,19 @@ class DFSScheduler(Scheduler):
                     f"DFS prefix replay diverged at step {step}: forced "
                     f"{choice}, enabled {enabled}"
                 )
+        elif self.dpor:
+            # Branch only at backtrack points.  A fresh node is seeded
+            # with a single candidate; races observed later grow the set.
+            if not node.backtrack:
+                node.backtrack.add(candidates[0])
+            untried = sorted(
+                c
+                for c in node.backtrack
+                if c in enabled and c not in node.tried and c not in self._sleep
+            ) or sorted(
+                c for c in node.backtrack if c in enabled and c not in node.tried
+            )
+            choice = untried[0] if untried else candidates[0]
         else:
             untried = [c for c in candidates if c not in node.tried]
             choice = untried[0] if untried else candidates[0]
@@ -192,41 +258,118 @@ class DFSScheduler(Scheduler):
                 self._sleep[sibling] = pending[sibling]
         self._trail.append((node, candidates))
         self._choices.append(choice)
+        self._records.append(_StepRecord(node, tuple(enabled), choice))
         self._cursor = node.child(choice)
         return choice
 
     def observe(self, step, chosen, access):
         if self._sleep:
-            self._sleep = {
-                i: sig
-                for i, sig in self._sleep.items()
-                if not _conflicts(sig, access)
-            }
+            if self.dpor:
+                self._sleep = {
+                    i: sig
+                    for i, sig in self._sleep.items()
+                    if not signature_conflicts_segment(sig, access)
+                }
+            else:
+                self._sleep = {
+                    i: sig
+                    for i, sig in self._sleep.items()
+                    if not _conflicts(sig, access)
+                }
+        if not self.dpor:
+            return
+        # Race detection: plant a backtrack point at every earlier step
+        # that conflicts with this one without being ordered before it.
+        for earlier in self._hb.races(chosen, access):
+            record = self._records[earlier]
+            node = record.node
+            if chosen in record.enabled:
+                additions = (chosen,)
+            else:
+                additions = record.enabled
+            planted = []
+            for candidate in additions:
+                if candidate not in node.backtrack:
+                    node.backtrack.add(candidate)
+                    if candidate not in node.tried:
+                        planted.append(candidate)
+            if planted:
+                self.backtrack_points += len(planted)
+                tracer = _active_tracer()
+                if tracer.enabled:
+                    tracer.emit(
+                        _ev.DPOR_BACKTRACK,
+                        name=self.name,
+                        step=earlier,
+                        racing_step=step,
+                        activities=planted,
+                    )
+        self._hb.record(chosen, access)
 
     def end_run(self) -> bool:
         self.runs += 1
-        # Find the deepest node along this run with an untried candidate.
+        # Find the deepest node along this run with an untried branch.
         for depth in range(len(self._trail) - 1, -1, -1):
             node, candidates = self._trail[depth]
-            if any(c not in node.tried for c in candidates):
+            if self.dpor:
+                enabled = self._records[depth].enabled
+                remaining = [
+                    c
+                    for c in node.backtrack
+                    if c not in node.tried and c in enabled
+                ]
+            else:
+                remaining = [c for c in candidates if c not in node.tried]
+            if remaining:
                 self._force = self._choices[:depth]
                 return True
         self.exhausted = True
         return False
 
+    def stats(self) -> Dict[str, int]:
+        """Exploration counters: the reduction-win evidence.
 
-STRATEGIES = ("random", "pct", "dfs")
+        ``dpor_pruned`` counts enabled-but-never-branched transitions
+        across the persistent tree -- schedules the reduction proved
+        redundant (in lite mode, branches sleep sets suppressed).
+        """
+        pruned = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.enabled_seen is not None:
+                seen = set(node.enabled_seen)
+                pruned += max(0, len(seen) - len(node.tried & seen))
+            stack.extend(node.children.values())
+        return {
+            "explored": self.runs,
+            "dpor_pruned": pruned,
+            "sleep_blocked": self.sleep_blocked,
+            "backtrack_points": self.backtrack_points,
+            "exhausted": int(self.exhausted),
+        }
+
+
+STRATEGIES = ("random", "pct", "dfs", "dfs-dpor", "dfs-lite")
 
 
 def get_strategy(name: str, seed: int = 0, **kwargs) -> Scheduler:
-    """Build a scheduler by name (``random`` / ``pct`` / ``dfs``)."""
+    """Build a scheduler by name.
+
+    ``dfs`` and ``dfs-dpor`` are the same DPOR-reduced bounded DFS (the
+    alias keeps CI matrix columns explicit); ``dfs-lite`` is the
+    sleep-set-lite baseline.
+    """
     if name == "random":
         return RandomWalkScheduler(seed=seed, **kwargs)
     if name == "pct":
         return PCTScheduler(seed=seed, **kwargs)
-    if name == "dfs":
+    if name in ("dfs", "dfs-dpor"):
         kwargs.pop("seed", None)
-        return DFSScheduler(**kwargs)
+        return DFSScheduler(dpor=True, name=name, **kwargs)
+    if name == "dfs-lite":
+        kwargs.pop("seed", None)
+        return DFSScheduler(dpor=False, name=name, **kwargs)
     raise CheckError(
         f"unknown strategy {name!r}; expected one of {', '.join(STRATEGIES)}"
     )

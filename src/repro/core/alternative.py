@@ -171,6 +171,14 @@ class Alternative:
     guard_cost: float = 0.0
     """Simulated time to evaluate the guard itself."""
 
+    writes: Optional[Any] = None
+    """Declared write-set (a :class:`repro.independence.WriteSet`) for
+    maximal-step commits: when *every* arm of a block declares one and the
+    shared independence engine proves them pairwise disjoint, all
+    successful arms commit together as one validated step instead of
+    racing winner-take-all.  ``None`` (the default) opts the arm out --
+    the block then races classically."""
+
     metadata: dict = field(default_factory=dict)
 
     def sample_cost(self, rng: random.Random, context: AltContext) -> float:

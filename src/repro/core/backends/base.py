@@ -185,9 +185,21 @@ class ExecutionBackend(ABC):
 
     @abstractmethod
     def run_arms(
-        self, tasks: List[ArmTask], timeout: Optional[float] = None
+        self,
+        tasks: List[ArmTask],
+        timeout: Optional[float] = None,
+        collect_all: bool = False,
     ) -> BackendRace:
-        """Execute every task; return per-arm reports and the winner."""
+        """Execute every task; return per-arm reports and the winner.
+
+        ``collect_all=True`` is the maximal-step mode: the first success
+        does *not* terminate its siblings, no late success is demoted to
+        "too late", and every successful arm's writes are preserved on
+        its report -- the executor then validates page-disjointness and
+        commits all of them as one step (or falls back to classic
+        first-success selection).  ``winner_index`` still names the
+        temporally-first success so the fallback needs no re-race.
+        """
 
     def terminate_arm(self, index: int, hard: bool = False) -> bool:
         """Deliver a termination instruction to one still-racing arm.

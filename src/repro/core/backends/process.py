@@ -266,7 +266,10 @@ class ProcessBackend(ExecutionBackend):
     # ------------------------------------------------------------------
 
     def run_arms(
-        self, tasks: List[ArmTask], timeout: Optional[float] = None
+        self,
+        tasks: List[ArmTask],
+        timeout: Optional[float] = None,
+        collect_all: bool = False,
     ) -> BackendRace:
         sweep_orphans()
         start = time.perf_counter()
@@ -335,7 +338,7 @@ class ProcessBackend(ExecutionBackend):
                 _register_orphan(pid)
             race = self._collect(
                 tasks, pids, pipes, start, timeout, seen, slabs,
-                persistent, leases, clean_leases,
+                persistent, leases, clean_leases, collect_all,
             )
         finally:
             for fd in pipes.values():
@@ -351,13 +354,17 @@ class ProcessBackend(ExecutionBackend):
             statuses = self._reap(forked)
             if self.pool is not None and leases:
                 statuses.update(self.pool.finish(leases, clean_leases))
-            winner = race.winner_index if race is not None else None
             for index, slab in slabs.items():
-                if race is not None and index == winner:
-                    report = race.report(index)
-                    if report.shm_shipment is not None:
+                if race is not None:
+                    try:
+                        report = race.report(index)
+                    except KeyError:  # pragma: no cover - defensive
+                        report = None
+                    if report is not None and report.shm_shipment is not None:
                         # Ownership moved to the shipment: whoever commits
-                        # (or abandons) the race disposes it.
+                        # (or abandons) the race disposes it.  In collect
+                        # mode every successful arm keeps its shipment,
+                        # not just the winner.
                         continue
                 slab.dispose()
             self._race_pids = {}
@@ -514,7 +521,7 @@ class ProcessBackend(ExecutionBackend):
 
     def _collect(
         self, tasks, pids, pipes, start, timeout, seen, slabs,
-        persistent, leases, clean_leases,
+        persistent, leases, clean_leases, collect_all=False,
     ) -> BackendRace:
         readers = {index: _RecordReader() for index in pipes}
         fd_to_index = {fd: index for index, fd in pipes.items()}
@@ -645,6 +652,7 @@ class ProcessBackend(ExecutionBackend):
                         record, index, reports, seen, events,
                         winner_index, timed_out, grace_deadline,
                         signal_racing, trace_finish, slabs,
+                        collect_all=collect_all,
                     )
                 if reader.corrupt and index not in seen:
                     conclude_abnormal(index, reader.corrupt_detail)
@@ -700,7 +708,7 @@ class ProcessBackend(ExecutionBackend):
     def _absorb_record(
         self, record, index, reports, seen, events,
         winner_index, timed_out, grace_deadline, signal_racing,
-        trace_finish, slabs=None,
+        trace_finish, slabs=None, collect_all=False,
     ):
         """Fold one intact record into the race state."""
         seen.add(index)
@@ -740,8 +748,9 @@ class ProcessBackend(ExecutionBackend):
                     slab=slab,
                     pairs=[tuple(pair) for pair in shm_pages],
                 )
-            if winner_index is None and not timed_out:
-                winner_index = index
+            if (winner_index is None or collect_all) and not timed_out:
+                if winner_index is None:
+                    winner_index = index
                 report.succeeded = True
                 report.value = record["value"]
                 report.dirty_pages = record.get("dirty_pages")
@@ -752,9 +761,10 @@ class ProcessBackend(ExecutionBackend):
                 events.append(
                     (report.finished_at, f"{report.name} synchronizes")
                 )
-                # Winner chosen: cooperative kill for the rest.
-                signal_racing(signal.SIGTERM)
-                grace_deadline = time.perf_counter() + self.kill_grace
+                if not collect_all:
+                    # Winner chosen: cooperative kill for the rest.
+                    signal_racing(signal.SIGTERM)
+                    grace_deadline = time.perf_counter() + self.kill_grace
             else:
                 report.cancelled = True
                 report.detail = "synchronized too late; sibling already won"

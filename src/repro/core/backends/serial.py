@@ -32,8 +32,13 @@ class SerialBackend(ExecutionBackend):
     is_parallel = False
 
     def run_arms(
-        self, tasks: List[ArmTask], timeout: Optional[float] = None
+        self,
+        tasks: List[ArmTask],
+        timeout: Optional[float] = None,
+        collect_all: bool = False,
     ) -> BackendRace:
+        # ``collect_all`` is a no-op here: the serial backend never
+        # cancels anything, so every arm already runs to completion.
         start = time.perf_counter()
         reports: List[ArmReport] = []
         events = []

@@ -148,6 +148,22 @@ class SimBackend(ExecutionBackend):
                 abnormal = True
             finished = controller.clock
             self._check_dirty_coverage(task, before)
+            if succeeded and space is not None:
+                # The arm's finish signature carries its dirty pages (as
+                # judged by the shared independence engine) so the DPOR
+                # conflict relation sees exactly what a maximal-step
+                # commit would move.  Failed arms' writes are discarded,
+                # so they stay signature-free.
+                from repro.independence import default_engine, page_signature
+
+                try:
+                    dirty = default_engine.summarize(space.table.dirty_pages)
+                except Exception:
+                    dirty = ()
+                controller.annotate_finish(
+                    task.index,
+                    tuple(page_signature(vpn) for vpn in sorted(dirty)),
+                )
             reports[task.index] = ArmReport(
                 index=task.index,
                 name=task.name,
@@ -188,7 +204,10 @@ class SimBackend(ExecutionBackend):
     # ------------------------------------------------------------------
 
     def run_arms(
-        self, tasks: List[ArmTask], timeout: Optional[float] = None
+        self,
+        tasks: List[ArmTask],
+        timeout: Optional[float] = None,
+        collect_all: bool = False,
     ) -> BackendRace:
         from repro.check import runtime as _rt
 
@@ -203,7 +222,9 @@ class SimBackend(ExecutionBackend):
         self.last_violations = []
         reports: Dict[int, ArmReport] = {}
         events: List[Any] = []
+        saved_cancel_on_win = controller.cancel_on_win
         try:
+            controller.cancel_on_win = not collect_all
             controller.scheduler.begin_run()
             for task in tasks:
                 token = getattr(task.context, "token", None)
@@ -215,6 +236,7 @@ class SimBackend(ExecutionBackend):
                 )
             controller.run(timeout=timeout)
         finally:
+            controller.cancel_on_win = saved_cancel_on_win
             if owns_controller:
                 _rt.uninstall(controller)
         winner_index = controller.winner_index

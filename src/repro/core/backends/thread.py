@@ -71,7 +71,10 @@ class ThreadBackend(ExecutionBackend):
         return False
 
     def run_arms(
-        self, tasks: List[ArmTask], timeout: Optional[float] = None
+        self,
+        tasks: List[ArmTask],
+        timeout: Optional[float] = None,
+        collect_all: bool = False,
     ) -> BackendRace:
         start = time.perf_counter()
         lock = threading.Lock()
@@ -163,8 +166,15 @@ class ThreadBackend(ExecutionBackend):
                         events.append(
                             (report.finished_at, f"{task.name} synchronizes")
                         )
-                        cancel_all_except(task.index)
+                        if not collect_all:
+                            cancel_all_except(task.index)
                         decided.set()
+                    elif collect_all:
+                        # Maximal-step mode: a later success is a
+                        # co-committer, never "too late".
+                        events.append(
+                            (report.finished_at, f"{task.name} synchronizes")
+                        )
                     else:
                         # Too late: a sibling already won the rendezvous.
                         report.succeeded = False
@@ -201,8 +211,9 @@ class ThreadBackend(ExecutionBackend):
             thread.start()
 
         timed_out = False
+        wait_event = all_done if collect_all else decided
         if timeout is not None:
-            if not decided.wait(timeout):
+            if not wait_event.wait(timeout):
                 with lock:
                     if state["winner"] is None:
                         state["timed_out"] = True
@@ -210,7 +221,7 @@ class ThreadBackend(ExecutionBackend):
                 if timed_out:
                     cancel_all_except(None)
         else:
-            decided.wait()
+            wait_event.wait()
 
         # Drain: give stragglers join_grace seconds, then abandon them.
         grace_deadline = (

@@ -48,6 +48,7 @@ from repro.errors import (
     PageApplyError,
     ProcessStateError,
 )
+from repro.independence import StepPlan, default_engine
 from repro.obs import events as _ev
 from repro.obs.export import BlockTrace
 from repro.obs.tracer import active as _active_tracer
@@ -214,18 +215,45 @@ class ConcurrentExecutor:
             error.elapsed = 0.0
             raise error
 
+        step_plan = self._step_plan(alternatives, spawnable)
         if self.backend.is_parallel:
             if self.supervisor is not None:
+                # Supervised races retry with fresh worlds; they keep the
+                # classic first-success selection.
                 return self._run_supervised(
                     alternatives, spawnable, parent, outcomes, timeline
                 )
             return self._run_real(
-                alternatives, spawnable, parent, outcomes, timeline
+                alternatives, spawnable, parent, outcomes, timeline,
+                step_plan=step_plan,
             )
         runs = self._spawn_and_execute(
             alternatives, spawnable, parent, outcomes, timeline, rng
         )
+        if step_plan is not None:
+            result = self._race_step(
+                alternatives, runs, parent, outcomes, timeline, step_plan
+            )
+            if result is not None:
+                return result
         return self._race(alternatives, runs, parent, outcomes, timeline)
+
+    def _step_plan(
+        self, alternatives, spawnable
+    ) -> Optional[StepPlan]:
+        """A maximal-step plan when every spawnable arm declares a
+        disjoint write-set (and the block has no deadline -- a timed
+        block must keep the winner semaphore so the deadline can cut the
+        race short)."""
+        if self.timeout is not None or len(spawnable) < 2:
+            return None
+        declared = {
+            index: alternatives[index].writes for index in spawnable
+        }
+        page_size = getattr(
+            self.manager.store, "page_size", self.cost_model.page_size
+        )
+        return default_engine.plan(declared, page_size)
 
     # ------------------------------------------------------------------
     # phase 1: pre-spawn guard filtering
@@ -360,6 +388,7 @@ class ConcurrentExecutor:
     def _run_real(
         self, alternatives, spawnable, parent, outcomes, timeline,
         backend: Optional[ExecutionBackend] = None,
+        step_plan: Optional[StepPlan] = None,
     ) -> AltResult:
         """Race the arms under genuine concurrency, fastest-first.
 
@@ -433,7 +462,11 @@ class ConcurrentExecutor:
                 trace_block=self._trace_block,
             ).start()
         try:
-            race = backend.run_arms(tasks, timeout=self.timeout)
+            race = backend.run_arms(
+                tasks,
+                timeout=self.timeout,
+                collect_all=step_plan is not None,
+            )
         finally:
             if watchdog is not None:
                 watchdog.stop()
@@ -448,7 +481,8 @@ class ConcurrentExecutor:
         self._last_race = race
         try:
             return self._conclude_real(
-                race, by_index, parent, outcomes, timeline, spawn_done
+                race, by_index, parent, outcomes, timeline, spawn_done,
+                step_plan=step_plan,
             )
         finally:
             for child in children:
@@ -462,7 +496,20 @@ class ConcurrentExecutor:
         outcomes: List[AltOutcome],
         timeline: List[Tuple[float, str]],
         spawn_done: float,
+        step_plan: Optional[StepPlan] = None,
     ) -> AltResult:
+        if step_plan is not None:
+            result = self._conclude_step(
+                race, by_index, parent, outcomes, timeline, spawn_done,
+                step_plan,
+            )
+            if result is not None:
+                return result
+            # Step ineligible (a lone success, an abnormal death, a
+            # failed validation): fall back to the classic first-success
+            # conclusion.  Non-winner shipments would leak their slabs
+            # through the classic path, so dispose them now.
+            self._dispose_extra_shipments(race)
         winner_index = race.winner_index
         for when, label in race.events:
             timeline.append((spawn_done + when, label))
@@ -644,6 +691,320 @@ class ConcurrentExecutor:
             timeline=timeline,
             page_transport=winner_report.page_transport
             or race.page_transport,
+        )
+
+    # ------------------------------------------------------------------
+    # maximal-step conclusion (shared independence engine, section 4's
+    # selection-overhead optimisation: no winner semaphore, no kills)
+
+    @staticmethod
+    def _dispose_extra_shipments(race: BackendRace) -> None:
+        """Drop slabs of non-winning successes before a classic fallback."""
+        for report in race.reports:
+            if report.index == race.winner_index:
+                continue
+            if report.shm_shipment is not None:
+                report.shm_shipment.slab.dispose()
+                report.shm_shipment = None
+
+    def _emit_step_events(
+        self, committers, actual, reports, winner_index
+    ) -> None:
+        tracer = _active_tracer()
+        if not tracer.enabled:
+            return
+        tracer.emit(
+            _ev.INDEP_STEP,
+            block=self._trace_block,
+            name="maximal-step",
+            arms=list(committers),
+            pages=sum(len(actual[index]) for index in committers),
+        )
+        for index in committers:
+            tracer.emit(
+                _ev.MAXIMAL_COMMIT,
+                block=self._trace_block,
+                arm=index,
+                name=reports[index].name,
+                pages=len(actual[index]),
+                primary=index == winner_index,
+            )
+
+    def _conclude_step(
+        self,
+        race: BackendRace,
+        by_index: Dict[int, SimProcess],
+        parent: SimProcess,
+        outcomes: List[AltOutcome],
+        timeline: List[Tuple[float, str]],
+        spawn_done: float,
+        plan: StepPlan,
+    ) -> Optional[AltResult]:
+        """Commit every successful arm as one validated step.
+
+        Returns ``None`` whenever the step is ineligible (fewer than two
+        successes, an abnormal death, a rejected shipment, a failed
+        disjointness validation, a refused graft); the caller then takes
+        the classic first-success path on the very same race.
+        """
+        if race.timed_out or race.winner_index is None:
+            return None
+        reports = {index: race.report(index) for index in by_index}
+        if any(report.abnormal for report in reports.values()):
+            return None
+        committers = sorted(
+            index for index, report in reports.items() if report.succeeded
+        )
+        if len(committers) < 2:
+            return None
+        # Stage cross-process shipments into each committer's simulated
+        # space, so the dirty sets below reflect the real writes.
+        for index in committers:
+            report = reports[index]
+            child = by_index[index]
+            try:
+                if report.shm_shipment is not None:
+                    shipment = report.shm_shipment
+                    try:
+                        child.space.apply_shm_pages(shipment)
+                    finally:
+                        shipment.slab.dispose()
+                        report.shm_shipment = None
+                elif report.dirty_pages:
+                    child.space.apply_pages(report.dirty_pages)
+                    report.dirty_pages = None
+            except PageApplyError as exc:
+                report.succeeded = False
+                report.abnormal = True
+                report.detail = f"step shipback rejected: {exc}"
+                if race.winner_index == index:
+                    rest = [
+                        i for i, r in reports.items() if r.succeeded
+                    ]
+                    race.winner_index = (
+                        min(rest, key=lambda i: reports[i].finished_at)
+                        if rest
+                        else None
+                    )
+                return None
+        actual = {
+            index: frozenset(
+                default_engine.summarize(
+                    by_index[index].space.table.dirty_pages
+                )
+            )
+            for index in committers
+        }
+        problem = default_engine.validate(plan, actual)
+        if problem is not None:
+            timeline.append(
+                (
+                    spawn_done + race.total_seconds,
+                    f"maximal step refused: {problem}",
+                )
+            )
+            return None
+
+        # Bookkeeping first: the kernel commit below releases the
+        # secondaries' spaces.
+        wasted = 0.0
+        for index, child in by_index.items():
+            report = reports[index]
+            outcome = outcomes[index]
+            outcome.duration = report.work_seconds
+            outcome.started_at = spawn_done + report.started_at
+            outcome.finished_at = spawn_done + report.finished_at
+            outcome.cpu_consumed = report.work_seconds
+            if report.page_transport is None:
+                outcome.pages_written = child.space.pages_written
+            else:
+                outcome.pages_written = report.pages_written
+            if index not in committers:
+                wasted += report.work_seconds
+
+        pages_map = {
+            by_index[index].pid: sorted(actual[index])
+            for index in committers[1:]
+        }
+        try:
+            self.manager.alt_step_commit(
+                parent, [by_index[index] for index in committers], pages_map
+            )
+        except PageApplyError as exc:
+            timeline.append(
+                (
+                    spawn_done + race.total_seconds,
+                    f"maximal step graft refused: {exc}",
+                )
+            )
+            return None
+
+        # The step is order-free: the committed block's winner is the
+        # lowest-index committer on every backend and every schedule.
+        winner_index = committers[0]
+        race.winner_index = winner_index
+        winner_report = reports[winner_index]
+        for index in committers:
+            outcome = outcomes[index]
+            outcome.value = reports[index].value
+            outcome.status = "committed" if index != winner_index else "won"
+        for index, report in reports.items():
+            if index in committers:
+                continue
+            outcomes[index].status = "failed"
+            outcomes[index].detail = report.detail
+
+        self._emit_step_events(committers, actual, reports, winner_index)
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                _ev.WINNER_COMMIT,
+                block=self._trace_block,
+                arm=winner_index,
+                name=winner_report.name,
+                pages=outcomes[winner_index].pages_written,
+                work_seconds=winner_report.work_seconds,
+                maximal_step=True,
+            )
+
+        win_time = spawn_done + max(
+            reports[index].finished_at for index in committers
+        )
+        resume_at = spawn_done + race.total_seconds
+        timeline.append((resume_at, "parent resumes (maximal step)"))
+        timeline.sort(key=lambda event: event[0])
+        overhead = OverheadBreakdown(
+            setup=spawn_done,
+            runtime=self.cost_model.page_copy_time(
+                outcomes[winner_index].pages_written
+            ),
+            selection=max(0.0, resume_at - win_time),
+        )
+        return AltResult(
+            value=winner_report.value,
+            winner=outcomes[winner_index],
+            outcomes=outcomes,
+            elapsed=resume_at,
+            overhead=overhead,
+            wasted_work=wasted,
+            timeline=timeline,
+            page_transport=winner_report.page_transport
+            or race.page_transport,
+        )
+
+    def _race_step(
+        self, alternatives, runs, parent, outcomes, timeline, plan
+    ) -> Optional[AltResult]:
+        """The deterministic-timing twin of :meth:`_conclude_step`.
+
+        Every body already ran to completion (the serial discipline), so
+        the step needs no collect mode: validate the successes' dirty
+        sets, commit them as one step, and charge only ``sync_latency``
+        as selection overhead -- no termination instructions are issued
+        because the step has no losers to kill.
+        """
+        committers = sorted(run.index for run in runs if run.succeeded)
+        if len(committers) < 2:
+            return None
+        by_index = {run.index: run for run in runs}
+        actual = {
+            index: frozenset(
+                default_engine.summarize(
+                    by_index[index].child.space.table.dirty_pages
+                )
+            )
+            for index in committers
+        }
+        if default_engine.validate(plan, actual) is not None:
+            return None
+        pages_map = {
+            by_index[index].child.pid: sorted(actual[index])
+            for index in committers[1:]
+        }
+        try:
+            self.manager.alt_step_commit(
+                parent,
+                [by_index[index].child for index in committers],
+                pages_map,
+            )
+        except PageApplyError:
+            return None
+
+        model = self.cost_model
+        cpus = self.cpus if self.cpus is not None else max(1, len(runs))
+        sched = ProcessorSharing(cpus=cpus)
+        for run in runs:
+            sched.add(run.index, arrival=run.arrival, demand=run.demand)
+        completion: Dict[int, float] = {}
+        while True:
+            step = sched.step_to_next_completion()
+            if step is None:
+                break
+            when, index = step
+            completion[index] = when
+
+        winner_index = committers[0]
+        winner_run = by_index[winner_index]
+        wasted = 0.0
+        for run in runs:
+            outcome = outcomes[run.index]
+            finished = completion.get(run.index, sched.now)
+            outcome.cpu_consumed = sched.job(run.index).consumed
+            outcome.finished_at = finished
+            if run.succeeded:
+                outcome.status = (
+                    "won" if run.index == winner_index else "committed"
+                )
+                outcome.value = run.value
+                timeline.append(
+                    (finished, f"{run.alternative.name} synchronizes")
+                )
+            else:
+                outcome.status = "failed"
+                outcome.detail = run.detail
+                wasted += sched.job(run.index).consumed
+                timeline.append(
+                    (finished, f"{run.alternative.name} aborts: {run.detail}")
+                )
+
+        win_time = max(completion[index] for index in committers)
+        sync_done = win_time + model.sync_latency
+        if self.guard_placement is GuardPlacement.AT_SYNC:
+            sync_done += alternatives[winner_index].guard_cost
+        resume_at = sync_done
+
+        self._emit_step_events(
+            committers,
+            actual,
+            {index: by_index[index].alternative for index in committers},
+            winner_index,
+        )
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                _ev.WINNER_COMMIT,
+                block=self._trace_block,
+                arm=winner_index,
+                name=winner_run.alternative.name,
+                pages=winner_run.pages_written,
+                sim_time=win_time,
+                maximal_step=True,
+            )
+        timeline.append((resume_at, "parent resumes (maximal step)"))
+        timeline.sort(key=lambda event: event[0])
+        overhead = OverheadBreakdown(
+            setup=len(runs) * model.fork_latency,
+            runtime=model.page_copy_time(winner_run.pages_written),
+            selection=resume_at - win_time,
+        )
+        return AltResult(
+            value=winner_run.value,
+            winner=outcomes[winner_index],
+            outcomes=outcomes,
+            elapsed=resume_at,
+            overhead=overhead,
+            wasted_work=wasted,
+            timeline=timeline,
         )
 
     # ------------------------------------------------------------------

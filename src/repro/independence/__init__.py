@@ -1,0 +1,51 @@
+"""One independence engine, shared by the checker and the executor.
+
+The paper's alternatives are *mutually exclusive* only when they
+actually conflict.  This package holds the single source of truth for
+"conflict": ``(kind, key)`` access signatures and declared write sets
+resolve to page/channel resources, and two operations are independent
+exactly when those resources are disjoint.
+
+Two consumers, one relation:
+
+- the checker's :class:`~repro.check.strategies.DFSScheduler` uses the
+  precise signature conflict relation (:mod:`repro.independence.signature`)
+  and vector-clock happens-before tracking (:mod:`repro.independence.dpor`)
+  for real dynamic partial-order reduction;
+- the runtime's :class:`~repro.core.concurrent.ConcurrentExecutor` uses
+  declared write sets (:class:`~repro.independence.signature.WriteSet`)
+  and the :class:`~repro.independence.engine.IndependenceEngine` to plan
+  maximal-step commits -- provably disjoint arms commit together through
+  :func:`repro.independence.commit.graft_step` instead of racing through
+  the winner semaphore.
+
+Seeding a bug here (see ``_TEST_MUTATIONS`` in
+:mod:`repro.independence.engine`) poisons both consumers consistently --
+which is exactly what the mutation-adequacy suite exploits.
+"""
+
+from repro.independence.engine import IndependenceEngine, StepPlan, default_engine
+from repro.independence.signature import (
+    FINISH,
+    START,
+    Signature,
+    WriteSet,
+    page_signature,
+    quiet_finish,
+    segment_conflicts,
+    signatures_conflict,
+)
+
+__all__ = [
+    "FINISH",
+    "START",
+    "IndependenceEngine",
+    "Signature",
+    "StepPlan",
+    "WriteSet",
+    "default_engine",
+    "page_signature",
+    "quiet_finish",
+    "segment_conflicts",
+    "signatures_conflict",
+]

@@ -1,0 +1,107 @@
+"""The maximal-step commit primitive: validate, snapshot, commit, rollback.
+
+:func:`graft_step` merges the dirty pages of several *secondary* arms
+into the *primary* arm's address space, page-pointer by page-pointer,
+so one subsequent ``adopt`` of the primary commits the whole step into
+the parent atomically.  Three phases, as in the exemplar's ACID
+maximal-step firing:
+
+1. **validate** -- every grafted page must be mapped in both spaces and
+   the grafted sets must be disjoint from the primary's own dirty set
+   and from each other (as judged by the shared engine, so a seeded
+   false-independence bug poisons this check the same way it poisoned
+   the plan);
+2. **snapshot** -- the primary's current frame for every target page is
+   referenced once more, so it survives being swapped out;
+3. **commit** -- each secondary frame is referenced and swapped in via
+   ``set_frame``.  On any failure the snapshot frames are swapped back
+   (consuming the snapshot references) and the error is re-raised; on
+   success the snapshot references are dropped.
+
+Secondaries keep their own references throughout -- their spaces are
+released by the kernel after the step commits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import PageApplyError
+from repro.resilience.injector import active as _active_injector
+
+
+def graft_step(primary_space, grafts: Sequence[Tuple[object, Iterable[int]]]) -> int:
+    """Graft ``(space, vpns)`` pairs into ``primary_space``; returns pages moved.
+
+    Raises :class:`~repro.errors.PageApplyError` with the primary space
+    unchanged (validation failure) or rolled back (commit failure).
+    """
+    from repro.independence.engine import default_engine
+
+    table = primary_space.table
+    store = table.store
+    normalized = [(space, sorted(set(vpns))) for space, vpns in grafts]
+
+    # -- phase 1: validate --------------------------------------------
+    claimed = sorted(table.dirty_pages)
+    for space, vpns in normalized:
+        if space.table.store is not store:
+            raise PageApplyError("cannot graft pages from a different store")
+        if not default_engine.disjoint(claimed, vpns):
+            overlap = sorted(set(claimed) & set(vpns))
+            raise PageApplyError(
+                f"maximal-step graft overlaps already-claimed pages {overlap}"
+            )
+        for vpn in vpns:
+            if vpn < 0 or vpn >= primary_space.num_pages:
+                raise PageApplyError(
+                    f"grafted page {vpn} outside space of "
+                    f"{primary_space.num_pages} pages"
+                )
+            if not space.table.is_mapped(vpn):
+                raise PageApplyError(
+                    f"grafted page {vpn} is not mapped in the source space"
+                )
+        claimed = sorted(set(claimed) | set(vpns))
+
+    # -- phase 2: snapshot --------------------------------------------
+    targets = sorted({vpn for _, vpns in normalized for vpn in vpns})
+    snapshot: List[Tuple[int, int]] = []
+    for vpn in targets:
+        old_frame = table.frame_of(vpn)
+        store.incref(old_frame)
+        snapshot.append((vpn, old_frame))
+
+    # -- phase 3: commit, rolling back on failure ---------------------
+    injector = _active_injector()
+    committed_vpns: List[int] = []
+    try:
+        for space, vpns in normalized:
+            for vpn in vpns:
+                if (
+                    injector is not None
+                    and injector.draw("step-commit-fail", vpn) is not None
+                ):
+                    raise PageApplyError(
+                        f"injected step-commit failure at page {vpn}"
+                    )
+                frame = space.table.frame_of(vpn)
+                store.incref(frame)
+                table.set_frame(vpn, frame)
+                committed_vpns.append(vpn)
+    except BaseException:
+        # Swap the snapshot frames back in; ``set_frame`` consumes the
+        # snapshot reference and releases the half-committed frame.
+        committed_set = set(committed_vpns)
+        for vpn, old_frame in snapshot:
+            if vpn in committed_set:
+                table.set_frame(vpn, old_frame)
+            else:
+                store.decref(old_frame)
+        primary_space._invalidate_vars()
+        raise
+    # Success: drop the snapshot references.
+    for _, old_frame in snapshot:
+        store.decref(old_frame)
+    primary_space._invalidate_vars()
+    return len(committed_vpns)

@@ -1,0 +1,77 @@
+"""Vector-clock happens-before tracking for dynamic partial-order reduction.
+
+One :class:`HappensBefore` instance tracks a single checked run.  Every
+executed scheduling step is recorded with the access signatures it
+touched; the clock algebra is the standard one (Flanagan & Godefroid,
+POPL 2005):
+
+- each activity carries a vector clock, joined with the clock of every
+  earlier *conflicting* step when it executes;
+- step ``i`` (by activity ``q``) happens-before activity ``p``'s next
+  transition iff ``V_i[q] <= C_p[q]`` -- ``V_i[q]`` is maximal in ``q``'s
+  coordinate at ``i``, so the single-coordinate test is exact;
+- two steps *race* when they conflict, belong to different activities,
+  and neither happens-before the other.
+
+The scheduler calls :meth:`races` *before* :meth:`record` for each
+executed step: races are judged against the clock the activity had
+before taking the step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.independence.signature import Signature, segment_conflicts
+
+Clock = Dict[int, int]
+
+
+class HappensBefore:
+    """Happens-before over one run's executed steps."""
+
+    def __init__(self) -> None:
+        self._clocks: Dict[int, Clock] = {}
+        self._steps: List[Tuple[int, Tuple[Signature, ...], Clock]] = []
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def races(
+        self, chosen: int, access: Iterable[Signature]
+    ) -> List[int]:
+        """Indices of earlier steps racing with ``(chosen, access)``.
+
+        Nearest race last is irrelevant here -- every unordered conflict
+        is a reversible race, and the DPOR scheduler plants a backtrack
+        point at each one.
+        """
+        access = tuple(access)
+        clock = self._clocks.get(chosen, {})
+        racing: List[int] = []
+        for i, (actor, prior_access, prior_clock) in enumerate(self._steps):
+            if actor == chosen:
+                continue
+            if not segment_conflicts(prior_access, access):
+                continue
+            if prior_clock.get(actor, 0) <= clock.get(actor, 0):
+                continue  # already ordered before the chosen transition
+            racing.append(i)
+        return racing
+
+    def record(self, chosen: int, access: Iterable[Signature]) -> Clock:
+        """Record one executed step; returns the step's vector clock."""
+        access = tuple(access)
+        clock = dict(self._clocks.get(chosen, {}))
+        for actor, prior_access, prior_clock in self._steps:
+            if actor != chosen and segment_conflicts(prior_access, access):
+                for key, value in prior_clock.items():
+                    if value > clock.get(key, 0):
+                        clock[key] = value
+        clock[chosen] = len(self._steps) + 1
+        self._clocks[chosen] = clock
+        self._steps.append((chosen, access, clock))
+        return clock
+
+    def actor(self, step: int) -> int:
+        return self._steps[step][0]

@@ -1,0 +1,136 @@
+"""The independence engine: plan and validate maximal steps.
+
+The engine answers exactly three questions, all in page currency:
+
+- :meth:`IndependenceEngine.plan` -- *before* the race: can this block's
+  arms commit as one maximal step?  Only when every arm declares a
+  :class:`~repro.independence.signature.WriteSet` and all declarations
+  are pairwise disjoint.
+- :meth:`IndependenceEngine.summarize` -- *after* the race: which pages
+  did an arm actually dirty (the page-signature summary that also feeds
+  the checker's finish accesses)?
+- :meth:`IndependenceEngine.validate` -- *at commit*: do the actual
+  dirty sets honour the plan (each within its declaration, all pairwise
+  disjoint)?  Any violation vetoes the step and the block falls back to
+  the classic winner-semaphore race.
+
+``_TEST_MUTATIONS`` seeds engine bugs for the mutation-adequacy suite,
+mirroring ``repro.pages.table._TEST_MUTATIONS``:
+
+- ``indep-drop-page``: :meth:`summarize` silently drops the highest
+  dirty page -- a secondary arm's write never reaches the parent;
+- ``indep-false-disjoint``: :meth:`disjoint` ignores page overlap -- a
+  conflicting block is wrongly committed as a maximal step.
+
+Both poison planner and validator consistently (one engine, one bug),
+so only the checker's serial-equivalence oracle can catch them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.independence.signature import WriteSet
+
+#: Active engine mutations (test-only; see module docstring).
+_TEST_MUTATIONS: Set[str] = set()
+
+
+@dataclass(frozen=True)
+class StepPlan:
+    """A provably disjoint block: the arms that may commit together."""
+
+    arms: Tuple[int, ...]
+    pages: Tuple[Tuple[int, FrozenSet[int]], ...]
+    """Per-arm declared page sets, as ``(arm_index, pages)`` pairs."""
+
+    def declared(self, index: int) -> Optional[FrozenSet[int]]:
+        for arm, pages in self.pages:
+            if arm == index:
+                return pages
+        return None
+
+
+class IndependenceEngine:
+    """Signature-based independence, shared by checker and executor."""
+
+    def disjoint(
+        self, pages_a: Iterable[int], pages_b: Iterable[int]
+    ) -> bool:
+        """Are two page sets free of any shared page?"""
+        if "indep-false-disjoint" in _TEST_MUTATIONS:
+            return True
+        return not (frozenset(pages_a) & frozenset(pages_b))
+
+    def summarize(self, dirty: Iterable[int]) -> FrozenSet[int]:
+        """An arm's actual dirty pages, as the engine accounts them."""
+        pages = frozenset(dirty)
+        if "indep-drop-page" in _TEST_MUTATIONS and pages:
+            pages = pages - {max(pages)}
+        return pages
+
+    def plan(
+        self,
+        declared: Dict[int, Optional[WriteSet]],
+        page_size: int,
+    ) -> Optional[StepPlan]:
+        """A maximal-step plan, or None when the block must race.
+
+        ``declared`` maps arm index to its declared write set (``None``
+        for an arm that declares nothing).  A plan requires at least two
+        arms, a declaration from every arm, disjoint channel sets, and
+        pairwise disjoint page sets.
+        """
+        if len(declared) < 2:
+            return None
+        resolved: Dict[int, Tuple[FrozenSet[int], FrozenSet[str]]] = {}
+        for index, write_set in declared.items():
+            if write_set is None:
+                return None
+            resolved[index] = (
+                write_set.pages(page_size),
+                frozenset(write_set.channels),
+            )
+        indices = sorted(resolved)
+        for a, b in combinations(indices, 2):
+            pages_a, channels_a = resolved[a]
+            pages_b, channels_b = resolved[b]
+            if channels_a & channels_b:
+                return None
+            if not self.disjoint(pages_a, pages_b):
+                return None
+        return StepPlan(
+            arms=tuple(indices),
+            pages=tuple((i, resolved[i][0]) for i in indices),
+        )
+
+    def validate(
+        self,
+        plan: StepPlan,
+        actual: Dict[int, FrozenSet[int]],
+    ) -> Optional[str]:
+        """Why the committers' actual dirty sets break the plan (or None).
+
+        ``actual`` maps each *committing* arm to its summarized dirty
+        set; failed arms never commit and are not validated.
+        """
+        for index in sorted(actual):
+            declared = plan.declared(index)
+            if declared is None:
+                return f"arm {index} succeeded but is not in the step plan"
+            extra = actual[index] - declared
+            if extra:
+                return (
+                    f"arm {index} dirtied pages {sorted(extra)} outside "
+                    f"its declared write set"
+                )
+        for a, b in combinations(sorted(actual), 2):
+            if not self.disjoint(actual[a], actual[b]):
+                return f"arms {a} and {b} dirtied overlapping pages"
+        return None
+
+
+#: The process-wide engine both the checker and the executor consult.
+default_engine = IndependenceEngine()

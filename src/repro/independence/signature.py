@@ -1,0 +1,125 @@
+"""Access signatures and declared write sets.
+
+A :data:`Signature` is the checker's unit of observation: every yield
+point names the ``(kind, key)`` resource it is about to touch
+(``("chan-send", "1->2")``, ``("guard-eval", "arm-name")``, ...).  A
+:class:`WriteSet` is the runtime's unit of declaration: an arm states up
+front which byte ranges / variables / channels it writes, and the
+engine resolves that to virtual page numbers so disjointness is decided
+in the same currency the COW page tables account in.
+
+The precise conflict relation lives here so the checker's DPOR and the
+runtime's maximal-step planner cannot drift apart:
+
+- the decisive :data:`FINISH` marker (a *successful* finish while the
+  race cancels on first win) conflicts with everything -- it picks the
+  winner and cancels every sibling, so its position in the schedule is
+  always significant;
+- a *quiet* finish (a failed arm, or any finish in collect mode where
+  the winner is order-independent) is keyed per arm and conflicts with
+  nothing but itself;
+- keyed signatures conflict when they name the same resource; a send
+  and a receive on the same channel conflict with each other;
+- keyless signatures (``sleep``, ``page-shipback``, ...) never conflict:
+  arms are COW-isolated by construction, so only named shared resources
+  order them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+Signature = Tuple[str, Optional[str]]
+
+FINISH: Signature = ("finish", None)
+"""A decisive arm termination: it selects the winner and cancels the
+siblings, so it conflicts with every other segment."""
+
+START: Signature = ("start", None)
+
+#: A send and a receive on the same channel key conflict even though
+#: their kinds differ.
+_CHANNEL_KINDS = frozenset({"chan-send", "chan-recv"})
+
+
+def quiet_finish(index: int) -> Signature:
+    """The finish signature of an arm whose termination decides nothing.
+
+    Failed arms never cancel siblings; in collect (maximal-step) mode
+    even successful finishes are quiet because the committed winner is
+    the lowest index, not the temporal first.
+    """
+    return ("finish", f"arm:{index}")
+
+
+def page_signature(vpn: int) -> Signature:
+    """The signature under which a dirty page appears in a finish access."""
+    return ("page", str(vpn))
+
+
+def signatures_conflict(a: Signature, b: Signature) -> bool:
+    """The precise pairwise conflict relation (symmetric by construction)."""
+    if a == FINISH or b == FINISH:
+        return True
+    kind_a, key_a = a
+    kind_b, key_b = b
+    if key_a is None or key_b is None:
+        return False
+    if key_a != key_b:
+        return False
+    if kind_a == kind_b:
+        return True
+    return kind_a in _CHANNEL_KINDS and kind_b in _CHANNEL_KINDS
+
+
+def segment_conflicts(
+    access_a: Iterable[Signature], access_b: Iterable[Signature]
+) -> bool:
+    """Do two executed segments conflict (any signature pair conflicts)?"""
+    access_b = tuple(access_b)
+    return any(
+        signatures_conflict(sig_a, sig_b)
+        for sig_a in access_a
+        for sig_b in access_b
+    )
+
+
+def signature_conflicts_segment(
+    sig: Signature, access: Iterable[Signature]
+) -> bool:
+    """Does one pending signature conflict with an executed segment?"""
+    return any(signatures_conflict(sig, other) for other in access)
+
+
+@dataclass(frozen=True)
+class WriteSet:
+    """An arm's declared writes, resolvable to page/channel resources.
+
+    ``ranges`` are ``(offset, length)`` byte ranges in the arm's address
+    space.  ``variables=True`` declares writes to the named-variable
+    directory, which is a shared append log starting at page 0 -- any
+    two variable writers overlap there, so variables resolve to the
+    first ``directory_pages`` pages rather than to per-name resources.
+    ``channels`` are predicated-message channel keys.
+    """
+
+    ranges: Tuple[Tuple[int, int], ...] = ()
+    variables: bool = False
+    channels: Tuple[str, ...] = ()
+    directory_pages: int = 2
+
+    def pages(self, page_size: int) -> FrozenSet[int]:
+        """The virtual page numbers this declaration may dirty."""
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        out = set()
+        for offset, length in self.ranges:
+            if length <= 0:
+                continue
+            first = offset // page_size
+            last = (offset + length - 1) // page_size
+            out.update(range(first, last + 1))
+        if self.variables:
+            out.update(range(self.directory_pages))
+        return frozenset(out)

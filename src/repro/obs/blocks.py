@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.core.alternative import Alternative
 from repro.core.concurrent import ConcurrentExecutor
 from repro.errors import AltBlockFailure, AltTimeout
+from repro.independence import WriteSet
 
 # A raw-byte write offset far from the variable directory's first pages:
 # exercises shipback of pages the directory machinery never re-dirties.
@@ -58,6 +59,7 @@ class _ArmBody:
     fail: bool = False
     crash: bool = False
     raw: Optional[bytes] = None
+    raw_offset: int = RAW_OFFSET
 
     def __call__(self, ctx):
         ctx.sleep(self.seconds)
@@ -66,7 +68,7 @@ class _ArmBody:
         if self.fail:
             ctx.fail(f"{self.name} refuses")
         if self.raw is not None:
-            ctx.space.write(RAW_OFFSET, self.raw)
+            ctx.space.write(self.raw_offset, self.raw)
         if self.var is not None:
             ctx.put(self.var, self.value)
         return self.value
@@ -82,6 +84,8 @@ def _arm(
     fail: bool = False,
     crash: bool = False,
     raw: Optional[bytes] = None,
+    raw_offset: int = RAW_OFFSET,
+    writes: Optional[WriteSet] = None,
 ) -> Alternative:
     """One sleeping arm whose simulated cost equals its wall sleep."""
     return Alternative(
@@ -94,10 +98,12 @@ def _arm(
             fail=fail,
             crash=crash,
             raw=raw,
+            raw_offset=raw_offset,
         ),
         guard=guard,
         pre_guard=pre_guard,
         cost=seconds,
+        writes=writes,
     )
 
 
@@ -301,6 +307,62 @@ CANONICAL_BLOCKS: List[CanonicalBlock] = [
         expect_winner="early",
         expect_value="early",
         expect_vars={"who": "early"},
+    ),
+    CanonicalBlock(
+        name="disjoint-arms",
+        description=(
+            "both arms declare disjoint page write-sets: the maximal-step "
+            "commit lands *both* writes as one step, no loser is killed, "
+            "and the lowest-index committer reports as winner"
+        ),
+        build=lambda ex: [
+            _arm(
+                "left",
+                FAST,
+                value="L",
+                raw=b"left-lane",
+                raw_offset=RAW_OFFSET,
+                writes=WriteSet(ranges=((RAW_OFFSET, 64),)),
+            ),
+            _arm(
+                "right",
+                MID,
+                value="R",
+                raw=b"right-lane",
+                raw_offset=RAW_OFFSET * 2,
+                writes=WriteSet(ranges=((RAW_OFFSET * 2, 64),)),
+            ),
+        ],
+        expect_winner="left",
+        expect_value="L",
+    ),
+    CanonicalBlock(
+        name="overlap-arms",
+        description=(
+            "both arms declare the *same* page: the engine refuses the "
+            "step plan, so the block races classically and only the "
+            "fastest arm's bytes land"
+        ),
+        build=lambda ex: [
+            _arm(
+                "first",
+                FAST,
+                value="F1",
+                raw=b"first-bytes",
+                raw_offset=RAW_OFFSET,
+                writes=WriteSet(ranges=((RAW_OFFSET, 64),)),
+            ),
+            _arm(
+                "second",
+                MID,
+                value="S2",
+                raw=b"second-bytes!",
+                raw_offset=RAW_OFFSET,
+                writes=WriteSet(ranges=((RAW_OFFSET, 64),)),
+            ),
+        ],
+        expect_winner="first",
+        expect_value="F1",
     ),
     CanonicalBlock(
         name="loser-writes-discarded",

@@ -29,6 +29,11 @@ ARM_FINISH = "arm-finish"
 WINNER_COMMIT = "winner-commit"
 LOSER_ELIMINATE = "loser-eliminate"
 
+# -- independence / maximal steps --------------------------------------
+INDEP_STEP = "indep-step"
+MAXIMAL_COMMIT = "maximal-commit"
+DPOR_BACKTRACK = "dpor-backtrack"
+
 # -- supervision -------------------------------------------------------
 RETRY = "retry"
 BACKOFF = "backoff"
@@ -77,6 +82,9 @@ EVENT_KINDS = (
     ARM_FINISH,
     WINNER_COMMIT,
     LOSER_ELIMINATE,
+    INDEP_STEP,
+    MAXIMAL_COMMIT,
+    DPOR_BACKTRACK,
     RETRY,
     BACKOFF,
     WATCHDOG_SOFT,

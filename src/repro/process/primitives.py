@@ -296,6 +296,82 @@ class ProcessManager:
         parent.transition(ProcessState.RUNNABLE)
         return winner
 
+    # ------------------------------------------------------------------
+    # maximal-step commit (independence-engine fast path)
+
+    def alt_step_commit(
+        self,
+        parent: SimProcess,
+        committers: List[SimProcess],
+        pages: Dict[int, List[int]],
+    ) -> SimProcess:
+        """Commit several provably page-disjoint alternatives as one step.
+
+        ``committers`` lists the successful children in commit order: the
+        first is the step's *primary* (the flow of control the parent
+        appears to continue), and ``pages`` maps every other committer's
+        pid to the virtual pages grafted from its space into the
+        primary's.  The graft is the three-phase validate / snapshot /
+        commit of :func:`repro.independence.commit.graft_step`: a
+        :class:`~repro.errors.PageApplyError` leaves the kernel state
+        completely untouched (parent still ``WAITING``, every child still
+        ``RUNNABLE``), so the caller can fall back to the classic
+        first-success rendezvous.
+
+        After a successful graft every committer synchronizes (there is
+        no loser among them -- the step is order-free), the parent adopts
+        the primary's space, and any child that neither committed nor
+        already reached a terminal state is eliminated.
+        """
+        from repro.independence.commit import graft_step
+
+        if parent.state != ProcessState.WAITING:
+            raise ProcessStateError(
+                f"process {parent.pid} is {parent.state.value}; not waiting"
+            )
+        if len(committers) < 2:
+            raise ValueError("a maximal step needs at least two committers")
+        group = self._group_of_parent(parent)
+        if group.winner_pid is not None:
+            raise ProcessStateError(
+                f"group {group.group_id} already synchronized "
+                f"(winner {group.winner_pid})"
+            )
+        for child in committers:
+            if child.group_id != group.group_id:
+                raise ProcessStateError(
+                    f"process {child.pid} is not an alternative of "
+                    f"group {group.group_id}"
+                )
+            if child.state != ProcessState.RUNNABLE:
+                raise ProcessStateError(
+                    f"process {child.pid} is {child.state.value}; "
+                    "cannot commit"
+                )
+        primary, secondaries = committers[0], committers[1:]
+        # May raise PageApplyError with every space intact (validation)
+        # or the primary rolled back (commit failure) -- either way no
+        # kernel state has changed yet and the classic path still works.
+        graft_step(
+            primary.space,
+            [(child.space, pages.get(child.pid, ())) for child in secondaries],
+        )
+        group.winner_pid = primary.pid
+        self.syncs_performed += len(committers)
+        parent.space.adopt(primary.space)
+        for child in committers:
+            if parent.predicate.mentions(child.pid):
+                parent.predicate = parent.predicate.resolve(child.pid, True)
+            child.transition(ProcessState.SYNCED)
+            self._notify(child.pid, True)
+        for child in secondaries:
+            child.space.release()
+        self._eliminate_losers(group, winner_pid=primary.pid)
+        self._drain_pending(group)
+        group.closed = True
+        parent.transition(ProcessState.RUNNABLE)
+        return primary
+
     def _group_of_parent(self, parent: SimProcess) -> AltGroup:
         candidates = [
             g

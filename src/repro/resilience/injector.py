@@ -39,6 +39,7 @@ FAULT_POINTS = (
     "page-apply-fail",  # replaying shipped page images into the space fails
     "shm-attach-fail",  # a shared-memory slab cannot be mapped for an arm
     "pool-worker-stale",  # a pooled world's snapshot epoch is out of date
+    "step-commit-fail",  # a maximal-step graft dies mid-commit (keyed by vpn)
     # -- the wire (section 4.1's distributed case under chaos) ---------
     "net-drop",         # a message is lost in flight
     "net-dup",          # a message is delivered more than once
@@ -141,6 +142,9 @@ class FaultInjector:
 
     def pool_worker_stale(self, **kw) -> "FaultInjector":
         return self.add("pool-worker-stale", **kw)
+
+    def step_commit_fail(self, **kw) -> "FaultInjector":
+        return self.add("step-commit-fail", **kw)
 
     def net_drop(self, **kw) -> "FaultInjector":
         return self.add("net-drop", **kw)

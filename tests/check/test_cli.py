@@ -73,3 +73,58 @@ def test_failure_writes_a_witness(tmp_path, capsys):
     assert out_path.exists()
     captured = capsys.readouterr().out
     assert "witness" in captured
+
+
+def test_stats_flag_prints_exploration_counters(capsys):
+    code = check_main(
+        ["pure-winner", "--strategy", "dfs", "--schedules", "50", "--stats"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "explored=" in out
+    assert "dpor_pruned=" in out
+    assert "sleep_blocked=" in out
+
+
+def test_stats_json_lands_next_to_the_witness(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "witness.json"
+    code = check_main(
+        [
+            "pure-winner",
+            "--strategy",
+            "dfs",
+            "--schedules",
+            "50",
+            "--stats",
+            "--out",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    stats_path = tmp_path / "witness.json.stats.json"
+    assert stats_path.exists()
+    stats = json.loads(stats_path.read_text(encoding="utf-8"))
+    assert stats["block"] == "pure-winner"
+    assert stats["strategy"] == "dfs"
+    assert stats["explored"] >= 1
+    assert stats["exhausted"] == 1
+
+
+def test_stats_silent_for_strategies_without_counters(capsys):
+    code = check_main(
+        ["pure-winner", "--strategy", "random", "--schedules", "5", "--stats"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "explored=" not in out
+
+
+def test_dfs_lite_strategy_is_selectable(capsys):
+    code = check_main(
+        ["pure-winner", "--strategy", "dfs-lite", "--schedules", "50"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "exhausted" in out

@@ -1,0 +1,180 @@
+"""Property tests for the shared independence relation.
+
+Two families of properties pin the engine the checker's DPOR and the
+runtime's maximal-step planner both consult:
+
+- the *signature* relation is symmetric, the decisive FINISH is total,
+  quiet finishes are keyed per arm, and keyless signatures are inert;
+- *soundness*: every pair of declared write sets the engine plans as
+  independent actually commutes -- racing the two arms on the sim
+  backend in both completion orders yields byte-identical parent state.
+"""
+
+import hashlib
+
+import pytest
+
+pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.independence import (
+    FINISH,
+    WriteSet,
+    default_engine,
+    page_signature,
+    quiet_finish,
+    segment_conflicts,
+    signatures_conflict,
+)
+from repro.process.primitives import ProcessManager
+
+#: The page size maximal-step planning resolves declarations against.
+PAGE_SIZE = ProcessManager().store.page_size
+
+_KINDS = st.sampled_from(
+    ["chan-send", "chan-recv", "guard-eval", "page", "sleep", "finish", "lock"]
+)
+_KEYS = st.one_of(
+    st.none(),
+    st.sampled_from(["a", "b", "1->2", "2->1", "arm:0", "arm:1", "3"]),
+)
+SIGNATURES = st.tuples(_KINDS, _KEYS)
+SEGMENTS = st.lists(SIGNATURES, max_size=4).map(tuple)
+
+
+class TestSignatureRelation:
+    @given(SIGNATURES, SIGNATURES)
+    def test_pairwise_conflict_is_symmetric(self, a, b):
+        assert signatures_conflict(a, b) == signatures_conflict(b, a)
+
+    @given(SEGMENTS, SEGMENTS)
+    def test_segment_conflict_is_symmetric(self, a, b):
+        assert segment_conflicts(a, b) == segment_conflicts(b, a)
+
+    @given(SIGNATURES)
+    def test_decisive_finish_conflicts_with_everything(self, sig):
+        assert signatures_conflict(FINISH, sig)
+        assert signatures_conflict(sig, FINISH)
+
+    @given(st.integers(0, 7), st.integers(0, 7))
+    def test_quiet_finishes_conflict_only_with_themselves(self, i, j):
+        assert signatures_conflict(quiet_finish(i), quiet_finish(j)) == (
+            i == j
+        )
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_page_signatures_conflict_exactly_on_the_same_page(self, a, b):
+        assert signatures_conflict(page_signature(a), page_signature(b)) == (
+            a == b
+        )
+
+    @given(SIGNATURES)
+    def test_keyless_signatures_are_inert(self, sig):
+        keyless = (sig[0], None)
+        assume(keyless != FINISH)
+        assert not signatures_conflict(keyless, ("sleep", None))
+
+    @given(
+        st.frozensets(st.integers(0, 31), max_size=8),
+        st.frozensets(st.integers(0, 31), max_size=8),
+    )
+    def test_engine_disjointness_is_symmetric_and_set_theoretic(self, a, b):
+        assert default_engine.disjoint(a, b) == default_engine.disjoint(b, a)
+        assert default_engine.disjoint(a, b) == (not (a & b))
+
+    @given(st.frozensets(st.integers(0, 31), max_size=8))
+    def test_summarize_is_the_identity_on_a_clean_engine(self, pages):
+        assert default_engine.summarize(pages) == pages
+
+
+#: One arm's writes: up to two raw spans, each on its own page well clear
+#: of the variable directory (pages 0..1).
+_SPANS = st.lists(
+    st.tuples(st.integers(2, 12), st.binary(min_size=1, max_size=24)),
+    min_size=1,
+    max_size=2,
+    unique_by=lambda span: span[0],
+)
+
+
+def _write_set(spans):
+    return WriteSet(
+        ranges=tuple(
+            (page * PAGE_SIZE, len(data)) for page, data in spans
+        )
+    )
+
+
+def _spanning_arm(name, seconds, spans, value):
+    from repro.core.alternative import Alternative
+
+    def body(ctx):
+        ctx.sleep(seconds)
+        for page, data in spans:
+            ctx.space.write(page * PAGE_SIZE, data)
+        return value
+
+    return Alternative(
+        name=name,
+        body=body,
+        cost=seconds,
+        writes=_write_set(spans),
+    )
+
+
+def _race_once(left_spans, right_spans, left_cost, right_cost):
+    from repro.core.backends.sim import SimBackend
+    from repro.core.concurrent import ConcurrentExecutor
+
+    executor = ConcurrentExecutor(backend=SimBackend())
+    parent = executor.new_parent()
+    result = executor.run(
+        [
+            _spanning_arm("left", left_cost, left_spans, "L"),
+            _spanning_arm("right", right_cost, right_spans, "R"),
+        ],
+        parent=parent,
+    )
+    digest = hashlib.sha256(
+        parent.space.read(0, parent.space.size)
+    ).hexdigest()
+    return result.winner.name, result.value, digest
+
+
+class TestIndependenceSoundness:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(_SPANS, _SPANS)
+    def test_planned_independent_arms_commute_on_sim(self, left, right):
+        """Engine says independent => both completion orders agree.
+
+        The plan is only struck for pairwise-disjoint declarations; for
+        those, racing the block with either arm finishing first must
+        leave the parent space byte-identical (and pick the same winner,
+        since a maximal step's winner is the lowest committer index, not
+        the temporal first).
+        """
+        plan = default_engine.plan(
+            {0: _write_set(left), 1: _write_set(right)}, PAGE_SIZE
+        )
+        assume(plan is not None)
+        fast_left = _race_once(left, right, 0.05, 0.3)
+        fast_right = _race_once(left, right, 0.3, 0.05)
+        assert fast_left == fast_right
+        winner, value, digest = fast_left
+        assert winner == "left"
+        assert value == "L"
+
+    @given(_SPANS, _SPANS)
+    def test_plan_refuses_exactly_the_overlapping_pairs(self, left, right):
+        plan = default_engine.plan(
+            {0: _write_set(left), 1: _write_set(right)}, PAGE_SIZE
+        )
+        overlap = {page for page, _ in left} & {page for page, _ in right}
+        assert (plan is None) == bool(overlap)
+        if plan is not None:
+            assert plan.arms == (0, 1)

@@ -33,9 +33,14 @@ def drive(scheduler, runs, enabled_sets):
 
 class TestGetStrategy:
     def test_names(self):
-        assert STRATEGIES == ("random", "pct", "dfs")
+        assert STRATEGIES == ("random", "pct", "dfs", "dfs-dpor", "dfs-lite")
         for name in STRATEGIES:
             assert get_strategy(name, seed=1).name == name
+
+    def test_dfs_aliases_share_the_reduction(self):
+        assert get_strategy("dfs").dpor is True
+        assert get_strategy("dfs-dpor").dpor is True
+        assert get_strategy("dfs-lite").dpor is False
 
     def test_unknown_name_raises(self):
         with pytest.raises(CheckError, match="unknown strategy"):
@@ -109,11 +114,13 @@ class TestConflicts:
         )
 
 
-class TestDFS:
+class TestDFSLite:
+    """The sleep-set-lite baseline: branch everywhere, prune by sleeping."""
+
     def test_enumerates_a_tiny_tree_exactly_once(self):
         # Two steps, two candidates each, fully conflicting (keyed on the
         # same resource): plain DFS must enumerate all 4 paths then stop.
-        scheduler = DFSScheduler()
+        scheduler = DFSScheduler(dpor=False)
         sets = [(0, 1), (0, 1)]
         seen = []
         for _ in range(16):
@@ -134,7 +141,7 @@ class TestDFS:
         # Candidates touch *different* keyed resources: after exploring
         # one order, the commuted order is provably equivalent and the
         # sibling sleeps, so fewer than 4 paths run.
-        scheduler = DFSScheduler()
+        scheduler = DFSScheduler(dpor=False)
         sets = [(0, 1), (0, 1)]
         runs = 0
         for _ in range(16):
@@ -157,7 +164,7 @@ class TestDFS:
                 scheduler.choose(step, 0.0, [0, 1], {0: FINISH, 1: FINISH})
 
     def test_forced_prefix_divergence_is_loud(self):
-        scheduler = DFSScheduler()
+        scheduler = DFSScheduler(dpor=False)
         pending = {0: ("lock", "x"), 1: ("lock", "x")}
         scheduler.begin_run()
         for step in range(2):
@@ -170,3 +177,102 @@ class TestDFS:
         scheduler.begin_run()
         with pytest.raises(CheckError, match="diverged"):
             scheduler.choose(0, 0.0, [1], {1: ("lock", "x")})
+
+
+def drive_maximal(scheduler, access_of, n=2, budget=64):
+    """Drive runs where each chosen activity executes once then finishes.
+
+    ``access_of(i)`` is activity ``i``'s whole-segment access; the
+    enabled set shrinks as activities complete, so the schedule space is
+    the ``n!`` orders -- the shape DPOR reduces.
+    """
+    orders = []
+    for _ in range(budget):
+        scheduler.begin_run()
+        remaining = list(range(n))
+        order = []
+        step = 0
+        while remaining:
+            pending = {i: access_of(i)[0] for i in remaining}
+            choice = scheduler.choose(step, 0.0, list(remaining), pending)
+            scheduler.observe(step, choice, access_of(choice))
+            remaining.remove(choice)
+            order.append(choice)
+            step += 1
+        orders.append(tuple(order))
+        if not scheduler.end_run():
+            break
+    return orders
+
+
+class TestDPOR:
+    """Real dynamic partial-order reduction (the default ``dfs`` mode)."""
+
+    def test_independent_activities_need_exactly_one_run(self):
+        scheduler = DFSScheduler()
+        orders = drive_maximal(
+            scheduler, lambda i: (("var", str(i)),), n=3
+        )
+        assert scheduler.exhausted
+        assert len(orders) == 1
+
+    def test_conflicting_activities_explore_both_orders(self):
+        scheduler = DFSScheduler()
+        orders = drive_maximal(
+            scheduler, lambda i: (("lock", "shared"),), n=2
+        )
+        assert scheduler.exhausted
+        assert sorted(orders) == [(0, 1), (1, 0)]
+        assert scheduler.backtrack_points >= 1
+
+    def test_decisive_finish_forces_full_enumeration(self):
+        # A cancel-on-win finish conflicts with everything: its position
+        # is always significant, so no order is pruned.
+        scheduler = DFSScheduler()
+        orders = drive_maximal(scheduler, lambda i: (FINISH,), n=2)
+        assert scheduler.exhausted
+        assert len(orders) == 2
+
+    def test_quiet_finishes_commute(self):
+        # Collect-mode (maximal-step) finishes are keyed per arm and
+        # decide nothing, so the precise relation prunes the commuted
+        # order the conservative one could not.
+        from repro.independence import quiet_finish
+
+        scheduler = DFSScheduler()
+        orders = drive_maximal(
+            scheduler, lambda i: (("var", str(i)), quiet_finish(i)), n=2
+        )
+        assert scheduler.exhausted
+        assert len(orders) == 1
+
+        lite = DFSScheduler(dpor=False)
+        lite_orders = drive_maximal(
+            lite, lambda i: (("var", str(i)), quiet_finish(i)), n=2
+        )
+        assert lite.exhausted
+        assert len(lite_orders) == 2
+
+    def test_three_way_conflict_explores_all_six_orders(self):
+        scheduler = DFSScheduler()
+        orders = drive_maximal(
+            scheduler, lambda i: (("lock", "shared"),), n=3
+        )
+        assert scheduler.exhausted
+        assert len(set(orders)) == len(orders)
+        assert len(orders) == 6
+
+    def test_stats_shape(self):
+        scheduler = DFSScheduler()
+        drive_maximal(scheduler, lambda i: (("var", str(i)),), n=2)
+        stats = scheduler.stats()
+        assert set(stats) == {
+            "explored",
+            "dpor_pruned",
+            "sleep_blocked",
+            "backtrack_points",
+            "exhausted",
+        }
+        assert stats["explored"] == 1
+        assert stats["exhausted"] == 1
+        assert stats["dpor_pruned"] >= 1

@@ -70,3 +70,64 @@ def test_run_matrix_covers_everything():
     runs = run_matrix(seed=0)
     assert [r.scenario for r in runs] == scenario_names()
     assert all(not r.failed for r in runs)
+
+
+class TestBoundedExhaustiveExploration:
+    """The fault-suppression tree of a scenario, fully enumerated.
+
+    Before the DPOR PR the only chaos coverage was one natural run per
+    (scenario, seed); ``explore_scenario`` now drains every reachable
+    combination of suppressed fault draws for the bounded scenarios.
+    """
+
+    def test_worker_crash_tree_drains_completely(self):
+        from repro.check.chaos import explore_scenario
+
+        report = explore_scenario("worker-crash", seed=0, max_runs=64)
+        assert report.exhausted, "suppression tree did not drain"
+        assert not report.found_failure
+        # Three independent crash draws: the tree is their power set.
+        assert report.runs == 8
+        # Crash-or-not, the race converges to the same observables.
+        assert report.distinct_outcomes == 1
+
+    def test_forced_suppression_actually_suppresses(self):
+        from repro.check.chaos import run_scenario
+
+        natural = run_scenario("worker-crash", seed=0)
+        fired = [
+            (f.point, f.key, f.call)
+            for f in natural.schedule.faults
+            if f.rule is not None
+        ]
+        assert fired
+        muted = run_scenario(
+            "worker-crash", seed=0, forced_faults={fired[0]: None}
+        )
+        still_fired = {
+            (f.point, f.key, f.call)
+            for f in muted.schedule.faults
+            if f.rule is not None
+        }
+        assert fired[0] not in still_fired
+        assert not muted.failed
+
+    def test_schedule_and_forced_faults_are_mutually_exclusive(self):
+        import pytest as _pytest
+
+        from repro.check.chaos import run_scenario
+        from repro.check.schedule import Schedule
+
+        with _pytest.raises(ValueError, match="not both"):
+            run_scenario(
+                "worker-crash",
+                schedule=Schedule(),
+                forced_faults={("worker-crash", "0", 1): None},
+            )
+
+    def test_budget_exhaustion_is_reported_honestly(self):
+        from repro.check.chaos import explore_scenario
+
+        report = explore_scenario("loss", seed=0, max_runs=3)
+        assert report.runs == 3
+        assert not report.exhausted

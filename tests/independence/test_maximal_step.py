@@ -1,0 +1,222 @@
+"""Maximal-step commits: the graft primitive, the kernel step, fallback.
+
+Covers every layer of the runtime half of the independence engine:
+
+- :func:`repro.independence.commit.graft_step` -- three-phase
+  validate / snapshot / commit with rollback on an injected mid-commit
+  failure;
+- :meth:`ProcessManager.alt_step_commit` -- the kernel-level step: all
+  committers synchronize, the parent adopts the union, and a graft
+  veto leaves kernel state untouched;
+- the executor end to end -- the ``disjoint-arms`` block commits both
+  arms on the sim backend, survives DFS+DPOR checking, and degrades to
+  the classic first-success race when the commit fails or the
+  declarations overlap.
+"""
+
+import pytest
+
+from repro.errors import PageApplyError
+from repro.independence import WriteSet, default_engine
+from repro.independence.commit import graft_step
+from repro.process.primitives import ProcessManager
+from repro.process.process import ProcessState
+from repro.resilience.injector import FaultInjector, injected
+
+
+@pytest.fixture
+def manager():
+    return ProcessManager()
+
+
+@pytest.fixture
+def parent(manager):
+    return manager.create_initial(space_size=64 * 1024)
+
+
+def _page_size(manager):
+    return manager.store.page_size
+
+
+class TestGraftStep:
+    def test_grafts_secondary_pages_into_the_primary(self, manager, parent):
+        ps = _page_size(manager)
+        a, b = manager.alt_spawn(parent, 2)
+        a.space.write(2 * ps, b"primary-lane")
+        b.space.write(3 * ps, b"secondary-lane")
+        moved = graft_step(a.space, [(b.space, [3])])
+        assert moved == 1
+        assert a.space.read(2 * ps, 12) == b"primary-lane"
+        assert a.space.read(3 * ps, 14) == b"secondary-lane"
+        assert 3 in a.space.table.dirty_pages
+
+    def test_overlap_with_primary_dirty_set_is_vetoed(self, manager, parent):
+        ps = _page_size(manager)
+        a, b = manager.alt_spawn(parent, 2)
+        a.space.write(2 * ps, b"mine")
+        b.space.write(2 * ps, b"also mine")
+        with pytest.raises(PageApplyError, match="already-claimed"):
+            graft_step(a.space, [(b.space, [2])])
+        assert a.space.read(2 * ps, 4) == b"mine"
+
+    def test_out_of_range_page_is_vetoed(self, manager, parent):
+        a, b = manager.alt_spawn(parent, 2)
+        with pytest.raises(PageApplyError, match="outside space"):
+            graft_step(a.space, [(b.space, [10_000])])
+
+    def test_injected_commit_failure_rolls_back(self, manager, parent):
+        ps = _page_size(manager)
+        a, b = manager.alt_spawn(parent, 2)
+        a.space.write(2 * ps, b"kept")
+        b.space.write(3 * ps, b"page-3")
+        b.space.write(4 * ps, b"page-4")
+        before = a.space.read(0, a.space.size)
+        injector = FaultInjector().step_commit_fail(arms=[4])
+        with injected(injector):
+            with pytest.raises(PageApplyError, match="injected"):
+                graft_step(a.space, [(b.space, [3, 4])])
+        # Page 3 committed before the page-4 failure; the rollback must
+        # have swapped the snapshot back, leaving the primary untouched.
+        assert a.space.read(0, a.space.size) == before
+        assert a.space.read(3 * ps, 6) == b"\x00" * 6
+
+    def test_rolled_back_primary_still_grafts_cleanly(self, manager, parent):
+        ps = _page_size(manager)
+        a, b = manager.alt_spawn(parent, 2)
+        b.space.write(3 * ps, b"retry")
+        injector = FaultInjector().step_commit_fail(arms=[3], times=1)
+        with injected(injector):
+            with pytest.raises(PageApplyError):
+                graft_step(a.space, [(b.space, [3])])
+            assert graft_step(a.space, [(b.space, [3])]) == 1
+        assert a.space.read(3 * ps, 5) == b"retry"
+
+
+class TestAltStepCommit:
+    def test_all_committers_synchronize_and_parent_absorbs(
+        self, manager, parent
+    ):
+        ps = _page_size(manager)
+        a, b = manager.alt_spawn(parent, 2)
+        a.space.write(2 * ps, b"left-lane")
+        b.space.write(3 * ps, b"right-lane")
+        primary = manager.alt_step_commit(
+            parent, [a, b], {b.pid: [3]}
+        )
+        assert primary is a
+        assert a.state == ProcessState.SYNCED
+        assert b.state == ProcessState.SYNCED
+        assert parent.state == ProcessState.RUNNABLE
+        assert parent.space.read(2 * ps, 9) == b"left-lane"
+        assert parent.space.read(3 * ps, 10) == b"right-lane"
+        assert manager.syncs_performed == 2
+
+    def test_failed_sibling_is_eliminated_not_committed(
+        self, manager, parent
+    ):
+        ps = _page_size(manager)
+        a, b, c = manager.alt_spawn(parent, 3)
+        a.space.write(2 * ps, b"aa")
+        b.space.write(3 * ps, b"bb")
+        manager.alt_step_commit(parent, [a, b], {b.pid: [3]})
+        assert c.state == ProcessState.ELIMINATED
+
+    def test_graft_veto_leaves_kernel_state_untouched(self, manager, parent):
+        ps = _page_size(manager)
+        a, b = manager.alt_spawn(parent, 2)
+        a.space.write(2 * ps, b"mine")
+        b.space.write(2 * ps, b"overlap")
+        with pytest.raises(PageApplyError):
+            manager.alt_step_commit(parent, [a, b], {b.pid: [2]})
+        # The classic rendezvous must still work on this very group.
+        assert parent.state == ProcessState.WAITING
+        assert a.state == ProcessState.RUNNABLE
+        assert manager.alt_sync(a) is True
+        assert manager.alt_wait(parent) is a
+
+    def test_fewer_than_two_committers_rejected(self, manager, parent):
+        a, _ = manager.alt_spawn(parent, 2)
+        with pytest.raises(ValueError, match="at least two"):
+            manager.alt_step_commit(parent, [a], {})
+
+
+class TestExecutorMaximalStep:
+    def test_disjoint_arms_commits_both_writes_on_sim(self):
+        from repro.core.backends.sim import SimBackend
+        from repro.obs.blocks import get_block
+
+        outcome = get_block("disjoint-arms").run(SimBackend())
+        assert outcome.winner == "left"
+        assert outcome.value == "L"
+        assert b"left-lane" in outcome.space_bytes
+        assert b"right-lane" in outcome.space_bytes
+
+    def test_maximal_step_emits_the_step_trace_events(self):
+        from repro.core.backends.sim import SimBackend
+        from repro.obs.blocks import get_block
+        from repro.obs.tracer import tracing
+
+        with tracing() as trace:
+            get_block("disjoint-arms").run(SimBackend())
+        kinds = [e.kind for e in trace.events]
+        assert "indep-step" in kinds
+        assert kinds.count("maximal-commit") == 2
+
+    def test_overlapping_declarations_fall_back_to_the_classic_race(self):
+        from repro.core.backends.sim import SimBackend
+        from repro.obs.blocks import get_block
+        from repro.obs.tracer import tracing
+
+        with tracing() as trace:
+            outcome = get_block("overlap-arms").run(SimBackend())
+        assert outcome.winner == "first"
+        assert b"first-bytes" in outcome.space_bytes
+        assert b"second-bytes" not in outcome.space_bytes
+        assert "indep-step" not in [e.kind for e in trace.events]
+
+    def test_injected_commit_failure_degrades_to_first_success(self):
+        from repro.core.backends.sim import SimBackend
+        from repro.obs.blocks import get_block
+
+        injector = FaultInjector().step_commit_fail(times=None)
+        with injected(injector):
+            outcome = get_block("disjoint-arms").run(SimBackend())
+        # The step was vetoed mid-commit; the classic race still
+        # concludes with the temporal-first winner and discards the
+        # other arm's writes.
+        assert outcome.winner == "left"
+        assert outcome.value == "L"
+        assert b"left-lane" in outcome.space_bytes
+        assert b"right-lane" not in outcome.space_bytes
+
+    def test_disjoint_arms_passes_dfs_dpor_checking(self):
+        from repro.check.explorer import explore
+
+        report = explore("disjoint-arms", strategy="dfs", schedules=100)
+        assert not report.found_failure
+        assert report.exhausted
+
+    def test_plan_requires_every_arm_to_declare(self):
+        page = ProcessManager().store.page_size
+        plan = default_engine.plan(
+            {0: WriteSet(ranges=((2 * page, 8),)), 1: None}, page
+        )
+        assert plan is None
+
+    def test_validate_rejects_undeclared_dirty_pages(self):
+        page = ProcessManager().store.page_size
+        plan = default_engine.plan(
+            {
+                0: WriteSet(ranges=((2 * page, 8),)),
+                1: WriteSet(ranges=((3 * page, 8),)),
+            },
+            page,
+        )
+        assert plan is not None
+        assert default_engine.validate(
+            plan, {0: frozenset({2}), 1: frozenset({3})}
+        ) is None
+        problem = default_engine.validate(
+            plan, {0: frozenset({2, 5}), 1: frozenset({3})}
+        )
+        assert problem is not None and "outside" in problem
