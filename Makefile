@@ -45,12 +45,16 @@ test-chaos:
 
 ## test-cluster: the real-wire cluster runtime -- TCP worker daemons,
 ## the impairment-proxy chaos matrix, zombie epoch fencing, journal
-## torn-write recovery, and the subprocess acceptance tests (real
-## SIGKILL mid-race, router kill-and-replay).  Per-test timeout when
-## pytest-timeout is available (a hang here means a lost daemon).
+## torn-write recovery, authenticated gossip membership (HMAC frames,
+## truncation/tamper sweeps, phi-accrual suspicion, worker re-join),
+## the per-endpoint circuit breaker, and the subprocess acceptance
+## tests (real SIGKILL mid-race, respawn-and-rejoin, router
+## kill-and-replay).  Per-test timeout when pytest-timeout is
+## available (a hang here means a lost daemon).
 test-cluster:
 	REPRO_CHAOS_SEED=$(REPRO_CHAOS_SEED) $(PYTHON) -m pytest \
-		tests/cluster tests/ipc/test_journal_durable.py -q \
+		tests/cluster tests/resilience/test_breaker.py \
+		tests/ipc/test_journal_durable.py -q \
 		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo "--timeout=180 --timeout-method=thread")
 
 ## test-check: the schedule-exploration harness -- the checker's own

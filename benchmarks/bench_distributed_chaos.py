@@ -260,6 +260,255 @@ def run_wire_suite(seed):
     }
 
 
+# ----------------------------------------------------------------------
+# the sustained-load mirror: a stream of blocks while the cluster churns
+#
+# Three authenticated workers behind frame-dropping proxies race a
+# stream of blocks while a rolling kill schedule takes one worker down
+# mid-block and re-joins a fresh incarnation (same name, new port, new
+# epoch) through the gossip wire.  Every block must converge to its
+# serial reference while membership heals around the churn; the suite
+# reports blocks/sec and the p99 failover latency (lease expiry ->
+# respawn grant, wall clock).
+
+# Long enough that a kill 50ms into the block always lands while every
+# arm -- the eventual winner included -- is still mid-flight, so the
+# victim's lease genuinely fails over (expire -> respawn) on the wire.
+SUSTAINED_ARM_SLEEPS = {"archive": 0.40, "replica": 0.30, "cache": 0.20}
+SUSTAINED_SECRET = b"c1-sustained-bench-secret"
+SUSTAINED_KILL_AT = 0.05  # seconds into a kill block (leases are live)
+
+
+def _sustained_run(ctx, name):
+    import time as _time
+
+    block = ctx.get("block")
+    deadline = _time.monotonic() + SUSTAINED_ARM_SLEEPS[name]
+    while _time.monotonic() < deadline:
+        if ctx.token is not None and ctx.token.cancelled:
+            return None
+        _time.sleep(0.01)
+    value = f"{name}:{block}"
+    ctx.put("answer", value)
+    return value
+
+
+def _sustained_archive(ctx):
+    return _sustained_run(ctx, "archive")
+
+
+def _sustained_replica(ctx):
+    return _sustained_run(ctx, "replica")
+
+
+def _sustained_cache(ctx):
+    return _sustained_run(ctx, "cache")
+
+
+_SUSTAINED_BODIES = {
+    "archive": _sustained_archive,
+    "replica": _sustained_replica,
+    "cache": _sustained_cache,
+}
+
+
+def make_sustained_arms():
+    return [
+        Alternative(name, _SUSTAINED_BODIES[name]) for name in ARM_COSTS
+    ]
+
+
+def _sustained_member(name, join, loss_plan, seed, salt):
+    """One cluster member: daemon + lossy data-path proxy + announcer.
+
+    The announcer advertises the *proxy's* address, so every byte the
+    executor ships rides the impaired wire while gossip stays direct --
+    continuous 5% frame loss on the data path, by construction.
+    """
+    from repro.cluster.daemon import WorkerDaemon
+    from repro.cluster.membership import MembershipAnnouncer
+    from repro.cluster.proxy import ImpairmentProxy
+
+    daemon = WorkerDaemon(name, secret=SUSTAINED_SECRET)
+    daemon.start()
+    impair = loss_plan.wire(seed=seed + salt)
+    proxy = ImpairmentProxy(
+        (daemon.host, daemon.port), impair=impair, link=f"home|{name}"
+    )
+    advertise = proxy.start()
+    announcer = MembershipAnnouncer(
+        name,
+        advertise=advertise,
+        join_addr=join,
+        epoch=daemon.epoch,
+        secret=SUSTAINED_SECRET,
+        interval=0.1,
+    )
+    announcer.start()
+    return {
+        "daemon": daemon,
+        "proxy": proxy,
+        "announcer": announcer,
+        "impair": impair,
+    }
+
+
+def _sustained_stop(member, leave=True):
+    """Retire one member; returns the frames its proxy dropped.
+
+    ``leave=False`` is the mid-block kill: no goodbye frame, the
+    announcer and daemon just stop and the home node must *detect* the
+    death through suspicion."""
+    member["announcer"].stop(leave=leave)
+    member["daemon"].stop(leave=leave)
+    member["proxy"].stop()
+    return member["impair"].drops
+
+
+def _p99(samples):
+    import math
+
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    return ordered[max(0, math.ceil(0.99 * len(ordered)) - 1)]
+
+
+def _failover_samples(warden):
+    """Wall-clock lease-expiry -> respawn-grant gaps, one per handoff."""
+    by_arm = {}
+    for lease in warden.table.leases:
+        by_arm.setdefault(lease.arm, []).append(lease)
+    gaps = []
+    for leases in by_arm.values():
+        leases.sort(key=lambda l: l.epoch)
+        for prev, nxt in zip(leases, leases[1:]):
+            if prev.ended_at is not None and nxt.granted_at is not None:
+                gaps.append(nxt.granted_at - prev.ended_at)
+    return gaps
+
+
+def run_sustained_suite(seed, blocks):
+    import threading
+    import time as _time
+
+    from repro.cluster.executor import ClusterExecutor
+    from repro.cluster.membership import MembershipServer
+    from repro.core.sequential import SequentialExecutor
+
+    server = MembershipServer(secret=SUSTAINED_SECRET, sweep_interval=0.05)
+    server.table.gossip_interval = 0.1
+    join = server.start()
+    plan = NetFaultPlan(loss=LOSS_RATE)
+    names = ["s1", "s2", "s3"]
+    members = {
+        name: _sustained_member(name, join, plan, seed, i)
+        for i, name in enumerate(names)
+    }
+
+    def _wait(predicate, timeout=8.0):
+        deadline = _time.monotonic() + timeout
+        while _time.monotonic() < deadline:
+            if predicate():
+                return True
+            _time.sleep(0.02)
+        return predicate()
+
+    def _all_healthy():
+        return all(
+            (r := server.table.get(n)) is not None and r.state == "healthy"
+            for n in names
+        )
+
+    frames_dropped = 0
+    kills = 0
+    winners = []
+    convergences = []
+    failovers = []
+    race_seconds = 0.0
+    try:
+        assert _wait(_all_healthy), "initial membership never converged"
+        executor = ClusterExecutor(
+            [], seed=seed, membership=server.table, secret=SUSTAINED_SECRET
+        )
+        parent = executor.new_parent()
+        for block in range(blocks):
+            parent.space.put("block", block)
+            executor.warden = RaceWarden(
+                lease_interval=0.05, lease_timeout=0.7, max_respawns=4
+            )
+            victim = None
+            assassin = None
+            if block % 2 == 1:  # the rolling kill schedule
+                victim = names[kills % len(names)]
+                kills += 1
+                doomed = members.pop(victim)
+
+                def _kill(doomed=doomed):
+                    nonlocal frames_dropped
+                    _time.sleep(SUSTAINED_KILL_AT)
+                    frames_dropped += _sustained_stop(doomed, leave=False)
+
+                assassin = threading.Thread(target=_kill, daemon=True)
+                assassin.start()
+            started = _time.monotonic()
+            result = executor.run(make_sustained_arms(), parent=parent)
+            race_seconds += _time.monotonic() - started
+            if assassin is not None:
+                assassin.join()
+            winners.append(result.winner.name)
+            failovers.extend(_failover_samples(executor.warden))
+            # The serial reference: replay the winning arm alone on the
+            # sequential substrate and demand the same answer.
+            serial = SequentialExecutor(seed=seed)
+            serial_parent = serial.new_parent()
+            serial_parent.space.put("block", block)
+            reference = serial.run(
+                [Alternative(
+                    result.winner.name,
+                    _SUSTAINED_BODIES[result.winner.name],
+                )],
+                parent=serial_parent,
+            )
+            convergences.append(
+                reference.value == result.value
+                and parent.space.get("answer") == reference.value
+            )
+            if victim is not None:  # the heal: same name, fresh port
+                members[victim] = _sustained_member(
+                    victim, join, plan, seed, 100 + kills
+                )
+        healed = _wait(_all_healthy)
+    finally:
+        for member in members.values():
+            frames_dropped += _sustained_stop(member)
+        server.stop()
+    p99 = _p99(failovers)
+    return {
+        "transport": "tcp-localhost",
+        "blocks": blocks,
+        "kills": kills,
+        "winners": winners,
+        "blocks_converged": sum(1 for held in convergences if held),
+        "all_blocks_converged": all(convergences),
+        "blocks_per_second": round(blocks / race_seconds, 3),
+        "race_seconds_total": round(race_seconds, 4),
+        "frames_dropped": frames_dropped,
+        "failover_samples": len(failovers),
+        "p99_failover_latency_wall_seconds": (
+            round(p99, 4) if p99 is not None else None
+        ),
+        "membership_healed": healed,
+        "criteria": {
+            "every_block_converged_to_serial": all(convergences),
+            "membership_healed_after_churn": healed,
+            "throughput_positive": blocks / race_seconds > 0,
+            "failover_p99_measured": p99 is not None and p99 > 0,
+            "loss_was_continuous": frames_dropped > 0,
+        },
+    }
+
+
 def measure_failover(seed):
     """Crash the fastest arm's first incarnation; time the re-grant."""
     warden = RaceWarden()
@@ -292,6 +541,7 @@ def run_suite(quick=False, seed=0):
     )
     failover = measure_failover(seed)
     real_wire = run_wire_suite(seed)
+    sustained = run_sustained_suite(seed, blocks=4 if quick else 6)
     slowdown = lossy.elapsed / clean.elapsed
     payload = {
         "experiment": "distributed_chaos",
@@ -314,9 +564,14 @@ def run_suite(quick=False, seed=0):
         "lossy_vs_clean_elapsed": round(slowdown, 4),
         "failover": failover,
         "real_wire": real_wire,
+        "sustained": sustained,
         "criteria": {
             "real_wire_" + name: held
             for name, held in real_wire["criteria"].items()
+        }
+        | {
+            "sustained_" + name: held
+            for name, held in sustained["criteria"].items()
         }
         | {
             "same_winner_under_loss": clean.winner.name == lossy.winner.name,
@@ -388,6 +643,24 @@ def render_table(payload):
             ],
         },
     ]
+    sustained = payload["sustained"]
+    sustained_rows = [
+        {
+            "condition": (
+                f"sustained: {sustained['blocks']} blocks, "
+                f"{int(payload['loss_rate'] * 100)}% loss, "
+                f"{sustained['kills']} rolling kills"
+            ),
+            "converged": (
+                f"{sustained['blocks_converged']}/{sustained['blocks']}"
+            ),
+            "blocks/s": sustained["blocks_per_second"],
+            "drops": sustained["frames_dropped"],
+            "p99 failover (wall s)": sustained[
+                "p99_failover_latency_wall_seconds"
+            ],
+        },
+    ]
     simulated = format_table(
         rows,
         title=(
@@ -404,7 +677,16 @@ def render_table(payload):
             "(wall-clock elapsed; loss via the frame-dropping proxy)"
         ),
     )
-    return simulated + "\n\n" + real
+    churn = format_table(
+        sustained_rows,
+        title=(
+            "C1c: a sustained stream of blocks under continuous frame "
+            "loss and rolling worker kills\n"
+            "(every block converges to its serial reference while "
+            "membership heals around the churn)"
+        ),
+    )
+    return simulated + "\n\n" + real + "\n\n" + churn
 
 
 def write_json(payload):
@@ -451,6 +733,15 @@ def main(argv=None):
         "failover re-granted the crashed arm after "
         f"{payload['failover']['failover_latency_sim_seconds']:.4f} "
         "simulated seconds"
+    )
+    sustained = payload["sustained"]
+    print(
+        f"sustained load: {sustained['blocks']} blocks at "
+        f"{sustained['blocks_per_second']:.2f} blocks/s through "
+        f"{sustained['kills']} rolling kills and "
+        f"{sustained['frames_dropped']} dropped frames; p99 failover "
+        f"{sustained['p99_failover_latency_wall_seconds']}s; every block "
+        "converged to its serial reference"
     )
     path = write_json(payload)
     print(f"machine-readable record: {path}")

@@ -27,13 +27,37 @@ majority-consensus synchronization, router journal replay -- runs here on
   endpoints instead of in-process node objects;
 - :mod:`repro.cluster.router_service` makes `RouterJournal`-backed crash
   restart a live service: the router daemon journals write-ahead to disk
-  and a SIGKILLed incarnation is rebuilt by replay on restart.
+  and a SIGKILLed incarnation is rebuilt by replay on restart;
+- :mod:`repro.cluster.auth` puts HMAC-SHA256 envelopes (nonce-bound,
+  replay-fenced) under every cluster conversation when a shared secret
+  is configured -- the prerequisite for binding beyond loopback;
+- :mod:`repro.cluster.membership` is the self-healing piece: a
+  phi-accrual :class:`MembershipTable` on the home node, an
+  authenticated join/ping/leave gossip server, and the in-daemon
+  announcer through which a respawned worker re-enters the executor's
+  rotation with no home-node restart.
 
 ``python -m repro cluster {worker,router,demo}`` is the operational
 surface (see :mod:`repro.cluster.cli`).
 """
 
+from repro.cluster.auth import (
+    AuthedStream,
+    AuthError,
+    SECRET_ENV,
+    dial_handshake,
+    generate_secret,
+    load_secret,
+    serve_handshake,
+)
 from repro.cluster.daemon import WorkerDaemon
+from repro.cluster.membership import (
+    MEMBER_STATES,
+    MemberRecord,
+    MembershipAnnouncer,
+    MembershipServer,
+    MembershipTable,
+)
 from repro.cluster.executor import ClusterExecutor, WorkerEndpoint
 from repro.cluster.proxy import ImpairmentProxy
 from repro.cluster.router_service import RouterClient, RouterDaemon
@@ -47,18 +71,30 @@ from repro.cluster.spawn import (
 from repro.cluster.stream import RecordStream, StreamClosed, connect
 
 __all__ = [
+    "AuthError",
+    "AuthedStream",
     "ClusterExecutor",
     "ClusterMajoritySemaphore",
     "DaemonHandle",
     "ImpairmentProxy",
+    "MEMBER_STATES",
+    "MemberRecord",
+    "MembershipAnnouncer",
+    "MembershipServer",
+    "MembershipTable",
     "RecordStream",
     "RouterClient",
     "RouterDaemon",
+    "SECRET_ENV",
     "StreamClosed",
     "WorkerDaemon",
     "WorkerEndpoint",
     "connect",
+    "dial_handshake",
+    "generate_secret",
+    "load_secret",
     "respawn_worker",
+    "serve_handshake",
     "spawn_router",
     "spawn_worker",
 ]

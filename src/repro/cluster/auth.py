@@ -1,0 +1,256 @@
+"""HMAC-authenticated record streams: a cluster endpoint you can bind
+beyond loopback.
+
+PR 7's daemons trusted every frame the kernel delivered -- fine on
+``127.0.0.1``, reckless anywhere else.  This module adds a shared-key
+authentication layer *under* every cluster conversation (ship, vote,
+join/ping gossip, router ops) without changing the wire format: an
+authenticated frame is an ordinary framed record whose payload is the
+envelope ``{"kind": "authed", "n": ..., "mac": ..., "body": ...}``.
+
+The protocol, per connection:
+
+1. **Challenge.**  The accepting side draws a random nonce and sends it
+   in the clear (``auth-challenge``).  The nonce is public; its job is
+   to bind every MAC on this connection to *this* connection, so a
+   frame captured from an earlier conversation can never be replayed
+   into a new one.
+2. **Signed envelopes.**  Each side then wraps every record: the body
+   is pickled, a per-direction monotone counter ``n`` is attached, and
+   ``mac = HMAC-SHA256(key, nonce || direction || n || body)``.
+   Directions are tagged (``C`` client->server, ``S`` server->client)
+   so a peer's own frames cannot be reflected back at it.
+3. **Verification.**  The receiver recomputes the MAC
+   (:func:`hmac.compare_digest`, constant time) and checks ``n``
+   strictly exceeds the last accepted counter.
+
+Failure semantics are deliberately asymmetric:
+
+- a frame with a **bad or missing MAC** poisons the connection: the
+  sender is either unauthenticated or tampering, the conversation ends
+  (``auth-reject`` trace event, ``StreamClosed``);
+- a frame whose MAC verifies but whose **counter does not advance** is
+  a *replay* (or an impairment-proxy duplicate of an authentic frame).
+  It is discarded -- never acted on -- but the connection survives:
+  dropping a byte-identical duplicate is idempotence, not an attack
+  response.  It is still surfaced as an ``auth-reject`` event with
+  ``reason="replay"``.
+
+The shared key comes from :func:`load_secret` (the
+``REPRO_CLUSTER_SECRET`` environment variable, which the spawn helpers
+propagate to child daemons) or is passed explicitly.  With no key
+configured, streams stay plain -- the loopback-only PR 7 posture.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import os
+import pickle
+import secrets
+import struct
+from typing import Optional, Union
+
+from repro.cluster.stream import RecordStream, StreamClosed
+from repro.errors import ReproError
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
+
+#: Environment variable carrying the cluster's shared key.
+SECRET_ENV = "REPRO_CLUSTER_SECRET"
+
+#: Direction tags mixed into every MAC (anti-reflection).
+_DIR_CLIENT = b"C"
+_DIR_SERVER = b"S"
+
+_COUNTER = struct.Struct(">Q")
+
+
+class AuthError(ReproError):
+    """An authentication step failed fatally (bad MAC, no challenge)."""
+
+
+def generate_secret() -> str:
+    """A fresh 256-bit shared key, hex-encoded for env transport."""
+    return secrets.token_hex(32)
+
+
+def load_secret(explicit: Union[str, bytes, None] = None) -> Optional[bytes]:
+    """Resolve the shared key: explicit value, else the environment.
+
+    Returns ``None`` when no key is configured anywhere -- the signal to
+    run the wire unauthenticated (loopback development mode).
+    """
+    if explicit is not None:
+        if isinstance(explicit, str):
+            explicit = explicit.encode()
+        return explicit or None
+    env = os.environ.get(SECRET_ENV, "")
+    return env.encode() if env else None
+
+
+def _mac(key: bytes, nonce: bytes, direction: bytes, n: int,
+         body: bytes) -> bytes:
+    return hmac.new(
+        key, nonce + direction + _COUNTER.pack(n) + body, hashlib.sha256
+    ).digest()
+
+
+class AuthedStream:
+    """A :class:`RecordStream` speaking signed envelopes.
+
+    Mirrors the stream's ``send``/``recv``/``close`` surface so every
+    caller (daemon loops, the executor's receivers, vote rounds) is
+    oblivious to whether the conversation is authenticated.
+    """
+
+    def __init__(
+        self,
+        stream: RecordStream,
+        key: bytes,
+        nonce: bytes,
+        is_server: bool,
+    ) -> None:
+        self.stream = stream
+        self._key = key
+        self._nonce = nonce
+        # What *we* sign with vs. what we require of the peer.
+        self._send_dir = _DIR_SERVER if is_server else _DIR_CLIENT
+        self._recv_dir = _DIR_CLIENT if is_server else _DIR_SERVER
+        self._send_n = 0
+        self._recv_floor = -1
+        self.rejects = 0
+        self.replays_rejected = 0
+
+    # -- passthrough surface -------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.stream.name
+
+    @property
+    def peer(self) -> str:
+        return self.stream.peer
+
+    @property
+    def closed(self) -> bool:
+        return self.stream.closed
+
+    def fileno(self) -> int:
+        return self.stream.fileno()
+
+    def close(self) -> None:
+        self.stream.close()
+
+    def __enter__(self) -> "AuthedStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- signed records ------------------------------------------------
+
+    def send(self, payload: dict) -> bool:
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        n = self._send_n
+        self._send_n += 1
+        return self.stream.send({
+            "kind": "authed",
+            "n": n,
+            "mac": _mac(self._key, self._nonce, self._send_dir, n, body),
+            "body": body,
+        })
+
+    def recv(self, timeout: Optional[float] = None) -> Optional[dict]:
+        """The next *verified* record (replays skipped), or ``None``.
+
+        Raises :class:`StreamClosed` when the peer ships anything
+        unauthenticated or forged -- the conversation cannot be trusted
+        past the first bad frame, exactly the corrupt-frame contract.
+        """
+        while True:
+            outer = self.stream.recv(timeout=timeout)
+            if outer is None:
+                return None
+            verdict = self._verify(outer)
+            if verdict == "ok":
+                return pickle.loads(outer["body"])
+            if verdict == "replay":
+                continue  # discarded; keep listening within the timeout
+            self._reject(verdict)
+            self.stream.close()
+            raise StreamClosed(
+                f"unauthenticated frame from {self.stream.peer}: {verdict}",
+                torn=True,
+            )
+
+    def _verify(self, outer: dict) -> str:
+        if not isinstance(outer, dict) or outer.get("kind") != "authed":
+            return "not-authed"
+        body = outer.get("body")
+        mac = outer.get("mac")
+        n = outer.get("n")
+        if not isinstance(body, bytes) or not isinstance(mac, bytes) \
+                or not isinstance(n, int) or n < 0:
+            return "malformed-envelope"
+        expect = _mac(self._key, self._nonce, self._recv_dir, n, body)
+        if not hmac.compare_digest(expect, mac):
+            return "bad-mac"
+        if n <= self._recv_floor:
+            self._reject("replay")
+            return "replay"
+        self._recv_floor = n
+        return "ok"
+
+    def _reject(self, reason: str) -> None:
+        self.rejects += 1
+        if reason == "replay":
+            self.replays_rejected += 1
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                _ev.AUTH_REJECT,
+                name=self.stream.name,
+                peer=self.stream.peer,
+                reason=reason,
+            )
+
+    def __repr__(self) -> str:
+        return f"AuthedStream({self.stream!r}, rejects={self.rejects})"
+
+
+# ----------------------------------------------------------------------
+# handshakes
+
+def serve_handshake(
+    stream: RecordStream, key: Optional[bytes]
+) -> Union[RecordStream, AuthedStream]:
+    """Accepting side: issue the nonce challenge (no-op when no key)."""
+    if key is None:
+        return stream
+    nonce = secrets.token_bytes(16)
+    if not stream.send({"kind": "auth-challenge", "nonce": nonce}):
+        raise StreamClosed("peer vanished before the auth challenge",
+                           torn=False)
+    return AuthedStream(stream, key, nonce, is_server=True)
+
+
+def dial_handshake(
+    stream: RecordStream, key: Optional[bytes], timeout: float = 2.0
+) -> Union[RecordStream, AuthedStream]:
+    """Dialling side: await the challenge (no-op when no key)."""
+    if key is None:
+        return stream
+    challenge = stream.recv(timeout=timeout)
+    if challenge is None or challenge.get("kind") != "auth-challenge":
+        stream.close()
+        raise AuthError(
+            f"no auth challenge from {stream.peer} "
+            "(is the endpoint running with the same secret?)"
+        )
+    nonce = challenge.get("nonce")
+    if not isinstance(nonce, bytes) or not nonce:
+        stream.close()
+        raise AuthError(f"malformed auth challenge from {stream.peer}")
+    return AuthedStream(stream, key, nonce, is_server=False)

@@ -67,12 +67,18 @@ def demo_reject(ctx, value):
 def worker_main(args: argparse.Namespace) -> int:
     from repro.cluster.daemon import WorkerDaemon
 
+    join_addr = None
+    if args.join:
+        host_part, port_part = args.join.rsplit(":", 1)
+        join_addr = (host_part, int(port_part))
     daemon = WorkerDaemon(
         node_id=args.node_id,
         host=args.host,
         port=args.port,
         allow_hard_crash=args.hard_crash,
         process_owner=True,
+        join_addr=join_addr,
+        gossip_interval=args.gossip_interval,
     )
     daemon.install_signal_handlers()
     host, port = daemon.start()
@@ -114,14 +120,24 @@ def router_main(args: argparse.Namespace) -> int:
 
 
 def demo_main(args: argparse.Namespace) -> int:
+    from repro.cluster.auth import generate_secret
     from repro.cluster.executor import ClusterExecutor, WorkerEndpoint
+    from repro.cluster.membership import MembershipServer
     from repro.cluster.router_service import RouterClient
-    from repro.cluster.spawn import spawn_router, spawn_worker
+    from repro.cluster.spawn import respawn_worker, spawn_router, spawn_worker
     from repro.core.alternative import Alternative
 
+    secret = generate_secret()
+    os.environ["REPRO_CLUSTER_SECRET"] = secret
+
     print("=== real-wire HA cluster demo ===\n")
-    print("[1/3] spawning 3 worker daemon processes ...")
-    workers = [spawn_worker(f"w{i}") for i in range(3)]
+    print("[1/4] membership server + 3 authenticated worker daemons ...")
+    members = MembershipServer(secret=secret)
+    join = members.start()
+    print(f"      membership gossip on {join[0]}:{join[1]} (HMAC authed)")
+    workers = [
+        spawn_worker(f"w{i}", join=join, secret=secret) for i in range(3)
+    ]
     try:
         for worker in workers:
             print(f"      {worker}")
@@ -134,9 +150,12 @@ def demo_main(args: argparse.Namespace) -> int:
             Alternative("reckless", demo_reckless, guard=demo_reject),
         ]
 
-        print("\n[2/3] racing a recovery block; "
+        print("\n[2/4] racing a recovery block; "
               "SIGKILLing a worker mid-race ...")
-        executor = ClusterExecutor(endpoints, seed=args.seed)
+        executor = ClusterExecutor(
+            endpoints, seed=args.seed, membership=members.table,
+            secret=secret,
+        )
         parent = executor.new_parent()
         victim = workers[1]  # the heuristic arm's round-robin home
         import threading
@@ -157,7 +176,26 @@ def demo_main(args: argparse.Namespace) -> int:
         for t, label in result.timeline:
             print(f"        {t:8.3f}  {label}")
 
-        print("\n[3/3] router kill + journal-replay restart ...")
+        print("\n[3/4] respawning the corpse; it re-joins the live "
+              "rotation (no home restart) ...")
+        workers[1] = respawn_worker(victim, join=join, secret=secret)
+        victim.cleanup()
+        deadline = time.monotonic() + 5.0
+        record = None
+        while time.monotonic() < deadline:
+            record = members.table.get(workers[1].name)
+            if record is not None and record.state == "healthy" \
+                    and record.port == workers[1].port:
+                break
+            time.sleep(0.05)
+        rejoined = record is not None and record.state == "healthy"
+        print(f"      {workers[1]}")
+        print(f"      membership says: {record}")
+        result2 = executor.run(alternatives, parent=parent)
+        print(f"      second block winner: {result2.winner.name!r} "
+              f"(rotation healed: {rejoined})")
+
+        print("\n[4/4] router kill + journal-replay restart ...")
         journal = os.path.join(
             tempfile.mkdtemp(prefix="repro-demo-"), "router.journal"
         )
@@ -182,8 +220,9 @@ def demo_main(args: argparse.Namespace) -> int:
         router2.stop()
         router.cleanup()
         router2.cleanup()
-        return 0 if agree else 1
+        return 0 if (agree and rejoined) else 1
     finally:
+        members.stop()
         for worker in workers:
             if worker.alive:
                 worker.stop()
@@ -206,6 +245,10 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
                         help="write the bound host:port here")
     worker.add_argument("--hard-crash", action="store_true",
                         help="answer injected crashes with real SIGKILL")
+    worker.add_argument("--join", default=None, metavar="HOST:PORT",
+                        help="announce to this membership server and "
+                             "gossip liveness pings")
+    worker.add_argument("--gossip-interval", type=float, default=0.2)
     worker.set_defaults(func=worker_main)
 
     router = sub.add_parser("router", help="run one journaled router")

@@ -40,6 +40,7 @@ Robustness contract (the reason this module exists):
 from __future__ import annotations
 
 import os
+import secrets as _secrets
 import signal
 import threading
 import time
@@ -49,6 +50,7 @@ from repro.consensus.node import ConsensusNode
 from repro.core.alternative import AltContext, Alternative
 from repro.core.backends.base import CancellationToken
 from repro.core.sequential import _run_body
+from repro.cluster.auth import load_secret, serve_handshake
 from repro.cluster.stream import RecordStream, StreamClosed, listener
 from repro.errors import ConsensusUnavailable
 from repro.pages.shm import cleanup_all_slabs, orphaned_segments
@@ -70,6 +72,10 @@ class WorkerDaemon:
         hb_interval: float = 0.05,
         allow_hard_crash: bool = False,
         process_owner: bool = False,
+        secret=None,
+        join_addr: Optional[Tuple[str, int]] = None,
+        gossip_interval: float = 0.2,
+        epoch: Optional[int] = None,
     ) -> None:
         self.node_id = node_id
         self.hb_interval = hb_interval
@@ -87,6 +93,20 @@ class WorkerDaemon:
         self.voter = ConsensusNode(node_id)
         self.host = host
         self.port = port
+        self._key = load_secret(secret)
+        self.join_addr = join_addr
+        """``(host, port)`` of the home node's membership server; when
+        set, the daemon announces itself on start and gossips pings --
+        the mechanism by which a respawned daemon re-enters the executor
+        rotation with no home-node restart."""
+        self.gossip_interval = gossip_interval
+        self.epoch = (
+            epoch if epoch is not None
+            else (os.getpid() << 16) | _secrets.randbits(16)
+        )
+        """Incarnation id: a respawn gets a new epoch, so the membership
+        table can tell this daemon from its predecessor of the same name."""
+        self._announcer = None
         self._listener = None
         self._stopping = threading.Event()
         self._threads: list = []
@@ -95,7 +115,10 @@ class WorkerDaemon:
         self._next_ship = 0
         self.arms_run = 0
         self.arms_cancelled = 0
+        self.arms_orphaned = 0
+        self.auth_rejects = 0
         self.shm_leaks_at_shutdown: Tuple[str, ...] = ()
+        self.shm_leaks_after_orphan: Tuple[str, ...] = ()
         # Segments predating this daemon are someone else's corpse; the
         # shutdown audit reports only what appeared on our watch.
         self._shm_baseline = frozenset(orphaned_segments())
@@ -113,6 +136,18 @@ class WorkerDaemon:
         )
         accept.start()
         self._threads.append(accept)
+        if self.join_addr is not None:
+            from repro.cluster.membership import MembershipAnnouncer
+
+            self._announcer = MembershipAnnouncer(
+                self.node_id,
+                advertise=(self.host, self.port),
+                join_addr=self.join_addr,
+                epoch=self.epoch,
+                secret=self._key,
+                interval=self.gossip_interval,
+            )
+            self._announcer.start()
         return self.host, self.port
 
     def serve_forever(self) -> None:
@@ -132,11 +167,18 @@ class WorkerDaemon:
         signal.signal(signal.SIGTERM, _stop)
         signal.signal(signal.SIGINT, _stop)
 
-    def stop(self) -> None:
-        """Graceful shutdown: cancel arms, close sockets, audit shm."""
+    def stop(self, leave: bool = True) -> None:
+        """Graceful shutdown: cancel arms, close sockets, audit shm.
+
+        ``leave=False`` skips the membership goodbye -- the in-process
+        way to model an abrupt death (the home node must *detect* it
+        through suspicion instead of being told).
+        """
         if self._stopping.is_set():
             return
         self._stopping.set()
+        if self._announcer is not None:
+            self._announcer.stop(leave=leave)
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -184,7 +226,16 @@ class WorkerDaemon:
             handler.start()
             self._threads.append(handler)
 
-    def _handle_conn(self, stream: RecordStream) -> None:
+    def _handle_conn(self, raw: RecordStream) -> None:
+        # With a cluster secret configured, *every* conversation -- ship,
+        # vote, ping, shutdown -- starts with the nonce challenge; an
+        # unauthenticated or forged frame ends it (auth-reject traced by
+        # the wrapper) before any message kind is even looked at.
+        try:
+            stream = serve_handshake(raw, self._key)
+        except StreamClosed:
+            raw.close()
+            return
         try:
             while not self._stopping.is_set():
                 try:
@@ -207,6 +258,7 @@ class WorkerDaemon:
                     return
                 # unknown kinds are ignored (forward compatibility)
         finally:
+            self.auth_rejects += getattr(stream, "rejects", 0)
             stream.close()
 
     def _handle_vote(self, stream: RecordStream, msg: dict) -> None:
@@ -279,7 +331,18 @@ class WorkerDaemon:
                     self.arms_cancelled += 1
                     token.cancel()
             body.join(timeout=_STOP_GRACE)
-            if orphaned or self._stopping.is_set():
+            if orphaned:
+                # The abnormal-exit path used to skip the shm audit
+                # entirely -- only a polite ``shutdown`` checked for
+                # leaks, so exactly the deaths most likely to leak went
+                # unexamined.  Audit here too, once our own shipment is
+                # out of the in-flight set.
+                self.arms_orphaned += 1
+                with self._inflight_lock:
+                    self._inflight.pop(ship_id, None)
+                self._abnormal_exit_audit()
+                return
+            if self._stopping.is_set():
                 return
             record = box.get("record")
             if record is None:  # body wedged past the grace: report it
@@ -288,6 +351,23 @@ class WorkerDaemon:
         finally:
             with self._inflight_lock:
                 self._inflight.pop(ship_id, None)
+
+    def _abnormal_exit_audit(self) -> None:
+        """The shm leak audit, run when an arm is *orphaned* (the home
+        vanished mid-race) rather than politely shut down.
+
+        Owned slabs are reclaimed only when this daemon owns its process
+        and no other arm is still in flight -- an in-process test daemon
+        must never vaporise its host's live slabs.  The leak list is
+        recorded either way, so tests and operators can assert on it.
+        """
+        with self._inflight_lock:
+            busy = bool(self._inflight)
+        if self.process_owner and not busy:
+            cleanup_all_slabs()
+        self.shm_leaks_after_orphan = tuple(
+            sorted(set(orphaned_segments()) - self._shm_baseline)
+        )
 
     def _crash(self, stream: RecordStream, token: CancellationToken) -> None:
         """An injected mid-arm worker death.

@@ -44,6 +44,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.cluster.auth import AuthError, dial_handshake, load_secret
+from repro.cluster.membership import MembershipTable
 from repro.cluster.semaphore import ClusterMajoritySemaphore
 from repro.cluster.stream import RecordStream, StreamClosed, connect
 from repro.core.alternative import Alternative
@@ -57,6 +59,7 @@ from repro.obs.tracer import active as _active_tracer
 from repro.pages.store import PageStore
 from repro.process.primitives import ProcessManager
 from repro.process.process import SimProcess
+from repro.resilience.breaker import CircuitBreaker
 from repro.resilience.injector import active as _active_injector, suppressed
 
 
@@ -110,11 +113,30 @@ class ClusterExecutor:
         race_timeout: float = 15.0,
         connect_timeout: float = 2.0,
         manager: Optional[ProcessManager] = None,
+        membership: Optional[MembershipTable] = None,
+        secret=None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 0.3,
     ) -> None:
-        if not endpoints:
-            raise ValueError("need at least one worker endpoint")
+        if not endpoints and membership is None:
+            raise ValueError(
+                "need at least one worker endpoint or a membership table"
+            )
         self.endpoints = list(endpoints)
         self.seed = seed
+        self.membership = membership
+        """When set, the rotation is *live*: healthy/joining members from
+        the table (at their current endpoints) take precedence, so a
+        daemon that died and re-joined on a fresh port is dialable the
+        moment its ``join`` lands -- no executor restart, no home-node
+        restart."""
+        self._key = load_secret(secret)
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        """Per-endpoint circuit breakers, persisted *across* blocks: a
+        corpse discovered in block N is still skipped in block N+1 until
+        its cooldown admits a half-open probe."""
         # Real schedulers jitter; default lease terms are looser than the
         # simulated warden's so a busy CI box does not fake a death.
         self.warden = warden if warden is not None else RaceWarden(
@@ -136,6 +158,56 @@ class ClusterExecutor:
         """Keyed RNG, the FaultInjector convention: independent of how
         many draws other arms or earlier incarnations consumed."""
         return random.Random(f"{self.seed}:{purpose}:{index}")
+
+    # ------------------------------------------------------------------
+    # endpoint health plumbing
+
+    def _breaker(self, endpoint: WorkerEndpoint) -> CircuitBreaker:
+        key = str(endpoint)
+        breaker = self.breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                name=key,
+                fail_threshold=self.breaker_threshold,
+                cooldown=self.breaker_cooldown,
+            )
+            self.breakers[key] = breaker
+        return breaker
+
+    def _rotation(self) -> List[WorkerEndpoint]:
+        """The dialable endpoints, freshest view first.
+
+        Membership members (healthy/joining before suspect, never dead)
+        lead at their *current* endpoints; statically configured
+        endpoints the table has never heard of trail as a fallback.
+        """
+        if self.membership is None:
+            return self.endpoints
+        known = set()
+        rotation: List[WorkerEndpoint] = []
+        for record in self.membership.alive():
+            known.add(record.name)
+            rotation.append(
+                WorkerEndpoint(record.name, record.host, record.port)
+            )
+        dead_names = {
+            r.name for r in self.membership.members() if r.state == "dead"
+        }
+        for endpoint in self.endpoints:
+            if endpoint.name not in known and endpoint.name not in dead_names:
+                rotation.append(endpoint)
+        return rotation
+
+    def _note_endpoint_failure(
+        self, endpoint: WorkerEndpoint, detail: str
+    ) -> None:
+        """Direct data-path evidence: breaker plus membership suspicion."""
+        self._breaker(endpoint).record_failure(detail=detail)
+        if self.membership is not None:
+            self.membership.observe_failure(endpoint.name, detail=detail)
+
+    def _note_endpoint_success(self, endpoint: WorkerEndpoint) -> None:
+        self._breaker(endpoint).record_success()
 
     # ------------------------------------------------------------------
 
@@ -211,7 +283,9 @@ class ClusterExecutor:
         winner_assignment: Optional[_Assignment] = None
         semaphore = (
             ClusterMajoritySemaphore(
-                [e.address for e in self.endpoints], requester=self.home
+                [e.address for e in self._rotation()],
+                requester=self.home,
+                secret=self._key,
             )
             if self.use_consensus
             else None
@@ -234,6 +308,7 @@ class ClusterExecutor:
                     self._on_heartbeat(assignment, payload, now)
                 elif kind == "result":
                     assignment.finished = True
+                    self._note_endpoint_success(assignment.endpoint)
                     ok, reason = self._commit_check(assignment, payload)
                     if ok and semaphore is not None:
                         ok, reason = self._consensus_round(
@@ -264,7 +339,11 @@ class ClusterExecutor:
                         assignment.stale = True
                         if not assignment.lease.terminal:
                             assignment.lease.expire(now)
-                        dead.add(assignment.endpoint.name)
+                        dead.add(str(assignment.endpoint))
+                        self._note_endpoint_failure(
+                            assignment.endpoint,
+                            f"conn-drop: {payload}",
+                        )
                         live = [a for a in live if a is not assignment]
                         stale.append(assignment)
                         replacement = self._respawn(
@@ -416,9 +495,13 @@ class ClusterExecutor:
                     timeout=self.connect_timeout,
                     name=f"{arm.name}->{endpoint.name}",
                 )
-            except OSError as exc:
-                tried[index].append(endpoint.name)
-                dead.add(endpoint.name)
+                stream = dial_handshake(
+                    stream, self._key, timeout=self.connect_timeout
+                )
+            except (OSError, StreamClosed, AuthError) as exc:
+                tried[index].append(str(endpoint))
+                dead.add(str(endpoint))
+                self._note_endpoint_failure(endpoint, f"dial: {exc}")
                 timeline.append(
                     (clock(),
                      f"{arm.name}: ship to {endpoint.name} failed ({exc})")
@@ -445,9 +528,18 @@ class ClusterExecutor:
             if not shipped:
                 lease.expire(clock())
                 stream.close()
-                tried[index].append(endpoint.name)
-                dead.add(endpoint.name)
+                tried[index].append(str(endpoint))
+                dead.add(str(endpoint))
+                self._note_endpoint_failure(endpoint, "ship-send-failed")
                 continue
+            self._note_endpoint_success(endpoint)
+            # Half-open sends later in the conversation (heartbeats from
+            # our side, cancels) feed the same health plumbing.
+            underlying = getattr(stream, "stream", stream)
+            underlying.on_send_failure = (
+                lambda _s, detail, ep=endpoint:
+                    self._note_endpoint_failure(ep, detail)
+            )
             if tracer.enabled:
                 tracer.emit(
                     _ev.CONN_OPEN,
@@ -487,7 +579,7 @@ class ClusterExecutor:
     ) -> Optional[_Assignment]:
         """A fresh incarnation on the next endpoint, if respawns remain."""
         index = lapsed.index
-        tried[index].append(lapsed.endpoint.name)
+        tried[index].append(str(lapsed.endpoint))
         attempts[index] += 1
         if not self.warden.respawns_left(attempts[index]):
             outcomes[index].status = "failed"
@@ -515,14 +607,30 @@ class ClusterExecutor:
     def _pick_endpoint(
         self, index: int, tried: List[str], dead: Set[str]
     ) -> Optional[WorkerEndpoint]:
-        """Round-robin home, then rotation past tried/dead endpoints."""
-        start = index % len(self.endpoints)
-        rotation = self.endpoints[start:] + self.endpoints[:start]
-        for endpoint in rotation:
-            if endpoint.name in tried or endpoint.name in dead:
-                continue
-            return endpoint
-        return None
+        """Round-robin home over the live rotation, breakers respected.
+
+        ``tried``/``dead`` are keyed by the *full* ``name@host:port``
+        string, not the bare name -- a daemon that died and re-joined on
+        a fresh port is a different endpoint and stays dialable in the
+        same race that buried its predecessor.
+        """
+        everyone = self._rotation()
+        if not everyone:
+            return None
+        start = index % len(everyone)
+        rotation = everyone[start:] + everyone[:start]
+        candidates = [
+            e for e in rotation
+            if str(e) not in tried and str(e) not in dead
+        ]
+        for endpoint in candidates:
+            if self._breaker(endpoint).allow():
+                return endpoint
+        # Every candidate's breaker is open.  The degradation ladder is
+        # reroute -> respawn elsewhere -> serial replay; with untried
+        # endpoints still on the table we probe one anyway rather than
+        # fall straight through to the serial floor.
+        return candidates[0] if candidates else None
 
     def _crash_after(self, index: int) -> Optional[float]:
         """The injected ``worker-crash`` instant for this arm, if any."""
@@ -560,6 +668,11 @@ class ClusterExecutor:
         # A duplicated or reordered heartbeat is harmless: renew() keeps
         # the latest instant, and a stale incarnation's beats fall on an
         # already-terminal lease, which we must not resurrect.
+        # Any heartbeat -- even a zombie epoch's -- proves the *endpoint*
+        # is alive, so the breaker and membership hear about it.
+        self._breaker(assignment.endpoint).record_success()
+        if self.membership is not None:
+            self.membership.observe_ping(assignment.endpoint.name)
         if assignment.lease.terminal:
             return
         if msg.get("epoch") == assignment.epoch:

@@ -129,6 +129,13 @@ class ImpairmentProxy:
         with self._lock:
             conns, self._conns = self._conns, []
         for conn in conns:
+            # shutdown-then-close, for the same reason as the pump
+            # teardown: a pump blocked in recv holds the description
+            # open, so a bare close would leave the relay half-open.
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 conn.close()
             except OSError:
@@ -195,7 +202,18 @@ class ImpairmentProxy:
             except OSError:
                 pass
             # Half-open propagation: one side died, tear down both.
+            # ``shutdown`` first: ``close`` alone cannot end the TCP
+            # conversation while the opposite pump is still blocked in
+            # ``recv`` on the same socket -- the blocked thread pins the
+            # kernel file description, no FIN ever leaves, and the
+            # surviving endpoint waits on a half-open wire forever.
+            # ``shutdown`` acts on the description immediately: it sends
+            # the FIN *and* wakes the blocked reader.
             for sock in (source, sink):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
                 try:
                     sock.close()
                 except OSError:

@@ -30,6 +30,7 @@ import os
 import threading
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.cluster.auth import dial_handshake, load_secret, serve_handshake
 from repro.cluster.stream import RecordStream, StreamClosed, connect, listener
 from repro.errors import ReproError
 from repro.ipc.journal import JournalSink, RouterJournal, load_journal
@@ -56,6 +57,7 @@ class RouterDaemon:
         worldset_factory: Optional[Callable[[int], WorldSet]] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        secret=None,
     ) -> None:
         self.journal_path = journal_path
         self.worldset_factory = (
@@ -64,6 +66,11 @@ class RouterDaemon:
         )
         self.host = host
         self.port = port
+        self._key = load_secret(secret)
+        self.member_mirror: Dict[str, Any] = {}
+        """The home node's latest membership snapshot, pushed via the
+        ``member-sync`` op -- so an operator (or a recovering home) can
+        ask the router who the cluster believed was alive."""
         self._listener = None
         self._stopping = threading.Event()
         self._lock = threading.Lock()
@@ -151,7 +158,12 @@ class RouterDaemon:
             )
             handler.start()
 
-    def _handle_conn(self, stream: RecordStream) -> None:
+    def _handle_conn(self, raw: RecordStream) -> None:
+        try:
+            stream = serve_handshake(raw, self._key)
+        except StreamClosed:
+            raw.close()
+            return
         try:
             while not self._stopping.is_set():
                 try:
@@ -198,6 +210,17 @@ class RouterDaemon:
             return {"ok": True, "released": len(released)}
         if op == "digest":
             return {"ok": True, "digest": self.digest()}
+        if op == "member-sync":
+            snapshot = msg.get("snapshot")
+            if isinstance(snapshot, dict):
+                # Versions only move forward: a delayed push from before
+                # a later one must not roll the mirror back.
+                held = self.member_mirror.get("version", -1)
+                if int(snapshot.get("version", 0)) >= held:
+                    self.member_mirror = snapshot
+            return {"ok": True, "version": self.member_mirror.get("version")}
+        if op == "members":
+            return {"ok": True, "snapshot": dict(self.member_mirror)}
         if op == "shutdown":
             return {"ok": True}
         return {"ok": False, "error": f"unknown router op {op!r}"}
@@ -238,10 +261,14 @@ class RouterClient:
     """A framed-record client for one :class:`RouterDaemon`."""
 
     def __init__(
-        self, host: str, port: int, timeout: float = 2.0
+        self, host: str, port: int, timeout: float = 2.0, secret=None
     ) -> None:
         self.timeout = timeout
-        self._stream = connect(host, port, timeout=timeout, name="router-cli")
+        self._stream = dial_handshake(
+            connect(host, port, timeout=timeout, name="router-cli"),
+            load_secret(secret),
+            timeout=timeout,
+        )
 
     def _call(self, op: str, **fields: Any) -> dict:
         record = {"kind": "router-op", "op": op}
@@ -276,6 +303,12 @@ class RouterClient:
 
     def digest(self) -> Dict[str, Any]:
         return self._call("digest")["digest"]
+
+    def sync_members(self, snapshot: Dict[str, Any]) -> None:
+        self._call("member-sync", snapshot=snapshot)
+
+    def members(self) -> Dict[str, Any]:
+        return self._call("members")["snapshot"]
 
     def shutdown(self) -> None:
         try:

@@ -27,6 +27,7 @@ from __future__ import annotations
 import threading
 from typing import Hashable, List, Optional, Sequence, Tuple
 
+from repro.cluster.auth import AuthError, dial_handshake, load_secret
 from repro.cluster.stream import StreamClosed, connect
 from repro.errors import ConsensusUnavailable
 
@@ -39,12 +40,14 @@ class ClusterMajoritySemaphore:
         endpoints: Sequence[Tuple[str, int]],
         requester: str = "home",
         vote_timeout: float = 1.0,
+        secret=None,
     ) -> None:
         if not endpoints:
             raise ValueError("need at least one voting endpoint")
         self.endpoints: List[Tuple[str, int]] = list(endpoints)
         self.requester = requester
         self.vote_timeout = vote_timeout
+        self._key = load_secret(secret)
         self.rounds = 0
         self.unreachable_last_round = 0
 
@@ -62,7 +65,13 @@ class ClusterMajoritySemaphore:
                 timeout=self.vote_timeout,
                 name=f"vote-{endpoint[1]}",
             )
-        except OSError:
+            # Votes ride the same authenticated wire as shipments: a
+            # voter with a secret configured never counts a ballot it
+            # cannot verify.
+            stream = dial_handshake(
+                stream, self._key, timeout=self.vote_timeout
+            )
+        except (OSError, StreamClosed, AuthError):
             return
         try:
             if not stream.send({

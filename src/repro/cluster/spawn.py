@@ -93,11 +93,19 @@ class DaemonHandle:
         )
 
 
-def _spawn(args: List[str], name: str) -> DaemonHandle:
+def _spawn(
+    args: List[str], name: str, secret: Optional[str] = None
+) -> DaemonHandle:
     fd, port_file = tempfile.mkstemp(prefix=f"repro-{name}-", suffix=".port")
     os.close(fd)
     os.unlink(port_file)  # the child creates it; its absence is the gate
     env = dict(os.environ)
+    if secret is not None:
+        # The shared key rides the environment, never argv: ``ps`` on a
+        # multi-user box must not read the cluster secret.
+        from repro.cluster.auth import SECRET_ENV
+
+        env[SECRET_ENV] = secret
     src_root = os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.abspath(__file__)
     )))
@@ -136,22 +144,40 @@ def _spawn(args: List[str], name: str) -> DaemonHandle:
 def spawn_worker(
     node_id: str = "worker",
     hard_crash: bool = True,
+    join: Optional[Tuple[str, int]] = None,
+    secret: Optional[str] = None,
+    gossip_interval: Optional[float] = None,
 ) -> DaemonHandle:
     """Launch one worker daemon child; returns once it is dialable.
 
     ``hard_crash=True`` arms the genuine-SIGKILL response to injected
     ``crash_after`` shipments -- the whole point of paying the process
-    spawn cost.
+    spawn cost.  ``join=(host, port)`` points the daemon at the home
+    node's membership server: it announces itself on start (and a
+    respawn announces its *new* port, which is the whole re-join story).
+    ``secret`` rides the child's environment, arming HMAC auth.
     """
     args = ["worker", "--node-id", node_id, "--port", "0"]
     if hard_crash:
         args.append("--hard-crash")
-    return _spawn(args, node_id)
+    if join is not None:
+        args += ["--join", f"{join[0]}:{join[1]}"]
+    if gossip_interval is not None:
+        args += ["--gossip-interval", str(gossip_interval)]
+    return _spawn(args, node_id, secret=secret)
 
 
-def respawn_worker(dead: DaemonHandle) -> DaemonHandle:
+def respawn_worker(
+    dead: DaemonHandle,
+    join: Optional[Tuple[str, int]] = None,
+    secret: Optional[str] = None,
+    gossip_interval: Optional[float] = None,
+) -> DaemonHandle:
     """A fresh daemon process replacing a killed one (same node id)."""
-    handle = spawn_worker(node_id=dead.name, hard_crash=True)
+    handle = spawn_worker(
+        node_id=dead.name, hard_crash=True, join=join, secret=secret,
+        gossip_interval=gossip_interval,
+    )
     tracer = _active_tracer()
     if tracer.enabled:
         tracer.emit(

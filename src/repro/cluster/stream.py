@@ -25,10 +25,12 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.core.backends import wire
 from repro.errors import ReproError
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
 
 #: recv() chunk size; frames are typically far smaller than this.
 _CHUNK = 65536
@@ -57,6 +59,11 @@ class RecordStream:
         except OSError:  # pragma: no cover - e.g. a unix socketpair
             pass
         self._sock = sock
+        try:
+            host, port = sock.getpeername()[:2]
+            self._peer = f"{host}:{port}"
+        except OSError:
+            self._peer = "<disconnected>"
         self._reader = wire.RecordReader()
         self._ready: list = []
         self._send_lock = threading.Lock()
@@ -66,17 +73,25 @@ class RecordStream:
         self.closed = False
         self.sent = 0
         self.received = 0
+        self.send_failures = 0
+        self.on_send_failure: Optional[Callable[["RecordStream", str], None]] = None
+        """Called (once per failed send) with ``(stream, detail)`` --
+        how the executor feeds half-open sends into its circuit breaker
+        and the membership table's suspicion counter."""
 
     def fileno(self) -> int:
         return self._sock.fileno()
 
     @property
     def peer(self) -> str:
+        """The remote endpoint, remembered from connect time so it stays
+        reportable after the kernel forgets the dead connection."""
         try:
             host, port = self._sock.getpeername()[:2]
-            return f"{host}:{port}"
+            self._peer = f"{host}:{port}"
         except OSError:
-            return "<disconnected>"
+            pass
+        return self._peer
 
     # ------------------------------------------------------------------
 
@@ -94,10 +109,33 @@ class RecordStream:
         try:
             with self._send_lock:
                 self._sock.sendall(frame)
-        except (BrokenPipeError, ConnectionError, OSError):
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            # A half-open connection dying here used to be *silent*: the
+            # caller got ``False`` and nothing else learned the peer was
+            # gone.  Witness it once -- a trace event plus the failure
+            # hook -- so the breaker and membership suspicion see it.
+            self._note_send_failure(f"{type(exc).__name__}: {exc}")
             return False
         self.sent += 1
         return True
+
+    def _note_send_failure(self, detail: str) -> None:
+        self.send_failures += 1
+        tracer = _active_tracer()
+        if tracer.enabled:
+            tracer.emit(
+                _ev.CONN_DROP,
+                name=self.name,
+                peer=self.peer,
+                reason="send-failed",
+                detail=detail,
+            )
+        hook = self.on_send_failure
+        if hook is not None:
+            try:
+                hook(self, detail)
+            except Exception:  # pragma: no cover - observer must not kill send
+                pass
 
     def recv(self, timeout: Optional[float] = None) -> Optional[dict]:
         """The next record, or ``None`` when ``timeout`` elapses first.

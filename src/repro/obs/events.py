@@ -74,6 +74,16 @@ CONN_OPEN = "conn-open"
 CONN_DROP = "conn-drop"
 DAEMON_RESPAWN = "daemon-respawn"
 
+# -- cluster membership / authenticated gossip -------------------------
+AUTH_REJECT = "auth-reject"
+MEMBER_JOIN = "member-join"
+MEMBER_SUSPECT = "member-suspect"
+MEMBER_DEAD = "member-dead"
+
+# -- per-endpoint circuit breaker --------------------------------------
+BREAKER_OPEN = "breaker-open"
+BREAKER_CLOSE = "breaker-close"
+
 EVENT_KINDS = (
     BLOCK_BEGIN,
     BLOCK_END,
@@ -109,6 +119,12 @@ EVENT_KINDS = (
     CONN_OPEN,
     CONN_DROP,
     DAEMON_RESPAWN,
+    AUTH_REJECT,
+    MEMBER_JOIN,
+    MEMBER_SUSPECT,
+    MEMBER_DEAD,
+    BREAKER_OPEN,
+    BREAKER_CLOSE,
 )
 
 #: Kinds that terminate one arm's span (exactly one ``ARM_FINISH`` per

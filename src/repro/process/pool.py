@@ -136,6 +136,13 @@ class WorldPool:
     def _spawn(self) -> _Worker:
         ctrl_read, ctrl_write = os.pipe()
         result_read, result_write = os.pipe()
+        # Block SIGTERM across the fork: the mask is inherited, so a
+        # SIGTERM aimed at the child before _worker_main installs its
+        # handler stays pending instead of killing it with the default
+        # disposition.  The child unblocks once the handler is in place.
+        old_mask = signal.pthread_sigmask(
+            signal.SIG_BLOCK, {signal.SIGTERM}
+        )
         pid = os.fork()
         if pid == 0:
             try:
@@ -152,6 +159,7 @@ class WorldPool:
                 _worker_main(ctrl_read, result_write)
             finally:  # pragma: no cover - _worker_main never returns
                 os._exit(wire.EXIT_SHIP_FAILED)
+        signal.pthread_sigmask(signal.SIG_SETMASK, old_mask)
         os.close(ctrl_read)
         os.close(result_write)
         return _Worker(pid, ctrl_write, result_read)
@@ -422,6 +430,9 @@ def _worker_main(ctrl_fd: int, result_fd: int) -> None:
             token.cancel()
 
     signal.signal(signal.SIGTERM, on_sigterm)
+    # The parent blocked SIGTERM around the fork; any signal that raced
+    # the spawn is delivered here, to the real handler, not the default.
+    signal.pthread_sigmask(signal.SIG_UNBLOCK, {signal.SIGTERM})
     while True:
         header = _read_exact(ctrl_fd, _LEN.size)
         if header is None:

@@ -20,6 +20,7 @@ into the same injector machinery; :data:`CHAOS_SCENARIOS` is the closed
 matrix the chaos suite and CI soak.
 """
 
+from repro.resilience.breaker import BREAKER_STATES, CircuitBreaker
 from repro.resilience.chaos import (
     CHAOS_SCENARIOS,
     NetFaultPlan,
@@ -48,7 +49,9 @@ from repro.resilience.supervisor import (
 )
 
 __all__ = [
+    "BREAKER_STATES",
     "CHAOS_SCENARIOS",
+    "CircuitBreaker",
     "FAULT_POINTS",
     "ArmAutopsy",
     "AttemptAutopsy",

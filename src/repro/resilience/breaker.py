@@ -1,0 +1,162 @@
+"""A per-endpoint circuit breaker for flaky remote peers.
+
+The cluster executor dials worker daemons on every shipment.  When an
+endpoint is down, every attempt costs a full connect timeout -- and a
+race under chaos can burn its whole budget re-dialling the same corpse.
+A :class:`CircuitBreaker` is the standard cure, tuned for the cluster's
+failure vocabulary:
+
+- **closed** (the healthy state): calls flow; consecutive failures are
+  counted, and a success resets the count;
+- **open**: after ``fail_threshold`` consecutive failures the breaker
+  trips (``breaker-open`` trace event) and :meth:`allow` answers
+  ``False`` until ``cooldown`` elapses -- the rotation simply skips the
+  endpoint instead of paying the timeout again;
+- **half-open**: once the cooldown expires, exactly one probe is let
+  through.  If it succeeds the breaker closes (``breaker-close``);
+  if it fails the breaker re-opens with the cooldown scaled by
+  ``backoff`` (capped at ``max_cooldown``), the same
+  exponential-backoff shape the :class:`~repro.resilience.Supervisor`
+  retries with.
+
+The breaker never *decides* anything is dead -- that is the membership
+table's job; it only rations connection attempts.  The two compose:
+suspicion marks the endpoint undesirable, the breaker makes retrying it
+cheap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.obs import events as _ev
+from repro.obs.tracer import active as _active_tracer
+
+#: Breaker lifecycle states.
+BREAKER_STATES = ("closed", "open", "half-open")
+
+
+class CircuitBreaker:
+    """Failure-rationing gate in front of one remote endpoint."""
+
+    def __init__(
+        self,
+        name: str = "",
+        fail_threshold: int = 3,
+        cooldown: float = 0.5,
+        backoff: float = 2.0,
+        max_cooldown: float = 8.0,
+        clock=time.monotonic,
+    ) -> None:
+        if fail_threshold < 1:
+            raise ValueError("fail_threshold must be at least 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.name = name
+        self.fail_threshold = fail_threshold
+        self.base_cooldown = cooldown
+        self.backoff = backoff
+        self.max_cooldown = max_cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.current_cooldown = cooldown
+        self.open_until = 0.0
+        self._probe_outstanding = False
+        self.opened_count = 0
+        self.closed_count = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+
+    def allow(self, now: Optional[float] = None) -> bool:
+        """May the caller attempt this endpoint right now?
+
+        Closed: always.  Open: not until the cooldown expires, at which
+        point the breaker goes half-open and admits exactly one probe.
+        Half-open: only while no probe is outstanding.
+        """
+        at = self._clock() if now is None else now
+        with self._lock:
+            if self.state == "closed":
+                return True
+            if self.state == "open":
+                if at < self.open_until:
+                    self.rejected += 1
+                    return False
+                self.state = "half-open"
+                self._probe_outstanding = True
+                return True
+            # half-open: one probe at a time
+            if self._probe_outstanding:
+                self.rejected += 1
+                return False
+            self._probe_outstanding = True
+            return True
+
+    def record_success(self, now: Optional[float] = None) -> None:
+        """The endpoint answered: reset, closing the breaker if tripped."""
+        with self._lock:
+            was = self.state
+            self.state = "closed"
+            self.consecutive_failures = 0
+            self.current_cooldown = self.base_cooldown
+            self._probe_outstanding = False
+        if was != "closed":
+            self.closed_count += 1
+            tracer = _active_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.BREAKER_CLOSE,
+                    name=self.name,
+                    attrs_from=was,
+                    closed_count=self.closed_count,
+                )
+
+    def record_failure(
+        self, now: Optional[float] = None, detail: str = ""
+    ) -> bool:
+        """A connect/ship attempt failed; returns True when this trips
+        (or re-trips) the breaker open."""
+        at = self._clock() if now is None else now
+        tripped = False
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state == "half-open":
+                # The probe failed: back off harder before the next one.
+                self.current_cooldown = min(
+                    self.current_cooldown * self.backoff, self.max_cooldown
+                )
+                self.state = "open"
+                self.open_until = at + self.current_cooldown
+                self._probe_outstanding = False
+                tripped = True
+            elif (
+                self.state == "closed"
+                and self.consecutive_failures >= self.fail_threshold
+            ):
+                self.state = "open"
+                self.open_until = at + self.current_cooldown
+                tripped = True
+        if tripped:
+            self.opened_count += 1
+            tracer = _active_tracer()
+            if tracer.enabled:
+                tracer.emit(
+                    _ev.BREAKER_OPEN,
+                    name=self.name,
+                    failures=self.consecutive_failures,
+                    cooldown_seconds=self.current_cooldown,
+                    detail=detail,
+                )
+        return tripped
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, {self.state}, "
+            f"failures={self.consecutive_failures}, "
+            f"opened={self.opened_count})"
+        )

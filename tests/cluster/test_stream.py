@@ -12,6 +12,8 @@ import pytest
 
 from repro.cluster.stream import RecordStream, StreamClosed, connect, listener
 from repro.core.backends import wire
+from repro.obs import events as _ev
+from repro.obs.tracer import tracing
 
 
 def sample_record():
@@ -177,6 +179,55 @@ class TestHalfOpen:
         a.close()
         b.close()
         b.close()
+
+    def test_half_open_send_is_witnessed_not_silent(self):
+        """The silent-``False`` bug: a send into a half-open connection
+        must emit a ``conn-drop`` trace naming the peer and fire the
+        failure hook, so breakers and membership suspicion hear it."""
+        a, b = pair()
+        expected_peer = a.peer
+        hook_calls = []
+        a.on_send_failure = lambda stream, detail: hook_calls.append(
+            (stream.peer, detail)
+        )
+        b.close()
+        with tracing() as tracer:
+            for _ in range(50):
+                if not a.send({"probe": True}):
+                    break
+            else:
+                pytest.fail("send never noticed the dead peer")
+        drops = [e for e in tracer.events if e.kind == _ev.CONN_DROP]
+        assert len(drops) == 1
+        assert drops[0].attrs["peer"] == expected_peer
+        assert drops[0].attrs["reason"] == "send-failed"
+        assert drops[0].attrs["detail"]
+        assert hook_calls == [(expected_peer, drops[0].attrs["detail"])]
+        assert a.send_failures == 1
+        a.close()
+
+    def test_send_failure_hook_exception_does_not_break_send(self):
+        a, b = pair()
+
+        def bad_hook(stream, detail):
+            raise RuntimeError("observer bug")
+
+        a.on_send_failure = bad_hook
+        b.close()
+        for _ in range(50):
+            if not a.send({"probe": True}):
+                break
+        else:
+            pytest.fail("send never noticed the dead peer")
+        a.close()
+
+    def test_peer_survives_disconnection(self):
+        a, b = pair()
+        remembered = a.peer
+        assert remembered != "<disconnected>"
+        b.close()
+        a.close()
+        assert a.peer == remembered
 
     def test_concurrent_send_and_recv_do_not_interleave_frames(self):
         a, b = pair()

@@ -1,0 +1,151 @@
+"""The per-endpoint circuit breaker: trip, cool down, probe, recover."""
+
+import pytest
+
+from repro.obs import events as _ev
+from repro.obs.tracer import tracing
+from repro.resilience.breaker import BREAKER_STATES, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(
+        "w0@h:1", fail_threshold=3, cooldown=1.0, backoff=2.0,
+        max_cooldown=4.0, clock=clock,
+    )
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_success_resets_the_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.consecutive_failures == 0
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(fail_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=0)
+
+
+class TestTrip:
+    def test_threshold_consecutive_failures_trip(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.rejected == 1
+
+    def test_open_rejects_until_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(0.99)
+        assert not breaker.allow()
+        clock.advance(0.02)
+        assert breaker.allow()  # half-open probe admitted
+        assert breaker.state == "half-open"
+
+    def test_half_open_admits_exactly_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        assert not breaker.allow()  # second caller queued out
+        assert not breaker.allow()
+
+
+class TestRecovery:
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.current_cooldown == breaker.base_cooldown
+
+    def test_probe_failure_reopens_with_backoff(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        assert breaker.record_failure()  # re-trip
+        assert breaker.state == "open"
+        assert breaker.current_cooldown == 2.0
+        clock.advance(1.5)
+        assert not breaker.allow()  # scaled cooldown not yet over
+        clock.advance(0.6)
+        assert breaker.allow()
+
+    def test_backoff_caps_at_max_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        for _ in range(5):
+            clock.advance(10.0)
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.current_cooldown == 4.0
+
+    def test_counters(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.1)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.opened_count == 1
+        assert breaker.closed_count == 1
+
+
+class TestTraces:
+    def test_open_and_close_emit_events(self, clock):
+        with tracing() as tracer:
+            breaker = CircuitBreaker(
+                "w1@h:2", fail_threshold=2, cooldown=0.5, clock=clock
+            )
+            breaker.record_failure(detail="connect refused")
+            breaker.record_failure(detail="connect refused")
+            clock.advance(0.6)
+            assert breaker.allow()
+            breaker.record_success()
+        kinds = [e.kind for e in tracer.events]
+        assert kinds == [_ev.BREAKER_OPEN, _ev.BREAKER_CLOSE]
+        opened = tracer.events[0]
+        assert opened.name == "w1@h:2"
+        assert opened.attrs["failures"] == 2
+        assert opened.attrs["detail"] == "connect refused"
+        assert tracer.events[1].name == "w1@h:2"
+
+    def test_states_vocabulary(self):
+        assert BREAKER_STATES == ("closed", "open", "half-open")
