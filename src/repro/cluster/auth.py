@@ -4,31 +4,37 @@ beyond loopback.
 PR 7's daemons trusted every frame the kernel delivered -- fine on
 ``127.0.0.1``, reckless anywhere else.  This module adds a shared-key
 authentication layer *under* every cluster conversation (ship, vote,
-join/ping gossip, router ops) without changing the wire format: an
-authenticated frame is an ordinary framed record whose payload is the
-envelope ``{"kind": "authed", "n": ..., "mac": ..., "body": ...}``.
+join/ping gossip, router ops).  Crucially, the authenticated wire is a
+**raw binary envelope, not a pickled record**: the receiver verifies the
+HMAC over the exact bytes on the wire *before* anything is
+deserialized.  An unauthenticated peer that can reach the port gets its
+bytes MAC-checked and dropped -- they never reach ``pickle.loads``, so
+the port does not hand out arbitrary deserialization to strangers.
 
-The protocol, per connection:
+The wire format, per connection:
 
 1. **Challenge.**  The accepting side draws a random nonce and sends it
-   in the clear (``auth-challenge``).  The nonce is public; its job is
-   to bind every MAC on this connection to *this* connection, so a
-   frame captured from an earlier conversation can never be replayed
-   into a new one.
-2. **Signed envelopes.**  Each side then wraps every record: the body
-   is pickled, a per-direction monotone counter ``n`` is attached, and
+   in the clear as the fixed-size frame ``b"Rh" || nonce`` (18 raw
+   bytes, no pickle).  The nonce is public; its job is to bind every
+   MAC on this connection to *this* connection, so a frame captured
+   from an earlier conversation can never be replayed into a new one.
+2. **Sealed frames.**  Each record is pickled into ``body`` and shipped
+   as ``b"Ra" || len(body) || n || mac || body`` where ``n`` is a
+   per-direction monotone counter and
    ``mac = HMAC-SHA256(key, nonce || direction || n || body)``.
    Directions are tagged (``C`` client->server, ``S`` server->client)
    so a peer's own frames cannot be reflected back at it.
-3. **Verification.**  The receiver recomputes the MAC
-   (:func:`hmac.compare_digest`, constant time) and checks ``n``
-   strictly exceeds the last accepted counter.
+3. **Verification.**  The receiver parses the fixed-size header,
+   recomputes the MAC (:func:`hmac.compare_digest`, constant time) and
+   checks ``n`` strictly exceeds the last accepted counter.  Only a
+   frame that passes *both* checks is unpickled.
 
 Failure semantics are deliberately asymmetric:
 
-- a frame with a **bad or missing MAC** poisons the connection: the
-  sender is either unauthenticated or tampering, the conversation ends
-  (``auth-reject`` trace event, ``StreamClosed``);
+- a frame with a **bad magic, bad MAC, or malformed header** poisons
+  the connection: the sender is either unauthenticated or tampering,
+  the conversation ends (``auth-reject`` trace event,
+  ``StreamClosed``) -- with the body still un-deserialized;
 - a frame whose MAC verifies but whose **counter does not advance** is
   a *replay* (or an impairment-proxy duplicate of an authentic frame).
   It is discarded -- never acted on -- but the connection survives:
@@ -50,9 +56,12 @@ import os
 import pickle
 import secrets
 import struct
-from typing import Optional, Union
+import threading
+import time
+from typing import Optional, Tuple, Union
 
 from repro.cluster.stream import RecordStream, StreamClosed
+from repro.core.backends import wire
 from repro.errors import ReproError
 from repro.obs import events as _ev
 from repro.obs.tracer import active as _active_tracer
@@ -63,6 +72,17 @@ SECRET_ENV = "REPRO_CLUSTER_SECRET"
 #: Direction tags mixed into every MAC (anti-reflection).
 _DIR_CLIENT = b"C"
 _DIR_SERVER = b"S"
+
+#: Authenticated data frame: magic, body length, per-direction counter;
+#: followed by the 32-byte MAC, then the body.
+AUTH_MAGIC = b"Ra"
+HEADER = struct.Struct("!2sIQ")
+MAC_LEN = hashlib.sha256().digest_size
+
+#: Cleartext challenge frame: magic plus the per-connection nonce.
+CHALLENGE_MAGIC = b"Rh"
+NONCE_LEN = 16
+CHALLENGE_LEN = len(CHALLENGE_MAGIC) + NONCE_LEN
 
 _COUNTER = struct.Struct(">Q")
 
@@ -97,12 +117,29 @@ def _mac(key: bytes, nonce: bytes, direction: bytes, n: int,
     ).digest()
 
 
+def seal(key: bytes, nonce: bytes, direction: bytes, n: int,
+         body: bytes) -> bytes:
+    """One authenticated wire frame: ``header || mac || body``.
+
+    Raw bytes end to end -- no pickle in the envelope, so the receiver
+    can verify the MAC before anything is deserialized.
+    """
+    return (
+        HEADER.pack(AUTH_MAGIC, len(body), n)
+        + _mac(key, nonce, direction, n, body)
+        + body
+    )
+
+
 class AuthedStream:
-    """A :class:`RecordStream` speaking signed envelopes.
+    """A :class:`RecordStream` speaking sealed binary envelopes.
 
     Mirrors the stream's ``send``/``recv``/``close`` surface so every
     caller (daemon loops, the executor's receivers, vote rounds) is
-    oblivious to whether the conversation is authenticated.
+    oblivious to whether the conversation is authenticated.  All bytes
+    after the challenge flow through :meth:`RecordStream.recv_bytes` /
+    :meth:`RecordStream.send_bytes` -- the pickling record framing is
+    never consulted on an authenticated connection.
     """
 
     def __init__(
@@ -111,6 +148,7 @@ class AuthedStream:
         key: bytes,
         nonce: bytes,
         is_server: bool,
+        initial: bytes = b"",
     ) -> None:
         self.stream = stream
         self._key = key
@@ -119,7 +157,13 @@ class AuthedStream:
         self._send_dir = _DIR_SERVER if is_server else _DIR_CLIENT
         self._recv_dir = _DIR_CLIENT if is_server else _DIR_SERVER
         self._send_n = 0
+        self._send_lock = threading.Lock()
+        """Counter allocation and the socket write happen under one
+        lock: two threads racing ``send`` must not put counters on the
+        wire out of order, or the receiver discards the lower-numbered
+        legitimate frame as a replay."""
         self._recv_floor = -1
+        self._buf = initial
         self.rejects = 0
         self.replays_rejected = 0
 
@@ -149,18 +193,16 @@ class AuthedStream:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    # -- signed records ------------------------------------------------
+    # -- sealed records ------------------------------------------------
 
     def send(self, payload: dict) -> bool:
         body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
-        n = self._send_n
-        self._send_n += 1
-        return self.stream.send({
-            "kind": "authed",
-            "n": n,
-            "mac": _mac(self._key, self._nonce, self._send_dir, n, body),
-            "body": body,
-        })
+        with self._send_lock:
+            n = self._send_n
+            self._send_n += 1
+            return self.stream.send_bytes(
+                seal(self._key, self._nonce, self._send_dir, n, body)
+            )
 
     def recv(self, timeout: Optional[float] = None) -> Optional[dict]:
         """The next *verified* record (replays skipped), or ``None``.
@@ -168,40 +210,81 @@ class AuthedStream:
         Raises :class:`StreamClosed` when the peer ships anything
         unauthenticated or forged -- the conversation cannot be trusted
         past the first bad frame, exactly the corrupt-frame contract.
+        The body bytes are only unpickled after the MAC verifies and
+        the counter advances.
         """
         while True:
-            outer = self.stream.recv(timeout=timeout)
-            if outer is None:
-                return None
-            verdict = self._verify(outer)
-            if verdict == "ok":
-                return pickle.loads(outer["body"])
-            if verdict == "replay":
+            parsed = self._parse_frame()
+            if parsed is None:
+                try:
+                    data = self.stream.recv_bytes(timeout=timeout)
+                except StreamClosed as exc:
+                    raise StreamClosed(
+                        exc.detail, torn=exc.torn or bool(self._buf)
+                    ) from None
+                if data is None:
+                    return None
+                if not data:
+                    raise StreamClosed(
+                        "peer closed the connection"
+                        + (" mid-frame" if self._buf else ""),
+                        torn=bool(self._buf),
+                    )
+                self._buf += data
+                continue
+            if parsed[0] == "bad":
+                self._poison(parsed[1])
+            _tag, n, mac, body = parsed
+            expect = _mac(self._key, self._nonce, self._recv_dir, n, body)
+            if not hmac.compare_digest(expect, mac):
+                self._poison("bad-mac")
+            if n <= self._recv_floor:
+                self._reject("replay")
                 continue  # discarded; keep listening within the timeout
-            self._reject(verdict)
-            self.stream.close()
-            raise StreamClosed(
-                f"unauthenticated frame from {self.stream.peer}: {verdict}",
-                torn=True,
-            )
+            self._recv_floor = n
+            self.stream.received += 1
+            # Only now -- MAC verified, counter fresh -- may the body
+            # reach the unpickler.
+            try:
+                return pickle.loads(body)
+            except Exception as exc:
+                self.stream.close()
+                raise StreamClosed(
+                    f"undecodable authenticated payload from "
+                    f"{self.stream.peer} ({exc!r})",
+                    torn=True,
+                ) from None
 
-    def _verify(self, outer: dict) -> str:
-        if not isinstance(outer, dict) or outer.get("kind") != "authed":
-            return "not-authed"
-        body = outer.get("body")
-        mac = outer.get("mac")
-        n = outer.get("n")
-        if not isinstance(body, bytes) or not isinstance(mac, bytes) \
-                or not isinstance(n, int) or n < 0:
-            return "malformed-envelope"
-        expect = _mac(self._key, self._nonce, self._recv_dir, n, body)
-        if not hmac.compare_digest(expect, mac):
-            return "bad-mac"
-        if n <= self._recv_floor:
-            self._reject("replay")
-            return "replay"
-        self._recv_floor = n
-        return "ok"
+    def _parse_frame(self):
+        """One complete frame off the buffer, or ``None`` for more bytes.
+
+        Returns ``("frame", n, mac, body)`` or ``("bad", reason)``; the
+        body is untouched bytes -- nothing here deserializes anything.
+        """
+        buf = self._buf
+        if len(buf) >= 2 and buf[:2] != AUTH_MAGIC:
+            return ("bad", "not-authed")
+        if len(buf) < HEADER.size:
+            return None
+        _magic, length, n = HEADER.unpack_from(buf)
+        if length > wire.MAX_RECORD:
+            return ("bad", "malformed-envelope")
+        total = HEADER.size + MAC_LEN + length
+        if len(buf) < total:
+            return None
+        mac = buf[HEADER.size:HEADER.size + MAC_LEN]
+        body = buf[HEADER.size + MAC_LEN:total]
+        self._buf = buf[total:]
+        return ("frame", n, mac, body)
+
+    def _poison(self, reason: str) -> None:
+        """An unauthenticated or forged frame ends the conversation."""
+        self._reject(reason)
+        self.stream.close()
+        raise StreamClosed(
+            f"unauthenticated frame from {self.stream.peer}: {reason}",
+            torn=True,
+        )
 
     def _reject(self, reason: str) -> None:
         self.rejects += 1
@@ -229,8 +312,8 @@ def serve_handshake(
     """Accepting side: issue the nonce challenge (no-op when no key)."""
     if key is None:
         return stream
-    nonce = secrets.token_bytes(16)
-    if not stream.send({"kind": "auth-challenge", "nonce": nonce}):
+    nonce = secrets.token_bytes(NONCE_LEN)
+    if not stream.send_bytes(CHALLENGE_MAGIC + nonce):
         raise StreamClosed("peer vanished before the auth challenge",
                            torn=False)
     return AuthedStream(stream, key, nonce, is_server=True)
@@ -239,18 +322,44 @@ def serve_handshake(
 def dial_handshake(
     stream: RecordStream, key: Optional[bytes], timeout: float = 2.0
 ) -> Union[RecordStream, AuthedStream]:
-    """Dialling side: await the challenge (no-op when no key)."""
+    """Dialling side: await the raw challenge (no-op when no key).
+
+    The challenge is fixed-size raw bytes, so nothing a rogue accepting
+    side sends is ever unpickled either: a wrong magic is a fatal
+    :class:`AuthError`, not a deserialization.
+    """
     if key is None:
         return stream
-    challenge = stream.recv(timeout=timeout)
-    if challenge is None or challenge.get("kind") != "auth-challenge":
-        stream.close()
-        raise AuthError(
-            f"no auth challenge from {stream.peer} "
-            "(is the endpoint running with the same secret?)"
-        )
-    nonce = challenge.get("nonce")
-    if not isinstance(nonce, bytes) or not nonce:
-        stream.close()
-        raise AuthError(f"malformed auth challenge from {stream.peer}")
-    return AuthedStream(stream, key, nonce, is_server=False)
+    deadline = time.monotonic() + timeout
+    buf = b""
+    while len(buf) < CHALLENGE_LEN:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            stream.close()
+            raise AuthError(
+                f"no auth challenge from {stream.peer} "
+                "(is the endpoint running with the same secret?)"
+            )
+        try:
+            data = stream.recv_bytes(timeout=remaining)
+        except StreamClosed:
+            stream.close()
+            raise AuthError(
+                f"no auth challenge from {stream.peer} "
+                "(is the endpoint running with the same secret?)"
+            ) from None
+        if data is None:
+            continue
+        if not data:
+            stream.close()
+            raise AuthError(
+                f"peer closed before the auth challenge: {stream.peer}"
+            )
+        buf += data
+        if buf[:2] != CHALLENGE_MAGIC[:min(len(buf), 2)]:
+            stream.close()
+            raise AuthError(f"malformed auth challenge from {stream.peer}")
+    nonce = buf[len(CHALLENGE_MAGIC):CHALLENGE_LEN]
+    return AuthedStream(
+        stream, key, nonce, is_server=False, initial=buf[CHALLENGE_LEN:]
+    )

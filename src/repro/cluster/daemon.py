@@ -224,6 +224,9 @@ class WorkerDaemon:
                 daemon=True,
             )
             handler.start()
+            # Reap finished handlers as we go; connection churn must
+            # not grow this list for the life of the daemon.
+            self._threads = [t for t in self._threads if t.is_alive()]
             self._threads.append(handler)
 
     def _handle_conn(self, raw: RecordStream) -> None:

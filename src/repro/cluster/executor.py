@@ -281,15 +281,22 @@ class ClusterExecutor:
 
         winner_msg: Optional[dict] = None
         winner_assignment: Optional[_Assignment] = None
-        semaphore = (
-            ClusterMajoritySemaphore(
-                [e.address for e in self._rotation()],
-                requester=self.home,
-                secret=self._key,
-            )
-            if self.use_consensus
-            else None
-        )
+        semaphore = None
+        if self.use_consensus:
+            # The voting population is the live rotation.  With the
+            # membership table fully dark (every member dead, statics
+            # buried with them) fall back to the static list rather
+            # than crash on an empty quorum; with no endpoints at all,
+            # skip the semaphore entirely -- results are then rejected
+            # as consensus-unavailable and the documented ladder
+            # (reroute -> respawn -> serial replay) stays in charge.
+            voters = [e.address for e in self._rotation()] or [
+                e.address for e in self.endpoints
+            ]
+            if voters:
+                semaphore = ClusterMajoritySemaphore(
+                    voters, requester=self.home, secret=self._key
+                )
         consensus_starved = False
         tracer = _active_tracer()
 
@@ -310,10 +317,17 @@ class ClusterExecutor:
                     assignment.finished = True
                     self._note_endpoint_success(assignment.endpoint)
                     ok, reason = self._commit_check(assignment, payload)
-                    if ok and semaphore is not None:
-                        ok, reason = self._consensus_round(
-                            semaphore, assignment, timeline, clock
-                        )
+                    if ok and self.use_consensus:
+                        if semaphore is None:
+                            timeline.append(
+                                (now, "consensus unavailable: "
+                                      "no voting endpoints")
+                            )
+                            ok, reason = False, "consensus-unavailable"
+                        else:
+                            ok, reason = self._consensus_round(
+                                semaphore, assignment, timeline, clock
+                            )
                         consensus_starved = (
                             consensus_starved or reason == "consensus-unavailable"
                         )

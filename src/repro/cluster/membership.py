@@ -443,6 +443,10 @@ class MembershipServer:
                 daemon=True,
             )
             handler.start()
+            # Reap finished handlers as we go: announcer redial churn
+            # would otherwise grow this list for the life of the home
+            # node.
+            self._threads = [t for t in self._threads if t.is_alive()]
             self._threads.append(handler)
 
     def _sweep_loop(self) -> None:

@@ -34,6 +34,7 @@ import time
 from typing import List, Optional, Tuple
 
 from repro.core.backends import wire
+from repro.cluster import auth
 from repro.cluster.stream import listener
 from repro.resilience.chaos import WireImpairments
 
@@ -45,10 +46,14 @@ _CHUNK = 65536
 class _FrameSplitter:
     """Incremental splitter: raw bytes in, whole raw frames out.
 
-    Unlike :class:`~repro.core.backends.wire.RecordReader` it never
-    unpickles and never rejects: bytes that do not parse as a frame
-    header are passed through as an opaque tail so endpoint corruption
-    detection still sees them.
+    Understands all three framings that transit a cluster link -- plain
+    pickled records (``Rr``), the cleartext auth challenge (``Rh``) and
+    sealed authenticated envelopes (``Ra``) -- so impairment stays
+    message-grained on an authenticated link too.  Unlike
+    :class:`~repro.core.backends.wire.RecordReader` it never unpickles
+    and never rejects: bytes that do not parse as a frame header are
+    passed through as an opaque tail so endpoint corruption detection
+    still sees them.
     """
 
     def __init__(self) -> None:
@@ -61,20 +66,38 @@ class _FrameSplitter:
             out, self._buffer = [self._buffer], b""
             return [chunk for chunk in out if chunk]
         frames: List[bytes] = []
-        while len(self._buffer) >= wire.FRAME.size:
-            magic, length, _crc = wire.FRAME.unpack_from(self._buffer)
-            if magic != wire.MAGIC or length > wire.MAX_RECORD:
-                # Not our framing: stop splitting, forward verbatim from
-                # here on (the endpoint will flag the corruption).
-                self.opaque = True
-                frames.append(self._buffer)
-                self._buffer = b""
-                return frames
-            total = wire.FRAME.size + length
+        while len(self._buffer) >= 2:
+            magic = self._buffer[:2]
+            if magic == wire.MAGIC:
+                if len(self._buffer) < wire.FRAME.size:
+                    break
+                _m, length, _crc = wire.FRAME.unpack_from(self._buffer)
+                if length > wire.MAX_RECORD:
+                    return self._go_opaque(frames)
+                total = wire.FRAME.size + length
+            elif magic == auth.CHALLENGE_MAGIC:
+                total = auth.CHALLENGE_LEN
+            elif magic == auth.AUTH_MAGIC:
+                if len(self._buffer) < auth.HEADER.size:
+                    break
+                _m, length, _n = auth.HEADER.unpack_from(self._buffer)
+                if length > wire.MAX_RECORD:
+                    return self._go_opaque(frames)
+                total = auth.HEADER.size + auth.MAC_LEN + length
+            else:
+                return self._go_opaque(frames)
             if len(self._buffer) < total:
                 break
             frames.append(self._buffer[:total])
             self._buffer = self._buffer[total:]
+        return frames
+
+    def _go_opaque(self, frames: List[bytes]) -> List[bytes]:
+        # Not our framing: stop splitting, forward verbatim from here
+        # on (the endpoint will flag the corruption).
+        self.opaque = True
+        frames.append(self._buffer)
+        self._buffer = b""
         return frames
 
     @property

@@ -119,6 +119,26 @@ class RecordStream:
         self.sent += 1
         return True
 
+    def send_bytes(self, data: bytes) -> bool:
+        """Ship pre-framed raw bytes; ``False`` when the peer is gone.
+
+        The authenticated wire frames its own envelopes (the MAC must
+        cover the exact bytes on the wire), so it bypasses the pickle
+        framing and writes here.  Same contract as :meth:`send`: one
+        call is one contiguous write under the send lock, and a failed
+        write feeds the breaker/membership plumbing.
+        """
+        if self.closed:
+            return False
+        try:
+            with self._send_lock:
+                self._sock.sendall(data)
+        except (BrokenPipeError, ConnectionError, OSError) as exc:
+            self._note_send_failure(f"{type(exc).__name__}: {exc}")
+            return False
+        self.sent += 1
+        return True
+
     def _note_send_failure(self, detail: str) -> None:
         self.send_failures += 1
         tracer = _active_tracer()
@@ -174,6 +194,29 @@ class RecordStream:
                 raise StreamClosed(self._reader.corrupt_detail, torn=True)
         self.received += 1
         return self._ready.pop(0)
+
+    def recv_bytes(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        """One chunk of raw socket bytes, never parsed or unpickled.
+
+        Returns ``None`` when ``timeout`` elapses and ``b""`` on EOF;
+        raises :class:`StreamClosed` on a connection error or a stream
+        closed concurrently.  The authenticated wire reads here and
+        keeps its own framing buffer: raw network bytes must never
+        reach the pickling :class:`~repro.core.backends.wire.
+        RecordReader` before their MAC is verified.
+        """
+        if self.closed:
+            raise StreamClosed("stream already closed", torn=False)
+        try:
+            self._sock.settimeout(timeout)
+        except OSError:
+            raise StreamClosed("stream closed concurrently", torn=False) from None
+        try:
+            return self._sock.recv(_CHUNK)
+        except socket.timeout:
+            return None
+        except (ConnectionError, OSError) as exc:
+            raise StreamClosed(f"connection lost: {exc}", torn=False) from None
 
     def close(self) -> None:
         """Close the underlying socket (idempotent)."""

@@ -143,25 +143,42 @@ class WorldPool:
         old_mask = signal.pthread_sigmask(
             signal.SIG_BLOCK, {signal.SIGTERM}
         )
-        pid = os.fork()
-        if pid == 0:
+        try:
             try:
-                os.close(ctrl_write)
-                os.close(result_read)
-                # Sibling workers' parent-end fds leak through the fork;
-                # drop them so a dead sibling's pipes actually EOF.
-                for sibling in self._workers:
-                    for fd in (sibling.ctrl_fd, sibling.result_fd):
-                        try:
-                            os.close(fd)
-                        except OSError:
-                            pass
-                _worker_main(ctrl_read, result_write)
-            finally:  # pragma: no cover - _worker_main never returns
-                os._exit(wire.EXIT_SHIP_FAILED)
-        signal.pthread_sigmask(signal.SIG_SETMASK, old_mask)
-        os.close(ctrl_read)
-        os.close(result_write)
+                pid = os.fork()
+            except BaseException:
+                # fork failed (e.g. EAGAIN): don't leak the pipes.
+                for fd in (ctrl_read, ctrl_write, result_read, result_write):
+                    try:
+                        os.close(fd)
+                    except OSError:
+                        pass
+                raise
+            if pid == 0:
+                # In the child the mask intentionally stays blocked
+                # until _worker_main installs its handler; os._exit
+                # below means the outer finally never runs here.
+                try:
+                    os.close(ctrl_write)
+                    os.close(result_read)
+                    # Sibling workers' parent-end fds leak through the
+                    # fork; drop them so a dead sibling's pipes
+                    # actually EOF.
+                    for sibling in self._workers:
+                        for fd in (sibling.ctrl_fd, sibling.result_fd):
+                            try:
+                                os.close(fd)
+                            except OSError:
+                                pass
+                    _worker_main(ctrl_read, result_write)
+                finally:  # pragma: no cover - _worker_main never returns
+                    os._exit(wire.EXIT_SHIP_FAILED)
+            os.close(ctrl_read)
+            os.close(result_write)
+        finally:
+            # Restore even when fork or the parent-side setup raises:
+            # the calling thread must not keep SIGTERM blocked forever.
+            signal.pthread_sigmask(signal.SIG_SETMASK, old_mask)
         return _Worker(pid, ctrl_write, result_read)
 
     def _discard(self, worker: _Worker) -> Optional[int]:

@@ -13,12 +13,14 @@ import time
 import pytest
 
 from repro.cluster.auth import (
+    CHALLENGE_LEN,
+    CHALLENGE_MAGIC,
     AuthedStream,
     AuthError,
-    _mac,
     dial_handshake,
     generate_secret,
     load_secret,
+    seal,
     serve_handshake,
 )
 from repro.cluster.daemon import WorkerDaemon
@@ -52,6 +54,22 @@ def authed_pair(key=KEY, nonce=NONCE):
 def put_result(ctx):
     ctx.put("result", 7)
     return 7
+
+
+_EVIL_LOADED = {"fired": False}
+
+
+def _mark_evil_loaded():
+    _EVIL_LOADED["fired"] = True
+    return None
+
+
+class _EvilPayload:
+    """Unpickling this object flips the module flag -- proof of code
+    execution at deserialization time."""
+
+    def __reduce__(self):
+        return (_mark_evil_loaded, ())
 
 
 class TestSecrets:
@@ -130,14 +148,25 @@ class TestRejection:
         a_raw, b_raw = pair()
         b = AuthedStream(b_raw, KEY, NONCE, is_server=True)
         body = pickle.dumps({"x": 1}, protocol=pickle.HIGHEST_PROTOCOL)
-        a_raw.send({
-            "kind": "authed",
-            "n": 0,
-            "mac": _mac(KEY, NONCE, b"C", 0, body),
-            "body": body + b"tamper",
-        })
+        frame = bytearray(seal(KEY, NONCE, b"C", 0, body))
+        frame[-1] ^= 0xFF  # flip a body byte after the MAC was computed
+        a_raw.send_bytes(bytes(frame))
         with pytest.raises(StreamClosed):
             b.recv(timeout=2.0)
+        a_raw.close()
+        b.close()
+
+    def test_pre_auth_bytes_never_reach_the_unpickler(self):
+        """The core guarantee of the sealed wire: bytes from an
+        unauthenticated peer are rejected *before* deserialization, so
+        a pickle bomb on an exposed port is inert."""
+        a_raw, b_raw = pair()
+        b = AuthedStream(b_raw, KEY, NONCE, is_server=True)
+        _EVIL_LOADED["fired"] = False
+        a_raw.send({"kind": "ship", "payload": _EvilPayload()})
+        with pytest.raises(StreamClosed):
+            b.recv(timeout=2.0)
+        assert not _EVIL_LOADED["fired"]
         a_raw.close()
         b.close()
 
@@ -147,12 +176,7 @@ class TestRejection:
         a_raw, b_raw = pair()
         b = AuthedStream(b_raw, KEY, NONCE, is_server=True)
         body = pickle.dumps({"x": 1}, protocol=pickle.HIGHEST_PROTOCOL)
-        a_raw.send({
-            "kind": "authed",
-            "n": 0,
-            "mac": _mac(KEY, NONCE, b"S", 0, body),  # server-signed
-            "body": body,
-        })
+        a_raw.send_bytes(seal(KEY, NONCE, b"S", 0, body))  # server-signed
         with pytest.raises(StreamClosed):
             b.recv(timeout=2.0)
         a_raw.close()
@@ -164,12 +188,7 @@ class TestRejection:
         a_raw, b_raw = pair()
         b = AuthedStream(b_raw, KEY, b"other-nonce!!!!!", is_server=True)
         body = pickle.dumps({"x": 1}, protocol=pickle.HIGHEST_PROTOCOL)
-        a_raw.send({
-            "kind": "authed",
-            "n": 0,
-            "mac": _mac(KEY, NONCE, b"C", 0, body),
-            "body": body,
-        })
+        a_raw.send_bytes(seal(KEY, NONCE, b"C", 0, body))
         with pytest.raises(StreamClosed):
             b.recv(timeout=2.0)
         a_raw.close()
@@ -181,14 +200,9 @@ class TestReplay:
         a_raw, b_raw = pair()
         b = AuthedStream(b_raw, KEY, NONCE, is_server=True)
         body = pickle.dumps({"x": 1}, protocol=pickle.HIGHEST_PROTOCOL)
-        envelope = {
-            "kind": "authed",
-            "n": 0,
-            "mac": _mac(KEY, NONCE, b"C", 0, body),
-            "body": body,
-        }
-        a_raw.send(envelope)
-        a_raw.send(envelope)  # the replay (or an impairment dup)
+        envelope = seal(KEY, NONCE, b"C", 0, body)
+        a_raw.send_bytes(envelope)
+        a_raw.send_bytes(envelope)  # the replay (or an impairment dup)
         with tracing() as tracer:
             assert b.recv(timeout=2.0) == {"x": 1}
             assert b.recv(timeout=0.3) is None  # dup skipped, not fatal
@@ -197,12 +211,7 @@ class TestReplay:
         assert tracer.events[0].attrs["reason"] == "replay"
         # The connection survives: a fresh counter still lands.
         body2 = pickle.dumps({"x": 2}, protocol=pickle.HIGHEST_PROTOCOL)
-        a_raw.send({
-            "kind": "authed",
-            "n": 1,
-            "mac": _mac(KEY, NONCE, b"C", 1, body2),
-            "body": body2,
-        })
+        a_raw.send_bytes(seal(KEY, NONCE, b"C", 1, body2))
         assert b.recv(timeout=2.0) == {"x": 2}
         a_raw.close()
         b.close()
@@ -215,12 +224,7 @@ class TestReplay:
         assert b.recv(timeout=2.0) == {"n": "second"}
         # Re-send counter 0's bytes from the raw socket.
         body = pickle.dumps({"n": "first"}, protocol=pickle.HIGHEST_PROTOCOL)
-        a.stream.send({
-            "kind": "authed",
-            "n": 0,
-            "mac": _mac(KEY, NONCE, b"C", 0, body),
-            "body": body,
-        })
+        a.stream.send_bytes(seal(KEY, NONCE, b"C", 0, body))
         assert b.recv(timeout=0.3) is None
         assert b.replays_rejected == 1
         a.close()
@@ -233,9 +237,15 @@ class TestEndToEnd:
         daemon.start()
         try:
             stream = connect(daemon.host, daemon.port)
-            # Swallow the challenge, then speak unauthenticated.
-            challenge = stream.recv(timeout=2.0)
-            assert challenge["kind"] == "auth-challenge"
+            # Swallow the raw challenge, then speak unauthenticated.
+            challenge = b""
+            deadline = time.monotonic() + 2.0
+            while len(challenge) < CHALLENGE_LEN \
+                    and time.monotonic() < deadline:
+                data = stream.recv_bytes(timeout=0.2)
+                challenge += data or b""
+            assert challenge[:2] == CHALLENGE_MAGIC
+            assert len(challenge) == CHALLENGE_LEN
             stream.send({"kind": "ping"})
             with pytest.raises(StreamClosed):
                 # The daemon drops the conversation without a pong.

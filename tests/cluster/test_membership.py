@@ -11,7 +11,13 @@ import time
 
 import pytest
 
-from repro.cluster.auth import _mac, dial_handshake
+from repro.cluster.auth import (
+    CHALLENGE_LEN,
+    CHALLENGE_MAGIC,
+    HEADER,
+    dial_handshake,
+    seal,
+)
 from repro.cluster.membership import (
     MEMBER_STATES,
     MembershipAnnouncer,
@@ -20,7 +26,6 @@ from repro.cluster.membership import (
 )
 from repro.cluster.router_service import RouterClient, RouterDaemon
 from repro.cluster.stream import connect
-from repro.core.backends import wire
 from repro.obs import events as _ev
 from repro.obs.tracer import tracing
 
@@ -346,20 +351,25 @@ class TestRouterMirror:
 # ----------------------------------------------------------------------
 # satellite (c): hostile frames must never corrupt the table
 
+def read_nonce(stream):
+    """The raw cleartext challenge off a fresh connection -- fixed-size
+    bytes, deliberately read without any record parsing."""
+    buf = b""
+    deadline = time.monotonic() + 2.0
+    while len(buf) < CHALLENGE_LEN and time.monotonic() < deadline:
+        data = stream.recv_bytes(timeout=0.2)
+        buf += data or b""
+    assert buf[:2] == CHALLENGE_MAGIC and len(buf) >= CHALLENGE_LEN
+    return buf[2:CHALLENGE_LEN]
+
+
 def signed_join_frame(nonce, node="intruder", n=0):
     body = pickle.dumps(
         {"kind": "join", "node": node, "host": "127.0.0.1",
          "port": 6666, "epoch": 13},
         protocol=pickle.HIGHEST_PROTOCOL,
     )
-    envelope = {
-        "kind": "authed",
-        "n": n,
-        "mac": _mac(KEY, nonce, b"C", n, body),
-        "body": body,
-    }
-    frame, _ = wire.frame_record(envelope)
-    return frame
+    return seal(KEY, nonce, b"C", n, body)
 
 
 def signed_ping_frame(nonce, node="intruder", n=0):
@@ -367,14 +377,7 @@ def signed_ping_frame(nonce, node="intruder", n=0):
         {"kind": "ping", "node": node, "epoch": 13},
         protocol=pickle.HIGHEST_PROTOCOL,
     )
-    envelope = {
-        "kind": "authed",
-        "n": n,
-        "mac": _mac(KEY, nonce, b"C", n, body),
-        "body": body,
-    }
-    frame, _ = wire.frame_record(envelope)
-    return frame
+    return seal(KEY, nonce, b"C", n, body)
 
 
 class TestHostileMembershipFrames:
@@ -391,14 +394,11 @@ class TestHostileMembershipFrames:
             # One probe connection to learn the frame length (the nonce
             # differs per connection, the length does not).
             probe = connect(host, port)
-            challenge = probe.recv(timeout=2.0)
-            reference = framer(challenge["nonce"])
+            reference = framer(read_nonce(probe))
             probe.close()
             for offset in range(1, len(reference), step):
                 stream = connect(host, port)
-                challenge = stream.recv(timeout=2.0)
-                assert challenge["kind"] == "auth-challenge"
-                frame = framer(challenge["nonce"])
+                frame = framer(read_nonce(stream))
                 stream._sock.sendall(frame[:offset])
                 stream.close()
             deadline = time.monotonic() + 1.0
@@ -412,14 +412,18 @@ class TestHostileMembershipFrames:
         server = MembershipServer(secret=KEY)
         host, port = server.start()
         try:
-            for flip_at in (0, 7, 31):
+            for region in ("magic", "mac", "body"):
                 stream = connect(host, port)
-                challenge = stream.recv(timeout=2.0)
-                frame = bytearray(signed_join_frame(challenge["nonce"]))
-                # Flip a byte of the payload region: depending on where
-                # it lands the frame dies at the CRC walk or at the MAC
+                frame = bytearray(signed_join_frame(read_nonce(stream)))
+                # Flip one byte per region: depending on where it lands
+                # the frame dies at the magic dispatch or at the MAC
                 # verdict -- either way, before the table.
-                frame[wire.FRAME.size + 16 + flip_at] ^= 0xFF
+                flip_at = {
+                    "magic": 0,
+                    "mac": HEADER.size + 3,
+                    "body": len(frame) - 2,
+                }[region]
+                frame[flip_at] ^= 0xFF
                 stream._sock.sendall(bytes(frame))
                 time.sleep(0.05)
                 stream.close()
@@ -433,7 +437,7 @@ class TestHostileMembershipFrames:
         host, port = server.start()
         try:
             stream = connect(host, port)
-            stream.recv(timeout=2.0)  # discard the challenge
+            read_nonce(stream)  # discard the challenge
             stream.send({
                 "kind": "join", "node": "naked", "host": "h",
                 "port": 1, "epoch": 1,
@@ -451,8 +455,7 @@ class TestHostileMembershipFrames:
         host, port = server.start()
         try:
             stream = connect(host, port)
-            challenge = stream.recv(timeout=2.0)
-            stream._sock.sendall(signed_join_frame(challenge["nonce"]))
+            stream._sock.sendall(signed_join_frame(read_nonce(stream)))
             deadline = time.monotonic() + 5.0
             while server.table.get("intruder") is None \
                     and time.monotonic() < deadline:
