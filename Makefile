@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src
 
-.PHONY: check test test-fast test-resilience test-chaos test-check test-cluster test-matrix-pooled coverage bench-smoke bench-commit bench
+.PHONY: check test test-fast test-resilience test-chaos test-check test-cluster test-matrix-pooled test-server coverage bench-smoke bench-commit bench-server bench
 
 ## check: what CI runs -- tier-1 tests plus a ~10s benchmark smoke.
 check: test bench-smoke
@@ -17,13 +17,14 @@ test-fast:
 	$(PYTHON) -m pytest tests/ -q -m "not slow"
 
 ## coverage: line coverage over src/repro, gated at 80% on the obs,
-## check, and independence subsystems (requires pytest-cov; CI
+## check, independence, and server subsystems (requires pytest-cov; CI
 ## installs it).
 coverage:
 	$(PYTHON) -m pytest tests/ -q --cov=repro --cov-report=term-missing
 	$(PYTHON) -m coverage report --include="*/repro/obs/*" --fail-under=80
 	$(PYTHON) -m coverage report --include="*/repro/check/*" --fail-under=80
 	$(PYTHON) -m coverage report --include="*/repro/independence/*" --fail-under=80
+	$(PYTHON) -m coverage report --include="*/repro/server/*" --fail-under=80
 
 ## test-resilience: the fault-injection smoke CI runs per injector seed.
 ## Uses a hard per-test timeout when pytest-timeout is available (a hung
@@ -78,6 +79,19 @@ test-matrix-pooled:
 	REPRO_WORLD_POOL=1 $(PYTHON) -m pytest \
 		tests/obs/test_equivalence_matrix.py tests/process/test_world_pool.py -q
 
+## test-server: the multi-tenant race-server battery -- the
+## admission/DRR Hypothesis state machine, server basics, the lease
+## ledger under concurrent races, the concurrent equivalence matrix,
+## and the worker-assassination soak.  REPRO_SERVER_SEED varies the
+## soak's kill schedule; any schedule must leave results untouched.
+## Per-test timeout when pytest-timeout is available (a hang here
+## means a stuck dispatcher or an unfinished ticket).
+REPRO_SERVER_SEED ?= 0
+test-server:
+	REPRO_SERVER_SEED=$(REPRO_SERVER_SEED) $(PYTHON) -m pytest \
+		tests/server tests/process/test_pool_concurrency.py -q \
+		$(shell $(PYTHON) -c "import pytest_timeout" 2>/dev/null && echo "--timeout=180 --timeout-method=thread")
+
 bench-smoke:
 	$(PYTHON) benchmarks/bench_parallel_backends.py --quick
 
@@ -87,6 +101,14 @@ bench-smoke:
 BENCH_SEED ?= 0
 bench-commit:
 	$(PYTHON) benchmarks/bench_commit_latency.py --seed $(BENCH_SEED)
+
+## bench-server: the multi-tenant throughput sweep (pooled workers vs
+## fork-per-block across three concurrency levels); --quick in CI, full
+## sweep locally regenerates BENCH_server_throughput.json.  Exits
+## non-zero unless pooled wins by >=2x at the top level with a fair
+## per-tenant goodput spread.
+bench-server:
+	$(PYTHON) benchmarks/bench_server_throughput.py --seed $(BENCH_SEED)
 
 ## bench: regenerate every paper table/figure (slow).
 bench:

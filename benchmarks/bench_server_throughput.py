@@ -1,0 +1,291 @@
+"""Experiment S1 -- race-server throughput: pooled workers vs fork-per-block.
+
+The server's reason to exist is amortization at the service layer: a
+stream of alt-blocks from many tenants should ride pre-warmed pooled
+workers instead of paying ``fork`` (page tables, the resident heap) per
+block.  This bench drives identical multi-tenant workloads -- equal
+offered load per tenant, two-arm picklable blocks, a deliberately large
+resident ballast standing in for a real service's dataset -- through a
+:class:`~repro.server.RaceServer` on the process backend in two modes:
+
+- **pooled**: every block's arms lease parked workers from one shared
+  :class:`~repro.process.pool.WorldPool` (the ballast is allocated
+  *after* the pool forks, so workers stay slim -- exactly how a real
+  deployment would sequence it);
+- **fork-per-block**: ``use_pool=False``, the unamortized baseline --
+  every arm forks the full parent.
+
+Three concurrency levels (worker threads x in-flight-arm budget) map the
+scaling curve.  At every level the record captures blocks/sec, p50/p99
+latency, and the fairness spread (max/min per-tenant goodput under equal
+offered load -- the DRR scheduler's own gate).
+
+Gates:
+
+- at the highest concurrency level, pooled throughput must be at least
+  ``POOL_SPEEDUP_FLOOR`` (2x) the fork-per-block baseline;
+- fairness spread stays under ``FAIRNESS_CEILING`` at every level (equal
+  offered load must yield near-equal goodput);
+- every offered block completes (no rejects at these queue bounds).
+
+Outputs:
+
+- ``benchmarks/results/S1_server_throughput.txt`` -- human-readable;
+- ``BENCH_server_throughput.json`` at the repo root (seed-pinned).
+
+Run standalone with ``python benchmarks/bench_server_throughput.py``
+(add ``--quick`` for the CI smoke variant).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+if __name__ == "__main__":  # standalone: make src/ importable
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.core.alternative import Alternative
+from repro.process.pool import WorldPool
+from repro.server import RaceServer, ServerConfig
+
+JSON_PATH = os.path.join(_REPO_ROOT, "BENCH_server_throughput.json")
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "results")
+TXT_PATH = os.path.join(RESULTS_DIR, "S1_server_throughput.txt")
+
+TENANTS = 4
+ARMS = 2
+BALLAST_BYTES = 64 * 1024 * 1024
+"""Resident parent heap the fork-per-block baseline must duplicate."""
+
+#: (worker threads, in-flight arm budget) per concurrency level.
+LEVELS = [(1, 2), (2, 4), (4, 8)]
+BLOCKS_PER_TENANT_FULL = 10
+BLOCKS_PER_TENANT_QUICK = 4
+
+POOL_SPEEDUP_FLOOR = 2.0
+FAIRNESS_CEILING = 2.0
+
+
+class _Body:
+    """Trivial picklable arm: the bench measures dispatch, not bodies."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __call__(self, ctx):
+        ctx.put("v", self.value)
+        return self.value
+
+
+def _block(tag):
+    return [
+        Alternative(f"{tag}-arm{i}", body=_Body(f"{tag}-answer"))
+        for i in range(ARMS)
+    ]
+
+
+def _quantile(samples, q):
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _run_mode(mode, workers, arm_budget, blocks_per_tenant, seed, pool):
+    """One (mode, level) cell: equal offered load, everything must land."""
+    total = TENANTS * blocks_per_tenant
+    config = ServerConfig(
+        backend="process",
+        workers=workers,
+        max_inflight_arms=arm_budget,
+        quantum=ARMS,
+        max_queue_per_tenant=blocks_per_tenant + 1,
+        max_queue_total=total + 1,
+        pool=pool if mode == "pooled" else None,
+        use_pool=(mode == "pooled"),
+    )
+    tickets = []
+    started = time.perf_counter()
+    with RaceServer(config) as server:
+        for round_index in range(blocks_per_tenant):
+            for tenant_index in range(TENANTS):
+                tag = f"t{tenant_index}r{round_index}"
+                tickets.append(server.submit(
+                    f"tenant-{tenant_index}",
+                    _block(tag),
+                    seed=seed * 1000 + round_index,
+                ))
+        for ticket in tickets:
+            if not ticket.wait(timeout=300.0):
+                raise RuntimeError(f"block {ticket.seq} never finished")
+    elapsed = time.perf_counter() - started
+    goodput = {f"tenant-{i}": 0 for i in range(TENANTS)}
+    latencies = []
+    failures = [t for t in tickets if t.error is not None]
+    if failures:
+        raise RuntimeError(
+            f"{len(failures)} blocks failed: {failures[0].error}"
+        )
+    for ticket in tickets:
+        goodput[ticket.tenant] += 1
+        latencies.append(ticket.latency or 0.0)
+    spread = max(goodput.values()) / max(1, min(goodput.values()))
+    return {
+        "mode": mode,
+        "workers": workers,
+        "max_inflight_arms": arm_budget,
+        "blocks": total,
+        "blocks_per_second": round(total / elapsed, 3),
+        "p50_latency_seconds": round(_quantile(latencies, 0.50), 6),
+        "p99_latency_seconds": round(_quantile(latencies, 0.99), 6),
+        "fairness_spread": round(spread, 3),
+        "per_tenant_goodput": goodput,
+        "elapsed_seconds": round(elapsed, 6),
+    }
+
+
+def run_suite(quick=False, seed=0):
+    blocks_per_tenant = (
+        BLOCKS_PER_TENANT_QUICK if quick else BLOCKS_PER_TENANT_FULL
+    )
+    # The pool forks FIRST, while the parent is slim; the ballast then
+    # lands only in the parent, so fork-per-block pays for it and leased
+    # workers never do -- the deployment-realistic ordering.
+    max_budget = max(budget for _, budget in LEVELS)
+    pool = WorldPool(size=max_budget)
+    ballast = bytearray(BALLAST_BYTES)
+    ballast[::4096] = b"x" * len(ballast[::4096])  # fault every page in
+    levels = []
+    try:
+        for workers, arm_budget in LEVELS:
+            cell = {"level": f"{workers}w/{arm_budget}a"}
+            for mode in ("fork", "pooled"):
+                cell[mode] = _run_mode(
+                    mode, workers, arm_budget, blocks_per_tenant, seed,
+                    pool,
+                )
+            cell["pool_speedup"] = round(
+                cell["pooled"]["blocks_per_second"]
+                / cell["fork"]["blocks_per_second"],
+                3,
+            )
+            levels.append(cell)
+    finally:
+        del ballast
+        pool.shutdown()
+    return {
+        "experiment": "S1-server-throughput",
+        "seed": seed,
+        "quick": quick,
+        "tenants": TENANTS,
+        "arms_per_block": ARMS,
+        "ballast_bytes": BALLAST_BYTES,
+        "blocks_per_tenant": blocks_per_tenant,
+        "levels": levels,
+        "gates": {
+            "pool_speedup_floor": POOL_SPEEDUP_FLOOR,
+            "fairness_ceiling": FAIRNESS_CEILING,
+        },
+    }
+
+
+def evaluate_gates(payload):
+    """The bench's own pass/fail criteria; returns failure strings."""
+    failures = []
+    top = payload["levels"][-1]
+    if top["pool_speedup"] < payload["gates"]["pool_speedup_floor"]:
+        failures.append(
+            f"pooled speedup {top['pool_speedup']}x at the highest level "
+            f"({top['level']}) is below the "
+            f"{payload['gates']['pool_speedup_floor']}x floor"
+        )
+    for cell in payload["levels"]:
+        for mode in ("fork", "pooled"):
+            spread = cell[mode]["fairness_spread"]
+            if spread > payload["gates"]["fairness_ceiling"]:
+                failures.append(
+                    f"{mode}@{cell['level']}: fairness spread {spread} "
+                    f"exceeds {payload['gates']['fairness_ceiling']}"
+                )
+    return failures
+
+
+def render_table(payload):
+    lines = [
+        "S1 race-server throughput "
+        f"(seed {payload['seed']}, {payload['tenants']} tenants x "
+        f"{payload['blocks_per_tenant']} blocks, "
+        f"{payload['ballast_bytes'] // (1024 * 1024)} MiB ballast):",
+        "",
+        f"{'level':>8} {'mode':>7} {'blocks/s':>9} {'p50 ms':>8} "
+        f"{'p99 ms':>8} {'spread':>7} {'speedup':>8}",
+    ]
+    for cell in payload["levels"]:
+        for mode in ("fork", "pooled"):
+            row = cell[mode]
+            speedup = (
+                f"{cell['pool_speedup']:>7.2f}x" if mode == "pooled"
+                else f"{'':>8}"
+            )
+            lines.append(
+                f"{cell['level']:>8} {mode:>7} "
+                f"{row['blocks_per_second']:>9.1f} "
+                f"{row['p50_latency_seconds'] * 1000:>8.2f} "
+                f"{row['p99_latency_seconds'] * 1000:>8.2f} "
+                f"{row['fairness_spread']:>7.2f} {speedup}"
+            )
+    return "\n".join(lines)
+
+
+def write_outputs(payload, json_path):
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(TXT_PATH, "w") as handle:
+        handle.write(render_table(payload) + "\n")
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return json_path
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke variant: fewer blocks per tenant",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload seed (recorded in the JSON so runs are comparable)",
+    )
+    parser.add_argument(
+        "--out", default=JSON_PATH,
+        help="where to write the machine-readable record",
+    )
+    args = parser.parse_args(argv)
+    payload = run_suite(quick=args.quick, seed=args.seed)
+    print(render_table(payload))
+    path = write_outputs(payload, args.out)
+    print(f"machine-readable record: {path}")
+    failures = evaluate_gates(payload)
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    top = payload["levels"][-1]
+    print(
+        f"gates passed: pooled {top['pool_speedup']}x fork-per-block at "
+        f"{top['level']}, fairness spread <= "
+        f"{payload['gates']['fairness_ceiling']} everywhere"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -129,7 +129,39 @@ def real_data_race() -> None:
         )
 
 
-def main():
+def server_swarm() -> None:
+    """The same workload as a *service*: many tenants, one shared engine.
+
+    A ``RaceServer`` admits a zipf-skewed stream of racing-plan blocks,
+    schedules them with arm-weighted deficit round robin, and runs each
+    on its own executor over the shared backend -- the front end a
+    'millions of users' deployment of the paper's section 4.2 workload
+    needs.  ``python -m repro serve`` exposes the same demo with knobs.
+    """
+    from repro.server import RaceServer, ServerConfig, SwarmClient
+    from repro.server.client import build_demo_engine
+
+    engine, queries = build_demo_engine(rows=2000, seed=0)
+    with RaceServer(ServerConfig(backend="thread", workers=4)) as server:
+        swarm = SwarmClient(server, tenants=4, zipf_s=1.1, seed=0)
+        report = swarm.run(blocks=24, engine=engine, queries=queries)
+    data = report.to_dict()
+    print(f"  completed : {data['blocks_completed']} blocks "
+          f"({data['blocks_per_second']:.1f} blocks/s, "
+          f"{data['blocks_rejected']} rejected)")
+    print(f"  latency   : p50={data['p50_latency_seconds'] * 1000:.1f} ms  "
+          f"p99={data['p99_latency_seconds'] * 1000:.1f} ms")
+    print(f"  goodput   : {data['per_tenant_goodput']}")
+
+
+def main(argv=None):
+    import sys
+
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if "--server" in argv:
+        print("multi-tenant race server over the query-plan workload:")
+        server_swarm()
+        return
     print(__doc__)
     print("simulated plan races (per-input costs are unpredictable):")
     for seed in range(8):
@@ -141,6 +173,8 @@ def main():
     print()
     print("real os.fork race (three UNIX processes, fastest-first):")
     real_process_race()
+    print()
+    print("(run with --server for the multi-tenant service-layer demo)")
 
 
 if __name__ == "__main__":

@@ -7,7 +7,9 @@ one canonical block under a tracer and exports the trace (see
 :mod:`repro.obs.cli`); ``python -m repro check <block>`` explores its
 schedule space under the model checker (see :mod:`repro.check.cli`);
 ``python -m repro cluster {worker,router,demo}`` runs the real-wire
-cluster daemons (see :mod:`repro.cluster.cli`).
+cluster daemons (see :mod:`repro.cluster.cli`); ``python -m repro
+serve`` demos the multi-tenant race server under a zipf-skewed swarm
+(see :mod:`repro.server.cli`).
 """
 
 from __future__ import annotations
@@ -33,6 +35,10 @@ def main(argv=None) -> int:
         from repro.cluster.cli import cluster_main
 
         return cluster_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.server.cli import serve_main
+
+        return serve_main(argv[1:])
     print(
         f"repro {__version__} -- Smith & Maguire, 'Transparent Concurrent "
         "Execution of Mutually Exclusive Alternatives' (ICDCS 1989)"

@@ -103,30 +103,53 @@ __all__ = ["ProcessBackend", "sweep_orphans"]
 # its children here; the next race (or an explicit sweep) reclaims them.
 # Pool workers are deliberately *not* registered: their lifetime belongs
 # to the WorldPool, which has its own shutdown and atexit discipline.
+#
+# Each pid is tagged with the *race scope* that forked it.  Races may run
+# concurrently (a multi-tenant server races many blocks over one shared
+# pool, with the fork fallback live on all of them), so the sweep must
+# only reclaim children whose owning race has already exited -- killing
+# any registered pid would assassinate a sibling race's healthy arms.
+
+
+class _RaceScope:
+    """Liveness tag for one ``run_arms`` invocation's forked children."""
+
+    __slots__ = ("live",)
+
+    def __init__(self) -> None:
+        self.live = True
+
 
 _orphan_lock = threading.Lock()
-_orphan_pids: Set[int] = set()
+_orphan_pids: Dict[int, Optional[_RaceScope]] = {}
 
 
-def _register_orphan(pid: int) -> None:
+def _register_orphan(pid: int, scope: Optional[_RaceScope] = None) -> None:
+    """Track a forked child; ``scope=None`` means immediately sweepable."""
     with _orphan_lock:
-        _orphan_pids.add(pid)
+        _orphan_pids[pid] = scope
 
 
 def _forget_orphan(pid: int) -> None:
     with _orphan_lock:
-        _orphan_pids.discard(pid)
+        _orphan_pids.pop(pid, None)
 
 
 def sweep_orphans() -> int:
-    """Force-kill and reap children leaked by a previous race.
+    """Force-kill and reap children leaked by a *finished* race.
 
     Returns the number of processes reclaimed.  Safe to call any time;
     every ``run_arms`` calls it on entry so no child is ever left
-    unreaped across races, even after a parent-side crash.
+    unreaped across races, even after a parent-side crash.  Children of
+    races still in flight are left alone -- concurrent races sharing
+    this process must not reap each other's live arms.
     """
     with _orphan_lock:
-        leaked = list(_orphan_pids)
+        leaked = [
+            pid
+            for pid, scope in _orphan_pids.items()
+            if scope is None or not scope.live
+        ]
     swept = 0
     for pid in leaked:
         try:
@@ -272,6 +295,7 @@ class ProcessBackend(ExecutionBackend):
         collect_all: bool = False,
     ) -> BackendRace:
         sweep_orphans()
+        scope = _RaceScope()
         start = time.perf_counter()
         pids: Dict[int, int] = {}
         pipes: Dict[int, int] = {}
@@ -335,7 +359,7 @@ class ProcessBackend(ExecutionBackend):
                 os.close(write_fd)
                 pids[task.index] = pid
                 pipes[task.index] = read_fd
-                _register_orphan(pid)
+                _register_orphan(pid, scope)
             race = self._collect(
                 tasks, pids, pipes, start, timeout, seen, slabs,
                 persistent, leases, clean_leases, collect_all,
@@ -352,6 +376,10 @@ class ProcessBackend(ExecutionBackend):
                 index: pid for index, pid in pids.items() if index not in leases
             }
             statuses = self._reap(forked)
+            # Anything _reap could not collect stays registered; marking
+            # the scope dead hands those pids to the next sweep without
+            # exposing live siblings of concurrent races to it.
+            scope.live = False
             if self.pool is not None and leases:
                 statuses.update(self.pool.finish(leases, clean_leases))
             for index, slab in slabs.items():

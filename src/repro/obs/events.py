@@ -84,6 +84,12 @@ MEMBER_DEAD = "member-dead"
 BREAKER_OPEN = "breaker-open"
 BREAKER_CLOSE = "breaker-close"
 
+# -- the multi-tenant race server --------------------------------------
+SERVER_ADMIT = "server-admit"
+SERVER_REJECT = "server-reject"
+SERVER_BATCH = "server-batch"
+TENANT_QUANTUM = "tenant-quantum"
+
 EVENT_KINDS = (
     BLOCK_BEGIN,
     BLOCK_END,
@@ -125,6 +131,10 @@ EVENT_KINDS = (
     MEMBER_DEAD,
     BREAKER_OPEN,
     BREAKER_CLOSE,
+    SERVER_ADMIT,
+    SERVER_REJECT,
+    SERVER_BATCH,
+    TENANT_QUANTUM,
 )
 
 #: Kinds that terminate one arm's span (exactly one ``ARM_FINISH`` per

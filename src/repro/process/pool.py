@@ -96,6 +96,21 @@ class Lease:
     epoch: int
 
 
+class _LeaseRecord:
+    """Pool-internal ledger entry for one outstanding lease.
+
+    Keyed by epoch (unique per grant), so settlement is immune to pid
+    reuse: a respawned worker that happens to receive a recycled pid can
+    never be parked or killed on behalf of a lease it was not granted.
+    """
+
+    __slots__ = ("worker", "granted_at")
+
+    def __init__(self, worker: "_Worker", granted_at: float) -> None:
+        self.worker = worker
+        self.granted_at = granted_at
+
+
 class _Worker:
     """Parent-side handle on one pooled process."""
 
@@ -119,6 +134,9 @@ class WorldPool:
         self.size = size
         self._workers: List[_Worker] = []
         self._epoch = 0
+        self._active: Dict[int, _LeaseRecord] = {}
+        """Outstanding leases by epoch; the single source of settlement."""
+
         self._lock = threading.Lock()
         self._closed = False
         self.leases_granted = 0
@@ -236,12 +254,19 @@ class WorldPool:
         if task.alternative is None or space is None:
             self.fallbacks += 1
             return None
+        # Selection, the busy flip, the epoch draw, and the ledger entry
+        # happen in ONE critical section: concurrent multi-block callers
+        # can interleave here arbitrarily and still never double-lease a
+        # worker or observe a granted-but-unregistered lease.
         with self._lock:
             worker = next((w for w in self._workers if not w.busy), None)
             if worker is None:
                 self.fallbacks += 1
                 return None
             worker.busy = True
+            self._epoch += 1
+            epoch = self._epoch
+            self._active[epoch] = _LeaseRecord(worker, time.monotonic())
         injector = _active_injector()
         if (
             injector is not None
@@ -249,12 +274,9 @@ class WorldPool:
         ):
             # The injected stale world: this worker's state is declared
             # unusable, so it is recycled and the arm forks directly.
-            self._replace(worker)
+            self._settle(epoch, recycle=True)
             self.fallbacks += 1
             return None
-        with self._lock:
-            self._epoch += 1
-            epoch = self._epoch
         snapshot_pairs: List[Tuple[int, int]] = []
         snapshot_inline: Dict[int, bytes] = {}
         zero_frame = space.store.zero_frame_id
@@ -296,15 +318,14 @@ class WorldPool:
             blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
         except Exception:
             # Closures, local classes, live fds: not portable by value.
-            with self._lock:
-                worker.busy = False
+            self._settle(epoch, recycle=False)
             self.fallbacks += 1
             return None
         try:
             if not wire.write_all(worker.ctrl_fd, _LEN.pack(len(blob)) + blob):
                 raise BrokenPipeError("pool worker hung up")
         except OSError:
-            self._replace(worker)
+            self._settle(epoch, recycle=True)
             self.fallbacks += 1
             return None
         self.leases_granted += 1
@@ -327,6 +348,25 @@ class WorldPool:
             epoch=epoch,
         )
 
+    def _settle(self, epoch: int, recycle: bool) -> Optional[int]:
+        """Close out one lease exactly once; ``None`` if already settled.
+
+        Popping the ledger entry under the lock makes settlement
+        idempotent and race-free: of any number of concurrent callers
+        (two executors finishing, a reclaim sweep, a fallback path in
+        ``lease`` itself), exactly one wins the pop and touches the
+        worker; the rest see an already-settled epoch and do nothing.
+        """
+        with self._lock:
+            record = self._active.pop(epoch, None)
+        if record is None:
+            return None
+        if recycle:
+            return self._replace(record.worker)
+        with self._lock:
+            record.worker.busy = False
+        return None
+
     def finish(
         self, leases: Dict[int, Lease], clean: Set[int]
     ) -> Dict[int, Optional[int]]:
@@ -337,13 +377,20 @@ class WorldPool:
         other leased worker is recycled, because bytes may still be in
         flight on its persistent pipe.  Returns wait statuses for workers
         that died, keyed by arm index, for exit-status annotation.
+
+        Resolution goes through the epoch-keyed lease ledger, never
+        through pids: a lease whose epoch was already settled (a reclaim
+        sweep got there first, or ``finish`` ran twice) is skipped, and a
+        respawned worker that inherited a recycled pid can never be
+        confused with the lease's original worker.
         """
         statuses: Dict[int, Optional[int]] = {}
-        by_pid = {worker.pid: worker for worker in list(self._workers)}
         for index, lease in leases.items():
-            worker = by_pid.get(lease.pid)
-            if worker is None:  # pragma: no cover - already recycled
-                continue
+            with self._lock:
+                record = self._active.pop(lease.epoch, None)
+            if record is None:
+                continue  # already settled elsewhere: idempotent
+            worker = record.worker
             alive = True
             try:
                 done, status = os.waitpid(worker.pid, os.WNOHANG)
@@ -375,6 +422,39 @@ class WorldPool:
                 statuses.setdefault(index, self._replace(worker))
         return statuses
 
+    def reclaim_abandoned(self, older_than: float = 30.0) -> int:
+        """Recycle workers whose lease was never settled (caller crash).
+
+        A caller that leased a worker and then died without reaching
+        ``finish`` leaves the worker busy forever -- pool exhaustion by
+        attrition.  This sweep recycles every lease older than
+        ``older_than`` seconds; settlement idempotence (``_settle``)
+        makes it safe to race against a late ``finish``.  Returns the
+        number of workers reclaimed.
+        """
+        now = time.monotonic()
+        with self._lock:
+            stale = [
+                epoch
+                for epoch, record in self._active.items()
+                if now - record.granted_at >= older_than
+            ]
+        reclaimed = 0
+        for epoch in stale:
+            with self._lock:
+                record = self._active.pop(epoch, None)
+            if record is None:
+                continue  # a late finish won the settlement race
+            self._replace(record.worker)
+            reclaimed += 1
+        return reclaimed
+
+    @property
+    def inflight(self) -> int:
+        """Leases granted and not yet settled."""
+        with self._lock:
+            return len(self._active)
+
     @property
     def parked(self) -> int:
         """Workers currently free to take a lease."""
@@ -393,6 +473,7 @@ class WorldPool:
         with self._lock:
             workers = list(self._workers)
             self._workers = []
+            self._active.clear()
         goodbye = pickle.dumps({"kind": "exit"})
         for worker in workers:
             try:

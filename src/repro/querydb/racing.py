@@ -100,6 +100,18 @@ class RacingQueryEngine:
 
         return Alternative(name=plan.name, body=body)
 
+    def plan_alternatives(self, query: Query) -> List[Alternative]:
+        """The racing arms for ``query``: one per applicable plan.
+
+        What :meth:`execute_racing` builds internally, exposed so a
+        front end (the :class:`~repro.server.RaceServer`) can submit the
+        same race as an alternative block of its own.
+        """
+        return [
+            self._plan_alternative(plan, query)
+            for plan in self.plans_for(query)
+        ]
+
     def execute_racing(self, query: Query) -> QueryRaceResult:
         """Race every applicable plan; fastest correct answer wins."""
         plans = self.plans_for(query)

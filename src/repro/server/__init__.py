@@ -1,0 +1,41 @@
+"""The alt-block race server: a multi-tenant submission front end.
+
+One shared engine, many tenants: :class:`RaceServer` admits a stream of
+alternative blocks, schedules them fairly (arm-weighted deficit round
+robin), applies backpressure once its bounded queues or in-flight-arm
+budget fill, and races each admitted block on its own
+:class:`~repro.core.concurrent.ConcurrentExecutor` over a shared
+long-lived :class:`~repro.process.pool.WorldPool` instead of forking
+fresh children per block.  :class:`SwarmClient` is the matching load
+generator (zipf-skewed tenants racing :mod:`repro.querydb` plans).
+
+Quickstart (see ``docs/server.md``)::
+
+    from repro.server import RaceServer, ServerConfig
+
+    with RaceServer(ServerConfig(backend="thread")) as server:
+        ticket = server.submit("tenant-a", alternatives)
+        value = ticket.result(timeout=10.0)
+"""
+
+from repro.server.admission import AdmissionVerdict, DeficitRoundRobin, QueueItem
+from repro.server.client import SwarmClient, SwarmReport, build_demo_engine
+from repro.server.server import (
+    RaceServer,
+    ServerConfig,
+    SubmissionRejected,
+    Ticket,
+)
+
+__all__ = [
+    "AdmissionVerdict",
+    "DeficitRoundRobin",
+    "QueueItem",
+    "RaceServer",
+    "ServerConfig",
+    "SubmissionRejected",
+    "SwarmClient",
+    "SwarmReport",
+    "Ticket",
+    "build_demo_engine",
+]

@@ -1,0 +1,175 @@
+"""A simulated user swarm: the server's load generator.
+
+The paper's motivating workload is the unpredictable database query
+(section 4.2); :class:`SwarmClient` turns it into *service* load: N
+tenants submit racing query plans from :mod:`repro.querydb` against a
+shared :class:`~repro.server.RaceServer`, with tenant popularity
+zipf-skewed the way real multi-tenant traffic is (a couple of hot
+tenants, a long cold tail).  A rejected submission backs off for the
+server's ``retry_after`` hint and resubmits, so the report separates
+*offered* load from *goodput*.
+
+The report's fairness spread -- max over min per-tenant goodput among
+tenants that offered comparable load -- is the number the DRR scheduler
+is accountable for: 1.0 is perfect fairness, and the swarm test gates on
+it staying small even under the zipf skew.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.querydb.query import Condition, Query
+from repro.querydb.racing import RacingQueryEngine
+from repro.querydb.table import Table
+from repro.server.server import RaceServer, SubmissionRejected, Ticket
+
+__all__ = ["SwarmClient", "SwarmReport", "build_demo_engine"]
+
+
+def build_demo_engine(
+    rows: int = 5000, seed: int = 0
+) -> Tuple[RacingQueryEngine, List[Query]]:
+    """A small orders table, two indexes, and a query mix to race."""
+    rng = random.Random(seed)
+    table = Table("orders", ["order_id", "customer", "amount"])
+    for order_id in range(rows):
+        table.insert(
+            (order_id, f"cust-{rng.randrange(rows // 10 or 1)}",
+             rng.randrange(10_000))
+        )
+    engine = RacingQueryEngine(table)
+    engine.create_hash_index("customer")
+    engine.create_sorted_index("amount")
+    queries = [
+        Query.where(Condition("customer", "==", "cust-7")),
+        Query.where(Condition("amount", "<", 50)),
+        Query.where(Condition("order_id", "==", 123)),
+        Query.where(
+            Condition("customer", "==", "cust-9"),
+            Condition("amount", ">", 5000),
+        ),
+    ]
+    return engine, queries
+
+
+@dataclass
+class SwarmReport:
+    """What one swarm run measured."""
+
+    blocks_completed: int = 0
+    blocks_rejected: int = 0
+    elapsed: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+    per_tenant_goodput: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def blocks_per_second(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.blocks_completed / self.elapsed
+
+    def latency_quantile(self, q: float) -> float:
+        """Exact sample quantile of completed-block latency (seconds)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        position = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[position]
+
+    @property
+    def fairness_spread(self) -> float:
+        """Max/min per-tenant goodput (1.0 = perfectly fair)."""
+        counts = [c for c in self.per_tenant_goodput.values() if c > 0]
+        if not counts:
+            return float("inf")
+        low = min(counts)
+        return (max(counts) / low) if low else float("inf")
+
+    def to_dict(self) -> Dict:
+        return {
+            "blocks_completed": self.blocks_completed,
+            "blocks_rejected": self.blocks_rejected,
+            "elapsed_seconds": round(self.elapsed, 6),
+            "blocks_per_second": round(self.blocks_per_second, 3),
+            "p50_latency_seconds": round(self.latency_quantile(0.50), 6),
+            "p99_latency_seconds": round(self.latency_quantile(0.99), 6),
+            "fairness_spread": (
+                None
+                if self.fairness_spread == float("inf")
+                else round(self.fairness_spread, 3)
+            ),
+            "per_tenant_goodput": dict(sorted(
+                self.per_tenant_goodput.items()
+            )),
+        }
+
+
+class SwarmClient:
+    """Drive a :class:`RaceServer` with a zipf-skewed tenant swarm."""
+
+    def __init__(
+        self,
+        server: RaceServer,
+        tenants: int = 4,
+        zipf_s: float = 1.1,
+        seed: int = 0,
+        max_retries: int = 8,
+    ) -> None:
+        if tenants < 1:
+            raise ValueError("a swarm needs at least one tenant")
+        self.server = server
+        self.tenant_names = [f"tenant-{i}" for i in range(tenants)]
+        # Zipf popularity by rank: tenant i draws with weight 1/(i+1)^s.
+        self.weights = [1.0 / (rank + 1) ** zipf_s for rank in range(tenants)]
+        self.rng = random.Random(seed)
+        self.max_retries = max_retries
+
+    def _submit_with_backoff(
+        self, tenant: str, alternatives, seed: int
+    ) -> Optional[Ticket]:
+        """Submit, honouring ``retry_after``; ``None`` after max retries."""
+        for _ in range(self.max_retries):
+            try:
+                return self.server.submit(
+                    tenant, alternatives, seed=seed
+                )
+            except SubmissionRejected as rejection:
+                time.sleep(min(rejection.retry_after, 0.25))
+        return None
+
+    def run(
+        self,
+        blocks: int = 40,
+        engine: Optional[RacingQueryEngine] = None,
+        queries: Optional[List[Query]] = None,
+    ) -> SwarmReport:
+        """Offer ``blocks`` racing-query submissions; wait for them all."""
+        if engine is None or queries is None:
+            engine, queries = build_demo_engine(seed=self.rng.randrange(2**31))
+        report = SwarmReport(
+            per_tenant_goodput={name: 0 for name in self.tenant_names}
+        )
+        started = time.monotonic()
+        tickets: List[Ticket] = []
+        for n in range(blocks):
+            tenant = self.rng.choices(self.tenant_names, self.weights)[0]
+            query = self.rng.choice(queries)
+            alternatives = engine.plan_alternatives(query)
+            ticket = self._submit_with_backoff(tenant, alternatives, seed=n)
+            if ticket is None:
+                report.blocks_rejected += 1
+                continue
+            tickets.append(ticket)
+        for ticket in tickets:
+            ticket.wait(timeout=60.0)
+            if ticket.done and ticket.status == "done" and not ticket.error:
+                report.blocks_completed += 1
+                report.per_tenant_goodput[ticket.tenant] += 1
+                if ticket.latency is not None:
+                    report.latencies.append(ticket.latency)
+        report.elapsed = time.monotonic() - started
+        return report

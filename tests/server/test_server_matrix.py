@@ -1,0 +1,106 @@
+"""The equivalence matrix, *through the server, concurrently*.
+
+The solo matrix (``tests/obs/test_equivalence_matrix.py``) proves each
+canonical block behaves identically on every backend when raced alone.
+This suite raises the bar to the server's actual operating condition:
+the whole corpus submitted at once from interleaved tenants, multiplexed
+onto shared worker threads (and, for the process backend, one shared
+world pool).  Transparency must survive multi-tenancy -- every block's
+value / winner / error / variables and the parent space's exact bytes
+must match the solo serial reference, or the scheduler is leaking one
+tenant's race into another's.
+"""
+
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.core.backends import get_backend
+from repro.obs.blocks import CANONICAL_BLOCKS, get_block
+from repro.server import RaceServer, ServerConfig
+
+pytestmark = pytest.mark.slow
+
+REFERENCE = "serial"
+SERVER_BACKENDS = ("serial", "thread", "process")
+
+#: Arm counts per corpus block, so DRR charges real weights without
+#: having to build the arms (factories need the per-request executor).
+_WEIGHTS = {spec.name: 4 for spec in CANONICAL_BLOCKS}
+
+
+@lru_cache(maxsize=None)
+def solo_reference(block_name: str):
+    return get_block(block_name).run(get_backend(REFERENCE))
+
+
+@lru_cache(maxsize=None)
+def server_outcomes(backend_name: str):
+    """Submit the whole corpus concurrently; outcomes keyed by block."""
+    config = ServerConfig(
+        backend=backend_name,
+        workers=3,
+        max_inflight_arms=12,
+        quantum=3,
+    )
+    tickets = {}
+    with RaceServer(config) as server:
+        for position, spec in enumerate(CANONICAL_BLOCKS):
+            # Interleaved tenants: neighbours in submission order always
+            # belong to different tenants, so the DRR ring mixes them.
+            tenant = f"tenant-{position % 3}"
+            tickets[spec.name] = server.submit(
+                tenant,
+                factory=spec.build,
+                weight=_WEIGHTS[spec.name],
+                timeout=spec.timeout,
+                capture_space=True,
+            )
+        for spec in CANONICAL_BLOCKS:
+            assert tickets[spec.name].wait(timeout=120.0), (
+                f"{spec.name} never finished through the server"
+            )
+    return tickets
+
+
+def _matrix_params():
+    for spec in CANONICAL_BLOCKS:
+        for backend_name in SERVER_BACKENDS:
+            marks = (
+                [pytest.mark.subprocess] if backend_name == "process" else []
+            )
+            if backend_name == "process" and not hasattr(os, "fork"):
+                marks.append(
+                    pytest.mark.skip(reason="requires os.fork")
+                )
+            yield pytest.param(
+                spec.name,
+                backend_name,
+                id=f"{spec.name}-{backend_name}",
+                marks=marks,
+            )
+
+
+class TestServerMatrix:
+    @pytest.mark.parametrize("block_name,backend_name", _matrix_params())
+    def test_concurrent_submission_agrees_with_solo_reference(
+        self, block_name, backend_name
+    ):
+        reference = solo_reference(block_name)
+        ticket = server_outcomes(backend_name)[block_name]
+        message = (
+            f"block {block_name!r} diverges through the {backend_name} "
+            f"server\n"
+            f"--- solo {REFERENCE}: value={reference.value!r} "
+            f"winner={reference.winner!r} error={reference.error!r}\n"
+            f"--- server: value={ticket.value!r} winner={ticket.winner!r} "
+            f"error={ticket.error!r}"
+        )
+        assert ticket.value == reference.value, message
+        assert ticket.winner == reference.winner, message
+        assert ticket.error == reference.error, message
+        assert ticket.variables == reference.variables, message
+        assert ticket.space_bytes == reference.space_bytes, (
+            f"parent address spaces differ byte-for-byte\n{message}"
+        )
